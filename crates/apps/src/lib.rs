@@ -1,0 +1,26 @@
+//! # ppc-apps — the paper's three applications on the four platforms
+//!
+//! Glues the biomedical kernels (`ppc-bio`, `ppc-gtm`) to the execution
+//! platforms (`ppc-classic`, `ppc-mapreduce`, `ppc-dryad`) the way the
+//! paper's §2 frameworks wrap their executables:
+//!
+//! * [`cap3`] — the assembly executable ([`cap3::Cap3Executor`]) and its
+//!   paper-anchored resource profile.
+//! * [`blast`] — the search executable over a resident database, with the
+//!   NR-like shared-memory profile.
+//! * [`gtm`] — the interpolation executable over a trained model, with the
+//!   memory-bandwidth-bound profile.
+//! * [`workload`] — input-file generators (homogeneous, inhomogeneous,
+//!   replicated) mirroring each experiment's data sets.
+//! * [`calibrate`] — where the simulator's `ResourceProfile` constants come
+//!   from, both paper-anchored and measured-from-native.
+//! * [`experiment`] — shared sweep drivers: the 16-core EC2 instance-type
+//!   study, the four-platform scalability study, and the cost model — the
+//!   building blocks every figure's bench binary uses.
+
+pub mod blast;
+pub mod calibrate;
+pub mod cap3;
+pub mod experiment;
+pub mod gtm;
+pub mod workload;

@@ -1,0 +1,311 @@
+//! Workload generators for every experiment.
+//!
+//! Two families:
+//!
+//! * `*_sim_tasks` — task lists with calibrated [`ppc_core::task::ResourceProfile`]s but no
+//!   payloads, for the discrete-event simulations at paper scale
+//!   (thousands of files, hundreds of cores).
+//! * `*_native_inputs` — real payloads (FASTA files, point blocks) for the
+//!   native runtimes in examples and integration tests.
+
+use crate::calibrate::{blast_profile, cap3_profile, gtm_profile, NR_DB_BYTES};
+use ppc_bio::fasta;
+use ppc_bio::simulate::{
+    protein_database, queries_from_db, random_genome, shotgun_reads, ProteinDbParams, ShotgunParams,
+};
+use ppc_core::rng::Pcg32;
+use ppc_core::task::TaskSpec;
+use ppc_gtm::linalg::Matrix;
+
+// ---------------------------------------------------------------- sim view
+
+/// Homogeneous Cap3 workload: `n_files` FASTA files of `reads_per_file`
+/// reads each (the paper's replicated homogeneous sets, §4.2).
+pub fn cap3_sim_tasks(n_files: usize, reads_per_file: usize) -> Vec<TaskSpec> {
+    (0..n_files)
+        .map(|i| {
+            TaskSpec::new(
+                i as u64,
+                "cap3",
+                format!("cap3/in/f{i:05}.fa"),
+                cap3_profile(reads_per_file, 500),
+            )
+        })
+        .collect()
+}
+
+/// Inhomogeneous Cap3 workload: log-normal spread of reads per file (the
+/// §4.2 reference-\[13\] study's setting, used by the load-balance ablation).
+pub fn cap3_sim_tasks_inhomogeneous(
+    n_files: usize,
+    mean_reads: usize,
+    sigma: f64,
+    seed: u64,
+) -> Vec<TaskSpec> {
+    let mut rng = Pcg32::new(seed);
+    (0..n_files)
+        .map(|i| {
+            let mu = (mean_reads as f64).ln() - sigma * sigma / 2.0;
+            let reads = rng.log_normal(mu, sigma).round().clamp(20.0, 20_000.0) as usize;
+            TaskSpec::new(
+                i as u64,
+                "cap3",
+                format!("cap3/in/f{i:05}.fa"),
+                cap3_profile(reads, 500),
+            )
+        })
+        .collect()
+}
+
+/// Homogeneous BLAST workload: files of `queries_per_file` queries against
+/// the NR-sized database (§5.1's 64-file study).
+pub fn blast_sim_tasks(n_files: usize, queries_per_file: usize) -> Vec<TaskSpec> {
+    (0..n_files)
+        .map(|i| {
+            TaskSpec::new(
+                i as u64,
+                "blast",
+                format!("blast/in/q{i:05}.fa"),
+                blast_profile(queries_per_file, NR_DB_BYTES),
+            )
+        })
+        .collect()
+}
+
+/// The §5.2 base set: 128 query files, *inhomogeneous* (query content makes
+/// runtimes vary even at fixed query counts).
+pub fn blast_sim_base_set(seed: u64) -> Vec<TaskSpec> {
+    let mut rng = Pcg32::new(seed);
+    (0..128)
+        .map(|i| {
+            let mut p = blast_profile(100, NR_DB_BYTES);
+            // Content-dependent runtime spread: ±40% log-normal.
+            p.cpu_seconds_ref *= rng.log_normal(0.0, 0.35);
+            TaskSpec::new(i as u64, "blast", format!("blast/in/q{i:05}.fa"), p)
+        })
+        .collect()
+}
+
+/// GTM Interpolation workload: `n_files` splits of `points_per_file` points
+/// (the paper: 264 files × 100k points of the 26M-point PubChem set, §6.2).
+pub fn gtm_sim_tasks(n_files: usize, points_per_file: usize) -> Vec<TaskSpec> {
+    (0..n_files)
+        .map(|i| {
+            TaskSpec::new(
+                i as u64,
+                "gtm",
+                format!("gtm/in/p{i:05}.bin"),
+                gtm_profile(points_per_file),
+            )
+        })
+        .collect()
+}
+
+/// Replicate a base task set `times` times with fresh ids — the paper's
+/// "replicated a query data set ... one to six times" scaling method.
+pub fn replicate(base: &[TaskSpec], times: usize) -> Vec<TaskSpec> {
+    let mut out = Vec::with_capacity(base.len() * times);
+    let mut id = 0u64;
+    for rep in 0..times {
+        for t in base {
+            let mut t = t.clone();
+            t.id = ppc_core::task::TaskId(id);
+            t.input_key = format!("rep{rep}/{}", t.input_key);
+            t.output_key = format!("{}.out", t.input_key);
+            id += 1;
+            out.push(t);
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------- native view
+
+/// Real Cap3 inputs: each file is a shotgun read set from its own genome.
+pub fn cap3_native_inputs(
+    n_files: usize,
+    reads_per_file: usize,
+    genome_len: usize,
+    seed: u64,
+) -> Vec<(TaskSpec, Vec<u8>)> {
+    (0..n_files)
+        .map(|i| {
+            let genome = random_genome(genome_len, seed ^ (i as u64) << 8);
+            let reads = shotgun_reads(
+                &genome,
+                &ShotgunParams {
+                    n_reads: reads_per_file,
+                    read_len_mean: 220.0,
+                    read_len_sd: 20.0,
+                    ..Default::default()
+                },
+                seed ^ ((i as u64) << 8) ^ 1,
+            );
+            let payload = fasta::format(&reads);
+            let spec = TaskSpec::new(
+                i as u64,
+                "cap3",
+                format!("cap3/in/f{i:05}.fa"),
+                cap3_profile(reads_per_file, 220),
+            );
+            (spec, payload)
+        })
+        .collect()
+}
+
+/// Real BLAST inputs: a shared database plus query files drawn from it.
+pub fn blast_native_inputs(
+    n_files: usize,
+    queries_per_file: usize,
+    db_params: &ProteinDbParams,
+    seed: u64,
+) -> (Vec<ppc_bio::fasta::FastaRecord>, Vec<(TaskSpec, Vec<u8>)>) {
+    let db = protein_database(db_params, seed);
+    let inputs = (0..n_files)
+        .map(|i| {
+            let queries =
+                queries_from_db(&db, queries_per_file, 0.08, seed ^ ((i as u64 + 1) << 16));
+            let payload = fasta::format(&queries);
+            let spec = TaskSpec::new(
+                i as u64,
+                "blast",
+                format!("blast/in/q{i:05}.fa"),
+                blast_profile(queries_per_file, 0),
+            );
+            (spec, payload)
+        })
+        .collect();
+    (db, inputs)
+}
+
+/// Real GTM inputs: point blocks from the fingerprint generator, all drawn
+/// from the same cluster structure as a training sample.
+pub fn gtm_native_inputs(
+    n_files: usize,
+    points_per_file: usize,
+    dim: usize,
+    seed: u64,
+) -> (Matrix, Vec<(TaskSpec, Vec<u8>)>) {
+    use ppc_gtm::data::{fingerprints, FingerprintParams};
+    let total = points_per_file * (n_files + 1);
+    let (all, _) = fingerprints(
+        &FingerprintParams {
+            n_points: total,
+            dim,
+            n_clusters: 4,
+            flip_noise: 0.05,
+        },
+        seed,
+    );
+    // First block is the training sample; the rest are out-of-sample files.
+    let take_rows = |from: usize, n: usize| -> Matrix {
+        let mut m = Matrix::zeros(n, dim);
+        for r in 0..n {
+            for c in 0..dim {
+                m[(r, c)] = all[(from + r, c)];
+            }
+        }
+        m
+    };
+    let sample = take_rows(0, points_per_file);
+    let inputs = (0..n_files)
+        .map(|i| {
+            let block = take_rows(points_per_file * (i + 1), points_per_file);
+            let payload = crate::gtm::encode_points(&block);
+            let spec = TaskSpec::new(
+                i as u64,
+                "gtm",
+                format!("gtm/in/p{i:05}.bin"),
+                gtm_profile(points_per_file),
+            );
+            (spec, payload)
+        })
+        .collect();
+    (sample, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_task_counts_and_keys() {
+        let cap3 = cap3_sim_tasks(200, 200);
+        assert_eq!(cap3.len(), 200);
+        assert!(cap3[7].input_key.contains("f00007"));
+        let blast = blast_sim_tasks(64, 100);
+        assert_eq!(blast.len(), 64);
+        assert!(blast
+            .iter()
+            .all(|t| t.profile.shared_mem_bytes == NR_DB_BYTES));
+        let gtm = gtm_sim_tasks(264, 100_000);
+        assert_eq!(gtm.len(), 264);
+        assert!(gtm.iter().all(|t| t.profile.mem_traffic_bytes > 0));
+    }
+
+    #[test]
+    fn inhomogeneous_has_spread() {
+        let tasks = cap3_sim_tasks_inhomogeneous(100, 400, 0.6, 5);
+        let times: Vec<f64> = tasks.iter().map(|t| t.profile.cpu_seconds_ref).collect();
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 2.0 * min, "spread {min}..{max}");
+    }
+
+    #[test]
+    fn blast_base_set_is_inhomogeneous_but_deterministic() {
+        let a = blast_sim_base_set(1);
+        let b = blast_sim_base_set(1);
+        assert_eq!(a.len(), 128);
+        assert_eq!(a[5].profile.cpu_seconds_ref, b[5].profile.cpu_seconds_ref);
+        let distinct: std::collections::HashSet<u64> = a
+            .iter()
+            .map(|t| t.profile.cpu_seconds_ref.to_bits())
+            .collect();
+        assert!(distinct.len() > 100);
+    }
+
+    #[test]
+    fn replicate_renames_and_renumbers() {
+        let base = cap3_sim_tasks(4, 100);
+        let r = replicate(&base, 3);
+        assert_eq!(r.len(), 12);
+        let ids: std::collections::HashSet<u64> = r.iter().map(|t| t.id.0).collect();
+        assert_eq!(ids.len(), 12, "ids unique");
+        assert!(r[4].input_key.starts_with("rep1/"));
+        let keys: std::collections::HashSet<&String> = r.iter().map(|t| &t.input_key).collect();
+        assert_eq!(keys.len(), 12, "keys unique");
+    }
+
+    #[test]
+    fn native_cap3_inputs_are_valid_fasta() {
+        let inputs = cap3_native_inputs(3, 30, 800, 9);
+        assert_eq!(inputs.len(), 3);
+        for (spec, payload) in &inputs {
+            let recs = fasta::parse(payload).unwrap();
+            assert_eq!(recs.len(), 30, "{}", spec.input_key);
+        }
+        // Different files come from different genomes.
+        assert_ne!(inputs[0].1, inputs[1].1);
+    }
+
+    #[test]
+    fn native_blast_inputs_share_db() {
+        let (db, inputs) = blast_native_inputs(2, 5, &ProteinDbParams::default(), 17);
+        assert!(!db.is_empty());
+        for (_, payload) in &inputs {
+            assert_eq!(fasta::parse(payload).unwrap().len(), 5);
+        }
+    }
+
+    #[test]
+    fn native_gtm_inputs_decode() {
+        let (sample, inputs) = gtm_native_inputs(2, 50, 20, 23);
+        assert_eq!(sample.rows(), 50);
+        for (_, payload) in &inputs {
+            let m = crate::gtm::decode_points(payload).unwrap();
+            assert_eq!(m.rows(), 50);
+            assert_eq!(m.cols(), 20);
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! These go beyond the paper's figures: each isolates one mechanism the
+//! paper's architecture discussion credits, and measures what happens
+//! without it.
+
+use ppc_apps::workload;
+use ppc_classic::sim::{simulate as classic_sim, SimConfig};
+use ppc_compute::cluster::Cluster;
+use ppc_compute::instance::{BARE_CAP3, EC2_HCXL};
+use ppc_compute::model::AppModel;
+use ppc_core::report::{Figure, Series};
+use ppc_dryad::sim::{simulate as dryad_sim, DryadSimConfig};
+use ppc_mapreduce::sim::{simulate as hadoop_sim, HadoopSimConfig};
+use ppc_storage::latency::LatencyModel;
+
+/// Visibility timeout vs wasted work (§2.1.3's fault-tolerance knob): with
+/// worker failures on, a short timeout re-executes tasks aggressively, while
+/// a long one idles before recovering. Reports makespan and redundant
+/// executions across timeouts.
+pub fn ablate_visibility_timeout() -> Figure {
+    let tasks = workload::cap3_sim_tasks(256, 200);
+    let cluster = Cluster::provision_per_core(EC2_HCXL, 4);
+    let mut fig = Figure::new(
+        "Ablation: visibility timeout under 5% worker failure",
+        "visibility timeout (s)",
+        "value",
+    )
+    .with_precision(1);
+    let mut makespan = Series::new("makespan (s)");
+    let mut redundant = Series::new("redundant executions");
+    for timeout in [30.0, 60.0, 120.0, 300.0, 600.0, 1800.0] {
+        let cfg = SimConfig::ec2()
+            .with_app(AppModel::cap3())
+            .with_failures(0.05, timeout);
+        let report = classic_sim(&cluster, &tasks, &cfg);
+        makespan.push(format!("{timeout}"), report.summary.makespan_seconds);
+        redundant.push(format!("{timeout}"), report.redundant_executions() as f64);
+    }
+    fig.add(makespan);
+    fig.add(redundant);
+    fig
+}
+
+/// Inhomogeneous tasks with a *bounded* spread: log-normal service times
+/// clamped to [mean/6, 3·mean] so that no single task dominates the
+/// makespan — the regime where scheduling policy (not task size) decides
+/// the outcome, matching the paper's inhomogeneous-data study.
+fn bounded_skew_tasks(
+    n: usize,
+    mean_s: f64,
+    sigma: f64,
+    seed: u64,
+) -> Vec<ppc_core::task::TaskSpec> {
+    let mut rng = ppc_core::rng::Pcg32::new(seed);
+    (0..n)
+        .map(|i| {
+            let mu = mean_s.ln() - sigma * sigma / 2.0;
+            let secs = rng.log_normal(mu, sigma).clamp(mean_s / 6.0, mean_s * 3.0);
+            let mut p = ppc_core::task::ResourceProfile::cpu_bound(secs);
+            p.input_bytes = 256 << 10;
+            ppc_core::task::TaskSpec::new(i as u64, "cap3", format!("skew/f{i:05}"), p)
+        })
+        .collect()
+}
+
+/// Dynamic global queue (Hadoop/Classic) vs static partitioning (Dryad) on
+/// increasingly inhomogeneous data — the §4.2 load-balancing discussion.
+pub fn ablate_load_balance() -> Figure {
+    let mut fig = Figure::new(
+        "Ablation: dynamic vs static scheduling on inhomogeneous data",
+        "task-time log-normal sigma",
+        "makespan (s)",
+    )
+    .with_precision(0);
+    let cluster = Cluster::provision(BARE_CAP3, 32, 8);
+    let mut hadoop = Series::new("Hadoop (dynamic global queue)");
+    let mut dryad = Series::new("DryadLINQ (static partitions)");
+    for sigma in [0.0, 0.3, 0.6, 0.9, 1.2] {
+        let tasks = bounded_skew_tasks(1024, 300.0, sigma, 23);
+        let h = hadoop_sim(
+            &cluster,
+            &tasks,
+            &HadoopSimConfig {
+                app: AppModel::cap3(),
+                ..Default::default()
+            },
+        );
+        let d = dryad_sim(
+            &cluster,
+            &tasks,
+            &DryadSimConfig {
+                app: AppModel::cap3(),
+                ..Default::default()
+            },
+        );
+        hadoop.push(format!("{sigma}"), h.summary.makespan_seconds);
+        dryad.push(format!("{sigma}"), d.summary.makespan_seconds);
+    }
+    fig.add(hadoop);
+    fig.add(dryad);
+    fig
+}
+
+/// Data-locality scheduling on/off vs input size (§6.2: "Hadoop and
+/// DryadLINQ applications have an advantage of data locality-based
+/// scheduling over EC2" when inputs grow).
+pub fn ablate_locality() -> Figure {
+    let mut fig = Figure::new(
+        "Ablation: Hadoop data-locality scheduling vs input file size",
+        "input MB per task",
+        "makespan (s)",
+    )
+    .with_precision(0);
+    let cluster = Cluster::provision(BARE_CAP3, 16, 8);
+    let mut with_locality = Series::new("locality-aware scheduling");
+    let mut without = Series::new("locality-blind scheduling");
+    for mb in [1u64, 8, 32, 128, 512] {
+        let mut tasks = workload::cap3_sim_tasks(512, 100);
+        for t in tasks.iter_mut() {
+            t.profile.input_bytes = mb << 20;
+        }
+        let on = HadoopSimConfig {
+            app: AppModel::cap3(),
+            ..Default::default()
+        };
+        let off = HadoopSimConfig {
+            app: AppModel::cap3(),
+            ignore_locality: true,
+            ..Default::default()
+        };
+        let a = hadoop_sim(&cluster, &tasks, &on);
+        let b = hadoop_sim(&cluster, &tasks, &off);
+        with_locality.push(format!("{mb}"), a.summary.makespan_seconds);
+        without.push(format!("{mb}"), b.summary.makespan_seconds);
+    }
+    fig.add(with_locality);
+    fig.add(without);
+    fig
+}
+
+/// Task granularity vs overhead share (the paper's "sufficiently coarser
+/// grain task decompositions" conclusion, §8): same total work split into
+/// ever finer tasks on the Classic Cloud.
+pub fn ablate_granularity() -> Figure {
+    let mut fig = Figure::new(
+        "Ablation: task granularity on the Classic Cloud",
+        "queries per task file",
+        "parallel efficiency",
+    )
+    .with_precision(3);
+    let cluster = Cluster::provision_per_core(EC2_HCXL, 16);
+    let mut eff = Series::new("efficiency");
+    let total_queries = 12_800;
+    for per_file in [3usize, 12, 25, 100, 400] {
+        let n_files = total_queries / per_file;
+        let tasks = workload::blast_sim_tasks(n_files, per_file);
+        let cfg = SimConfig::ec2().with_seed(29);
+        let report = classic_sim(&cluster, &tasks, &cfg);
+        let t1 =
+            ppc_classic::sim::sequential_baseline_seconds(&EC2_HCXL, &tasks, &AppModel::DEFAULT);
+        eff.push(
+            per_file.to_string(),
+            ppc_core::metrics::parallel_efficiency(
+                t1,
+                report.summary.makespan_seconds,
+                cluster.total_workers(),
+            ),
+        );
+    }
+    fig.add(eff);
+    fig
+}
+
+/// Shared-NIC contention vs input size: the Classic Cloud moves every
+/// input through the instance's uplink; past some transfer volume the NIC,
+/// not the cores, sets the makespan — the flip side of the paper's §6.2
+/// "Hadoop and DryadLINQ bring computation to the data" observation.
+pub fn ablate_nic_contention() -> Figure {
+    let mut fig = Figure::new(
+        "Ablation: shared NIC (125 MB/s per instance) vs input size",
+        "input MB per task",
+        "makespan (s)",
+    )
+    .with_precision(0);
+    let cluster = Cluster::provision_per_core(EC2_HCXL, 2);
+    let mut free = Series::new("unconstrained transfers");
+    let mut nic = Series::new("shared 125 MB/s NIC per instance");
+    for mb in [1u64, 16, 64, 256, 1024] {
+        // Light compute (50-read files) so transfers can dominate at the
+        // top of the sweep.
+        let mut tasks = workload::cap3_sim_tasks(128, 50);
+        for t in tasks.iter_mut() {
+            t.profile.input_bytes = mb << 20;
+        }
+        let base = SimConfig {
+            jitter_sigma: 0.0,
+            ..SimConfig::ec2().with_app(AppModel::cap3())
+        };
+        let with_nic = SimConfig {
+            nic_bandwidth_bytes_per_s: Some(125e6),
+            ..base
+        };
+        free.push(
+            format!("{mb}"),
+            classic_sim(&cluster, &tasks, &base)
+                .summary
+                .makespan_seconds,
+        );
+        nic.push(
+            format!("{mb}"),
+            classic_sim(&cluster, &tasks, &with_nic)
+                .summary
+                .makespan_seconds,
+        );
+    }
+    fig.add(free);
+    fig.add(nic);
+    fig
+}
+
+/// Speculative execution on/off under a straggler-prone cluster — the
+/// mechanism the paper credits Hadoop and Dryad with ("duplicate execution
+/// of slower executing tasks"), isolated.
+pub fn ablate_speculation() -> Figure {
+    let mut fig = Figure::new(
+        "Ablation: speculative execution vs straggler probability",
+        "P(attempt is 10x slower)",
+        "makespan (s)",
+    )
+    .with_precision(0);
+    let cluster = Cluster::provision(BARE_CAP3, 16, 8);
+    let tasks = workload::cap3_sim_tasks(512, 200);
+    let mut with_spec = Series::new("speculative execution on");
+    let mut without = Series::new("speculative execution off");
+    for p in [0.0, 0.01, 0.03, 0.05, 0.10] {
+        let base = HadoopSimConfig {
+            app: AppModel::cap3(),
+            straggler_p: p,
+            straggler_factor: 10.0,
+            ..Default::default()
+        };
+        let on = hadoop_sim(
+            &cluster,
+            &tasks,
+            &HadoopSimConfig {
+                speculative: true,
+                ..base
+            },
+        );
+        let off = hadoop_sim(
+            &cluster,
+            &tasks,
+            &HadoopSimConfig {
+                speculative: false,
+                ..base
+            },
+        );
+        with_spec.push(format!("{p}"), on.summary.makespan_seconds);
+        without.push(format!("{p}"), off.summary.makespan_seconds);
+    }
+    fig.add(with_spec);
+    fig.add(without);
+    fig
+}
+
+/// Storage latency sensitivity: how slow can the cloud store get before the
+/// Classic Cloud loses its efficiency parity (the paper's headline result
+/// is that 2010 S3 latencies were *not* disqualifying).
+pub fn ablate_storage_latency() -> Figure {
+    let mut fig = Figure::new(
+        "Ablation: Classic Cloud efficiency vs storage latency",
+        "per-request latency (ms)",
+        "parallel efficiency",
+    )
+    .with_precision(3);
+    let cluster = Cluster::provision_per_core(EC2_HCXL, 16);
+    let tasks = workload::cap3_sim_tasks(1024, 458);
+    let mut eff = Series::new("efficiency");
+    for ms in [0u64, 30, 100, 300, 1000, 3000, 10000] {
+        let mut cfg = SimConfig::ec2().with_app(AppModel::cap3());
+        cfg.storage_latency = LatencyModel {
+            request_latency_s: ms as f64 / 1e3,
+            bandwidth_bytes_per_s: 25e6,
+        };
+        let report = classic_sim(&cluster, &tasks, &cfg);
+        let t1 =
+            ppc_classic::sim::sequential_baseline_seconds(&EC2_HCXL, &tasks, &AppModel::cap3());
+        eff.push(
+            ms.to_string(),
+            ppc_core::metrics::parallel_efficiency(
+                t1,
+                report.summary.makespan_seconds,
+                cluster.total_workers(),
+            ),
+        );
+    }
+    fig.add(eff);
+    fig
+}
+
+/// Why TwisterAzure (the paper's §8 future work) exists: an iterative
+/// computation run as N successive Hadoop jobs re-pays job launch, task
+/// dispatch, and input re-reads every round; a Twister-style runtime caches
+/// the static input and only re-broadcasts the (small) model. This models
+/// both styles for k-means-shaped rounds on the paper's bare-metal cluster.
+pub fn ablate_iterative_caching() -> Figure {
+    let mut fig = Figure::new(
+        "Ablation: iterative MapReduce — per-round job relaunch vs Twister-style caching",
+        "iterations",
+        "total time (s)",
+    )
+    .with_precision(0);
+    let cluster = Cluster::provision(BARE_CAP3, 16, 8);
+    // 512 splits of 64 MB each, ~10 s of compute per split per round.
+    let mut tasks = workload::cap3_sim_tasks(512, 48);
+    for t in tasks.iter_mut() {
+        t.profile.input_bytes = 64 << 20;
+    }
+    let per_job = HadoopSimConfig {
+        app: AppModel::DEFAULT,
+        jitter_sigma: 0.0,
+        ..Default::default()
+    };
+    // One Hadoop round (reads inputs, pays dispatch).
+    let round_with_io = hadoop_sim(&cluster, &tasks, &per_job).summary.makespan_seconds;
+    // A cached round: no input read, no per-task JVM launch (Twister keeps
+    // long-lived workers), just compute + a small broadcast barrier.
+    let mut cached_tasks = tasks.clone();
+    for t in cached_tasks.iter_mut() {
+        t.profile.input_bytes = 0;
+    }
+    let cached_cfg = HadoopSimConfig {
+        dispatch_overhead_s: 0.0,
+        ..per_job
+    };
+    let round_cached = hadoop_sim(&cluster, &cached_tasks, &cached_cfg).summary.makespan_seconds;
+
+    const HADOOP_JOB_LAUNCH_S: f64 = 15.0; // per-job JobTracker round trip
+    const TWISTER_BROADCAST_S: f64 = 0.5; // model re-broadcast per round
+
+    let mut hadoop = Series::new("Hadoop (new job per iteration)");
+    let mut twister = Series::new("Twister-style (cached static data)");
+    for iters in [1u32, 2, 5, 10, 20, 50] {
+        let h = iters as f64 * (HADOOP_JOB_LAUNCH_S + round_with_io);
+        let t = round_with_io + (iters as f64 - 1.0) * (TWISTER_BROADCAST_S + round_cached);
+        hadoop.push(iters.to_string(), h);
+        twister.push(iters.to_string(), t);
+    }
+    fig.add(hadoop);
+    fig.add(twister);
+    fig
+}
+
+/// Sustained-performance variation (paper §3): the authors measured the
+/// clouds repeatedly over a week and found CVs of 1.56% (AWS) and 2.25%
+/// (Azure). Here: the same job under many seeds of the calibrated jitter
+/// model; the reported CV justifies treating single runs as representative.
+pub fn sustained_variation() -> Figure {
+    let mut fig = Figure::new(
+        "Sustained performance: makespan CV over 20 repeated runs",
+        "platform",
+        "CV (%)",
+    )
+    .with_precision(2);
+    let tasks = workload::cap3_sim_tasks(256, 458);
+    let mut series = Series::new("coefficient of variation");
+    for (label, jitter) in [("aws", 0.0156f64), ("azure", 0.0225f64)] {
+        let cluster = Cluster::provision_per_core(EC2_HCXL, 16);
+        let makespans: Vec<f64> = (0..20)
+            .map(|seed| {
+                let mut cfg = SimConfig::ec2()
+                    .with_app(AppModel::cap3())
+                    .with_seed(1000 + seed);
+                cfg.jitter_sigma = jitter;
+                classic_sim(&cluster, &tasks, &cfg).summary.makespan_seconds
+            })
+            .collect();
+        let stats = ppc_core::metrics::Stats::from_sample(&makespans).expect("non-empty");
+        series.push(label, stats.cv_percent());
+    }
+    fig.add(series);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterative_caching_pays_off_with_iterations() {
+        let fig = ablate_iterative_caching();
+        let hadoop = &fig.series[0];
+        let twister = &fig.series[1];
+        let ratio = |x: &str| hadoop.value_at(x).unwrap() / twister.value_at(x).unwrap();
+        // One iteration: roughly a wash (Twister still pays the first read).
+        assert!((0.8..1.6).contains(&ratio("1")), "1 iter ratio {}", ratio("1"));
+        // Fifty iterations: caching wins big.
+        assert!(ratio("50") > 1.3, "50 iter ratio {}", ratio("50"));
+        assert!(ratio("50") > ratio("5"), "advantage grows with iterations");
+    }
+
+    #[test]
+    fn sustained_variation_is_small() {
+        // The paper's premise: run-to-run variation is ~1.5–2.3%, so single
+        // measurements are trustworthy. Our jittered sim must agree in
+        // magnitude (makespans average out per-task jitter, so the job-level
+        // CV comes out below the per-task sigma).
+        let fig = sustained_variation();
+        for (platform, cv) in &fig.series[0].points {
+            assert!(*cv < 3.0, "{platform} CV {cv}%");
+            assert!(*cv > 0.0, "{platform} CV should be nonzero");
+        }
+    }
+
+    #[test]
+    fn visibility_timeout_tradeoff() {
+        let fig = ablate_visibility_timeout();
+        let makespan = &fig.series[0];
+        let redundant = &fig.series[1];
+        // Long timeouts recover slower: makespan grows with timeout.
+        let short = makespan.value_at("30").unwrap();
+        let long = makespan.value_at("1800").unwrap();
+        assert!(long > short, "long {long} vs short {short}");
+        // Redundant work exists whenever failures do.
+        assert!(redundant.points.iter().all(|&(_, v)| v > 0.0));
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_skew() {
+        let fig = ablate_load_balance();
+        let hadoop = &fig.series[0];
+        let dryad = &fig.series[1];
+        // Homogeneous: comparable (within ~15%).
+        let h0 = hadoop.value_at("0").unwrap();
+        let d0 = dryad.value_at("0").unwrap();
+        assert!((d0 / h0 - 1.0).abs() < 0.2, "homogeneous d={d0} h={h0}");
+        // Heavy skew: static partitioning falls behind. (The effect is
+        // modest — within-node dynamic sharing softens it — matching the
+        // paper's qualitative "better natural load balancing in Hadoop".)
+        let h = hadoop.value_at("1.2").unwrap();
+        let d = dryad.value_at("1.2").unwrap();
+        assert!(d > 1.05 * h, "skewed d={d} h={h}");
+        // And the gap widens with skew.
+        let gap = |s: &str| dryad.value_at(s).unwrap() / hadoop.value_at(s).unwrap();
+        assert!(
+            gap("1.2") > gap("0") + 0.03,
+            "gap grows: {} vs {}",
+            gap("1.2"),
+            gap("0")
+        );
+    }
+
+    #[test]
+    fn locality_matters_more_with_big_inputs() {
+        let fig = ablate_locality();
+        let on = &fig.series[0];
+        let off = &fig.series[1];
+        let ratio_small = off.value_at("1").unwrap() / on.value_at("1").unwrap();
+        let ratio_big = off.value_at("512").unwrap() / on.value_at("512").unwrap();
+        assert!(
+            ratio_big > ratio_small,
+            "big {ratio_big} vs small {ratio_small}"
+        );
+        assert!(
+            ratio_big > 1.1,
+            "big inputs punish remote reads: {ratio_big}"
+        );
+    }
+
+    #[test]
+    fn coarser_grain_is_more_efficient() {
+        let fig = ablate_granularity();
+        let eff = &fig.series[0];
+        let fine = eff.value_at("3").unwrap();
+        let coarse = eff.value_at("100").unwrap();
+        assert!(coarse > fine, "coarse {coarse} vs fine {fine}");
+        // The absolute ceiling is below 1.0 because BLAST's shared DB
+        // overflows HCXL memory with 8 workers (the paper's §5.2 point).
+        assert!(coarse > 0.8, "coarse-grained efficiency {coarse}");
+    }
+
+    #[test]
+    fn nic_contention_grows_with_input_size() {
+        let fig = ablate_nic_contention();
+        let free = &fig.series[0];
+        let nic = &fig.series[1];
+        let ratio = |x: &str| nic.value_at(x).unwrap() / free.value_at(x).unwrap();
+        assert!(ratio("1") < 1.05, "tiny inputs unaffected: {}", ratio("1"));
+        assert!(
+            ratio("1024") > 1.2,
+            "1 GB inputs NIC-bound: {}",
+            ratio("1024")
+        );
+        assert!(ratio("1024") > ratio("16"), "grows with input size");
+    }
+
+    #[test]
+    fn speculation_pays_off_under_stragglers() {
+        let fig = ablate_speculation();
+        let on = &fig.series[0];
+        let off = &fig.series[1];
+        // No stragglers: speculation costs (almost) nothing.
+        let ratio0 = off.value_at("0").unwrap() / on.value_at("0").unwrap();
+        assert!((0.9..1.1).contains(&ratio0), "clean ratio {ratio0}");
+        // Rare stragglers (the regime speculation is designed for): big win.
+        let ratio1 = off.value_at("0.01").unwrap() / on.value_at("0.01").unwrap();
+        assert!(ratio1 > 1.5, "rare-straggler ratio {ratio1}");
+        // Speculation never hurts (with one duplicate per task it stops
+        // helping once *both* attempts are likely to straggle).
+        for (x, off_v) in &off.points {
+            let on_v = on.value_at(x).unwrap();
+            assert!(on_v <= off_v * 1.05, "at {x}: on {on_v} vs off {off_v}");
+        }
+    }
+
+    #[test]
+    fn storage_latency_eventually_bites() {
+        let fig = ablate_storage_latency();
+        let eff = &fig.series[0];
+        let at_2010 = eff.value_at("30").unwrap();
+        let at_awful = eff.value_at("10000").unwrap();
+        // The paper's claim: 2010 latencies keep efficiency high...
+        assert!(at_2010 > 0.9, "2010-latency efficiency {at_2010}");
+        // ...but the result is not latency-insensitive in general.
+        assert!(
+            at_awful < at_2010 - 0.02,
+            "awful {at_awful} vs 2010 {at_2010}"
+        );
+    }
+}

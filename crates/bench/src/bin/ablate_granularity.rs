@@ -1,0 +1,4 @@
+//! Ablation: task granularity vs Classic Cloud efficiency.
+fn main() {
+    println!("{}", ppc_bench::ablations::ablate_granularity());
+}

@@ -1,0 +1,5 @@
+//! Ablation: why iterative MapReduce needs static-data caching (the
+//! motivation for the paper's announced TwisterAzure follow-up).
+fn main() {
+    println!("{}", ppc_bench::ablations::ablate_iterative_caching());
+}

@@ -1,0 +1,4 @@
+//! Ablation: dynamic global queue vs static partitioning on skewed data.
+fn main() {
+    println!("{}", ppc_bench::ablations::ablate_load_balance());
+}

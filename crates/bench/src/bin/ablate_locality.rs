@@ -1,0 +1,4 @@
+//! Ablation: Hadoop data-locality scheduling on/off vs input size.
+fn main() {
+    println!("{}", ppc_bench::ablations::ablate_locality());
+}

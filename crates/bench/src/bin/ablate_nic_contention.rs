@@ -1,0 +1,6 @@
+//! Ablation: shared per-instance NIC contention vs input size — at what
+//! transfer volume does the Classic Cloud's bring-data-to-compute design
+//! start paying for its shared uplink?
+fn main() {
+    println!("{}", ppc_bench::ablations::ablate_nic_contention());
+}

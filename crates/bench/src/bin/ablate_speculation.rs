@@ -1,0 +1,4 @@
+//! Ablation: Hadoop speculative execution on/off under stragglers.
+fn main() {
+    println!("{}", ppc_bench::ablations::ablate_speculation());
+}

@@ -1,0 +1,4 @@
+//! Ablation: Classic Cloud efficiency vs cloud-storage latency.
+fn main() {
+    println!("{}", ppc_bench::ablations::ablate_storage_latency());
+}

@@ -1,0 +1,4 @@
+//! Ablation: visibility timeout vs recovery latency and wasted work.
+fn main() {
+    println!("{}", ppc_bench::ablations::ablate_visibility_timeout());
+}

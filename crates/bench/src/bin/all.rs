@@ -1,0 +1,94 @@
+//! Prints the entire reproduced evaluation section — every table, figure,
+//! and ablation — in paper order.
+//!
+//! ```bash
+//! cargo run --release -p ppc-bench --bin all             # print to stdout
+//! cargo run --release -p ppc-bench --bin all -- --csv results/
+//! ```
+//!
+//! With `--csv <dir>` each exhibit is also written as a CSV file for
+//! downstream plotting.
+
+use ppc_core::report::{Figure, Table};
+use std::path::PathBuf;
+
+enum Exhibit {
+    Table(&'static str, Table),
+    Figure(&'static str, Figure),
+}
+
+fn exhibits() -> Vec<Exhibit> {
+    use Exhibit::*;
+    vec![
+        Table("table1", ppc_bench::table1()),
+        Table("table2", ppc_bench::table2()),
+        Table("table3", ppc_bench::table3()),
+        Figure("fig03", ppc_bench::fig03()),
+        Figure("fig04", ppc_bench::fig04()),
+        Figure("fig05", ppc_bench::fig05()),
+        Figure("fig06", ppc_bench::fig06()),
+        Table("table4", ppc_bench::table4()),
+        Figure("fig07", ppc_bench::fig07()),
+        Figure("fig08", ppc_bench::fig08()),
+        Figure("fig09", ppc_bench::fig09()),
+        Figure("fig10", ppc_bench::fig10()),
+        Figure("fig11", ppc_bench::fig11()),
+        Figure("fig12", ppc_bench::fig12()),
+        Figure("fig13", ppc_bench::fig13()),
+        Figure("fig14", ppc_bench::fig14()),
+        Figure("fig15", ppc_bench::fig15()),
+        Figure(
+            "ablate_visibility_timeout",
+            ppc_bench::ablations::ablate_visibility_timeout(),
+        ),
+        Figure(
+            "ablate_load_balance",
+            ppc_bench::ablations::ablate_load_balance(),
+        ),
+        Figure("ablate_locality", ppc_bench::ablations::ablate_locality()),
+        Figure(
+            "ablate_granularity",
+            ppc_bench::ablations::ablate_granularity(),
+        ),
+        Figure(
+            "ablate_speculation",
+            ppc_bench::ablations::ablate_speculation(),
+        ),
+        Figure(
+            "ablate_nic_contention",
+            ppc_bench::ablations::ablate_nic_contention(),
+        ),
+        Figure(
+            "ablate_storage_latency",
+            ppc_bench::ablations::ablate_storage_latency(),
+        ),
+        Figure(
+            "sustained_variation",
+            ppc_bench::ablations::sustained_variation(),
+        ),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .map(|i| PathBuf::from(args.get(i + 1).map(String::as_str).unwrap_or("results")));
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+    for exhibit in exhibits() {
+        let (name, rendered, csv) = match &exhibit {
+            Exhibit::Table(name, t) => (*name, t.to_string(), t.to_csv()),
+            Exhibit::Figure(name, f) => (*name, f.to_string(), f.to_csv()),
+        };
+        println!("{rendered}");
+        if let Some(dir) = &csv_dir {
+            std::fs::write(dir.join(format!("{name}.csv")), csv).expect("write csv");
+        }
+    }
+    if let Some(dir) = &csv_dir {
+        eprintln!("CSV files written to {}", dir.display());
+    }
+}

@@ -1,0 +1,5 @@
+//! Extended cost comparison: the paper's Table 4 generalized to all three
+//! applications on their paper-specified fleets.
+fn main() {
+    println!("{}", ppc_bench::cost_comparison_table());
+}

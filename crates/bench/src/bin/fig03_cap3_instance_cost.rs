@@ -1,0 +1,4 @@
+//! Figure 3: Cap3 cost with different EC2 instance types.
+fn main() {
+    println!("{}", ppc_bench::fig03());
+}

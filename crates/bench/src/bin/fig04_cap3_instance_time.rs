@@ -1,0 +1,4 @@
+//! Figure 4: Cap3 compute time with different EC2 instance types.
+fn main() {
+    println!("{}", ppc_bench::fig04());
+}

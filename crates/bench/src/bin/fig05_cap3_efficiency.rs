@@ -1,0 +1,4 @@
+//! Figure 5: Cap3 parallel efficiency across the four platforms.
+fn main() {
+    println!("{}", ppc_bench::fig05());
+}

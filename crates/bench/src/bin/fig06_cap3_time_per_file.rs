@@ -1,0 +1,4 @@
+//! Figure 6: Cap3 execution time for a single file per core.
+fn main() {
+    println!("{}", ppc_bench::fig06());
+}

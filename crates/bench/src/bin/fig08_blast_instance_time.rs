@@ -1,0 +1,4 @@
+//! Figure 8: time to process 64 BLAST query files in EC2.
+fn main() {
+    println!("{}", ppc_bench::fig08());
+}

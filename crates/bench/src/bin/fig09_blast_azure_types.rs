@@ -1,0 +1,4 @@
+//! Figure 9: BLAST on Azure instance types (workers x threads grid).
+fn main() {
+    println!("{}", ppc_bench::fig09());
+}

@@ -1,0 +1,4 @@
+//! Figure 10: BLAST parallel efficiency across the four platforms.
+fn main() {
+    println!("{}", ppc_bench::fig10());
+}

@@ -1,0 +1,4 @@
+//! Figure 11: BLAST average time to process a single query file.
+fn main() {
+    println!("{}", ppc_bench::fig11());
+}

@@ -1,0 +1,4 @@
+//! Figure 12: GTM interpolation cost with different EC2 instance types.
+fn main() {
+    println!("{}", ppc_bench::fig12());
+}

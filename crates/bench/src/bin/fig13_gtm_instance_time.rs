@@ -1,0 +1,4 @@
+//! Figure 13: GTM interpolation compute time with different instance types.
+fn main() {
+    println!("{}", ppc_bench::fig13());
+}

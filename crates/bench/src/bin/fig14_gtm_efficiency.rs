@@ -1,0 +1,4 @@
+//! Figure 14: GTM interpolation parallel efficiency.
+fn main() {
+    println!("{}", ppc_bench::fig14());
+}

@@ -1,0 +1,4 @@
+//! Figure 15: GTM interpolation performance per core.
+fn main() {
+    println!("{}", ppc_bench::fig15());
+}

@@ -1,0 +1,4 @@
+//! Sustained-performance variation study (paper §3's CV measurements).
+fn main() {
+    println!("{}", ppc_bench::ablations::sustained_variation());
+}

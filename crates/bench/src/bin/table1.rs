@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 1 (EC2 instance types).
+fn main() {
+    println!("{}", ppc_bench::table1());
+}

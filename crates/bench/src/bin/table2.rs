@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 2 (Azure instance types).
+fn main() {
+    println!("{}", ppc_bench::table2());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 3 (framework feature comparison).
+fn main() {
+    println!("{}", ppc_bench::table3());
+}

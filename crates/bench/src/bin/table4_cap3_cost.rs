@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 4 (cost to assemble 4096 Cap3 files).
+fn main() {
+    println!("{}", ppc_bench::table4());
+}

@@ -1,0 +1,18 @@
+//! # ppc-bench — regenerate every table and figure of the paper
+//!
+//! Each `figNN_*` / `tableN_*` function reproduces one exhibit of the
+//! paper's evaluation as a `ppc_core::report` table; the binaries under
+//! `src/bin/` print them (`cargo run -p ppc-bench --bin fig04_...`), and
+//! `--bin all` prints the whole evaluation section in order.
+//!
+//! Absolute values are *modeled* seconds/dollars from the calibrated
+//! simulator (DESIGN.md §6 lists the anchors); the claims being reproduced
+//! are the paper's *shapes* — orderings, ratios, crossovers — which the
+//! tests at the bottom of this crate assert.
+
+pub mod ablations;
+pub mod figures;
+pub mod tables;
+
+pub use figures::*;
+pub use tables::*;

@@ -1,0 +1,253 @@
+//! Full pairwise alignment: Needleman–Wunsch (global) and Smith–Waterman
+//! (local) with affine gaps and traceback.
+//!
+//! BLAST's banded gapped extension ([`crate::blast`]) trades exactness for
+//! speed; this module is the exact reference it is validated against (see
+//! the cross-checking tests), and provides the alignment strings a real
+//! BLAST report renders.
+
+use crate::matrix::{score, GAP_EXTEND, GAP_OPEN};
+
+/// One aligned pair, with traceback strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    pub score: i32,
+    /// Query with `-` for gaps.
+    pub aligned_a: Vec<u8>,
+    /// Subject with `-` for gaps.
+    pub aligned_b: Vec<u8>,
+    /// Start offsets of the aligned region in each input (0 for global).
+    pub start_a: usize,
+    pub start_b: usize,
+}
+
+impl Alignment {
+    /// Fraction of aligned columns that match exactly.
+    pub fn identity(&self) -> f64 {
+        if self.aligned_a.is_empty() {
+            return 0.0;
+        }
+        let matches = self
+            .aligned_a
+            .iter()
+            .zip(&self.aligned_b)
+            .filter(|(x, y)| x == y && **x != b'-')
+            .count();
+        matches as f64 / self.aligned_a.len() as f64
+    }
+
+    /// Gap columns in the alignment.
+    pub fn gaps(&self) -> usize {
+        self.aligned_a.iter().filter(|&&c| c == b'-').count()
+            + self.aligned_b.iter().filter(|&&c| c == b'-').count()
+    }
+}
+
+const NEG: i32 = i32::MIN / 4;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Tb {
+    Stop,
+    Diag,
+    Up,   // gap in b (consume a)
+    Left, // gap in a (consume b)
+}
+
+/// Affine-gap dynamic programming over the full matrix.
+/// `local` selects Smith–Waterman (clamp at 0, trace from max) vs
+/// Needleman–Wunsch (end-to-end).
+fn align(a: &[u8], b: &[u8], local: bool) -> Alignment {
+    let n = a.len();
+    let m = b.len();
+    // Three-state DP: h = best, e = gap-in-a open, f = gap-in-b open.
+    let mut h = vec![vec![0i32; m + 1]; n + 1];
+    let mut e = vec![vec![NEG; m + 1]; n + 1];
+    let mut f = vec![vec![NEG; m + 1]; n + 1];
+    let mut tb = vec![vec![Tb::Stop; m + 1]; n + 1];
+
+    if !local {
+        for i in 1..=n {
+            f[i][0] = -GAP_OPEN - GAP_EXTEND * i as i32;
+            h[i][0] = f[i][0];
+            tb[i][0] = Tb::Up;
+        }
+        for j in 1..=m {
+            e[0][j] = -GAP_OPEN - GAP_EXTEND * j as i32;
+            h[0][j] = e[0][j];
+            tb[0][j] = Tb::Left;
+        }
+    }
+
+    let mut best = (0i32, 0usize, 0usize);
+    for i in 1..=n {
+        for j in 1..=m {
+            e[i][j] = (h[i][j - 1] - GAP_OPEN - GAP_EXTEND).max(e[i][j - 1] - GAP_EXTEND);
+            f[i][j] = (h[i - 1][j] - GAP_OPEN - GAP_EXTEND).max(f[i - 1][j] - GAP_EXTEND);
+            let diag = h[i - 1][j - 1] + score(a[i - 1], b[j - 1]);
+            let mut v = diag.max(e[i][j]).max(f[i][j]);
+            let mut dir = if v == diag {
+                Tb::Diag
+            } else if v == f[i][j] {
+                Tb::Up
+            } else {
+                Tb::Left
+            };
+            if local && v <= 0 {
+                v = 0;
+                dir = Tb::Stop;
+            }
+            h[i][j] = v;
+            tb[i][j] = dir;
+            if v > best.0 {
+                best = (v, i, j);
+            }
+        }
+    }
+
+    let (score, mut i, mut j) = if local { best } else { (h[n][m], n, m) };
+    let mut ra = Vec::new();
+    let mut rb = Vec::new();
+    while i > 0 || j > 0 {
+        match tb[i][j] {
+            Tb::Stop => break,
+            Tb::Diag => {
+                ra.push(a[i - 1]);
+                rb.push(b[j - 1]);
+                i -= 1;
+                j -= 1;
+            }
+            Tb::Up => {
+                ra.push(a[i - 1]);
+                rb.push(b'-');
+                i -= 1;
+            }
+            Tb::Left => {
+                ra.push(b'-');
+                rb.push(b[j - 1]);
+                j -= 1;
+            }
+        }
+    }
+    ra.reverse();
+    rb.reverse();
+    Alignment {
+        score,
+        aligned_a: ra,
+        aligned_b: rb,
+        start_a: i,
+        start_b: j,
+    }
+}
+
+/// Global alignment (Needleman–Wunsch) with affine gaps under BLOSUM62.
+pub fn global(a: &[u8], b: &[u8]) -> Alignment {
+    align(a, b, false)
+}
+
+/// Local alignment (Smith–Waterman) with affine gaps under BLOSUM62.
+pub fn local(a: &[u8], b: &[u8]) -> Alignment {
+    align(a, b, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::random_protein;
+    use ppc_core::rng::Pcg32;
+
+    #[test]
+    fn identical_sequences_align_perfectly() {
+        let s = b"MKVLAATGLRWQYHNDEFFK";
+        let g = global(s, s);
+        assert_eq!(g.aligned_a, g.aligned_b);
+        assert!((g.identity() - 1.0).abs() < 1e-12);
+        assert_eq!(g.gaps(), 0);
+        let expect: i32 = s.iter().map(|&c| score(c, c)).sum();
+        assert_eq!(g.score, expect);
+        let l = local(s, s);
+        assert_eq!(l.score, expect);
+    }
+
+    #[test]
+    fn local_finds_embedded_match() {
+        let core = b"WWHHKKRRFFYY";
+        let mut a = b"MAAAA".to_vec();
+        a.extend_from_slice(core);
+        a.extend_from_slice(b"GGGG");
+        let mut b = b"PPPPPPPP".to_vec();
+        b.extend_from_slice(core);
+        let l = local(&a, &b);
+        assert_eq!(l.aligned_a, core.to_vec());
+        assert_eq!(l.aligned_b, core.to_vec());
+        assert_eq!(l.start_a, 5);
+        assert_eq!(l.start_b, 8);
+    }
+
+    #[test]
+    fn global_handles_deletion_with_affine_gap() {
+        let a = b"MKVLAATGLRWQYHNDE";
+        let mut b = a.to_vec();
+        b.drain(6..9); // one 3-long gap
+        let g = global(a, &b);
+        assert_eq!(g.gaps(), 3);
+        // Affine: one open + three extends.
+        let matched: i32 = a
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !(6..9).contains(i))
+            .map(|(_, &c)| score(c, c))
+            .sum();
+        assert_eq!(g.score, matched - GAP_OPEN - 3 * GAP_EXTEND);
+    }
+
+    #[test]
+    fn local_score_never_negative_and_global_le_local_alignedwise() {
+        let mut rng = Pcg32::new(9);
+        for _ in 0..20 {
+            let a = random_protein(40, &mut rng);
+            let b = random_protein(40, &mut rng);
+            let l = local(&a, &b);
+            assert!(l.score >= 0);
+            // Local is at least as good as global on the same pair.
+            assert!(l.score >= global(&a, &b).score);
+        }
+    }
+
+    #[test]
+    fn traceback_reconstructs_inputs() {
+        let mut rng = Pcg32::new(11);
+        for _ in 0..10 {
+            let a = random_protein(30, &mut rng);
+            let b = random_protein(25, &mut rng);
+            let g = global(&a, &b);
+            let ra: Vec<u8> = g.aligned_a.iter().copied().filter(|&c| c != b'-').collect();
+            let rb: Vec<u8> = g.aligned_b.iter().copied().filter(|&c| c != b'-').collect();
+            assert_eq!(ra, a);
+            assert_eq!(rb, b);
+            assert_eq!(g.aligned_a.len(), g.aligned_b.len());
+        }
+    }
+
+    #[test]
+    fn alignment_score_consistent_with_columns() {
+        // Recompute the score from the traceback columns; must match.
+        let mut rng = Pcg32::new(13);
+        let a = random_protein(35, &mut rng);
+        let mut b = a.clone();
+        b.drain(10..14);
+        b[20] = b'W';
+        let g = global(&a, &b);
+        let mut recomputed = 0i32;
+        let mut in_gap = false;
+        for (&x, &y) in g.aligned_a.iter().zip(&g.aligned_b) {
+            if x == b'-' || y == b'-' {
+                recomputed -= GAP_EXTEND + if in_gap { 0 } else { GAP_OPEN };
+                in_gap = true;
+            } else {
+                recomputed += score(x, y);
+                in_gap = false;
+            }
+        }
+        assert_eq!(recomputed, g.score);
+    }
+}

@@ -1,0 +1,212 @@
+//! FASTA parsing and formatting.
+//!
+//! Every task input and output in the paper's pipelines is a FASTA file:
+//! Cap3 consumes FASTA fragment files and produces FASTA contigs; BLAST
+//! consumes FASTA queries against a FASTA-derived database.
+
+use ppc_core::{PpcError, Result};
+
+/// One FASTA record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Identifier (text after `>` up to the first whitespace).
+    pub id: String,
+    /// Optional description (rest of the header line).
+    pub desc: Option<String>,
+    /// Sequence bytes, uppercased.
+    pub seq: Vec<u8>,
+}
+
+impl FastaRecord {
+    pub fn new(id: impl Into<String>, seq: impl Into<Vec<u8>>) -> FastaRecord {
+        let mut seq = seq.into();
+        seq.make_ascii_uppercase();
+        FastaRecord {
+            id: id.into(),
+            desc: None,
+            seq,
+        }
+    }
+
+    pub fn with_desc(mut self, desc: impl Into<String>) -> FastaRecord {
+        self.desc = Some(desc.into());
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+/// Width at which sequence lines wrap when formatting.
+pub const LINE_WIDTH: usize = 70;
+
+/// Parse a FASTA payload into records.
+pub fn parse(data: &[u8]) -> Result<Vec<FastaRecord>> {
+    let text =
+        std::str::from_utf8(data).map_err(|_| PpcError::Codec("FASTA is not UTF-8".into()))?;
+    let mut records: Vec<FastaRecord> = Vec::new();
+    let mut current: Option<FastaRecord> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some(rec) = current.take() {
+                records.push(rec);
+            }
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").to_string();
+            if id.is_empty() {
+                return Err(PpcError::Codec(format!(
+                    "line {}: empty FASTA id",
+                    lineno + 1
+                )));
+            }
+            let desc = parts
+                .next()
+                .map(|d| d.trim().to_string())
+                .filter(|d| !d.is_empty());
+            current = Some(FastaRecord {
+                id,
+                desc,
+                seq: Vec::new(),
+            });
+        } else {
+            match current.as_mut() {
+                Some(rec) => {
+                    for &b in line.as_bytes() {
+                        if b.is_ascii_whitespace() {
+                            continue;
+                        }
+                        if !b.is_ascii_alphabetic() && b != b'*' && b != b'-' {
+                            return Err(PpcError::Codec(format!(
+                                "line {}: invalid sequence byte {:?}",
+                                lineno + 1,
+                                b as char
+                            )));
+                        }
+                        rec.seq.push(b.to_ascii_uppercase());
+                    }
+                }
+                None => {
+                    return Err(PpcError::Codec(format!(
+                        "line {}: sequence before any header",
+                        lineno + 1
+                    )))
+                }
+            }
+        }
+    }
+    if let Some(rec) = current {
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Format records as FASTA bytes, wrapping at [`LINE_WIDTH`].
+pub fn format(records: &[FastaRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for rec in records {
+        out.push(b'>');
+        out.extend_from_slice(rec.id.as_bytes());
+        if let Some(desc) = &rec.desc {
+            out.push(b' ');
+            out.extend_from_slice(desc.as_bytes());
+        }
+        out.push(b'\n');
+        for chunk in rec.seq.chunks(LINE_WIDTH) {
+            out.extend_from_slice(chunk);
+            out.push(b'\n');
+        }
+    }
+    out
+}
+
+/// Reverse complement of a DNA sequence (unknown bases map to `N`).
+pub fn reverse_complement(seq: &[u8]) -> Vec<u8> {
+    seq.iter()
+        .rev()
+        .map(|b| match b {
+            b'A' => b'T',
+            b'T' => b'A',
+            b'C' => b'G',
+            b'G' => b'C',
+            b'a' => b't',
+            b't' => b'a',
+            b'c' => b'g',
+            b'g' => b'c',
+            _ => b'N',
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let recs = parse(b">r1 first read\nACGT\nACGT\n>r2\nTTTT\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "r1");
+        assert_eq!(recs[0].desc.as_deref(), Some("first read"));
+        assert_eq!(recs[0].seq, b"ACGTACGT");
+        assert_eq!(recs[1].id, "r2");
+        assert_eq!(recs[1].desc, None);
+    }
+
+    #[test]
+    fn round_trip_with_wrapping() {
+        let long: Vec<u8> = std::iter::repeat(b"ACGT".iter().copied())
+            .flatten()
+            .take(200)
+            .collect();
+        let recs = vec![
+            FastaRecord::new("x", long.clone()).with_desc("long one"),
+            FastaRecord::new("y", b"GG".to_vec()),
+        ];
+        let bytes = format(&recs);
+        // Wrapped at 70 chars.
+        assert!(String::from_utf8_lossy(&bytes)
+            .lines()
+            .all(|l| l.len() <= 71));
+        let back = parse(&bytes).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn lowercase_normalized() {
+        let recs = parse(b">r\nacgt\n").unwrap();
+        assert_eq!(recs[0].seq, b"ACGT");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(b"ACGT\n").is_err(), "sequence before header");
+        assert!(parse(b">\nACGT\n").is_err(), "empty id");
+        assert!(parse(b">r\nAC1T\n").is_err(), "invalid byte");
+        assert!(parse(&[0xff, 0xfe]).is_err(), "not UTF-8");
+    }
+
+    #[test]
+    fn empty_input_is_empty_vec() {
+        assert!(parse(b"").unwrap().is_empty());
+        assert!(parse(b"\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn reverse_complement_basics() {
+        assert_eq!(reverse_complement(b"ACGT"), b"ACGT".to_vec()); // palindrome
+        assert_eq!(reverse_complement(b"AACC"), b"GGTT".to_vec());
+        assert_eq!(reverse_complement(b"ANT"), b"ANT".to_vec());
+        // Involution.
+        let s = b"ACGGTTTACG";
+        assert_eq!(reverse_complement(&reverse_complement(s)), s.to_vec());
+    }
+}

@@ -1,0 +1,348 @@
+//! Synthetic data generators.
+//!
+//! The paper's inputs are proprietary or impractically large (hundreds of
+//! FASTA fragment files; NCBI's 8.7 GB NR protein database; real query
+//! sets). These generators produce scaled-down synthetic equivalents with
+//! the *structure* the kernels care about: shotgun reads genuinely overlap
+//! and reassemble; the protein database has family structure so queries
+//! genuinely hit.
+
+use crate::fasta::{reverse_complement, FastaRecord};
+use ppc_core::rng::Pcg32;
+
+const DNA: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// A uniform random genome of `len` bases.
+pub fn random_genome(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Pcg32::new(seed);
+    (0..len).map(|_| DNA[rng.next_below(4) as usize]).collect()
+}
+
+/// Parameters for shotgun read simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct ShotgunParams {
+    pub n_reads: usize,
+    /// Mean read length (Sanger-era, like Cap3's inputs: ~500 bp).
+    pub read_len_mean: f64,
+    pub read_len_sd: f64,
+    /// Per-base substitution error probability.
+    pub error_rate: f64,
+    /// Probability a read comes from the reverse strand.
+    pub reverse_strand_p: f64,
+    /// Length of low-quality junk appended to read ends (exercises the
+    /// assembler's trimming stage); 0 disables.
+    pub poor_end_len: usize,
+}
+
+impl Default for ShotgunParams {
+    fn default() -> Self {
+        ShotgunParams {
+            n_reads: 200,
+            read_len_mean: 500.0,
+            read_len_sd: 50.0,
+            error_rate: 0.0,
+            reverse_strand_p: 0.0,
+            poor_end_len: 0,
+        }
+    }
+}
+
+/// Sample shotgun reads from a genome.
+pub fn shotgun_reads(genome: &[u8], params: &ShotgunParams, seed: u64) -> Vec<FastaRecord> {
+    assert!(!genome.is_empty(), "empty genome");
+    let mut rng = Pcg32::new(seed);
+    let mut reads = Vec::with_capacity(params.n_reads);
+    for i in 0..params.n_reads {
+        let len = rng
+            .normal_with(params.read_len_mean, params.read_len_sd)
+            .max(20.0) as usize;
+        let len = len.min(genome.len());
+        let start = rng.next_below((genome.len() - len + 1) as u32) as usize;
+        let mut seq = genome[start..start + len].to_vec();
+        // Substitution errors.
+        if params.error_rate > 0.0 {
+            for b in seq.iter_mut() {
+                if rng.chance(params.error_rate) {
+                    *b = DNA[rng.next_below(4) as usize];
+                }
+            }
+        }
+        // Strand flip.
+        let flipped = params.reverse_strand_p > 0.0 && rng.chance(params.reverse_strand_p);
+        if flipped {
+            seq = reverse_complement(&seq);
+        }
+        // Low-quality ends: error-dense junk with N's, like chromatogram
+        // tails Cap3 trims.
+        if params.poor_end_len > 0 {
+            let junk = |rng: &mut Pcg32| -> Vec<u8> {
+                (0..params.poor_end_len)
+                    .map(|_| {
+                        if rng.chance(0.7) {
+                            b'N'
+                        } else {
+                            DNA[rng.next_below(4) as usize]
+                        }
+                    })
+                    .collect()
+            };
+            let head = junk(&mut rng);
+            let tail = junk(&mut rng);
+            let mut with_junk = head;
+            with_junk.extend_from_slice(&seq);
+            with_junk.extend_from_slice(&tail);
+            seq = with_junk;
+        }
+        reads.push(
+            FastaRecord::new(format!("read{i:05}"), seq).with_desc(format!(
+                "pos={start} strand={}",
+                if flipped { '-' } else { '+' }
+            )),
+        );
+    }
+    reads
+}
+
+const AA: &[u8; 20] = b"ARNDCQEGHILKMFPSTWYV";
+
+/// A uniform random protein of `len` residues.
+pub fn random_protein(len: usize, rng: &mut Pcg32) -> Vec<u8> {
+    (0..len).map(|_| AA[rng.next_below(20) as usize]).collect()
+}
+
+/// Parameters for the synthetic NR-like protein database.
+#[derive(Debug, Clone, Copy)]
+pub struct ProteinDbParams {
+    /// Number of protein families; each family has a random ancestor.
+    pub n_families: usize,
+    /// Members per family (mutated copies of the ancestor).
+    pub members_per_family: usize,
+    pub len_min: usize,
+    pub len_max: usize,
+    /// Per-residue mutation rate between family members.
+    pub divergence: f64,
+}
+
+impl Default for ProteinDbParams {
+    fn default() -> Self {
+        ProteinDbParams {
+            n_families: 50,
+            members_per_family: 4,
+            len_min: 200,
+            len_max: 600,
+            divergence: 0.15,
+        }
+    }
+}
+
+/// Generate an NR-like database: families of homologous sequences.
+pub fn protein_database(params: &ProteinDbParams, seed: u64) -> Vec<FastaRecord> {
+    assert!(params.len_min > 0 && params.len_max >= params.len_min);
+    let mut rng = Pcg32::new(seed);
+    let mut db = Vec::with_capacity(params.n_families * params.members_per_family);
+    for fam in 0..params.n_families {
+        let len =
+            params.len_min + rng.next_below((params.len_max - params.len_min + 1) as u32) as usize;
+        let ancestor = random_protein(len, &mut rng);
+        for member in 0..params.members_per_family {
+            let seq: Vec<u8> = ancestor
+                .iter()
+                .map(|&aa| {
+                    if rng.chance(params.divergence) {
+                        AA[rng.next_below(20) as usize]
+                    } else {
+                        aa
+                    }
+                })
+                .collect();
+            db.push(
+                FastaRecord::new(format!("fam{fam:04}_m{member}",), seq)
+                    .with_desc(format!("family {fam} member {member}")),
+            );
+        }
+    }
+    db
+}
+
+/// Draw query sequences as mutated fragments of database entries — queries
+/// that genuinely have homologs, like the paper's "sub-set of a real-world
+/// protein sequence data set".
+pub fn queries_from_db(
+    db: &[FastaRecord],
+    n: usize,
+    mutation_rate: f64,
+    seed: u64,
+) -> Vec<FastaRecord> {
+    assert!(!db.is_empty());
+    let mut rng = Pcg32::new(seed);
+    (0..n)
+        .map(|i| {
+            let src = &db[rng.next_below(db.len() as u32) as usize];
+            let max_len = src.seq.len();
+            let len =
+                (max_len / 2 + rng.next_below((max_len / 2).max(1) as u32) as usize).min(max_len);
+            let start = rng.next_below((max_len - len + 1) as u32) as usize;
+            let seq: Vec<u8> = src.seq[start..start + len]
+                .iter()
+                .map(|&aa| {
+                    if rng.chance(mutation_rate) {
+                        AA[rng.next_below(20) as usize]
+                    } else {
+                        aa
+                    }
+                })
+                .collect();
+            FastaRecord::new(format!("query{i:05}"), seq).with_desc(format!("from {}", src.id))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genome_is_dna() {
+        let g = random_genome(1000, 1);
+        assert_eq!(g.len(), 1000);
+        assert!(g.iter().all(|b| DNA.contains(b)));
+        // Roughly uniform base composition.
+        let a = g.iter().filter(|&&b| b == b'A').count();
+        assert!(a > 150 && a < 350, "A count {a}");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(random_genome(100, 7), random_genome(100, 7));
+        assert_ne!(random_genome(100, 7), random_genome(100, 8));
+    }
+
+    #[test]
+    fn reads_cover_genome() {
+        let g = random_genome(2000, 2);
+        let reads = shotgun_reads(
+            &g,
+            &ShotgunParams {
+                n_reads: 100,
+                read_len_mean: 300.0,
+                ..Default::default()
+            },
+            3,
+        );
+        assert_eq!(reads.len(), 100);
+        // Every clean read is an exact substring of the genome.
+        for r in &reads {
+            assert!(
+                g.windows(r.seq.len()).any(|w| w == &r.seq[..]),
+                "read {} not found in genome",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn errors_change_reads() {
+        let g = random_genome(2000, 2);
+        let clean = shotgun_reads(
+            &g,
+            &ShotgunParams {
+                error_rate: 0.0,
+                ..Default::default()
+            },
+            5,
+        );
+        let noisy = shotgun_reads(
+            &g,
+            &ShotgunParams {
+                error_rate: 0.05,
+                ..Default::default()
+            },
+            5,
+        );
+        // Same positions (same seed), but sequences differ.
+        let diffs = clean
+            .iter()
+            .zip(&noisy)
+            .filter(|(c, n)| c.seq != n.seq)
+            .count();
+        assert!(diffs > clean.len() / 2);
+    }
+
+    #[test]
+    fn strand_flips_happen() {
+        let g = random_genome(1000, 4);
+        let reads = shotgun_reads(
+            &g,
+            &ShotgunParams {
+                reverse_strand_p: 0.5,
+                n_reads: 100,
+                ..Default::default()
+            },
+            6,
+        );
+        let flipped = reads
+            .iter()
+            .filter(|r| r.desc.as_deref().unwrap_or("").contains("strand=-"))
+            .count();
+        assert!(flipped > 20 && flipped < 80, "flipped={flipped}");
+    }
+
+    #[test]
+    fn poor_ends_add_junk() {
+        let g = random_genome(1000, 4);
+        let p = ShotgunParams {
+            poor_end_len: 20,
+            read_len_mean: 100.0,
+            read_len_sd: 0.0,
+            n_reads: 10,
+            ..Default::default()
+        };
+        let reads = shotgun_reads(&g, &p, 6);
+        for r in &reads {
+            assert!(r.seq.len() >= 100 + 40 - 5);
+            // Junk contains N's (overwhelmingly likely across 10 reads).
+        }
+        assert!(reads.iter().any(|r| r.seq.contains(&b'N')));
+    }
+
+    #[test]
+    fn protein_db_has_family_structure() {
+        let db = protein_database(
+            &ProteinDbParams {
+                n_families: 5,
+                members_per_family: 3,
+                ..Default::default()
+            },
+            9,
+        );
+        assert_eq!(db.len(), 15);
+        // Members of one family are similar; different families are not.
+        let same: Vec<&FastaRecord> = db.iter().filter(|r| r.id.starts_with("fam0000")).collect();
+        let ident = |a: &[u8], b: &[u8]| {
+            let n = a.len().min(b.len());
+            a.iter().zip(b).take(n).filter(|(x, y)| x == y).count() as f64 / n as f64
+        };
+        assert!(ident(&same[0].seq, &same[1].seq) > 0.6);
+        let other = db.iter().find(|r| r.id.starts_with("fam0001")).unwrap();
+        if same[0].seq.len().min(other.seq.len()) > 50 {
+            assert!(ident(&same[0].seq, &other.seq) < 0.3);
+        }
+    }
+
+    #[test]
+    fn queries_are_fragments_of_db() {
+        let db = protein_database(&ProteinDbParams::default(), 11);
+        let queries = queries_from_db(&db, 20, 0.0, 12);
+        assert_eq!(queries.len(), 20);
+        for q in &queries {
+            let src_id = q.desc.as_deref().unwrap().strip_prefix("from ").unwrap();
+            let src = db.iter().find(|r| r.id == src_id).unwrap();
+            assert!(
+                src.seq.windows(q.seq.len()).any(|w| w == &q.seq[..]),
+                "query {} not in {}",
+                q.id,
+                src_id
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Worker fault injection for the native runtime.
+//!
+//! The Classic Cloud model's fault tolerance claim is that a worker can die
+//! at *any* point without losing work: an unfinished task's message simply
+//! reappears after the visibility timeout. [`FaultPlan`] lets tests kill
+//! workers at the two interesting points:
+//!
+//! * **before execute** — the worker took the message and died; no output
+//!   exists; redelivery re-runs the task.
+//! * **before delete** — the worker produced and uploaded the output but
+//!   died before deleting the message; redelivery runs the task *again*,
+//!   harmlessly overwriting the identical output (idempotence).
+
+/// Probabilities of a worker "dying" at each pipeline stage, per task.
+/// A dead worker abandons its current message and is replaced after
+/// `restart_delay_ms` (modeling the cloud's instance auto-recovery).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// P(die after receiving, before executing).
+    pub die_before_execute: f64,
+    /// P(die after uploading output, before deleting the message).
+    pub die_before_delete: f64,
+    /// How long a replacement worker takes to come up, milliseconds.
+    pub restart_delay_ms: u64,
+    /// Deterministic seed for the per-worker fault dice.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// No injected failures.
+    pub const NONE: FaultPlan = FaultPlan {
+        die_before_execute: 0.0,
+        die_before_delete: 0.0,
+        restart_delay_ms: 0,
+        seed: 0,
+    };
+
+    /// A hostile but survivable environment used by the integration tests.
+    pub fn hostile(seed: u64) -> FaultPlan {
+        FaultPlan {
+            die_before_execute: 0.08,
+            die_before_delete: 0.08,
+            restart_delay_ms: 1,
+            seed,
+        }
+    }
+
+    pub fn is_quiet(&self) -> bool {
+        self.die_before_execute == 0.0 && self.die_before_delete == 0.0
+    }
+
+    pub fn validate(&self) -> bool {
+        (0.0..=1.0).contains(&self.die_before_execute)
+            && (0.0..=1.0).contains(&self.die_before_delete)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_quiet_and_valid() {
+        assert!(FaultPlan::NONE.is_quiet());
+        assert!(FaultPlan::NONE.validate());
+        assert!(!FaultPlan::hostile(1).is_quiet());
+        assert!(FaultPlan::hostile(1).validate());
+    }
+
+    #[test]
+    fn validation() {
+        let mut p = FaultPlan::NONE;
+        p.die_before_execute = 2.0;
+        assert!(!p.validate());
+    }
+}

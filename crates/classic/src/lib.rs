@@ -1,0 +1,36 @@
+//! # ppc-classic — the Classic Cloud processing model
+//!
+//! The paper's Figure 1 architecture, built from cloud infrastructure
+//! services exactly as §2.1.3 describes:
+//!
+//! > "The Classic Cloud processing model follows a task processing pipeline
+//! > approach with independent workers. ... The client populates the
+//! > scheduling queue with tasks, while the worker-processes running in
+//! > cloud instances pick tasks from the scheduling queue. The configurable
+//! > visibility timeout feature ... is used to provide a simple fault
+//! > tolerance capability to the system. The workers delete the task
+//! > (message) in the queue only after the completion of the task."
+//!
+//! Two runtimes share one [`spec::JobSpec`] vocabulary:
+//!
+//! * [`runtime`] — the **native** runtime: real worker threads polling a
+//!   real `ppc-queue` queue, moving real bytes through `ppc-storage`, and
+//!   running real application kernels. Used by examples, tests, and the
+//!   fault-tolerance studies ([`fault`] injects worker deaths).
+//! * [`sim`] — the **simulated** runtime: the same pipeline modeled on the
+//!   `ppc-des` engine in virtual time, used for the paper-scale experiments
+//!   (hundreds of cores, hour-scale billing).
+
+pub mod fault;
+pub mod history;
+pub mod report;
+pub mod runtime;
+pub mod sim;
+pub mod spec;
+
+pub use fault::FaultPlan;
+pub use history::{record, runs_of, RunRecord};
+pub use report::ClassicReport;
+pub use runtime::{run_job, ClassicConfig};
+pub use sim::{simulate, simulate_fleets, SimConfig};
+pub use spec::JobSpec;

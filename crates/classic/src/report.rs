@@ -1,0 +1,131 @@
+//! Run reports and cost accounting for Classic Cloud jobs.
+
+use ppc_compute::billing::CostBreakdown;
+use ppc_compute::cluster::Cluster;
+use ppc_core::metrics::RunSummary;
+use ppc_core::money::Usd;
+use ppc_core::pricing::PriceBook;
+use ppc_core::task::TaskId;
+use ppc_storage::metering::MeteringSnapshot;
+
+/// Everything a Classic Cloud run reports back, shared by the native and
+/// simulated runtimes.
+#[derive(Debug, Clone)]
+pub struct ClassicReport {
+    pub summary: RunSummary,
+    /// Tasks given up on after `max_deliveries` failed attempts.
+    pub failed: Vec<TaskId>,
+    /// Total task executions, including re-executions of the same task.
+    pub total_executions: usize,
+    /// Injected (or modeled) worker deaths observed.
+    pub worker_deaths: usize,
+    /// Billable queue API requests across scheduling + monitoring queues.
+    pub queue_requests: u64,
+    /// Successful task completions credited to each worker fleet (one
+    /// entry per fleet for hybrid runs; a single entry otherwise; empty
+    /// for simulated runs, which model a single fleet).
+    pub executions_per_fleet: Vec<usize>,
+    /// Storage service usage.
+    pub storage: MeteringSnapshot,
+    /// Per-worker execution timeline (simulated runs with `trace: true`).
+    pub timeline: Option<ppc_core::trace::Timeline>,
+}
+
+impl ClassicReport {
+    /// Re-executed task count: wasted (but harmless) work.
+    pub fn redundant_executions(&self) -> usize {
+        self.total_executions.saturating_sub(self.summary.tasks)
+    }
+
+    /// Whether every task eventually completed.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// Full cost of the run: instances + queue requests + storage,
+    /// in the paper's Table 4 shape.
+    pub fn bill(&self, cluster: &Cluster, book: &PriceBook, storage_months: f64) -> Bill {
+        let instances = cluster.cost(self.summary.makespan_seconds);
+        let queue = book.queue_requests(self.queue_requests);
+        let storage = self.storage.storage_cost(book, storage_months);
+        Bill {
+            instances,
+            queue,
+            storage,
+        }
+    }
+}
+
+/// Itemized job cost (Table 4's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bill {
+    pub instances: CostBreakdown,
+    pub queue: Usd,
+    pub storage: Usd,
+}
+
+impl Bill {
+    /// Total with whole-hour instance billing (the provider's invoice).
+    pub fn total(&self) -> Usd {
+        self.instances.compute_cost + self.queue + self.storage
+    }
+
+    /// Total with amortized instance billing (the paper's second view).
+    pub fn total_amortized(&self) -> Usd {
+        self.instances.amortized_cost + self.queue + self.storage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_compute::instance::EC2_HCXL;
+    use ppc_core::pricing::AWS_2010;
+
+    fn report() -> ClassicReport {
+        ClassicReport {
+            summary: RunSummary {
+                platform: "classic-ec2".into(),
+                cores: 128,
+                tasks: 4096,
+                makespan_seconds: 3000.0,
+                redundant_executions: 4,
+                remote_bytes: 2 << 30,
+            },
+            failed: vec![],
+            total_executions: 4100,
+            worker_deaths: 2,
+            queue_requests: 10_000,
+            executions_per_fleet: vec![4100],
+            timeline: None,
+            storage: MeteringSnapshot {
+                requests: 0,
+                bytes_in: 1 << 30,
+                bytes_out: 0,
+                stored_bytes: 1 << 30,
+                peak_stored_bytes: 1 << 30,
+            },
+        }
+    }
+
+    #[test]
+    fn redundant_counts() {
+        let r = report();
+        assert_eq!(r.redundant_executions(), 4);
+        assert!(r.is_complete());
+    }
+
+    #[test]
+    fn table4_shaped_bill() {
+        // 16 HCXL within the hour: $10.88 compute + $0.01 queue + $0.24
+        // storage/transfer = $11.13 — the paper's AWS column.
+        let r = report();
+        let cluster = Cluster::provision_per_core(EC2_HCXL, 16);
+        let bill = r.bill(&cluster, &AWS_2010, 1.0);
+        assert_eq!(bill.instances.compute_cost, Usd::cents(1088));
+        assert_eq!(bill.queue, Usd::cents(1));
+        assert_eq!(bill.storage, Usd::cents(24));
+        assert_eq!(bill.total(), Usd::cents(1113));
+        assert!(bill.total_amortized() < bill.total());
+    }
+}

@@ -1,0 +1,615 @@
+//! The native Classic Cloud runtime: real threads, real queues, real bytes.
+//!
+//! One thread per worker slot plays the part of a worker process in a cloud
+//! instance (paper Figure 1). The pipeline per task is exactly the paper's:
+//! receive → download input over the storage service → run the executable →
+//! upload output → report to the monitoring queue → delete the message.
+//! Everything that can fail does so through the services' own error
+//! surfaces, and recovery is purely the visibility-timeout mechanism.
+
+use crate::fault::FaultPlan;
+use crate::report::ClassicReport;
+use crate::spec::JobSpec;
+use ppc_compute::cluster::Cluster;
+use ppc_core::exec::Executor;
+use ppc_core::metrics::RunSummary;
+use ppc_core::rng::Pcg32;
+use ppc_core::task::{TaskId, TaskSpec};
+use ppc_core::{PpcError, Result};
+use ppc_queue::queue::QueueConfig;
+use ppc_queue::service::QueueService;
+use ppc_storage::service::StorageService;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the native runtime.
+#[derive(Debug, Clone)]
+pub struct ClassicConfig {
+    /// Sleep between polls when the scheduling queue comes up empty.
+    pub poll_backoff: Duration,
+    /// Long-poll window for worker receives (SQS `WaitTimeSeconds`): the
+    /// worker blocks up to this long per receive request instead of
+    /// hammering the endpoint with empty receives.
+    pub long_poll_wait: Duration,
+    /// Retry budget for eventually consistent input fetches.
+    pub input_fetch_attempts: u32,
+    /// Worker fault injection.
+    pub fault: FaultPlan,
+    /// Chaos dials for the queues this job creates.
+    pub queue_chaos: ppc_queue::chaos::ChaosConfig,
+    /// Optional live progress probe: the monitor thread stores the number
+    /// of resolved (done + failed) tasks here as the job runs, so an
+    /// external observer can watch a running job — the role of the paper's
+    /// monitoring queue.
+    pub progress: Option<Arc<AtomicUsize>>,
+}
+
+impl Default for ClassicConfig {
+    fn default() -> Self {
+        ClassicConfig {
+            poll_backoff: Duration::from_micros(200),
+            long_poll_wait: Duration::from_millis(20),
+            input_fetch_attempts: 16,
+            fault: FaultPlan::NONE,
+            queue_chaos: ppc_queue::chaos::ChaosConfig::NONE,
+            progress: None,
+        }
+    }
+}
+
+/// Shared mutable state between workers and the monitor thread.
+struct Shared {
+    stop: AtomicBool,
+    total_executions: AtomicUsize,
+    worker_deaths: AtomicUsize,
+    remote_bytes: AtomicU64,
+    finished_at: Mutex<Option<Instant>>,
+    failed: Mutex<Vec<TaskId>>,
+    /// Successful task completions credited per fleet (hybrid accounting).
+    per_fleet: Mutex<Vec<usize>>,
+}
+
+/// Execute a job on the given (native) cluster and services.
+///
+/// Returns once every task has either completed or been declared failed
+/// after `max_deliveries` attempts.
+pub fn run_job(
+    storage: &Arc<StorageService>,
+    queues: &Arc<QueueService>,
+    cluster: &Cluster,
+    job: &JobSpec,
+    executor: Arc<dyn Executor>,
+    config: &ClassicConfig,
+) -> Result<ClassicReport> {
+    run_job_on_fleets(
+        storage,
+        queues,
+        std::slice::from_ref(cluster),
+        job,
+        executor,
+        config,
+    )
+}
+
+/// Execute a job with workers drawn from *several* fleets polling the same
+/// scheduling queue — the paper's §2.1.3 extension: "One interesting
+/// feature of the Classic Cloud framework is the ability to extend it to
+/// use the local machines and clusters side by side with the clouds."
+/// Typical use: `&[cloud_fleet, local_cluster]`.
+pub fn run_job_on_fleets(
+    storage: &Arc<StorageService>,
+    queues: &Arc<QueueService>,
+    fleets: &[Cluster],
+    job: &JobSpec,
+    executor: Arc<dyn Executor>,
+    config: &ClassicConfig,
+) -> Result<ClassicReport> {
+    if fleets.is_empty() {
+        return Err(PpcError::InvalidArgument("no worker fleets".into()));
+    }
+    job.validate()?;
+    if !config.fault.validate() {
+        return Err(PpcError::InvalidArgument(
+            "invalid fault plan probabilities".into(),
+        ));
+    }
+
+    let sched = queues.create_queue(
+        &job.sched_queue(),
+        QueueConfig {
+            visibility_timeout: job.visibility_timeout,
+            chaos: config.queue_chaos,
+            seed: config.fault.seed,
+        },
+    )?;
+    let monitor = queues.create_queue(&job.monitor_queue(), QueueConfig::default())?;
+    storage.ensure_bucket(&job.output_bucket);
+
+    let storage_before = storage.metering().snapshot();
+    let requests_before = queues.total_requests();
+    let start = Instant::now();
+
+    // The client populates the scheduling queue with tasks (Figure 1).
+    for task in &job.tasks {
+        let body = task.to_message()?;
+        loop {
+            match sched.send(body.clone()) {
+                Ok(_) => break,
+                Err(e) if e.is_retryable() => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    let n_tasks = job.tasks.len();
+    let shared = Shared {
+        stop: AtomicBool::new(false),
+        total_executions: AtomicUsize::new(0),
+        worker_deaths: AtomicUsize::new(0),
+        remote_bytes: AtomicU64::new(0),
+        finished_at: Mutex::new(None),
+        failed: Mutex::new(Vec::new()),
+        per_fleet: Mutex::new(vec![0; fleets.len()]),
+    };
+
+    std::thread::scope(|scope| {
+        // Monitor: drains the monitoring queue, decides when the job is done.
+        scope.spawn(|| {
+            let mut done: HashSet<u64> = HashSet::with_capacity(n_tasks);
+            let mut failed: HashSet<u64> = HashSet::new();
+            while !shared.stop.load(Ordering::Acquire) {
+                match monitor.receive_wait(config.long_poll_wait) {
+                    Ok(Some(msg)) => {
+                        if let Some(id) = msg.body.strip_prefix("done:") {
+                            if let Ok(id) = id.parse::<u64>() {
+                                done.insert(id);
+                                failed.remove(&id); // a late success still counts
+                            }
+                        } else if let Some(id) = msg.body.strip_prefix("fail:") {
+                            if let Ok(id) = id.parse::<u64>() {
+                                if !done.contains(&id) {
+                                    failed.insert(id);
+                                }
+                            }
+                        }
+                        let _ = monitor.delete(msg.receipt);
+                        if let Some(probe) = &config.progress {
+                            probe.store(done.len() + failed.len(), Ordering::Relaxed);
+                        }
+                        if done.len() + failed.len() >= n_tasks {
+                            *shared.finished_at.lock().unwrap() = Some(Instant::now());
+                            let mut f: Vec<TaskId> = failed.iter().map(|&i| TaskId(i)).collect();
+                            f.sort();
+                            *shared.failed.lock().unwrap() = f;
+                            shared.stop.store(true, Ordering::Release);
+                        }
+                    }
+                    // Guard against a zero-length long-poll window turning
+                    // this loop into a busy spin (and a billing storm).
+                    Ok(None) => {
+                        if config.long_poll_wait.is_zero() {
+                            std::thread::sleep(config.poll_backoff);
+                        }
+                    }
+                    Err(_) => std::thread::sleep(config.poll_backoff),
+                }
+            }
+        });
+
+        // Workers: one thread per worker slot, across every fleet.
+        for (fleet_id, node_id, slot) in fleets
+            .iter()
+            .enumerate()
+            .flat_map(|(f, c)| c.worker_slots().map(move |(n, s)| (f, n, s)))
+        {
+            let executor = executor.clone();
+            let sched = sched.clone();
+            let monitor = monitor.clone();
+            let shared = &shared;
+            let storage = storage.clone();
+            let job = &job;
+            let config = &config;
+            scope.spawn(move || {
+                let mut rng = Pcg32::new(
+                    config.fault.seed
+                        ^ ((fleet_id as u64) << 40)
+                        ^ ((node_id as u64) << 20)
+                        ^ slot as u64,
+                );
+                while !shared.stop.load(Ordering::Acquire) {
+                    // Long polling (SQS WaitTimeSeconds): one billable
+                    // request per wait window instead of a busy-poll storm.
+                    let msg = match sched.receive_wait(config.long_poll_wait) {
+                        Ok(Some(m)) => m,
+                        Ok(None) => {
+                            if config.long_poll_wait.is_zero() {
+                                std::thread::sleep(config.poll_backoff);
+                            }
+                            continue;
+                        }
+                        Err(_) => {
+                            std::thread::sleep(config.poll_backoff);
+                            continue;
+                        }
+                    };
+
+                    let spec = match TaskSpec::from_message(&msg.body) {
+                        Ok(s) => s,
+                        Err(_) => {
+                            // Poison message: report and drop it.
+                            let _ = monitor.send("fail:poison".to_string());
+                            let _ = sched.delete(msg.receipt);
+                            continue;
+                        }
+                    };
+
+                    // Dead-letter policy: give up on tasks that keep failing.
+                    if msg.receive_count > job.max_deliveries {
+                        let _ = monitor.send(format!("fail:{}", spec.id.0));
+                        let _ = sched.delete(msg.receipt);
+                        continue;
+                    }
+
+                    // Injected death between receive and execute: the message
+                    // stays in flight and reappears after the timeout.
+                    if config.fault.die_before_execute > 0.0
+                        && rng.chance(config.fault.die_before_execute)
+                    {
+                        shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis(config.fault.restart_delay_ms));
+                        continue;
+                    }
+
+                    // Download the input file over the storage web interface.
+                    let input = match storage.get_with_retry(
+                        &job.input_bucket,
+                        &spec.input_key,
+                        config.input_fetch_attempts,
+                    ) {
+                        Ok(d) => d,
+                        Err(e) if e.is_retryable() => continue, // let it reappear
+                        Err(_) => {
+                            // Input genuinely missing: the task can never run.
+                            let _ = monitor.send(format!("fail:{}", spec.id.0));
+                            let _ = sched.delete(msg.receipt);
+                            continue;
+                        }
+                    };
+
+                    shared.total_executions.fetch_add(1, Ordering::Relaxed);
+                    let output = match executor.run(&spec, &input) {
+                        Ok(o) => o,
+                        Err(_) => {
+                            // Leave the message; redelivery retries until the
+                            // dead-letter policy gives up.
+                            continue;
+                        }
+                    };
+
+                    shared
+                        .remote_bytes
+                        .fetch_add(input.len() as u64 + output.len() as u64, Ordering::Relaxed);
+                    if storage
+                        .put(&job.output_bucket, &spec.output_key, output)
+                        .is_err()
+                    {
+                        continue; // redelivery will retry the whole task
+                    }
+
+                    // Injected death between upload and delete: the duplicate
+                    // re-execution must overwrite with identical output.
+                    if config.fault.die_before_delete > 0.0
+                        && rng.chance(config.fault.die_before_delete)
+                    {
+                        shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis(config.fault.restart_delay_ms));
+                        continue;
+                    }
+
+                    let _ = monitor.send(format!("done:{}", spec.id.0));
+                    shared.per_fleet.lock().unwrap()[fleet_id] += 1;
+                    // A stale receipt here means someone else finished the
+                    // task first — harmless by idempotence.
+                    let _ = sched.delete(msg.receipt);
+                }
+            });
+        }
+    });
+
+    let finished = shared
+        .finished_at
+        .lock()
+        .unwrap()
+        .unwrap_or_else(Instant::now);
+    let makespan = finished.duration_since(start).as_secs_f64();
+    let failed = shared.failed.lock().unwrap().clone();
+    let completed = n_tasks - failed.len();
+    let total_executions = shared.total_executions.load(Ordering::Relaxed);
+
+    let storage_after = storage.metering().snapshot();
+    let per_fleet = shared.per_fleet.into_inner().unwrap();
+    let report = ClassicReport {
+        summary: RunSummary {
+            platform: "classic".into(),
+            cores: fleets.iter().map(Cluster::total_workers).sum(),
+            tasks: completed,
+            makespan_seconds: makespan,
+            redundant_executions: total_executions.saturating_sub(completed),
+            remote_bytes: shared.remote_bytes.load(Ordering::Relaxed),
+        },
+        failed,
+        total_executions,
+        worker_deaths: shared.worker_deaths.load(Ordering::Relaxed),
+        queue_requests: queues.total_requests() - requests_before,
+        executions_per_fleet: per_fleet,
+        timeline: None,
+        storage: ppc_storage::metering::MeteringSnapshot {
+            requests: storage_after.requests - storage_before.requests,
+            bytes_in: storage_after.bytes_in - storage_before.bytes_in,
+            bytes_out: storage_after.bytes_out - storage_before.bytes_out,
+            stored_bytes: storage_after.stored_bytes,
+            peak_stored_bytes: storage_after.peak_stored_bytes,
+        },
+    };
+
+    // Clean up job queues (buckets are left for the caller to inspect).
+    let _ = queues.delete_queue(&job.sched_queue());
+    let _ = queues.delete_queue(&job.monitor_queue());
+
+    Ok(report)
+}
+
+/// Sequential baseline for Equation 1: run every task back to back on this
+/// thread with inputs already local (no storage round trips).
+pub fn run_sequential(inputs: &[(TaskSpec, Vec<u8>)], executor: &dyn Executor) -> Result<f64> {
+    let start = Instant::now();
+    for (spec, input) in inputs {
+        executor.run(spec, input)?;
+    }
+    Ok(start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_compute::cluster::Cluster;
+    use ppc_compute::instance::EC2_HCXL;
+    use ppc_core::exec::FnExecutor;
+    use ppc_core::task::ResourceProfile;
+
+    fn setup(n_tasks: u64) -> (Arc<StorageService>, Arc<QueueService>, JobSpec) {
+        let storage = StorageService::in_memory();
+        let queues = QueueService::new();
+        let tasks: Vec<TaskSpec> = (0..n_tasks)
+            .map(|i| TaskSpec::new(i, "rev", format!("f{i}"), ResourceProfile::cpu_bound(0.0)))
+            .collect();
+        let job = JobSpec::new("t", tasks);
+        storage.create_bucket(&job.input_bucket).unwrap();
+        for i in 0..n_tasks {
+            storage
+                .put(
+                    &job.input_bucket,
+                    &format!("f{i}"),
+                    format!("payload-{i}").into_bytes(),
+                )
+                .unwrap();
+        }
+        (storage, queues, job)
+    }
+
+    fn reverse_executor() -> Arc<dyn Executor> {
+        FnExecutor::new("rev", |_s, input: &[u8]| {
+            let mut v = input.to_vec();
+            v.reverse();
+            Ok(v)
+        })
+    }
+
+    #[test]
+    fn small_job_end_to_end() {
+        let (storage, queues, job) = setup(20);
+        let cluster = Cluster::provision(EC2_HCXL, 1, 4);
+        let report = run_job(
+            &storage,
+            &queues,
+            &cluster,
+            &job,
+            reverse_executor(),
+            &ClassicConfig::default(),
+        )
+        .unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.summary.tasks, 20);
+        assert!(report.total_executions >= 20);
+        // Every output object exists and is correct.
+        for i in 0..20 {
+            let out = storage
+                .get(&job.output_bucket, &format!("f{i}.out"))
+                .unwrap();
+            let mut expect = format!("payload-{i}").into_bytes();
+            expect.reverse();
+            assert_eq!(*out, expect);
+        }
+        // Queues were cleaned up.
+        assert!(queues.queue(&job.sched_queue()).is_err());
+        assert!(report.queue_requests > 0);
+        assert!(report.storage.requests > 0);
+    }
+
+    #[test]
+    fn empty_job_is_invalid() {
+        let (storage, queues, _) = setup(1);
+        let cluster = Cluster::provision(EC2_HCXL, 1, 1);
+        let job = JobSpec::new("empty", vec![]);
+        let err = run_job(
+            &storage,
+            &queues,
+            &cluster,
+            &job,
+            reverse_executor(),
+            &ClassicConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "InvalidArgument");
+    }
+
+    #[test]
+    fn missing_input_fails_that_task_only() {
+        let (storage, queues, mut job) = setup(5);
+        // Add a task whose input was never uploaded.
+        job.tasks.push(TaskSpec::new(
+            99,
+            "rev",
+            "ghost",
+            ResourceProfile::cpu_bound(0.0),
+        ));
+        let cluster = Cluster::provision(EC2_HCXL, 1, 2);
+        let report = run_job(
+            &storage,
+            &queues,
+            &cluster,
+            &job,
+            reverse_executor(),
+            &ClassicConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.failed, vec![TaskId(99)]);
+        assert_eq!(report.summary.tasks, 5);
+    }
+
+    #[test]
+    fn poison_task_hits_dead_letter_policy() {
+        let (storage, queues, job) = setup(4);
+        let job = job
+            .with_visibility_timeout(Duration::from_millis(20))
+            .with_max_deliveries(3);
+        let exec = FnExecutor::new("half-poison", |spec: &TaskSpec, input: &[u8]| {
+            if spec.id.0 == 2 {
+                Err(PpcError::TaskFailed("cannot process".into()))
+            } else {
+                Ok(input.to_vec())
+            }
+        });
+        let cluster = Cluster::provision(EC2_HCXL, 1, 2);
+        let report = run_job(
+            &storage,
+            &queues,
+            &cluster,
+            &job,
+            exec,
+            &ClassicConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.failed, vec![TaskId(2)]);
+        assert_eq!(report.summary.tasks, 3);
+        assert!(
+            report.total_executions >= 3 + 3,
+            "poison task retried to the delivery cap"
+        );
+    }
+
+    #[test]
+    fn survives_worker_deaths() {
+        let (storage, queues, job) = setup(30);
+        let job = job.with_visibility_timeout(Duration::from_millis(25));
+        let cluster = Cluster::provision(EC2_HCXL, 2, 4);
+        let config = ClassicConfig {
+            fault: FaultPlan::hostile(17),
+            ..ClassicConfig::default()
+        };
+        let report = run_job(
+            &storage,
+            &queues,
+            &cluster,
+            &job,
+            reverse_executor(),
+            &config,
+        )
+        .unwrap();
+        assert!(report.is_complete(), "all tasks complete despite deaths");
+        assert_eq!(report.summary.tasks, 30);
+        for i in 0..30 {
+            let out = storage
+                .get(&job.output_bucket, &format!("f{i}.out"))
+                .unwrap();
+            let mut expect = format!("payload-{i}").into_bytes();
+            expect.reverse();
+            assert_eq!(*out, expect, "idempotent re-execution left output intact");
+        }
+    }
+
+    #[test]
+    fn survives_queue_chaos() {
+        let (storage, queues, job) = setup(25);
+        let job = job.with_visibility_timeout(Duration::from_millis(25));
+        let cluster = Cluster::provision(EC2_HCXL, 1, 4);
+        let config = ClassicConfig {
+            queue_chaos: ppc_queue::chaos::ChaosConfig::flaky(),
+            ..ClassicConfig::default()
+        };
+        let report = run_job(
+            &storage,
+            &queues,
+            &cluster,
+            &job,
+            reverse_executor(),
+            &config,
+        )
+        .unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.summary.tasks, 25);
+    }
+
+    #[test]
+    fn hybrid_fleets_share_one_queue() {
+        // The paper's cloud + local-cluster extension: both fleets drain
+        // the same scheduling queue.
+        let (storage, queues, job) = setup(24);
+        let cloud = Cluster::provision(EC2_HCXL, 1, 4);
+        let local = Cluster::provision(ppc_compute::instance::BARE_CAP3, 1, 4);
+        let report = crate::runtime::run_job_on_fleets(
+            &storage,
+            &queues,
+            &[cloud, local],
+            &job,
+            reverse_executor(),
+            &ClassicConfig::default(),
+        )
+        .unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.summary.cores, 8, "both fleets' workers counted");
+        assert_eq!(report.summary.tasks, 24);
+    }
+
+    #[test]
+    fn empty_fleet_list_rejected() {
+        let (storage, queues, job) = setup(1);
+        let err = crate::runtime::run_job_on_fleets(
+            &storage,
+            &queues,
+            &[],
+            &job,
+            reverse_executor(),
+            &ClassicConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "InvalidArgument");
+    }
+
+    #[test]
+    fn sequential_baseline_runs_all() {
+        let inputs: Vec<(TaskSpec, Vec<u8>)> = (0..10)
+            .map(|i| {
+                (
+                    TaskSpec::new(i, "rev", format!("f{i}"), ResourceProfile::cpu_bound(0.0)),
+                    vec![1u8; 8],
+                )
+            })
+            .collect();
+        let exec = reverse_executor();
+        let t = run_sequential(&inputs, exec.as_ref()).unwrap();
+        assert!(t >= 0.0);
+    }
+}

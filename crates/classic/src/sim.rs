@@ -1,0 +1,619 @@
+//! The simulated Classic Cloud runtime (discrete-event, virtual time).
+//!
+//! Models the identical pipeline to [`crate::runtime`] — receive → download
+//! → execute → upload → report → delete — but on the `ppc-des` engine, so a
+//! 128-instance fleet processing hours of work runs in milliseconds of real
+//! time. Task execution times come from the calibrated
+//! `ppc_compute::model::task_service_seconds` service-time model; transfer
+//! times from `ppc_storage::latency::LatencyModel`.
+//!
+//! The dynamic global queue is inherent here: every worker pulls its next
+//! task from the shared pool the moment it frees up, which is precisely the
+//! "natural load balancing" property the paper credits this architecture
+//! with sharing with Hadoop (§4.2).
+
+use crate::report::ClassicReport;
+use ppc_compute::cluster::Cluster;
+use ppc_compute::model::{task_service_seconds, AppModel};
+use ppc_core::metrics::RunSummary;
+use ppc_core::rng::Pcg32;
+use ppc_core::task::TaskSpec;
+use ppc_des::{Engine, SimTime};
+use ppc_storage::latency::LatencyModel;
+use ppc_storage::metering::MeteringSnapshot;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Configuration of the simulated platform.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Latency/bandwidth of the object-store data path.
+    pub storage_latency: LatencyModel,
+    /// Latency of queue API calls.
+    pub queue_latency: LatencyModel,
+    /// Application service-time knobs (Windows factor, disk model).
+    pub app: AppModel,
+    /// Random seed (task arrival order, jitter, failures).
+    pub seed: u64,
+    /// P(a task execution is lost before its delete — worker death).
+    pub failure_rate: f64,
+    /// Visibility timeout: how long a lost task takes to reappear, seconds.
+    pub visibility_timeout_s: f64,
+    /// Log-normal sigma applied to execution times (run-to-run variation;
+    /// the paper measured ~1.5–2.3% CV on the clouds).
+    pub jitter_sigma: f64,
+    /// Record a per-worker execution [`ppc_core::trace::Timeline`] in the
+    /// report (costs memory proportional to task count).
+    pub trace: bool,
+    /// Model a shared per-instance NIC: concurrent storage transfers on one
+    /// node serialize through a link of this bandwidth (bytes/s). `None`
+    /// (default) gives every worker the full per-connection storage path —
+    /// the regime where paper-scale tasks live; enable it to study
+    /// IO-heavy workloads (the `ablate_nic_contention` bench).
+    pub nic_bandwidth_bytes_per_s: Option<f64>,
+}
+
+impl SimConfig {
+    /// EC2-flavored defaults: 2010 S3/SQS latencies, no failures.
+    pub fn ec2() -> SimConfig {
+        SimConfig {
+            storage_latency: LatencyModel::cloud_storage_2010(),
+            queue_latency: LatencyModel::cloud_queue_2010(),
+            app: AppModel::DEFAULT,
+            seed: 42,
+            failure_rate: 0.0,
+            visibility_timeout_s: 600.0,
+            jitter_sigma: 0.02,
+            trace: false,
+            nic_bandwidth_bytes_per_s: None,
+        }
+    }
+
+    /// Azure-flavored defaults (same service latencies; Azure's edge in the
+    /// paper comes from instance types and the Windows factor, not queues).
+    pub fn azure() -> SimConfig {
+        SimConfig::ec2()
+    }
+
+    pub fn with_app(mut self, app: AppModel) -> SimConfig {
+        self.app = app;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> SimConfig {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_failures(mut self, rate: f64, visibility_timeout_s: f64) -> SimConfig {
+        self.failure_rate = rate;
+        self.visibility_timeout_s = visibility_timeout_s;
+        self
+    }
+}
+
+struct SimState {
+    timeline: ppc_core::trace::Timeline,
+    pending: VecDeque<TaskSpec>,
+    idle_workers: Vec<WorkerRef>,
+    completed: usize,
+    executions: usize,
+    deaths: usize,
+    queue_requests: u64,
+    storage_requests: u64,
+    remote_bytes: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    rng: Pcg32,
+}
+
+#[derive(Clone)]
+struct WorkerRef {
+    /// Flat index of this worker in the fleet (timeline row).
+    index: usize,
+    /// Configured workers on this worker's node (drives contention).
+    itype_workers: usize,
+    /// The node's shared NIC, when NIC contention is modeled.
+    nic: Option<ppc_des::FifoServer>,
+}
+
+/// Simulate a Classic Cloud run of `tasks` on `cluster`.
+pub fn simulate(cluster: &Cluster, tasks: &[TaskSpec], cfg: &SimConfig) -> ClassicReport {
+    simulate_fleets(std::slice::from_ref(cluster), tasks, cfg)
+}
+
+/// Simulate a *hybrid* Classic Cloud run: several (possibly heterogeneous)
+/// fleets all polling the same scheduling queue — the simulated twin of
+/// `crate::runtime::run_job_on_fleets` for paper-scale what-if studies
+/// ("how much does adding my local cluster to the cloud fleet help?").
+pub fn simulate_fleets(fleets: &[Cluster], tasks: &[TaskSpec], cfg: &SimConfig) -> ClassicReport {
+    assert!(!tasks.is_empty(), "no tasks to simulate");
+    let mut rng = Pcg32::new(cfg.seed);
+    let mut order: Vec<TaskSpec> = tasks.to_vec();
+    // The queue has no ordering guarantee; workers see a shuffled stream.
+    rng.shuffle(&mut order);
+
+    let state = Rc::new(RefCell::new(SimState {
+        timeline: ppc_core::trace::Timeline::new(),
+        pending: order.into(),
+        idle_workers: Vec::new(),
+        completed: 0,
+        executions: 0,
+        deaths: 0,
+        queue_requests: tasks.len() as u64, // the client's sends
+        storage_requests: 0,
+        remote_bytes: 0,
+        bytes_in: 0,
+        bytes_out: 0,
+        rng,
+    }));
+
+    let mut engine = Engine::new();
+    assert!(!fleets.is_empty(), "no fleets to simulate");
+    let cfg = *cfg;
+
+    let mut worker_index = 0;
+    for (fleet_idx, cluster) in fleets.iter().enumerate() {
+        let itype = cluster.itype();
+        for node in cluster.nodes() {
+            // One shared uplink per instance (serializes that node's
+            // concurrent storage transfers) when NIC modeling is on.
+            let nic = cfg
+                .nic_bandwidth_bytes_per_s
+                .map(|_| ppc_des::FifoServer::new(format!("nic-f{fleet_idx}-n{}", node.id), 1));
+            for _slot in 0..node.workers {
+                let state = state.clone();
+                let worker = WorkerRef {
+                    index: worker_index,
+                    itype_workers: node.workers,
+                    nic: nic.clone(),
+                };
+                worker_index += 1;
+                engine.schedule_at(SimTime::ZERO, move |e| {
+                    worker_tick(e, state, worker, itype, cfg);
+                });
+            }
+        }
+    }
+    let itype = fleets[0].itype();
+    let total_workers: usize = fleets.iter().map(Cluster::total_workers).sum();
+
+    let end = engine.run();
+    let st = state.borrow();
+    let makespan = end.as_secs_f64();
+
+    ClassicReport {
+        summary: RunSummary {
+            platform: format!("classic-sim-{}", itype.name),
+            cores: total_workers,
+            tasks: st.completed,
+            makespan_seconds: makespan,
+            redundant_executions: st.executions - st.completed,
+            remote_bytes: st.remote_bytes,
+        },
+        failed: Vec::new(),
+        total_executions: st.executions,
+        worker_deaths: st.deaths,
+        queue_requests: st.queue_requests,
+        executions_per_fleet: Vec::new(),
+        timeline: if cfg.trace {
+            Some(st.timeline.clone())
+        } else {
+            None
+        },
+        storage: MeteringSnapshot {
+            requests: st.storage_requests,
+            bytes_in: st.bytes_in,
+            bytes_out: st.bytes_out,
+            stored_bytes: st.bytes_in,
+            peak_stored_bytes: st.bytes_in,
+        },
+    }
+}
+
+fn worker_tick(
+    engine: &mut Engine,
+    state: Rc<RefCell<SimState>>,
+    worker: WorkerRef,
+    itype: ppc_compute::instance::InstanceType,
+    cfg: SimConfig,
+) {
+    // Pull the next task from the (simulated) scheduling queue.
+    let task = {
+        let mut st = state.borrow_mut();
+        st.queue_requests += 1; // the receive call
+        match st.pending.pop_front() {
+            Some(t) => t,
+            None => {
+                // Nothing visible: park; a redelivery event will wake us.
+                st.idle_workers.push(worker);
+                return;
+            }
+        }
+    };
+
+    // Model the full pipeline duration for this task.
+    let (t_in, t_exec, t_out, t_ctrl, fails) = {
+        let mut st = state.borrow_mut();
+        st.executions += 1;
+        st.storage_requests += 2;
+        st.bytes_in += task.profile.output_bytes;
+        st.bytes_out += task.profile.input_bytes;
+        st.remote_bytes += task.profile.input_bytes + task.profile.output_bytes;
+
+        let t_in = cfg
+            .storage_latency
+            .transfer_seconds(task.profile.input_bytes);
+        let t_out = cfg
+            .storage_latency
+            .transfer_seconds(task.profile.output_bytes);
+        let t_exec_base =
+            task_service_seconds(&itype, worker.itype_workers, &task.profile, &cfg.app);
+        let jitter = if cfg.jitter_sigma > 0.0 {
+            st.rng.log_normal(0.0, cfg.jitter_sigma)
+        } else {
+            1.0
+        };
+        let t_exec = t_exec_base * jitter;
+        // receive + monitor-send + delete round trips.
+        let t_ctrl = 3.0 * cfg.queue_latency.request_seconds();
+        st.queue_requests += 2; // monitor send + delete
+        let fails = cfg.failure_rate > 0.0 && st.rng.chance(cfg.failure_rate);
+        (t_in, t_exec, t_out, t_ctrl, fails)
+    };
+    let duration_s = t_in + t_exec + t_out + t_ctrl;
+
+    // NIC contention: route the two transfers through the node's shared
+    // uplink — concurrent transfers on one instance serialize.
+    if let (Some(nic), Some(bw)) = (worker.nic.clone(), cfg.nic_bandwidth_bytes_per_s) {
+        let started_at = engine.now().as_secs_f64();
+        let task_id = task.id.0;
+        let t_nic_in = SimTime::from_secs_f64(task.profile.input_bytes as f64 / bw);
+        let t_nic_out = SimTime::from_secs_f64(task.profile.output_bytes as f64 / bw);
+        let st2 = state.clone();
+        let nic2 = nic.clone();
+        let worker2 = worker.clone();
+        // Download (storage latency + NIC occupancy) -> compute -> upload
+        // (NIC occupancy) -> control -> complete.
+        nic.submit(engine, t_nic_in, move |e| {
+            let st3 = st2.clone();
+            let worker3 = worker2.clone();
+            e.schedule_in(SimTime::from_secs_f64(t_in + t_exec), move |e| {
+                let st4 = st3.clone();
+                let worker4 = worker3.clone();
+                nic2.submit(e, t_nic_out, move |e| {
+                    e.schedule_in(SimTime::from_secs_f64(t_out + t_ctrl), move |e| {
+                        handle_completion(
+                            e, st4, worker4, itype, cfg, task, fails, started_at, task_id,
+                        );
+                    });
+                });
+            });
+        });
+        return;
+    }
+
+    if fails {
+        // Worker dies before deleting: the message reappears after the
+        // visibility timeout, waking an idle worker if one exists.
+        let st2 = state.clone();
+        let lost_task = task.clone();
+        engine.schedule_in(SimTime::from_secs_f64(cfg.visibility_timeout_s), move |e| {
+            let woken = {
+                let mut st = st2.borrow_mut();
+                st.pending.push_back(lost_task);
+                st.idle_workers.pop()
+            };
+            if let Some(w) = woken {
+                let st3 = st2.clone();
+                e.schedule_in(SimTime::ZERO, move |e| worker_tick(e, st3, w, itype, cfg));
+            }
+        });
+        let st2 = state.clone();
+        engine.schedule_in(SimTime::from_secs_f64(duration_s), move |e| {
+            st2.borrow_mut().deaths += 1;
+            // The replacement worker polls again immediately.
+            worker_tick(e, st2, worker, itype, cfg);
+        });
+        return;
+    }
+
+    let st2 = state.clone();
+    let started_at = engine.now().as_secs_f64();
+    let task_id = task.id.0;
+    engine.schedule_in(SimTime::from_secs_f64(duration_s), move |e| {
+        {
+            let mut st = st2.borrow_mut();
+            st.completed += 1;
+            if cfg.trace {
+                let end = e.now().as_secs_f64();
+                st.timeline.push(worker.index, task_id, started_at, end);
+            }
+        }
+        worker_tick(e, st2, worker, itype, cfg);
+    });
+}
+
+/// Completion step for the NIC-modeled pipeline: mirror of the tail of
+/// [`worker_tick`], reached after the chained transfer/compute events.
+#[allow(clippy::too_many_arguments)]
+fn handle_completion(
+    engine: &mut Engine,
+    state: Rc<RefCell<SimState>>,
+    worker: WorkerRef,
+    itype: ppc_compute::instance::InstanceType,
+    cfg: SimConfig,
+    task: TaskSpec,
+    fails: bool,
+    started_at: f64,
+    task_id: u64,
+) {
+    if fails {
+        let st2 = state.clone();
+        engine.schedule_in(SimTime::from_secs_f64(cfg.visibility_timeout_s), move |e| {
+            let woken = {
+                let mut st = st2.borrow_mut();
+                st.pending.push_back(task);
+                st.idle_workers.pop()
+            };
+            if let Some(w) = woken {
+                let st3 = st2.clone();
+                e.schedule_in(SimTime::ZERO, move |e| worker_tick(e, st3, w, itype, cfg));
+            }
+        });
+        state.borrow_mut().deaths += 1;
+        worker_tick(engine, state, worker, itype, cfg);
+        return;
+    }
+    {
+        let mut st = state.borrow_mut();
+        st.completed += 1;
+        if cfg.trace {
+            let end = engine.now().as_secs_f64();
+            st.timeline.push(worker.index, task_id, started_at, end);
+        }
+    }
+    worker_tick(engine, state, worker, itype, cfg);
+}
+
+/// Equation 1's sequential baseline on this instance type: all tasks back to
+/// back on one otherwise-idle core, inputs local (no transfer terms).
+pub fn sequential_baseline_seconds(
+    itype: &ppc_compute::instance::InstanceType,
+    tasks: &[TaskSpec],
+    app: &AppModel,
+) -> f64 {
+    tasks
+        .iter()
+        .map(|t| task_service_seconds(itype, 1, &t.profile, app))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_compute::instance::{EC2_HCXL, EC2_HM4XL, EC2_LARGE};
+    use ppc_core::task::ResourceProfile;
+
+    fn cpu_tasks(n: u64, secs: f64) -> Vec<TaskSpec> {
+        (0..n)
+            .map(|i| TaskSpec::new(i, "cap3", format!("f{i}"), ResourceProfile::cpu_bound(secs)))
+            .collect()
+    }
+
+    #[test]
+    fn makespan_matches_hand_computation() {
+        // 16 tasks of 10 s (ref clock) on HCXL-1x8, no jitter, free I/O:
+        // two waves of 8 -> exactly 20 s plus queue control time.
+        let cluster = Cluster::provision(EC2_HCXL, 1, 8);
+        let cfg = SimConfig {
+            storage_latency: LatencyModel::FREE,
+            queue_latency: LatencyModel::FREE,
+            jitter_sigma: 0.0,
+            ..SimConfig::ec2()
+        };
+        let report = simulate(&cluster, &cpu_tasks(16, 10.0), &cfg);
+        assert_eq!(report.summary.tasks, 16);
+        assert!(
+            (report.summary.makespan_seconds - 20.0).abs() < 1e-6,
+            "got {}",
+            report.summary.makespan_seconds
+        );
+    }
+
+    #[test]
+    fn queue_latency_adds_overhead() {
+        let cluster = Cluster::provision(EC2_HCXL, 1, 8);
+        let free = SimConfig {
+            storage_latency: LatencyModel::FREE,
+            queue_latency: LatencyModel::FREE,
+            jitter_sigma: 0.0,
+            ..SimConfig::ec2()
+        };
+        let real = SimConfig {
+            jitter_sigma: 0.0,
+            ..SimConfig::ec2()
+        };
+        let t_free = simulate(&cluster, &cpu_tasks(16, 10.0), &free)
+            .summary
+            .makespan_seconds;
+        let t_real = simulate(&cluster, &cpu_tasks(16, 10.0), &real)
+            .summary
+            .makespan_seconds;
+        assert!(t_real > t_free);
+        // Overheads are small relative to coarse-grained tasks (the paper's
+        // "sufficiently coarser grain task decompositions" conclusion).
+        assert!(t_real < t_free * 1.1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cluster = Cluster::provision(EC2_HCXL, 2, 8);
+        let cfg = SimConfig::ec2();
+        let a = simulate(&cluster, &cpu_tasks(50, 5.0), &cfg);
+        let b = simulate(&cluster, &cpu_tasks(50, 5.0), &cfg);
+        assert_eq!(a.summary.makespan_seconds, b.summary.makespan_seconds);
+        let c = simulate(&cluster, &cpu_tasks(50, 5.0), &cfg.with_seed(7));
+        assert_ne!(a.summary.makespan_seconds, c.summary.makespan_seconds);
+    }
+
+    #[test]
+    fn instance_type_ordering_for_cpu_bound_work() {
+        // Figure 4's shape: HM4XL < HCXL < L for the same 16-core workload.
+        let tasks = cpu_tasks(200, 20.0);
+        let cfg = SimConfig {
+            jitter_sigma: 0.0,
+            ..SimConfig::ec2()
+        };
+        let t = |cluster: &Cluster| simulate(cluster, &tasks, &cfg).summary.makespan_seconds;
+        let hm = t(&Cluster::provision_per_core(EC2_HM4XL, 2));
+        let hc = t(&Cluster::provision_per_core(EC2_HCXL, 2));
+        let l = t(&Cluster::provision_per_core(EC2_LARGE, 8));
+        assert!(hm < hc, "HM4XL ({hm}) beats HCXL ({hc})");
+        assert!(hc < l, "HCXL ({hc}) beats Large ({l})");
+    }
+
+    #[test]
+    fn failures_cause_redelivery_and_slowdown() {
+        let cluster = Cluster::provision(EC2_HCXL, 1, 8);
+        let tasks = cpu_tasks(64, 5.0);
+        let clean = SimConfig {
+            jitter_sigma: 0.0,
+            ..SimConfig::ec2()
+        };
+        let faulty = clean.with_failures(0.2, 60.0);
+        let r_clean = simulate(&cluster, &tasks, &clean);
+        let r_faulty = simulate(&cluster, &tasks, &faulty);
+        assert_eq!(r_clean.redundant_executions(), 0);
+        assert!(r_faulty.redundant_executions() > 0);
+        assert_eq!(r_faulty.summary.tasks, 64, "every task still completes");
+        assert!(r_faulty.summary.makespan_seconds > r_clean.summary.makespan_seconds);
+        assert!(r_faulty.worker_deaths > 0);
+    }
+
+    #[test]
+    fn parallel_efficiency_is_high_for_coarse_tasks() {
+        let cluster = Cluster::provision(EC2_HCXL, 2, 8);
+        let tasks = cpu_tasks(128, 60.0);
+        let cfg = SimConfig::ec2();
+        let report = simulate(&cluster, &tasks, &cfg);
+        let t1 = sequential_baseline_seconds(&EC2_HCXL, &tasks, &cfg.app);
+        let eff = report.summary.efficiency(t1);
+        assert!(eff > 0.9, "efficiency {eff}");
+        assert!(
+            eff <= 1.02,
+            "efficiency cannot meaningfully exceed 1: {eff}"
+        );
+    }
+
+    #[test]
+    fn nic_contention_hurts_io_heavy_tasks_only() {
+        // Tasks moving 1 GB each: 8 workers sharing a 125 MB/s NIC must
+        // serialize; without the NIC every worker gets the storage path.
+        let mut io_tasks = cpu_tasks(32, 10.0);
+        for t in io_tasks.iter_mut() {
+            t.profile.input_bytes = 1 << 30;
+        }
+        let cluster = Cluster::provision(EC2_HCXL, 1, 8);
+        let base = SimConfig {
+            jitter_sigma: 0.0,
+            ..SimConfig::ec2()
+        };
+        let with_nic = SimConfig {
+            nic_bandwidth_bytes_per_s: Some(125e6),
+            ..base
+        };
+        let free = simulate(&cluster, &io_tasks, &base);
+        let contended = simulate(&cluster, &io_tasks, &with_nic);
+        assert_eq!(contended.summary.tasks, 32);
+        assert!(
+            contended.summary.makespan_seconds > 1.5 * free.summary.makespan_seconds,
+            "contended {} vs free {}",
+            contended.summary.makespan_seconds,
+            free.summary.makespan_seconds
+        );
+        // CPU-bound tasks barely notice the same NIC.
+        let cpu = cpu_tasks(32, 10.0);
+        let free_cpu = simulate(&cluster, &cpu, &base).summary.makespan_seconds;
+        let nic_cpu = simulate(&cluster, &cpu, &with_nic).summary.makespan_seconds;
+        assert!(
+            nic_cpu < 1.05 * free_cpu,
+            "nic {nic_cpu} vs free {free_cpu}"
+        );
+    }
+
+    #[test]
+    fn nic_failure_path_still_completes() {
+        let mut io_tasks = cpu_tasks(24, 2.0);
+        for t in io_tasks.iter_mut() {
+            t.profile.input_bytes = 64 << 20;
+        }
+        let cluster = Cluster::provision(EC2_HCXL, 1, 4);
+        let cfg = SimConfig {
+            nic_bandwidth_bytes_per_s: Some(125e6),
+            jitter_sigma: 0.0,
+            ..SimConfig::ec2().with_failures(0.2, 30.0)
+        };
+        let report = simulate(&cluster, &io_tasks, &cfg);
+        assert_eq!(
+            report.summary.tasks, 24,
+            "all tasks complete despite failures"
+        );
+        assert!(report.worker_deaths > 0);
+    }
+
+    #[test]
+    fn hybrid_fleets_speed_up_the_job() {
+        // Cloud-only vs cloud + local cluster on the same queue.
+        let cloud = Cluster::provision(EC2_HCXL, 2, 8);
+        let local = Cluster::provision(ppc_compute::instance::BARE_CAP3, 2, 8);
+        let tasks = cpu_tasks(256, 20.0);
+        let cfg = SimConfig {
+            jitter_sigma: 0.0,
+            ..SimConfig::ec2()
+        };
+        let solo = simulate(&cloud, &tasks, &cfg);
+        let hybrid = simulate_fleets(&[cloud.clone(), local], &tasks, &cfg);
+        assert_eq!(hybrid.summary.cores, 32);
+        assert_eq!(hybrid.summary.tasks, 256);
+        // Double the workers: close to half the time (same clock rate).
+        let speedup = solo.summary.makespan_seconds / hybrid.summary.makespan_seconds;
+        assert!((1.7..2.2).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn trace_records_worker_intervals() {
+        let cluster = Cluster::provision(EC2_HCXL, 1, 4);
+        let mut cfg = SimConfig {
+            storage_latency: LatencyModel::FREE,
+            queue_latency: LatencyModel::FREE,
+            jitter_sigma: 0.0,
+            ..SimConfig::ec2()
+        };
+        cfg.trace = true;
+        let report = simulate(&cluster, &cpu_tasks(12, 10.0), &cfg);
+        let timeline = report.timeline.expect("trace requested");
+        assert_eq!(timeline.intervals().len(), 12, "one interval per task");
+        assert_eq!(timeline.n_workers(), 4);
+        // 12 equal tasks on 4 workers: perfectly balanced, fully utilized.
+        let util = timeline.utilization(4);
+        assert!(util > 0.99, "utilization {util}");
+        // Rendering works and shows every worker.
+        let art = timeline.render_ascii(40);
+        assert_eq!(art.lines().count(), 5, "4 worker rows + axis");
+        // Untraced runs carry no timeline.
+        cfg.trace = false;
+        assert!(simulate(&cluster, &cpu_tasks(4, 1.0), &cfg)
+            .timeline
+            .is_none());
+    }
+
+    #[test]
+    fn queue_requests_scale_with_tasks() {
+        let cluster = Cluster::provision(EC2_HCXL, 1, 4);
+        let report = simulate(&cluster, &cpu_tasks(100, 1.0), &SimConfig::ec2());
+        // send + receive + monitor + delete per task, plus idle polls.
+        assert!(report.queue_requests >= 400);
+    }
+}

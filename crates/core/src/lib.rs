@@ -1,0 +1,33 @@
+//! # ppc-core — shared vocabulary for the `ppc` workspace
+//!
+//! This crate holds the types every other crate speaks:
+//!
+//! * [`money`] — exact fixed-point USD arithmetic for billing.
+//! * [`task`] — task identity and the [`task::ResourceProfile`] service-time
+//!   model used by both the native runtimes and the discrete-event simulator.
+//! * [`metrics`] — the paper's Equation 1 (parallel efficiency) and
+//!   Equation 2 (average time per task per core), plus run summaries.
+//! * [`pricing`] — cloud service price books (per-request, per-GB rates).
+//! * [`report`] — aligned text tables and data series used by the benchmark
+//!   harness to print the paper's tables and figures.
+//! * [`rng`] — tiny deterministic PRNGs (SplitMix64 / PCG32) so simulation
+//!   results are reproducible without threading `rand` through everything.
+//! * [`error`] — the workspace error type.
+//!
+//! The crate is dependency-light by design: everything downstream (storage,
+//! queue, compute, the three frameworks, the applications) builds on it.
+
+pub mod error;
+pub mod exec;
+pub mod metrics;
+pub mod money;
+pub mod pricing;
+pub mod report;
+pub mod rng;
+pub mod task;
+pub mod trace;
+
+pub use error::{PpcError, Result};
+pub use exec::{Executor, FnExecutor};
+pub use money::Usd;
+pub use task::{ResourceProfile, TaskId, TaskSpec};

@@ -1,0 +1,121 @@
+//! Cloud service price books.
+//!
+//! Encodes the 2010-era prices the paper's Table 4 uses so that the cost
+//! harness reproduces its line items exactly:
+//!
+//! | line item                  | AWS          | Azure              |
+//! |----------------------------|--------------|--------------------|
+//! | queue requests (~10,000)   | $0.01        | $0.01              |
+//! | storage (1 GB, 1 month)    | $0.14        | $0.15              |
+//! | transfer in (1 GB)         | $0.10        | $0.10              |
+//! | transfer out (1 GB)        | (not billed) | $0.15              |
+//!
+//! Instance-hour prices live with the instance catalog in `ppc-compute`.
+
+use crate::money::Usd;
+use serde::{Deserialize, Serialize};
+
+pub const GIB: u64 = 1 << 30;
+
+/// Price book for the infrastructure services of one cloud provider.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceBook {
+    /// Human-readable provider name ("aws", "azure").
+    pub provider: &'static str,
+    /// Cost per 10,000 queue API requests (send, receive, delete each count).
+    pub queue_per_10k_requests: Usd,
+    /// Object storage, per GiB-month.
+    pub storage_per_gib_month: Usd,
+    /// Per 10,000 storage API requests.
+    pub storage_per_10k_requests: Usd,
+    /// Network transfer into the cloud, per GiB.
+    pub transfer_in_per_gib: Usd,
+    /// Network transfer out of the cloud, per GiB.
+    pub transfer_out_per_gib: Usd,
+}
+
+/// Amazon Web Services price book (mid-2010 list prices used by the paper).
+pub const AWS_2010: PriceBook = PriceBook {
+    provider: "aws",
+    queue_per_10k_requests: Usd::cents(1),
+    storage_per_gib_month: Usd::cents(14),
+    storage_per_10k_requests: Usd::cents(1),
+    transfer_in_per_gib: Usd::cents(10),
+    transfer_out_per_gib: Usd::cents(15),
+};
+
+/// Windows Azure price book (mid-2010 list prices used by the paper).
+pub const AZURE_2010: PriceBook = PriceBook {
+    provider: "azure",
+    queue_per_10k_requests: Usd::cents(1),
+    storage_per_gib_month: Usd::cents(15),
+    storage_per_10k_requests: Usd::cents(1),
+    transfer_in_per_gib: Usd::cents(10),
+    transfer_out_per_gib: Usd::cents(15),
+};
+
+impl PriceBook {
+    /// Cost for `n` queue API requests, pro-rated (no 10k rounding: the
+    /// services bill per request at 1/10000th of the bundle price).
+    pub fn queue_requests(&self, n: u64) -> Usd {
+        self.queue_per_10k_requests.scale(n as f64 / 10_000.0)
+    }
+
+    /// Cost for `n` storage API requests.
+    pub fn storage_requests(&self, n: u64) -> Usd {
+        self.storage_per_10k_requests.scale(n as f64 / 10_000.0)
+    }
+
+    /// Cost to keep `bytes` stored for `months`.
+    pub fn storage(&self, bytes: u64, months: f64) -> Usd {
+        self.storage_per_gib_month
+            .scale(bytes as f64 / GIB as f64 * months)
+    }
+
+    /// Cost to move `bytes` into the cloud.
+    pub fn transfer_in(&self, bytes: u64) -> Usd {
+        self.transfer_in_per_gib.scale(bytes as f64 / GIB as f64)
+    }
+
+    /// Cost to move `bytes` out of the cloud.
+    pub fn transfer_out(&self, bytes: u64) -> Usd {
+        self.transfer_out_per_gib.scale(bytes as f64 / GIB as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_line_items_aws() {
+        // ~10,000 queue messages -> $0.01
+        assert_eq!(AWS_2010.queue_requests(10_000), Usd::cents(1));
+        // 1 GB for a month -> $0.14
+        assert_eq!(AWS_2010.storage(GIB, 1.0), Usd::cents(14));
+        // 1 GB in -> $0.10
+        assert_eq!(AWS_2010.transfer_in(GIB), Usd::cents(10));
+    }
+
+    #[test]
+    fn table4_line_items_azure() {
+        assert_eq!(AZURE_2010.queue_requests(10_000), Usd::cents(1));
+        assert_eq!(AZURE_2010.storage(GIB, 1.0), Usd::cents(15));
+        // in + out of 1 GB each -> $0.10 + $0.15
+        let total = AZURE_2010.transfer_in(GIB) + AZURE_2010.transfer_out(GIB);
+        assert_eq!(total, Usd::cents(25));
+    }
+
+    #[test]
+    fn pro_rated_requests() {
+        // A single request costs a micro-dollar: 0.01$/10k.
+        assert_eq!(AWS_2010.queue_requests(1), Usd::micros(1));
+        assert_eq!(AWS_2010.queue_requests(0), Usd::ZERO);
+    }
+
+    #[test]
+    fn fractional_storage() {
+        // Half a GiB for two months equals one GiB-month.
+        assert_eq!(AWS_2010.storage(GIB / 2, 2.0), Usd::cents(14));
+    }
+}

@@ -1,0 +1,252 @@
+//! Plain-text tables and figures for the benchmark harness.
+//!
+//! The paper's evaluation is a set of tables (instance catalogs, cost
+//! comparison) and bar/line figures (time, cost, efficiency). The harness
+//! regenerates each as an aligned text table — [`Table`] for tables and
+//! [`Figure`] for multi-series plots, where each series becomes a column —
+//! plus CSV for downstream plotting.
+
+use std::fmt;
+
+/// An aligned, pipe-separated text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics if the arity disagrees with the header, which is
+    /// always a harness programming error worth failing loudly on.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render as comma-separated values (header first), for plotting tools.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, w) in widths.iter().enumerate().take(ncols) {
+                write!(
+                    f,
+                    " {:<w$} |",
+                    cells.get(i).map(String::as_str).unwrap_or(""),
+                    w = w
+                )?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<w$}|", "", w = w + 2)?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// One named series of (x-label, value) points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>) -> Series {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: impl Into<String>, y: f64) -> &mut Self {
+        self.points.push((x.into(), y));
+        self
+    }
+
+    pub fn value_at(&self, x: &str) -> Option<f64> {
+        self.points.iter().find(|(px, _)| px == x).map(|&(_, y)| y)
+    }
+}
+
+/// A figure: several series sharing an x axis, rendered as one table with a
+/// column per series (the text analog of the paper's grouped bars / lines).
+#[derive(Debug, Clone)]
+pub struct Figure {
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+    /// Decimal places for values (cost wants 4, seconds want 1).
+    pub precision: usize,
+}
+
+impl Figure {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Figure {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            precision: 2,
+        }
+    }
+
+    pub fn with_precision(mut self, p: usize) -> Figure {
+        self.precision = p;
+        self
+    }
+
+    pub fn add(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// All distinct x labels in first-appearance order across series.
+    pub fn x_values(&self) -> Vec<String> {
+        let mut xs: Vec<String> = Vec::new();
+        for s in &self.series {
+            for (x, _) in &s.points {
+                if !xs.contains(x) {
+                    xs.push(x.clone());
+                }
+            }
+        }
+        xs
+    }
+
+    /// Render to a [`Table`] (one row per x value, one column per series).
+    pub fn to_table(&self) -> Table {
+        let mut headers: Vec<&str> = vec![self.x_label.as_str()];
+        for s in &self.series {
+            headers.push(&s.label);
+        }
+        let mut t = Table::new(format!("{} [{}]", self.title, self.y_label), &headers);
+        for x in self.x_values() {
+            let mut row = vec![x.clone()];
+            for s in &self.series {
+                row.push(match s.value_at(&x) {
+                    Some(v) => format!("{v:.p$}", p = self.precision),
+                    None => "-".to_string(),
+                });
+            }
+            t.row(row);
+        }
+        t
+    }
+
+    pub fn to_csv(&self) -> String {
+        self.to_table().to_csv()
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.to_table().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_csv() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "22".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| alpha | 1     |"));
+        assert!(s.contains("| b     | 22    |"));
+        assert_eq!(t.to_csv(), "name,value\nalpha,1\nb,22\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn wrong_arity_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn figure_merges_x_axes() {
+        let mut f = Figure::new("Fig", "cores", "efficiency").with_precision(3);
+        let mut s1 = Series::new("hadoop");
+        s1.push("64", 0.95).push("128", 0.93);
+        let mut s2 = Series::new("ec2");
+        s2.push("128", 0.90).push("256", 0.88);
+        f.add(s1);
+        f.add(s2);
+        assert_eq!(f.x_values(), vec!["64", "128", "256"]);
+        let rendered = f.to_string();
+        assert!(rendered.contains("0.950"));
+        // hole where ec2 has no 64-core point
+        assert!(rendered
+            .lines()
+            .any(|l| l.contains("| 64 ") && l.contains(" - ")));
+    }
+
+    #[test]
+    fn series_lookup() {
+        let mut s = Series::new("x");
+        s.push("a", 1.0);
+        assert_eq!(s.value_at("a"), Some(1.0));
+        assert_eq!(s.value_at("zz"), None);
+    }
+}

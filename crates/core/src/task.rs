@@ -1,0 +1,219 @@
+//! Task identity and the resource model shared by all frameworks.
+//!
+//! In the paper a *task* is one input file processed by one executable
+//! invocation producing one output file (§2.1.3). All three frameworks
+//! (Classic Cloud, Hadoop, DryadLINQ) schedule the same tasks; only the
+//! transport differs. [`TaskSpec`] captures that framework-independent view.
+//!
+//! [`ResourceProfile`] is the service-time model the discrete-event simulator
+//! uses to predict how long a task takes on a given instance type: CPU
+//! seconds at a reference clock, the memory footprint (BLAST's database
+//! residency), memory traffic (GTM's bandwidth-bound kernel), and I/O bytes
+//! (what Classic Cloud must move through cloud storage).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Reference clock rate, in GHz, at which [`ResourceProfile::cpu_seconds_ref`]
+/// is expressed. Matches the EC2 High-CPU-Extra-Large core (~2.5 GHz) the
+/// paper treats as its workhorse.
+pub const REFERENCE_CLOCK_GHZ: f64 = 2.5;
+
+/// Globally unique task identifier within a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task-{}", self.0)
+    }
+}
+
+/// Resource demands of a single task, measured (or calibrated) at the
+/// reference platform. See the module docs for how the simulator scales it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceProfile {
+    /// Pure compute time on one reference core ([`REFERENCE_CLOCK_GHZ`]),
+    /// with the working set resident and no memory contention.
+    pub cpu_seconds_ref: f64,
+    /// Peak *private* resident working set per running task, bytes.
+    pub mem_bytes: u64,
+    /// Read-only working set *shared by all workers on a node* — the BLAST
+    /// NR database, resident once per instance. Zero for most apps.
+    #[serde(default)]
+    pub shared_mem_bytes: u64,
+    /// Bytes moved between memory and CPU over the task's life; drives the
+    /// bandwidth-contention term for memory-bound kernels like GTM.
+    pub mem_traffic_bytes: u64,
+    /// Input payload the framework must deliver to the worker.
+    pub input_bytes: u64,
+    /// Output payload the framework must collect.
+    pub output_bytes: u64,
+}
+
+impl ResourceProfile {
+    /// A purely CPU-bound profile with negligible data movement.
+    pub fn cpu_bound(cpu_seconds_ref: f64) -> Self {
+        ResourceProfile {
+            cpu_seconds_ref,
+            mem_bytes: 64 << 20,
+            shared_mem_bytes: 0,
+            mem_traffic_bytes: 0,
+            input_bytes: 0,
+            output_bytes: 0,
+        }
+    }
+
+    /// Merge two profiles as if the tasks ran back to back (used when
+    /// bundling fine-grained work into coarser tasks).
+    pub fn concat(self, other: ResourceProfile) -> ResourceProfile {
+        ResourceProfile {
+            cpu_seconds_ref: self.cpu_seconds_ref + other.cpu_seconds_ref,
+            mem_bytes: self.mem_bytes.max(other.mem_bytes),
+            shared_mem_bytes: self.shared_mem_bytes.max(other.shared_mem_bytes),
+            mem_traffic_bytes: self.mem_traffic_bytes + other.mem_traffic_bytes,
+            input_bytes: self.input_bytes + other.input_bytes,
+            output_bytes: self.output_bytes + other.output_bytes,
+        }
+    }
+
+    /// Scale the whole profile by a factor (e.g. replicate a workload 6x).
+    pub fn scaled(self, factor: f64) -> ResourceProfile {
+        ResourceProfile {
+            cpu_seconds_ref: self.cpu_seconds_ref * factor,
+            mem_bytes: self.mem_bytes,
+            shared_mem_bytes: self.shared_mem_bytes,
+            mem_traffic_bytes: (self.mem_traffic_bytes as f64 * factor) as u64,
+            input_bytes: (self.input_bytes as f64 * factor) as u64,
+            output_bytes: (self.output_bytes as f64 * factor) as u64,
+        }
+    }
+}
+
+/// A framework-independent description of one unit of pleasingly parallel
+/// work: "run the application on this input object, produce that output
+/// object".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Identity within the job; used for dedup by idempotent re-execution.
+    pub id: TaskId,
+    /// Application name ("cap3", "blast", "gtm", or a test kernel).
+    pub app: String,
+    /// Storage key / file path of the input.
+    pub input_key: String,
+    /// Storage key / file path where the output must land.
+    pub output_key: String,
+    /// Resource model for the simulator; native runtimes ignore it.
+    pub profile: ResourceProfile,
+}
+
+impl TaskSpec {
+    /// Convenience constructor deriving the output key from the input key.
+    pub fn new(
+        id: u64,
+        app: impl Into<String>,
+        input_key: impl Into<String>,
+        profile: ResourceProfile,
+    ) -> Self {
+        let input_key = input_key.into();
+        let output_key = format!("{input_key}.out");
+        TaskSpec {
+            id: TaskId(id),
+            app: app.into(),
+            input_key,
+            output_key,
+            profile,
+        }
+    }
+
+    /// Serialize to the wire format used as a queue message body, mirroring
+    /// the paper's "every message in the queue describes a single task".
+    pub fn to_message(&self) -> crate::Result<String> {
+        serde_json::to_string(self).map_err(|e| crate::PpcError::Codec(e.to_string()))
+    }
+
+    /// Parse a queue message body back into a task.
+    pub fn from_message(body: &str) -> crate::Result<TaskSpec> {
+        serde_json::from_str(body).map_err(|e| crate::PpcError::Codec(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TaskSpec {
+        TaskSpec::new(
+            7,
+            "cap3",
+            "inputs/file7.fa",
+            ResourceProfile::cpu_bound(4.2),
+        )
+    }
+
+    #[test]
+    fn message_round_trip() {
+        let t = sample();
+        let wire = t.to_message().unwrap();
+        let back = TaskSpec::from_message(&wire).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn bad_message_is_codec_error() {
+        let err = TaskSpec::from_message("{not json").unwrap_err();
+        assert_eq!(err.code(), "Codec");
+    }
+
+    #[test]
+    fn output_key_derived() {
+        assert_eq!(sample().output_key, "inputs/file7.fa.out");
+    }
+
+    #[test]
+    fn concat_sums_flows_and_maxes_residency() {
+        let a = ResourceProfile {
+            cpu_seconds_ref: 1.0,
+            mem_bytes: 100,
+            shared_mem_bytes: 0,
+            mem_traffic_bytes: 10,
+            input_bytes: 5,
+            output_bytes: 1,
+        };
+        let b = ResourceProfile {
+            cpu_seconds_ref: 2.0,
+            mem_bytes: 50,
+            shared_mem_bytes: 0,
+            mem_traffic_bytes: 20,
+            input_bytes: 7,
+            output_bytes: 3,
+        };
+        let c = a.concat(b);
+        assert_eq!(c.cpu_seconds_ref, 3.0);
+        assert_eq!(c.mem_bytes, 100);
+        assert_eq!(c.mem_traffic_bytes, 30);
+        assert_eq!(c.input_bytes, 12);
+        assert_eq!(c.output_bytes, 4);
+    }
+
+    #[test]
+    fn scaled_profile() {
+        let p = ResourceProfile {
+            cpu_seconds_ref: 2.0,
+            mem_bytes: 100,
+            shared_mem_bytes: 0,
+            mem_traffic_bytes: 10,
+            input_bytes: 4,
+            output_bytes: 2,
+        };
+        let s = p.scaled(3.0);
+        assert_eq!(s.cpu_seconds_ref, 6.0);
+        assert_eq!(s.mem_bytes, 100); // residency unchanged
+        assert_eq!(s.mem_traffic_bytes, 30);
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(TaskId(3).to_string(), "task-3");
+    }
+}

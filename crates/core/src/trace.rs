@@ -1,0 +1,156 @@
+//! Execution timelines: per-worker busy intervals and their rendering.
+//!
+//! A [`Timeline`] records which worker ran which task over which interval.
+//! The simulated runtimes fill one in on request, giving the Gantt-style
+//! view operators use to diagnose load imbalance (e.g. DryadLINQ's static
+//! partitions leaving whole nodes idle while one node grinds on).
+
+use serde::{Deserialize, Serialize};
+
+/// One task execution on one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskInterval {
+    /// Flat worker index within the fleet.
+    pub worker: usize,
+    /// Task id.
+    pub task: u64,
+    pub start_s: f64,
+    pub end_s: f64,
+}
+
+/// A recorded execution timeline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    intervals: Vec<TaskInterval>,
+}
+
+impl Timeline {
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    pub fn push(&mut self, worker: usize, task: u64, start_s: f64, end_s: f64) {
+        debug_assert!(end_s >= start_s, "interval must not be negative");
+        self.intervals.push(TaskInterval {
+            worker,
+            task,
+            start_s,
+            end_s,
+        });
+    }
+
+    pub fn intervals(&self) -> &[TaskInterval] {
+        &self.intervals
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Number of distinct workers that ran anything.
+    pub fn n_workers(&self) -> usize {
+        self.intervals
+            .iter()
+            .map(|i| i.worker)
+            .max()
+            .map(|w| w + 1)
+            .unwrap_or(0)
+    }
+
+    /// End of the last interval.
+    pub fn horizon_s(&self) -> f64 {
+        self.intervals.iter().map(|i| i.end_s).fold(0.0, f64::max)
+    }
+
+    /// Total busy seconds of one worker.
+    pub fn worker_busy_s(&self, worker: usize) -> f64 {
+        self.intervals
+            .iter()
+            .filter(|i| i.worker == worker)
+            .map(|i| i.end_s - i.start_s)
+            .sum()
+    }
+
+    /// Mean utilization across `n_workers` over the full horizon.
+    pub fn utilization(&self, n_workers: usize) -> f64 {
+        let horizon = self.horizon_s();
+        if horizon <= 0.0 || n_workers == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self.intervals.iter().map(|i| i.end_s - i.start_s).sum();
+        busy / (horizon * n_workers as f64)
+    }
+
+    /// Render as an ASCII Gantt chart: one row per worker, `#` where busy.
+    /// `width` columns span the horizon.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let horizon = self.horizon_s();
+        let n = self.n_workers();
+        if horizon <= 0.0 || n == 0 || width == 0 {
+            return String::from("(empty timeline)\n");
+        }
+        let mut rows = vec![vec![b' '; width]; n];
+        for iv in &self.intervals {
+            let lo = ((iv.start_s / horizon) * width as f64).floor() as usize;
+            let hi = (((iv.end_s / horizon) * width as f64).ceil() as usize).min(width);
+            for cell in &mut rows[iv.worker][lo.min(width.saturating_sub(1))..hi] {
+                *cell = b'#';
+            }
+        }
+        let mut out = String::with_capacity(n * (width + 12));
+        for (w, row) in rows.iter().enumerate() {
+            out.push_str(&format!("w{w:03} |{}|\n", String::from_utf8_lossy(row)));
+        }
+        out.push_str(&format!(
+            "      0s{:>w$}\n",
+            format!("{horizon:.0}s"),
+            w = width - 2
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Timeline {
+        let mut t = Timeline::new();
+        t.push(0, 1, 0.0, 10.0);
+        t.push(0, 2, 10.0, 20.0);
+        t.push(1, 3, 0.0, 5.0);
+        t
+    }
+
+    #[test]
+    fn accounting() {
+        let t = sample();
+        assert_eq!(t.n_workers(), 2);
+        assert_eq!(t.horizon_s(), 20.0);
+        assert_eq!(t.worker_busy_s(0), 20.0);
+        assert_eq!(t.worker_busy_s(1), 5.0);
+        // (20 + 5) / (20 * 2) = 0.625
+        assert!((t.utilization(2) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_shows_imbalance() {
+        let t = sample();
+        let art = t.render_ascii(20);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].starts_with("w000"));
+        // Worker 0 busy across the whole span; worker 1 only the first quarter.
+        let w0 = lines[0].matches('#').count();
+        let w1 = lines[1].matches('#').count();
+        assert_eq!(w0, 20);
+        assert!((4..=6).contains(&w1), "w1 {w1}");
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = Timeline::new();
+        assert!(t.is_empty());
+        assert_eq!(t.utilization(4), 0.0);
+        assert_eq!(t.render_ascii(10), "(empty timeline)\n");
+    }
+}

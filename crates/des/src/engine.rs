@@ -1,0 +1,229 @@
+//! The event calendar.
+//!
+//! An [`Engine`] owns a priority queue of `(time, sequence, closure)` events.
+//! [`Engine::run`] pops the earliest event and fires it; firing may schedule
+//! further events. Two events at the same instant fire in the order they
+//! were scheduled (the `sequence` tie-break), which — together with the
+//! deterministic PRNGs in `ppc-core::rng` — makes whole platform simulations
+//! reproducible bit for bit.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+type EventFn = Box<dyn FnOnce(&mut Engine)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    f: EventFn,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest event.
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Single-threaded discrete-event engine.
+pub struct Engine {
+    now: SimTime,
+    seq: u64,
+    fired: u64,
+    calendar: BinaryHeap<Scheduled>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    pub fn new() -> Engine {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            fired: 0,
+            calendar: BinaryHeap::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events fired so far (useful for runaway detection in tests).
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.calendar.len()
+    }
+
+    /// Schedule `f` to fire at absolute time `at`. Scheduling in the past is
+    /// a model bug; we clamp to `now` and fire it next, keeping the clock
+    /// monotonic.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Engine) + 'static) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.calendar.push(Scheduled {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedule `f` to fire `delay` after now.
+    pub fn schedule_in(&mut self, delay: SimTime, f: impl FnOnce(&mut Engine) + 'static) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Fire a single event if one is pending; returns whether one fired.
+    pub fn step(&mut self) -> bool {
+        match self.calendar.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now, "calendar went backwards");
+                self.now = ev.at;
+                self.fired += 1;
+                (ev.f)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the calendar drains; returns the final simulated time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until the calendar drains or the clock passes `deadline`,
+    /// whichever comes first. Events scheduled after the deadline remain
+    /// pending.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(head) = self.calendar.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self
+            .now
+            .max(deadline.min(self.peek_time().unwrap_or(deadline)));
+        self.now
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.calendar.peek().map(|s| s.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut e = Engine::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        for (t, v) in [(30u64, 3u32), (10, 1), (20, 2)] {
+            let log = log.clone();
+            e.schedule_at(SimTime::from_secs(t), move |_| log.borrow_mut().push(v));
+        }
+        let end = e.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        assert_eq!(end, SimTime::from_secs(30));
+        assert_eq!(e.events_fired(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut e = Engine::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        for v in 0..100 {
+            let log = log.clone();
+            e.schedule_at(SimTime::from_secs(5), move |_| log.borrow_mut().push(v));
+        }
+        e.run();
+        assert_eq!(*log.borrow(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        // A self-rescheduling "process" ticking 5 times.
+        let mut e = Engine::new();
+        let count = Rc::new(RefCell::new(0));
+        fn tick(e: &mut Engine, count: Rc<RefCell<u32>>) {
+            *count.borrow_mut() += 1;
+            if *count.borrow() < 5 {
+                let c = count.clone();
+                e.schedule_in(SimTime::from_secs(2), move |e| tick(e, c));
+            }
+        }
+        let c = count.clone();
+        e.schedule_at(SimTime::ZERO, move |e| tick(e, c));
+        let end = e.run();
+        assert_eq!(*count.borrow(), 5);
+        assert_eq!(end, SimTime::from_secs(8));
+    }
+
+    #[test]
+    fn scheduling_in_past_clamps_to_now() {
+        let mut e = Engine::new();
+        let seen = Rc::new(RefCell::new(SimTime::ZERO));
+        let s = seen.clone();
+        e.schedule_at(SimTime::from_secs(10), move |e| {
+            // Attempt to schedule 5 seconds "ago".
+            let s2 = s.clone();
+            e.schedule_at(SimTime::from_secs(5), move |e| *s2.borrow_mut() = e.now());
+        });
+        e.run();
+        assert_eq!(*seen.borrow(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e = Engine::new();
+        let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for t in [1u64, 2, 3, 4, 5] {
+            let log = log.clone();
+            e.schedule_at(SimTime::from_secs(t), move |e| {
+                log.borrow_mut().push(e.now().as_micros())
+            });
+        }
+        e.run_until(SimTime::from_secs(3));
+        assert_eq!(log.borrow().len(), 3);
+        assert_eq!(e.pending(), 2);
+        // Remaining events still run afterwards.
+        e.run();
+        assert_eq!(log.borrow().len(), 5);
+    }
+
+    #[test]
+    fn step_on_empty_returns_false() {
+        let mut e = Engine::new();
+        assert!(!e.step());
+        assert_eq!(e.now(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,32 @@
+//! # ppc-des — deterministic discrete-event simulation engine
+//!
+//! The paper's experiments run on fleets we cannot rent at 2010 prices —
+//! 16 High-CPU-Extra-Large EC2 instances, 128 Azure Small instances, a
+//! 32-node × 8-core bare-metal cluster. This crate provides the
+//! discrete-event engine on which `ppc-classic`, `ppc-mapreduce` and
+//! `ppc-dryad` build their *simulated* runtimes, so those fleets can be
+//! modeled on a laptop in virtual time.
+//!
+//! Design:
+//!
+//! * [`SimTime`] — integer microseconds; total order with no float drift.
+//! * [`Engine`] — a binary-heap event calendar firing `FnOnce(&mut Engine)`
+//!   closures. Ties are broken by insertion sequence, making every run
+//!   bit-for-bit deterministic for a given seed.
+//! * [`resource::FifoServer`] — a `c`-server FIFO queue, the building block
+//!   for modeled CPUs, disks, NICs, and service frontends.
+//! * [`stats`] — counters and time-weighted gauges for utilization curves.
+//!
+//! Shared mutable model state lives in `Rc<RefCell<_>>` captured by event
+//! closures — the engine is strictly single-threaded, which is what makes
+//! determinism cheap (see *Rust Atomics and Locks* on why sharing across
+//! threads would demand much heavier machinery for zero benefit here).
+
+pub mod engine;
+pub mod resource;
+pub mod stats;
+pub mod time;
+
+pub use engine::Engine;
+pub use resource::FifoServer;
+pub use time::SimTime;

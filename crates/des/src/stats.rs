@@ -1,0 +1,109 @@
+//! Simulation statistics: counters and time-weighted gauges.
+
+use crate::time::SimTime;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter(0)
+    }
+
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A gauge whose *time-weighted* mean is the statistic of interest —
+/// e.g. "mean number of busy cores" integrates busy-level over time.
+#[derive(Debug, Clone, Default)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    /// Integral of value dt, in value·seconds.
+    area: f64,
+    samples: u64,
+}
+
+impl TimeWeighted {
+    pub fn new() -> TimeWeighted {
+        TimeWeighted::default()
+    }
+
+    /// Record that the gauge changed to `value` at time `now`. Times must be
+    /// non-decreasing (the DES engine guarantees this for model code).
+    pub fn record(&mut self, now: SimTime, value: f64) {
+        debug_assert!(now >= self.last_time, "gauge time went backwards");
+        self.area += self.last_value * self.last_time.until(now).as_secs_f64();
+        self.last_time = now;
+        self.last_value = value;
+        self.samples += 1;
+    }
+
+    /// Current (most recently recorded) value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+
+    /// Time-weighted mean over `[0, now]`.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let total = now.as_secs_f64();
+        if total <= 0.0 {
+            return self.last_value;
+        }
+        let area = self.area + self.last_value * self.last_time.until(now).as_secs_f64();
+        area / total
+    }
+
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_step_function() {
+        // value 0 on [0,10), 4 on [10,20), 2 on [20,40):
+        // mean over 40s = (0*10 + 4*10 + 2*20)/40 = 2.0
+        let mut g = TimeWeighted::new();
+        g.record(SimTime::from_secs(10), 4.0);
+        g.record(SimTime::from_secs(20), 2.0);
+        assert!((g.mean(SimTime::from_secs(40)) - 2.0).abs() < 1e-12);
+        assert_eq!(g.current(), 2.0);
+        assert_eq!(g.samples(), 2);
+    }
+
+    #[test]
+    fn mean_at_time_zero_is_current() {
+        let g = TimeWeighted::new();
+        assert_eq!(g.mean(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn mean_extends_last_value_to_now() {
+        let mut g = TimeWeighted::new();
+        g.record(SimTime::ZERO, 3.0);
+        assert!((g.mean(SimTime::from_secs(7)) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Simulated time as integer microseconds.
+//!
+//! Floating-point clocks accumulate rounding differences that break event
+//! ordering reproducibility; a `u64` microsecond counter gives ~584,000 years
+//! of range, exact comparison, and cheap arithmetic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, microseconds since the simulation epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub const fn from_micros(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    pub const fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000)
+    }
+
+    pub const fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000)
+    }
+
+    /// From fractional seconds, rounding to the nearest microsecond.
+    /// Negative and non-finite durations clamp to zero: the models feed
+    /// computed service times here, and a model that yields `-1e-18` due to
+    /// float cancellation should schedule "now", not panic.
+    pub fn from_secs_f64(s: f64) -> SimTime {
+        if !s.is_finite() || s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((s * 1e6).round() as u64)
+    }
+
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration until `later`; saturates at zero if `later` is earlier.
+    pub fn until(self, later: SimTime) -> SimTime {
+        SimTime(later.0.saturating_sub(self.0))
+    }
+
+    /// Number of whole billing hours covering this duration (ceiling),
+    /// minimum 1 when any time at all has passed — matching the paper's
+    /// "instances are billed hourly" rule.
+    pub fn billed_hours(self) -> u64 {
+        if self.0 == 0 {
+            0
+        } else {
+            self.0.div_ceil(3_600_000_000)
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Saturating: simulated durations never go negative.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
+        assert_eq!(SimTime::from_secs_f64(1.5).as_micros(), 1_500_000);
+        assert!((SimTime::from_micros(250_000).as_secs_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_bad_input() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::INFINITY), SimTime::ZERO);
+    }
+
+    #[test]
+    fn saturating_sub() {
+        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(2), SimTime::ZERO);
+        assert_eq!(
+            SimTime::from_secs(5) - SimTime::from_secs(2),
+            SimTime::from_secs(3)
+        );
+    }
+
+    #[test]
+    fn billed_hours_ceiling() {
+        assert_eq!(SimTime::ZERO.billed_hours(), 0);
+        assert_eq!(SimTime::from_secs(1).billed_hours(), 1);
+        assert_eq!(SimTime::from_secs(3600).billed_hours(), 1);
+        assert_eq!(SimTime::from_secs(3601).billed_hours(), 2);
+        assert_eq!(SimTime::from_secs(7200).billed_hours(), 2);
+    }
+
+    #[test]
+    fn until_saturates() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(4);
+        assert_eq!(b.until(a), SimTime::from_secs(6));
+        assert_eq!(a.until(b), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the discrete-event engine: the determinism and
+//! ordering guarantees every platform simulation depends on.
+
+use ppc_des::{Engine, SimTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Events fire in non-decreasing time order regardless of the schedule
+    /// order, and same-time events fire in insertion order.
+    #[test]
+    fn fires_in_time_then_insertion_order(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut engine = Engine::new();
+        let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::default();
+        for (seq, &t) in times.iter().enumerate() {
+            let log = log.clone();
+            engine.schedule_at(SimTime::from_millis(t), move |e| {
+                log.borrow_mut().push((e.now().as_micros(), seq));
+            });
+        }
+        let end = engine.run();
+        let fired = log.borrow();
+        prop_assert_eq!(fired.len(), times.len());
+        for pair in fired.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time order violated");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "insertion order violated at equal times");
+            }
+        }
+        let max = times.iter().copied().max().unwrap();
+        prop_assert_eq!(end, SimTime::from_millis(max));
+    }
+
+    /// Cascading events (each schedules a follow-up) keep the clock
+    /// monotone and fire everything exactly once.
+    #[test]
+    fn cascades_are_monotone(delays in prop::collection::vec(0u64..100, 1..50)) {
+        let mut engine = Engine::new();
+        let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+        // Chain: event i schedules event i+1 after delays[i+1].
+        fn chain(e: &mut Engine, delays: Rc<Vec<u64>>, idx: usize, log: Rc<RefCell<Vec<u64>>>) {
+            log.borrow_mut().push(e.now().as_micros());
+            if idx + 1 < delays.len() {
+                let d = delays[idx + 1];
+                let log2 = log.clone();
+                let delays2 = delays.clone();
+                e.schedule_in(SimTime::from_millis(d), move |e| chain(e, delays2, idx + 1, log2));
+            }
+        }
+        let delays = Rc::new(delays);
+        let d0 = delays[0];
+        let log2 = log.clone();
+        let delays2 = delays.clone();
+        engine.schedule_at(SimTime::from_millis(d0), move |e| chain(e, delays2, 0, log2));
+        engine.run();
+        let fired = log.borrow();
+        prop_assert_eq!(fired.len(), delays.len());
+        for pair in fired.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        let total: u64 = delays.iter().sum();
+        prop_assert_eq!(*fired.last().unwrap(), total * 1000);
+    }
+
+    /// run_until never fires past the deadline; the remainder still runs.
+    #[test]
+    fn run_until_partitions_cleanly(times in prop::collection::vec(0u64..1000, 1..100), cut in 0u64..1000) {
+        let mut engine = Engine::new();
+        let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for &t in &times {
+            let log = log.clone();
+            engine.schedule_at(SimTime::from_millis(t), move |e| log.borrow_mut().push(e.now().as_micros()));
+        }
+        engine.run_until(SimTime::from_millis(cut));
+        let early = log.borrow().len();
+        let expected_early = times.iter().filter(|&&t| t <= cut).count();
+        prop_assert_eq!(early, expected_early);
+        engine.run();
+        prop_assert_eq!(log.borrow().len(), times.len());
+    }
+
+    /// SimTime billing hours: ceiling, 1-hour granularity, monotone.
+    #[test]
+    fn billed_hours_monotone(secs in prop::collection::vec(0u64..20_000, 2..20)) {
+        let mut sorted = secs.clone();
+        sorted.sort_unstable();
+        let hours: Vec<u64> = sorted.iter().map(|&s| SimTime::from_secs(s).billed_hours()).collect();
+        for pair in hours.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        for (&s, &h) in sorted.iter().zip(&hours) {
+            if s == 0 {
+                prop_assert_eq!(h, 0);
+            } else {
+                prop_assert!(h * 3600 >= s, "ceiling covers duration");
+                prop_assert!((h - 1) * 3600 < s, "no over-billing by a whole hour");
+            }
+        }
+    }
+}
+
+/// FIFO server conservation: all submitted jobs complete, in order, and
+/// total busy time equals the sum of service times.
+#[test]
+fn fifo_server_conserves_work() {
+    use ppc_core::rng::Pcg32;
+    use ppc_des::FifoServer;
+    let mut rng = Pcg32::new(99);
+    for _ in 0..20 {
+        let capacity = 1 + rng.next_below(4) as usize;
+        let n_jobs = 5 + rng.next_below(40) as usize;
+        let services: Vec<u64> = (0..n_jobs).map(|_| 1 + rng.next_below(50) as u64).collect();
+        let mut engine = Engine::new();
+        let server = FifoServer::new("s", capacity);
+        let done: Rc<RefCell<Vec<usize>>> = Rc::default();
+        for (i, &svc) in services.iter().enumerate() {
+            let server = server.clone();
+            let done = done.clone();
+            engine.schedule_at(SimTime::ZERO, move |e| {
+                let done = done.clone();
+                server.submit(e, SimTime::from_secs(svc), move |_| {
+                    done.borrow_mut().push(i)
+                });
+            });
+        }
+        let end = engine.run();
+        assert_eq!(done.borrow().len(), n_jobs);
+        assert_eq!(server.completed(), n_jobs as u64);
+        // Work conservation: busy-time integral equals total service time.
+        let total_service: u64 = services.iter().sum();
+        let busy_integral = server.mean_busy(end) * end.as_secs_f64();
+        assert!(
+            (busy_integral - total_service as f64).abs() < 1e-6,
+            "{busy_integral} vs {total_service}"
+        );
+        // Makespan lower bound: max(total/capacity, longest job).
+        let lower =
+            (total_service as f64 / capacity as f64).max(*services.iter().max().unwrap() as f64);
+        assert!(end.as_secs_f64() >= lower - 1e-9);
+    }
+}

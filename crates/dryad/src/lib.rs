@@ -1,0 +1,37 @@
+//! # ppc-dryad — a DryadLINQ-like DAG execution engine
+//!
+//! Stands in for Microsoft Dryad/DryadLINQ as the paper used them (§2.3):
+//!
+//! > "Dryad applications are expressed as directed acyclic data-flow graphs
+//! > (DAG), where vertices represent computations and edges represent
+//! > communication channels ... data for the computations need to be
+//! > partitioned manually and stored beforehand in the local disks of the
+//! > computational nodes ... The DryadLINQ implementation of the framework
+//! > uses the DryadLINQ 'select' operator on the data partitions to perform
+//! > the distributed computations."
+//!
+//! The defining behavioural difference from Hadoop/Classic Cloud — and the
+//! one the paper measures — is **static task partitioning at the node
+//! level**, giving "suboptimal load balancing" (Table 3) on inhomogeneous
+//! data.
+//!
+//! * [`graph`] — explicit DAGs with cycle detection and topological stages.
+//! * [`partition`] — static partitioners and the partition manifest files
+//!   the paper had to generate.
+//! * [`linq`] — `DVec<T>`, a partitioned collection with `select`, `where`,
+//!   `apply`, `group_by`, executed one vertex per partition.
+//! * [`runtime`] — the native homomorphic-apply job runner (the paper's
+//!   "select over data partitions" pattern) on real threads.
+//! * [`sim`] — the discrete-event model for paper-scale runs.
+
+pub mod graph;
+pub mod linq;
+pub mod partition;
+pub mod runtime;
+pub mod sim;
+
+pub use graph::Graph;
+pub use linq::DVec;
+pub use partition::{partition_contiguous, partition_round_robin, PartitionManifest};
+pub use runtime::{run_homomorphic_job, DryadConfig, DryadReport};
+pub use sim::{simulate, DryadSimConfig};

@@ -1,0 +1,148 @@
+//! Static data partitioning.
+//!
+//! DryadLINQ required "data for the computations ... be partitioned manually
+//! and stored beforehand in the local disks of the computational nodes",
+//! with the paper's framework implementing "the data partition and the
+//! distribution programs" and "the generation of metadata files for the data
+//! partitions" (§2.3, §2.4). These are those programs.
+
+use ppc_core::{PpcError, Result};
+
+/// Deal items round-robin across `n` partitions (even counts, arbitrary
+/// content mix — the paper's default distribution).
+pub fn partition_round_robin<T>(items: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    assert!(n > 0, "need at least one partition");
+    let mut parts: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        parts[i % n].push(item);
+    }
+    parts
+}
+
+/// Split items into `n` contiguous runs (preserves order; uneven tails).
+pub fn partition_contiguous<T>(items: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    assert!(n > 0, "need at least one partition");
+    let len = items.len();
+    let base = len / n;
+    let extra = len % n;
+    let mut parts = Vec::with_capacity(n);
+    let mut iter = items.into_iter();
+    for i in 0..n {
+        let take = base + usize::from(i < extra);
+        parts.push(iter.by_ref().take(take).collect());
+    }
+    parts
+}
+
+/// The metadata file describing a partitioned data set — what DryadLINQ
+/// reads to know where each partition lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionManifest {
+    pub name: String,
+    /// Per-partition (node index, item count).
+    pub partitions: Vec<(usize, usize)>,
+}
+
+impl PartitionManifest {
+    pub fn describe<T>(name: impl Into<String>, parts: &[Vec<T>]) -> PartitionManifest {
+        PartitionManifest {
+            name: name.into(),
+            partitions: parts
+                .iter()
+                .enumerate()
+                .map(|(node, p)| (node, p.len()))
+                .collect(),
+        }
+    }
+
+    pub fn total_items(&self) -> usize {
+        self.partitions.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Serialize in the simple one-line-per-partition text format the
+    /// paper's partition tool would emit.
+    pub fn to_text(&self) -> String {
+        let mut s = format!("{}\n{}\n", self.name, self.partitions.len());
+        for (node, count) in &self.partitions {
+            s.push_str(&format!("{node}\t{count}\n"));
+        }
+        s
+    }
+
+    pub fn from_text(text: &str) -> Result<PartitionManifest> {
+        let mut lines = text.lines();
+        let name = lines
+            .next()
+            .ok_or_else(|| PpcError::Codec("manifest missing name".into()))?
+            .to_string();
+        let n: usize = lines
+            .next()
+            .and_then(|l| l.parse().ok())
+            .ok_or_else(|| PpcError::Codec("manifest missing partition count".into()))?;
+        let mut partitions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = lines
+                .next()
+                .ok_or_else(|| PpcError::Codec("manifest truncated".into()))?;
+            let mut f = line.split('\t');
+            let node: usize = f
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| PpcError::Codec("bad node".into()))?;
+            let count: usize = f
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| PpcError::Codec("bad count".into()))?;
+            partitions.push((node, count));
+        }
+        Ok(PartitionManifest { name, partitions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let parts = partition_round_robin((0..10).collect(), 3);
+        assert_eq!(parts[0], vec![0, 3, 6, 9]);
+        assert_eq!(parts[1], vec![1, 4, 7]);
+        assert_eq!(parts[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn contiguous_preserves_order() {
+        let parts = partition_contiguous((0..10).collect(), 3);
+        assert_eq!(parts[0], vec![0, 1, 2, 3]);
+        assert_eq!(parts[1], vec![4, 5, 6]);
+        assert_eq!(parts[2], vec![7, 8, 9]);
+        let flat: Vec<i32> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_partitions_than_items() {
+        let parts = partition_round_robin(vec![1, 2], 5);
+        assert_eq!(parts.iter().filter(|p| !p.is_empty()).count(), 2);
+        let parts = partition_contiguous(vec![1, 2], 5);
+        assert_eq!(parts.iter().filter(|p| !p.is_empty()).count(), 2);
+    }
+
+    #[test]
+    fn manifest_round_trip() {
+        let parts = partition_round_robin((0..7).collect(), 3);
+        let m = PartitionManifest::describe("pubchem", &parts);
+        assert_eq!(m.total_items(), 7);
+        let text = m.to_text();
+        let back = PartitionManifest::from_text(&text).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn manifest_rejects_garbage() {
+        assert!(PartitionManifest::from_text("").is_err());
+        assert!(PartitionManifest::from_text("name\nnotanumber\n").is_err());
+        assert!(PartitionManifest::from_text("name\n2\n0\t1\n").is_err());
+    }
+}

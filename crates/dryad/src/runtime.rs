@@ -1,0 +1,302 @@
+//! The native Dryad-style job runner for the paper's pattern: a homomorphic
+//! `select` over statically partitioned inputs.
+//!
+//! Inputs are split across nodes **before** the job starts (the Windows
+//! shared directories of §2.3); each node then processes only its own list
+//! using its worker threads. Dynamic balancing happens *within* a node
+//! (vertices share the node's cores) but never across nodes — the defining
+//! limitation measured in the paper's load-balancing discussion (§4.2).
+
+use ppc_compute::cluster::Cluster;
+use ppc_core::exec::Executor;
+use ppc_core::metrics::RunSummary;
+use ppc_core::task::TaskSpec;
+use ppc_core::{PpcError, Result};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Configuration for the native Dryad runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct DryadConfig {
+    /// Fail the whole job on the first unrecoverable vertex failure.
+    pub fail_fast: bool,
+    /// Re-run a failed vertex up to this many extra times before giving up
+    /// — Table 3's "re-execution of failed ... tasks" for Dryad.
+    pub max_retries: u32,
+}
+
+impl Default for DryadConfig {
+    fn default() -> Self {
+        DryadConfig {
+            fail_fast: false,
+            max_retries: 2,
+        }
+    }
+}
+
+/// Report of one Dryad job run.
+#[derive(Debug, Clone)]
+pub struct DryadReport {
+    pub summary: RunSummary,
+    /// Wall seconds each node took to clear its static partition.
+    pub per_node_seconds: Vec<f64>,
+    /// Vertices that failed *permanently* (exhausted their retries).
+    pub vertex_failures: usize,
+    /// Vertex re-executions that recovered a transient failure.
+    pub vertex_retries: usize,
+}
+
+impl DryadReport {
+    /// Max node time over mean node time — 1.0 is perfect balance. The
+    /// paper's inhomogeneous-data studies show this growing for DryadLINQ
+    /// while Hadoop's global queue keeps it near 1.
+    pub fn imbalance(&self) -> f64 {
+        let n = self.per_node_seconds.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let max = self.per_node_seconds.iter().cloned().fold(0.0, f64::max);
+        let mean = self.per_node_seconds.iter().sum::<f64>() / n as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// (output key, output bytes) pairs, in completion order.
+pub type JobOutputs = Vec<(String, Vec<u8>)>;
+
+/// Run `executor` over every input, statically partitioned round-robin
+/// across the cluster's nodes. Returns the report and the outputs
+/// (output key → bytes), in completion order.
+pub fn run_homomorphic_job(
+    cluster: &Cluster,
+    inputs: Vec<(TaskSpec, Vec<u8>)>,
+    executor: Arc<dyn Executor>,
+    config: &DryadConfig,
+) -> Result<(DryadReport, JobOutputs)> {
+    if inputs.is_empty() {
+        return Err(PpcError::InvalidArgument("no inputs".into()));
+    }
+    let n_nodes = cluster.n_nodes();
+    // Static node-level partitioning, fixed before execution.
+    let partitions = crate::partition::partition_round_robin(inputs, n_nodes);
+
+    let outputs: Mutex<Vec<(String, Vec<u8>)>> = Mutex::new(Vec::new());
+    let failures = AtomicUsize::new(0);
+    let retries = AtomicUsize::new(0);
+    let first_error: Mutex<Option<PpcError>> = Mutex::new(None);
+    let per_node: Mutex<Vec<f64>> = Mutex::new(vec![0.0; n_nodes]);
+    let total_bytes = AtomicUsize::new(0);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (node, node_inputs) in partitions.into_iter().enumerate() {
+            let workers = cluster.nodes()[node].workers;
+            let executor = executor.clone();
+            let outputs = &outputs;
+            let failures = &failures;
+            let retries = &retries;
+            let first_error = &first_error;
+            let per_node = &per_node;
+            let total_bytes = &total_bytes;
+            scope.spawn(move || {
+                let node_start = Instant::now();
+                // Within the node, vertices share a local work list.
+                let local: Mutex<std::collections::VecDeque<(TaskSpec, Vec<u8>)>> =
+                    Mutex::new(node_inputs.into());
+                std::thread::scope(|inner| {
+                    for _ in 0..workers {
+                        let executor = executor.clone();
+                        let local = &local;
+                        inner.spawn(move || loop {
+                            let item = local.lock().unwrap().pop_front();
+                            let (spec, input) = match item {
+                                Some(x) => x,
+                                None => break,
+                            };
+                            // Re-execute a failed vertex (Table 3's Dryad
+                            // fault tolerance) before declaring it failed.
+                            let mut last_err = None;
+                            let mut output = None;
+                            for attempt in 0..=config.max_retries {
+                                match executor.run(&spec, &input) {
+                                    Ok(out) => {
+                                        if attempt > 0 {
+                                            retries.fetch_add(attempt as usize, Ordering::Relaxed);
+                                        }
+                                        output = Some(out);
+                                        break;
+                                    }
+                                    Err(e) => last_err = Some(e),
+                                }
+                            }
+                            match output {
+                                Some(out) => {
+                                    total_bytes.fetch_add(out.len(), Ordering::Relaxed);
+                                    outputs.lock().unwrap().push((spec.output_key.clone(), out));
+                                }
+                                None => {
+                                    failures.fetch_add(1, Ordering::Relaxed);
+                                    let mut fe = first_error.lock().unwrap();
+                                    if fe.is_none() {
+                                        *fe = last_err;
+                                    }
+                                }
+                            }
+                        });
+                    }
+                });
+                per_node.lock().unwrap()[node] = node_start.elapsed().as_secs_f64();
+            });
+        }
+    });
+    let makespan = start.elapsed().as_secs_f64();
+
+    let vertex_failures = failures.load(Ordering::Relaxed);
+    if config.fail_fast && vertex_failures > 0 {
+        return Err(first_error.into_inner().unwrap().expect("failure recorded"));
+    }
+    let outputs = outputs.into_inner().unwrap();
+    let report = DryadReport {
+        summary: RunSummary {
+            platform: "dryadlinq".into(),
+            cores: cluster.total_workers(),
+            tasks: outputs.len(),
+            makespan_seconds: makespan,
+            redundant_executions: 0,
+            remote_bytes: 0, // node-local files only
+        },
+        per_node_seconds: per_node.into_inner().unwrap(),
+        vertex_failures,
+        vertex_retries: retries.load(Ordering::Relaxed),
+    };
+    Ok((report, outputs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_compute::instance::BARE_HPC16;
+    use ppc_core::exec::FnExecutor;
+    use ppc_core::task::ResourceProfile;
+    use std::time::Duration;
+
+    fn inputs(n: u64) -> Vec<(TaskSpec, Vec<u8>)> {
+        (0..n)
+            .map(|i| {
+                (
+                    TaskSpec::new(i, "t", format!("f{i}"), ResourceProfile::cpu_bound(0.0)),
+                    format!("d{i}").into_bytes(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn processes_all_inputs() {
+        let cluster = Cluster::provision(BARE_HPC16, 2, 4);
+        let exec = FnExecutor::new("rev", |_s, i: &[u8]| {
+            let mut v = i.to_vec();
+            v.reverse();
+            Ok(v)
+        });
+        let (report, outputs) =
+            run_homomorphic_job(&cluster, inputs(20), exec, &DryadConfig::default()).unwrap();
+        assert_eq!(report.summary.tasks, 20);
+        assert_eq!(outputs.len(), 20);
+        assert_eq!(report.vertex_failures, 0);
+        assert_eq!(report.per_node_seconds.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let cluster = Cluster::provision(BARE_HPC16, 1, 1);
+        let exec = FnExecutor::new("id", |_s, i: &[u8]| Ok(i.to_vec()));
+        assert!(run_homomorphic_job(&cluster, vec![], exec, &DryadConfig::default()).is_err());
+    }
+
+    #[test]
+    fn fail_fast_surfaces_error() {
+        let cluster = Cluster::provision(BARE_HPC16, 1, 2);
+        let exec = FnExecutor::new("boom", |spec: &TaskSpec, i: &[u8]| {
+            if spec.id.0 == 3 {
+                Err(PpcError::TaskFailed("bad vertex".into()))
+            } else {
+                Ok(i.to_vec())
+            }
+        });
+        let err = run_homomorphic_job(
+            &cluster,
+            inputs(6),
+            exec.clone(),
+            &DryadConfig {
+                fail_fast: true,
+                max_retries: 0,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "TaskFailed");
+        // Without fail-fast the job completes the rest; the deterministic
+        // poison vertex fails permanently even after its retries.
+        let (report, outputs) =
+            run_homomorphic_job(&cluster, inputs(6), exec, &DryadConfig::default()).unwrap();
+        assert_eq!(report.vertex_failures, 1);
+        assert_eq!(outputs.len(), 5);
+    }
+
+    #[test]
+    fn transient_vertex_failures_are_retried() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Every task fails on its first attempt and succeeds on the retry.
+        let attempts: Arc<std::sync::Mutex<std::collections::HashMap<u64, AtomicUsize>>> =
+            Default::default();
+        let attempts2 = attempts.clone();
+        let exec = FnExecutor::new("flaky", move |spec: &TaskSpec, i: &[u8]| {
+            let map = attempts2.lock().unwrap();
+            let n = map
+                .get(&spec.id.0)
+                .map(|a| a.fetch_add(1, Ordering::Relaxed))
+                .unwrap_or_else(|| {
+                    drop(map);
+                    attempts2
+                        .lock()
+                        .unwrap()
+                        .entry(spec.id.0)
+                        .or_insert_with(|| AtomicUsize::new(1));
+                    0
+                });
+            if n == 0 {
+                Err(PpcError::Transient("first attempt flakes".into()))
+            } else {
+                Ok(i.to_vec())
+            }
+        });
+        let cluster = Cluster::provision(BARE_HPC16, 2, 2);
+        let (report, outputs) =
+            run_homomorphic_job(&cluster, inputs(12), exec, &DryadConfig::default()).unwrap();
+        assert_eq!(report.vertex_failures, 0, "retries recovered every vertex");
+        assert_eq!(outputs.len(), 12);
+        assert_eq!(report.vertex_retries, 12, "one retry per task");
+    }
+
+    #[test]
+    fn static_partitioning_shows_imbalance_on_skew() {
+        // Node 0 gets all the slow tasks under round-robin when slow tasks
+        // are at even indices and n_nodes divides their stride.
+        let cluster = Cluster::provision(BARE_HPC16, 2, 2);
+        let exec = FnExecutor::new("skew", |spec: &TaskSpec, i: &[u8]| {
+            if spec.id.0.is_multiple_of(2) {
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            Ok(i.to_vec())
+        });
+        let (report, _) =
+            run_homomorphic_job(&cluster, inputs(8), exec, &DryadConfig::default()).unwrap();
+        // All 4 slow tasks landed on node 0 (ids 0,2,4,6): strong imbalance.
+        assert!(report.imbalance() > 1.5, "imbalance {}", report.imbalance());
+    }
+}

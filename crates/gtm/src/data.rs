@@ -1,0 +1,112 @@
+//! Synthetic PubChem-like fingerprint data.
+//!
+//! The paper's GTM input is 26 million PubChem compounds with 166-bit
+//! structural fingerprints (MACCS keys). This generator produces clustered
+//! binary vectors with the same shape: cluster centers are random bit
+//! patterns, members flip each bit with small probability — so a dimension
+//! reduction genuinely has structure to find.
+
+use crate::linalg::Matrix;
+use ppc_core::rng::Pcg32;
+
+/// The MACCS fingerprint dimensionality used by the paper's data set.
+pub const FINGERPRINT_DIM: usize = 166;
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FingerprintParams {
+    pub n_points: usize,
+    pub dim: usize,
+    pub n_clusters: usize,
+    /// Per-bit flip probability away from the cluster center.
+    pub flip_noise: f64,
+}
+
+impl Default for FingerprintParams {
+    fn default() -> Self {
+        FingerprintParams {
+            n_points: 500,
+            dim: FINGERPRINT_DIM,
+            n_clusters: 5,
+            flip_noise: 0.05,
+        }
+    }
+}
+
+/// Generate fingerprints; returns the data matrix (`n_points × dim`, values
+/// 0.0/1.0) and each point's true cluster label.
+pub fn fingerprints(params: &FingerprintParams, seed: u64) -> (Matrix, Vec<usize>) {
+    assert!(params.n_clusters > 0 && params.n_points > 0 && params.dim > 0);
+    let mut rng = Pcg32::new(seed);
+    let centers: Vec<Vec<bool>> = (0..params.n_clusters)
+        .map(|_| (0..params.dim).map(|_| rng.chance(0.5)).collect())
+        .collect();
+    let mut data = Matrix::zeros(params.n_points, params.dim);
+    let mut labels = Vec::with_capacity(params.n_points);
+    for i in 0..params.n_points {
+        let label = rng.next_below(params.n_clusters as u32) as usize;
+        labels.push(label);
+        for j in 0..params.dim {
+            let mut bit = centers[label][j];
+            if rng.chance(params.flip_noise) {
+                bit = !bit;
+            }
+            data[(i, j)] = if bit { 1.0 } else { 0.0 };
+        }
+    }
+    (data, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_values() {
+        let (data, labels) = fingerprints(&FingerprintParams::default(), 1);
+        assert_eq!(data.rows(), 500);
+        assert_eq!(data.cols(), 166);
+        assert_eq!(labels.len(), 500);
+        assert!(data.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        assert!(labels.iter().all(|&l| l < 5));
+    }
+
+    #[test]
+    fn cluster_structure_exists() {
+        let (data, labels) = fingerprints(
+            &FingerprintParams {
+                n_points: 200,
+                n_clusters: 3,
+                flip_noise: 0.02,
+                ..Default::default()
+            },
+            2,
+        );
+        // Same-cluster distance << different-cluster distance on average.
+        let mut same = (0.0, 0);
+        let mut diff = (0.0, 0);
+        for i in 0..50 {
+            for j in (i + 1)..50 {
+                let d = data.row_sq_dist(i, &data, j);
+                if labels[i] == labels[j] {
+                    same = (same.0 + d, same.1 + 1);
+                } else {
+                    diff = (diff.0 + d, diff.1 + 1);
+                }
+            }
+        }
+        let same_mean = same.0 / same.1.max(1) as f64;
+        let diff_mean = diff.0 / diff.1.max(1) as f64;
+        assert!(
+            same_mean * 3.0 < diff_mean,
+            "same {same_mean} diff {diff_mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = fingerprints(&FingerprintParams::default(), 3);
+        let (b, _) = fingerprints(&FingerprintParams::default(), 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,31 @@
+//! # ppc-gtm — Generative Topographic Mapping and GTM Interpolation
+//!
+//! GTM (Bishop, Svensén & Williams 1998) models high-dimensional data as a
+//! smooth mapping from a 2-D latent grid through an RBF network plus
+//! isotropic Gaussian noise, trained by EM. **GTM Interpolation** (Bae et
+//! al., HPDC 2010 — reference \[17\] of the paper) is the out-of-sample
+//! extension this paper's third application runs: train on a small sample
+//! (100k PubChem fingerprints), then project the remaining millions of
+//! points through the trained model — a pleasingly parallel, memory-
+//! bandwidth-bound workload (§6).
+//!
+//! * [`linalg`] — the dense-matrix kit (matmul, Cholesky solves) the EM
+//!   steps need; written here rather than pulling in a BLAS so the kernel's
+//!   memory-traffic profile is explicit.
+//! * [`rbf`] — latent grids and the RBF basis matrix Φ.
+//! * [`mod@train`] — EM training of `W` and `β`, with log-likelihood tracking.
+//! * [`mod@interpolate`] — out-of-sample responsibility projection.
+//! * [`data`] — synthetic PubChem-like fingerprint generator.
+
+pub mod data;
+pub mod interpolate;
+pub mod linalg;
+pub mod pca;
+pub mod rbf;
+pub mod train;
+
+pub use interpolate::interpolate;
+pub use linalg::Matrix;
+pub use pca::{pca, Pca};
+pub use rbf::{LatentGrid, RbfBasis};
+pub use train::{train, GtmModel, TrainConfig};

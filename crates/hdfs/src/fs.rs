@@ -1,0 +1,623 @@
+//! The filesystem: namenode + datanodes in one thread-safe object.
+//!
+//! Real HDFS separates the namenode process from datanode daemons; here
+//! they are one [`MiniHdfs`] value because the frameworks only ever see the
+//! client API. The essential behaviours — block splitting, replica
+//! placement, locality metadata, datanode failure, re-replication — are all
+//! faithfully modeled.
+
+use crate::block::{BlockId, BlockInfo, DataNodeId, FileStatus};
+use crate::placement::PlacementPolicy;
+use parking_lot::RwLock;
+use ppc_core::rng::Pcg32;
+use ppc_core::{PpcError, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct BlockRecord {
+    data: Arc<Vec<u8>>,
+    replicas: Vec<DataNodeId>,
+}
+
+struct FileMeta {
+    blocks: Vec<BlockId>,
+    len: u64,
+}
+
+struct Inner {
+    files: HashMap<String, FileMeta>,
+    blocks: HashMap<BlockId, BlockRecord>,
+    alive: Vec<bool>,
+    next_block: u64,
+    rng: Pcg32,
+}
+
+/// A miniature HDFS cluster.
+///
+/// ```
+/// use ppc_hdfs::fs::MiniHdfs;
+/// use ppc_hdfs::block::DataNodeId;
+/// let fs = MiniHdfs::new(4, 64 << 20, 3, 42);
+/// fs.create("/in/reads.fa", b">r1\nACGT\n", None).unwrap();
+/// // Replicated on three datanodes; survives losing one.
+/// fs.kill_datanode(DataNodeId(0)).unwrap();
+/// assert_eq!(fs.read("/in/reads.fa").unwrap(), b">r1\nACGT\n");
+/// ```
+pub struct MiniHdfs {
+    inner: RwLock<Inner>,
+    policy: PlacementPolicy,
+    block_size: u64,
+    /// Block reads served by a replica on the reader's own node.
+    local_reads: AtomicU64,
+    /// Block reads that had to cross the network.
+    remote_reads: AtomicU64,
+}
+
+impl MiniHdfs {
+    /// Create a cluster of `n_nodes` datanodes.
+    pub fn new(n_nodes: usize, block_size: u64, replication: usize, seed: u64) -> Arc<MiniHdfs> {
+        assert!(block_size > 0, "block size must be positive");
+        // Default rack width 8, HDFS-ish.
+        let nodes_per_rack = 8.min(n_nodes.max(1));
+        Arc::new(MiniHdfs {
+            inner: RwLock::new(Inner {
+                files: HashMap::new(),
+                blocks: HashMap::new(),
+                alive: vec![true; n_nodes],
+                next_block: 0,
+                rng: Pcg32::new(seed),
+            }),
+            policy: PlacementPolicy::new(n_nodes, nodes_per_rack, replication),
+            block_size,
+            local_reads: AtomicU64::new(0),
+            remote_reads: AtomicU64::new(0),
+        })
+    }
+
+    /// A cluster with HDFS-classic defaults: 64 MB blocks, 3 replicas.
+    pub fn with_defaults(n_nodes: usize) -> Arc<MiniHdfs> {
+        MiniHdfs::new(n_nodes, 64 << 20, 3, 0x4d5f)
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.policy.n_nodes
+    }
+
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// (local, remote) block-read counters.
+    pub fn read_stats(&self) -> (u64, u64) {
+        (
+            self.local_reads.load(Ordering::Relaxed),
+            self.remote_reads.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Write a file, splitting into blocks and placing replicas. `writer`
+    /// pins the first replica of every block to that node (HDFS semantics
+    /// for datanode-local writers).
+    pub fn create(
+        &self,
+        path: &str,
+        data: &[u8],
+        writer: Option<DataNodeId>,
+    ) -> Result<FileStatus> {
+        if path.is_empty() {
+            return Err(PpcError::InvalidArgument("empty path".into()));
+        }
+        let mut inner = self.inner.write();
+        if inner.files.contains_key(path) {
+            return Err(PpcError::AlreadyExists(format!("file '{path}'")));
+        }
+        if let Some(w) = writer {
+            if w.0 >= self.policy.n_nodes || !inner.alive[w.0] {
+                return Err(PpcError::InvalidArgument(format!(
+                    "writer {w} is not an alive datanode"
+                )));
+            }
+        }
+        let mut block_ids = Vec::new();
+        let chunks: Vec<&[u8]> = if data.is_empty() {
+            vec![&[][..]] // an empty file still gets one (empty) block
+        } else {
+            data.chunks(self.block_size as usize).collect()
+        };
+        for chunk in chunks {
+            let id = BlockId(inner.next_block);
+            inner.next_block += 1;
+            // Placement may only use alive nodes: filter post-hoc by retry.
+            let replicas = loop {
+                let r = self.policy.place(writer, &mut inner.rng);
+                if r.iter().all(|n| inner.alive[n.0]) {
+                    break r;
+                }
+                // If too few nodes are alive to satisfy the filter, fall back
+                // to any alive subset.
+                let alive: Vec<DataNodeId> = (0..self.policy.n_nodes)
+                    .filter(|i| inner.alive[*i])
+                    .map(DataNodeId)
+                    .collect();
+                if alive.len() <= self.policy.effective_replication() {
+                    break alive;
+                }
+            };
+            if replicas.is_empty() {
+                return Err(PpcError::CapacityExceeded("no alive datanodes".into()));
+            }
+            inner.blocks.insert(
+                id,
+                BlockRecord {
+                    data: Arc::new(chunk.to_vec()),
+                    replicas,
+                },
+            );
+            block_ids.push(id);
+        }
+        let len = data.len() as u64;
+        inner.files.insert(
+            path.to_string(),
+            FileMeta {
+                blocks: block_ids,
+                len,
+            },
+        );
+        drop(inner);
+        self.status(path)
+    }
+
+    /// Namenode metadata for a file; replica lists only include alive nodes.
+    pub fn status(&self, path: &str) -> Result<FileStatus> {
+        let inner = self.inner.read();
+        let meta = inner
+            .files
+            .get(path)
+            .ok_or_else(|| PpcError::NotFound(format!("file '{path}'")))?;
+        let mut blocks = Vec::with_capacity(meta.blocks.len());
+        let mut offset = 0;
+        for id in &meta.blocks {
+            let rec = &inner.blocks[id];
+            let live: Vec<DataNodeId> = rec
+                .replicas
+                .iter()
+                .copied()
+                .filter(|n| inner.alive[n.0])
+                .collect();
+            let len = rec.data.len() as u64;
+            blocks.push(BlockInfo {
+                id: *id,
+                offset,
+                len,
+                replicas: live,
+            });
+            offset += len;
+        }
+        Ok(FileStatus {
+            path: path.to_string(),
+            len: meta.len,
+            blocks,
+        })
+    }
+
+    /// Read a whole file from anywhere (client outside the cluster).
+    pub fn read(&self, path: &str) -> Result<Vec<u8>> {
+        self.read_from(path, None).map(|(d, _)| d)
+    }
+
+    /// Read a whole file from the perspective of datanode `reader`.
+    /// Returns the data and whether *every* block was served node-locally —
+    /// the signal the MapReduce scheduler's locality accounting uses.
+    pub fn read_from(&self, path: &str, reader: Option<DataNodeId>) -> Result<(Vec<u8>, bool)> {
+        let inner = self.inner.read();
+        let meta = inner
+            .files
+            .get(path)
+            .ok_or_else(|| PpcError::NotFound(format!("file '{path}'")))?;
+        let mut out = Vec::with_capacity(meta.len as usize);
+        let mut all_local = true;
+        for id in &meta.blocks {
+            let rec = &inner.blocks[id];
+            let live: Vec<DataNodeId> = rec
+                .replicas
+                .iter()
+                .copied()
+                .filter(|n| inner.alive[n.0])
+                .collect();
+            if live.is_empty() {
+                return Err(PpcError::NotFound(format!(
+                    "file '{path}': {id} lost all replicas"
+                )));
+            }
+            let local = reader.map(|r| live.contains(&r)).unwrap_or(false);
+            if local {
+                self.local_reads.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.remote_reads.fetch_add(1, Ordering::Relaxed);
+                all_local = false;
+            }
+            out.extend_from_slice(&rec.data);
+        }
+        Ok((out, all_local))
+    }
+
+    /// Delete a file and free its blocks.
+    pub fn delete(&self, path: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        let meta = inner
+            .files
+            .remove(path)
+            .ok_or_else(|| PpcError::NotFound(format!("file '{path}'")))?;
+        for id in meta.blocks {
+            inner.blocks.remove(&id);
+        }
+        Ok(())
+    }
+
+    /// List paths with a prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut v: Vec<String> = inner
+            .files
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Mark a datanode dead; its replicas become unavailable.
+    pub fn kill_datanode(&self, node: DataNodeId) -> Result<()> {
+        let mut inner = self.inner.write();
+        if node.0 >= inner.alive.len() {
+            return Err(PpcError::NotFound(format!("datanode {node}")));
+        }
+        inner.alive[node.0] = false;
+        Ok(())
+    }
+
+    /// Bring a datanode back (empty — its old replicas are gone, matching a
+    /// reformatted machine).
+    pub fn revive_datanode(&self, node: DataNodeId) -> Result<()> {
+        let mut inner = self.inner.write();
+        if node.0 >= inner.alive.len() {
+            return Err(PpcError::NotFound(format!("datanode {node}")));
+        }
+        // Purge stale replica records pointing at the reborn node.
+        for rec in inner.blocks.values_mut() {
+            rec.replicas.retain(|r| *r != node);
+        }
+        inner.alive[node.0] = true;
+        Ok(())
+    }
+
+    /// Blocks currently below the replication target (counting only alive
+    /// replicas), as the namenode's replication monitor would see them.
+    pub fn under_replicated(&self) -> Vec<BlockId> {
+        let inner = self.inner.read();
+        let want = self
+            .policy
+            .effective_replication()
+            .min(inner.alive.iter().filter(|a| **a).count());
+        let mut v: Vec<BlockId> = inner
+            .blocks
+            .iter()
+            .filter(|(_, rec)| rec.replicas.iter().filter(|n| inner.alive[n.0]).count() < want)
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Restore replication for all under-replicated blocks from surviving
+    /// replicas. Returns the number of new replicas created. Blocks with no
+    /// surviving replica are lost and skipped (real HDFS reports these as
+    /// corrupt files).
+    pub fn re_replicate(&self) -> usize {
+        let mut inner = self.inner.write();
+        let alive_count = inner.alive.iter().filter(|a| **a).count();
+        let want = self.policy.effective_replication().min(alive_count);
+        let ids: Vec<BlockId> = inner.blocks.keys().copied().collect();
+        let mut created = 0;
+        for id in ids {
+            let (live, lost_all): (Vec<DataNodeId>, bool) = {
+                let rec = &inner.blocks[&id];
+                let live: Vec<DataNodeId> = rec
+                    .replicas
+                    .iter()
+                    .copied()
+                    .filter(|n| inner.alive[n.0])
+                    .collect();
+                let lost = live.is_empty();
+                (live, lost)
+            };
+            if lost_all || live.len() >= want {
+                continue;
+            }
+            // Choose targets among alive nodes not already holding it.
+            let mut targets = Vec::new();
+            {
+                let alive: Vec<DataNodeId> = (0..self.policy.n_nodes)
+                    .filter(|i| inner.alive[*i])
+                    .map(DataNodeId)
+                    .filter(|n| !live.contains(n))
+                    .collect();
+                let need = want - live.len();
+                let mut pool = alive;
+                for _ in 0..need {
+                    if pool.is_empty() {
+                        break;
+                    }
+                    let idx = inner.rng.next_below(pool.len() as u32) as usize;
+                    targets.push(pool.swap_remove(idx));
+                }
+            }
+            let rec = inner.blocks.get_mut(&id).expect("block exists");
+            rec.replicas.retain(|n| live.contains(n)); // drop dead replicas
+            for t in targets {
+                rec.replicas.push(t);
+                created += 1;
+            }
+        }
+        created
+    }
+
+    /// Total bytes of file data (not counting replication).
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.read().files.values().map(|f| f.len).sum()
+    }
+
+    /// Per-datanode stored bytes including replication — `hdfs dfsadmin
+    /// -report`'s per-node usage view.
+    pub fn node_usage(&self) -> Vec<u64> {
+        let inner = self.inner.read();
+        let mut usage = vec![0u64; self.policy.n_nodes];
+        for rec in inner.blocks.values() {
+            for r in &rec.replicas {
+                usage[r.0] += rec.data.len() as u64;
+            }
+        }
+        usage
+    }
+
+    /// Imbalance ratio: most-loaded node over mean (1.0 = perfectly even).
+    pub fn balance_ratio(&self) -> f64 {
+        let usage = self.node_usage();
+        let total: u64 = usage.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / usage.len() as f64;
+        usage.iter().copied().max().unwrap_or(0) as f64 / mean
+    }
+
+    /// The HDFS balancer: move replicas from over-loaded to under-loaded
+    /// alive datanodes until every node is within `threshold` (fraction,
+    /// e.g. 0.1 = 10%) of the mean, or no legal move remains (a move is
+    /// legal when the target holds no replica of the block). Returns the
+    /// number of replicas moved.
+    pub fn balance(&self, threshold: f64) -> usize {
+        assert!(threshold >= 0.0);
+        let mut moved = 0;
+        // Bounded iterations: each move strictly reduces the max-loaded
+        // node's usage, but cap for safety.
+        for _ in 0..10_000 {
+            let usage = self.node_usage();
+            let inner_check = self.inner.read();
+            let alive: Vec<usize> = (0..usage.len()).filter(|&i| inner_check.alive[i]).collect();
+            drop(inner_check);
+            if alive.len() < 2 {
+                break;
+            }
+            let total: u64 = alive.iter().map(|&i| usage[i]).sum();
+            let mean = total as f64 / alive.len() as f64;
+            let hi = *alive.iter().max_by_key(|&&i| usage[i]).expect("non-empty");
+            let lo = *alive.iter().min_by_key(|&&i| usage[i]).expect("non-empty");
+            if usage[hi] as f64 <= mean * (1.0 + threshold) {
+                break; // balanced enough
+            }
+            // Move one block replica from hi to lo (any block on hi whose
+            // replicas do not already include lo).
+            let mut inner = self.inner.write();
+            let candidate = inner
+                .blocks
+                .iter()
+                .filter(|(_, rec)| {
+                    rec.replicas.contains(&DataNodeId(hi))
+                        && !rec.replicas.contains(&DataNodeId(lo))
+                })
+                .map(|(id, _)| *id)
+                .next();
+            match candidate {
+                Some(id) => {
+                    let rec = inner.blocks.get_mut(&id).expect("block exists");
+                    for r in rec.replicas.iter_mut() {
+                        if *r == DataNodeId(hi) {
+                            *r = DataNodeId(lo);
+                            break;
+                        }
+                    }
+                    moved += 1;
+                }
+                None => break, // no legal move
+            }
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_read_round_trip() {
+        let fs = MiniHdfs::new(4, 16, 2, 1);
+        let data: Vec<u8> = (0..100u8).collect();
+        let st = fs.create("/data/f1", &data, None).unwrap();
+        assert_eq!(st.len, 100);
+        assert_eq!(st.blocks.len(), 7, "100 bytes / 16-byte blocks = 7 blocks");
+        assert_eq!(fs.read("/data/f1").unwrap(), data);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let fs = MiniHdfs::new(2, 16, 2, 1);
+        fs.create("/f", b"x", None).unwrap();
+        assert_eq!(
+            fs.create("/f", b"y", None).unwrap_err().code(),
+            "AlreadyExists"
+        );
+    }
+
+    #[test]
+    fn replication_level_respected() {
+        let fs = MiniHdfs::new(6, 1 << 20, 3, 2);
+        let st = fs.create("/f", &[1; 100], None).unwrap();
+        assert_eq!(st.min_replication(), 3);
+    }
+
+    #[test]
+    fn writer_local_first_replica() {
+        let fs = MiniHdfs::new(6, 1 << 20, 3, 3);
+        let st = fs.create("/f", &[1; 10], Some(DataNodeId(4))).unwrap();
+        assert_eq!(st.blocks[0].replicas[0], DataNodeId(4));
+    }
+
+    #[test]
+    fn local_vs_remote_reads() {
+        let fs = MiniHdfs::new(4, 1 << 20, 1, 4);
+        let st = fs.create("/f", &[7; 10], Some(DataNodeId(2))).unwrap();
+        assert_eq!(st.blocks[0].replicas, vec![DataNodeId(2)]);
+        let (_, local) = fs.read_from("/f", Some(DataNodeId(2))).unwrap();
+        assert!(local);
+        let (_, local) = fs.read_from("/f", Some(DataNodeId(0))).unwrap();
+        assert!(!local);
+        assert_eq!(fs.read_stats(), (1, 1));
+    }
+
+    #[test]
+    fn survives_datanode_loss_with_replicas() {
+        let fs = MiniHdfs::new(5, 8, 3, 5);
+        let data = vec![9u8; 64];
+        fs.create("/f", &data, None).unwrap();
+        // Kill two nodes; with 3 replicas data must survive.
+        fs.kill_datanode(DataNodeId(0)).unwrap();
+        fs.kill_datanode(DataNodeId(1)).unwrap();
+        assert_eq!(fs.read("/f").unwrap(), data);
+    }
+
+    #[test]
+    fn loses_data_when_all_replicas_die() {
+        let fs = MiniHdfs::new(3, 1 << 20, 1, 6);
+        fs.create("/f", &[1; 4], Some(DataNodeId(1))).unwrap();
+        fs.kill_datanode(DataNodeId(1)).unwrap();
+        let err = fs.read("/f").unwrap_err();
+        assert_eq!(err.code(), "NotFound");
+    }
+
+    #[test]
+    fn re_replication_restores_target() {
+        let fs = MiniHdfs::new(6, 8, 3, 7);
+        fs.create("/f", &[5u8; 64], None).unwrap();
+        fs.kill_datanode(DataNodeId(0)).unwrap();
+        fs.kill_datanode(DataNodeId(1)).unwrap();
+        let under = fs.under_replicated();
+        let created = fs.re_replicate();
+        if !under.is_empty() {
+            assert!(created > 0);
+        }
+        assert!(
+            fs.under_replicated().is_empty(),
+            "all blocks back at target"
+        );
+        assert_eq!(fs.read("/f").unwrap(), vec![5u8; 64]);
+    }
+
+    #[test]
+    fn revive_forgets_old_replicas() {
+        let fs = MiniHdfs::new(2, 1 << 20, 2, 8);
+        fs.create("/f", &[1; 4], None).unwrap();
+        fs.kill_datanode(DataNodeId(0)).unwrap();
+        fs.revive_datanode(DataNodeId(0)).unwrap();
+        // The revived node holds nothing; file served by the other replica.
+        let st = fs.status("/f").unwrap();
+        assert_eq!(st.blocks[0].replicas, vec![DataNodeId(1)]);
+        assert!(fs.read("/f").is_ok());
+    }
+
+    #[test]
+    fn list_and_delete() {
+        let fs = MiniHdfs::new(2, 1 << 20, 1, 9);
+        fs.create("/in/a", b"1", None).unwrap();
+        fs.create("/in/b", b"2", None).unwrap();
+        fs.create("/out/c", b"3", None).unwrap();
+        assert_eq!(fs.list("/in/"), vec!["/in/a", "/in/b"]);
+        fs.delete("/in/a").unwrap();
+        assert_eq!(fs.list("/in/"), vec!["/in/b"]);
+        assert_eq!(fs.delete("/in/a").unwrap_err().code(), "NotFound");
+    }
+
+    #[test]
+    fn empty_file_round_trip() {
+        let fs = MiniHdfs::new(2, 16, 2, 10);
+        let st = fs.create("/empty", b"", None).unwrap();
+        assert_eq!(st.len, 0);
+        assert_eq!(fs.read("/empty").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn balancer_levels_skewed_replicas() {
+        // Pin every write to node 0: maximal imbalance.
+        let fs = MiniHdfs::new(4, 64, 1, 77);
+        for i in 0..32 {
+            fs.create(&format!("/f{i}"), &[i as u8; 64], Some(DataNodeId(0)))
+                .unwrap();
+        }
+        assert!(fs.balance_ratio() > 3.0, "skewed: {}", fs.balance_ratio());
+        let moved = fs.balance(0.1);
+        assert!(moved > 0);
+        assert!(fs.balance_ratio() < 1.2, "balanced: {}", fs.balance_ratio());
+        // Data still fully readable after the moves.
+        for i in 0..32 {
+            assert_eq!(fs.read(&format!("/f{i}")).unwrap(), vec![i as u8; 64]);
+        }
+        // Usage spread across all four nodes now.
+        let usage = fs.node_usage();
+        assert!(usage.iter().all(|&u| u > 0), "{usage:?}");
+    }
+
+    #[test]
+    fn balancer_noop_when_already_balanced() {
+        let fs = MiniHdfs::new(4, 64, 2, 78);
+        for i in 0..16 {
+            fs.create(&format!("/f{i}"), &[0u8; 64], None).unwrap();
+        }
+        let before = fs.balance_ratio();
+        let moved = fs.balance(0.5);
+        if before <= 1.5 {
+            assert_eq!(moved, 0, "already within threshold");
+        }
+        assert!(fs.balance_ratio() <= before + 1e-9);
+    }
+
+    #[test]
+    fn concurrent_creates() {
+        let fs = MiniHdfs::with_defaults(8);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let fs = fs.clone();
+                s.spawn(move || {
+                    for i in 0..20 {
+                        fs.create(&format!("/t{t}/f{i}"), &[t as u8; 100], None)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(fs.list("/").len(), 160);
+        assert_eq!(fs.used_bytes(), 16_000);
+    }
+}

@@ -1,0 +1,29 @@
+//! # ppc-hdfs — a mini distributed filesystem with data locality
+//!
+//! Stands in for HDFS as the paper uses it (§2.2): *"Apache Hadoop MapReduce
+//! uses HDFS distributed parallel file system for data storage, which stores
+//! the data across the local disks of the compute nodes while presenting a
+//! single file system view through the HDFS API. HDFS ... achieves
+//! reliability through replication of data across nodes. Hadoop optimizes
+//! the data communication of MapReduce jobs by scheduling computations near
+//! the data using the data locality information provided by the HDFS file
+//! system."*
+//!
+//! What `ppc-mapreduce` needs from its filesystem, and what this crate
+//! provides:
+//!
+//! * a namespace of files split into fixed-size **blocks** ([`block`]),
+//! * **replica placement** across datanodes with rack awareness
+//!   ([`placement`]),
+//! * **locality metadata** — which datanodes hold which block — consumed by
+//!   the locality-aware scheduler,
+//! * **failure handling** — datanode loss, re-replication from surviving
+//!   replicas, reads routed around dead nodes ([`fs`]).
+
+pub mod block;
+pub mod fs;
+pub mod placement;
+
+pub use block::{BlockId, BlockInfo, DataNodeId, FileStatus};
+pub use fs::MiniHdfs;
+pub use placement::PlacementPolicy;

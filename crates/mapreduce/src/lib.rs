@@ -1,0 +1,39 @@
+//! # ppc-mapreduce — a Hadoop-like MapReduce runtime
+//!
+//! Reproduces the properties of Apache Hadoop the paper leans on (§2.2):
+//!
+//! * **HDFS storage** — inputs live in `ppc-hdfs` with replicated blocks.
+//! * **Data-locality scheduling** — "Hadoop optimizes the data communication
+//!   of MapReduce jobs by scheduling computations near the data using the
+//!   data locality information provided by the HDFS file system."
+//! * **Global-queue dynamic scheduling** — "a master node with many client
+//!   workers approach ... a global queue for the task scheduling, achieving
+//!   natural load balancing among the tasks."
+//! * **Speculative execution & retries** — "Hadoop performs duplicate
+//!   execution of slower executing tasks and handles task failures by
+//!   rerunning of the failed tasks."
+//! * **File-oriented inputs** — the paper's custom `InputFormat` /
+//!   `RecordReader` that hand the *file name* and *HDFS path* to the map
+//!   function (instead of file contents) so legacy executables can be
+//!   wrapped; [`input::InputFormat::FileName`] is exactly that.
+//!
+//! Map-only jobs (all three paper applications), full map/shuffle/reduce
+//! jobs, and Twister-style **iterative MapReduce** ([`iterative`] — the
+//! paper's §8 future work) are all supported. Two runtimes share the [`scheduler::Scheduler`]:
+//! [`runtime`] executes on real threads against a real `MiniHdfs`;
+//! [`sim`] models paper-scale clusters on the `ppc-des` engine.
+
+pub mod input;
+pub mod iterative;
+pub mod job;
+pub mod report;
+pub mod runtime;
+pub mod scheduler;
+pub mod sim;
+
+pub use input::{InputFormat, InputSplit};
+pub use iterative::{run_iterative, IterativeJob, IterativeReport};
+pub use job::{ExecutableMapper, MapContext, MapReduceJob, Mapper, Reducer};
+pub use report::MapReduceReport;
+pub use runtime::{run_job, HadoopConfig};
+pub use sim::{simulate, HadoopSimConfig};

@@ -1,0 +1,88 @@
+//! Run reports for MapReduce jobs.
+
+use crate::scheduler::SchedulerStats;
+use ppc_core::metrics::RunSummary;
+
+/// Everything a MapReduce run reports back.
+#[derive(Debug, Clone)]
+pub struct MapReduceReport {
+    pub summary: RunSummary,
+    /// Task indices that exhausted their attempt budget.
+    pub failed: Vec<usize>,
+    /// Scheduler counters: locality, retries, speculation.
+    pub scheduler: SchedulerStats,
+    /// Map attempts whose HDFS reads were all node-local.
+    pub data_local_tasks: usize,
+    /// Total map attempts actually executed (≥ tasks when retries or
+    /// speculative duplicates ran).
+    pub total_attempts: usize,
+    /// Key/value records emitted by the map phase (before any combining).
+    pub map_output_records: usize,
+    /// Records actually shuffled to reducers (== map output unless a
+    /// map-side combiner ran).
+    pub shuffle_records: usize,
+}
+
+impl MapReduceReport {
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// Fraction of executed map attempts that read only local data — the
+    /// number Hadoop operators watch to validate locality scheduling.
+    pub fn locality_fraction(&self) -> f64 {
+        if self.total_attempts == 0 {
+            0.0
+        } else {
+            self.data_local_tasks as f64 / self.total_attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_fraction() {
+        let r = MapReduceReport {
+            summary: RunSummary {
+                platform: "hadoop".into(),
+                cores: 8,
+                tasks: 10,
+                makespan_seconds: 1.0,
+                redundant_executions: 0,
+                remote_bytes: 0,
+            },
+            failed: vec![],
+            scheduler: SchedulerStats::default(),
+            data_local_tasks: 9,
+            total_attempts: 10,
+            map_output_records: 10,
+            shuffle_records: 10,
+        };
+        assert!((r.locality_fraction() - 0.9).abs() < 1e-12);
+        assert!(r.is_complete());
+    }
+
+    #[test]
+    fn zero_attempts_no_panic() {
+        let r = MapReduceReport {
+            summary: RunSummary {
+                platform: "hadoop".into(),
+                cores: 1,
+                tasks: 0,
+                makespan_seconds: 0.0,
+                redundant_executions: 0,
+                remote_bytes: 0,
+            },
+            failed: vec![],
+            scheduler: SchedulerStats::default(),
+            data_local_tasks: 0,
+            total_attempts: 0,
+            map_output_records: 0,
+            shuffle_records: 0,
+        };
+        assert_eq!(r.locality_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,488 @@
+//! The native MapReduce runtime: real threads over a real `MiniHdfs`.
+//!
+//! Compute is co-located with storage, Hadoop style: worker slots live on
+//! the same nodes as the datanodes, which is what makes data-local
+//! scheduling meaningful. Map outputs are committed only for the *first*
+//! completion of a task (Hadoop's output-committer discipline), so
+//! speculative duplicates and retries can never corrupt results.
+
+use crate::input::{compute_splits, InputFormat};
+use crate::job::{partition_for, MapContext, MapReduceJob, Mapper, Reducer};
+use crate::report::MapReduceReport;
+use crate::scheduler::{CompleteOutcome, Scheduler};
+use ppc_core::metrics::RunSummary;
+use ppc_core::rng::Pcg32;
+use ppc_core::Result;
+use ppc_hdfs::block::DataNodeId;
+use ppc_hdfs::fs::MiniHdfs;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the native runtime.
+#[derive(Debug, Clone)]
+pub struct HadoopConfig {
+    /// Map slots per node (Hadoop's `mapred.tasktracker.map.tasks.maximum`).
+    pub slots_per_node: usize,
+    /// Injected probability that any map attempt fails (tests retries).
+    pub attempt_failure_p: f64,
+    /// Injected extra latency for specific task indices (tests speculation).
+    pub straggler_delay: Option<(usize, Duration)>,
+    /// Poll sleep when no work is available yet.
+    pub poll_backoff: Duration,
+    pub seed: u64,
+}
+
+impl Default for HadoopConfig {
+    fn default() -> Self {
+        HadoopConfig {
+            slots_per_node: 2,
+            attempt_failure_p: 0.0,
+            straggler_delay: None,
+            poll_backoff: Duration::from_micros(200),
+            seed: 0xad00,
+        }
+    }
+}
+
+/// Run a job (map-only or map+reduce) on the cluster underlying `fs`.
+pub fn run_job(
+    fs: &Arc<MiniHdfs>,
+    job: &MapReduceJob,
+    mapper: &dyn Mapper,
+    reducer: Option<&dyn Reducer>,
+) -> Result<MapReduceReport> {
+    run_job_with(fs, job, mapper, reducer, &HadoopConfig::default())
+}
+
+/// [`run_job`] with explicit configuration.
+pub fn run_job_with(
+    fs: &Arc<MiniHdfs>,
+    job: &MapReduceJob,
+    mapper: &dyn Mapper,
+    reducer: Option<&dyn Reducer>,
+    config: &HadoopConfig,
+) -> Result<MapReduceReport> {
+    job.validate()?;
+    let splits = compute_splits(fs, &job.input_paths)?;
+    let n_tasks = splits.len();
+    let scheduler = Mutex::new(Scheduler::new(splits, job.speculative, job.max_attempts));
+
+    // Map-side state.
+    let intermediate: Mutex<Vec<(String, Vec<u8>)>> = Mutex::new(Vec::new());
+    let data_local_tasks = AtomicUsize::new(0);
+    let total_attempts = AtomicUsize::new(0);
+    let map_output_records = AtomicUsize::new(0);
+    let shuffle_records = AtomicUsize::new(0);
+    let remote_bytes = AtomicU64::new(0);
+    let map_done_at: Mutex<Option<Instant>> = Mutex::new(None);
+
+    let start = Instant::now();
+    let n_nodes = fs.n_nodes();
+
+    std::thread::scope(|scope| {
+        for node in 0..n_nodes {
+            for slot in 0..config.slots_per_node {
+                let scheduler = &scheduler;
+                let intermediate = &intermediate;
+                let data_local_tasks = &data_local_tasks;
+                let total_attempts = &total_attempts;
+                let remote_bytes = &remote_bytes;
+                let map_done_at = &map_done_at;
+                let map_output_records = &map_output_records;
+                let shuffle_records = &shuffle_records;
+                let fs = fs.clone();
+                scope.spawn(move || {
+                    let node_id = DataNodeId(node);
+                    let mut rng = Pcg32::new(config.seed ^ ((node as u64) << 16) ^ slot as u64);
+                    loop {
+                        let assignment = {
+                            let mut sched = scheduler.lock().unwrap();
+                            if sched.is_complete() {
+                                break;
+                            }
+                            sched.next(node_id)
+                        };
+                        let assignment = match assignment {
+                            Some(a) => a,
+                            None => {
+                                std::thread::sleep(config.poll_backoff);
+                                continue;
+                            }
+                        };
+                        let split = scheduler.lock().unwrap().split(assignment.split).clone();
+                        total_attempts.fetch_add(1, Ordering::Relaxed);
+                        // Locality accounting is per *assignment*, matching
+                        // the simulator: speculative duplicates count too.
+                        if assignment.local {
+                            data_local_tasks.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            remote_bytes.fetch_add(split.len, Ordering::Relaxed);
+                        }
+
+                        // Injected attempt failure.
+                        if config.attempt_failure_p > 0.0 && rng.chance(config.attempt_failure_p) {
+                            scheduler.lock().unwrap().fail(assignment.id);
+                            continue;
+                        }
+                        // Injected straggler latency.
+                        if let Some((task, delay)) = config.straggler_delay {
+                            if assignment.id.task == task && assignment.id.attempt == 0 {
+                                std::thread::sleep(delay);
+                            }
+                        }
+
+                        let mut ctx = MapContext::new(&fs, node_id);
+                        let map_result = match job.input_format {
+                            InputFormat::FileName => {
+                                mapper.map(&split.name, split.path.as_bytes(), &mut ctx)
+                            }
+                            InputFormat::WholeFile => match ctx.read(&split.path) {
+                                Ok(data) => mapper.map(&split.path, &data, &mut ctx),
+                                Err(e) => Err(e),
+                            },
+                        };
+                        match map_result {
+                            Ok(()) => {
+                                let (mut emitted, _all_local) = ctx.finish();
+                                map_output_records.fetch_add(emitted.len(), Ordering::Relaxed);
+                                // Map-side combine: fold each key's values
+                                // with the reducer before the shuffle.
+                                if job.use_combiner && job.n_reducers > 0 {
+                                    if let Some(reducer) = reducer {
+                                        let mut grouped: BTreeMap<String, Vec<Vec<u8>>> =
+                                            BTreeMap::new();
+                                        for (k, v) in emitted.drain(..) {
+                                            grouped.entry(k).or_default().push(v);
+                                        }
+                                        for (k, vs) in grouped {
+                                            match reducer.reduce(&k, &vs) {
+                                                Ok(combined) => emitted.push((k, combined)),
+                                                Err(_) => {
+                                                    // Combining is an optimization;
+                                                    // fall back to raw records.
+                                                    for v in vs {
+                                                        emitted.push((k.clone(), v));
+                                                    }
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                                shuffle_records.fetch_add(emitted.len(), Ordering::Relaxed);
+                                let mut sched = scheduler.lock().unwrap();
+                                match sched.complete(assignment.id) {
+                                    CompleteOutcome::First => {
+                                        let job_done = sched.is_complete();
+                                        drop(sched);
+                                        if job.n_reducers == 0 {
+                                            // Map-only: commit outputs directly.
+                                            for (key, value) in emitted {
+                                                let path = format!("{}/{key}", job.output_dir);
+                                                match fs.create(&path, &value, Some(node_id)) {
+                                                    Ok(_) => {}
+                                                    Err(e) if e.code() == "AlreadyExists" => {}
+                                                    Err(_) => {}
+                                                }
+                                            }
+                                        } else {
+                                            intermediate.lock().unwrap().extend(emitted);
+                                        }
+                                        if job_done {
+                                            *map_done_at.lock().unwrap() = Some(Instant::now());
+                                        }
+                                    }
+                                    CompleteOutcome::Duplicate => { /* discard redundant output */ }
+                                }
+                            }
+                            Err(_) => {
+                                scheduler.lock().unwrap().fail(assignment.id);
+                            }
+                        }
+                    }
+                });
+            }
+        }
+    });
+
+    // Reduce phase (if any): shuffle by key, reduce each partition.
+    if let Some(reducer) = reducer {
+        if job.n_reducers > 0 {
+            let all = std::mem::take(&mut *intermediate.lock().unwrap());
+            let mut partitions: Vec<BTreeMap<String, Vec<Vec<u8>>>> =
+                vec![BTreeMap::new(); job.n_reducers];
+            for (key, value) in all {
+                let p = partition_for(&key, job.n_reducers);
+                partitions[p].entry(key).or_default().push(value);
+            }
+            let results: Mutex<Vec<(usize, Vec<u8>)>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for (i, part) in partitions.iter().enumerate() {
+                    let results = &results;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for (key, values) in part {
+                            if let Ok(reduced) = reducer.reduce(key, values) {
+                                out.extend_from_slice(key.as_bytes());
+                                out.push(b'\t');
+                                out.extend_from_slice(&reduced);
+                                out.push(b'\n');
+                            }
+                        }
+                        results.lock().unwrap().push((i, out));
+                    });
+                }
+            });
+            for (i, data) in results.into_inner().unwrap() {
+                let path = format!("{}/part-r-{:05}", job.output_dir, i);
+                let _ = fs.create(&path, &data, None);
+            }
+        }
+    }
+
+    let sched = scheduler.into_inner().unwrap();
+    let failed = sched.failed_tasks();
+    let finished = if job.n_reducers == 0 {
+        map_done_at
+            .into_inner()
+            .unwrap()
+            .unwrap_or_else(Instant::now)
+    } else {
+        Instant::now() // reduce phase is part of the makespan
+    };
+    let stats = sched.stats();
+    let attempts = total_attempts.load(Ordering::Relaxed);
+    let done = sched.n_done();
+
+    Ok(MapReduceReport {
+        summary: RunSummary {
+            platform: "hadoop".into(),
+            cores: n_nodes * config.slots_per_node,
+            tasks: done,
+            makespan_seconds: finished.duration_since(start).as_secs_f64(),
+            redundant_executions: stats.duplicate_completions as usize,
+            remote_bytes: remote_bytes.load(Ordering::Relaxed),
+        },
+        failed,
+        scheduler: stats,
+        data_local_tasks: data_local_tasks.load(Ordering::Relaxed),
+        total_attempts: attempts,
+        map_output_records: map_output_records.load(Ordering::Relaxed),
+        shuffle_records: shuffle_records.load(Ordering::Relaxed),
+    })
+    .inspect(|r| {
+        debug_assert!(r.summary.tasks + r.failed.len() == n_tasks);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::ExecutableMapper;
+    use ppc_core::exec::FnExecutor;
+    use ppc_core::PpcError;
+
+    fn make_fs(n_nodes: usize, files: usize) -> (Arc<MiniHdfs>, Vec<String>) {
+        let fs = MiniHdfs::new(n_nodes, 1 << 20, 2, 99);
+        let mut paths = Vec::new();
+        for i in 0..files {
+            let p = format!("/in/f{i}");
+            fs.create(&p, format!("data-{i}").as_bytes(), None).unwrap();
+            paths.push(p);
+        }
+        (fs, paths)
+    }
+
+    #[test]
+    fn map_only_executable_job() {
+        let (fs, paths) = make_fs(4, 48);
+        let job = MapReduceJob::map_only("upper", paths, "/out");
+        // A small sleep keeps all 8 workers in play so the locality stat
+        // reflects scheduling policy, not thread-spawn races.
+        let exec = FnExecutor::new("upper", |_s, i: &[u8]| {
+            std::thread::sleep(Duration::from_millis(2));
+            Ok(i.to_ascii_uppercase())
+        });
+        let mapper = ExecutableMapper::new("upper", exec);
+        let report = run_job(&fs, &job, &mapper, None).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.summary.tasks, 48);
+        for i in 0..48 {
+            let out = fs.read(&format!("/out/f{i}.out")).unwrap();
+            assert_eq!(out, format!("DATA-{i}").to_ascii_uppercase().into_bytes());
+        }
+        // With 2 replicas on 4 nodes, most tasks should be data-local.
+        assert!(
+            report.locality_fraction() > 0.5,
+            "locality {}",
+            report.locality_fraction()
+        );
+    }
+
+    #[test]
+    fn retries_recover_from_attempt_failures() {
+        let (fs, paths) = make_fs(3, 20);
+        let job = MapReduceJob::map_only("flaky", paths, "/out");
+        let exec = FnExecutor::new("id", |_s, i: &[u8]| Ok(i.to_vec()));
+        let mapper = ExecutableMapper::new("id", exec);
+        let config = HadoopConfig {
+            attempt_failure_p: 0.3,
+            seed: 7,
+            ..HadoopConfig::default()
+        };
+        let report = run_job_with(&fs, &job, &mapper, None, &config).unwrap();
+        assert!(report.is_complete(), "failed: {:?}", report.failed);
+        assert!(
+            report.scheduler.retries > 0,
+            "some attempts must have failed"
+        );
+        assert_eq!(fs.list("/out/").len(), 20);
+    }
+
+    #[test]
+    fn poison_task_fails_job_partially() {
+        let (fs, paths) = make_fs(2, 5);
+        let job = MapReduceJob::map_only("poison", paths, "/out");
+        let exec = FnExecutor::new("poison", |spec: &ppc_core::TaskSpec, i: &[u8]| {
+            if spec.input_key == "f2" {
+                Err(PpcError::TaskFailed("bad".into()))
+            } else {
+                Ok(i.to_vec())
+            }
+        });
+        let mapper = ExecutableMapper::new("poison", exec);
+        let report = run_job(&fs, &job, &mapper, None).unwrap();
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.summary.tasks, 4);
+    }
+
+    #[test]
+    fn speculative_execution_rescues_straggler() {
+        let (fs, paths) = make_fs(2, 6);
+        let job = MapReduceJob::map_only("slow", paths, "/out");
+        let exec = FnExecutor::new("id", |_s, i: &[u8]| Ok(i.to_vec()));
+        let mapper = ExecutableMapper::new("id", exec);
+        let config = HadoopConfig {
+            straggler_delay: Some((0, Duration::from_millis(300))),
+            slots_per_node: 2,
+            ..HadoopConfig::default()
+        };
+        let report = run_job_with(&fs, &job, &mapper, None, &config).unwrap();
+        assert!(report.is_complete());
+        assert!(
+            report.scheduler.speculative_assignments > 0,
+            "a duplicate was launched"
+        );
+        // The job finished well before the straggler's 300 ms nap.
+        assert!(
+            report.summary.makespan_seconds < 0.25,
+            "speculation should hide the straggler: {}s",
+            report.summary.makespan_seconds
+        );
+    }
+
+    #[test]
+    fn word_count_with_reduce_phase() {
+        let fs = MiniHdfs::new(2, 1 << 20, 2, 5);
+        fs.create("/in/d0", b"apple banana apple", None).unwrap();
+        fs.create("/in/d1", b"banana cherry", None).unwrap();
+        let job = MapReduceJob::map_only("wc", vec!["/in/d0".into(), "/in/d1".into()], "/out")
+            .with_input_format(InputFormat::WholeFile)
+            .with_reducers(2);
+
+        struct WcMapper;
+        impl Mapper for WcMapper {
+            fn map(&self, _key: &str, value: &[u8], ctx: &mut MapContext<'_>) -> Result<()> {
+                for word in String::from_utf8_lossy(value).split_whitespace() {
+                    ctx.emit(word.to_string(), vec![1]);
+                }
+                Ok(())
+            }
+        }
+        struct WcReducer;
+        impl Reducer for WcReducer {
+            fn reduce(&self, _key: &str, values: &[Vec<u8>]) -> Result<Vec<u8>> {
+                Ok(values.len().to_string().into_bytes())
+            }
+        }
+        let report = run_job(&fs, &job, &WcMapper, Some(&WcReducer)).unwrap();
+        assert!(report.is_complete());
+        // Gather all reduce outputs and check the counts.
+        let mut combined = String::new();
+        for p in fs.list("/out/") {
+            combined.push_str(&String::from_utf8(fs.read(&p).unwrap()).unwrap());
+        }
+        assert!(combined.contains("apple\t2"), "{combined}");
+        assert!(combined.contains("banana\t2"), "{combined}");
+        assert!(combined.contains("cherry\t1"), "{combined}");
+    }
+
+    #[test]
+    fn map_side_combiner_shrinks_shuffle_without_changing_results() {
+        // Word count with a *sum* reducer (valid as a combiner, unlike a
+        // count reducer): values are ASCII numbers summed at each stage.
+        struct WcMapper;
+        impl Mapper for WcMapper {
+            fn map(&self, _key: &str, value: &[u8], ctx: &mut MapContext<'_>) -> Result<()> {
+                for word in String::from_utf8_lossy(value).split_whitespace() {
+                    ctx.emit(word.to_string(), b"1".to_vec());
+                }
+                Ok(())
+            }
+        }
+        struct SumReducer;
+        impl Reducer for SumReducer {
+            fn reduce(&self, _key: &str, values: &[Vec<u8>]) -> Result<Vec<u8>> {
+                let total: u64 = values
+                    .iter()
+                    .map(|v| String::from_utf8_lossy(v).parse::<u64>().unwrap_or(0))
+                    .sum();
+                Ok(total.to_string().into_bytes())
+            }
+        }
+
+        let run = |combine: bool| {
+            let fs = MiniHdfs::new(2, 1 << 20, 2, 55);
+            fs.create("/in/d0", b"apple banana apple apple", None)
+                .unwrap();
+            fs.create("/in/d1", b"banana apple banana", None).unwrap();
+            let job = MapReduceJob::map_only("wc", vec!["/in/d0".into(), "/in/d1".into()], "/out")
+                .with_input_format(InputFormat::WholeFile)
+                .with_reducers(2)
+                .with_combiner(combine);
+            let report = run_job(&fs, &job, &WcMapper, Some(&SumReducer)).unwrap();
+            let mut combined = String::new();
+            for p in fs.list("/out/") {
+                combined.push_str(&String::from_utf8(fs.read(&p).unwrap()).unwrap());
+            }
+            (report, combined)
+        };
+
+        let (plain, out_plain) = run(false);
+        let (combined, out_combined) = run(true);
+        // Identical results...
+        assert!(out_plain.contains("apple\t4"), "{out_plain}");
+        assert!(out_plain.contains("banana\t3"));
+        assert_eq!(out_plain.len(), out_combined.len());
+        assert!(out_combined.contains("apple\t4") && out_combined.contains("banana\t3"));
+        // ...but fewer records shuffled.
+        assert_eq!(plain.map_output_records, 7);
+        assert_eq!(plain.shuffle_records, 7);
+        assert_eq!(combined.map_output_records, 7);
+        assert!(
+            combined.shuffle_records <= 4,
+            "combined shuffle {}",
+            combined.shuffle_records
+        );
+    }
+
+    #[test]
+    fn empty_job_rejected() {
+        let (fs, _) = make_fs(2, 1);
+        let job = MapReduceJob::map_only("e", vec![], "/out");
+        let exec = FnExecutor::new("id", |_s, i: &[u8]| Ok(i.to_vec()));
+        let mapper = ExecutableMapper::new("id", exec);
+        assert!(run_job(&fs, &job, &mapper, None).is_err());
+    }
+}

@@ -1,0 +1,391 @@
+//! The master's task scheduler: a global queue with data-locality
+//! preference, failure retries, and speculative execution.
+//!
+//! Both the native runtime (threads asking for work) and the simulator
+//! (virtual workers asking for work) drive this same state machine, so the
+//! scheduling behaviour being measured is identical in both.
+
+use crate::input::InputSplit;
+use ppc_hdfs::block::DataNodeId;
+use std::collections::VecDeque;
+
+/// Identifies one attempt of one task (task index, attempt ordinal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttemptId {
+    pub task: usize,
+    pub attempt: u32,
+}
+
+/// A unit of work handed to a worker slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    pub id: AttemptId,
+    /// Index into the scheduler's split list.
+    pub split: usize,
+    /// Whether the input's replicas include the requesting node.
+    pub local: bool,
+    /// Whether this is a speculative duplicate of a running attempt.
+    pub speculative: bool,
+}
+
+/// What `complete` tells the caller about an attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompleteOutcome {
+    /// This attempt finished the task.
+    First,
+    /// The task was already done (speculative duplicate or stale retry):
+    /// this attempt's work is redundant.
+    Duplicate,
+}
+
+/// What `fail` tells the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailOutcome {
+    /// The task went back in the queue for another attempt.
+    Retried,
+    /// The retry budget is exhausted; the task is failed permanently.
+    TaskFailed,
+    /// The task already completed via another attempt; nothing to do.
+    Stale,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskPhase {
+    Pending,
+    Running,
+    Done,
+    Failed,
+}
+
+struct TaskState {
+    phase: TaskPhase,
+    live_attempts: u32,
+    next_attempt: u32,
+    failures: u32,
+    /// Monotone stamp of when the task first started running (for picking
+    /// speculation candidates: oldest-running first).
+    started_seq: u64,
+}
+
+/// Counters the report surfaces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    pub local_assignments: u64,
+    pub remote_assignments: u64,
+    pub speculative_assignments: u64,
+    pub retries: u64,
+    pub duplicate_completions: u64,
+}
+
+/// The global-queue scheduler.
+pub struct Scheduler {
+    splits: Vec<InputSplit>,
+    tasks: Vec<TaskState>,
+    pending: VecDeque<usize>,
+    n_done: usize,
+    n_failed: usize,
+    speculative: bool,
+    max_attempts: u32,
+    seq: u64,
+    stats: SchedulerStats,
+}
+
+impl Scheduler {
+    pub fn new(splits: Vec<InputSplit>, speculative: bool, max_attempts: u32) -> Scheduler {
+        assert!(max_attempts >= 1);
+        let n = splits.len();
+        Scheduler {
+            splits,
+            tasks: (0..n)
+                .map(|_| TaskState {
+                    phase: TaskPhase::Pending,
+                    live_attempts: 0,
+                    next_attempt: 0,
+                    failures: 0,
+                    started_seq: 0,
+                })
+                .collect(),
+            pending: (0..n).collect(),
+            n_done: 0,
+            n_failed: 0,
+            speculative,
+            max_attempts,
+            seq: 0,
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    pub fn split(&self, index: usize) -> &InputSplit {
+        &self.splits[index]
+    }
+
+    pub fn n_tasks(&self) -> usize {
+        self.splits.len()
+    }
+
+    pub fn n_done(&self) -> usize {
+        self.n_done
+    }
+
+    pub fn failed_tasks(&self) -> Vec<usize> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.phase == TaskPhase::Failed)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// All tasks resolved (done or permanently failed) and no attempt running.
+    pub fn is_complete(&self) -> bool {
+        self.n_done + self.n_failed == self.tasks.len()
+    }
+
+    /// Ask for work on behalf of a worker on `node`.
+    ///
+    /// Selection order (Hadoop's essentials):
+    /// 1. a pending task whose input is replicated on `node` (data-local),
+    /// 2. any pending task (remote read),
+    /// 3. if speculation is on and nothing is pending: a duplicate of the
+    ///    oldest-running task that has only one live attempt.
+    pub fn next(&mut self, node: DataNodeId) -> Option<Assignment> {
+        // 1. Local pending task.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|&t| self.splits[t].hosts.contains(&node))
+        {
+            let task = self.pending.remove(pos).expect("position valid");
+            self.stats.local_assignments += 1;
+            return Some(self.launch(task, true, false));
+        }
+        // 2. Any pending task.
+        if let Some(task) = self.pending.pop_front() {
+            self.stats.remote_assignments += 1;
+            return Some(self.launch(task, false, false));
+        }
+        // 3. Speculative duplicate.
+        if self.speculative {
+            let candidate = self
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.phase == TaskPhase::Running && t.live_attempts == 1)
+                .min_by_key(|(_, t)| t.started_seq)
+                .map(|(i, _)| i);
+            if let Some(task) = candidate {
+                self.stats.speculative_assignments += 1;
+                let local = self.splits[task].hosts.contains(&node);
+                if local {
+                    self.stats.local_assignments += 1;
+                } else {
+                    self.stats.remote_assignments += 1;
+                }
+                return Some(self.launch_attempt(task, local, true));
+            }
+        }
+        None
+    }
+
+    fn launch(&mut self, task: usize, local: bool, speculative: bool) -> Assignment {
+        self.tasks[task].phase = TaskPhase::Running;
+        self.seq += 1;
+        self.tasks[task].started_seq = self.seq;
+        self.launch_attempt(task, local, speculative)
+    }
+
+    fn launch_attempt(&mut self, task: usize, local: bool, speculative: bool) -> Assignment {
+        let t = &mut self.tasks[task];
+        t.live_attempts += 1;
+        let id = AttemptId {
+            task,
+            attempt: t.next_attempt,
+        };
+        t.next_attempt += 1;
+        Assignment {
+            id,
+            split: task,
+            local,
+            speculative,
+        }
+    }
+
+    /// Report an attempt's successful completion.
+    pub fn complete(&mut self, id: AttemptId) -> CompleteOutcome {
+        let t = &mut self.tasks[id.task];
+        t.live_attempts = t.live_attempts.saturating_sub(1);
+        match t.phase {
+            TaskPhase::Done | TaskPhase::Failed => {
+                self.stats.duplicate_completions += 1;
+                CompleteOutcome::Duplicate
+            }
+            _ => {
+                t.phase = TaskPhase::Done;
+                self.n_done += 1;
+                CompleteOutcome::First
+            }
+        }
+    }
+
+    /// Report an attempt's failure.
+    pub fn fail(&mut self, id: AttemptId) -> FailOutcome {
+        let t = &mut self.tasks[id.task];
+        t.live_attempts = t.live_attempts.saturating_sub(1);
+        match t.phase {
+            TaskPhase::Done => FailOutcome::Stale,
+            TaskPhase::Failed => FailOutcome::Stale,
+            _ => {
+                t.failures += 1;
+                if t.failures >= self.max_attempts {
+                    // Let any still-live duplicate finish; if none, fail now.
+                    if t.live_attempts == 0 {
+                        t.phase = TaskPhase::Failed;
+                        self.n_failed += 1;
+                        return FailOutcome::TaskFailed;
+                    }
+                    return FailOutcome::Stale;
+                }
+                self.stats.retries += 1;
+                if t.live_attempts == 0 {
+                    t.phase = TaskPhase::Pending;
+                    self.pending.push_back(id.task);
+                }
+                FailOutcome::Retried
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splits(hosts: Vec<Vec<usize>>) -> Vec<InputSplit> {
+        hosts
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| InputSplit {
+                index: i,
+                path: format!("/in/f{i}"),
+                name: format!("f{i}"),
+                len: 100,
+                hosts: h.into_iter().map(DataNodeId).collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefers_local_tasks() {
+        let mut s = Scheduler::new(splits(vec![vec![1], vec![0], vec![1]]), false, 1);
+        // Node 0 should pick task 1 (its local one) even though task 0 is first.
+        let a = s.next(DataNodeId(0)).unwrap();
+        assert_eq!(a.split, 1);
+        assert!(a.local);
+        // Node 1 then gets task 0 or 2, both local to it.
+        let b = s.next(DataNodeId(1)).unwrap();
+        assert!(b.local);
+        assert_eq!(s.stats().local_assignments, 2);
+    }
+
+    #[test]
+    fn falls_back_to_remote() {
+        let mut s = Scheduler::new(splits(vec![vec![5]]), false, 1);
+        let a = s.next(DataNodeId(0)).unwrap();
+        assert!(!a.local);
+        assert_eq!(s.stats().remote_assignments, 1);
+    }
+
+    #[test]
+    fn completion_drains_the_job() {
+        let mut s = Scheduler::new(splits(vec![vec![0], vec![0]]), false, 1);
+        let a = s.next(DataNodeId(0)).unwrap();
+        let b = s.next(DataNodeId(0)).unwrap();
+        assert!(s.next(DataNodeId(0)).is_none());
+        assert_eq!(s.complete(a.id), CompleteOutcome::First);
+        assert!(!s.is_complete());
+        assert_eq!(s.complete(b.id), CompleteOutcome::First);
+        assert!(s.is_complete());
+        assert_eq!(s.n_done(), 2);
+    }
+
+    #[test]
+    fn failure_retries_then_gives_up() {
+        let mut s = Scheduler::new(splits(vec![vec![0]]), false, 2);
+        let a = s.next(DataNodeId(0)).unwrap();
+        assert_eq!(s.fail(a.id), FailOutcome::Retried);
+        let b = s.next(DataNodeId(0)).unwrap();
+        assert_eq!(b.id.attempt, 1, "fresh attempt ordinal");
+        assert_eq!(s.fail(b.id), FailOutcome::TaskFailed);
+        assert!(s.is_complete());
+        assert_eq!(s.failed_tasks(), vec![0]);
+    }
+
+    #[test]
+    fn speculation_only_when_queue_empty() {
+        let mut s = Scheduler::new(splits(vec![vec![0], vec![0]]), true, 4);
+        let a = s.next(DataNodeId(0)).unwrap();
+        assert!(!a.speculative);
+        let b = s.next(DataNodeId(0)).unwrap();
+        assert!(!b.speculative);
+        // Queue empty, two tasks running: next request gets a duplicate of
+        // the oldest-running task (task of `a`).
+        let c = s.next(DataNodeId(1)).unwrap();
+        assert!(c.speculative);
+        assert_eq!(c.id.task, a.id.task);
+        // No third attempt while two are live.
+        let d = s.next(DataNodeId(1)).unwrap();
+        assert!(d.speculative);
+        assert_eq!(d.id.task, b.id.task, "other task gets its duplicate next");
+        assert!(
+            s.next(DataNodeId(1)).is_none(),
+            "all tasks at 2 live attempts"
+        );
+    }
+
+    #[test]
+    fn duplicate_completion_counts_redundant() {
+        let mut s = Scheduler::new(splits(vec![vec![0]]), true, 4);
+        let a = s.next(DataNodeId(0)).unwrap();
+        let dup = s.next(DataNodeId(1)).unwrap();
+        assert!(dup.speculative);
+        assert_eq!(s.complete(a.id), CompleteOutcome::First);
+        assert_eq!(s.complete(dup.id), CompleteOutcome::Duplicate);
+        assert_eq!(s.stats().duplicate_completions, 1);
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn failed_speculative_attempt_is_harmless() {
+        let mut s = Scheduler::new(splits(vec![vec![0]]), true, 4);
+        let a = s.next(DataNodeId(0)).unwrap();
+        let dup = s.next(DataNodeId(1)).unwrap();
+        assert_eq!(s.fail(dup.id), FailOutcome::Retried);
+        assert_eq!(s.complete(a.id), CompleteOutcome::First);
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn no_speculation_when_disabled() {
+        let mut s = Scheduler::new(splits(vec![vec![0]]), false, 4);
+        let _a = s.next(DataNodeId(0)).unwrap();
+        assert!(s.next(DataNodeId(1)).is_none());
+    }
+
+    #[test]
+    fn late_success_after_budget_exhausted_via_live_duplicate() {
+        let mut s = Scheduler::new(splits(vec![vec![0]]), true, 1);
+        let a = s.next(DataNodeId(0)).unwrap();
+        let dup = s.next(DataNodeId(1)).unwrap();
+        // First attempt fails and the budget is gone, but the duplicate is
+        // still live, so the task is not failed yet.
+        assert_eq!(s.fail(a.id), FailOutcome::Stale);
+        assert!(!s.is_complete());
+        assert_eq!(s.complete(dup.id), CompleteOutcome::First);
+        assert!(s.is_complete());
+        assert!(s.failed_tasks().is_empty());
+    }
+}

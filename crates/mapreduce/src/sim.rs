@@ -1,0 +1,398 @@
+//! The simulated Hadoop runtime (discrete-event, virtual time).
+//!
+//! Drives the *same* [`crate::scheduler::Scheduler`] as the native runtime,
+//! but workers and time are virtual: task execution times come from the
+//! calibrated service-time model, input reads cost local-disk or
+//! intra-cluster-network time depending on the locality of the assignment,
+//! and each task pays Hadoop's per-task dispatch overhead.
+//!
+//! Compared to the Classic Cloud simulation the differences are exactly the
+//! paper's Table 3 rows: data is on local disks (no cloud-storage transfer),
+//! scheduling adds locality awareness, and fault tolerance is re-execution
+//! plus speculative duplicates rather than queue visibility timeouts.
+
+use crate::input::InputSplit;
+use crate::report::MapReduceReport;
+use crate::scheduler::Scheduler;
+use ppc_compute::cluster::Cluster;
+use ppc_compute::model::{task_service_seconds, AppModel};
+use ppc_core::metrics::RunSummary;
+use ppc_core::rng::Pcg32;
+use ppc_core::task::TaskSpec;
+use ppc_des::{Engine, SimTime};
+use ppc_hdfs::block::DataNodeId;
+use ppc_storage::latency::LatencyModel;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Configuration of the simulated Hadoop platform.
+#[derive(Debug, Clone, Copy)]
+pub struct HadoopSimConfig {
+    pub app: AppModel,
+    /// Per-attempt dispatch/JVM-startup overhead, seconds (2010 Hadoop paid
+    /// on the order of a second per task).
+    pub dispatch_overhead_s: f64,
+    /// Data path for local (data-local) reads.
+    pub local_read: LatencyModel,
+    /// Data path for remote (non-local) reads.
+    pub remote_read: LatencyModel,
+    /// HDFS replication factor used to synthesize locality hints.
+    pub replication: usize,
+    /// P(an attempt runs `straggler_factor` slower) — models the slow nodes
+    /// speculative execution exists for.
+    pub straggler_p: f64,
+    pub straggler_factor: f64,
+    /// P(an attempt fails outright and is retried).
+    pub attempt_failure_p: f64,
+    /// Log-normal execution-time jitter.
+    pub jitter_sigma: f64,
+    pub seed: u64,
+    /// Idle workers re-poll the master at this interval, seconds.
+    pub poll_interval_s: f64,
+    /// Enable speculative duplicates (Hadoop default: on).
+    pub speculative: bool,
+    /// Attempt budget per task.
+    pub max_attempts: u32,
+    /// Ablation switch: pretend the scheduler has no locality information
+    /// (every read goes over the cluster network).
+    pub ignore_locality: bool,
+}
+
+impl Default for HadoopSimConfig {
+    fn default() -> Self {
+        HadoopSimConfig {
+            app: AppModel::DEFAULT,
+            dispatch_overhead_s: 1.0,
+            local_read: LatencyModel::local_disk_2010(),
+            remote_read: LatencyModel::cluster_network_2010(),
+            replication: 3,
+            straggler_p: 0.0,
+            straggler_factor: 5.0,
+            attempt_failure_p: 0.0,
+            jitter_sigma: 0.02,
+            seed: 42,
+            poll_interval_s: 0.5,
+            speculative: true,
+            max_attempts: 4,
+            ignore_locality: false,
+        }
+    }
+}
+
+struct SimState {
+    scheduler: Scheduler,
+    rng: Pcg32,
+    completed_at: Option<SimTime>,
+    attempts: usize,
+    data_local: usize,
+    remote_bytes: u64,
+}
+
+/// Simulate a map-only Hadoop job of `tasks` on `cluster`.
+pub fn simulate(cluster: &Cluster, tasks: &[TaskSpec], cfg: &HadoopSimConfig) -> MapReduceReport {
+    assert!(!tasks.is_empty(), "no tasks to simulate");
+    let n_nodes = cluster.n_nodes();
+    let mut rng = Pcg32::new(cfg.seed);
+
+    // Synthesize HDFS locality: each input replicated on `replication`
+    // distinct pseudo-random nodes.
+    let splits: Vec<InputSplit> = tasks
+        .iter()
+        .enumerate()
+        .map(|(index, t)| {
+            let mut hosts: Vec<DataNodeId> = Vec::new();
+            let want = cfg.replication.min(n_nodes);
+            while hosts.len() < want {
+                let h = DataNodeId(rng.next_below(n_nodes as u32) as usize);
+                if !hosts.contains(&h) {
+                    hosts.push(h);
+                }
+            }
+            InputSplit {
+                index,
+                path: t.input_key.clone(),
+                name: t.input_key.clone(),
+                len: t.profile.input_bytes,
+                hosts,
+            }
+        })
+        .collect();
+
+    let state = Rc::new(RefCell::new(SimState {
+        scheduler: Scheduler::new(splits, cfg.speculative, cfg.max_attempts),
+        rng,
+        completed_at: None,
+        attempts: 0,
+        data_local: 0,
+        remote_bytes: 0,
+    }));
+
+    let tasks: Rc<Vec<TaskSpec>> = Rc::new(tasks.to_vec());
+    let mut engine = Engine::new();
+    let itype = cluster.itype();
+    let cfg = *cfg;
+
+    for node in cluster.nodes() {
+        for _ in 0..node.workers {
+            let state = state.clone();
+            let tasks = tasks.clone();
+            let node_id = DataNodeId(node.id);
+            let workers = node.workers;
+            engine.schedule_at(SimTime::ZERO, move |e| {
+                worker_tick(e, state, tasks, node_id, workers, itype, cfg);
+            });
+        }
+    }
+
+    let _end = engine.run();
+    let st = state.borrow();
+    let makespan = st.completed_at.unwrap_or(SimTime::ZERO).as_secs_f64();
+    let stats = st.scheduler.stats();
+
+    MapReduceReport {
+        summary: RunSummary {
+            platform: format!("hadoop-sim-{}", itype.name),
+            cores: cluster.total_workers(),
+            tasks: st.scheduler.n_done(),
+            makespan_seconds: makespan,
+            redundant_executions: stats.duplicate_completions as usize,
+            remote_bytes: st.remote_bytes,
+        },
+        failed: st.scheduler.failed_tasks(),
+        scheduler: stats,
+        data_local_tasks: st.data_local,
+        total_attempts: st.attempts,
+        map_output_records: 0,
+        shuffle_records: 0,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_tick(
+    engine: &mut Engine,
+    state: Rc<RefCell<SimState>>,
+    tasks: Rc<Vec<TaskSpec>>,
+    node: DataNodeId,
+    workers_on_node: usize,
+    itype: ppc_compute::instance::InstanceType,
+    cfg: HadoopSimConfig,
+) {
+    let assignment = {
+        let mut st = state.borrow_mut();
+        if st.scheduler.is_complete() {
+            return; // cluster drains
+        }
+        // Locality-blind ablation: ask as a node that matches no replica.
+        let asking = if cfg.ignore_locality {
+            DataNodeId(usize::MAX)
+        } else {
+            node
+        };
+        st.scheduler.next(asking)
+    };
+
+    let assignment = match assignment {
+        Some(a) => a,
+        None => {
+            // With no failure injection a retry can never repopulate the
+            // queue, so an idle worker can retire instead of polling.
+            if cfg.attempt_failure_p <= 0.0 {
+                return;
+            }
+            // Re-poll later (a retry may repopulate the queue).
+            let st2 = state.clone();
+            engine.schedule_in(SimTime::from_secs_f64(cfg.poll_interval_s), move |e| {
+                worker_tick(e, st2, tasks, node, workers_on_node, itype, cfg);
+            });
+            return;
+        }
+    };
+
+    let (duration_s, fails) = {
+        let mut st = state.borrow_mut();
+        st.attempts += 1;
+        let task = &tasks[assignment.split];
+        let read_model = if assignment.local {
+            cfg.local_read
+        } else {
+            cfg.remote_read
+        };
+        let t_read = read_model.transfer_seconds(task.profile.input_bytes);
+        if assignment.local {
+            st.data_local += 1;
+        } else {
+            st.remote_bytes += task.profile.input_bytes;
+        }
+        let t_exec_base = task_service_seconds(&itype, workers_on_node, &task.profile, &cfg.app);
+        let jitter = if cfg.jitter_sigma > 0.0 {
+            st.rng.log_normal(0.0, cfg.jitter_sigma)
+        } else {
+            1.0
+        };
+        let straggle = if cfg.straggler_p > 0.0 && st.rng.chance(cfg.straggler_p) {
+            cfg.straggler_factor
+        } else {
+            1.0
+        };
+        let t_write = cfg.local_read.transfer_seconds(task.profile.output_bytes);
+        let fails = cfg.attempt_failure_p > 0.0 && st.rng.chance(cfg.attempt_failure_p);
+        (
+            cfg.dispatch_overhead_s + t_read + t_exec_base * jitter * straggle + t_write,
+            fails,
+        )
+    };
+
+    let st2 = state.clone();
+    engine.schedule_in(SimTime::from_secs_f64(duration_s), move |e| {
+        {
+            let mut st = st2.borrow_mut();
+            if fails {
+                st.scheduler.fail(assignment.id);
+            } else {
+                st.scheduler.complete(assignment.id);
+            }
+            if st.scheduler.is_complete() && st.completed_at.is_none() {
+                st.completed_at = Some(e.now());
+            }
+        }
+        worker_tick(e, st2, tasks, node, workers_on_node, itype, cfg);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_compute::instance::BARE_CAP3;
+    use ppc_core::task::ResourceProfile;
+
+    fn cpu_tasks(n: u64, secs: f64) -> Vec<TaskSpec> {
+        (0..n)
+            .map(|i| {
+                let mut p = ResourceProfile::cpu_bound(secs);
+                p.input_bytes = 200 << 10;
+                p.output_bytes = 100 << 10;
+                TaskSpec::new(i, "cap3", format!("f{i}"), p)
+            })
+            .collect()
+    }
+
+    fn quiet(cfg: HadoopSimConfig) -> HadoopSimConfig {
+        HadoopSimConfig {
+            jitter_sigma: 0.0,
+            dispatch_overhead_s: 0.0,
+            ..cfg
+        }
+    }
+
+    #[test]
+    fn ideal_makespan_two_waves() {
+        let cluster = Cluster::provision(BARE_CAP3, 2, 8);
+        let mut cfg = quiet(HadoopSimConfig::default());
+        cfg.local_read = LatencyModel::FREE;
+        cfg.remote_read = LatencyModel::FREE;
+        let report = simulate(&cluster, &cpu_tasks(32, 10.0), &cfg);
+        assert_eq!(report.summary.tasks, 32);
+        assert!(
+            (report.summary.makespan_seconds - 20.0).abs() < 1e-6,
+            "{}",
+            report.summary.makespan_seconds
+        );
+    }
+
+    #[test]
+    fn dispatch_overhead_lowers_efficiency() {
+        let cluster = Cluster::provision(BARE_CAP3, 2, 8);
+        let tasks = cpu_tasks(64, 30.0);
+        let lean = quiet(HadoopSimConfig::default());
+        let heavy = HadoopSimConfig {
+            dispatch_overhead_s: 3.0,
+            jitter_sigma: 0.0,
+            ..HadoopSimConfig::default()
+        };
+        let t_lean = simulate(&cluster, &tasks, &lean).summary.makespan_seconds;
+        let t_heavy = simulate(&cluster, &tasks, &heavy).summary.makespan_seconds;
+        assert!(t_heavy > t_lean);
+    }
+
+    #[test]
+    fn locality_fraction_high_with_replication() {
+        let cluster = Cluster::provision(BARE_CAP3, 8, 8);
+        let cfg = HadoopSimConfig {
+            replication: 3,
+            ..HadoopSimConfig::default()
+        };
+        let report = simulate(&cluster, &cpu_tasks(256, 10.0), &cfg);
+        assert!(
+            report.locality_fraction() > 0.7,
+            "locality {}",
+            report.locality_fraction()
+        );
+    }
+
+    #[test]
+    fn speculation_rescues_stragglers() {
+        let cluster = Cluster::provision(BARE_CAP3, 2, 8);
+        let tasks = cpu_tasks(64, 20.0);
+        let slow = HadoopSimConfig {
+            straggler_p: 0.05,
+            straggler_factor: 10.0,
+            jitter_sigma: 0.0,
+            dispatch_overhead_s: 0.0,
+            ..HadoopSimConfig::default()
+        };
+        let no_spec = HadoopSimConfig {
+            speculative: false,
+            ..slow
+        };
+        let with_spec = HadoopSimConfig {
+            speculative: true,
+            ..slow
+        };
+        let t_no = simulate(&cluster, &tasks, &no_spec)
+            .summary
+            .makespan_seconds;
+        let r_yes = simulate(&cluster, &tasks, &with_spec);
+        assert!(r_yes.scheduler.speculative_assignments > 0);
+        assert!(
+            r_yes.summary.makespan_seconds < t_no,
+            "speculation helps: {} vs {}",
+            r_yes.summary.makespan_seconds,
+            t_no
+        );
+    }
+
+    #[test]
+    fn failures_retried_to_completion() {
+        let cluster = Cluster::provision(BARE_CAP3, 2, 8);
+        let cfg = HadoopSimConfig {
+            attempt_failure_p: 0.15,
+            ..HadoopSimConfig::default()
+        };
+        let report = simulate(&cluster, &cpu_tasks(64, 5.0), &cfg);
+        assert!(report.is_complete());
+        assert!(report.scheduler.retries > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cluster = Cluster::provision(BARE_CAP3, 4, 8);
+        let tasks = cpu_tasks(100, 7.0);
+        let cfg = HadoopSimConfig::default();
+        let a = simulate(&cluster, &tasks, &cfg).summary.makespan_seconds;
+        let b = simulate(&cluster, &tasks, &cfg).summary.makespan_seconds;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn efficiency_high_for_coarse_grained_work() {
+        let cluster = Cluster::provision(BARE_CAP3, 4, 8);
+        let tasks = cpu_tasks(256, 60.0);
+        let report = simulate(&cluster, &tasks, &HadoopSimConfig::default());
+        let t1: f64 = tasks
+            .iter()
+            .map(|t| task_service_seconds(&BARE_CAP3, 1, &t.profile, &AppModel::DEFAULT))
+            .sum();
+        let eff = report.summary.efficiency(t1);
+        assert!(eff > 0.9, "efficiency {eff}");
+    }
+}

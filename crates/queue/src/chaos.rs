@@ -1,0 +1,79 @@
+//! Failure injection for the queue service.
+//!
+//! The paper's frameworks must be robust to the queue's weak guarantees.
+//! [`ChaosConfig`] turns each weakness into a dial so tests can prove the
+//! framework converges under each of them:
+//!
+//! * empty receives while messages exist (eventual availability),
+//! * duplicate delivery of a message that was *not* yet timed out
+//!   (at-least-once delivery applies even without consumer failure),
+//! * transient API errors the client must retry.
+
+/// Probabilities for injected queue misbehaviour. All default to zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// P(a receive returns empty despite visible messages).
+    pub empty_receive_probability: f64,
+    /// P(a receive hands out a message *without* hiding it, so another
+    /// consumer can take it concurrently — a true duplicate delivery).
+    pub duplicate_delivery_probability: f64,
+    /// P(any API call fails with a retryable `Transient` error).
+    pub transient_error_probability: f64,
+}
+
+impl ChaosConfig {
+    /// No injected misbehaviour.
+    pub const NONE: ChaosConfig = ChaosConfig {
+        empty_receive_probability: 0.0,
+        duplicate_delivery_probability: 0.0,
+        transient_error_probability: 0.0,
+    };
+
+    /// The flakiness level used in the fault-tolerance integration tests:
+    /// noticeable but survivable.
+    pub fn flaky() -> ChaosConfig {
+        ChaosConfig {
+            empty_receive_probability: 0.10,
+            duplicate_delivery_probability: 0.05,
+            transient_error_probability: 0.02,
+        }
+    }
+
+    pub fn validate(&self) -> bool {
+        let ok = |p: f64| (0.0..=1.0).contains(&p);
+        ok(self.empty_receive_probability)
+            && ok(self.duplicate_delivery_probability)
+            && ok(self.transient_error_probability)
+    }
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_quiet() {
+        assert_eq!(ChaosConfig::default(), ChaosConfig::NONE);
+        assert!(ChaosConfig::NONE.validate());
+    }
+
+    #[test]
+    fn validation_catches_bad_probabilities() {
+        let mut c = ChaosConfig::NONE;
+        c.empty_receive_probability = 1.5;
+        assert!(!c.validate());
+        c.empty_receive_probability = -0.1;
+        assert!(!c.validate());
+    }
+
+    #[test]
+    fn flaky_is_valid() {
+        assert!(ChaosConfig::flaky().validate());
+    }
+}

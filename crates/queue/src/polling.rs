@@ -1,0 +1,152 @@
+//! Long polling and batch operations.
+//!
+//! SQS clients avoid hammering the endpoint with empty receives by using
+//! *long polling* (`WaitTimeSeconds`) and cut request counts (and bills —
+//! SQS charges per request) with *batch* send/delete. Both are implemented
+//! here as extensions on [`Queue`].
+
+use crate::message::{Message, MessageId, ReceiptHandle};
+use crate::queue::Queue;
+use ppc_core::{PpcError, Result};
+use std::time::{Duration, Instant};
+
+/// Maximum entries per batch call (SQS's limit).
+pub const MAX_BATCH: usize = 10;
+
+impl Queue {
+    /// Receive with long polling: blocks up to `wait` for a message to
+    /// become available (arrival or visibility-timeout reappearance),
+    /// returning `Ok(None)` only after the full wait elapses empty.
+    ///
+    /// Implementation note: the native queue has no push notification
+    /// channel (real SQS long polling is also server-side polling), so this
+    /// re-checks with a short sleep; the *caller's* request count stays at
+    /// one, which is the billing-relevant behaviour — the whole wait is
+    /// metered as a single receive (plus one empty-receive if it times out).
+    pub fn receive_wait(&self, wait: Duration) -> Result<Option<Message>> {
+        // One billable request for the whole wait window.
+        self.stats()
+            .receives
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let deadline = Instant::now() + wait;
+        loop {
+            match self.receive_metered(false) {
+                Ok(Some(m)) => return Ok(Some(m)),
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        self.stats()
+                            .empty_receives
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        return Ok(None);
+                    }
+                    std::thread::sleep(Duration::from_micros(200).min(wait));
+                }
+                Err(e) if e.is_retryable() => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Send up to [`MAX_BATCH`] messages in one request. Returns the ids in
+    /// input order. Partial failure is not modeled: the batch is atomic
+    /// here, which is *stronger* than SQS — acceptable because callers must
+    /// already handle per-message retry for the non-batch path.
+    pub fn send_batch(&self, bodies: &[String]) -> Result<Vec<MessageId>> {
+        if bodies.is_empty() || bodies.len() > MAX_BATCH {
+            return Err(PpcError::InvalidArgument(format!(
+                "batch size must be 1..={MAX_BATCH}, got {}",
+                bodies.len()
+            )));
+        }
+        let mut ids = Vec::with_capacity(bodies.len());
+        for body in bodies {
+            ids.push(self.send(body.clone())?);
+        }
+        Ok(ids)
+    }
+
+    /// Delete up to [`MAX_BATCH`] receipts in one request. Returns, per
+    /// receipt, whether the delete succeeded (stale receipts fail
+    /// individually without failing the batch — SQS semantics).
+    pub fn delete_batch(&self, receipts: &[ReceiptHandle]) -> Result<Vec<bool>> {
+        if receipts.is_empty() || receipts.len() > MAX_BATCH {
+            return Err(PpcError::InvalidArgument(format!(
+                "batch size must be 1..={MAX_BATCH}, got {}",
+                receipts.len()
+            )));
+        }
+        Ok(receipts.iter().map(|r| self.delete(*r).is_ok()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueConfig;
+
+    #[test]
+    fn long_poll_returns_early_when_message_arrives() {
+        let q = std::sync::Arc::new(Queue::new("lp", QueueConfig::default()));
+        let q2 = q.clone();
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q2.send("late").unwrap();
+        });
+        let start = Instant::now();
+        let m = q.receive_wait(Duration::from_millis(500)).unwrap();
+        sender.join().unwrap();
+        assert_eq!(m.unwrap().body, "late");
+        assert!(
+            start.elapsed() < Duration::from_millis(400),
+            "returned early"
+        );
+    }
+
+    #[test]
+    fn long_poll_times_out_empty() {
+        let q = Queue::new("lp", QueueConfig::default());
+        let start = Instant::now();
+        assert!(q.receive_wait(Duration::from_millis(30)).unwrap().is_none());
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn batch_send_and_delete() {
+        let q = Queue::new("b", QueueConfig::default());
+        let bodies: Vec<String> = (0..10).map(|i| format!("m{i}")).collect();
+        let ids = q.send_batch(&bodies).unwrap();
+        assert_eq!(ids.len(), 10);
+        let mut receipts = Vec::new();
+        while let Some(m) = q.receive().unwrap() {
+            receipts.push(m.receipt);
+        }
+        let results = q.delete_batch(&receipts).unwrap();
+        assert!(results.iter().all(|&ok| ok));
+        assert!(q.is_drained());
+    }
+
+    #[test]
+    fn batch_delete_reports_stale_individually() {
+        let q = Queue::new("b", QueueConfig::default());
+        q.send("x").unwrap();
+        let m = q.receive().unwrap().unwrap();
+        q.delete(m.receipt).unwrap();
+        // Re-deleting the same receipt is stale but does not error the batch.
+        let results = q.delete_batch(&[m.receipt]).unwrap();
+        assert_eq!(results, vec![false]);
+    }
+
+    #[test]
+    fn batch_limits_enforced() {
+        let q = Queue::new("b", QueueConfig::default());
+        assert!(q.send_batch(&[]).is_err());
+        let too_many: Vec<String> = (0..11).map(|i| format!("{i}")).collect();
+        assert!(q.send_batch(&too_many).is_err());
+        assert!(q.delete_batch(&[]).is_err());
+    }
+}

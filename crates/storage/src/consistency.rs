@@ -1,0 +1,87 @@
+//! Eventual-consistency injection.
+//!
+//! 2010-era S3 offered *eventual* consistency: a `GET` racing a recent `PUT`
+//! could observe the object as missing. The paper's frameworks are built to
+//! survive this ("High latency, eventually consistent cloud infrastructure
+//! service-based frameworks ... were able to exhibit performance efficiencies
+//! comparable to ..."). [`ConsistencyModel`] decides, per read, whether a
+//! recently written object is visible yet.
+
+use parking_lot::Mutex;
+use ppc_core::rng::Pcg32;
+
+/// Controls how reads behave shortly after writes.
+#[derive(Debug)]
+pub struct ConsistencyModel {
+    /// Writes younger than this many seconds *may* be invisible to reads.
+    pub inconsistency_window_s: f64,
+    /// Probability that a read inside the window misses.
+    pub miss_probability: f64,
+    rng: Mutex<Pcg32>,
+}
+
+impl ConsistencyModel {
+    /// Strong consistency: every read sees every earlier write.
+    pub fn strong() -> ConsistencyModel {
+        ConsistencyModel {
+            inconsistency_window_s: 0.0,
+            miss_probability: 0.0,
+            rng: Mutex::new(Pcg32::new(0)),
+        }
+    }
+
+    /// Eventually consistent with the given window and miss probability.
+    pub fn eventual(window_s: f64, miss_probability: f64, seed: u64) -> ConsistencyModel {
+        assert!(
+            (0.0..=1.0).contains(&miss_probability),
+            "probability out of range"
+        );
+        ConsistencyModel {
+            inconsistency_window_s: window_s,
+            miss_probability,
+            rng: Mutex::new(Pcg32::new(seed)),
+        }
+    }
+
+    /// Decide whether a read of an object written `age_s` seconds ago sees it.
+    pub fn read_visible(&self, age_s: f64) -> bool {
+        if age_s >= self.inconsistency_window_s || self.miss_probability <= 0.0 {
+            return true;
+        }
+        !self.rng.lock().chance(self.miss_probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_always_visible() {
+        let m = ConsistencyModel::strong();
+        for _ in 0..100 {
+            assert!(m.read_visible(0.0));
+        }
+    }
+
+    #[test]
+    fn certain_miss_inside_window() {
+        let m = ConsistencyModel::eventual(1.0, 1.0, 42);
+        assert!(!m.read_visible(0.5));
+        assert!(m.read_visible(1.5), "outside the window reads always hit");
+    }
+
+    #[test]
+    fn probabilistic_misses_roughly_match() {
+        let m = ConsistencyModel::eventual(10.0, 0.3, 7);
+        let misses = (0..10_000).filter(|_| !m.read_visible(0.0)).count();
+        let rate = misses as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "rate={rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn invalid_probability_rejected() {
+        let _ = ConsistencyModel::eventual(1.0, 1.5, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! HTTP-path latency/bandwidth model for storage and queue endpoints.
+//!
+//! The Classic Cloud architecture pays a web-service round trip plus a
+//! size-proportional transfer for every object it moves (paper §2.1.3:
+//! "the worker processes will retrieve the input files from the cloud
+//! storage through the web service interface using HTTP"). MapReduce and
+//! Dryad instead read local disks, which is the asymmetry the paper's
+//! efficiency plots probe.
+
+/// Transfer-time model: `latency + bytes / bandwidth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed per-request round-trip latency, seconds.
+    pub request_latency_s: f64,
+    /// Sustained transfer bandwidth, bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl LatencyModel {
+    /// A model with no cost at all (for tests and local baselines).
+    pub const FREE: LatencyModel = LatencyModel {
+        request_latency_s: 0.0,
+        bandwidth_bytes_per_s: f64::INFINITY,
+    };
+
+    /// Typical 2010 cloud object store seen from inside the same region:
+    /// ~30 ms request latency, ~25 MB/s sustained per-connection throughput.
+    pub fn cloud_storage_2010() -> LatencyModel {
+        LatencyModel {
+            request_latency_s: 0.030,
+            bandwidth_bytes_per_s: 25e6,
+        }
+    }
+
+    /// Typical 2010 cloud queue endpoint: ~20 ms per API call, tiny payloads.
+    pub fn cloud_queue_2010() -> LatencyModel {
+        LatencyModel {
+            request_latency_s: 0.020,
+            bandwidth_bytes_per_s: 10e6,
+        }
+    }
+
+    /// Local disk on a compute node (the Hadoop/Dryad data path):
+    /// sub-millisecond seek, ~80 MB/s sequential (2010 SATA).
+    pub fn local_disk_2010() -> LatencyModel {
+        LatencyModel {
+            request_latency_s: 0.0005,
+            bandwidth_bytes_per_s: 80e6,
+        }
+    }
+
+    /// Intra-cluster network fetch (HDFS remote block read: the remote
+    /// node's disk behind an oversubscribed GigE link — noticeably slower
+    /// than a local sequential read, which is what makes data locality
+    /// worth scheduling for).
+    pub fn cluster_network_2010() -> LatencyModel {
+        LatencyModel {
+            request_latency_s: 0.005,
+            bandwidth_bytes_per_s: 30e6,
+        }
+    }
+
+    /// Seconds to complete one request moving `bytes` of payload.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        if self.bandwidth_bytes_per_s.is_infinite() {
+            return self.request_latency_s;
+        }
+        self.request_latency_s + bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Seconds for a payload-free control request.
+    pub fn request_seconds(&self) -> f64 {
+        self.request_latency_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_model_is_free() {
+        assert_eq!(LatencyModel::FREE.transfer_seconds(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn transfer_adds_latency_and_bandwidth() {
+        let m = LatencyModel {
+            request_latency_s: 0.1,
+            bandwidth_bytes_per_s: 10.0,
+        };
+        assert!((m.transfer_seconds(100) - 10.1).abs() < 1e-12);
+        assert!((m.request_seconds() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        // Remote storage must be slower than local disk for the same payload,
+        // or the paper's data-locality argument evaporates.
+        let remote = LatencyModel::cloud_storage_2010().transfer_seconds(1 << 20);
+        let local = LatencyModel::local_disk_2010().transfer_seconds(1 << 20);
+        assert!(remote > local);
+    }
+}

@@ -1,0 +1,193 @@
+//! Multipart upload — how big objects (the 2.9 GB compressed BLAST
+//! database, §5) actually get into an object store: initiate, upload parts
+//! (in any order, retrying individually), complete or abort.
+
+use crate::service::StorageService;
+use parking_lot::Mutex;
+use ppc_core::{PpcError, Result};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies one in-progress multipart upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UploadId(pub u64);
+
+struct InProgress {
+    bucket: String,
+    key: String,
+    /// part number -> bytes (BTreeMap: completion concatenates in order).
+    parts: BTreeMap<u32, Vec<u8>>,
+}
+
+/// Multipart upload coordinator over a [`StorageService`].
+pub struct MultipartUploader<'a> {
+    storage: &'a StorageService,
+    next_id: AtomicU64,
+    uploads: Mutex<BTreeMap<u64, InProgress>>,
+}
+
+impl<'a> MultipartUploader<'a> {
+    pub fn new(storage: &'a StorageService) -> MultipartUploader<'a> {
+        MultipartUploader {
+            storage,
+            next_id: AtomicU64::new(1),
+            uploads: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Begin an upload to `bucket/key`.
+    pub fn initiate(&self, bucket: &str, key: &str) -> Result<UploadId> {
+        if key.is_empty() {
+            return Err(PpcError::InvalidArgument("empty object key".into()));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.uploads.lock().insert(
+            id,
+            InProgress {
+                bucket: bucket.to_string(),
+                key: key.to_string(),
+                parts: BTreeMap::new(),
+            },
+        );
+        Ok(UploadId(id))
+    }
+
+    /// Upload (or re-upload: retries replace) one part. Part numbers start
+    /// at 1, as in S3.
+    pub fn upload_part(&self, id: UploadId, part_number: u32, data: Vec<u8>) -> Result<()> {
+        if part_number == 0 {
+            return Err(PpcError::InvalidArgument("part numbers start at 1".into()));
+        }
+        let mut uploads = self.uploads.lock();
+        let up = uploads
+            .get_mut(&id.0)
+            .ok_or_else(|| PpcError::NotFound(format!("upload {}", id.0)))?;
+        up.parts.insert(part_number, data);
+        Ok(())
+    }
+
+    /// Complete: concatenate parts in part-number order into the final
+    /// object. Fails if the part sequence has gaps.
+    pub fn complete(&self, id: UploadId) -> Result<()> {
+        let up = self
+            .uploads
+            .lock()
+            .remove(&id.0)
+            .ok_or_else(|| PpcError::NotFound(format!("upload {}", id.0)))?;
+        if up.parts.is_empty() {
+            return Err(PpcError::InvalidState("no parts uploaded".into()));
+        }
+        let expected: Vec<u32> = (1..=up.parts.len() as u32).collect();
+        let got: Vec<u32> = up.parts.keys().copied().collect();
+        if got != expected {
+            return Err(PpcError::InvalidState(format!(
+                "part sequence has gaps: {got:?}"
+            )));
+        }
+        let total: usize = up.parts.values().map(Vec::len).sum();
+        let mut data = Vec::with_capacity(total);
+        for part in up.parts.into_values() {
+            data.extend_from_slice(&part);
+        }
+        self.storage.put(&up.bucket, &up.key, data)
+    }
+
+    /// Abort: discard all parts without creating an object.
+    pub fn abort(&self, id: UploadId) -> Result<()> {
+        self.uploads
+            .lock()
+            .remove(&id.0)
+            .map(|_| ())
+            .ok_or_else(|| PpcError::NotFound(format!("upload {}", id.0)))
+    }
+
+    /// Number of uploads currently in progress.
+    pub fn in_progress(&self) -> usize {
+        self.uploads.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_assemble_in_order() {
+        let storage = StorageService::in_memory();
+        storage.create_bucket("db").unwrap();
+        let up = MultipartUploader::new(&storage);
+        let id = up.initiate("db", "nr.tar.gz").unwrap();
+        // Out-of-order upload; retry of part 2 replaces.
+        up.upload_part(id, 3, vec![7, 8, 9]).unwrap();
+        up.upload_part(id, 1, vec![1, 2]).unwrap();
+        up.upload_part(id, 2, vec![0]).unwrap();
+        up.upload_part(id, 2, vec![3, 4, 5, 6]).unwrap();
+        up.complete(id).unwrap();
+        assert_eq!(
+            *storage.get("db", "nr.tar.gz").unwrap(),
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9]
+        );
+        assert_eq!(up.in_progress(), 0);
+    }
+
+    #[test]
+    fn gaps_rejected() {
+        let storage = StorageService::in_memory();
+        storage.create_bucket("b").unwrap();
+        let up = MultipartUploader::new(&storage);
+        let id = up.initiate("b", "k").unwrap();
+        up.upload_part(id, 1, vec![1]).unwrap();
+        up.upload_part(id, 3, vec![3]).unwrap();
+        assert_eq!(up.complete(id).unwrap_err().code(), "InvalidState");
+        // The failed completion consumed the upload (like an S3 abort).
+        assert_eq!(up.in_progress(), 0);
+    }
+
+    #[test]
+    fn abort_discards() {
+        let storage = StorageService::in_memory();
+        storage.create_bucket("b").unwrap();
+        let up = MultipartUploader::new(&storage);
+        let id = up.initiate("b", "k").unwrap();
+        up.upload_part(id, 1, vec![1]).unwrap();
+        up.abort(id).unwrap();
+        assert!(storage.get("b", "k").is_err());
+        assert!(
+            up.upload_part(id, 2, vec![2]).is_err(),
+            "aborted upload is gone"
+        );
+    }
+
+    #[test]
+    fn validation() {
+        let storage = StorageService::in_memory();
+        storage.create_bucket("b").unwrap();
+        let up = MultipartUploader::new(&storage);
+        assert!(up.initiate("b", "").is_err());
+        let id = up.initiate("b", "k").unwrap();
+        assert!(up.upload_part(id, 0, vec![]).is_err());
+        assert_eq!(up.complete(id).unwrap_err().code(), "InvalidState");
+        assert!(up.complete(UploadId(999)).is_err());
+    }
+
+    #[test]
+    fn concurrent_part_uploads() {
+        let storage = StorageService::in_memory();
+        storage.create_bucket("b").unwrap();
+        let up = MultipartUploader::new(&storage);
+        let id = up.initiate("b", "big").unwrap();
+        std::thread::scope(|scope| {
+            for part in 1..=16u32 {
+                let up = &up;
+                scope.spawn(move || {
+                    up.upload_part(id, part, vec![part as u8; 1000]).unwrap();
+                });
+            }
+        });
+        up.complete(id).unwrap();
+        let obj = storage.get("b", "big").unwrap();
+        assert_eq!(obj.len(), 16_000);
+        assert_eq!(obj[0], 1);
+        assert_eq!(obj[15_999], 16);
+    }
+}

@@ -1,0 +1,548 @@
+//! The storage service itself: buckets of objects behind a thread-safe API.
+//!
+//! This is the native (in-process) implementation used by the Classic Cloud
+//! runtime's worker threads. The discrete-event simulator does not call this
+//! code; it models the same endpoint with `ppc-des` servers and the same
+//! [`LatencyModel`].
+
+use crate::consistency::ConsistencyModel;
+use crate::latency::LatencyModel;
+use crate::metering::Metering;
+use parking_lot::RwLock;
+use ppc_core::{PpcError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Metadata for one stored object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectMeta {
+    pub key: String,
+    pub size: u64,
+    /// Seconds since the service epoch at which this version was written.
+    pub written_at_s: f64,
+}
+
+struct StoredObject {
+    data: Arc<Vec<u8>>,
+    written_at_s: f64,
+}
+
+type Bucket = HashMap<String, StoredObject>;
+
+/// An S3/Azure-Blob-like object store.
+///
+/// ```
+/// use ppc_storage::service::StorageService;
+/// let s3 = StorageService::in_memory();
+/// s3.create_bucket("job-in").unwrap();
+/// s3.put("job-in", "f0.fa", b">r1\nACGT\n".to_vec()).unwrap();
+/// assert_eq!(s3.list("job-in", "f").unwrap(), vec!["f0.fa"]);
+/// assert_eq!(&*s3.get("job-in", "f0.fa").unwrap(), b">r1\nACGT\n");
+/// ```
+pub struct StorageService {
+    buckets: RwLock<HashMap<String, Bucket>>,
+    latency: LatencyModel,
+    consistency: ConsistencyModel,
+    metering: Metering,
+    epoch: Instant,
+    /// Fraction of modeled latency to actually sleep in native mode.
+    /// 0.0 (default) = never sleep; 1.0 = full fidelity.
+    delay_scale: f64,
+}
+
+impl StorageService {
+    /// A strongly consistent, zero-latency store (unit tests, baselines).
+    pub fn in_memory() -> Arc<StorageService> {
+        Arc::new(StorageService {
+            buckets: RwLock::new(HashMap::new()),
+            latency: LatencyModel::FREE,
+            consistency: ConsistencyModel::strong(),
+            metering: Metering::new(),
+            epoch: Instant::now(),
+            delay_scale: 0.0,
+        })
+    }
+
+    /// A store with cloud-like latency and eventual consistency.
+    pub fn cloud(
+        latency: LatencyModel,
+        consistency: ConsistencyModel,
+        delay_scale: f64,
+    ) -> Arc<StorageService> {
+        assert!(delay_scale >= 0.0);
+        Arc::new(StorageService {
+            buckets: RwLock::new(HashMap::new()),
+            latency,
+            consistency,
+            metering: Metering::new(),
+            epoch: Instant::now(),
+            delay_scale,
+        })
+    }
+
+    /// The latency model clients should assume for this endpoint.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// Usage counters for billing.
+    pub fn metering(&self) -> &Metering {
+        &self.metering
+    }
+
+    fn now_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    fn sleep_for(&self, seconds: f64) {
+        if self.delay_scale > 0.0 && seconds > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(seconds * self.delay_scale));
+        }
+    }
+
+    /// Create a bucket; errors if it already exists.
+    pub fn create_bucket(&self, name: &str) -> Result<()> {
+        self.metering.record_request();
+        self.sleep_for(self.latency.request_seconds());
+        let mut buckets = self.buckets.write();
+        if buckets.contains_key(name) {
+            return Err(PpcError::AlreadyExists(format!("bucket '{name}'")));
+        }
+        buckets.insert(name.to_string(), Bucket::new());
+        Ok(())
+    }
+
+    /// Create a bucket if absent; idempotent convenience for job setup.
+    pub fn ensure_bucket(&self, name: &str) {
+        self.metering.record_request();
+        self.buckets.write().entry(name.to_string()).or_default();
+    }
+
+    /// Delete an *empty* bucket.
+    pub fn delete_bucket(&self, name: &str) -> Result<()> {
+        self.metering.record_request();
+        let mut buckets = self.buckets.write();
+        match buckets.get(name) {
+            None => Err(PpcError::NotFound(format!("bucket '{name}'"))),
+            Some(b) if !b.is_empty() => Err(PpcError::InvalidState(format!(
+                "bucket '{name}' is not empty"
+            ))),
+            Some(_) => {
+                buckets.remove(name);
+                Ok(())
+            }
+        }
+    }
+
+    /// Store an object (replacing any prior version).
+    pub fn put(&self, bucket: &str, key: &str, data: Vec<u8>) -> Result<()> {
+        if key.is_empty() {
+            return Err(PpcError::InvalidArgument("empty object key".into()));
+        }
+        self.metering.record_request();
+        let size = data.len() as u64;
+        self.metering.record_bytes_in(size);
+        self.sleep_for(self.latency.transfer_seconds(size));
+        let mut buckets = self.buckets.write();
+        let b = buckets
+            .get_mut(bucket)
+            .ok_or_else(|| PpcError::NotFound(format!("bucket '{bucket}'")))?;
+        let prior = b.get(key).map(|o| o.data.len() as u64).unwrap_or(0);
+        b.insert(
+            key.to_string(),
+            StoredObject {
+                data: Arc::new(data),
+                written_at_s: self.now_s(),
+            },
+        );
+        self.metering.record_stored_delta(size, prior);
+        Ok(())
+    }
+
+    /// Fetch an object. May return `NotFound` for *recently written* objects
+    /// under an eventually consistent model — callers are expected to retry,
+    /// exactly as the paper's workers do.
+    pub fn get(&self, bucket: &str, key: &str) -> Result<Arc<Vec<u8>>> {
+        self.metering.record_request();
+        let (data, age_s) = {
+            let buckets = self.buckets.read();
+            let b = buckets
+                .get(bucket)
+                .ok_or_else(|| PpcError::NotFound(format!("bucket '{bucket}'")))?;
+            let o = b
+                .get(key)
+                .ok_or_else(|| PpcError::NotFound(format!("object '{bucket}/{key}'")))?;
+            (o.data.clone(), self.now_s() - o.written_at_s)
+        };
+        if !self.consistency.read_visible(age_s) {
+            return Err(PpcError::Transient(format!(
+                "object '{bucket}/{key}' not yet visible (eventual consistency)"
+            )));
+        }
+        self.metering.record_bytes_out(data.len() as u64);
+        self.sleep_for(self.latency.transfer_seconds(data.len() as u64));
+        Ok(data)
+    }
+
+    /// Fetch with bounded retry, the client-side idiom for eventual
+    /// consistency. Retries only [`PpcError::Transient`] failures.
+    pub fn get_with_retry(
+        &self,
+        bucket: &str,
+        key: &str,
+        max_attempts: u32,
+    ) -> Result<Arc<Vec<u8>>> {
+        let mut last = None;
+        for attempt in 0..max_attempts {
+            match self.get(bucket, key) {
+                Ok(d) => return Ok(d),
+                Err(e) if e.is_retryable() => {
+                    // Linear backoff; scaled the same way as modeled latency.
+                    self.sleep_for(self.latency.request_seconds() * (attempt + 1) as f64);
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| PpcError::NotFound(format!("object '{bucket}/{key}'"))))
+    }
+
+    /// Object metadata without the payload (HTTP `HEAD`).
+    pub fn head(&self, bucket: &str, key: &str) -> Result<ObjectMeta> {
+        self.metering.record_request();
+        let buckets = self.buckets.read();
+        let b = buckets
+            .get(bucket)
+            .ok_or_else(|| PpcError::NotFound(format!("bucket '{bucket}'")))?;
+        let o = b
+            .get(key)
+            .ok_or_else(|| PpcError::NotFound(format!("object '{bucket}/{key}'")))?;
+        Ok(ObjectMeta {
+            key: key.to_string(),
+            size: o.data.len() as u64,
+            written_at_s: o.written_at_s,
+        })
+    }
+
+    /// Fetch a byte range of an object (HTTP `Range` requests — how real
+    /// workers resume interrupted downloads of big inputs like the BLAST
+    /// database). The range is clamped to the object size; an empty clamped
+    /// range returns an empty payload.
+    pub fn get_range(&self, bucket: &str, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.metering.record_request();
+        let (data, age_s) = {
+            let buckets = self.buckets.read();
+            let b = buckets
+                .get(bucket)
+                .ok_or_else(|| PpcError::NotFound(format!("bucket '{bucket}'")))?;
+            let o = b
+                .get(key)
+                .ok_or_else(|| PpcError::NotFound(format!("object '{bucket}/{key}'")))?;
+            (o.data.clone(), self.now_s() - o.written_at_s)
+        };
+        if !self.consistency.read_visible(age_s) {
+            return Err(PpcError::Transient(format!(
+                "object '{bucket}/{key}' not yet visible (eventual consistency)"
+            )));
+        }
+        let start = (offset as usize).min(data.len());
+        let end = (offset.saturating_add(len) as usize).min(data.len());
+        let slice = data[start..end].to_vec();
+        self.metering.record_bytes_out(slice.len() as u64);
+        self.sleep_for(self.latency.transfer_seconds(slice.len() as u64));
+        Ok(slice)
+    }
+
+    /// Server-side copy (S3 `CopyObject`): no bytes cross the wire.
+    pub fn copy(
+        &self,
+        src_bucket: &str,
+        src_key: &str,
+        dst_bucket: &str,
+        dst_key: &str,
+    ) -> Result<()> {
+        if dst_key.is_empty() {
+            return Err(PpcError::InvalidArgument("empty destination key".into()));
+        }
+        self.metering.record_request();
+        let mut buckets = self.buckets.write();
+        let data = buckets
+            .get(src_bucket)
+            .ok_or_else(|| PpcError::NotFound(format!("bucket '{src_bucket}'")))?
+            .get(src_key)
+            .ok_or_else(|| PpcError::NotFound(format!("object '{src_bucket}/{src_key}'")))?
+            .data
+            .clone();
+        let dst = buckets
+            .get_mut(dst_bucket)
+            .ok_or_else(|| PpcError::NotFound(format!("bucket '{dst_bucket}'")))?;
+        let prior = dst.get(dst_key).map(|o| o.data.len() as u64).unwrap_or(0);
+        let size = data.len() as u64;
+        dst.insert(
+            dst_key.to_string(),
+            StoredObject {
+                data,
+                written_at_s: self.now_s(),
+            },
+        );
+        self.metering.record_stored_delta(size, prior);
+        Ok(())
+    }
+
+    /// Paginated listing (S3 `ListObjectsV2`): up to `max_keys` keys after
+    /// `start_after`, plus a continuation token when truncated.
+    pub fn list_page(
+        &self,
+        bucket: &str,
+        prefix: &str,
+        start_after: Option<&str>,
+        max_keys: usize,
+    ) -> Result<(Vec<String>, Option<String>)> {
+        let all = self.list(bucket, prefix)?;
+        let begin = match start_after {
+            Some(after) => all.partition_point(|k| k.as_str() <= after),
+            None => 0,
+        };
+        let page: Vec<String> = all[begin..].iter().take(max_keys).cloned().collect();
+        let token = if begin + page.len() < all.len() {
+            page.last().cloned()
+        } else {
+            None
+        };
+        Ok((page, token))
+    }
+
+    /// Delete an object; deleting a missing object succeeds (S3 semantics).
+    pub fn delete(&self, bucket: &str, key: &str) -> Result<()> {
+        self.metering.record_request();
+        let mut buckets = self.buckets.write();
+        let b = buckets
+            .get_mut(bucket)
+            .ok_or_else(|| PpcError::NotFound(format!("bucket '{bucket}'")))?;
+        if let Some(o) = b.remove(key) {
+            self.metering.record_stored_delta(0, o.data.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// List keys in a bucket with the given prefix, sorted.
+    pub fn list(&self, bucket: &str, prefix: &str) -> Result<Vec<String>> {
+        self.metering.record_request();
+        let buckets = self.buckets.read();
+        let b = buckets
+            .get(bucket)
+            .ok_or_else(|| PpcError::NotFound(format!("bucket '{bucket}'")))?;
+        let mut keys: Vec<String> = b
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        keys.sort_unstable();
+        Ok(keys)
+    }
+
+    /// Number of objects currently in a bucket.
+    pub fn count(&self, bucket: &str) -> Result<usize> {
+        let buckets = self.buckets.read();
+        buckets
+            .get(bucket)
+            .map(|b| b.len())
+            .ok_or_else(|| PpcError::NotFound(format!("bucket '{bucket}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let s = StorageService::in_memory();
+        s.create_bucket("in").unwrap();
+        s.put("in", "a.fa", b"ACGT".to_vec()).unwrap();
+        assert_eq!(*s.get("in", "a.fa").unwrap(), b"ACGT".to_vec());
+    }
+
+    #[test]
+    fn missing_object_and_bucket() {
+        let s = StorageService::in_memory();
+        assert_eq!(s.get("nope", "k").unwrap_err().code(), "NotFound");
+        s.create_bucket("b").unwrap();
+        assert_eq!(s.get("b", "k").unwrap_err().code(), "NotFound");
+    }
+
+    #[test]
+    fn duplicate_bucket_rejected_but_ensure_is_idempotent() {
+        let s = StorageService::in_memory();
+        s.create_bucket("b").unwrap();
+        assert_eq!(s.create_bucket("b").unwrap_err().code(), "AlreadyExists");
+        s.ensure_bucket("b");
+        s.ensure_bucket("c");
+        assert!(s.count("c").unwrap() == 0);
+    }
+
+    #[test]
+    fn delete_bucket_requires_empty() {
+        let s = StorageService::in_memory();
+        s.create_bucket("b").unwrap();
+        s.put("b", "k", vec![1]).unwrap();
+        assert_eq!(s.delete_bucket("b").unwrap_err().code(), "InvalidState");
+        s.delete("b", "k").unwrap();
+        s.delete_bucket("b").unwrap();
+        assert_eq!(s.count("b").unwrap_err().code(), "NotFound");
+    }
+
+    #[test]
+    fn delete_missing_object_is_ok() {
+        let s = StorageService::in_memory();
+        s.create_bucket("b").unwrap();
+        s.delete("b", "ghost").unwrap();
+    }
+
+    #[test]
+    fn list_filters_and_sorts() {
+        let s = StorageService::in_memory();
+        s.create_bucket("b").unwrap();
+        for k in ["in/2", "in/1", "out/1"] {
+            s.put("b", k, vec![0]).unwrap();
+        }
+        assert_eq!(s.list("b", "in/").unwrap(), vec!["in/1", "in/2"]);
+        assert_eq!(s.list("b", "").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn head_reports_size() {
+        let s = StorageService::in_memory();
+        s.create_bucket("b").unwrap();
+        s.put("b", "k", vec![9; 123]).unwrap();
+        let m = s.head("b", "k").unwrap();
+        assert_eq!(m.size, 123);
+        assert_eq!(m.key, "k");
+    }
+
+    #[test]
+    fn overwrite_updates_stored_bytes() {
+        let s = StorageService::in_memory();
+        s.create_bucket("b").unwrap();
+        s.put("b", "k", vec![0; 100]).unwrap();
+        s.put("b", "k", vec![0; 40]).unwrap();
+        let snap = s.metering().snapshot();
+        assert_eq!(snap.stored_bytes, 40);
+        assert_eq!(snap.peak_stored_bytes, 100);
+        assert_eq!(snap.bytes_in, 140);
+    }
+
+    #[test]
+    fn eventual_consistency_miss_then_retry_succeeds() {
+        // 100% miss inside a long window: plain get fails Transient,
+        // and get_with_retry exhausts attempts with the Transient error.
+        let s = StorageService::cloud(
+            LatencyModel::FREE,
+            ConsistencyModel::eventual(3600.0, 1.0, 1),
+            0.0,
+        );
+        s.create_bucket("b").unwrap();
+        s.put("b", "k", vec![1]).unwrap();
+        let e = s.get("b", "k").unwrap_err();
+        assert!(e.is_retryable());
+        assert!(s.get_with_retry("b", "k", 3).unwrap_err().is_retryable());
+
+        // 50% miss: retry loop succeeds with overwhelming probability.
+        let s = StorageService::cloud(
+            LatencyModel::FREE,
+            ConsistencyModel::eventual(3600.0, 0.5, 2),
+            0.0,
+        );
+        s.create_bucket("b").unwrap();
+        s.put("b", "k", vec![1]).unwrap();
+        assert!(s.get_with_retry("b", "k", 64).is_ok());
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let s = StorageService::in_memory();
+        s.create_bucket("b").unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let key = format!("t{t}/o{i}");
+                        s.put("b", &key, vec![t as u8; 64]).unwrap();
+                        assert_eq!(s.get("b", &key).unwrap().len(), 64);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.count("b").unwrap(), 400);
+    }
+
+    #[test]
+    fn range_reads() {
+        let s = StorageService::in_memory();
+        s.create_bucket("b").unwrap();
+        s.put("b", "k", (0..100u8).collect()).unwrap();
+        assert_eq!(
+            s.get_range("b", "k", 10, 5).unwrap(),
+            vec![10, 11, 12, 13, 14]
+        );
+        assert_eq!(
+            s.get_range("b", "k", 95, 50).unwrap(),
+            vec![95, 96, 97, 98, 99],
+            "clamped at end"
+        );
+        assert!(
+            s.get_range("b", "k", 500, 10).unwrap().is_empty(),
+            "past-end range is empty"
+        );
+        assert_eq!(
+            s.get_range("b", "ghost", 0, 1).unwrap_err().code(),
+            "NotFound"
+        );
+    }
+
+    #[test]
+    fn server_side_copy() {
+        let s = StorageService::in_memory();
+        s.create_bucket("src").unwrap();
+        s.create_bucket("dst").unwrap();
+        s.put("src", "k", vec![1, 2, 3]).unwrap();
+        let out_before = s.metering().snapshot().bytes_out;
+        s.copy("src", "k", "dst", "k2").unwrap();
+        assert_eq!(*s.get("dst", "k2").unwrap(), vec![1, 2, 3]);
+        assert_eq!(
+            s.metering().snapshot().bytes_out,
+            out_before + 3,
+            "only the verification GET moved bytes"
+        );
+        assert!(s.copy("src", "ghost", "dst", "x").is_err());
+    }
+
+    #[test]
+    fn paginated_listing() {
+        let s = StorageService::in_memory();
+        s.create_bucket("b").unwrap();
+        for i in 0..7 {
+            s.put("b", &format!("k{i}"), vec![0]).unwrap();
+        }
+        let (page1, token1) = s.list_page("b", "k", None, 3).unwrap();
+        assert_eq!(page1, vec!["k0", "k1", "k2"]);
+        let token1 = token1.expect("truncated");
+        let (page2, token2) = s.list_page("b", "k", Some(&token1), 3).unwrap();
+        assert_eq!(page2, vec!["k3", "k4", "k5"]);
+        let (page3, token3) = s.list_page("b", "k", token2.as_deref(), 3).unwrap();
+        assert_eq!(page3, vec!["k6"]);
+        assert!(token3.is_none(), "final page has no token");
+    }
+
+    #[test]
+    fn empty_key_rejected() {
+        let s = StorageService::in_memory();
+        s.create_bucket("b").unwrap();
+        assert_eq!(
+            s.put("b", "", vec![]).unwrap_err().code(),
+            "InvalidArgument"
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! A NoSQL entity table — the Azure Table Storage analog.
+//!
+//! The paper's related work (§7) describes AzureBlast as "developed using
+//! Azure Queues, Tables and Blob Storage"; tables are the piece our Classic
+//! Cloud framework uses for durable job metadata (see
+//! `ppc_classic::history`). The model is Azure's: entities addressed by
+//! `(partition_key, row_key)`, strongly ordered range queries within a
+//! partition, and optimistic concurrency via ETags.
+
+use parking_lot::RwLock;
+use ppc_core::{PpcError, Result};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An entity: schemaless properties under a composite key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entity {
+    pub partition_key: String,
+    pub row_key: String,
+    /// Property bag (Azure Tables are schemaless; values are strings here).
+    pub properties: BTreeMap<String, String>,
+    /// Concurrency token, bumped on every write.
+    pub etag: u64,
+}
+
+impl Entity {
+    pub fn new(partition_key: impl Into<String>, row_key: impl Into<String>) -> Entity {
+        Entity {
+            partition_key: partition_key.into(),
+            row_key: row_key.into(),
+            properties: BTreeMap::new(),
+            etag: 0,
+        }
+    }
+
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<String>) -> Entity {
+        self.properties.insert(key.into(), value.into());
+        self
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.properties.get(key).map(String::as_str)
+    }
+}
+
+type Partition = BTreeMap<String, Entity>;
+
+/// One table: a namespace of partitions.
+#[derive(Default)]
+pub struct TableService {
+    tables: RwLock<BTreeMap<String, BTreeMap<String, Partition>>>,
+    next_etag: AtomicU64,
+    requests: AtomicU64,
+}
+
+impl TableService {
+    pub fn new() -> TableService {
+        TableService::default()
+    }
+
+    /// Billable API requests so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    fn tick(&self) -> u64 {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.next_etag.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Create a table (idempotent, like `CreateTableIfNotExists`).
+    pub fn ensure_table(&self, name: &str) {
+        self.tick();
+        self.tables.write().entry(name.to_string()).or_default();
+    }
+
+    /// Insert a new entity; fails if the key pair already exists.
+    pub fn insert(&self, table: &str, mut entity: Entity) -> Result<u64> {
+        let etag = self.tick();
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(table)
+            .ok_or_else(|| PpcError::NotFound(format!("table '{table}'")))?;
+        let part = t.entry(entity.partition_key.clone()).or_default();
+        if part.contains_key(&entity.row_key) {
+            return Err(PpcError::AlreadyExists(format!(
+                "entity ({}, {})",
+                entity.partition_key, entity.row_key
+            )));
+        }
+        entity.etag = etag;
+        part.insert(entity.row_key.clone(), entity);
+        Ok(etag)
+    }
+
+    /// Insert or replace unconditionally (`InsertOrReplace`).
+    pub fn upsert(&self, table: &str, mut entity: Entity) -> Result<u64> {
+        let etag = self.tick();
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(table)
+            .ok_or_else(|| PpcError::NotFound(format!("table '{table}'")))?;
+        entity.etag = etag;
+        t.entry(entity.partition_key.clone())
+            .or_default()
+            .insert(entity.row_key.clone(), entity);
+        Ok(etag)
+    }
+
+    /// Replace only if the caller holds the current ETag (optimistic
+    /// concurrency — Azure's `If-Match`).
+    pub fn replace_if(&self, table: &str, mut entity: Entity, expected_etag: u64) -> Result<u64> {
+        let etag = self.tick();
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(table)
+            .ok_or_else(|| PpcError::NotFound(format!("table '{table}'")))?;
+        let part = t.get_mut(&entity.partition_key).ok_or_else(|| {
+            PpcError::NotFound(format!(
+                "entity ({}, {})",
+                entity.partition_key, entity.row_key
+            ))
+        })?;
+        let current = part.get(&entity.row_key).ok_or_else(|| {
+            PpcError::NotFound(format!(
+                "entity ({}, {})",
+                entity.partition_key, entity.row_key
+            ))
+        })?;
+        if current.etag != expected_etag {
+            return Err(PpcError::InvalidState(format!(
+                "etag mismatch: held {expected_etag}, current {}",
+                current.etag
+            )));
+        }
+        entity.etag = etag;
+        part.insert(entity.row_key.clone(), entity);
+        Ok(etag)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, table: &str, partition_key: &str, row_key: &str) -> Result<Entity> {
+        self.tick();
+        let tables = self.tables.read();
+        tables
+            .get(table)
+            .ok_or_else(|| PpcError::NotFound(format!("table '{table}'")))?
+            .get(partition_key)
+            .and_then(|p| p.get(row_key))
+            .cloned()
+            .ok_or_else(|| PpcError::NotFound(format!("entity ({partition_key}, {row_key})")))
+    }
+
+    /// All entities of one partition, in row-key order (the fast query
+    /// pattern Azure Tables are designed around).
+    pub fn query_partition(&self, table: &str, partition_key: &str) -> Result<Vec<Entity>> {
+        self.tick();
+        let tables = self.tables.read();
+        let t = tables
+            .get(table)
+            .ok_or_else(|| PpcError::NotFound(format!("table '{table}'")))?;
+        Ok(t.get(partition_key)
+            .map(|p| p.values().cloned().collect())
+            .unwrap_or_default())
+    }
+
+    /// Row-key range scan within a partition: `[from, to)`.
+    pub fn query_range(
+        &self,
+        table: &str,
+        partition_key: &str,
+        from: &str,
+        to: &str,
+    ) -> Result<Vec<Entity>> {
+        self.tick();
+        let tables = self.tables.read();
+        let t = tables
+            .get(table)
+            .ok_or_else(|| PpcError::NotFound(format!("table '{table}'")))?;
+        Ok(t.get(partition_key)
+            .map(|p| {
+                p.range(from.to_string()..to.to_string())
+                    .map(|(_, e)| e.clone())
+                    .collect()
+            })
+            .unwrap_or_default())
+    }
+
+    /// Delete an entity; deleting a missing one succeeds.
+    pub fn delete(&self, table: &str, partition_key: &str, row_key: &str) -> Result<()> {
+        self.tick();
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(table)
+            .ok_or_else(|| PpcError::NotFound(format!("table '{table}'")))?;
+        if let Some(p) = t.get_mut(partition_key) {
+            p.remove(row_key);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc() -> TableService {
+        let s = TableService::new();
+        s.ensure_table("jobs");
+        s
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let s = svc();
+        let e = Entity::new("cap3", "run-001")
+            .with("status", "done")
+            .with("tasks", "200");
+        s.insert("jobs", e).unwrap();
+        let back = s.get("jobs", "cap3", "run-001").unwrap();
+        assert_eq!(back.get("status"), Some("done"));
+        assert_eq!(back.get("tasks"), Some("200"));
+        assert_eq!(back.get("missing"), None);
+    }
+
+    #[test]
+    fn insert_conflicts_upsert_does_not() {
+        let s = svc();
+        s.insert("jobs", Entity::new("p", "r")).unwrap();
+        assert_eq!(
+            s.insert("jobs", Entity::new("p", "r")).unwrap_err().code(),
+            "AlreadyExists"
+        );
+        s.upsert("jobs", Entity::new("p", "r").with("v", "2"))
+            .unwrap();
+        assert_eq!(s.get("jobs", "p", "r").unwrap().get("v"), Some("2"));
+    }
+
+    #[test]
+    fn optimistic_concurrency() {
+        let s = svc();
+        let etag1 = s
+            .insert("jobs", Entity::new("p", "r").with("v", "1"))
+            .unwrap();
+        // A second writer replaces with the right etag...
+        let etag2 = s
+            .replace_if("jobs", Entity::new("p", "r").with("v", "2"), etag1)
+            .unwrap();
+        assert!(etag2 > etag1);
+        // ...and the first writer's stale etag now loses.
+        let err = s
+            .replace_if("jobs", Entity::new("p", "r").with("v", "3"), etag1)
+            .unwrap_err();
+        assert_eq!(err.code(), "InvalidState");
+        assert_eq!(s.get("jobs", "p", "r").unwrap().get("v"), Some("2"));
+    }
+
+    #[test]
+    fn partition_queries_ordered() {
+        let s = svc();
+        for rk in ["run-003", "run-001", "run-002"] {
+            s.insert("jobs", Entity::new("cap3", rk)).unwrap();
+        }
+        s.insert("jobs", Entity::new("blast", "run-009")).unwrap();
+        let rows = s.query_partition("jobs", "cap3").unwrap();
+        let keys: Vec<&str> = rows.iter().map(|e| e.row_key.as_str()).collect();
+        assert_eq!(keys, vec!["run-001", "run-002", "run-003"]);
+        let range = s.query_range("jobs", "cap3", "run-001", "run-003").unwrap();
+        assert_eq!(range.len(), 2);
+        assert!(s.query_partition("jobs", "ghost").unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_table_errors_and_requests_metered() {
+        let s = svc();
+        assert!(s.get("nope", "p", "r").is_err());
+        assert!(s.requests() >= 2);
+        s.delete("jobs", "p", "never-existed").unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers() {
+        let s = std::sync::Arc::new(svc());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        s.upsert("jobs", Entity::new(format!("p{t}"), format!("r{i}")))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        for t in 0..8 {
+            assert_eq!(
+                s.query_partition("jobs", &format!("p{t}")).unwrap().len(),
+                50
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Hybrid cloud + local execution — the paper's §2.1.3 extension.
+//!
+//! "One interesting feature of the Classic Cloud framework is the ability
+//! to extend it to use the local machines and clusters side by side with
+//! the clouds ... one can start workers in computers outside of the cloud
+//! to augment compute capacity."
+//!
+//! This example runs one Cap3 job with two fleets polling the same
+//! scheduling queue — a rented EC2 HCXL instance and a local 8-core box —
+//! while a third thread watches live progress through the monitoring
+//! probe, then reports how the work split across fleets.
+//!
+//! ```bash
+//! cargo run --release --example hybrid_cloud
+//! ```
+
+use ppc::apps::cap3::Cap3Executor;
+use ppc::apps::workload::cap3_native_inputs;
+use ppc::classic::runtime::{run_job_on_fleets, ClassicConfig};
+use ppc::classic::spec::JobSpec;
+use ppc::compute::cluster::Cluster;
+use ppc::compute::instance::{BARE_CAP3, EC2_HCXL};
+use ppc::queue::service::QueueService;
+use ppc::storage::service::StorageService;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn main() -> ppc::core::Result<()> {
+    let storage = StorageService::in_memory();
+    let queues = QueueService::new();
+
+    let n_files = 48;
+    let inputs = cap3_native_inputs(n_files, 35, 1000, 31);
+    let job = JobSpec::new(
+        "hybrid-cap3",
+        inputs.iter().map(|(t, _)| t.clone()).collect(),
+    );
+    storage.create_bucket(&job.input_bucket)?;
+    for (spec, payload) in &inputs {
+        storage.put(&job.input_bucket, &spec.input_key, payload.clone())?;
+    }
+
+    // Fleet 0: the cloud (one HCXL, 8 workers). Fleet 1: the local box.
+    let cloud = Cluster::provision(EC2_HCXL, 1, 8);
+    let local = Cluster::provision(BARE_CAP3, 1, 4);
+    println!(
+        "fleets: cloud = {} ({} workers), local = {} ({} workers)",
+        cloud.label(),
+        8,
+        local.label(),
+        4
+    );
+
+    // Live progress via the monitoring probe.
+    let probe = Arc::new(AtomicUsize::new(0));
+    let config = ClassicConfig {
+        progress: Some(probe.clone()),
+        ..ClassicConfig::default()
+    };
+    let watcher_probe = probe.clone();
+    let watcher = std::thread::spawn(move || {
+        let mut last = 0;
+        loop {
+            let now = watcher_probe.load(Ordering::Relaxed);
+            if now != last {
+                println!("  progress: {now}/{n_files}");
+                last = now;
+            }
+            if now >= n_files {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    });
+
+    let report = run_job_on_fleets(
+        &storage,
+        &queues,
+        &[cloud, local],
+        &job,
+        Arc::new(Cap3Executor::new()),
+        &config,
+    )?;
+    watcher.join().expect("watcher thread");
+
+    println!(
+        "\ncompleted {}/{} tasks in {:.2} s on {} combined workers",
+        report.summary.tasks, n_files, report.summary.makespan_seconds, report.summary.cores
+    );
+    let split = &report.executions_per_fleet;
+    println!(
+        "work split: cloud completed {}, local completed {}",
+        split[0], split[1]
+    );
+    assert!(report.is_complete());
+    assert!(split[0] > 0 && split[1] > 0, "both fleets contributed");
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! # ppc — pleasingly parallel cloud frameworks
+//!
+//! A Rust reproduction of *"Cloud Computing Paradigms for Pleasingly
+//! Parallel Biomedical Applications"* (Gunarathne, Wu, Choi, Bae, Qiu —
+//! HPDC 2010): three biomedical applications (Cap3 sequence assembly,
+//! BLAST protein search, GTM Interpolation) running on three cloud
+//! execution paradigms (queue-driven Classic Cloud task farming, Hadoop
+//! MapReduce, DryadLINQ DAG execution), all implemented from scratch.
+//!
+//! This crate is the facade: it re-exports every workspace crate under one
+//! namespace so examples and downstream users can write `ppc::classic::…`.
+//!
+//! Start with the `examples/` directory:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! cargo run --release --example blast_search
+//! cargo run --release --example gtm_visualize
+//! cargo run --release --example fault_tolerance
+//! cargo run --release --example instance_picker
+//! ```
+//!
+//! and regenerate the paper's evaluation with
+//! `cargo run --release -p ppc-bench --bin all`.
+
+pub use ppc_apps as apps;
+pub use ppc_bio as bio;
+pub use ppc_classic as classic;
+pub use ppc_compute as compute;
+pub use ppc_core as core;
+pub use ppc_des as des;
+pub use ppc_dryad as dryad;
+pub use ppc_gtm as gtm;
+pub use ppc_hdfs as hdfs;
+pub use ppc_mapreduce as mapreduce;
+pub use ppc_queue as queue;
+pub use ppc_storage as storage;

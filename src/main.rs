@@ -1,0 +1,341 @@
+//! `ppc` — command-line driver for the pleasingly parallel cloud library.
+//!
+//! ```text
+//! ppc catalog                         print the instance-type catalogs
+//! ppc advisor <cap3|blast|gtm>        instance-type study for a workload
+//! ppc simulate --app <name> [--instance T] [--instances N] [--workers W] [--files F]
+//! ppc demo                            native end-to-end Cap3 mini-run
+//! ```
+//!
+//! The heavy lifting lives in the library crates; this binary is argument
+//! parsing plus report printing, and every command routes through the same
+//! public API the examples use.
+
+use ppc::apps::experiment::ec2_instance_study;
+use ppc::apps::workload;
+use ppc::compute::cluster::Cluster;
+use ppc::compute::instance::{InstanceType, AZURE_TYPES, EC2_TYPES};
+use ppc::compute::model::AppModel;
+use ppc::core::report::{Figure, Series, Table};
+use ppc::core::{PpcError, Result};
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", usage());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  ppc catalog\n  ppc advisor <cap3|blast|gtm> [--budget <$>] [--deadline <seconds>]\n  ppc simulate --app <cap3|blast|gtm> [--instance HCXL] [--instances 2] [--workers 8] [--files 64]\n  ppc demo"
+}
+
+/// Dispatch a CLI invocation; returns the rendered output.
+fn run(args: &[String]) -> Result<String> {
+    match args.first().map(String::as_str) {
+        Some("catalog") => Ok(catalog()),
+        Some("advisor") => {
+            let app = args.get(1).map(String::as_str).unwrap_or("cap3");
+            let flags = parse_flags(args.get(2..).unwrap_or(&[]))?;
+            advisor(app, &flags)
+        }
+        Some("simulate") => simulate_cmd(parse_flags(&args[1..])?),
+        Some("demo") => demo(),
+        _ => Err(PpcError::InvalidArgument(
+            "missing or unknown subcommand".into(),
+        )),
+    }
+}
+
+/// Parse `--key value` pairs.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let key = key
+            .strip_prefix("--")
+            .ok_or_else(|| PpcError::InvalidArgument(format!("expected --flag, got '{key}'")))?;
+        let value = it
+            .next()
+            .ok_or_else(|| PpcError::InvalidArgument(format!("--{key} needs a value")))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn catalog() -> String {
+    let mut out = String::new();
+    let mut t1 = Table::new(
+        "EC2 instance types (paper Table 1)",
+        &["name", "cores", "clock GHz", "memory GB", "$/hour"],
+    );
+    for it in EC2_TYPES {
+        t1.row(row_for(&it));
+    }
+    let mut t2 = Table::new(
+        "Azure instance types (paper Table 2)",
+        &["name", "cores", "clock GHz", "memory GB", "$/hour"],
+    );
+    for it in AZURE_TYPES {
+        t2.row(row_for(&it));
+    }
+    out.push_str(&t1.to_string());
+    out.push('\n');
+    out.push_str(&t2.to_string());
+    out
+}
+
+fn row_for(it: &InstanceType) -> Vec<String> {
+    vec![
+        it.name.to_string(),
+        it.cores.to_string(),
+        format!("{:.2}", it.clock_ghz),
+        format!("{:.1}", it.memory_bytes as f64 / 1e9),
+        it.cost_per_hour.to_string(),
+    ]
+}
+
+fn workload_for(app: &str) -> Result<(Vec<ppc::core::TaskSpec>, AppModel)> {
+    match app {
+        "cap3" => Ok((workload::cap3_sim_tasks(200, 200), AppModel::cap3())),
+        "blast" => Ok((workload::blast_sim_tasks(64, 100), AppModel::DEFAULT)),
+        "gtm" => Ok((workload::gtm_sim_tasks(264, 100_000), AppModel::DEFAULT)),
+        other => Err(PpcError::InvalidArgument(format!(
+            "unknown app '{other}' (want cap3|blast|gtm)"
+        ))),
+    }
+}
+
+fn advisor(app: &str, flags: &HashMap<String, String>) -> Result<String> {
+    use ppc::core::Usd;
+    let budget = flags.get("budget").map(|v| Usd::parse(v)).transpose()?;
+    let deadline: Option<f64> = flags
+        .get("deadline")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| PpcError::InvalidArgument("--deadline must be seconds".into()))
+        })
+        .transpose()?;
+
+    let (tasks, model) = workload_for(app)?;
+    let rows = ec2_instance_study(&tasks, model, 42);
+    let mut fig =
+        Figure::new(format!("Instance advisor: {app}"), "configuration", "value").with_precision(2);
+    let mut time = Series::new("time (s)");
+    let mut cost = Series::new("compute cost ($)");
+    for r in &rows {
+        time.push(r.label.clone(), r.makespan_seconds);
+        cost.push(r.label.clone(), r.cost.compute_cost.as_f64());
+    }
+    fig.add(time);
+    fig.add(cost);
+    let fastest = rows
+        .iter()
+        .min_by(|a, b| a.makespan_seconds.total_cmp(&b.makespan_seconds))
+        .expect("rows");
+    let cheapest = rows
+        .iter()
+        .min_by_key(|r| r.cost.compute_cost)
+        .expect("rows");
+    let mut out = format!(
+        "{fig}\nfastest: {}\ncheapest: {}",
+        fastest.label, cheapest.label
+    );
+
+    // Constrained recommendation: fastest config within budget, and/or
+    // cheapest config meeting the deadline (the paper's §3 methodology
+    // turned into a decision).
+    if let Some(budget) = budget {
+        match rows
+            .iter()
+            .filter(|r| r.cost.compute_cost <= budget)
+            .min_by(|a, b| a.makespan_seconds.total_cmp(&b.makespan_seconds))
+        {
+            Some(r) => out.push_str(&format!(
+                "\nwithin budget {budget}: {} ({:.0} s, {})",
+                r.label, r.makespan_seconds, r.cost.compute_cost
+            )),
+            None => out.push_str(&format!(
+                "\nwithin budget {budget}: no configuration qualifies"
+            )),
+        }
+    }
+    if let Some(deadline) = deadline {
+        match rows
+            .iter()
+            .filter(|r| r.makespan_seconds <= deadline)
+            .min_by_key(|r| r.cost.compute_cost)
+        {
+            Some(r) => out.push_str(&format!(
+                "\nmeeting {deadline:.0} s deadline: {} ({:.0} s, {})",
+                r.label, r.makespan_seconds, r.cost.compute_cost
+            )),
+            None => out.push_str(&format!(
+                "\nmeeting {deadline:.0} s deadline: no configuration qualifies"
+            )),
+        }
+    }
+    Ok(out)
+}
+
+fn simulate_cmd(flags: HashMap<String, String>) -> Result<String> {
+    let app = flags.get("app").map(String::as_str).unwrap_or("cap3");
+    let instance_name = flags.get("instance").map(String::as_str).unwrap_or("HCXL");
+    let itype = InstanceType::by_name(instance_name).ok_or_else(|| {
+        PpcError::InvalidArgument(format!("unknown instance type '{instance_name}'"))
+    })?;
+    let parse = |key: &str, default: usize| -> Result<usize> {
+        match flags.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| PpcError::InvalidArgument(format!("--{key} must be a number"))),
+            None => Ok(default),
+        }
+    };
+    let n_instances = parse("instances", 2)?;
+    let workers = parse("workers", itype.cores)?;
+    let n_files = parse("files", 64)?;
+
+    let (mut tasks, model) = workload_for(app)?;
+    tasks.truncate(n_files);
+    if tasks.len() < n_files {
+        let base = tasks.clone();
+        while tasks.len() < n_files {
+            let mut extra = workload::replicate(&base, 2);
+            tasks.append(&mut extra);
+        }
+        tasks.truncate(n_files);
+    }
+    let cluster = Cluster::provision(itype, n_instances, workers);
+    let cfg = ppc::classic::sim::SimConfig::ec2().with_app(model);
+    let report = ppc::classic::sim::simulate(&cluster, &tasks, &cfg);
+    let cost = cluster.cost(report.summary.makespan_seconds);
+    Ok(format!(
+        "{app} x {} files on {}:\n  makespan        : {:.1} s\n  compute cost    : {}\n  amortized cost  : {}\n  queue requests  : {}\n  bytes via cloud : {}",
+        tasks.len(),
+        cluster.label(),
+        report.summary.makespan_seconds,
+        cost.compute_cost,
+        cost.amortized_cost,
+        report.queue_requests,
+        report.summary.remote_bytes,
+    ))
+}
+
+fn demo() -> Result<String> {
+    use ppc::apps::cap3::Cap3Executor;
+    use ppc::apps::workload::cap3_native_inputs;
+    use ppc::classic::runtime::{run_job, ClassicConfig};
+    use ppc::classic::spec::JobSpec;
+    use ppc::compute::instance::EC2_HCXL;
+    use ppc::queue::service::QueueService;
+    use ppc::storage::service::StorageService;
+    use std::sync::Arc;
+
+    let storage = StorageService::in_memory();
+    let queues = QueueService::new();
+    let cluster = Cluster::provision(EC2_HCXL, 1, 4);
+    let inputs = cap3_native_inputs(8, 30, 900, 123);
+    let job = JobSpec::new("cli-demo", inputs.iter().map(|(t, _)| t.clone()).collect());
+    storage.create_bucket(&job.input_bucket)?;
+    for (spec, payload) in &inputs {
+        storage.put(&job.input_bucket, &spec.input_key, payload.clone())?;
+    }
+    let report = run_job(
+        &storage,
+        &queues,
+        &cluster,
+        &job,
+        Arc::new(Cap3Executor::new()),
+        &ClassicConfig::default(),
+    )?;
+    Ok(format!(
+        "assembled {}/{} FASTA files natively in {:.2} s on {} workers ({} queue requests)",
+        report.summary.tasks,
+        inputs.len(),
+        report.summary.makespan_seconds,
+        report.summary.cores,
+        report.queue_requests
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn catalog_prints_both_tables() {
+        let out = run(&s(&["catalog"])).unwrap();
+        assert!(out.contains("HCXL"));
+        assert!(out.contains("azure-small"));
+        assert!(out.contains("0.68$"));
+    }
+
+    #[test]
+    fn advisor_names_winners() {
+        let out = run(&s(&["advisor", "gtm"])).unwrap();
+        assert!(out.contains("fastest: HM4XL"), "{out}");
+        assert!(out.contains("cheapest: HCXL"), "{out}");
+    }
+
+    #[test]
+    fn advisor_honors_budget_and_deadline() {
+        // HM4XL is fastest but costs $4; with a $2 budget the advisor must
+        // pick something cheaper.
+        let out = run(&s(&["advisor", "cap3", "--budget", "2.00"])).unwrap();
+        assert!(out.contains("within budget 2.00$: HCXL"), "{out}");
+        // An impossible budget is reported, not ignored.
+        let out = run(&s(&["advisor", "cap3", "--budget", "0.01"])).unwrap();
+        assert!(out.contains("no configuration qualifies"), "{out}");
+        // Generous deadline: the cheapest qualifying config wins.
+        let out = run(&s(&["advisor", "cap3", "--deadline", "100000"])).unwrap();
+        assert!(out.contains("deadline: HCXL"), "{out}");
+        // Bad values error cleanly.
+        assert!(run(&s(&["advisor", "cap3", "--budget", "lots"])).is_err());
+        assert!(run(&s(&["advisor", "cap3", "--deadline", "soon"])).is_err());
+    }
+
+    #[test]
+    fn simulate_honors_flags() {
+        let out = run(&s(&[
+            "simulate",
+            "--app",
+            "cap3",
+            "--instance",
+            "HM4XL",
+            "--instances",
+            "4",
+            "--files",
+            "32",
+        ]))
+        .unwrap();
+        assert!(out.contains("cap3 x 32 files"), "{out}");
+        assert!(out.contains("HM4XL - 4 x 8"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&s(&["bogus"])).is_err());
+        assert!(run(&s(&["simulate", "--instance", "m5.large"])).is_err());
+        assert!(run(&s(&["simulate", "--files", "abc"])).is_err());
+        assert!(run(&s(&["advisor", "unknown-app"])).is_err());
+        assert!(parse_flags(&s(&["--files"])).is_err());
+        assert!(parse_flags(&s(&["files", "3"])).is_err());
+    }
+
+    #[test]
+    fn demo_runs_end_to_end() {
+        let out = run(&s(&["demo"])).unwrap();
+        assert!(out.contains("assembled 8/8"), "{out}");
+    }
+}

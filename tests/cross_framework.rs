@@ -1,0 +1,164 @@
+//! Cross-framework integration: the same application inputs produce
+//! byte-identical outputs on all three paradigms — the paper's implicit
+//! contract that the frameworks are interchangeable wrappers around one
+//! executable.
+
+use ppc::apps::cap3::Cap3Executor;
+use ppc::apps::workload::cap3_native_inputs;
+use ppc::classic::runtime::{run_job as classic_run, ClassicConfig};
+use ppc::classic::spec::JobSpec;
+use ppc::compute::cluster::Cluster;
+use ppc::compute::instance::{BARE_HPC16, EC2_HCXL};
+use ppc::core::exec::Executor;
+use ppc::dryad::runtime::{run_homomorphic_job, DryadConfig};
+use ppc::hdfs::fs::MiniHdfs;
+use ppc::mapreduce::job::{ExecutableMapper, MapReduceJob};
+use ppc::mapreduce::runtime::run_job as hadoop_run;
+use ppc::queue::service::QueueService;
+use ppc::storage::service::StorageService;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Run Cap3 on all three frameworks; collect output maps keyed by task.
+#[test]
+fn cap3_outputs_identical_across_frameworks() {
+    let inputs = cap3_native_inputs(10, 30, 900, 4242);
+    let executor: Arc<Cap3Executor> = Arc::new(Cap3Executor::new());
+
+    // --- Classic Cloud ---
+    let storage = StorageService::in_memory();
+    let queues = QueueService::new();
+    let cluster = Cluster::provision(EC2_HCXL, 1, 4);
+    let job = JobSpec::new("x", inputs.iter().map(|(t, _)| t.clone()).collect());
+    storage.create_bucket(&job.input_bucket).unwrap();
+    for (spec, payload) in &inputs {
+        storage
+            .put(&job.input_bucket, &spec.input_key, payload.clone())
+            .unwrap();
+    }
+    let classic_report = classic_run(
+        &storage,
+        &queues,
+        &cluster,
+        &job,
+        executor.clone(),
+        &ClassicConfig::default(),
+    )
+    .unwrap();
+    assert!(classic_report.is_complete());
+    let classic_outputs: HashMap<String, Vec<u8>> = inputs
+        .iter()
+        .map(|(spec, _)| {
+            (
+                spec.input_key.clone(),
+                storage
+                    .get(&job.output_bucket, &spec.output_key)
+                    .unwrap()
+                    .to_vec(),
+            )
+        })
+        .collect();
+
+    // --- Hadoop ---
+    let fs = MiniHdfs::with_defaults(3);
+    let mut paths = Vec::new();
+    for (spec, payload) in &inputs {
+        let path = format!("/in/{}", spec.input_key.replace('/', "_"));
+        fs.create(&path, payload, None).unwrap();
+        paths.push(path);
+    }
+    let mr = MapReduceJob::map_only("x", paths, "/out");
+    let mapper = ExecutableMapper::new("cap3", executor.clone());
+    let hadoop_report = hadoop_run(&fs, &mr, &mapper, None).unwrap();
+    assert!(hadoop_report.is_complete());
+
+    // --- DryadLINQ ---
+    let dryad_cluster = Cluster::provision(BARE_HPC16, 2, 2);
+    let (dryad_report, dryad_outputs) = run_homomorphic_job(
+        &dryad_cluster,
+        inputs.clone(),
+        executor.clone(),
+        &DryadConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(dryad_report.summary.tasks, inputs.len());
+    let dryad_map: HashMap<String, Vec<u8>> = dryad_outputs.into_iter().collect();
+
+    // --- Compare ---
+    for (spec, _) in &inputs {
+        let classic = &classic_outputs[&spec.input_key];
+        let hadoop_path = format!("/out/{}.out", spec.input_key.replace('/', "_"));
+        let hadoop = fs.read(&hadoop_path).unwrap();
+        let dryad = &dryad_map[&spec.output_key];
+        assert_eq!(
+            classic, &hadoop,
+            "classic vs hadoop differ on {}",
+            spec.input_key
+        );
+        assert_eq!(
+            classic, dryad,
+            "classic vs dryad differ on {}",
+            spec.input_key
+        );
+        // And the output is meaningful: valid FASTA with a contig.
+        let recs = ppc::bio::fasta::parse(classic).unwrap();
+        assert!(!recs.is_empty());
+    }
+}
+
+/// The executable contract: re-running a task gives identical bytes, so
+/// duplicate execution on ANY framework is safe.
+#[test]
+fn idempotence_holds_for_all_executables() {
+    use ppc::apps::blast::BlastExecutor;
+    use ppc::apps::gtm::GtmExecutor;
+    use ppc::apps::workload::{blast_native_inputs, gtm_native_inputs};
+    use ppc::bio::blast::BlastDb;
+    use ppc::bio::simulate::ProteinDbParams;
+    use ppc::gtm::train::{train, TrainConfig};
+
+    // Cap3.
+    let cap3_inputs = cap3_native_inputs(2, 25, 700, 77);
+    let cap3 = Cap3Executor::new();
+    for (spec, payload) in &cap3_inputs {
+        assert_eq!(
+            cap3.run(spec, payload).unwrap(),
+            cap3.run(spec, payload).unwrap()
+        );
+    }
+    // BLAST (small DB: this is a semantics test, not a throughput test).
+    let small_db = ProteinDbParams {
+        n_families: 6,
+        members_per_family: 2,
+        len_min: 100,
+        len_max: 200,
+        divergence: 0.12,
+    };
+    let (db_recs, blast_inputs) = blast_native_inputs(2, 4, &small_db, 78);
+    let blast = BlastExecutor::new(Arc::new(BlastDb::build(db_recs, 3)));
+    for (spec, payload) in &blast_inputs {
+        assert_eq!(
+            blast.run(spec, payload).unwrap(),
+            blast.run(spec, payload).unwrap()
+        );
+    }
+    // GTM.
+    let (sample, gtm_inputs) = gtm_native_inputs(2, 60, 24, 79);
+    let model = train(
+        &sample,
+        &TrainConfig {
+            grid_side: 5,
+            rbf_side: 3,
+            iterations: 6,
+            lambda: 1e-3,
+        },
+    )
+    .unwrap();
+    let gtm = GtmExecutor::new(Arc::new(model));
+    for (spec, payload) in &gtm_inputs {
+        assert_eq!(
+            gtm.run(spec, payload).unwrap(),
+            gtm.run(spec, payload).unwrap()
+        );
+    }
+}

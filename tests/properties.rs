@@ -1,0 +1,207 @@
+//! Cross-crate property-based tests (proptest).
+
+use ppc::bio::assembly::{assemble, AssemblyParams};
+use ppc::bio::fasta::{self, FastaRecord};
+use ppc::core::money::Usd;
+use ppc::dryad::linq::DVec;
+use ppc::dryad::partition::{partition_contiguous, partition_round_robin};
+use ppc::queue::queue::{Queue, QueueConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FASTA format/parse is a lossless round trip for arbitrary records.
+    #[test]
+    fn fasta_round_trip(records in prop::collection::vec(
+        ("[A-Za-z0-9_.]{1,12}", prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T', b'N']), 0..300)),
+        1..8,
+    )) {
+        let recs: Vec<FastaRecord> = records
+            .into_iter()
+            .enumerate()
+            .map(|(i, (id, seq))| FastaRecord::new(format!("{id}{i}"), seq))
+            .collect();
+        let bytes = fasta::format(&recs);
+        let back = fasta::parse(&bytes).unwrap();
+        prop_assert_eq!(back, recs);
+    }
+
+    /// Reverse complement is an involution on DNA.
+    #[test]
+    fn revcomp_involution(seq in prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..200)) {
+        let rc = fasta::reverse_complement(&seq);
+        prop_assert_eq!(fasta::reverse_complement(&rc), seq);
+    }
+
+    /// Every read ends up in exactly one contig or the singleton list.
+    #[test]
+    fn assembly_conserves_reads(seed in 0u64..500) {
+        use ppc::bio::simulate::{random_genome, shotgun_reads, ShotgunParams};
+        let genome = random_genome(600, seed);
+        let reads = shotgun_reads(
+            &genome,
+            &ShotgunParams { n_reads: 20, read_len_mean: 120.0, read_len_sd: 15.0, ..Default::default() },
+            seed + 1,
+        );
+        let asm = assemble(&reads, &AssemblyParams::default());
+        let mut seen: Vec<&str> = asm.singletons.iter().map(String::as_str).collect();
+        for c in &asm.contigs {
+            prop_assert!(c.n_reads() >= 2, "contigs have at least two reads");
+            seen.extend(c.read_ids.iter().map(String::as_str));
+        }
+        seen.sort_unstable();
+        let mut expect: Vec<&str> = reads.iter().map(|r| r.id.as_str()).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// Money arithmetic is exact: scaling by n equals summing n copies.
+    #[test]
+    fn money_scaling_exact(cents in 1i64..100_000, n in 1i64..500) {
+        let unit = Usd::cents(cents);
+        let summed: Usd = std::iter::repeat_n(unit, n as usize).sum();
+        prop_assert_eq!(summed, unit * n);
+        prop_assert_eq!(summed - unit * (n - 1), unit);
+    }
+
+    /// Partitioners conserve items and respect the partition count.
+    #[test]
+    fn partitioners_conserve(items in prop::collection::vec(any::<u32>(), 0..200), n in 1usize..16) {
+        for parts in [partition_round_robin(items.clone(), n), partition_contiguous(items.clone(), n)] {
+            prop_assert_eq!(parts.len(), n);
+            let mut flat: Vec<u32> = parts.into_iter().flatten().collect();
+            let mut expect = items.clone();
+            flat.sort_unstable();
+            expect.sort_unstable();
+            prop_assert_eq!(flat, expect);
+        }
+        // Round-robin balance: sizes differ by at most one.
+        let sizes: Vec<usize> = partition_round_robin(items.clone(), n).iter().map(Vec::len).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1);
+    }
+
+    /// DVec select/where agree with the sequential equivalents.
+    #[test]
+    fn dvec_matches_vec(items in prop::collection::vec(-1000i64..1000, 0..300), n in 1usize..8) {
+        let d = DVec::distribute(items.clone(), n).select(|x| x * 3).where_(|x| x % 2 == 0);
+        let mut got = d.collect();
+        got.sort_unstable();
+        let mut expect: Vec<i64> = items.iter().map(|x| x * 3).filter(|x| x % 2 == 0).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Queue conservation: after arbitrary interleavings of send/receive/
+    /// delete, every sent message was either deleted exactly once or is
+    /// still present (visible or in flight) — none vanish, none duplicate
+    /// into the delete set.
+    #[test]
+    fn queue_conserves_messages(ops in prop::collection::vec(0u8..3, 1..120)) {
+        let q = Queue::new("prop", QueueConfig::default());
+        let mut sent = 0u64;
+        let mut deleted = std::collections::HashSet::new();
+        let mut in_hand = Vec::new();
+        for op in ops {
+            match op {
+                0 => {
+                    q.send(format!("m{sent}")).unwrap();
+                    sent += 1;
+                }
+                1 => {
+                    if let Some(m) = q.receive().unwrap() {
+                        in_hand.push(m);
+                    }
+                }
+                _ => {
+                    if let Some(m) = in_hand.pop() {
+                        // Receipt may be stale only if visibility lapsed; with
+                        // the default 30 s timeout it cannot in-test.
+                        q.delete(m.receipt).unwrap();
+                        prop_assert!(deleted.insert(m.id), "double delete of {:?}", m.id);
+                    }
+                }
+            }
+        }
+        let remaining = q.approximate_len() + q.approximate_in_flight();
+        prop_assert_eq!(deleted.len() + remaining, sent as usize);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Six-frame translation invariants: always six frames for DNA of
+    /// length >= 5, frame lengths = floor((len - offset)/3), and the
+    /// reverse frames translate the reverse complement.
+    #[test]
+    fn six_frames_invariants(seq in prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 5..120)) {
+        use ppc::bio::codon::{six_frames, translate_frame};
+        use ppc::bio::fasta::reverse_complement;
+        let frames = six_frames(&seq);
+        prop_assert_eq!(frames.len(), 6);
+        let rc = reverse_complement(&seq);
+        for f in &frames {
+            let offset = (f.frame.unsigned_abs() - 1) as usize;
+            prop_assert_eq!(f.protein.len(), (seq.len() - offset) / 3, "frame {}", f.frame);
+            let expect = if f.frame > 0 { translate_frame(&seq, offset) } else { translate_frame(&rc, offset) };
+            prop_assert_eq!(&f.protein, &expect, "frame {}", f.frame);
+        }
+    }
+
+    /// Timeline utilization stays in [0, 1] for non-overlapping per-worker
+    /// intervals (the only kind the runtimes produce), and busy time is
+    /// conserved.
+    #[test]
+    fn timeline_utilization_bounded(intervals in prop::collection::vec((0usize..4, 0.0f64..20.0, 0.01f64..50.0), 1..40)) {
+        use ppc::core::trace::Timeline;
+        let mut t = Timeline::new();
+        let mut cursor = [0.0f64; 4];
+        let mut total_busy = 0.0;
+        for (task, (w, gap, dur)) in intervals.iter().enumerate() {
+            let start = cursor[*w] + gap;
+            t.push(*w, task as u64, start, start + dur);
+            cursor[*w] = start + dur;
+            total_busy += dur;
+        }
+        let n = t.n_workers().max(1);
+        let u = t.utilization(n);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+        let busy_sum: f64 = (0..n).map(|w| t.worker_busy_s(w)).sum();
+        prop_assert!((busy_sum - total_busy).abs() < 1e-6);
+    }
+}
+
+/// GTM responsibilities stay a probability distribution for random inputs.
+#[test]
+fn gtm_projection_bounded_for_random_data() {
+    use ppc::gtm::data::{fingerprints, FingerprintParams};
+    use ppc::gtm::train::{train, TrainConfig};
+    for seed in [1u64, 2, 3] {
+        let (data, _) = fingerprints(
+            &FingerprintParams {
+                n_points: 60,
+                dim: 16,
+                n_clusters: 2,
+                flip_noise: 0.1,
+            },
+            seed,
+        );
+        let model = train(
+            &data,
+            &TrainConfig {
+                grid_side: 4,
+                rbf_side: 2,
+                iterations: 4,
+                lambda: 1e-2,
+            },
+        )
+        .unwrap();
+        let proj = model.project(&data);
+        for i in 0..proj.rows() {
+            assert!(proj[(i, 0)].abs() <= 1.0 + 1e-9);
+            assert!(proj[(i, 1)].abs() <= 1.0 + 1e-9);
+        }
+    }
+}

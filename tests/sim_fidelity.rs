@@ -1,0 +1,196 @@
+//! Simulator-vs-native fidelity: for a workload whose task durations we
+//! control exactly, the discrete-event simulation must predict the native
+//! threaded runtime's makespan.
+
+use ppc::classic::runtime::{run_job, ClassicConfig};
+use ppc::classic::sim::{simulate, SimConfig};
+use ppc::classic::spec::JobSpec;
+use ppc::compute::cluster::Cluster;
+use ppc::compute::instance::EC2_HCXL;
+use ppc::core::exec::FnExecutor;
+use ppc::core::task::{ResourceProfile, TaskSpec};
+use ppc::queue::service::QueueService;
+use ppc::storage::latency::LatencyModel;
+use ppc::storage::service::StorageService;
+use std::time::Duration;
+
+/// Tasks that sleep a fixed 20 ms, with matching simulated profiles.
+fn tasks(n: u64, sleep_s: f64) -> Vec<TaskSpec> {
+    (0..n)
+        .map(|i| {
+            // HCXL runs at the reference clock, so cpu_seconds_ref maps 1:1.
+            TaskSpec::new(
+                i,
+                "sleep",
+                format!("f{i}"),
+                ResourceProfile::cpu_bound(sleep_s),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn simulated_makespan_predicts_native() {
+    let sleep_s = 0.02;
+    let n_tasks = 32u64;
+    let cluster = Cluster::provision(EC2_HCXL, 1, 4);
+
+    // --- native ---
+    let storage = StorageService::in_memory();
+    let queues = QueueService::new();
+    let job = JobSpec::new("fidelity", tasks(n_tasks, sleep_s));
+    storage.create_bucket(&job.input_bucket).unwrap();
+    for i in 0..n_tasks {
+        storage
+            .put(&job.input_bucket, &format!("f{i}"), vec![0u8; 16])
+            .unwrap();
+    }
+    let exec = FnExecutor::new("sleep", move |_s, input: &[u8]| {
+        std::thread::sleep(Duration::from_secs_f64(sleep_s));
+        Ok(input.to_vec())
+    });
+    let native = run_job(
+        &storage,
+        &queues,
+        &cluster,
+        &job,
+        exec,
+        &ClassicConfig::default(),
+    )
+    .unwrap();
+
+    // --- simulated ---
+    let cfg = SimConfig {
+        storage_latency: LatencyModel::FREE,
+        queue_latency: LatencyModel::FREE,
+        jitter_sigma: 0.0,
+        ..SimConfig::ec2()
+    };
+    let simulated = simulate(&cluster, &tasks(n_tasks, sleep_s), &cfg);
+
+    // Ideal: 32 tasks / 4 workers x 20 ms = 160 ms.
+    let ideal = n_tasks as f64 / 4.0 * sleep_s;
+    assert!(
+        (simulated.summary.makespan_seconds - ideal).abs() < 1e-6,
+        "sim {}",
+        simulated.summary.makespan_seconds
+    );
+    // The native run pays real scheduling noise; it must still land within
+    // 60% of the prediction (generous for CI machines under load).
+    let ratio = native.summary.makespan_seconds / simulated.summary.makespan_seconds;
+    assert!(
+        (0.9..1.6).contains(&ratio),
+        "native {} vs simulated {} (ratio {ratio})",
+        native.summary.makespan_seconds,
+        simulated.summary.makespan_seconds
+    );
+    assert_eq!(native.summary.tasks, simulated.summary.tasks);
+}
+
+/// The Hadoop simulator must predict the native MapReduce runtime's
+/// makespan for a controlled-duration workload, just like the Classic one.
+#[test]
+fn hadoop_sim_predicts_native_makespan() {
+    use ppc::compute::instance::BARE_CAP3;
+    use ppc::core::exec::FnExecutor;
+    use ppc::hdfs::fs::MiniHdfs;
+    use ppc::mapreduce::job::{ExecutableMapper, MapReduceJob};
+    use ppc::mapreduce::runtime::{run_job_with, HadoopConfig};
+    use ppc::mapreduce::sim::{simulate as hadoop_sim, HadoopSimConfig};
+    use ppc::storage::latency::LatencyModel;
+
+    let sleep_s = 0.02;
+    let n_tasks = 24;
+
+    // --- native: 2 nodes x 3 slots ---
+    let fs = MiniHdfs::new(2, 1 << 20, 2, 777);
+    let mut paths = Vec::new();
+    for i in 0..n_tasks {
+        let p = format!("/in/f{i}");
+        fs.create(&p, &[0u8; 64], None).unwrap();
+        paths.push(p);
+    }
+    let job = MapReduceJob::map_only("fidelity", paths, "/out").with_speculative(false);
+    let exec = FnExecutor::new("sleep", move |_s, i: &[u8]| {
+        std::thread::sleep(Duration::from_secs_f64(sleep_s));
+        Ok(i.to_vec())
+    });
+    let mapper = ExecutableMapper::new("sleep", exec);
+    let config = HadoopConfig {
+        slots_per_node: 3,
+        ..HadoopConfig::default()
+    };
+    let native = run_job_with(&fs, &job, &mapper, None, &config).unwrap();
+
+    // --- simulated twin (no dispatch overhead, free IO, BARE_CAP3 runs at
+    // the 2.5 GHz reference clock so cpu_seconds_ref maps 1:1) ---
+    let cluster = Cluster::provision(BARE_CAP3, 2, 3);
+    let sim_tasks = tasks(n_tasks as u64, sleep_s);
+    let cfg = HadoopSimConfig {
+        dispatch_overhead_s: 0.0,
+        local_read: LatencyModel::FREE,
+        remote_read: LatencyModel::FREE,
+        jitter_sigma: 0.0,
+        speculative: false,
+        ..HadoopSimConfig::default()
+    };
+    let simulated = hadoop_sim(&cluster, &sim_tasks, &cfg);
+
+    // Ideal: 24 tasks / 6 slots x 20 ms = 80 ms.
+    let ideal = n_tasks as f64 / 6.0 * sleep_s;
+    assert!(
+        (simulated.summary.makespan_seconds - ideal).abs() < 1e-6,
+        "sim {}",
+        simulated.summary.makespan_seconds
+    );
+    let ratio = native.summary.makespan_seconds / simulated.summary.makespan_seconds;
+    assert!(
+        (0.9..1.6).contains(&ratio),
+        "native {} vs simulated {} (ratio {ratio})",
+        native.summary.makespan_seconds,
+        simulated.summary.makespan_seconds
+    );
+    assert_eq!(native.summary.tasks, simulated.summary.tasks);
+}
+
+#[test]
+fn sim_and_native_agree_on_queue_accounting() {
+    // Sends are exact in both: one per task. Receives differ (polling), but
+    // both must report at least 3 requests per task (send+receive+delete).
+    let n_tasks = 16u64;
+    let cluster = Cluster::provision(EC2_HCXL, 1, 2);
+
+    let storage = StorageService::in_memory();
+    let queues = QueueService::new();
+    let job = JobSpec::new("accounting", tasks(n_tasks, 0.001));
+    storage.create_bucket(&job.input_bucket).unwrap();
+    for i in 0..n_tasks {
+        storage
+            .put(&job.input_bucket, &format!("f{i}"), vec![0u8; 4])
+            .unwrap();
+    }
+    let exec = FnExecutor::new("quick", |_s, i: &[u8]| Ok(i.to_vec()));
+    let native = run_job(
+        &storage,
+        &queues,
+        &cluster,
+        &job,
+        exec,
+        &ClassicConfig::default(),
+    )
+    .unwrap();
+    let simulated = simulate(&cluster, &tasks(n_tasks, 0.001), &SimConfig::ec2());
+
+    for (label, r) in [
+        ("native", native.queue_requests),
+        ("sim", simulated.queue_requests),
+    ] {
+        assert!(
+            r >= 3 * n_tasks,
+            "{label}: {r} requests for {n_tasks} tasks"
+        );
+    }
+    assert_eq!(native.summary.tasks, simulated.summary.tasks);
+    assert_eq!(native.redundant_executions(), 0);
+    assert_eq!(simulated.redundant_executions(), 0);
+}
