@@ -1,0 +1,24 @@
+//! # ppc-autoscale — elastic worker fleets for Classic Cloud
+//!
+//! The paper's Classic Cloud runs fix the fleet size for the whole job.
+//! This crate adds what the underlying IaaS platforms actually sell:
+//! *elasticity*. A [`Controller`] watches queue telemetry (backlog, in-
+//! flight count, age of the oldest waiting message) and decides when to
+//! grow or shrink the worker fleet, subject to billing reality — clouds of
+//! the paper's era billed by the wall-clock *hour*, so retiring an
+//! instance ten minutes into its billed hour throws money away.
+//!
+//! The controller is a **pure state machine**: `decide(time, telemetry)`
+//! consumes a snapshot and returns a [`Decision`]. Nothing here spawns
+//! threads or schedules events — the native runtime
+//! (`ppc_classic::runtime`) and the discrete-event simulator
+//! (`ppc_classic::sim`) both drive the same controller, which is what
+//! makes their scaling decisions comparable run-for-run.
+
+pub mod controller;
+pub mod policy;
+
+pub use controller::{
+    AutoscaleConfig, Controller, Decision, FleetEvent, FleetEventKind, Slot, SlotState,
+};
+pub use policy::{Policy, StepRule, Telemetry};

@@ -1,0 +1,154 @@
+//! Scaling policies: how many workers *should* the fleet have right now?
+//!
+//! Two families, mirroring what EC2 Auto Scaling offered:
+//!
+//! * **Target tracking** on backlog-per-worker — keep
+//!   `outstanding_tasks / fleet_size` near a setpoint. The cloud-native
+//!   choice for queue-driven task farming: the queue length *is* the
+//!   demand signal.
+//! * **Step scaling** on the age of the oldest waiting message — a latency
+//!   SLO expressed directly: "if work has been waiting two minutes, add
+//!   two workers; five minutes, add eight".
+//!
+//! Policies are pure: `desired(telemetry, current)` has no clock and no
+//! side effects. Cooldowns, warm-up, billing windows, and min/max bounds
+//! belong to the [`crate::Controller`] that evaluates the policy.
+
+/// Queue-side demand signal, one atomic snapshot per evaluation tick
+/// (see `ppc_queue::QueueMetricsSnapshot`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Telemetry {
+    /// Messages waiting in the queue (visible, not leased).
+    pub queued: usize,
+    /// Messages leased to workers and not yet deleted.
+    pub in_flight: usize,
+    /// Age in seconds of the oldest *waiting* message; `None` when the
+    /// queue is empty.
+    pub oldest_age_s: Option<f64>,
+}
+
+impl Telemetry {
+    /// Total outstanding work: waiting plus running.
+    pub fn outstanding(&self) -> usize {
+        self.queued + self.in_flight
+    }
+}
+
+/// One step of a step-scaling policy: when the oldest waiting message is
+/// at least `min_age_s` old, add `add` workers. The largest matching step
+/// wins (steps are not cumulative), as in EC2 step scaling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRule {
+    pub min_age_s: f64,
+    pub add: u32,
+}
+
+/// A scaling policy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Policy {
+    /// Track a target backlog per worker: desired fleet is
+    /// `ceil(outstanding / per_worker)`.
+    TargetBacklog { per_worker: f64 },
+    /// Step scaling on oldest-message age: grow by the largest matching
+    /// [`StepRule`]; shrink toward the in-flight count once the queue is
+    /// empty (nothing is waiting, so idle workers can go).
+    StepOnAge { rules: Vec<StepRule> },
+}
+
+impl Policy {
+    /// The fleet size this policy wants, before the controller clamps it
+    /// to `[min_workers, max_workers]` and applies cooldowns.
+    pub fn desired(&self, t: &Telemetry, current: u32) -> u32 {
+        match self {
+            Policy::TargetBacklog { per_worker } => {
+                assert!(*per_worker > 0.0, "per_worker target must be positive");
+                (t.outstanding() as f64 / per_worker).ceil() as u32
+            }
+            Policy::StepOnAge { rules } => {
+                if t.outstanding() == 0 {
+                    return 0;
+                }
+                let age = t.oldest_age_s.unwrap_or(0.0);
+                let add = rules
+                    .iter()
+                    .filter(|r| age >= r.min_age_s)
+                    .map(|r| r.add)
+                    .max()
+                    .unwrap_or(0);
+                if add > 0 {
+                    current.saturating_add(add)
+                } else if t.queued == 0 {
+                    // Nothing waiting: idle capacity beyond the running
+                    // tasks is pure cost.
+                    t.in_flight as u32
+                } else {
+                    current
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn telem(queued: usize, in_flight: usize, age: Option<f64>) -> Telemetry {
+        Telemetry {
+            queued,
+            in_flight,
+            oldest_age_s: age,
+        }
+    }
+
+    #[test]
+    fn target_backlog_tracks_outstanding() {
+        let p = Policy::TargetBacklog { per_worker: 4.0 };
+        assert_eq!(p.desired(&telem(0, 0, None), 5), 0);
+        assert_eq!(p.desired(&telem(3, 0, Some(1.0)), 5), 1);
+        assert_eq!(p.desired(&telem(4, 0, Some(1.0)), 5), 1);
+        assert_eq!(p.desired(&telem(5, 0, Some(1.0)), 5), 2);
+        assert_eq!(p.desired(&telem(30, 10, Some(1.0)), 5), 10);
+    }
+
+    #[test]
+    fn step_on_age_largest_step_wins() {
+        let p = Policy::StepOnAge {
+            rules: vec![
+                StepRule {
+                    min_age_s: 60.0,
+                    add: 2,
+                },
+                StepRule {
+                    min_age_s: 300.0,
+                    add: 8,
+                },
+            ],
+        };
+        // Fresh queue: hold.
+        assert_eq!(p.desired(&telem(10, 2, Some(5.0)), 4), 4);
+        // Past the first step.
+        assert_eq!(p.desired(&telem(10, 2, Some(90.0)), 4), 6);
+        // Past both steps: the larger one, not the sum.
+        assert_eq!(p.desired(&telem(10, 2, Some(400.0)), 4), 12);
+    }
+
+    #[test]
+    fn step_on_age_shrinks_when_queue_drains() {
+        let p = Policy::StepOnAge {
+            rules: vec![StepRule {
+                min_age_s: 60.0,
+                add: 2,
+            }],
+        };
+        // Queue empty, 3 tasks still running: keep 3.
+        assert_eq!(p.desired(&telem(0, 3, None), 8), 3);
+        // Everything done: want zero (controller clamps to min).
+        assert_eq!(p.desired(&telem(0, 0, None), 8), 0);
+    }
+
+    #[test]
+    fn outstanding_sums_both_sides() {
+        assert_eq!(telem(7, 5, None).outstanding(), 12);
+    }
+}

@@ -1,0 +1,5 @@
+//! Ablation: elastic fleet strategies vs a fixed peak-sized fleet.
+fn main() {
+    println!("{}", ppc_bench::ablations::ablate_autoscale());
+    println!("{}", ppc_bench::ablations::autoscale_timeline_demo());
+}

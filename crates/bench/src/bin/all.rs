@@ -62,6 +62,7 @@ fn exhibits() -> Vec<Exhibit> {
             "ablate_storage_latency",
             ppc_bench::ablations::ablate_storage_latency(),
         ),
+        Figure("ablate_autoscale", ppc_bench::ablations::ablate_autoscale()),
         Figure(
             "sustained_variation",
             ppc_bench::ablations::sustained_variation(),

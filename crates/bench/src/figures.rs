@@ -614,20 +614,38 @@ mod tests {
     fn instance_orderings_robust_across_seeds() {
         // The headline orderings must not be artifacts of one RNG seed.
         for seed in [1u64, 7, 99, 1234, 777] {
-            let cap3 = ec2_instance_study(&workload::cap3_sim_tasks(200, 200), AppModel::cap3(), seed);
+            let cap3 =
+                ec2_instance_study(&workload::cap3_sim_tasks(200, 200), AppModel::cap3(), seed);
             let by = |rows: &[InstanceStudyRow], p: &str| {
-                rows.iter().find(|r| r.label.starts_with(p)).unwrap().makespan_seconds
+                rows.iter()
+                    .find(|r| r.label.starts_with(p))
+                    .unwrap()
+                    .makespan_seconds
             };
             assert!(by(&cap3, "HM4XL") < by(&cap3, "HCXL"), "seed {seed}");
             assert!(by(&cap3, "HCXL") < by(&cap3, "L -"), "seed {seed}");
             let cheapest = cap3.iter().min_by_key(|r| r.cost.compute_cost).unwrap();
-            assert!(cheapest.label.starts_with("HCXL"), "seed {seed}: {}", cheapest.label);
+            assert!(
+                cheapest.label.starts_with("HCXL"),
+                "seed {seed}: {}",
+                cheapest.label
+            );
 
-            let gtm = ec2_instance_study(&workload::gtm_sim_tasks(264, 100_000), AppModel::DEFAULT, seed);
+            let gtm = ec2_instance_study(
+                &workload::gtm_sim_tasks(264, 100_000),
+                AppModel::DEFAULT,
+                seed,
+            );
             assert!(by(&gtm, "HM4XL") < by(&gtm, "HCXL"), "seed {seed}");
-            let gtm_slowest =
-                gtm.iter().max_by(|a, b| a.makespan_seconds.total_cmp(&b.makespan_seconds)).unwrap();
-            assert!(gtm_slowest.label.starts_with("HCXL"), "seed {seed}: {}", gtm_slowest.label);
+            let gtm_slowest = gtm
+                .iter()
+                .max_by(|a, b| a.makespan_seconds.total_cmp(&b.makespan_seconds))
+                .unwrap();
+            assert!(
+                gtm_slowest.label.starts_with("HCXL"),
+                "seed {seed}: {}",
+                gtm_slowest.label
+            );
         }
     }
 

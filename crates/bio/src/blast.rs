@@ -19,7 +19,6 @@
 
 use crate::fasta::FastaRecord;
 use crate::matrix::{self, aa_index, e_value, GAP_EXTEND, GAP_OPEN};
-use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Search tuning parameters (blastp-flavoured defaults).
@@ -211,13 +210,10 @@ impl BlastDb {
         hits
     }
 
-    /// Search many queries in parallel (BLAST's `-num_threads`, via rayon —
-    /// this is what an Azure worker with `t` BLAST threads runs).
+    /// Search many queries in parallel (BLAST's `-num_threads` — this is
+    /// what an Azure worker with `t` BLAST threads runs).
     pub fn search_many(&self, queries: &[FastaRecord], params: &BlastParams) -> Vec<Vec<Hit>> {
-        queries
-            .par_iter()
-            .map(|q| self.search(&q.seq, params))
-            .collect()
+        ppc_core::par::par_map_slice(queries, |q| self.search(&q.seq, params))
     }
 
     /// blastx: translate a *nucleotide* query in all six reading frames and

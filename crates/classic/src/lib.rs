@@ -30,7 +30,7 @@ pub mod spec;
 
 pub use fault::FaultPlan;
 pub use history::{record, runs_of, RunRecord};
-pub use report::ClassicReport;
-pub use runtime::{run_job, ClassicConfig};
-pub use sim::{simulate, simulate_fleets, SimConfig};
+pub use report::{ClassicReport, FleetReport};
+pub use runtime::{run_job, run_job_autoscaled, ClassicConfig};
+pub use sim::{simulate, simulate_autoscaled, simulate_fleets, SimConfig};
 pub use spec::JobSpec;

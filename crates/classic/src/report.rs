@@ -2,10 +2,12 @@
 
 use ppc_compute::billing::CostBreakdown;
 use ppc_compute::cluster::Cluster;
+use ppc_compute::instance::InstanceType;
 use ppc_core::metrics::RunSummary;
 use ppc_core::money::Usd;
 use ppc_core::pricing::PriceBook;
 use ppc_core::task::TaskId;
+use ppc_core::trace::FleetTimeline;
 use ppc_storage::metering::MeteringSnapshot;
 
 /// Everything a Classic Cloud run reports back, shared by the native and
@@ -29,6 +31,40 @@ pub struct ClassicReport {
     pub storage: MeteringSnapshot,
     /// Per-worker execution timeline (simulated runs with `trace: true`).
     pub timeline: Option<ppc_core::trace::Timeline>,
+    /// Fleet-size timeline and per-instance billing for *elastic* runs
+    /// (`run_job_autoscaled` / `simulate_autoscaled`); `None` for
+    /// fixed-fleet runs.
+    pub fleet: Option<FleetReport>,
+}
+
+/// What an autoscaled run adds to the report: the fleet-size step function
+/// and the staggered per-instance bill.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    pub itype: InstanceType,
+    /// Fleet size over time (billed instances).
+    pub timeline: FleetTimeline,
+    /// End of the billing horizon (job completion), seconds.
+    pub horizon_s: f64,
+    /// Per-instance started billing hours summed across the fleet.
+    pub billed_hours: u64,
+    /// Billed-but-unused instance-hours (money left on the table).
+    pub wasted_hours: f64,
+    /// Fleet cost over `[0, horizon_s]` under whole-hour and amortized
+    /// billing.
+    pub cost: CostBreakdown,
+}
+
+impl FleetReport {
+    /// Largest fleet ever held.
+    pub fn peak_fleet(&self) -> u32 {
+        self.timeline.peak()
+    }
+
+    /// Time-weighted mean fleet size over the horizon.
+    pub fn mean_fleet(&self) -> f64 {
+        self.timeline.mean_size(self.horizon_s)
+    }
 }
 
 impl ClassicReport {
@@ -98,6 +134,7 @@ mod tests {
             queue_requests: 10_000,
             executions_per_fleet: vec![4100],
             timeline: None,
+            fleet: None,
             storage: MeteringSnapshot {
                 requests: 0,
                 bytes_in: 1 << 30,

@@ -10,6 +10,8 @@
 use crate::fault::FaultPlan;
 use crate::report::ClassicReport;
 use crate::spec::JobSpec;
+use ppc_autoscale::{AutoscaleConfig, Controller, Decision, FleetEventKind, SlotState, Telemetry};
+use ppc_compute::billing::FleetLedger;
 use ppc_compute::cluster::Cluster;
 use ppc_core::exec::Executor;
 use ppc_core::metrics::RunSummary;
@@ -156,47 +158,7 @@ pub fn run_job_on_fleets(
 
     std::thread::scope(|scope| {
         // Monitor: drains the monitoring queue, decides when the job is done.
-        scope.spawn(|| {
-            let mut done: HashSet<u64> = HashSet::with_capacity(n_tasks);
-            let mut failed: HashSet<u64> = HashSet::new();
-            while !shared.stop.load(Ordering::Acquire) {
-                match monitor.receive_wait(config.long_poll_wait) {
-                    Ok(Some(msg)) => {
-                        if let Some(id) = msg.body.strip_prefix("done:") {
-                            if let Ok(id) = id.parse::<u64>() {
-                                done.insert(id);
-                                failed.remove(&id); // a late success still counts
-                            }
-                        } else if let Some(id) = msg.body.strip_prefix("fail:") {
-                            if let Ok(id) = id.parse::<u64>() {
-                                if !done.contains(&id) {
-                                    failed.insert(id);
-                                }
-                            }
-                        }
-                        let _ = monitor.delete(msg.receipt);
-                        if let Some(probe) = &config.progress {
-                            probe.store(done.len() + failed.len(), Ordering::Relaxed);
-                        }
-                        if done.len() + failed.len() >= n_tasks {
-                            *shared.finished_at.lock().unwrap() = Some(Instant::now());
-                            let mut f: Vec<TaskId> = failed.iter().map(|&i| TaskId(i)).collect();
-                            f.sort();
-                            *shared.failed.lock().unwrap() = f;
-                            shared.stop.store(true, Ordering::Release);
-                        }
-                    }
-                    // Guard against a zero-length long-poll window turning
-                    // this loop into a busy spin (and a billing storm).
-                    Ok(None) => {
-                        if config.long_poll_wait.is_zero() {
-                            std::thread::sleep(config.poll_backoff);
-                        }
-                    }
-                    Err(_) => std::thread::sleep(config.poll_backoff),
-                }
-            }
-        });
+        scope.spawn(|| monitor_loop(&monitor, config, &shared, n_tasks));
 
         // Workers: one thread per worker slot, across every fleet.
         for (fleet_id, node_id, slot) in fleets
@@ -219,100 +181,17 @@ pub fn run_job_on_fleets(
                         ^ slot as u64,
                 );
                 while !shared.stop.load(Ordering::Acquire) {
-                    // Long polling (SQS WaitTimeSeconds): one billable
-                    // request per wait window instead of a busy-poll storm.
-                    let msg = match sched.receive_wait(config.long_poll_wait) {
-                        Ok(Some(m)) => m,
-                        Ok(None) => {
-                            if config.long_poll_wait.is_zero() {
-                                std::thread::sleep(config.poll_backoff);
-                            }
-                            continue;
-                        }
-                        Err(_) => {
-                            std::thread::sleep(config.poll_backoff);
-                            continue;
-                        }
-                    };
-
-                    let spec = match TaskSpec::from_message(&msg.body) {
-                        Ok(s) => s,
-                        Err(_) => {
-                            // Poison message: report and drop it.
-                            let _ = monitor.send("fail:poison".to_string());
-                            let _ = sched.delete(msg.receipt);
-                            continue;
-                        }
-                    };
-
-                    // Dead-letter policy: give up on tasks that keep failing.
-                    if msg.receive_count > job.max_deliveries {
-                        let _ = monitor.send(format!("fail:{}", spec.id.0));
-                        let _ = sched.delete(msg.receipt);
-                        continue;
-                    }
-
-                    // Injected death between receive and execute: the message
-                    // stays in flight and reappears after the timeout.
-                    if config.fault.die_before_execute > 0.0
-                        && rng.chance(config.fault.die_before_execute)
-                    {
-                        shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
-                        std::thread::sleep(Duration::from_millis(config.fault.restart_delay_ms));
-                        continue;
-                    }
-
-                    // Download the input file over the storage web interface.
-                    let input = match storage.get_with_retry(
-                        &job.input_bucket,
-                        &spec.input_key,
-                        config.input_fetch_attempts,
-                    ) {
-                        Ok(d) => d,
-                        Err(e) if e.is_retryable() => continue, // let it reappear
-                        Err(_) => {
-                            // Input genuinely missing: the task can never run.
-                            let _ = monitor.send(format!("fail:{}", spec.id.0));
-                            let _ = sched.delete(msg.receipt);
-                            continue;
-                        }
-                    };
-
-                    shared.total_executions.fetch_add(1, Ordering::Relaxed);
-                    let output = match executor.run(&spec, &input) {
-                        Ok(o) => o,
-                        Err(_) => {
-                            // Leave the message; redelivery retries until the
-                            // dead-letter policy gives up.
-                            continue;
-                        }
-                    };
-
-                    shared
-                        .remote_bytes
-                        .fetch_add(input.len() as u64 + output.len() as u64, Ordering::Relaxed);
-                    if storage
-                        .put(&job.output_bucket, &spec.output_key, output)
-                        .is_err()
-                    {
-                        continue; // redelivery will retry the whole task
-                    }
-
-                    // Injected death between upload and delete: the duplicate
-                    // re-execution must overwrite with identical output.
-                    if config.fault.die_before_delete > 0.0
-                        && rng.chance(config.fault.die_before_delete)
-                    {
-                        shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
-                        std::thread::sleep(Duration::from_millis(config.fault.restart_delay_ms));
-                        continue;
-                    }
-
-                    let _ = monitor.send(format!("done:{}", spec.id.0));
-                    shared.per_fleet.lock().unwrap()[fleet_id] += 1;
-                    // A stale receipt here means someone else finished the
-                    // task first — harmless by idempotence.
-                    let _ = sched.delete(msg.receipt);
+                    poll_once(
+                        &sched,
+                        &monitor,
+                        shared,
+                        &storage,
+                        job,
+                        config,
+                        executor.as_ref(),
+                        fleet_id,
+                        &mut rng,
+                    );
                 }
             });
         }
@@ -345,6 +224,7 @@ pub fn run_job_on_fleets(
         queue_requests: queues.total_requests() - requests_before,
         executions_per_fleet: per_fleet,
         timeline: None,
+        fleet: None,
         storage: ppc_storage::metering::MeteringSnapshot {
             requests: storage_after.requests - storage_before.requests,
             bytes_in: storage_after.bytes_in - storage_before.bytes_in,
@@ -359,6 +239,456 @@ pub fn run_job_on_fleets(
     let _ = queues.delete_queue(&job.monitor_queue());
 
     Ok(report)
+}
+
+/// The monitor thread body: drains the monitoring queue and flips
+/// `shared.stop` once every task is resolved (done or failed).
+fn monitor_loop(
+    monitor: &ppc_queue::Queue,
+    config: &ClassicConfig,
+    shared: &Shared,
+    n_tasks: usize,
+) {
+    let mut done: HashSet<u64> = HashSet::with_capacity(n_tasks);
+    let mut failed: HashSet<u64> = HashSet::new();
+    while !shared.stop.load(Ordering::Acquire) {
+        match monitor.receive_wait(config.long_poll_wait) {
+            Ok(Some(msg)) => {
+                if let Some(id) = msg.body.strip_prefix("done:") {
+                    if let Ok(id) = id.parse::<u64>() {
+                        done.insert(id);
+                        failed.remove(&id); // a late success still counts
+                    }
+                } else if let Some(id) = msg.body.strip_prefix("fail:") {
+                    if let Ok(id) = id.parse::<u64>() {
+                        if !done.contains(&id) {
+                            failed.insert(id);
+                        }
+                    }
+                }
+                let _ = monitor.delete(msg.receipt);
+                if let Some(probe) = &config.progress {
+                    probe.store(done.len() + failed.len(), Ordering::Relaxed);
+                }
+                if done.len() + failed.len() >= n_tasks {
+                    *shared.finished_at.lock().unwrap() = Some(Instant::now());
+                    let mut f: Vec<TaskId> = failed.iter().map(|&i| TaskId(i)).collect();
+                    f.sort();
+                    *shared.failed.lock().unwrap() = f;
+                    shared.stop.store(true, Ordering::Release);
+                }
+            }
+            // Guard against a zero-length long-poll window turning
+            // this loop into a busy spin (and a billing storm).
+            Ok(None) => {
+                if config.long_poll_wait.is_zero() {
+                    std::thread::sleep(config.poll_backoff);
+                }
+            }
+            Err(_) => std::thread::sleep(config.poll_backoff),
+        }
+    }
+}
+
+/// One worker iteration: receive → download → execute → upload → report →
+/// delete. A `return` leaves any in-flight message to the visibility
+/// timeout, exactly as a `continue` did when this lived inline in the
+/// worker loop. One call holds at most one lease, so a worker that stops
+/// calling this between iterations (stop flag, drain flag) never abandons
+/// a leased message.
+#[allow(clippy::too_many_arguments)]
+fn poll_once(
+    sched: &ppc_queue::Queue,
+    monitor: &ppc_queue::Queue,
+    shared: &Shared,
+    storage: &StorageService,
+    job: &JobSpec,
+    config: &ClassicConfig,
+    executor: &dyn Executor,
+    fleet_id: usize,
+    rng: &mut Pcg32,
+) {
+    // Long polling (SQS WaitTimeSeconds): one billable request per wait
+    // window instead of a busy-poll storm.
+    let msg = match sched.receive_wait(config.long_poll_wait) {
+        Ok(Some(m)) => m,
+        Ok(None) => {
+            if config.long_poll_wait.is_zero() {
+                std::thread::sleep(config.poll_backoff);
+            }
+            return;
+        }
+        Err(_) => {
+            std::thread::sleep(config.poll_backoff);
+            return;
+        }
+    };
+
+    let spec = match TaskSpec::from_message(&msg.body) {
+        Ok(s) => s,
+        Err(_) => {
+            // Poison message: report and drop it.
+            let _ = monitor.send("fail:poison".to_string());
+            let _ = sched.delete(msg.receipt);
+            return;
+        }
+    };
+
+    // Dead-letter policy: give up on tasks that keep failing.
+    if msg.receive_count > job.max_deliveries {
+        let _ = monitor.send(format!("fail:{}", spec.id.0));
+        let _ = sched.delete(msg.receipt);
+        return;
+    }
+
+    // Injected death between receive and execute: the message stays in
+    // flight and reappears after the timeout.
+    if config.fault.die_before_execute > 0.0 && rng.chance(config.fault.die_before_execute) {
+        shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(config.fault.restart_delay_ms));
+        return;
+    }
+
+    // Download the input file over the storage web interface.
+    let input = match storage.get_with_retry(
+        &job.input_bucket,
+        &spec.input_key,
+        config.input_fetch_attempts,
+    ) {
+        Ok(d) => d,
+        Err(e) if e.is_retryable() => return, // let it reappear
+        Err(_) => {
+            // Input genuinely missing: the task can never run.
+            let _ = monitor.send(format!("fail:{}", spec.id.0));
+            let _ = sched.delete(msg.receipt);
+            return;
+        }
+    };
+
+    shared.total_executions.fetch_add(1, Ordering::Relaxed);
+    let output = match executor.run(&spec, &input) {
+        Ok(o) => o,
+        Err(_) => {
+            // Leave the message; redelivery retries until the dead-letter
+            // policy gives up.
+            return;
+        }
+    };
+
+    shared
+        .remote_bytes
+        .fetch_add(input.len() as u64 + output.len() as u64, Ordering::Relaxed);
+    if storage
+        .put(&job.output_bucket, &spec.output_key, output)
+        .is_err()
+    {
+        return; // redelivery will retry the whole task
+    }
+
+    // Injected death between upload and delete: the duplicate re-execution
+    // must overwrite with identical output.
+    if config.fault.die_before_delete > 0.0 && rng.chance(config.fault.die_before_delete) {
+        shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(config.fault.restart_delay_ms));
+        return;
+    }
+
+    let _ = monitor.send(format!("done:{}", spec.id.0));
+    shared.per_fleet.lock().unwrap()[fleet_id] += 1;
+    // A stale receipt here means someone else finished the task first —
+    // harmless by idempotence.
+    let _ = sched.delete(msg.receipt);
+}
+
+/// Execute a job on an *elastic* fleet: worker threads are launched and
+/// retired while the job runs, driven by a `ppc-autoscale`
+/// [`Controller`] watching the scheduling queue's
+/// [`metrics snapshot`](ppc_queue::Queue::metrics_snapshot).
+///
+/// Each autoscaled unit is one single-worker instance of `itype` (the
+/// granularity the controller reasons about); `arrivals[i]` is the wall
+/// offset in seconds at which `job.tasks[i]` is sent to the scheduling
+/// queue (an empty slice sends everything up front). All `AutoscaleConfig`
+/// times are wall seconds — tests and examples compress them (10 ms ticks,
+/// 100 ms "billing hours") so elastic behavior plays out in milliseconds.
+///
+/// Scale-in drains: a victim worker finishes the lease it holds, then
+/// exits; the controller confirms the retirement on its next tick, so a
+/// leased message is never orphaned by scale-in. The report carries a
+/// [`FleetReport`](crate::report::FleetReport) with the fleet-size
+/// timeline and the staggered per-instance bill.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_autoscaled(
+    storage: &Arc<StorageService>,
+    queues: &Arc<QueueService>,
+    itype: ppc_compute::instance::InstanceType,
+    job: &JobSpec,
+    arrivals: &[f64],
+    executor: Arc<dyn Executor>,
+    config: &ClassicConfig,
+    autoscale: &AutoscaleConfig,
+) -> Result<ClassicReport> {
+    job.validate()?;
+    if !config.fault.validate() {
+        return Err(PpcError::InvalidArgument(
+            "invalid fault plan probabilities".into(),
+        ));
+    }
+    if !arrivals.is_empty() && arrivals.len() != job.tasks.len() {
+        return Err(PpcError::InvalidArgument(format!(
+            "{} arrival offsets for {} tasks",
+            arrivals.len(),
+            job.tasks.len()
+        )));
+    }
+
+    let sched = queues.create_queue(
+        &job.sched_queue(),
+        QueueConfig {
+            visibility_timeout: job.visibility_timeout,
+            chaos: config.queue_chaos,
+            seed: config.fault.seed,
+        },
+    )?;
+    let monitor = queues.create_queue(&job.monitor_queue(), QueueConfig::default())?;
+    storage.ensure_bucket(&job.output_bucket);
+
+    let storage_before = storage.metering().snapshot();
+    let requests_before = queues.total_requests();
+
+    let n_tasks = job.tasks.len();
+    let shared = Shared {
+        stop: AtomicBool::new(false),
+        total_executions: AtomicUsize::new(0),
+        worker_deaths: AtomicUsize::new(0),
+        remote_bytes: AtomicU64::new(0),
+        finished_at: Mutex::new(None),
+        failed: Mutex::new(Vec::new()),
+        per_fleet: Mutex::new(vec![0; 1]),
+    };
+
+    let controller = Mutex::new(Controller::new(autoscale.clone()));
+    // Per-slot drain flags, indexed by slot id; grown under the lock as
+    // the controller launches instances.
+    let drain_flags: Mutex<Vec<Arc<AtomicBool>>> = Mutex::new(Vec::new());
+    // Slot ids whose workers have exited after a drain, awaiting
+    // confirmation at the controller's next tick.
+    let retired_inbox: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| monitor_loop(&monitor, config, &shared, n_tasks));
+
+        // Client: sends each task at its arrival offset.
+        scope.spawn(|| {
+            let mut order: Vec<usize> = (0..n_tasks).collect();
+            if !arrivals.is_empty() {
+                order.sort_by(|&a, &b| arrivals[a].partial_cmp(&arrivals[b]).unwrap());
+            }
+            for i in order {
+                let at = Duration::from_secs_f64(if arrivals.is_empty() {
+                    0.0
+                } else {
+                    arrivals[i]
+                });
+                while start.elapsed() < at {
+                    if shared.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep((at - start.elapsed()).min(Duration::from_millis(2)));
+                }
+                let body = match job.tasks[i].to_message() {
+                    Ok(b) => b,
+                    Err(_) => continue,
+                };
+                while sched.send(body.clone()).is_err() {
+                    if shared.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                }
+            }
+        });
+
+        // Controller: one thread ticking every `interval_s`, spawning and
+        // draining worker threads per the policy's decisions.
+        scope.spawn(|| {
+            let spawn_worker = |slot: u32| {
+                let drain = {
+                    let mut flags = drain_flags.lock().unwrap();
+                    while flags.len() <= slot as usize {
+                        flags.push(Arc::new(AtomicBool::new(false)));
+                    }
+                    flags[slot as usize].clone()
+                };
+                let sched = sched.clone();
+                let monitor = monitor.clone();
+                let shared = &shared;
+                let storage = storage.clone();
+                let executor = executor.clone();
+                let retired_inbox = &retired_inbox;
+                scope.spawn(move || {
+                    let mut rng = Pcg32::new(config.fault.seed ^ ((slot as u64) << 20));
+                    while !shared.stop.load(Ordering::Acquire) && !drain.load(Ordering::Acquire) {
+                        poll_once(
+                            &sched,
+                            &monitor,
+                            shared,
+                            &storage,
+                            job,
+                            config,
+                            executor.as_ref(),
+                            0,
+                            &mut rng,
+                        );
+                    }
+                    if drain.load(Ordering::Acquire) {
+                        retired_inbox.lock().unwrap().push(slot);
+                    }
+                });
+            };
+
+            // The controller seeded `min_workers` active slots at t = 0.
+            for slot in 0..autoscale.min_workers {
+                spawn_worker(slot);
+            }
+
+            let interval = Duration::from_secs_f64(autoscale.interval_s);
+            let quantum = interval.min(Duration::from_millis(2));
+            let mut next_tick = interval;
+            while !shared.stop.load(Ordering::Acquire) {
+                std::thread::sleep(quantum);
+                let now = start.elapsed();
+                if now < next_tick {
+                    continue;
+                }
+                next_tick += interval;
+                let now_s = now.as_secs_f64();
+                let mut ctrl = controller.lock().unwrap();
+                for slot in retired_inbox.lock().unwrap().drain(..) {
+                    ctrl.confirm_retired(slot, now_s);
+                }
+                let snap = sched.metrics_snapshot();
+                let telemetry = Telemetry {
+                    queued: snap.visible,
+                    in_flight: snap.in_flight,
+                    oldest_age_s: snap.oldest_age.map(|d| d.as_secs_f64()),
+                };
+                match ctrl.decide(now_s, &telemetry) {
+                    Decision::Launch { ids } => {
+                        drop(ctrl);
+                        for id in ids {
+                            spawn_worker(id);
+                        }
+                    }
+                    Decision::Drain { ids } => {
+                        let flags = drain_flags.lock().unwrap();
+                        for id in ids {
+                            flags[id as usize].store(true, Ordering::Release);
+                        }
+                    }
+                    Decision::Hold => {}
+                }
+            }
+        });
+    });
+
+    let finished = shared
+        .finished_at
+        .lock()
+        .unwrap()
+        .unwrap_or_else(Instant::now);
+    let makespan = finished.duration_since(start).as_secs_f64();
+    let failed = shared.failed.lock().unwrap().clone();
+    let completed = n_tasks - failed.len();
+    let total_executions = shared.total_executions.load(Ordering::Relaxed);
+
+    // Close the fleet ledger: confirm drains that landed after the last
+    // tick, then bill. The horizon never precedes the last fleet event
+    // (a final tick can outlast the monitor's finish stamp slightly).
+    let mut ctrl = controller.into_inner().unwrap();
+    let last_event_s = ctrl.events().last().map(|e| e.at_s).unwrap_or(0.0);
+    let end_s = makespan.max(last_event_s);
+    for slot in retired_inbox.into_inner().unwrap() {
+        ctrl.confirm_retired(slot, end_s);
+    }
+    // A drain decided on the final tick may never have reached its worker
+    // before the stop flag did; close those slots' bills at the horizon.
+    let still_draining: Vec<u32> = ctrl
+        .slots()
+        .iter()
+        .filter(|s| s.state == SlotState::Draining)
+        .map(|s| s.id)
+        .collect();
+    for slot in still_draining {
+        ctrl.confirm_retired(slot, end_s);
+    }
+    let fleet = fleet_report(&ctrl, itype, autoscale.billing_hour_s, end_s);
+
+    let storage_after = storage.metering().snapshot();
+    let report = ClassicReport {
+        summary: RunSummary {
+            platform: format!("classic-autoscale-{}", itype.name),
+            cores: fleet.peak_fleet() as usize,
+            tasks: completed,
+            makespan_seconds: makespan,
+            redundant_executions: total_executions.saturating_sub(completed),
+            remote_bytes: shared.remote_bytes.load(Ordering::Relaxed),
+        },
+        failed,
+        total_executions,
+        worker_deaths: shared.worker_deaths.load(Ordering::Relaxed),
+        queue_requests: queues.total_requests() - requests_before,
+        executions_per_fleet: shared.per_fleet.into_inner().unwrap(),
+        timeline: None,
+        fleet: Some(fleet),
+        storage: ppc_storage::metering::MeteringSnapshot {
+            requests: storage_after.requests - storage_before.requests,
+            bytes_in: storage_after.bytes_in - storage_before.bytes_in,
+            bytes_out: storage_after.bytes_out - storage_before.bytes_out,
+            stored_bytes: storage_after.stored_bytes,
+            peak_stored_bytes: storage_after.peak_stored_bytes,
+        },
+    };
+
+    let _ = queues.delete_queue(&job.sched_queue());
+    let _ = queues.delete_queue(&job.monitor_queue());
+
+    Ok(report)
+}
+
+/// Build the fleet section of an autoscaled report from the controller's
+/// audit log: the fleet-size step function plus the per-instance bill.
+/// Slots still running at `end_s` are billed through the horizon. Shared
+/// by the native runtime and the simulator so both engines account
+/// identically.
+pub(crate) fn fleet_report(
+    ctrl: &Controller,
+    itype: ppc_compute::instance::InstanceType,
+    billing_hour_s: f64,
+    end_s: f64,
+) -> crate::report::FleetReport {
+    let mut timeline = ppc_core::trace::FleetTimeline::new();
+    for e in ctrl.events() {
+        // Drain events do not change the billed fleet; record the steps.
+        if matches!(e.kind, FleetEventKind::Launch | FleetEventKind::Retire) {
+            timeline.record(e.at_s, e.fleet_after);
+        }
+    }
+    let mut ledger = FleetLedger::new(itype, billing_hour_s);
+    for s in ctrl.slots() {
+        let idx = ledger.launch(s.launched_at);
+        if let Some(t) = s.retired_at {
+            ledger.retire(idx, t.min(end_s));
+        }
+    }
+    crate::report::FleetReport {
+        itype,
+        timeline,
+        horizon_s: end_s,
+        billed_hours: ledger.billed_hours(end_s),
+        wasted_hours: ledger.wasted_hours(end_s),
+        cost: ledger.cost(end_s),
+    }
 }
 
 /// Sequential baseline for Equation 1: run every task back to back on this
@@ -593,6 +923,112 @@ mod tests {
             &job,
             reverse_executor(),
             &ClassicConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "InvalidArgument");
+    }
+
+    fn sleep_executor(ms: u64) -> Arc<dyn Executor> {
+        FnExecutor::new("rev-slow", move |_s, input: &[u8]| {
+            std::thread::sleep(Duration::from_millis(ms));
+            let mut v = input.to_vec();
+            v.reverse();
+            Ok(v)
+        })
+    }
+
+    fn fast_autoscale() -> ppc_autoscale::AutoscaleConfig {
+        // Millisecond-compressed timing: 10 ms controller ticks against
+        // 30 ms tasks, so elastic behavior plays out in under a second.
+        ppc_autoscale::AutoscaleConfig {
+            policy: ppc_autoscale::Policy::TargetBacklog { per_worker: 12.0 },
+            min_workers: 1,
+            max_workers: 4,
+            interval_s: 0.01,
+            scale_up_cooldown_s: 0.03,
+            scale_down_cooldown_s: 0.02,
+            warmup_s: 0.0,
+            billing_aware: false,
+            billing_window_s: 0.02,
+            billing_hour_s: 0.1,
+        }
+    }
+
+    #[test]
+    fn autoscaled_job_end_to_end() {
+        let (storage, queues, job) = setup(48);
+        let report = run_job_autoscaled(
+            &storage,
+            &queues,
+            EC2_HCXL,
+            &job,
+            &[],
+            sleep_executor(30),
+            &ClassicConfig::default(),
+            &fast_autoscale(),
+        )
+        .unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.summary.tasks, 48);
+        for i in 0..48 {
+            let out = storage
+                .get(&job.output_bucket, &format!("f{i}.out"))
+                .unwrap();
+            let mut expect = format!("payload-{i}").into_bytes();
+            expect.reverse();
+            assert_eq!(*out, expect);
+        }
+        let fleet = report.fleet.expect("autoscaled run reports its fleet");
+        assert!(
+            (2..=4).contains(&fleet.peak_fleet()),
+            "one burst must trigger scale-out: peak {}",
+            fleet.peak_fleet()
+        );
+        assert!(fleet.billed_hours >= 1);
+        // Every launched slot's bill is closed or open-but-billed; the
+        // timeline starts at the minimum fleet.
+        assert_eq!(fleet.timeline.size_sequence()[0], 1);
+        // Queues were cleaned up.
+        assert!(queues.queue(&job.sched_queue()).is_err());
+    }
+
+    #[test]
+    fn autoscaled_scale_in_never_loses_a_task() {
+        // Staggered arrivals force scale-out then scale-in while messages
+        // are in flight; draining must never orphan a leased message.
+        let (storage, queues, job) = setup(40);
+        let arrivals: Vec<f64> = (0..40).map(|i| if i < 30 { 0.0 } else { 0.4 }).collect();
+        let report = run_job_autoscaled(
+            &storage,
+            &queues,
+            EC2_HCXL,
+            &job,
+            &arrivals,
+            sleep_executor(20),
+            &ClassicConfig::default(),
+            &fast_autoscale(),
+        )
+        .unwrap();
+        assert!(report.is_complete(), "failed: {:?}", report.failed);
+        assert_eq!(report.summary.tasks, 40);
+        assert_eq!(
+            report.total_executions, 40,
+            "no redeliveries: scale-in drained cleanly"
+        );
+    }
+
+    #[test]
+    fn autoscaled_rejects_mismatched_arrivals() {
+        let (storage, queues, job) = setup(4);
+        let err = run_job_autoscaled(
+            &storage,
+            &queues,
+            EC2_HCXL,
+            &job,
+            &[0.0, 1.0],
+            reverse_executor(),
+            &ClassicConfig::default(),
+            &fast_autoscale(),
         )
         .unwrap_err();
         assert_eq!(err.code(), "InvalidArgument");

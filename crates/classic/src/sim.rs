@@ -13,6 +13,7 @@
 //! with sharing with Hadoop (§4.2).
 
 use crate::report::ClassicReport;
+use ppc_autoscale::{AutoscaleConfig, Controller, Decision, Telemetry};
 use ppc_compute::cluster::Cluster;
 use ppc_compute::model::{task_service_seconds, AppModel};
 use ppc_core::metrics::RunSummary;
@@ -202,6 +203,7 @@ pub fn simulate_fleets(fleets: &[Cluster], tasks: &[TaskSpec], cfg: &SimConfig) 
         } else {
             None
         },
+        fleet: None,
         storage: MeteringSnapshot {
             requests: st.storage_requests,
             bytes_in: st.bytes_in,
@@ -375,6 +377,342 @@ fn handle_completion(
         }
     }
     worker_tick(engine, state, worker, itype, cfg);
+}
+
+// ------------------------------------------------------------ autoscaled
+
+/// State of the autoscaled simulation: the fixed-fleet fields plus the
+/// elastic machinery (controller, drain flags, idle parking by slot id).
+struct AsState {
+    /// Visible messages: `(task, visible_since_s)` — the timestamp feeds
+    /// the oldest-message-age telemetry.
+    pending: VecDeque<(TaskSpec, f64)>,
+    /// Parked workers with nothing to do (never contains draining slots).
+    idle: Vec<u32>,
+    /// Slots told to retire after their in-hand task.
+    drain: std::collections::HashSet<u32>,
+    /// Drained slots whose worker has exited, awaiting confirmation at the
+    /// controller's next tick.
+    retired_inbox: Vec<u32>,
+    in_flight: usize,
+    completed: usize,
+    executions: usize,
+    deaths: usize,
+    queue_requests: u64,
+    storage_requests: u64,
+    remote_bytes: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    n_tasks: usize,
+    finished_at_s: f64,
+    timeline: ppc_core::trace::Timeline,
+    rng: Pcg32,
+    controller: Controller,
+}
+
+/// Simulate an *elastic* Classic Cloud run: single-worker instances of
+/// `itype` launched and retired in virtual time by a `ppc-autoscale`
+/// [`Controller`] — the simulated twin of
+/// [`crate::runtime::run_job_autoscaled`], sharing its decision logic and
+/// billing exactly (both engines drive the same pure state machine, so a
+/// deterministic workload yields the same fleet-size trajectory).
+///
+/// `arrivals[i]` is the virtual second at which `tasks[i]` enters the
+/// scheduling queue; an empty slice enqueues everything at t = 0. Tasks
+/// are delivered FIFO (no shuffle) to keep elastic runs reproducible.
+pub fn simulate_autoscaled(
+    itype: ppc_compute::instance::InstanceType,
+    tasks: &[TaskSpec],
+    arrivals: &[f64],
+    cfg: &SimConfig,
+    autoscale: &AutoscaleConfig,
+) -> ClassicReport {
+    assert!(!tasks.is_empty(), "no tasks to simulate");
+    assert!(
+        arrivals.is_empty() || arrivals.len() == tasks.len(),
+        "{} arrival offsets for {} tasks",
+        arrivals.len(),
+        tasks.len()
+    );
+    let cfg = *cfg;
+    let state = Rc::new(RefCell::new(AsState {
+        pending: VecDeque::new(),
+        idle: Vec::new(),
+        drain: std::collections::HashSet::new(),
+        retired_inbox: Vec::new(),
+        in_flight: 0,
+        completed: 0,
+        executions: 0,
+        deaths: 0,
+        queue_requests: 0,
+        storage_requests: 0,
+        remote_bytes: 0,
+        bytes_in: 0,
+        bytes_out: 0,
+        n_tasks: tasks.len(),
+        finished_at_s: 0.0,
+        timeline: ppc_core::trace::Timeline::new(),
+        rng: Pcg32::new(cfg.seed),
+        controller: Controller::new(autoscale.clone()),
+    }));
+
+    let mut engine = Engine::new();
+    // Arrivals first, so that same-instant arrivals precede the worker
+    // ticks of the initial fleet (events fire in insertion order).
+    for (i, task) in tasks.iter().enumerate() {
+        let at = if arrivals.is_empty() {
+            0.0
+        } else {
+            arrivals[i]
+        };
+        let st = state.clone();
+        let task = task.clone();
+        engine.schedule_at(SimTime::from_secs_f64(at), move |e| {
+            let now = e.now().as_secs_f64();
+            {
+                let mut s = st.borrow_mut();
+                s.queue_requests += 1; // the client's send
+                s.pending.push_back((task, now));
+            }
+            as_wake_idle(e, st, itype, cfg);
+        });
+    }
+    for slot in 0..autoscale.min_workers {
+        let st = state.clone();
+        engine.schedule_at(SimTime::ZERO, move |e| {
+            as_worker_tick(e, st, slot, itype, cfg);
+        });
+    }
+    {
+        let st = state.clone();
+        engine.schedule_in(SimTime::from_secs_f64(autoscale.interval_s), move |e| {
+            as_controller_tick(e, st, itype, cfg);
+        });
+    }
+
+    let end = engine.run();
+    let mut st = state.borrow_mut();
+    let makespan = if st.finished_at_s > 0.0 {
+        st.finished_at_s
+    } else {
+        end.as_secs_f64()
+    };
+
+    // Close the fleet ledger, mirroring the native runtime's finalization.
+    let last_event_s = st.controller.events().last().map(|e| e.at_s).unwrap_or(0.0);
+    let end_s = makespan.max(last_event_s);
+    let inbox = std::mem::take(&mut st.retired_inbox);
+    for slot in inbox {
+        st.controller.confirm_retired(slot, end_s);
+    }
+    let still_draining: Vec<u32> = st
+        .controller
+        .slots()
+        .iter()
+        .filter(|s| s.state == ppc_autoscale::SlotState::Draining)
+        .map(|s| s.id)
+        .collect();
+    for slot in still_draining {
+        st.controller.confirm_retired(slot, end_s);
+    }
+    let fleet =
+        crate::runtime::fleet_report(&st.controller, itype, autoscale.billing_hour_s, end_s);
+
+    ClassicReport {
+        summary: RunSummary {
+            platform: format!("classic-sim-autoscale-{}", itype.name),
+            cores: fleet.peak_fleet() as usize,
+            tasks: st.completed,
+            makespan_seconds: makespan,
+            redundant_executions: st.executions - st.completed,
+            remote_bytes: st.remote_bytes,
+        },
+        failed: Vec::new(),
+        total_executions: st.executions,
+        worker_deaths: st.deaths,
+        queue_requests: st.queue_requests,
+        executions_per_fleet: Vec::new(),
+        timeline: if cfg.trace {
+            Some(st.timeline.clone())
+        } else {
+            None
+        },
+        fleet: Some(fleet),
+        storage: MeteringSnapshot {
+            requests: st.storage_requests,
+            bytes_in: st.bytes_in,
+            bytes_out: st.bytes_out,
+            stored_bytes: st.bytes_in,
+            peak_stored_bytes: st.bytes_in,
+        },
+    }
+}
+
+/// Wake one parked worker, if any (one message, one worker).
+fn as_wake_idle(
+    engine: &mut Engine,
+    state: Rc<RefCell<AsState>>,
+    itype: ppc_compute::instance::InstanceType,
+    cfg: SimConfig,
+) {
+    let woken = state.borrow_mut().idle.pop();
+    if let Some(slot) = woken {
+        let st = state.clone();
+        engine.schedule_in(SimTime::ZERO, move |e| {
+            as_worker_tick(e, st, slot, itype, cfg);
+        });
+    }
+}
+
+/// One autoscaled worker iteration: retire if draining, else pull the next
+/// task and model the receive → transfer → execute → report → delete
+/// pipeline (one worker per instance, so no slot contention).
+fn as_worker_tick(
+    engine: &mut Engine,
+    state: Rc<RefCell<AsState>>,
+    slot: u32,
+    itype: ppc_compute::instance::InstanceType,
+    cfg: SimConfig,
+) {
+    let (task, duration_s, fails, received_at) = {
+        let mut st = state.borrow_mut();
+        if st.completed >= st.n_tasks {
+            return; // job done; the fleet winds down
+        }
+        if st.drain.contains(&slot) {
+            // Between tasks the worker holds no lease: exit immediately.
+            st.retired_inbox.push(slot);
+            return;
+        }
+        st.queue_requests += 1; // the receive call
+        let (task, _since) = match st.pending.pop_front() {
+            Some(t) => t,
+            None => {
+                st.idle.push(slot);
+                return;
+            }
+        };
+        st.executions += 1;
+        st.storage_requests += 2;
+        st.bytes_in += task.profile.output_bytes;
+        st.bytes_out += task.profile.input_bytes;
+        st.remote_bytes += task.profile.input_bytes + task.profile.output_bytes;
+        let t_in = cfg
+            .storage_latency
+            .transfer_seconds(task.profile.input_bytes);
+        let t_out = cfg
+            .storage_latency
+            .transfer_seconds(task.profile.output_bytes);
+        let jitter = if cfg.jitter_sigma > 0.0 {
+            st.rng.log_normal(0.0, cfg.jitter_sigma)
+        } else {
+            1.0
+        };
+        let t_exec = task_service_seconds(&itype, 1, &task.profile, &cfg.app) * jitter;
+        let t_ctrl = 3.0 * cfg.queue_latency.request_seconds();
+        st.queue_requests += 2; // monitor send + delete
+        st.in_flight += 1;
+        let fails = cfg.failure_rate > 0.0 && st.rng.chance(cfg.failure_rate);
+        (
+            task,
+            t_in + t_exec + t_out + t_ctrl,
+            fails,
+            engine.now().as_secs_f64(),
+        )
+    };
+
+    let st2 = state.clone();
+    engine.schedule_in(SimTime::from_secs_f64(duration_s), move |e| {
+        let now = e.now().as_secs_f64();
+        {
+            let mut st = st2.borrow_mut();
+            st.in_flight -= 1;
+            if fails {
+                st.deaths += 1;
+            } else {
+                st.completed += 1;
+                if st.completed >= st.n_tasks {
+                    st.finished_at_s = now;
+                }
+                if cfg.trace {
+                    st.timeline.push(slot as usize, task.id.0, received_at, now);
+                }
+            }
+        }
+        if fails {
+            // The undeleted message reappears one visibility timeout after
+            // its receive, waking a parked worker if one exists.
+            let reappear_at = (received_at + cfg.visibility_timeout_s).max(now);
+            let st3 = st2.clone();
+            e.schedule_at(SimTime::from_secs_f64(reappear_at), move |e| {
+                let at = e.now().as_secs_f64();
+                st3.borrow_mut().pending.push_back((task, at));
+                as_wake_idle(e, st3, itype, cfg);
+            });
+        }
+        as_worker_tick(e, st2, slot, itype, cfg);
+    });
+}
+
+/// One controller evaluation in virtual time: confirm retirements, take a
+/// telemetry snapshot, apply the decision, and reschedule — until the job
+/// completes, after which the tick chain ends and the engine drains.
+fn as_controller_tick(
+    engine: &mut Engine,
+    state: Rc<RefCell<AsState>>,
+    itype: ppc_compute::instance::InstanceType,
+    cfg: SimConfig,
+) {
+    let now_s = engine.now().as_secs_f64();
+    let (launches, warmup_s, interval_s) = {
+        let mut st = state.borrow_mut();
+        let inbox = std::mem::take(&mut st.retired_inbox);
+        for slot in inbox {
+            st.controller.confirm_retired(slot, now_s);
+        }
+        if st.completed >= st.n_tasks {
+            return; // no more ticks: let the engine run dry
+        }
+        let oldest_age_s = st
+            .pending
+            .iter()
+            .map(|(_, since)| (now_s - since).max(0.0))
+            .fold(None, |acc: Option<f64>, age| {
+                Some(acc.map_or(age, |m: f64| m.max(age)))
+            });
+        let telemetry = Telemetry {
+            queued: st.pending.len(),
+            in_flight: st.in_flight,
+            oldest_age_s,
+        };
+        let launches = match st.controller.decide(now_s, &telemetry) {
+            Decision::Launch { ids } => ids,
+            Decision::Drain { ids } => {
+                for id in ids {
+                    st.drain.insert(id);
+                    if let Some(pos) = st.idle.iter().position(|&w| w == id) {
+                        // An idle victim holds no lease: retire right now.
+                        st.idle.remove(pos);
+                        st.controller.confirm_retired(id, now_s);
+                    }
+                }
+                Vec::new()
+            }
+            Decision::Hold => Vec::new(),
+        };
+        let acfg = st.controller.config();
+        (launches, acfg.warmup_s, acfg.interval_s)
+    };
+    for slot in launches {
+        let st = state.clone();
+        engine.schedule_in(SimTime::from_secs_f64(warmup_s), move |e| {
+            as_worker_tick(e, st, slot, itype, cfg);
+        });
+    }
+    let st = state.clone();
+    engine.schedule_in(SimTime::from_secs_f64(interval_s), move |e| {
+        as_controller_tick(e, st, itype, cfg);
+    });
 }
 
 /// Equation 1's sequential baseline on this instance type: all tasks back to
@@ -615,5 +953,141 @@ mod tests {
         let report = simulate(&cluster, &cpu_tasks(100, 1.0), &SimConfig::ec2());
         // send + receive + monitor + delete per task, plus idle polls.
         assert!(report.queue_requests >= 400);
+    }
+
+    fn autoscale_cfg() -> ppc_autoscale::AutoscaleConfig {
+        ppc_autoscale::AutoscaleConfig {
+            policy: ppc_autoscale::Policy::TargetBacklog { per_worker: 12.0 },
+            min_workers: 1,
+            max_workers: 4,
+            interval_s: 10.0,
+            scale_up_cooldown_s: 30.0,
+            scale_down_cooldown_s: 20.0,
+            warmup_s: 0.0,
+            billing_aware: false,
+            billing_window_s: 60.0,
+            billing_hour_s: 3600.0,
+        }
+    }
+
+    fn free_cfg() -> SimConfig {
+        SimConfig {
+            storage_latency: LatencyModel::FREE,
+            queue_latency: LatencyModel::FREE,
+            jitter_sigma: 0.0,
+            ..SimConfig::ec2()
+        }
+    }
+
+    #[test]
+    fn autoscaled_tracks_backlog_up_and_down() {
+        // 48 equal tasks in one burst against a 1..4 elastic fleet with a
+        // 12-per-worker target: the fleet must jump to 4 (one burst, one
+        // launch decision), then step back down to 1 as the backlog
+        // drains — one retirement at a time.
+        let report = simulate_autoscaled(
+            EC2_HCXL,
+            &cpu_tasks(48, 30.0),
+            &[],
+            &free_cfg(),
+            &autoscale_cfg(),
+        );
+        assert_eq!(report.summary.tasks, 48);
+        let fleet = report.fleet.expect("autoscaled run reports its fleet");
+        assert_eq!(fleet.timeline.size_sequence(), vec![1, 4, 3, 2, 1]);
+        assert_eq!(fleet.peak_fleet(), 4);
+        assert!(fleet.mean_fleet() > 1.0 && fleet.mean_fleet() < 4.0);
+        // Elastic beats the pinned minimum fleet on makespan.
+        let fixed_min = simulate(
+            &Cluster::provision(EC2_HCXL, 1, 1),
+            &cpu_tasks(48, 30.0),
+            &free_cfg(),
+        );
+        assert!(report.summary.makespan_seconds < fixed_min.summary.makespan_seconds);
+    }
+
+    #[test]
+    fn autoscaled_is_deterministic() {
+        let run = || {
+            simulate_autoscaled(
+                EC2_HCXL,
+                &cpu_tasks(60, 20.0),
+                &[],
+                &SimConfig::ec2(),
+                &autoscale_cfg(),
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.summary.makespan_seconds, b.summary.makespan_seconds);
+        assert_eq!(
+            a.fleet.as_ref().unwrap().timeline.steps(),
+            b.fleet.as_ref().unwrap().timeline.steps()
+        );
+        assert_eq!(a.queue_requests, b.queue_requests);
+    }
+
+    #[test]
+    fn autoscaled_survives_failures() {
+        let cfg = SimConfig {
+            jitter_sigma: 0.0,
+            ..SimConfig::ec2().with_failures(0.1, 120.0)
+        };
+        let report =
+            simulate_autoscaled(EC2_HCXL, &cpu_tasks(64, 20.0), &[], &cfg, &autoscale_cfg());
+        assert_eq!(report.summary.tasks, 64, "every task still completes");
+        assert!(report.worker_deaths > 0);
+        assert!(report.redundant_executions() > 0);
+    }
+
+    #[test]
+    fn autoscaled_staggered_arrivals_drive_second_ramp() {
+        // Two bursts far apart: the fleet ramps up, drains back to the
+        // minimum during the lull, then ramps up again.
+        let tasks = cpu_tasks(64, 30.0);
+        let arrivals: Vec<f64> = (0..64).map(|i| if i < 32 { 0.0 } else { 2000.0 }).collect();
+        let acfg = ppc_autoscale::AutoscaleConfig {
+            policy: ppc_autoscale::Policy::TargetBacklog { per_worker: 8.0 },
+            ..autoscale_cfg()
+        };
+        let report = simulate_autoscaled(EC2_HCXL, &tasks, &arrivals, &free_cfg(), &acfg);
+        assert_eq!(report.summary.tasks, 64);
+        let fleet = report.fleet.unwrap();
+        let seq = fleet.timeline.size_sequence();
+        let peaks = seq.iter().filter(|&&s| s == 4).count();
+        assert!(peaks >= 2, "two ramps expected, got {seq:?}");
+        assert_eq!(*seq.last().unwrap(), 1, "fleet returns to minimum");
+    }
+
+    #[test]
+    fn billing_aware_scale_in_wastes_fewer_hours() {
+        // A burst that finishes mid-"hour" (compressed to 600 s): the naive
+        // policy retires immediately and eats the unused remainder of each
+        // instance's billed hour; the billing-aware policy holds instances
+        // to their boundary, converting the tail into usable (and billed
+        // anyway) headroom. Wasted billed hours must not increase.
+        let tasks = cpu_tasks(48, 30.0);
+        let naive = autoscale_cfg();
+        let aware = ppc_autoscale::AutoscaleConfig {
+            billing_aware: true,
+            billing_window_s: 60.0,
+            billing_hour_s: 600.0,
+            ..naive.clone()
+        };
+        let naive_hours = {
+            let mut c = naive;
+            c.billing_hour_s = 600.0;
+            simulate_autoscaled(EC2_HCXL, &tasks, &[], &free_cfg(), &c)
+                .fleet
+                .unwrap()
+                .wasted_hours
+        };
+        let aware_hours = simulate_autoscaled(EC2_HCXL, &tasks, &[], &free_cfg(), &aware)
+            .fleet
+            .unwrap()
+            .wasted_hours;
+        assert!(
+            aware_hours <= naive_hours + 1e-9,
+            "aware {aware_hours} vs naive {naive_hours}"
+        );
     }
 }

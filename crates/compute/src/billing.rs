@@ -38,6 +38,93 @@ pub fn instance_cost(itype: &InstanceType, n: usize, seconds: f64) -> CostBreakd
     }
 }
 
+/// Per-instance billing clocks for an *elastic* fleet, where instances
+/// launch and retire at different moments and each one's billed hours tick
+/// from its own launch time — the cost model autoscaling must answer to.
+///
+/// The `billing_hour_s` knob is 3600 in production; tests and compressed-
+/// time examples shrink it so whole "hours" elapse in milliseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetLedger {
+    itype: InstanceType,
+    billing_hour_s: f64,
+    /// `(launched_at_s, retired_at_s)`; `None` = still running.
+    intervals: Vec<(f64, Option<f64>)>,
+}
+
+impl FleetLedger {
+    pub fn new(itype: InstanceType, billing_hour_s: f64) -> FleetLedger {
+        assert!(billing_hour_s > 0.0, "billing hour must be positive");
+        FleetLedger {
+            itype,
+            billing_hour_s,
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Record an instance launch; returns its ledger index.
+    pub fn launch(&mut self, at_s: f64) -> usize {
+        self.intervals.push((at_s, None));
+        self.intervals.len() - 1
+    }
+
+    /// Record an instance retirement.
+    pub fn retire(&mut self, idx: usize, at_s: f64) {
+        let (start, end) = &mut self.intervals[idx];
+        assert!(end.is_none(), "instance {idx} already retired");
+        assert!(at_s >= *start, "retire before launch");
+        *end = Some(at_s);
+    }
+
+    /// Number of instances ever launched.
+    pub fn launched(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Exact instance-seconds used up to `end_s` (instances still running
+    /// are charged through `end_s`).
+    pub fn used_seconds(&self, end_s: f64) -> f64 {
+        self.intervals
+            .iter()
+            .map(|(start, end)| (end.unwrap_or(end_s).min(end_s) - start).max(0.0))
+            .sum()
+    }
+
+    /// Billed instance-hours up to `end_s`: each instance pays every
+    /// *started* billing hour of its own clock.
+    pub fn billed_hours(&self, end_s: f64) -> u64 {
+        self.intervals
+            .iter()
+            .map(|(start, end)| {
+                let used = (end.unwrap_or(end_s).min(end_s) - start).max(0.0);
+                (used / self.billing_hour_s).ceil() as u64
+            })
+            .sum()
+    }
+
+    /// Billed-but-unused instance-hours: the money autoscaling wastes when
+    /// it retires instances far from their hour boundary.
+    pub fn wasted_hours(&self, end_s: f64) -> f64 {
+        self.billed_hours(end_s) as f64 - self.used_seconds(end_s) / self.billing_hour_s
+    }
+
+    /// Fleet cost up to `end_s`. `compute_cost` bills whole per-instance
+    /// hours; `amortized_cost` bills exact usage (the paper's two views,
+    /// generalized to staggered lifetimes).
+    pub fn cost(&self, end_s: f64) -> CostBreakdown {
+        CostBreakdown {
+            compute_cost: self
+                .itype
+                .cost_per_hour
+                .scale(self.billed_hours(end_s) as f64),
+            amortized_cost: self
+                .itype
+                .cost_per_hour
+                .scale(self.used_seconds(end_s) / self.billing_hour_s),
+        }
+    }
+}
+
 /// Table 4's owned-cluster model: purchase cost depreciated linearly plus
 /// yearly maintenance (power, cooling, administration), charged against the
 /// fraction of cluster time the owner manages to keep busy.
@@ -159,6 +246,50 @@ mod tests {
         let c = instance_cost(&EC2_HCXL, 16, 0.0);
         assert_eq!(c.compute_cost, Usd::ZERO);
         assert_eq!(c.amortized_cost, Usd::ZERO);
+    }
+
+    #[test]
+    fn fleet_ledger_staggered_lifetimes() {
+        // Two instances: one runs 0..90 min (2 billed hours), one runs
+        // 30..60 min (1 billed hour).
+        let mut ledger = FleetLedger::new(EC2_HCXL, 3600.0);
+        let a = ledger.launch(0.0);
+        let b = ledger.launch(1800.0);
+        ledger.retire(b, 3600.0);
+        ledger.retire(a, 5400.0);
+        assert_eq!(ledger.launched(), 2);
+        assert_eq!(ledger.billed_hours(7200.0), 3);
+        assert_eq!(ledger.used_seconds(7200.0), 5400.0 + 1800.0);
+        let c = ledger.cost(7200.0);
+        assert_eq!(c.compute_cost, Usd::cents(68) * 3);
+        assert_eq!(c.amortized_cost, Usd::cents(68).scale(2.0));
+        assert!((ledger.wasted_hours(7200.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fleet_ledger_open_instances_charged_to_horizon() {
+        let mut ledger = FleetLedger::new(EC2_HCXL, 3600.0);
+        ledger.launch(0.0);
+        assert_eq!(ledger.billed_hours(10.0), 1);
+        assert_eq!(ledger.billed_hours(3601.0), 2);
+    }
+
+    #[test]
+    fn fleet_ledger_compressed_hours() {
+        // A 60 s "hour" for test-compressed time.
+        let mut ledger = FleetLedger::new(EC2_HCXL, 60.0);
+        let a = ledger.launch(0.0);
+        ledger.retire(a, 61.0);
+        assert_eq!(ledger.billed_hours(100.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already retired")]
+    fn fleet_ledger_double_retire_panics() {
+        let mut ledger = FleetLedger::new(EC2_HCXL, 3600.0);
+        let a = ledger.launch(0.0);
+        ledger.retire(a, 10.0);
+        ledger.retire(a, 20.0);
     }
 
     #[test]

@@ -9,10 +9,9 @@
 //! cores per memory controller ⇒ less contention ⇒ better GTM efficiency).
 
 use ppc_core::money::Usd;
-use serde::{Deserialize, Serialize};
 
 /// Who operates the hardware.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Provider {
     Aws,
     Azure,
@@ -22,14 +21,14 @@ pub enum Provider {
 
 /// Guest operating system; the paper notes Cap3 runs ~12.5% faster on
 /// Windows, so the calibrated models need to know which they are on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OsPlatform {
     Linux,
     Windows,
 }
 
 /// One machine type a framework can lease (or own).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InstanceType {
     /// Catalog name ("HCXL", "azure-small", "bare-32x8", ...).
     pub name: &'static str,

@@ -12,6 +12,10 @@
 //!   harness to print the paper's tables and figures.
 //! * [`rng`] — tiny deterministic PRNGs (SplitMix64 / PCG32) so simulation
 //!   results are reproducible without threading `rand` through everything.
+//! * [`json`] — a small JSON value/parser/writer for the wire formats
+//!   (queue task messages, distributed GTM models).
+//! * [`sync`] — poison-free `Mutex`/`RwLock` wrappers for the services.
+//! * [`par`] — index-parallel map over scoped threads for the kernels.
 //! * [`error`] — the workspace error type.
 //!
 //! The crate is dependency-light by design: everything downstream (storage,
@@ -19,11 +23,14 @@
 
 pub mod error;
 pub mod exec;
+pub mod json;
 pub mod metrics;
 pub mod money;
+pub mod par;
 pub mod pricing;
 pub mod report;
 pub mod rng;
+pub mod sync;
 pub mod task;
 pub mod trace;
 

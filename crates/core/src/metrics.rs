@@ -10,8 +10,6 @@
 //! Also provides [`RunSummary`], the record every framework run returns to
 //! the harness, and simple descriptive statistics for reporting.
 
-use serde::{Deserialize, Serialize};
-
 /// Equation 1: parallel efficiency on `p` cores.
 ///
 /// `t1` is the sequential time for the *whole* workload; `tp` the measured
@@ -41,7 +39,7 @@ pub fn speedup(t1_seconds: f64, tp_seconds: f64) -> f64 {
 }
 
 /// Outcome of one framework run, consumed by the benchmark harness.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     /// Which framework produced this run ("classic-ec2", "hadoop", ...).
     pub platform: String,
@@ -70,7 +68,7 @@ impl RunSummary {
 }
 
 /// Descriptive statistics over a sample, used when reporting repeated runs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stats {
     pub n: usize,
     pub mean: f64,

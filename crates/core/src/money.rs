@@ -6,7 +6,6 @@
 //! of such line items, so [`Usd`] stores **micro-dollars** in an `i64`:
 //! exact addition, exact comparison, and enough range for ~9 trillion dollars.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
@@ -20,9 +19,7 @@ use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 /// assert_eq!(fleet, Usd::cents(1088));
 /// assert_eq!(fleet.to_string(), "10.88$");     // exactly, no float drift
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Usd(i64);
 
 impl Usd {

@@ -1,0 +1,87 @@
+//! Minimal data parallelism over indices: the one `rayon` idiom the
+//! kernels actually use (`(0..n).into_par_iter().map(f).collect()`),
+//! implemented with scoped threads so the workspace stays dependency-free.
+//!
+//! Work is split into contiguous chunks, one per available core; each chunk
+//! is computed on its own thread and results land in input order, so the
+//! output is identical to the sequential `(0..n).map(f).collect()`.
+
+/// Number of worker threads to fan out over.
+pub fn parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Map `f` over `0..n` in parallel, preserving index order in the output.
+///
+/// `f` runs concurrently from multiple threads, so it must be `Sync` (all
+/// captures read-only). Falls back to a plain sequential map for small `n`
+/// where thread spawn overhead would dominate.
+pub fn par_map<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = parallelism().min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let slots = &mut out[..];
+    let f = &f;
+    std::thread::scope(|scope| {
+        // Hand each thread a disjoint slice of the output.
+        let mut rest = slots;
+        let mut start = 0;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = start;
+            start += take;
+            scope.spawn(move || {
+                for (offset, slot) in head.iter_mut().enumerate() {
+                    *slot = Some(f(base + offset));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+/// Map `f` over a slice in parallel, preserving order.
+pub fn par_map_slice<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_order() {
+        let got = par_map(1000, |i| i * i);
+        let expect: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn handles_degenerate_sizes() {
+        assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn slice_variant() {
+        let items = vec!["a", "bb", "ccc"];
+        assert_eq!(par_map_slice(&items, |s| s.len()), vec![1, 2, 3]);
+    }
+}

@@ -13,12 +13,10 @@
 //! Instance-hour prices live with the instance catalog in `ppc-compute`.
 
 use crate::money::Usd;
-use serde::{Deserialize, Serialize};
-
 pub const GIB: u64 = 1 << 30;
 
 /// Price book for the infrastructure services of one cloud provider.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PriceBook {
     /// Human-readable provider name ("aws", "azure").
     pub provider: &'static str,

@@ -11,7 +11,7 @@
 //! residency), memory traffic (GTM's bandwidth-bound kernel), and I/O bytes
 //! (what Classic Cloud must move through cloud storage).
 
-use serde::{Deserialize, Serialize};
+use crate::json::Json;
 use std::fmt;
 
 /// Reference clock rate, in GHz, at which [`ResourceProfile::cpu_seconds_ref`]
@@ -20,7 +20,7 @@ use std::fmt;
 pub const REFERENCE_CLOCK_GHZ: f64 = 2.5;
 
 /// Globally unique task identifier within a job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(pub u64);
 
 impl fmt::Display for TaskId {
@@ -31,7 +31,7 @@ impl fmt::Display for TaskId {
 
 /// Resource demands of a single task, measured (or calibrated) at the
 /// reference platform. See the module docs for how the simulator scales it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceProfile {
     /// Pure compute time on one reference core ([`REFERENCE_CLOCK_GHZ`]),
     /// with the working set resident and no memory contention.
@@ -40,7 +40,7 @@ pub struct ResourceProfile {
     pub mem_bytes: u64,
     /// Read-only working set *shared by all workers on a node* — the BLAST
     /// NR database, resident once per instance. Zero for most apps.
-    #[serde(default)]
+    /// Defaults to 0 when absent on the wire.
     pub shared_mem_bytes: u64,
     /// Bytes moved between memory and CPU over the task's life; drives the
     /// bandwidth-contention term for memory-bound kernels like GTM.
@@ -93,7 +93,7 @@ impl ResourceProfile {
 /// A framework-independent description of one unit of pleasingly parallel
 /// work: "run the application on this input object, produce that output
 /// object".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskSpec {
     /// Identity within the job; used for dedup by idempotent re-execution.
     pub id: TaskId,
@@ -129,12 +129,66 @@ impl TaskSpec {
     /// Serialize to the wire format used as a queue message body, mirroring
     /// the paper's "every message in the queue describes a single task".
     pub fn to_message(&self) -> crate::Result<String> {
-        serde_json::to_string(self).map_err(|e| crate::PpcError::Codec(e.to_string()))
+        let p = &self.profile;
+        let doc = Json::Obj(vec![
+            ("id".into(), Json::from(self.id.0)),
+            ("app".into(), Json::from(self.app.as_str())),
+            ("input_key".into(), Json::from(self.input_key.as_str())),
+            ("output_key".into(), Json::from(self.output_key.as_str())),
+            (
+                "profile".into(),
+                Json::Obj(vec![
+                    ("cpu_seconds_ref".into(), Json::from(p.cpu_seconds_ref)),
+                    ("mem_bytes".into(), Json::from(p.mem_bytes)),
+                    ("shared_mem_bytes".into(), Json::from(p.shared_mem_bytes)),
+                    ("mem_traffic_bytes".into(), Json::from(p.mem_traffic_bytes)),
+                    ("input_bytes".into(), Json::from(p.input_bytes)),
+                    ("output_bytes".into(), Json::from(p.output_bytes)),
+                ]),
+            ),
+        ]);
+        Ok(doc.to_string())
     }
 
     /// Parse a queue message body back into a task.
     pub fn from_message(body: &str) -> crate::Result<TaskSpec> {
-        serde_json::from_str(body).map_err(|e| crate::PpcError::Codec(e.to_string()))
+        let doc = Json::parse(body)?;
+        let p = doc.field("profile")?;
+        Ok(TaskSpec {
+            id: TaskId(doc.field("id")?.as_u64()?),
+            app: doc.field("app")?.as_str()?.to_string(),
+            input_key: doc.field("input_key")?.as_str()?.to_string(),
+            output_key: doc.field("output_key")?.as_str()?.to_string(),
+            profile: ResourceProfile {
+                cpu_seconds_ref: p.field("cpu_seconds_ref")?.as_f64()?,
+                mem_bytes: p.field("mem_bytes")?.as_u64()?,
+                // Older messages predate the shared-residency field.
+                shared_mem_bytes: match p.get("shared_mem_bytes") {
+                    Some(v) => v.as_u64()?,
+                    None => 0,
+                },
+                mem_traffic_bytes: p.field("mem_traffic_bytes")?.as_u64()?,
+                input_bytes: p.field("input_bytes")?.as_u64()?,
+                output_bytes: p.field("output_bytes")?.as_u64()?,
+            },
+        })
+    }
+}
+
+/// One task plus the (virtual or wall-clock) offset at which it arrives at
+/// the scheduling queue — the unit of a *bursty* workload. A job whose
+/// tasks all carry `at_s == 0` degenerates to the paper's all-upfront
+/// submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskArrival {
+    pub spec: TaskSpec,
+    /// Seconds after job start at which this task is enqueued.
+    pub at_s: f64,
+}
+
+impl TaskArrival {
+    pub fn upfront(spec: TaskSpec) -> TaskArrival {
+        TaskArrival { spec, at_s: 0.0 }
     }
 }
 

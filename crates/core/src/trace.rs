@@ -5,10 +5,8 @@
 //! view operators use to diagnose load imbalance (e.g. DryadLINQ's static
 //! partitions leaving whole nodes idle while one node grinds on).
 
-use serde::{Deserialize, Serialize};
-
 /// One task execution on one worker.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskInterval {
     /// Flat worker index within the fleet.
     pub worker: usize,
@@ -19,7 +17,7 @@ pub struct TaskInterval {
 }
 
 /// A recorded execution timeline.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Timeline {
     intervals: Vec<TaskInterval>,
 }
@@ -110,6 +108,130 @@ impl Timeline {
     }
 }
 
+/// A step function of fleet size over time — the companion trace to a
+/// [`Timeline`] for *elastic* runs, where the number of billed instances
+/// changes as the autoscaler launches and retires workers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetTimeline {
+    /// `(at_s, fleet_size_after)`, in non-decreasing time order.
+    steps: Vec<(f64, u32)>,
+}
+
+impl FleetTimeline {
+    pub fn new() -> FleetTimeline {
+        FleetTimeline::default()
+    }
+
+    /// Record the fleet reaching `size` at `at_s`. Consecutive records at
+    /// the same instant collapse to the last one.
+    pub fn record(&mut self, at_s: f64, size: u32) {
+        if let Some(last) = self.steps.last_mut() {
+            debug_assert!(at_s >= last.0, "fleet records must be time-ordered");
+            if last.0 == at_s {
+                last.1 = size;
+                return;
+            }
+        }
+        self.steps.push((at_s, size));
+    }
+
+    pub fn steps(&self) -> &[(f64, u32)] {
+        &self.steps
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Fleet size at a given time (0 before the first record).
+    pub fn size_at(&self, at_s: f64) -> u32 {
+        self.steps
+            .iter()
+            .take_while(|(t, _)| *t <= at_s)
+            .last()
+            .map(|&(_, s)| s)
+            .unwrap_or(0)
+    }
+
+    /// Largest fleet ever held.
+    pub fn peak(&self) -> u32 {
+        self.steps.iter().map(|&(_, s)| s).max().unwrap_or(0)
+    }
+
+    /// Time-weighted mean fleet size over `[0, horizon_s]`.
+    pub fn mean_size(&self, horizon_s: f64) -> f64 {
+        if horizon_s <= 0.0 {
+            return 0.0;
+        }
+        let mut area = 0.0;
+        for (i, &(t, s)) in self.steps.iter().enumerate() {
+            let next = self
+                .steps
+                .get(i + 1)
+                .map(|&(t2, _)| t2)
+                .unwrap_or(horizon_s)
+                .min(horizon_s);
+            if next > t {
+                area += (next - t) * s as f64;
+            }
+        }
+        area / horizon_s
+    }
+
+    /// The distinct fleet sizes visited, in order (adjacent duplicates
+    /// collapsed) — the signature cross-engine agreement tests compare.
+    pub fn size_sequence(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for &(_, s) in &self.steps {
+            if out.last() != Some(&s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// Render as an ASCII step chart: one row per fleet size (top = peak),
+    /// `#` while the fleet held at least that many instances. `width`
+    /// columns span `[0, horizon_s]`. Prints next to a Gantt chart of the
+    /// same width, this shows capacity tracking load.
+    pub fn render_ascii(&self, width: usize, horizon_s: f64) -> String {
+        let peak = self.peak();
+        if peak == 0 || width == 0 || horizon_s <= 0.0 {
+            return String::from("(empty fleet timeline)\n");
+        }
+        let mut out = String::new();
+        for level in (1..=peak).rev() {
+            let mut row = vec![b' '; width];
+            for (i, &(t, s)) in self.steps.iter().enumerate() {
+                if s < level {
+                    continue;
+                }
+                let next = self
+                    .steps
+                    .get(i + 1)
+                    .map(|&(t2, _)| t2)
+                    .unwrap_or(horizon_s)
+                    .min(horizon_s);
+                let lo = ((t / horizon_s) * width as f64).floor() as usize;
+                let hi = (((next / horizon_s) * width as f64).ceil() as usize).min(width);
+                for cell in &mut row[lo.min(width.saturating_sub(1))..hi] {
+                    *cell = b'#';
+                }
+            }
+            out.push_str(&format!(
+                "n={level:03} |{}|\n",
+                String::from_utf8_lossy(&row)
+            ));
+        }
+        out.push_str(&format!(
+            "       0s{:>w$}\n",
+            format!("{horizon_s:.0}s"),
+            w = width - 1
+        ));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +274,54 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.utilization(4), 0.0);
         assert_eq!(t.render_ascii(10), "(empty timeline)\n");
+    }
+
+    fn fleet_sample() -> FleetTimeline {
+        let mut f = FleetTimeline::new();
+        f.record(0.0, 2);
+        f.record(10.0, 4);
+        f.record(30.0, 1);
+        f
+    }
+
+    #[test]
+    fn fleet_step_function() {
+        let f = fleet_sample();
+        assert_eq!(f.size_at(0.0), 2);
+        assert_eq!(f.size_at(9.9), 2);
+        assert_eq!(f.size_at(10.0), 4);
+        assert_eq!(f.size_at(100.0), 1);
+        assert_eq!(f.peak(), 4);
+        // (10*2 + 20*4 + 10*1) / 40 = 110/40
+        assert!((f.mean_size(40.0) - 2.75).abs() < 1e-12);
+        assert_eq!(f.size_sequence(), vec![2, 4, 1]);
+    }
+
+    #[test]
+    fn fleet_same_instant_collapses() {
+        let mut f = FleetTimeline::new();
+        f.record(5.0, 3);
+        f.record(5.0, 4);
+        assert_eq!(f.steps(), &[(5.0, 4)]);
+    }
+
+    #[test]
+    fn fleet_render_rows_per_level() {
+        let f = fleet_sample();
+        let art = f.render_ascii(40, 40.0);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 5, "4 levels + axis");
+        assert!(lines[0].starts_with("n=004"));
+        // Level 1 is held for the whole horizon.
+        let bottom = lines[3];
+        assert_eq!(bottom.matches('#').count(), 40);
+        // Level 4 only during [10, 30).
+        let top = lines[0].matches('#').count();
+        assert!((18..=22).contains(&top), "top row {top}");
+        // Empty cases degrade gracefully.
+        assert_eq!(
+            FleetTimeline::new().render_ascii(10, 10.0),
+            "(empty fleet timeline)\n"
+        );
     }
 }

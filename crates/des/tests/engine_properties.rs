@@ -1,18 +1,21 @@
-//! Property-based tests for the discrete-event engine: the determinism and
-//! ordering guarantees every platform simulation depends on.
+//! Randomized property tests for the discrete-event engine: the determinism
+//! and ordering guarantees every platform simulation depends on. Cases are
+//! generated with the workspace's own deterministic PRNG so failures
+//! reproduce exactly from the printed seed.
 
+use ppc_core::rng::Pcg32;
 use ppc_des::{Engine, SimTime};
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Events fire in non-decreasing time order regardless of the schedule
-    /// order, and same-time events fire in insertion order.
-    #[test]
-    fn fires_in_time_then_insertion_order(times in prop::collection::vec(0u64..1000, 1..200)) {
+/// Events fire in non-decreasing time order regardless of the schedule
+/// order, and same-time events fire in insertion order.
+#[test]
+fn fires_in_time_then_insertion_order() {
+    for seed in 0..128u64 {
+        let mut rng = Pcg32::new(0x0DE8 + seed);
+        let n = 1 + rng.next_below(199) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.next_below(1000) as u64).collect();
         let mut engine = Engine::new();
         let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::default();
         for (seq, &t) in times.iter().enumerate() {
@@ -23,80 +26,109 @@ proptest! {
         }
         let end = engine.run();
         let fired = log.borrow();
-        prop_assert_eq!(fired.len(), times.len());
+        assert_eq!(fired.len(), times.len());
         for pair in fired.windows(2) {
-            prop_assert!(pair[0].0 <= pair[1].0, "time order violated");
+            assert!(pair[0].0 <= pair[1].0, "time order violated, seed {seed}");
             if pair[0].0 == pair[1].0 {
-                prop_assert!(pair[0].1 < pair[1].1, "insertion order violated at equal times");
+                assert!(
+                    pair[0].1 < pair[1].1,
+                    "insertion order violated at equal times, seed {seed}"
+                );
             }
         }
         let max = times.iter().copied().max().unwrap();
-        prop_assert_eq!(end, SimTime::from_millis(max));
+        assert_eq!(end, SimTime::from_millis(max));
     }
+}
 
-    /// Cascading events (each schedules a follow-up) keep the clock
-    /// monotone and fire everything exactly once.
-    #[test]
-    fn cascades_are_monotone(delays in prop::collection::vec(0u64..100, 1..50)) {
+/// Cascading events (each schedules a follow-up) keep the clock
+/// monotone and fire everything exactly once.
+#[test]
+fn cascades_are_monotone() {
+    fn chain(e: &mut Engine, delays: Rc<Vec<u64>>, idx: usize, log: Rc<RefCell<Vec<u64>>>) {
+        log.borrow_mut().push(e.now().as_micros());
+        if idx + 1 < delays.len() {
+            let d = delays[idx + 1];
+            let log2 = log.clone();
+            let delays2 = delays.clone();
+            e.schedule_in(SimTime::from_millis(d), move |e| {
+                chain(e, delays2, idx + 1, log2)
+            });
+        }
+    }
+    for seed in 0..128u64 {
+        let mut rng = Pcg32::new(0xCA5C + seed);
+        let n = 1 + rng.next_below(49) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| rng.next_below(100) as u64).collect();
         let mut engine = Engine::new();
         let log: Rc<RefCell<Vec<u64>>> = Rc::default();
-        // Chain: event i schedules event i+1 after delays[i+1].
-        fn chain(e: &mut Engine, delays: Rc<Vec<u64>>, idx: usize, log: Rc<RefCell<Vec<u64>>>) {
-            log.borrow_mut().push(e.now().as_micros());
-            if idx + 1 < delays.len() {
-                let d = delays[idx + 1];
-                let log2 = log.clone();
-                let delays2 = delays.clone();
-                e.schedule_in(SimTime::from_millis(d), move |e| chain(e, delays2, idx + 1, log2));
-            }
-        }
         let delays = Rc::new(delays);
         let d0 = delays[0];
         let log2 = log.clone();
         let delays2 = delays.clone();
-        engine.schedule_at(SimTime::from_millis(d0), move |e| chain(e, delays2, 0, log2));
+        engine.schedule_at(SimTime::from_millis(d0), move |e| {
+            chain(e, delays2, 0, log2)
+        });
         engine.run();
         let fired = log.borrow();
-        prop_assert_eq!(fired.len(), delays.len());
+        assert_eq!(fired.len(), delays.len());
         for pair in fired.windows(2) {
-            prop_assert!(pair[0] <= pair[1]);
+            assert!(pair[0] <= pair[1], "seed {seed}");
         }
         let total: u64 = delays.iter().sum();
-        prop_assert_eq!(*fired.last().unwrap(), total * 1000);
+        assert_eq!(*fired.last().unwrap(), total * 1000, "seed {seed}");
     }
+}
 
-    /// run_until never fires past the deadline; the remainder still runs.
-    #[test]
-    fn run_until_partitions_cleanly(times in prop::collection::vec(0u64..1000, 1..100), cut in 0u64..1000) {
+/// run_until never fires past the deadline; the remainder still runs.
+#[test]
+fn run_until_partitions_cleanly() {
+    for seed in 0..128u64 {
+        let mut rng = Pcg32::new(0x0C07 + seed);
+        let n = 1 + rng.next_below(99) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.next_below(1000) as u64).collect();
+        let cut = rng.next_below(1000) as u64;
         let mut engine = Engine::new();
         let log: Rc<RefCell<Vec<u64>>> = Rc::default();
         for &t in &times {
             let log = log.clone();
-            engine.schedule_at(SimTime::from_millis(t), move |e| log.borrow_mut().push(e.now().as_micros()));
+            engine.schedule_at(SimTime::from_millis(t), move |e| {
+                log.borrow_mut().push(e.now().as_micros())
+            });
         }
         engine.run_until(SimTime::from_millis(cut));
         let early = log.borrow().len();
         let expected_early = times.iter().filter(|&&t| t <= cut).count();
-        prop_assert_eq!(early, expected_early);
+        assert_eq!(early, expected_early, "seed {seed}");
         engine.run();
-        prop_assert_eq!(log.borrow().len(), times.len());
+        assert_eq!(log.borrow().len(), times.len(), "seed {seed}");
     }
+}
 
-    /// SimTime billing hours: ceiling, 1-hour granularity, monotone.
-    #[test]
-    fn billed_hours_monotone(secs in prop::collection::vec(0u64..20_000, 2..20)) {
-        let mut sorted = secs.clone();
+/// SimTime billing hours: ceiling, 1-hour granularity, monotone.
+#[test]
+fn billed_hours_monotone() {
+    for seed in 0..128u64 {
+        let mut rng = Pcg32::new(0xB111 + seed);
+        let n = 2 + rng.next_below(18) as usize;
+        let mut sorted: Vec<u64> = (0..n).map(|_| rng.next_below(20_000) as u64).collect();
         sorted.sort_unstable();
-        let hours: Vec<u64> = sorted.iter().map(|&s| SimTime::from_secs(s).billed_hours()).collect();
+        let hours: Vec<u64> = sorted
+            .iter()
+            .map(|&s| SimTime::from_secs(s).billed_hours())
+            .collect();
         for pair in hours.windows(2) {
-            prop_assert!(pair[0] <= pair[1]);
+            assert!(pair[0] <= pair[1], "seed {seed}");
         }
         for (&s, &h) in sorted.iter().zip(&hours) {
             if s == 0 {
-                prop_assert_eq!(h, 0);
+                assert_eq!(h, 0);
             } else {
-                prop_assert!(h * 3600 >= s, "ceiling covers duration");
-                prop_assert!((h - 1) * 3600 < s, "no over-billing by a whole hour");
+                assert!(h * 3600 >= s, "ceiling covers duration, seed {seed}");
+                assert!(
+                    (h - 1) * 3600 < s,
+                    "no over-billing by a whole hour, seed {seed}"
+                );
             }
         }
     }
@@ -106,7 +138,6 @@ proptest! {
 /// total busy time equals the sum of service times.
 #[test]
 fn fifo_server_conserves_work() {
-    use ppc_core::rng::Pcg32;
     use ppc_des::FifoServer;
     let mut rng = Pcg32::new(99);
     for _ in 0..20 {

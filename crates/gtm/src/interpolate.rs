@@ -11,45 +11,41 @@
 
 use crate::linalg::Matrix;
 use crate::train::GtmModel;
-use rayon::prelude::*;
 
 /// Project out-of-sample rows through a trained model; returns `N × 2`
-/// latent coordinates. Parallelizes over points with rayon (the per-worker
-/// threading an Azure/EC2 worker would use).
+/// latent coordinates. Parallelizes over points (the per-worker threading
+/// an Azure/EC2 worker would use).
 pub fn interpolate(model: &GtmModel, out_of_samples: &Matrix) -> Matrix {
     let y = model.y();
     let k = y.rows();
     let n = out_of_samples.rows();
     let beta = model.beta;
-    let coords: Vec<[f64; 2]> = (0..n)
-        .into_par_iter()
-        .map(|nn| {
-            // Responsibilities for this point (log-sum-exp stabilized).
-            let mut logs = vec![0.0f64; k];
-            let mut max_log = f64::NEG_INFINITY;
-            for (kk, slot) in logs.iter_mut().enumerate() {
-                let d2 = y.row_sq_dist(kk, out_of_samples, nn);
-                let lp = -0.5 * beta * d2;
-                *slot = lp;
-                if lp > max_log {
-                    max_log = lp;
-                }
+    let coords: Vec<[f64; 2]> = ppc_core::par::par_map(n, |nn| {
+        // Responsibilities for this point (log-sum-exp stabilized).
+        let mut logs = vec![0.0f64; k];
+        let mut max_log = f64::NEG_INFINITY;
+        for (kk, slot) in logs.iter_mut().enumerate() {
+            let d2 = y.row_sq_dist(kk, out_of_samples, nn);
+            let lp = -0.5 * beta * d2;
+            *slot = lp;
+            if lp > max_log {
+                max_log = lp;
             }
-            let mut sum = 0.0;
-            for l in logs.iter_mut() {
-                *l = (*l - max_log).exp();
-                sum += *l;
-            }
-            let mut cx = 0.0;
-            let mut cy = 0.0;
-            for (kk, &l) in logs.iter().enumerate() {
-                let r = l / sum;
-                cx += r * model.grid.points[(kk, 0)];
-                cy += r * model.grid.points[(kk, 1)];
-            }
-            [cx, cy]
-        })
-        .collect();
+        }
+        let mut sum = 0.0;
+        for l in logs.iter_mut() {
+            *l = (*l - max_log).exp();
+            sum += *l;
+        }
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for (kk, &l) in logs.iter().enumerate() {
+            let r = l / sum;
+            cx += r * model.grid.points[(kk, 0)];
+            cy += r * model.grid.points[(kk, 1)];
+        }
+        [cx, cy]
+    });
     let mut out = Matrix::zeros(n, 2);
     for (i, c) in coords.into_iter().enumerate() {
         out[(i, 0)] = c[0];

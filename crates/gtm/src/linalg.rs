@@ -9,7 +9,7 @@
 use ppc_core::{PpcError, Result};
 
 /// A dense row-major matrix.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

@@ -3,7 +3,7 @@
 use crate::linalg::Matrix;
 
 /// A square grid of points in the 2-D latent space `[-1, 1]²`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatentGrid {
     /// Grid side; the grid has `side²` points.
     pub side: usize,
@@ -31,7 +31,7 @@ impl LatentGrid {
 }
 
 /// An RBF basis: `n_centers` Gaussians on a coarser grid plus a bias term.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RbfBasis {
     pub centers: Matrix,
     /// Gaussian width.

@@ -35,7 +35,7 @@ impl Default for TrainConfig {
 }
 
 /// A trained GTM.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GtmModel {
     pub grid: LatentGrid,
     pub basis: RbfBasis,
@@ -73,50 +73,100 @@ impl GtmModel {
     /// counterpart of pre-distributing the BLAST database (§5): train once,
     /// ship the (small) model, interpolate everywhere.
     pub fn to_bytes(&self) -> Result<Vec<u8>> {
-        serde_json::to_vec(self).map_err(|e| PpcError::Codec(e.to_string()))
+        use ppc_core::json::Json;
+        let doc = Json::Obj(vec![
+            ("grid_side".into(), Json::from(self.grid.side)),
+            ("grid_points".into(), matrix_json(&self.grid.points)),
+            ("centers".into(), matrix_json(&self.basis.centers)),
+            ("sigma".into(), Json::from(self.basis.sigma)),
+            ("phi".into(), matrix_json(&self.phi)),
+            ("w".into(), matrix_json(&self.w)),
+            ("beta".into(), Json::from(self.beta)),
+            (
+                "log_likelihood".into(),
+                self.log_likelihood.iter().copied().collect(),
+            ),
+        ]);
+        Ok(doc.to_string().into_bytes())
     }
 
     /// Load a model serialized with [`GtmModel::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Result<GtmModel> {
-        serde_json::from_slice(bytes).map_err(|e| PpcError::Codec(e.to_string()))
+        use ppc_core::json::Json;
+        let text =
+            std::str::from_utf8(bytes).map_err(|e| PpcError::Codec(format!("not utf-8: {e}")))?;
+        let doc = Json::parse(text)?;
+        Ok(GtmModel {
+            grid: LatentGrid {
+                side: doc.field("grid_side")?.as_usize()?,
+                points: matrix_from_json(doc.field("grid_points")?)?,
+            },
+            basis: crate::rbf::RbfBasis {
+                centers: matrix_from_json(doc.field("centers")?)?,
+                sigma: doc.field("sigma")?.as_f64()?,
+            },
+            phi: matrix_from_json(doc.field("phi")?)?,
+            w: matrix_from_json(doc.field("w")?)?,
+            beta: doc.field("beta")?.as_f64()?,
+            log_likelihood: doc.field("log_likelihood")?.as_f64_vec()?,
+        })
     }
+}
+
+/// Matrix wire form: `{"rows": R, "cols": C, "data": [row-major floats]}`.
+fn matrix_json(m: &Matrix) -> ppc_core::json::Json {
+    use ppc_core::json::Json;
+    Json::Obj(vec![
+        ("rows".into(), Json::from(m.rows())),
+        ("cols".into(), Json::from(m.cols())),
+        ("data".into(), m.data().iter().copied().collect()),
+    ])
+}
+
+fn matrix_from_json(v: &ppc_core::json::Json) -> Result<Matrix> {
+    let rows = v.field("rows")?.as_usize()?;
+    let cols = v.field("cols")?.as_usize()?;
+    let data = v.field("data")?.as_f64_vec()?;
+    if data.len() != rows * cols {
+        return Err(PpcError::Codec(format!(
+            "matrix payload is {} values for a {rows}x{cols} shape",
+            data.len()
+        )));
+    }
+    Ok(Matrix::from_flat(rows, cols, data))
 }
 
 /// Responsibilities `R (K × N)` of grid images `y` for data rows, plus the
 /// data log-likelihood. Log-sum-exp stabilized; columns are independent, so
-/// the E-step parallelizes over data points with rayon (this is the
-/// "compute-intensive training process" §6 describes).
+/// the E-step parallelizes over data points (this is the "compute-intensive
+/// training process" §6 describes).
 pub(crate) fn responsibilities(y: &Matrix, data: &Matrix, beta: f64) -> (Matrix, f64) {
-    use rayon::prelude::*;
     let k = y.rows();
     let n = data.rows();
     let d = data.cols();
     let log_prior = -(k as f64).ln();
     let log_norm = 0.5 * d as f64 * (beta / (2.0 * std::f64::consts::PI)).ln();
-    let columns: Vec<(Vec<f64>, f64)> = (0..n)
-        .into_par_iter()
-        .map(|nn| {
-            let mut col = vec![0.0f64; k];
-            let mut max_log = f64::NEG_INFINITY;
-            for (kk, c) in col.iter_mut().enumerate() {
-                let d2 = y.row_sq_dist(kk, data, nn);
-                let lp = -0.5 * beta * d2;
-                *c = lp;
-                if lp > max_log {
-                    max_log = lp;
-                }
+    let columns: Vec<(Vec<f64>, f64)> = ppc_core::par::par_map(n, |nn| {
+        let mut col = vec![0.0f64; k];
+        let mut max_log = f64::NEG_INFINITY;
+        for (kk, c) in col.iter_mut().enumerate() {
+            let d2 = y.row_sq_dist(kk, data, nn);
+            let lp = -0.5 * beta * d2;
+            *c = lp;
+            if lp > max_log {
+                max_log = lp;
             }
-            let mut sum = 0.0;
-            for c in col.iter_mut() {
-                *c = (*c - max_log).exp();
-                sum += *c;
-            }
-            for c in col.iter_mut() {
-                *c /= sum;
-            }
-            (col, max_log + sum.ln() + log_prior + log_norm)
-        })
-        .collect();
+        }
+        let mut sum = 0.0;
+        for c in col.iter_mut() {
+            *c = (*c - max_log).exp();
+            sum += *c;
+        }
+        for c in col.iter_mut() {
+            *c /= sum;
+        }
+        (col, max_log + sum.ln() + log_prior + log_norm)
+    });
     let mut r = Matrix::zeros(k, n);
     let mut loglik = 0.0;
     for (nn, (col, ll)) in columns.into_iter().enumerate() {

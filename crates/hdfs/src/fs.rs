@@ -8,8 +8,8 @@
 
 use crate::block::{BlockId, BlockInfo, DataNodeId, FileStatus};
 use crate::placement::PlacementPolicy;
-use parking_lot::RwLock;
 use ppc_core::rng::Pcg32;
+use ppc_core::sync::RwLock;
 use ppc_core::{PpcError, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

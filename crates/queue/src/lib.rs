@@ -31,6 +31,6 @@ pub mod service;
 
 pub use chaos::ChaosConfig;
 pub use message::{Message, MessageId, ReceiptHandle};
-pub use queue::{Queue, QueueConfig, QueueStats};
+pub use queue::{Queue, QueueConfig, QueueMetricsSnapshot, QueueStats};
 pub use redrive::{RedrivePolicy, RedriveQueue};
 pub use service::QueueService;

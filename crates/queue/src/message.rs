@@ -1,11 +1,10 @@
 //! Message identity and receipt handles.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Stable identity of a message, assigned at send time. The same id is seen
 /// by every receiver of every redelivery of the message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MessageId(pub u64);
 
 impl fmt::Display for MessageId {
@@ -18,7 +17,7 @@ impl fmt::Display for MessageId {
 /// and visibility changes require the receipt of the most recent receive —
 /// once the visibility timeout lapses and the message reappears, old receipts
 /// are dead, exactly as with SQS receipt handles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReceiptHandle(pub u64);
 
 impl fmt::Display for ReceiptHandle {

@@ -2,8 +2,8 @@
 
 use crate::chaos::ChaosConfig;
 use crate::message::{Message, MessageId, ReceiptHandle};
-use parking_lot::Mutex;
 use ppc_core::rng::Pcg32;
+use ppc_core::sync::Mutex;
 use ppc_core::{PpcError, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,6 +67,28 @@ impl QueueStats {
             + self.receives.load(Ordering::Relaxed)
             + self.deletes.load(Ordering::Relaxed)
             + self.failed_deletes.load(Ordering::Relaxed)
+    }
+}
+
+/// One atomic reading of a queue's monitoring metrics, taken under a single
+/// lock acquisition so the three numbers are mutually consistent — unlike
+/// calling [`Queue::approximate_len`], [`Queue::approximate_in_flight`] and
+/// [`Queue::approximate_age_of_oldest`] back to back, where messages can
+/// move between pools mid-read. Autoscaling policies key off this snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueMetricsSnapshot {
+    /// Visible (receivable) messages.
+    pub visible: usize,
+    /// Received, undeleted messages currently under lease.
+    pub in_flight: usize,
+    /// Age of the oldest visible message; `None` when nothing is visible.
+    pub oldest_age: Option<Duration>,
+}
+
+impl QueueMetricsSnapshot {
+    /// Total outstanding messages: visible plus leased.
+    pub fn outstanding(&self) -> usize {
+        self.visible + self.in_flight
     }
 }
 
@@ -366,6 +388,23 @@ impl Queue {
         state.visible.iter().map(|m| m.sent_at.elapsed()).max()
     }
 
+    /// All monitoring metrics in one consistent read (one lock hold): the
+    /// feed for `ppc-autoscale` controllers.
+    pub fn metrics_snapshot(&self) -> QueueMetricsSnapshot {
+        let now = Instant::now();
+        let mut state = self.state.lock();
+        self.expire_in_flight(&mut state, now);
+        QueueMetricsSnapshot {
+            visible: state.visible.len(),
+            in_flight: state.in_flight.len(),
+            oldest_age: state
+                .visible
+                .iter()
+                .map(|m| now.saturating_duration_since(m.sent_at))
+                .max(),
+        }
+    }
+
     /// True when no message is visible nor in flight.
     pub fn is_drained(&self) -> bool {
         let mut state = self.state.lock();
@@ -559,6 +598,28 @@ mod tests {
         };
         let q = Queue::new("q", cfg);
         assert!(q.send("x").unwrap_err().is_retryable());
+    }
+
+    #[test]
+    fn metrics_snapshot_is_consistent() {
+        let q = quick_queue(10_000);
+        for i in 0..5 {
+            q.send(format!("{i}")).unwrap();
+        }
+        let a = q.receive().unwrap().unwrap();
+        let _b = q.receive().unwrap().unwrap();
+        let snap = q.metrics_snapshot();
+        assert_eq!(snap.visible, 3);
+        assert_eq!(snap.in_flight, 2);
+        assert_eq!(snap.outstanding(), 5);
+        assert!(snap.oldest_age.is_some());
+        q.delete(a.receipt).unwrap();
+        assert_eq!(q.metrics_snapshot().outstanding(), 4);
+        // Empty queue: no age.
+        let empty = Queue::new("e", QueueConfig::default());
+        let snap = empty.metrics_snapshot();
+        assert_eq!(snap.outstanding(), 0);
+        assert!(snap.oldest_age.is_none());
     }
 
     #[test]

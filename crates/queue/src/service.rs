@@ -6,9 +6,9 @@
 //! plus account-level billing.
 
 use crate::queue::{Queue, QueueConfig};
-use parking_lot::RwLock;
 use ppc_core::money::Usd;
 use ppc_core::pricing::PriceBook;
+use ppc_core::sync::RwLock;
 use ppc_core::{PpcError, Result};
 use std::collections::HashMap;
 use std::sync::Arc;

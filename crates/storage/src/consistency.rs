@@ -7,8 +7,8 @@
 //! comparable to ..."). [`ConsistencyModel`] decides, per read, whether a
 //! recently written object is visible yet.
 
-use parking_lot::Mutex;
 use ppc_core::rng::Pcg32;
+use ppc_core::sync::Mutex;
 
 /// Controls how reads behave shortly after writes.
 #[derive(Debug)]

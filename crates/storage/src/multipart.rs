@@ -3,7 +3,7 @@
 //! (in any order, retrying individually), complete or abort.
 
 use crate::service::StorageService;
-use parking_lot::Mutex;
+use ppc_core::sync::Mutex;
 use ppc_core::{PpcError, Result};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};

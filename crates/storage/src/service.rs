@@ -8,7 +8,7 @@
 use crate::consistency::ConsistencyModel;
 use crate::latency::LatencyModel;
 use crate::metering::Metering;
-use parking_lot::RwLock;
+use ppc_core::sync::RwLock;
 use ppc_core::{PpcError, Result};
 use std::collections::HashMap;
 use std::sync::Arc;

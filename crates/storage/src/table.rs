@@ -7,7 +7,7 @@
 //! `(partition_key, row_key)`, strongly ordered range queries within a
 //! partition, and optimistic concurrency via ETags.
 
-use parking_lot::RwLock;
+use ppc_core::sync::RwLock;
 use ppc_core::{PpcError, Result};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -24,6 +24,7 @@
 //! `cargo run --release -p ppc-bench --bin all`.
 
 pub use ppc_apps as apps;
+pub use ppc_autoscale as autoscale;
 pub use ppc_bio as bio;
 pub use ppc_classic as classic;
 pub use ppc_compute as compute;

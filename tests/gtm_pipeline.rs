@@ -42,7 +42,9 @@ fn gtm_interpolation_through_classic_cloud() {
     let job = JobSpec::new("gtm", inputs.iter().map(|(t, _)| t.clone()).collect());
     storage.create_bucket(&job.input_bucket).unwrap();
     for (spec, payload) in &inputs {
-        storage.put(&job.input_bucket, &spec.input_key, payload.clone()).unwrap();
+        storage
+            .put(&job.input_bucket, &spec.input_key, payload.clone())
+            .unwrap();
     }
     let report = run_job(
         &storage,
@@ -63,7 +65,10 @@ fn gtm_interpolation_through_classic_cloud() {
         let via_framework = decode_points(&out).unwrap();
         let block = decode_points(payload).unwrap();
         let direct = ppc::gtm::interpolate::interpolate(&worker_model, &block);
-        assert_eq!(via_framework, direct, "framework transport must not perturb results");
+        assert_eq!(
+            via_framework, direct,
+            "framework transport must not perturb results"
+        );
         assert_eq!(via_framework.cols(), 2);
         // All projections inside the latent square.
         for i in 0..via_framework.rows() {

@@ -1,110 +1,169 @@
-//! Cross-crate property-based tests (proptest).
+//! Cross-crate randomized property tests.
+//!
+//! Each test drives its invariant over many seeded-random cases using the
+//! workspace's own deterministic PRNG, so failures reproduce exactly from
+//! the printed seed without an external property-testing framework.
 
 use ppc::bio::assembly::{assemble, AssemblyParams};
 use ppc::bio::fasta::{self, FastaRecord};
 use ppc::core::money::Usd;
+use ppc::core::rng::Pcg32;
 use ppc::dryad::linq::DVec;
 use ppc::dryad::partition::{partition_contiguous, partition_round_robin};
 use ppc::queue::queue::{Queue, QueueConfig};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const ID_CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_.";
 
-    /// FASTA format/parse is a lossless round trip for arbitrary records.
-    #[test]
-    fn fasta_round_trip(records in prop::collection::vec(
-        ("[A-Za-z0-9_.]{1,12}", prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T', b'N']), 0..300)),
-        1..8,
-    )) {
-        let recs: Vec<FastaRecord> = records
-            .into_iter()
-            .enumerate()
-            .map(|(i, (id, seq))| FastaRecord::new(format!("{id}{i}"), seq))
+fn random_id(rng: &mut Pcg32) -> String {
+    let len = 1 + rng.next_below(12) as usize;
+    (0..len)
+        .map(|_| *rng.choose(ID_CHARS).unwrap() as char)
+        .collect()
+}
+
+fn random_bases(rng: &mut Pcg32, alphabet: &[u8], max_len: usize) -> Vec<u8> {
+    let len = rng.next_below(max_len as u32) as usize;
+    (0..len).map(|_| *rng.choose(alphabet).unwrap()).collect()
+}
+
+/// FASTA format/parse is a lossless round trip for arbitrary records.
+#[test]
+fn fasta_round_trip() {
+    for seed in 0..64u64 {
+        let mut rng = Pcg32::new(0xFA57A + seed);
+        let n = 1 + rng.next_below(7) as usize;
+        let recs: Vec<FastaRecord> = (0..n)
+            .map(|i| {
+                let id = format!("{}{i}", random_id(&mut rng));
+                let seq = random_bases(&mut rng, b"ACGTN", 300);
+                FastaRecord::new(id, seq)
+            })
             .collect();
         let bytes = fasta::format(&recs);
         let back = fasta::parse(&bytes).unwrap();
-        prop_assert_eq!(back, recs);
+        assert_eq!(back, recs, "seed {seed}");
     }
+}
 
-    /// Reverse complement is an involution on DNA.
-    #[test]
-    fn revcomp_involution(seq in prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..200)) {
+/// Reverse complement is an involution on DNA.
+#[test]
+fn revcomp_involution() {
+    for seed in 0..64u64 {
+        let mut rng = Pcg32::new(0xDCBA + seed);
+        let seq = random_bases(&mut rng, b"ACGT", 200);
         let rc = fasta::reverse_complement(&seq);
-        prop_assert_eq!(fasta::reverse_complement(&rc), seq);
+        assert_eq!(fasta::reverse_complement(&rc), seq, "seed {seed}");
     }
+}
 
-    /// Every read ends up in exactly one contig or the singleton list.
-    #[test]
-    fn assembly_conserves_reads(seed in 0u64..500) {
-        use ppc::bio::simulate::{random_genome, shotgun_reads, ShotgunParams};
+/// Every read ends up in exactly one contig or the singleton list.
+#[test]
+fn assembly_conserves_reads() {
+    use ppc::bio::simulate::{random_genome, shotgun_reads, ShotgunParams};
+    for seed in 0..48u64 {
         let genome = random_genome(600, seed);
         let reads = shotgun_reads(
             &genome,
-            &ShotgunParams { n_reads: 20, read_len_mean: 120.0, read_len_sd: 15.0, ..Default::default() },
+            &ShotgunParams {
+                n_reads: 20,
+                read_len_mean: 120.0,
+                read_len_sd: 15.0,
+                ..Default::default()
+            },
             seed + 1,
         );
         let asm = assemble(&reads, &AssemblyParams::default());
         let mut seen: Vec<&str> = asm.singletons.iter().map(String::as_str).collect();
         for c in &asm.contigs {
-            prop_assert!(c.n_reads() >= 2, "contigs have at least two reads");
+            assert!(c.n_reads() >= 2, "contigs have at least two reads");
             seen.extend(c.read_ids.iter().map(String::as_str));
         }
         seen.sort_unstable();
         let mut expect: Vec<&str> = reads.iter().map(|r| r.id.as_str()).collect();
         expect.sort_unstable();
-        prop_assert_eq!(seen, expect);
+        assert_eq!(seen, expect, "seed {seed}");
     }
+}
 
-    /// Money arithmetic is exact: scaling by n equals summing n copies.
-    #[test]
-    fn money_scaling_exact(cents in 1i64..100_000, n in 1i64..500) {
+/// Money arithmetic is exact: scaling by n equals summing n copies.
+#[test]
+fn money_scaling_exact() {
+    let mut rng = Pcg32::new(0xCA5);
+    for case in 0..64 {
+        let cents = 1 + rng.next_below(100_000) as i64;
+        let n = 1 + rng.next_below(500) as i64;
         let unit = Usd::cents(cents);
         let summed: Usd = std::iter::repeat_n(unit, n as usize).sum();
-        prop_assert_eq!(summed, unit * n);
-        prop_assert_eq!(summed - unit * (n - 1), unit);
+        assert_eq!(summed, unit * n, "case {case}");
+        assert_eq!(summed - unit * (n - 1), unit, "case {case}");
     }
+}
 
-    /// Partitioners conserve items and respect the partition count.
-    #[test]
-    fn partitioners_conserve(items in prop::collection::vec(any::<u32>(), 0..200), n in 1usize..16) {
-        for parts in [partition_round_robin(items.clone(), n), partition_contiguous(items.clone(), n)] {
-            prop_assert_eq!(parts.len(), n);
+/// Partitioners conserve items and respect the partition count.
+#[test]
+fn partitioners_conserve() {
+    for seed in 0..64u64 {
+        let mut rng = Pcg32::new(0xBA1A + seed);
+        let len = rng.next_below(200) as usize;
+        let items: Vec<u32> = (0..len).map(|_| rng.next_u32()).collect();
+        let n = 1 + rng.next_below(15) as usize;
+        for parts in [
+            partition_round_robin(items.clone(), n),
+            partition_contiguous(items.clone(), n),
+        ] {
+            assert_eq!(parts.len(), n);
             let mut flat: Vec<u32> = parts.into_iter().flatten().collect();
             let mut expect = items.clone();
             flat.sort_unstable();
             expect.sort_unstable();
-            prop_assert_eq!(flat, expect);
+            assert_eq!(flat, expect, "seed {seed}");
         }
         // Round-robin balance: sizes differ by at most one.
-        let sizes: Vec<usize> = partition_round_robin(items.clone(), n).iter().map(Vec::len).collect();
+        let sizes: Vec<usize> = partition_round_robin(items.clone(), n)
+            .iter()
+            .map(Vec::len)
+            .collect();
         let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
-        prop_assert!(max - min <= 1);
+        assert!(max - min <= 1, "seed {seed}");
     }
+}
 
-    /// DVec select/where agree with the sequential equivalents.
-    #[test]
-    fn dvec_matches_vec(items in prop::collection::vec(-1000i64..1000, 0..300), n in 1usize..8) {
-        let d = DVec::distribute(items.clone(), n).select(|x| x * 3).where_(|x| x % 2 == 0);
+/// DVec select/where agree with the sequential equivalents.
+#[test]
+fn dvec_matches_vec() {
+    for seed in 0..64u64 {
+        let mut rng = Pcg32::new(0xD7EC + seed);
+        let len = rng.next_below(300) as usize;
+        let items: Vec<i64> = (0..len)
+            .map(|_| rng.next_below(2000) as i64 - 1000)
+            .collect();
+        let n = 1 + rng.next_below(7) as usize;
+        let d = DVec::distribute(items.clone(), n)
+            .select(|x| x * 3)
+            .where_(|x| x % 2 == 0);
         let mut got = d.collect();
         got.sort_unstable();
         let mut expect: Vec<i64> = items.iter().map(|x| x * 3).filter(|x| x % 2 == 0).collect();
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "seed {seed}");
     }
+}
 
-    /// Queue conservation: after arbitrary interleavings of send/receive/
-    /// delete, every sent message was either deleted exactly once or is
-    /// still present (visible or in flight) — none vanish, none duplicate
-    /// into the delete set.
-    #[test]
-    fn queue_conserves_messages(ops in prop::collection::vec(0u8..3, 1..120)) {
+/// Queue conservation: after arbitrary interleavings of send/receive/
+/// delete, every sent message was either deleted exactly once or is
+/// still present (visible or in flight) — none vanish, none duplicate
+/// into the delete set.
+#[test]
+fn queue_conserves_messages() {
+    for seed in 0..64u64 {
+        let mut rng = Pcg32::new(0x0_0E + seed);
         let q = Queue::new("prop", QueueConfig::default());
         let mut sent = 0u64;
         let mut deleted = std::collections::HashSet::new();
         let mut in_hand = Vec::new();
-        for op in ops {
-            match op {
+        let n_ops = 1 + rng.next_below(119) as usize;
+        for _ in 0..n_ops {
+            match rng.next_below(3) {
                 0 => {
                     q.send(format!("m{sent}")).unwrap();
                     sent += 1;
@@ -119,57 +178,74 @@ proptest! {
                         // Receipt may be stale only if visibility lapsed; with
                         // the default 30 s timeout it cannot in-test.
                         q.delete(m.receipt).unwrap();
-                        prop_assert!(deleted.insert(m.id), "double delete of {:?}", m.id);
+                        assert!(deleted.insert(m.id), "double delete of {:?}", m.id);
                     }
                 }
             }
         }
         let remaining = q.approximate_len() + q.approximate_in_flight();
-        prop_assert_eq!(deleted.len() + remaining, sent as usize);
+        assert_eq!(deleted.len() + remaining, sent as usize, "seed {seed}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Six-frame translation invariants: always six frames for DNA of
-    /// length >= 5, frame lengths = floor((len - offset)/3), and the
-    /// reverse frames translate the reverse complement.
-    #[test]
-    fn six_frames_invariants(seq in prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 5..120)) {
-        use ppc::bio::codon::{six_frames, translate_frame};
-        use ppc::bio::fasta::reverse_complement;
+/// Six-frame translation invariants: always six frames for DNA of
+/// length >= 5, frame lengths = floor((len - offset)/3), and the
+/// reverse frames translate the reverse complement.
+#[test]
+fn six_frames_invariants() {
+    use ppc::bio::codon::{six_frames, translate_frame};
+    use ppc::bio::fasta::reverse_complement;
+    for seed in 0..64u64 {
+        let mut rng = Pcg32::new(0x6F + seed);
+        let len = 5 + rng.next_below(115) as usize;
+        let seq: Vec<u8> = (0..len).map(|_| *rng.choose(b"ACGT").unwrap()).collect();
         let frames = six_frames(&seq);
-        prop_assert_eq!(frames.len(), 6);
+        assert_eq!(frames.len(), 6);
         let rc = reverse_complement(&seq);
         for f in &frames {
             let offset = (f.frame.unsigned_abs() - 1) as usize;
-            prop_assert_eq!(f.protein.len(), (seq.len() - offset) / 3, "frame {}", f.frame);
-            let expect = if f.frame > 0 { translate_frame(&seq, offset) } else { translate_frame(&rc, offset) };
-            prop_assert_eq!(&f.protein, &expect, "frame {}", f.frame);
+            assert_eq!(
+                f.protein.len(),
+                (seq.len() - offset) / 3,
+                "frame {}",
+                f.frame
+            );
+            let expect = if f.frame > 0 {
+                translate_frame(&seq, offset)
+            } else {
+                translate_frame(&rc, offset)
+            };
+            assert_eq!(&f.protein, &expect, "frame {}", f.frame);
         }
     }
+}
 
-    /// Timeline utilization stays in [0, 1] for non-overlapping per-worker
-    /// intervals (the only kind the runtimes produce), and busy time is
-    /// conserved.
-    #[test]
-    fn timeline_utilization_bounded(intervals in prop::collection::vec((0usize..4, 0.0f64..20.0, 0.01f64..50.0), 1..40)) {
-        use ppc::core::trace::Timeline;
+/// Timeline utilization stays in [0, 1] for non-overlapping per-worker
+/// intervals (the only kind the runtimes produce), and busy time is
+/// conserved.
+#[test]
+fn timeline_utilization_bounded() {
+    use ppc::core::trace::Timeline;
+    for seed in 0..64u64 {
+        let mut rng = Pcg32::new(0x71AE + seed);
         let mut t = Timeline::new();
         let mut cursor = [0.0f64; 4];
         let mut total_busy = 0.0;
-        for (task, (w, gap, dur)) in intervals.iter().enumerate() {
-            let start = cursor[*w] + gap;
-            t.push(*w, task as u64, start, start + dur);
-            cursor[*w] = start + dur;
+        let n_intervals = 1 + rng.next_below(39) as usize;
+        for task in 0..n_intervals {
+            let w = rng.next_below(4) as usize;
+            let gap = rng.uniform(0.0, 20.0);
+            let dur = rng.uniform(0.01, 50.0);
+            let start = cursor[w] + gap;
+            t.push(w, task as u64, start, start + dur);
+            cursor[w] = start + dur;
             total_busy += dur;
         }
         let n = t.n_workers().max(1);
         let u = t.utilization(n);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+        assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
         let busy_sum: f64 = (0..n).map(|w| t.worker_busy_s(w)).sum();
-        prop_assert!((busy_sum - total_busy).abs() < 1e-6);
+        assert!((busy_sum - total_busy).abs() < 1e-6, "seed {seed}");
     }
 }
 
