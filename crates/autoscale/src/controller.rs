@@ -141,6 +141,9 @@ pub enum FleetEventKind {
     Launch,
     Drain,
     Retire,
+    /// The instance died (detected by the runtime, e.g. via a chaos
+    /// schedule or a missed heartbeat) rather than retiring cleanly.
+    Died,
 }
 
 /// The autoscaling state machine. See the module docs.
@@ -279,6 +282,27 @@ impl Controller {
         slot.state = SlotState::Retired;
         slot.retired_at = Some(now);
         self.push_event(now, FleetEventKind::Retire, id);
+    }
+
+    /// The runtime reports that an instance *died* (chaos kill, hardware
+    /// loss) rather than draining cleanly. The slot retires immediately —
+    /// billing stops at the detection time — and any in-flight lease is
+    /// left to the visibility-timeout machinery. Returns `false` if the
+    /// slot was already retired (a duplicate detection is harmless).
+    ///
+    /// Unlike scale-down, a death frees the scale-*up* cooldown: replacing
+    /// lost capacity is failure recovery, not load-driven oscillation, so
+    /// the next [`Controller::decide`] may launch a replacement at once.
+    pub fn mark_dead(&mut self, id: u32, now: f64) -> bool {
+        let slot = &mut self.slots[id as usize];
+        if slot.state == SlotState::Retired {
+            return false;
+        }
+        slot.state = SlotState::Retired;
+        slot.retired_at = Some(now);
+        self.push_event(now, FleetEventKind::Died, id);
+        self.last_scale_up = None;
+        true
     }
 
     /// Scale-in victims, newest launch first (the slot that has used the
@@ -559,6 +583,46 @@ mod tests {
         let last = c.events().last().unwrap();
         assert_eq!(last.kind, FleetEventKind::Retire);
         assert_eq!(c.billed_fleet(), 2);
+    }
+
+    #[test]
+    fn dead_instance_is_retired_and_replaced_without_cooldown() {
+        let mut c = Controller::new(cfg());
+        // Scale to 4 under load; the scale-up cooldown (30 s) is now armed.
+        c.decide(0.0, &telem(16, 0, Some(1.0)));
+        assert_eq!(c.capacity(), 4);
+        // Instance 1 dies 5 s later: capacity and billed fleet drop at once.
+        assert!(c.mark_dead(1, 5.0));
+        assert_eq!(c.capacity(), 3);
+        assert_eq!(c.billed_fleet(), 3);
+        assert_eq!(c.slots()[1].state, SlotState::Retired);
+        assert_eq!(c.slots()[1].retired_at, Some(5.0));
+        let last = c.events().last().unwrap();
+        assert_eq!(last.kind, FleetEventKind::Died);
+        assert_eq!(last.slot, 1);
+        // Same backlog on the very next tick — still inside the scale-up
+        // cooldown window, but a death waives it: replacement launches.
+        match c.decide(10.0, &telem(16, 0, Some(10.0))) {
+            Decision::Launch { ids } => assert_eq!(ids.len(), 1),
+            other => panic!("expected replacement launch, got {other:?}"),
+        }
+        assert_eq!(c.capacity(), 4);
+        // A duplicate detection is a harmless no-op.
+        assert!(!c.mark_dead(1, 12.0));
+    }
+
+    #[test]
+    fn dead_draining_instance_needs_no_retirement_confirmation() {
+        let mut c = Controller::new(cfg());
+        c.decide(0.0, &telem(16, 0, Some(1.0))); // grow to 4
+        if let Decision::Drain { ids } = c.decide(100.0, &telem(0, 0, None)) {
+            // The draining victim dies before it can exit cleanly.
+            let victim = ids[0];
+            assert!(c.mark_dead(victim, 101.0));
+            assert_eq!(c.slots()[victim as usize].state, SlotState::Retired);
+        } else {
+            panic!("expected a drain decision");
+        }
     }
 
     #[test]

@@ -6,14 +6,20 @@
 
 use ppc_apps::workload;
 use ppc_autoscale::{AutoscaleConfig, Policy as ScalePolicy, StepRule};
-use ppc_classic::sim::{simulate as classic_sim, simulate_autoscaled, SimConfig};
+use ppc_chaos::FaultSchedule;
+use ppc_classic::sim::{
+    simulate as classic_sim, simulate_autoscaled, simulate_chaos as classic_sim_chaos, SimConfig,
+};
 use ppc_compute::cluster::Cluster;
 use ppc_compute::instance::{BARE_CAP3, EC2_HCXL};
 use ppc_compute::model::AppModel;
 use ppc_core::report::{Figure, Series};
-use ppc_dryad::sim::{simulate as dryad_sim, DryadSimConfig};
-use ppc_mapreduce::sim::{simulate as hadoop_sim, HadoopSimConfig};
+use ppc_dryad::sim::{simulate as dryad_sim, simulate_chaos as dryad_sim_chaos, DryadSimConfig};
+use ppc_mapreduce::sim::{
+    simulate as hadoop_sim, simulate_chaos as hadoop_sim_chaos, HadoopSimConfig,
+};
 use ppc_storage::latency::LatencyModel;
+use std::sync::Arc;
 
 /// Visibility timeout vs wasted work (§2.1.3's fault-tolerance knob): with
 /// worker failures on, a short timeout re-executes tasks aggressively, while
@@ -40,6 +46,53 @@ pub fn ablate_visibility_timeout() -> Figure {
     }
     fig.add(makespan);
     fig.add(redundant);
+    fig
+}
+
+/// Chaos ablation: the same i.i.d. worker-death dice (one shared
+/// [`FaultSchedule`] per rate) swept across all three paradigm simulators.
+/// Each paradigm pays for recovery with its own mechanism — queue
+/// redelivery after the visibility timeout (Classic), immediate attempt
+/// re-execution (Hadoop), vertex re-runs within the static partition
+/// (Dryad) — so the makespan curves separate exactly where Table 3's
+/// fault-tolerance rows differ.
+pub fn ablate_fault_rate() -> Figure {
+    let tasks = workload::cap3_sim_tasks(256, 200);
+    let mut fig = Figure::new(
+        "Ablation: worker-death rate across paradigms (shared chaos dice)",
+        "P(worker death per task attempt)",
+        "makespan (s)",
+    )
+    .with_precision(0);
+    let classic_cluster = Cluster::provision(EC2_HCXL, 4, 8);
+    let bare_cluster = Cluster::provision(BARE_CAP3, 4, 8);
+    let classic_cfg = SimConfig::ec2()
+        .with_app(AppModel::cap3())
+        .with_failures(0.0, 300.0);
+    let hadoop_cfg = HadoopSimConfig {
+        app: AppModel::cap3(),
+        ..HadoopSimConfig::default()
+    };
+    let dryad_cfg = DryadSimConfig {
+        app: AppModel::cap3(),
+        ..DryadSimConfig::default()
+    };
+    let mut classic = Series::new("Classic Cloud (queue redelivery)");
+    let mut hadoop = Series::new("Hadoop (attempt re-execution)");
+    let mut dryad = Series::new("DryadLINQ (vertex re-run)");
+    for rate in [0.0, 0.02, 0.05, 0.1, 0.2] {
+        let schedule = Arc::new(FaultSchedule::new(7).with_death_probabilities(rate, 0.0, 0.0));
+        let label = format!("{rate}");
+        let c = classic_sim_chaos(&classic_cluster, &tasks, &classic_cfg, schedule.clone());
+        classic.push(label.clone(), c.summary.makespan_seconds);
+        let h = hadoop_sim_chaos(&bare_cluster, &tasks, &hadoop_cfg, Some(schedule.clone()));
+        hadoop.push(label.clone(), h.summary.makespan_seconds);
+        let d = dryad_sim_chaos(&bare_cluster, &tasks, &dryad_cfg, Some(schedule));
+        dryad.push(label, d.summary.makespan_seconds);
+    }
+    fig.add(classic);
+    fig.add(hadoop);
+    fig.add(dryad);
     fig
 }
 
@@ -545,6 +598,22 @@ mod tests {
         // And the timelines render for every strategy.
         let demo = autoscale_timeline_demo();
         assert!(demo.contains("billing-aware") && demo.contains("fixed max"));
+    }
+
+    #[test]
+    fn fault_rate_costs_time_on_every_paradigm() {
+        let fig = ablate_fault_rate();
+        assert_eq!(fig.series.len(), 3);
+        for series in &fig.series {
+            assert_eq!(series.points.len(), 5, "{}", series.label);
+            let clean = series.value_at("0").unwrap();
+            let hostile = series.value_at("0.2").unwrap();
+            assert!(
+                hostile > clean,
+                "{}: death rate 0.2 should cost time ({hostile} vs {clean})",
+                series.label
+            );
+        }
     }
 
     #[test]

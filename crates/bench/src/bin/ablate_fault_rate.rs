@@ -1,0 +1,4 @@
+//! Ablation: worker-death rate vs recovery cost across all three paradigms.
+fn main() {
+    println!("{}", ppc_bench::ablations::ablate_fault_rate());
+}

@@ -42,6 +42,10 @@ fn exhibits() -> Vec<Exhibit> {
             ppc_bench::ablations::ablate_visibility_timeout(),
         ),
         Figure(
+            "ablate_fault_rate",
+            ppc_bench::ablations::ablate_fault_rate(),
+        ),
+        Figure(
             "ablate_load_balance",
             ppc_bench::ablations::ablate_load_balance(),
         ),

@@ -1,0 +1,20 @@
+//! # ppc-chaos — deterministic fault scheduling for every engine
+//!
+//! The paper's fault-tolerance claim is that all three paradigms converge
+//! to the correct output under worker loss: Classic Cloud via queue
+//! visibility timeouts, Hadoop via attempt re-execution, Dryad via vertex
+//! re-run. Exercising that claim well needs more than i.i.d. dice — real
+//! outages are *events*: instance 3 dies at t=2s, node 1 runs at half
+//! speed for a window (a gray failure), the blob store browns out for
+//! 300 ms, an upload is torn halfway through.
+//!
+//! [`FaultSchedule`] is that event list, plus an i.i.d. layer for the
+//! classic per-pipeline-point death probabilities. Every query is a pure
+//! function of `(seed, worker, time/sequence)`, so the same schedule
+//! drives the threaded native runtimes (wall-clock seconds since run
+//! start) and the discrete-event simulators (virtual seconds) and gives
+//! bit-identical decisions on both.
+
+pub mod schedule;
+
+pub use schedule::{FaultEvent, FaultSchedule, RunClock, StorageFault};

@@ -11,10 +11,12 @@ use crate::fault::FaultPlan;
 use crate::report::ClassicReport;
 use crate::spec::JobSpec;
 use ppc_autoscale::{AutoscaleConfig, Controller, Decision, FleetEventKind, SlotState, Telemetry};
+use ppc_chaos::{FaultSchedule, RunClock};
 use ppc_compute::billing::FleetLedger;
 use ppc_compute::cluster::Cluster;
 use ppc_core::exec::Executor;
 use ppc_core::metrics::RunSummary;
+use ppc_core::retry::{CircuitBreaker, RetryPolicy};
 use ppc_core::rng::Pcg32;
 use ppc_core::task::{TaskId, TaskSpec};
 use ppc_core::{PpcError, Result};
@@ -37,10 +39,23 @@ pub struct ClassicConfig {
     pub long_poll_wait: Duration,
     /// Retry budget for eventually consistent input fetches.
     pub input_fetch_attempts: u32,
-    /// Worker fault injection.
+    /// Worker fault injection (i.i.d. pipeline-point death dice).
     pub fault: FaultPlan,
+    /// Optional event-based chaos: timed worker kills, mid-execution
+    /// kills, gray degradation, torn uploads. Workers are addressed by
+    /// flat index (fleet runtimes number slots in spawn order; the
+    /// autoscaled runtime uses controller slot ids). Composes with
+    /// `fault`: both layers are queried.
+    pub schedule: Option<Arc<FaultSchedule>>,
     /// Chaos dials for the queues this job creates.
     pub queue_chaos: ppc_queue::chaos::ChaosConfig,
+    /// Consecutive retryable storage-fetch failures before the shared
+    /// circuit breaker opens and workers fast-fail to redelivery instead
+    /// of hammering a browned-out store.
+    pub storage_breaker_threshold: u32,
+    /// Seconds an open storage breaker waits before letting a probe
+    /// request through.
+    pub storage_breaker_reset_s: f64,
     /// Optional live progress probe: the monitor thread stores the number
     /// of resolved (done + failed) tasks here as the job runs, so an
     /// external observer can watch a running job — the role of the paper's
@@ -55,9 +70,129 @@ impl Default for ClassicConfig {
             long_poll_wait: Duration::from_millis(20),
             input_fetch_attempts: 16,
             fault: FaultPlan::NONE,
+            schedule: None,
             queue_chaos: ppc_queue::chaos::ChaosConfig::NONE,
+            storage_breaker_threshold: 8,
+            storage_breaker_reset_s: 0.005,
             progress: None,
         }
+    }
+}
+
+/// Validate every probability-bearing knob of a [`ClassicConfig`]; run at
+/// each runtime entry point so out-of-range dials fail loudly up front.
+fn validate_config(config: &ClassicConfig) -> Result<()> {
+    config.fault.validate()?;
+    config.queue_chaos.validate()?;
+    if let Some(schedule) = &config.schedule {
+        schedule.validate()?;
+    }
+    Ok(())
+}
+
+/// Create (or reuse) the job's dead-letter queue. Unlike the scheduling
+/// and monitoring queues, the DLQ persists after the job so operators can
+/// inspect or redrive parked tasks — so a rerun finds it already there.
+fn dead_letter_queue(queues: &QueueService, job: &JobSpec) -> Result<Arc<ppc_queue::Queue>> {
+    match queues.create_queue(&job.dead_letter_queue(), QueueConfig::default()) {
+        Ok(q) => Ok(q),
+        Err(PpcError::AlreadyExists(_)) => queues.queue(&job.dead_letter_queue()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Retry policy for the client's task-submission sends: effectively
+/// unbounded attempts (queue chaos send failures are transient and the
+/// original loop retried forever) with a short jittered backoff instead
+/// of a busy spin.
+fn client_send_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: u32::MAX,
+        base_delay: Duration::from_micros(100),
+        max_delay: Duration::from_millis(5),
+        multiplier: 2.0,
+        jitter: 0.5,
+        budget: None,
+    }
+}
+
+/// A worker's view of the chaos configuration: the i.i.d. death dice from
+/// the [`FaultPlan`] composed with the optional event-based
+/// [`FaultSchedule`], tracked against the shared run clock. Dice are pure
+/// hashes of `(seed, roll-point, worker, task_seq)`, so outcomes are
+/// deterministic for a given schedule regardless of thread interleaving.
+struct WorkerChaos<'a> {
+    dice: FaultSchedule,
+    events: Option<&'a FaultSchedule>,
+    clock: &'a RunClock,
+    worker: u32,
+    /// Messages this worker has received so far; the per-task roll index.
+    task_seq: u32,
+    /// Run-clock position of the last timed-kill check, so each scheduled
+    /// kill fires exactly once (half-open interval semantics).
+    last_kill_s: f64,
+}
+
+impl<'a> WorkerChaos<'a> {
+    fn new(config: &'a ClassicConfig, clock: &'a RunClock, worker: u32) -> WorkerChaos<'a> {
+        WorkerChaos {
+            dice: config.fault.to_schedule(),
+            events: config.schedule.as_deref(),
+            clock,
+            worker,
+            task_seq: 0,
+            last_kill_s: 0.0,
+        }
+    }
+
+    /// Claim the roll index for the message just received.
+    fn next_seq(&mut self) -> u32 {
+        let seq = self.task_seq;
+        self.task_seq += 1;
+        seq
+    }
+
+    /// Has a scheduled timed kill fired since the last check?
+    fn kill_event_pending(&mut self) -> bool {
+        let Some(events) = self.events else {
+            return false;
+        };
+        let now = self.clock.now_s();
+        let hit = events.kills_in(self.worker, self.last_kill_s, now);
+        self.last_kill_s = now;
+        hit
+    }
+
+    fn die_before_execute(&self, seq: u32) -> bool {
+        self.dice.die_before_execute(self.worker, seq)
+            || self
+                .events
+                .is_some_and(|e| e.die_before_execute(self.worker, seq))
+    }
+
+    fn die_mid_execute(&self, seq: u32) -> bool {
+        self.dice.die_mid_execute(self.worker, seq)
+            || self
+                .events
+                .is_some_and(|e| e.die_mid_execute(self.worker, seq))
+    }
+
+    fn die_before_delete(&self, seq: u32) -> bool {
+        self.dice.die_before_delete(self.worker, seq)
+            || self
+                .events
+                .is_some_and(|e| e.die_before_delete(self.worker, seq))
+    }
+
+    fn torn_upload(&self, seq: u32) -> bool {
+        self.events
+            .is_some_and(|e| e.is_torn_upload(self.worker, seq))
+    }
+
+    /// Gray-failure slowdown factor in effect for this worker right now.
+    fn slowdown(&self) -> f64 {
+        self.events
+            .map_or(1.0, |e| e.slowdown(self.worker, self.clock.now_s()))
     }
 }
 
@@ -112,11 +247,7 @@ pub fn run_job_on_fleets(
         return Err(PpcError::InvalidArgument("no worker fleets".into()));
     }
     job.validate()?;
-    if !config.fault.validate() {
-        return Err(PpcError::InvalidArgument(
-            "invalid fault plan probabilities".into(),
-        ));
-    }
+    validate_config(config)?;
 
     let sched = queues.create_queue(
         &job.sched_queue(),
@@ -127,22 +258,33 @@ pub fn run_job_on_fleets(
         },
     )?;
     let monitor = queues.create_queue(&job.monitor_queue(), QueueConfig::default())?;
+    let dlq = dead_letter_queue(queues, job)?;
     storage.ensure_bucket(&job.output_bucket);
+
+    // Arm the storage service with the chaos schedule (brownouts,
+    // partitions) for the duration of the run; workers share the same
+    // run clock so timed worker kills line up with storage windows.
+    let clock = RunClock::start();
+    if let Some(schedule) = &config.schedule {
+        storage.set_chaos(schedule.clone());
+    }
+    let breaker = CircuitBreaker::new(
+        config.storage_breaker_threshold,
+        config.storage_breaker_reset_s,
+    );
 
     let storage_before = storage.metering().snapshot();
     let requests_before = queues.total_requests();
     let start = Instant::now();
 
     // The client populates the scheduling queue with tasks (Figure 1).
+    // Transient send failures (queue chaos) retry through the shared
+    // policy; anything else aborts the job before workers start.
+    let send_policy = client_send_policy();
+    let mut send_rng = Pcg32::new(config.fault.seed ^ 0xC11E);
     for task in &job.tasks {
         let body = task.to_message()?;
-        loop {
-            match sched.send(body.clone()) {
-                Ok(_) => break,
-                Err(e) if e.is_retryable() => continue,
-                Err(e) => return Err(e),
-            }
-        }
+        send_policy.run_blocking(&mut send_rng, |_| sched.send(body.clone()))?;
     }
 
     let n_tasks = job.tasks.len();
@@ -160,42 +302,47 @@ pub fn run_job_on_fleets(
         // Monitor: drains the monitoring queue, decides when the job is done.
         scope.spawn(|| monitor_loop(&monitor, config, &shared, n_tasks));
 
-        // Workers: one thread per worker slot, across every fleet.
-        for (fleet_id, node_id, slot) in fleets
+        // Workers: one thread per worker slot, across every fleet. The
+        // chaos schedule addresses workers by their flat spawn index.
+        for (windex, (fleet_id, _node, _slot)) in fleets
             .iter()
             .enumerate()
             .flat_map(|(f, c)| c.worker_slots().map(move |(n, s)| (f, n, s)))
+            .enumerate()
         {
             let executor = executor.clone();
             let sched = sched.clone();
             let monitor = monitor.clone();
+            let dlq = dlq.clone();
             let shared = &shared;
             let storage = storage.clone();
             let job = &job;
             let config = &config;
+            let clock = &clock;
+            let breaker = &breaker;
             scope.spawn(move || {
-                let mut rng = Pcg32::new(
-                    config.fault.seed
-                        ^ ((fleet_id as u64) << 40)
-                        ^ ((node_id as u64) << 20)
-                        ^ slot as u64,
-                );
+                let mut chaos = WorkerChaos::new(config, clock, windex as u32);
                 while !shared.stop.load(Ordering::Acquire) {
                     poll_once(
                         &sched,
                         &monitor,
+                        &dlq,
                         shared,
                         &storage,
                         job,
                         config,
                         executor.as_ref(),
                         fleet_id,
-                        &mut rng,
+                        &mut chaos,
+                        breaker,
                     );
                 }
             });
         }
     });
+    if config.schedule.is_some() {
+        storage.clear_chaos();
+    }
 
     let finished = shared
         .finished_at
@@ -300,14 +447,17 @@ fn monitor_loop(
 fn poll_once(
     sched: &ppc_queue::Queue,
     monitor: &ppc_queue::Queue,
+    dlq: &ppc_queue::Queue,
     shared: &Shared,
     storage: &StorageService,
     job: &JobSpec,
     config: &ClassicConfig,
     executor: &dyn Executor,
     fleet_id: usize,
-    rng: &mut Pcg32,
+    chaos: &mut WorkerChaos<'_>,
+    breaker: &CircuitBreaker,
 ) {
+    let restart_delay = Duration::from_millis(config.fault.restart_delay_ms);
     // Long polling (SQS WaitTimeSeconds): one billable request per wait
     // window instead of a busy-poll storm.
     let msg = match sched.receive_wait(config.long_poll_wait) {
@@ -327,36 +477,54 @@ fn poll_once(
     let spec = match TaskSpec::from_message(&msg.body) {
         Ok(s) => s,
         Err(_) => {
-            // Poison message: report and drop it.
+            // Poison message: park it in the DLQ, report, and drop it.
+            let _ = dlq.send(msg.body.clone());
             let _ = monitor.send("fail:poison".to_string());
             let _ = sched.delete(msg.receipt);
             return;
         }
     };
+    let seq = chaos.next_seq();
 
-    // Dead-letter policy: give up on tasks that keep failing.
+    // Dead-letter policy: give up on tasks that keep failing and park the
+    // original message in the DLQ for offline inspection or redrive.
     if msg.receive_count > job.max_deliveries {
+        let _ = dlq.send(msg.body.clone());
         let _ = monitor.send(format!("fail:{}", spec.id.0));
         let _ = sched.delete(msg.receipt);
         return;
     }
 
-    // Injected death between receive and execute: the message stays in
-    // flight and reappears after the timeout.
-    if config.fault.die_before_execute > 0.0 && rng.chance(config.fault.die_before_execute) {
+    // Injected death between receive and execute — a timed kill from the
+    // schedule or an i.i.d. roll. The message stays in flight and
+    // reappears after the visibility timeout.
+    if chaos.kill_event_pending() || chaos.die_before_execute(seq) {
         shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
-        std::thread::sleep(Duration::from_millis(config.fault.restart_delay_ms));
+        std::thread::sleep(restart_delay);
         return;
     }
 
-    // Download the input file over the storage web interface.
+    // Download the input file over the storage web interface, behind the
+    // shared circuit breaker: during a storage brownout the first few
+    // workers exhaust their retries and trip the breaker, and everyone
+    // else fast-fails to redelivery instead of piling on.
+    if !breaker.allow(chaos.clock.now_s()) {
+        std::thread::sleep(config.poll_backoff);
+        return; // lease reappears after the timeout
+    }
     let input = match storage.get_with_retry(
         &job.input_bucket,
         &spec.input_key,
         config.input_fetch_attempts,
     ) {
-        Ok(d) => d,
-        Err(e) if e.is_retryable() => return, // let it reappear
+        Ok(d) => {
+            breaker.record_success();
+            d
+        }
+        Err(e) if e.is_retryable() => {
+            breaker.record_failure(chaos.clock.now_s());
+            return; // let it reappear
+        }
         Err(_) => {
             // Input genuinely missing: the task can never run.
             let _ = monitor.send(format!("fail:{}", spec.id.0));
@@ -366,6 +534,7 @@ fn poll_once(
     };
 
     shared.total_executions.fetch_add(1, Ordering::Relaxed);
+    let exec_started = Instant::now();
     let output = match executor.run(&spec, &input) {
         Ok(o) => o,
         Err(_) => {
@@ -374,6 +543,29 @@ fn poll_once(
             return;
         }
     };
+    // Gray failure: a degraded (not dead) worker runs slower by the
+    // schedule's factor — it still completes, it just holds tasks longer.
+    let factor = chaos.slowdown();
+    if factor > 1.0 {
+        std::thread::sleep(exec_started.elapsed().mul_f64(factor - 1.0));
+    }
+
+    // Death mid-upload: half the output lands as a torn object, then the
+    // worker dies. Redelivery must idempotently overwrite the torn bytes.
+    if chaos.die_mid_execute(seq) {
+        let torn = output[..output.len() / 2].to_vec();
+        let _ = storage.put(&job.output_bucket, &spec.output_key, torn);
+        shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(restart_delay);
+        return;
+    }
+    // Torn upload without a death: the worker's put "fails" after writing
+    // a prefix; it abandons the lease and redelivery retries the task.
+    if chaos.torn_upload(seq) {
+        let torn = output[..output.len() / 2].to_vec();
+        let _ = storage.put(&job.output_bucket, &spec.output_key, torn);
+        return;
+    }
 
     shared
         .remote_bytes
@@ -387,9 +579,9 @@ fn poll_once(
 
     // Injected death between upload and delete: the duplicate re-execution
     // must overwrite with identical output.
-    if config.fault.die_before_delete > 0.0 && rng.chance(config.fault.die_before_delete) {
+    if chaos.die_before_delete(seq) {
         shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
-        std::thread::sleep(Duration::from_millis(config.fault.restart_delay_ms));
+        std::thread::sleep(restart_delay);
         return;
     }
 
@@ -429,11 +621,7 @@ pub fn run_job_autoscaled(
     autoscale: &AutoscaleConfig,
 ) -> Result<ClassicReport> {
     job.validate()?;
-    if !config.fault.validate() {
-        return Err(PpcError::InvalidArgument(
-            "invalid fault plan probabilities".into(),
-        ));
-    }
+    validate_config(config)?;
     if !arrivals.is_empty() && arrivals.len() != job.tasks.len() {
         return Err(PpcError::InvalidArgument(format!(
             "{} arrival offsets for {} tasks",
@@ -451,7 +639,17 @@ pub fn run_job_autoscaled(
         },
     )?;
     let monitor = queues.create_queue(&job.monitor_queue(), QueueConfig::default())?;
+    let dlq = dead_letter_queue(queues, job)?;
     storage.ensure_bucket(&job.output_bucket);
+
+    let clock = RunClock::start();
+    if let Some(schedule) = &config.schedule {
+        storage.set_chaos(schedule.clone());
+    }
+    let breaker = CircuitBreaker::new(
+        config.storage_breaker_threshold,
+        config.storage_breaker_reset_s,
+    );
 
     let storage_before = storage.metering().snapshot();
     let requests_before = queues.total_requests();
@@ -474,6 +672,9 @@ pub fn run_job_autoscaled(
     // Slot ids whose workers have exited after a drain, awaiting
     // confirmation at the controller's next tick.
     let retired_inbox: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+    // Slots the chaos schedule killed: already Retired via `mark_dead`,
+    // so their workers' exit notifications must not be re-confirmed.
+    let dead_slots: Mutex<HashSet<u32>> = Mutex::new(HashSet::new());
     let start = Instant::now();
 
     std::thread::scope(|scope| {
@@ -481,6 +682,7 @@ pub fn run_job_autoscaled(
 
         // Client: sends each task at its arrival offset.
         scope.spawn(|| {
+            let mut send_rng = Pcg32::new(config.fault.seed ^ 0xC11E);
             let mut order: Vec<usize> = (0..n_tasks).collect();
             if !arrivals.is_empty() {
                 order.sort_by(|&a, &b| arrivals[a].partial_cmp(&arrivals[b]).unwrap());
@@ -501,10 +703,16 @@ pub fn run_job_autoscaled(
                     Ok(b) => b,
                     Err(_) => continue,
                 };
-                while sched.send(body.clone()).is_err() {
+                // Durable submission through the shared retry policy; a
+                // stop mid-retry surfaces as a non-retryable error.
+                let _ = client_send_policy().run_blocking(&mut send_rng, |_| {
                     if shared.stop.load(Ordering::Acquire) {
-                        return;
+                        return Err(PpcError::InvalidState("job stopped".into()));
                     }
+                    sched.send(body.clone())
+                });
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
                 }
             }
         });
@@ -522,23 +730,30 @@ pub fn run_job_autoscaled(
                 };
                 let sched = sched.clone();
                 let monitor = monitor.clone();
+                let dlq = dlq.clone();
                 let shared = &shared;
                 let storage = storage.clone();
                 let executor = executor.clone();
                 let retired_inbox = &retired_inbox;
+                let clock = &clock;
+                let breaker = &breaker;
                 scope.spawn(move || {
-                    let mut rng = Pcg32::new(config.fault.seed ^ ((slot as u64) << 20));
+                    // The chaos schedule addresses autoscaled workers by
+                    // their controller slot id.
+                    let mut chaos = WorkerChaos::new(config, clock, slot);
                     while !shared.stop.load(Ordering::Acquire) && !drain.load(Ordering::Acquire) {
                         poll_once(
                             &sched,
                             &monitor,
+                            &dlq,
                             shared,
                             &storage,
                             job,
                             config,
                             executor.as_ref(),
                             0,
-                            &mut rng,
+                            &mut chaos,
+                            breaker,
                         );
                     }
                     if drain.load(Ordering::Acquire) {
@@ -555,6 +770,7 @@ pub fn run_job_autoscaled(
             let interval = Duration::from_secs_f64(autoscale.interval_s);
             let quantum = interval.min(Duration::from_millis(2));
             let mut next_tick = interval;
+            let mut last_tick_s = 0.0_f64;
             while !shared.stop.load(Ordering::Acquire) {
                 std::thread::sleep(quantum);
                 let now = start.elapsed();
@@ -564,8 +780,40 @@ pub fn run_job_autoscaled(
                 next_tick += interval;
                 let now_s = now.as_secs_f64();
                 let mut ctrl = controller.lock().unwrap();
-                for slot in retired_inbox.lock().unwrap().drain(..) {
-                    ctrl.confirm_retired(slot, now_s);
+                // Dead-instance detection: a timed kill addressed to a
+                // live slot takes the whole instance down. The controller
+                // records the death (waiving the scale-up cooldown) so
+                // `decide` below can launch a replacement immediately.
+                if let Some(schedule) = &config.schedule {
+                    let victims: Vec<u32> = ctrl
+                        .slots()
+                        .iter()
+                        .filter(|s| matches!(s.state, SlotState::Warming | SlotState::Active))
+                        .filter(|s| schedule.kills_in(s.id, last_tick_s, now_s))
+                        .map(|s| s.id)
+                        .collect();
+                    if !victims.is_empty() {
+                        let flags = drain_flags.lock().unwrap();
+                        let mut dead = dead_slots.lock().unwrap();
+                        for id in victims {
+                            if let Some(f) = flags.get(id as usize) {
+                                f.store(true, Ordering::Release);
+                            }
+                            ctrl.mark_dead(id, now_s);
+                            dead.insert(id);
+                        }
+                    }
+                }
+                last_tick_s = now_s;
+                {
+                    let dead = dead_slots.lock().unwrap();
+                    for slot in retired_inbox.lock().unwrap().drain(..) {
+                        // A dead slot is already Retired; only drained
+                        // workers need their exit confirmed.
+                        if !dead.contains(&slot) {
+                            ctrl.confirm_retired(slot, now_s);
+                        }
+                    }
                 }
                 let snap = sched.metrics_snapshot();
                 let telemetry = Telemetry {
@@ -608,8 +856,11 @@ pub fn run_job_autoscaled(
     let mut ctrl = controller.into_inner().unwrap();
     let last_event_s = ctrl.events().last().map(|e| e.at_s).unwrap_or(0.0);
     let end_s = makespan.max(last_event_s);
+    let dead = dead_slots.into_inner().unwrap();
     for slot in retired_inbox.into_inner().unwrap() {
-        ctrl.confirm_retired(slot, end_s);
+        if !dead.contains(&slot) {
+            ctrl.confirm_retired(slot, end_s);
+        }
     }
     // A drain decided on the final tick may never have reached its worker
     // before the stop flag did; close those slots' bills at the horizon.
@@ -623,6 +874,9 @@ pub fn run_job_autoscaled(
         ctrl.confirm_retired(slot, end_s);
     }
     let fleet = fleet_report(&ctrl, itype, autoscale.billing_hour_s, end_s);
+    if config.schedule.is_some() {
+        storage.clear_chaos();
+    }
 
     let storage_after = storage.metering().snapshot();
     let report = ClassicReport {
@@ -669,8 +923,12 @@ pub(crate) fn fleet_report(
 ) -> crate::report::FleetReport {
     let mut timeline = ppc_core::trace::FleetTimeline::new();
     for e in ctrl.events() {
-        // Drain events do not change the billed fleet; record the steps.
-        if matches!(e.kind, FleetEventKind::Launch | FleetEventKind::Retire) {
+        // Drain events do not change the billed fleet; launches, retires,
+        // and chaos-killed instances do.
+        if matches!(
+            e.kind,
+            FleetEventKind::Launch | FleetEventKind::Retire | FleetEventKind::Died
+        ) {
             timeline.record(e.at_s, e.fleet_after);
         }
     }
@@ -1032,6 +1290,172 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.code(), "InvalidArgument");
+    }
+
+    #[test]
+    fn mid_execute_death_overwrites_torn_output() {
+        // A worker dying mid-upload leaves a torn half-object; the
+        // redelivered task must idempotently overwrite it with the full
+        // output.
+        let (storage, queues, job) = setup(20);
+        let job = job
+            .with_visibility_timeout(Duration::from_millis(25))
+            .with_max_deliveries(20);
+        let cluster = Cluster::provision(EC2_HCXL, 2, 4);
+        let config = ClassicConfig {
+            fault: FaultPlan {
+                die_mid_execute: 0.45,
+                restart_delay_ms: 1,
+                seed: 7,
+                ..FaultPlan::NONE
+            },
+            ..ClassicConfig::default()
+        };
+        let report = run_job(
+            &storage,
+            &queues,
+            &cluster,
+            &job,
+            reverse_executor(),
+            &config,
+        )
+        .unwrap();
+        assert!(report.is_complete(), "failed: {:?}", report.failed);
+        assert!(report.worker_deaths > 0, "mid-execute deaths were rolled");
+        for i in 0..20 {
+            let out = storage
+                .get(&job.output_bucket, &format!("f{i}.out"))
+                .unwrap();
+            let mut expect = format!("payload-{i}").into_bytes();
+            expect.reverse();
+            assert_eq!(*out, expect, "torn upload was overwritten in full");
+        }
+    }
+
+    #[test]
+    fn exhausted_task_parks_in_dead_letter_queue() {
+        let (storage, queues, job) = setup(4);
+        let job = job
+            .with_visibility_timeout(Duration::from_millis(20))
+            .with_max_deliveries(3);
+        let exec = FnExecutor::new("half-poison", |spec: &TaskSpec, input: &[u8]| {
+            if spec.id.0 == 2 {
+                Err(PpcError::TaskFailed("cannot process".into()))
+            } else {
+                Ok(input.to_vec())
+            }
+        });
+        let cluster = Cluster::provision(EC2_HCXL, 1, 2);
+        let report = run_job(
+            &storage,
+            &queues,
+            &cluster,
+            &job,
+            exec,
+            &ClassicConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.failed, vec![TaskId(2)]);
+        // The DLQ outlives the job and holds exactly the poison task.
+        let dlq = queues.queue(&job.dead_letter_queue()).unwrap();
+        let parked = dlq.receive().unwrap().expect("poison task parked");
+        let spec = TaskSpec::from_message(&parked.body).unwrap();
+        assert_eq!(spec.id, TaskId(2));
+        dlq.delete(parked.receipt).unwrap();
+        assert!(dlq.receive().unwrap().is_none(), "exactly one parked task");
+    }
+
+    #[test]
+    fn survives_scheduled_chaos() {
+        // A full hostile schedule: timed kills, a mid-execute kill, a torn
+        // upload, a gray-degraded worker, and a storage brownout window.
+        let (storage, queues, job) = setup(24);
+        let job = job
+            .with_visibility_timeout(Duration::from_millis(30))
+            .with_max_deliveries(20);
+        let cluster = Cluster::provision(EC2_HCXL, 2, 4);
+        let schedule = FaultSchedule::new(11)
+            .kill_at(0, 0.005)
+            .kill_mid_execute(1, 0)
+            .torn_upload(2, 1)
+            .degrade(3, 3.0, 0.0, 1.0)
+            .brownout(0.010, 0.020);
+        let config = ClassicConfig {
+            schedule: Some(Arc::new(schedule)),
+            ..ClassicConfig::default()
+        };
+        let report = run_job(
+            &storage,
+            &queues,
+            &cluster,
+            &job,
+            sleep_executor(2),
+            &config,
+        )
+        .unwrap();
+        assert!(report.is_complete(), "failed: {:?}", report.failed);
+        assert_eq!(report.summary.tasks, 24);
+        for i in 0..24 {
+            let out = storage
+                .get(&job.output_bucket, &format!("f{i}.out"))
+                .unwrap();
+            let mut expect = format!("payload-{i}").into_bytes();
+            expect.reverse();
+            assert_eq!(*out, expect);
+        }
+        // The chaos injection was disarmed on the way out.
+        assert!(storage.get(&job.output_bucket, "f0.out").is_ok());
+    }
+
+    #[test]
+    fn invalid_schedule_rejected_up_front() {
+        let (storage, queues, job) = setup(2);
+        let cluster = Cluster::provision(EC2_HCXL, 1, 1);
+        let config = ClassicConfig {
+            schedule: Some(Arc::new(
+                FaultSchedule::new(1).kill_at(0, 0.01).brownout(0.5, 0.1),
+            )),
+            ..ClassicConfig::default()
+        };
+        let err = run_job(
+            &storage,
+            &queues,
+            &cluster,
+            &job,
+            reverse_executor(),
+            &config,
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "InvalidArgument");
+    }
+
+    #[test]
+    fn autoscaled_replaces_chaos_killed_instance() {
+        // A timed kill takes out slot 0 (the only seed worker); the
+        // controller must record the death and launch a replacement, and
+        // the job must still finish every task.
+        let (storage, queues, job) = setup(30);
+        let job = job.with_visibility_timeout(Duration::from_millis(60));
+        let schedule = FaultSchedule::new(5).kill_at(0, 0.05);
+        let config = ClassicConfig {
+            schedule: Some(Arc::new(schedule)),
+            ..ClassicConfig::default()
+        };
+        let report = run_job_autoscaled(
+            &storage,
+            &queues,
+            EC2_HCXL,
+            &job,
+            &[],
+            sleep_executor(10),
+            &config,
+            &fast_autoscale(),
+        )
+        .unwrap();
+        assert!(report.is_complete(), "failed: {:?}", report.failed);
+        assert_eq!(report.summary.tasks, 30);
+        let fleet = report.fleet.expect("autoscaled run reports its fleet");
+        assert!(fleet.billed_hours >= 1);
     }
 
     #[test]

@@ -13,18 +13,21 @@
 //! with sharing with Hadoop (§4.2).
 
 use crate::report::ClassicReport;
-use ppc_autoscale::{AutoscaleConfig, Controller, Decision, Telemetry};
+use ppc_autoscale::{AutoscaleConfig, Controller, Decision, SlotState, Telemetry};
+use ppc_chaos::FaultSchedule;
 use ppc_compute::cluster::Cluster;
 use ppc_compute::model::{task_service_seconds, AppModel};
 use ppc_core::metrics::RunSummary;
 use ppc_core::rng::Pcg32;
 use ppc_core::task::TaskSpec;
+use ppc_core::{PpcError, Result};
 use ppc_des::{Engine, SimTime};
 use ppc_storage::latency::LatencyModel;
 use ppc_storage::metering::MeteringSnapshot;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Configuration of the simulated platform.
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +95,46 @@ impl SimConfig {
         self.visibility_timeout_s = visibility_timeout_s;
         self
     }
+
+    /// Reject malformed simulation dials with a descriptive error; every
+    /// `simulate*` entry point checks this up front.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.failure_rate) {
+            return Err(PpcError::InvalidArgument(format!(
+                "sim config: failure_rate = {} is not a probability in [0, 1]",
+                self.failure_rate
+            )));
+        }
+        if !self.jitter_sigma.is_finite() || self.jitter_sigma < 0.0 {
+            return Err(PpcError::InvalidArgument(format!(
+                "sim config: jitter_sigma = {} must be finite and >= 0",
+                self.jitter_sigma
+            )));
+        }
+        if self.failure_rate > 0.0
+            && (!self.visibility_timeout_s.is_finite() || self.visibility_timeout_s <= 0.0)
+        {
+            return Err(PpcError::InvalidArgument(format!(
+                "sim config: visibility_timeout_s = {} must be positive when failures are on",
+                self.visibility_timeout_s
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Panic with the validation message when a simulation entry point is
+/// handed malformed dials — simulators return reports, not `Result`s, so
+/// a bad configuration fails loudly rather than silently skewing results.
+fn check_sim_inputs(cfg: &SimConfig, schedule: Option<&Arc<FaultSchedule>>) {
+    if let Err(e) = cfg.validate() {
+        panic!("{e}");
+    }
+    if let Some(schedule) = schedule {
+        if let Err(e) = schedule.validate() {
+            panic!("{e}");
+        }
+    }
 }
 
 struct SimState {
@@ -107,6 +150,12 @@ struct SimState {
     bytes_in: u64,
     bytes_out: u64,
     rng: Pcg32,
+    /// Optional event-based chaos shared with the other engines.
+    schedule: Option<Arc<FaultSchedule>>,
+    /// Per-worker count of tasks pulled so far (the chaos roll index).
+    task_seqs: Vec<u32>,
+    /// Per-worker virtual time of the last timed-kill check.
+    last_kill: Vec<f64>,
 }
 
 #[derive(Clone)]
@@ -124,12 +173,38 @@ pub fn simulate(cluster: &Cluster, tasks: &[TaskSpec], cfg: &SimConfig) -> Class
     simulate_fleets(std::slice::from_ref(cluster), tasks, cfg)
 }
 
+/// [`simulate`] under an event-based [`FaultSchedule`]: timed kills,
+/// mid-execution kills, torn uploads, gray degradation, and storage
+/// outage windows — the same schedule object the native runtime and the
+/// other paradigms accept, addressed by the same flat worker indices.
+pub fn simulate_chaos(
+    cluster: &Cluster,
+    tasks: &[TaskSpec],
+    cfg: &SimConfig,
+    schedule: Arc<FaultSchedule>,
+) -> ClassicReport {
+    simulate_fleets_chaos(std::slice::from_ref(cluster), tasks, cfg, Some(schedule))
+}
+
 /// Simulate a *hybrid* Classic Cloud run: several (possibly heterogeneous)
 /// fleets all polling the same scheduling queue — the simulated twin of
 /// `crate::runtime::run_job_on_fleets` for paper-scale what-if studies
 /// ("how much does adding my local cluster to the cloud fleet help?").
 pub fn simulate_fleets(fleets: &[Cluster], tasks: &[TaskSpec], cfg: &SimConfig) -> ClassicReport {
+    simulate_fleets_chaos(fleets, tasks, cfg, None)
+}
+
+/// [`simulate_fleets`] under an optional event-based [`FaultSchedule`].
+pub fn simulate_fleets_chaos(
+    fleets: &[Cluster],
+    tasks: &[TaskSpec],
+    cfg: &SimConfig,
+    schedule: Option<Arc<FaultSchedule>>,
+) -> ClassicReport {
     assert!(!tasks.is_empty(), "no tasks to simulate");
+    assert!(!fleets.is_empty(), "no fleets to simulate");
+    check_sim_inputs(cfg, schedule.as_ref());
+    let total_workers: usize = fleets.iter().map(Cluster::total_workers).sum();
     let mut rng = Pcg32::new(cfg.seed);
     let mut order: Vec<TaskSpec> = tasks.to_vec();
     // The queue has no ordering guarantee; workers see a shuffled stream.
@@ -148,10 +223,12 @@ pub fn simulate_fleets(fleets: &[Cluster], tasks: &[TaskSpec], cfg: &SimConfig) 
         bytes_in: 0,
         bytes_out: 0,
         rng,
+        schedule,
+        task_seqs: vec![0; total_workers],
+        last_kill: vec![0.0; total_workers],
     }));
 
     let mut engine = Engine::new();
-    assert!(!fleets.is_empty(), "no fleets to simulate");
     let cfg = *cfg;
 
     let mut worker_index = 0;
@@ -178,7 +255,6 @@ pub fn simulate_fleets(fleets: &[Cluster], tasks: &[TaskSpec], cfg: &SimConfig) 
         }
     }
     let itype = fleets[0].itype();
-    let total_workers: usize = fleets.iter().map(Cluster::total_workers).sum();
 
     let end = engine.run();
     let st = state.borrow();
@@ -236,6 +312,7 @@ fn worker_tick(
     };
 
     // Model the full pipeline duration for this task.
+    let now_s = engine.now().as_secs_f64();
     let (t_in, t_exec, t_out, t_ctrl, fails) = {
         let mut st = state.borrow_mut();
         st.executions += 1;
@@ -244,7 +321,7 @@ fn worker_tick(
         st.bytes_out += task.profile.input_bytes;
         st.remote_bytes += task.profile.input_bytes + task.profile.output_bytes;
 
-        let t_in = cfg
+        let mut t_in = cfg
             .storage_latency
             .transfer_seconds(task.profile.input_bytes);
         let t_out = cfg
@@ -257,11 +334,36 @@ fn worker_tick(
         } else {
             1.0
         };
-        let t_exec = t_exec_base * jitter;
+        let mut t_exec = t_exec_base * jitter;
         // receive + monitor-send + delete round trips.
         let t_ctrl = 3.0 * cfg.queue_latency.request_seconds();
         st.queue_requests += 2; // monitor send + delete
-        let fails = cfg.failure_rate > 0.0 && st.rng.chance(cfg.failure_rate);
+        let mut fails = cfg.failure_rate > 0.0 && st.rng.chance(cfg.failure_rate);
+        if let Some(schedule) = st.schedule.clone() {
+            let w = worker.index as u32;
+            let seq = st.task_seqs[worker.index];
+            st.task_seqs[worker.index] += 1;
+            // Gray failure: a degraded worker computes slower.
+            t_exec *= schedule.slowdown(w, now_s);
+            // Storage outage: the fetch's retries ride the window out, so
+            // the download stalls until the outage closes.
+            if let Some(until) = schedule.storage_outage_until(now_s) {
+                t_in += until - now_s;
+            }
+            // Deaths: a pipeline-point die roll, a torn upload, or a timed
+            // kill landing inside this task's service window all cost this
+            // execution — the message reappears after the visibility
+            // timeout, matching the native engine's recovery story.
+            let window_end = now_s + t_in + t_exec + t_out + t_ctrl;
+            let killed = schedule.kills_in(w, st.last_kill[worker.index], window_end);
+            st.last_kill[worker.index] = window_end;
+            fails = fails
+                || killed
+                || schedule.die_before_execute(w, seq)
+                || schedule.die_mid_execute(w, seq)
+                || schedule.die_before_delete(w, seq)
+                || schedule.is_torn_upload(w, seq);
+        }
         (t_in, t_exec, t_out, t_ctrl, fails)
     };
     let duration_s = t_in + t_exec + t_out + t_ctrl;
@@ -408,6 +510,28 @@ struct AsState {
     timeline: ppc_core::trace::Timeline,
     rng: Pcg32,
     controller: Controller,
+    /// Optional event-based chaos; slots are addressed by controller id.
+    schedule: Option<Arc<FaultSchedule>>,
+    /// Per-slot count of tasks pulled so far (the chaos roll index).
+    task_seqs: Vec<u32>,
+    /// Slots killed by the schedule: their tick chains must end, and a
+    /// task in hand at death is lost to the visibility timeout.
+    dead: std::collections::HashSet<u32>,
+    /// Virtual time of the controller's last timed-kill sweep.
+    last_kill_check_s: f64,
+}
+
+impl AsState {
+    /// Claim the chaos roll index for `slot`'s next task.
+    fn next_seq(&mut self, slot: u32) -> u32 {
+        let i = slot as usize;
+        if self.task_seqs.len() <= i {
+            self.task_seqs.resize(i + 1, 0);
+        }
+        let seq = self.task_seqs[i];
+        self.task_seqs[i] += 1;
+        seq
+    }
 }
 
 /// Simulate an *elastic* Classic Cloud run: single-worker instances of
@@ -427,6 +551,22 @@ pub fn simulate_autoscaled(
     cfg: &SimConfig,
     autoscale: &AutoscaleConfig,
 ) -> ClassicReport {
+    simulate_autoscaled_chaos(itype, tasks, arrivals, cfg, autoscale, None)
+}
+
+/// [`simulate_autoscaled`] under an optional event-based
+/// [`FaultSchedule`]: timed kills take whole instances down (the
+/// controller detects the death, records it, and launches a replacement
+/// with the scale-up cooldown waived), on top of the per-task chaos the
+/// fixed-fleet simulator models.
+pub fn simulate_autoscaled_chaos(
+    itype: ppc_compute::instance::InstanceType,
+    tasks: &[TaskSpec],
+    arrivals: &[f64],
+    cfg: &SimConfig,
+    autoscale: &AutoscaleConfig,
+    schedule: Option<Arc<FaultSchedule>>,
+) -> ClassicReport {
     assert!(!tasks.is_empty(), "no tasks to simulate");
     assert!(
         arrivals.is_empty() || arrivals.len() == tasks.len(),
@@ -434,6 +574,7 @@ pub fn simulate_autoscaled(
         arrivals.len(),
         tasks.len()
     );
+    check_sim_inputs(cfg, schedule.as_ref());
     let cfg = *cfg;
     let state = Rc::new(RefCell::new(AsState {
         pending: VecDeque::new(),
@@ -454,6 +595,10 @@ pub fn simulate_autoscaled(
         timeline: ppc_core::trace::Timeline::new(),
         rng: Pcg32::new(cfg.seed),
         controller: Controller::new(autoscale.clone()),
+        schedule,
+        task_seqs: Vec::new(),
+        dead: std::collections::HashSet::new(),
+        last_kill_check_s: 0.0,
     }));
 
     let mut engine = Engine::new();
@@ -574,10 +719,14 @@ fn as_worker_tick(
     itype: ppc_compute::instance::InstanceType,
     cfg: SimConfig,
 ) {
+    let now_s = engine.now().as_secs_f64();
     let (task, duration_s, fails, received_at) = {
         let mut st = state.borrow_mut();
         if st.completed >= st.n_tasks {
             return; // job done; the fleet winds down
+        }
+        if st.dead.contains(&slot) {
+            return; // the instance was chaos-killed: its chain ends
         }
         if st.drain.contains(&slot) {
             // Between tasks the worker holds no lease: exit immediately.
@@ -597,7 +746,7 @@ fn as_worker_tick(
         st.bytes_in += task.profile.output_bytes;
         st.bytes_out += task.profile.input_bytes;
         st.remote_bytes += task.profile.input_bytes + task.profile.output_bytes;
-        let t_in = cfg
+        let mut t_in = cfg
             .storage_latency
             .transfer_seconds(task.profile.input_bytes);
         let t_out = cfg
@@ -608,26 +757,39 @@ fn as_worker_tick(
         } else {
             1.0
         };
-        let t_exec = task_service_seconds(&itype, 1, &task.profile, &cfg.app) * jitter;
+        let mut t_exec = task_service_seconds(&itype, 1, &task.profile, &cfg.app) * jitter;
         let t_ctrl = 3.0 * cfg.queue_latency.request_seconds();
         st.queue_requests += 2; // monitor send + delete
         st.in_flight += 1;
-        let fails = cfg.failure_rate > 0.0 && st.rng.chance(cfg.failure_rate);
-        (
-            task,
-            t_in + t_exec + t_out + t_ctrl,
-            fails,
-            engine.now().as_secs_f64(),
-        )
+        let mut fails = cfg.failure_rate > 0.0 && st.rng.chance(cfg.failure_rate);
+        if let Some(schedule) = st.schedule.clone() {
+            let seq = st.next_seq(slot);
+            t_exec *= schedule.slowdown(slot, now_s);
+            if let Some(until) = schedule.storage_outage_until(now_s) {
+                t_in += until - now_s;
+            }
+            // Timed kills are the controller's concern (whole-instance
+            // death); per-task dice and torn uploads cost the execution.
+            fails = fails
+                || schedule.die_before_execute(slot, seq)
+                || schedule.die_mid_execute(slot, seq)
+                || schedule.die_before_delete(slot, seq)
+                || schedule.is_torn_upload(slot, seq);
+        }
+        (task, t_in + t_exec + t_out + t_ctrl, fails, now_s)
     };
 
     let st2 = state.clone();
     engine.schedule_in(SimTime::from_secs_f64(duration_s), move |e| {
         let now = e.now().as_secs_f64();
+        // An instance chaos-killed while this task was in hand loses the
+        // work: the execution never completes and the message reappears.
+        let slot_died = st2.borrow().dead.contains(&slot);
+        let lost = fails || slot_died;
         {
             let mut st = st2.borrow_mut();
             st.in_flight -= 1;
-            if fails {
+            if lost {
                 st.deaths += 1;
             } else {
                 st.completed += 1;
@@ -639,7 +801,7 @@ fn as_worker_tick(
                 }
             }
         }
-        if fails {
+        if lost {
             // The undeleted message reappears one visibility timeout after
             // its receive, waking a parked worker if one exists.
             let reappear_at = (received_at + cfg.visibility_timeout_s).max(now);
@@ -649,6 +811,9 @@ fn as_worker_tick(
                 st3.borrow_mut().pending.push_back((task, at));
                 as_wake_idle(e, st3, itype, cfg);
             });
+        }
+        if slot_died {
+            return; // dead instances do not poll again
         }
         as_worker_tick(e, st2, slot, itype, cfg);
     });
@@ -670,6 +835,29 @@ fn as_controller_tick(
         for slot in inbox {
             st.controller.confirm_retired(slot, now_s);
         }
+        // Dead-instance sweep: a timed kill addressed to a live slot takes
+        // the whole instance down. `mark_dead` records the death and
+        // waives the scale-up cooldown so `decide` below can launch a
+        // replacement on this very tick.
+        if let Some(schedule) = st.schedule.clone() {
+            let from_s = st.last_kill_check_s;
+            let victims: Vec<u32> = st
+                .controller
+                .slots()
+                .iter()
+                .filter(|s| matches!(s.state, SlotState::Warming | SlotState::Active))
+                .filter(|s| schedule.kills_in(s.id, from_s, now_s))
+                .map(|s| s.id)
+                .collect();
+            for id in victims {
+                st.controller.mark_dead(id, now_s);
+                st.dead.insert(id);
+                if let Some(pos) = st.idle.iter().position(|&w| w == id) {
+                    st.idle.remove(pos);
+                }
+            }
+        }
+        st.last_kill_check_s = now_s;
         if st.completed >= st.n_tasks {
             return; // no more ticks: let the engine run dry
         }
@@ -1056,6 +1244,82 @@ mod tests {
         let peaks = seq.iter().filter(|&&s| s == 4).count();
         assert!(peaks >= 2, "two ramps expected, got {seq:?}");
         assert_eq!(*seq.last().unwrap(), 1, "fleet returns to minimum");
+    }
+
+    #[test]
+    fn chaos_schedule_drives_redelivery_slowdown_and_determinism() {
+        let cluster = Cluster::provision(EC2_HCXL, 1, 8);
+        let tasks = cpu_tasks(64, 5.0);
+        let cfg = SimConfig {
+            jitter_sigma: 0.0,
+            visibility_timeout_s: 60.0,
+            ..SimConfig::ec2()
+        };
+        let schedule = Arc::new(
+            FaultSchedule::new(9)
+                .kill_at(0, 10.0)
+                .kill_at(3, 20.0)
+                .kill_mid_execute(1, 1)
+                .torn_upload(2, 2)
+                .degrade(4, 2.0, 0.0, 100.0)
+                .brownout(5.0, 15.0)
+                .with_death_probabilities(0.02, 0.02, 0.02),
+        );
+        let clean = simulate(&cluster, &tasks, &cfg);
+        let chaos = simulate_chaos(&cluster, &tasks, &cfg, schedule.clone());
+        assert_eq!(chaos.summary.tasks, 64, "every task still completes");
+        assert!(chaos.worker_deaths > 0);
+        assert!(chaos.redundant_executions() > 0);
+        assert!(chaos.summary.makespan_seconds > clean.summary.makespan_seconds);
+        // Same schedule, same seed: bit-identical runs.
+        let again = simulate_chaos(&cluster, &tasks, &cfg, schedule);
+        assert_eq!(
+            chaos.summary.makespan_seconds,
+            again.summary.makespan_seconds
+        );
+        assert_eq!(chaos.total_executions, again.total_executions);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure_rate")]
+    fn invalid_sim_config_panics_with_message() {
+        let cluster = Cluster::provision(EC2_HCXL, 1, 2);
+        let cfg = SimConfig::ec2().with_failures(1.5, 60.0);
+        simulate(&cluster, &cpu_tasks(2, 1.0), &cfg);
+    }
+
+    #[test]
+    fn autoscaled_chaos_kill_is_survived_and_deterministic() {
+        // Kill an instance mid-run: the controller detects the death,
+        // launches a replacement, and every task still completes.
+        let cfg = SimConfig {
+            visibility_timeout_s: 60.0,
+            ..free_cfg()
+        };
+        let schedule = Arc::new(FaultSchedule::new(3).kill_at(0, 25.0));
+        let run = || {
+            simulate_autoscaled_chaos(
+                EC2_HCXL,
+                &cpu_tasks(48, 30.0),
+                &[],
+                &cfg,
+                &autoscale_cfg(),
+                Some(schedule.clone()),
+            )
+        };
+        let report = run();
+        assert_eq!(report.summary.tasks, 48, "every task still completes");
+        let fleet = report.fleet.as_ref().expect("fleet report");
+        assert!(fleet.peak_fleet() >= 2);
+        let again = run();
+        assert_eq!(
+            report.summary.makespan_seconds,
+            again.summary.makespan_seconds
+        );
+        assert_eq!(
+            report.fleet.unwrap().timeline.steps(),
+            again.fleet.unwrap().timeline.steps()
+        );
     }
 
     #[test]

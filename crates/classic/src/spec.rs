@@ -60,6 +60,13 @@ impl JobSpec {
         format!("{}-monitor", self.name)
     }
 
+    /// Name of the dead-letter queue: tasks that exhaust `max_deliveries`
+    /// are parked here for offline inspection or redrive. The runtime
+    /// leaves this queue alive after the job so operators can drain it.
+    pub fn dead_letter_queue(&self) -> String {
+        format!("{}-dlq", self.name)
+    }
+
     /// Sanity-check the job before spending money on it.
     pub fn validate(&self) -> Result<()> {
         if self.tasks.is_empty() {

@@ -10,6 +10,9 @@
 //! * [`pricing`] — cloud service price books (per-request, per-GB rates).
 //! * [`report`] — aligned text tables and data series used by the benchmark
 //!   harness to print the paper's tables and figures.
+//! * [`retry`] — the shared recovery layer: [`retry::RetryPolicy`]
+//!   (exponential backoff + jitter + retry budget), a circuit breaker,
+//!   and deadline propagation, adopted by storage, queue, and runtimes.
 //! * [`rng`] — tiny deterministic PRNGs (SplitMix64 / PCG32) so simulation
 //!   results are reproducible without threading `rand` through everything.
 //! * [`json`] — a small JSON value/parser/writer for the wire formats
@@ -29,6 +32,7 @@ pub mod money;
 pub mod par;
 pub mod pricing;
 pub mod report;
+pub mod retry;
 pub mod rng;
 pub mod sync;
 pub mod task;
@@ -37,4 +41,5 @@ pub mod trace;
 pub use error::{PpcError, Result};
 pub use exec::{Executor, FnExecutor};
 pub use money::Usd;
+pub use retry::{BreakerState, CircuitBreaker, Deadline, RetryPolicy};
 pub use task::{ResourceProfile, TaskId, TaskSpec};

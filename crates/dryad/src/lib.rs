@@ -33,5 +33,5 @@ pub mod sim;
 pub use graph::Graph;
 pub use linq::DVec;
 pub use partition::{partition_contiguous, partition_round_robin, PartitionManifest};
-pub use runtime::{run_homomorphic_job, DryadConfig, DryadReport};
-pub use sim::{simulate, DryadSimConfig};
+pub use runtime::{run_homomorphic_job, run_homomorphic_job_chaos, DryadConfig, DryadReport};
+pub use sim::{simulate, simulate_chaos, DryadSimConfig};

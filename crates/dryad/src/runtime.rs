@@ -7,9 +7,12 @@
 //! (vertices share the node's cores) but never across nodes — the defining
 //! limitation measured in the paper's load-balancing discussion (§4.2).
 
+use ppc_chaos::{FaultSchedule, RunClock};
 use ppc_compute::cluster::Cluster;
 use ppc_core::exec::Executor;
 use ppc_core::metrics::RunSummary;
+use ppc_core::retry::RetryPolicy;
+use ppc_core::rng::Pcg32;
 use ppc_core::task::TaskSpec;
 use ppc_core::{PpcError, Result};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -78,12 +81,44 @@ pub fn run_homomorphic_job(
     executor: Arc<dyn Executor>,
     config: &DryadConfig,
 ) -> Result<(DryadReport, JobOutputs)> {
+    run_homomorphic_job_chaos(cluster, inputs, executor, config, None)
+}
+
+/// [`run_homomorphic_job`] under a deterministic [`FaultSchedule`].
+///
+/// Workers are addressed by flat slot index (node-major). A scheduled kill
+/// takes a vertex slot down: its in-hand vertex goes back on the node's
+/// local list for a surviving slot — re-execution never crosses nodes,
+/// which is exactly DryadLINQ's static-partitioning constraint. Death dice
+/// and torn outputs fail a single vertex attempt, recovered by the shared
+/// retry layer. Cloud-storage outage windows do *not* apply: Dryad reads
+/// node-local files (the paper's Windows shared directories).
+pub fn run_homomorphic_job_chaos(
+    cluster: &Cluster,
+    inputs: Vec<(TaskSpec, Vec<u8>)>,
+    executor: Arc<dyn Executor>,
+    config: &DryadConfig,
+    schedule: Option<Arc<FaultSchedule>>,
+) -> Result<(DryadReport, JobOutputs)> {
     if inputs.is_empty() {
         return Err(PpcError::InvalidArgument("no inputs".into()));
+    }
+    if let Some(schedule) = &schedule {
+        schedule.validate()?;
     }
     let n_nodes = cluster.n_nodes();
     // Static node-level partitioning, fixed before execution.
     let partitions = crate::partition::partition_round_robin(inputs, n_nodes);
+    // Flat worker index of each node's first slot.
+    let node_bases: Vec<usize> = cluster
+        .nodes()
+        .iter()
+        .scan(0usize, |acc, n| {
+            let base = *acc;
+            *acc += n.workers;
+            Some(base)
+        })
+        .collect();
 
     let outputs: Mutex<Vec<(String, Vec<u8>)>> = Mutex::new(Vec::new());
     let failures = AtomicUsize::new(0);
@@ -91,11 +126,14 @@ pub fn run_homomorphic_job(
     let first_error: Mutex<Option<PpcError>> = Mutex::new(None);
     let per_node: Mutex<Vec<f64>> = Mutex::new(vec![0.0; n_nodes]);
     let total_bytes = AtomicUsize::new(0);
+    let chaos = schedule.as_deref();
+    let clock = RunClock::start();
 
     let start = Instant::now();
     std::thread::scope(|scope| {
         for (node, node_inputs) in partitions.into_iter().enumerate() {
             let workers = cluster.nodes()[node].workers;
+            let node_base = node_bases[node];
             let executor = executor.clone();
             let outputs = &outputs;
             let failures = &failures;
@@ -103,47 +141,93 @@ pub fn run_homomorphic_job(
             let first_error = &first_error;
             let per_node = &per_node;
             let total_bytes = &total_bytes;
+            let clock = &clock;
             scope.spawn(move || {
                 let node_start = Instant::now();
                 // Within the node, vertices share a local work list.
                 let local: Mutex<std::collections::VecDeque<(TaskSpec, Vec<u8>)>> =
                     Mutex::new(node_inputs.into());
                 std::thread::scope(|inner| {
-                    for _ in 0..workers {
+                    for slot in 0..workers {
                         let executor = executor.clone();
                         let local = &local;
-                        inner.spawn(move || loop {
-                            let item = local.lock().unwrap().pop_front();
-                            let (spec, input) = match item {
-                                Some(x) => x,
-                                None => break,
-                            };
+                        let worker = (node_base + slot) as u32;
+                        inner.spawn(move || {
                             // Re-execute a failed vertex (Table 3's Dryad
-                            // fault tolerance) before declaring it failed.
-                            let mut last_err = None;
-                            let mut output = None;
-                            for attempt in 0..=config.max_retries {
-                                match executor.run(&spec, &input) {
-                                    Ok(out) => {
-                                        if attempt > 0 {
-                                            retries.fetch_add(attempt as usize, Ordering::Relaxed);
-                                        }
-                                        output = Some(out);
+                            // fault tolerance) through the shared retry
+                            // layer before declaring it failed.
+                            let policy = RetryPolicy::immediate(config.max_retries + 1);
+                            let mut rng = Pcg32::new(0xd12ad ^ ((worker as u64) << 8));
+                            let mut task_seq: u32 = 0;
+                            let mut last_kill_s: f64 = 0.0;
+                            loop {
+                                let item = local.lock().unwrap().pop_front();
+                                let (spec, input) = match item {
+                                    Some(x) => x,
+                                    None => break,
+                                };
+                                if let Some(schedule) = chaos {
+                                    let now_s = clock.now_s();
+                                    if schedule.kills_in(worker, last_kill_s, now_s) {
+                                        // Slot dies: hand the vertex back to
+                                        // a surviving slot on this node.
+                                        local.lock().unwrap().push_front((spec, input));
                                         break;
                                     }
-                                    Err(e) => last_err = Some(e),
+                                    last_kill_s = now_s;
                                 }
-                            }
-                            match output {
-                                Some(out) => {
-                                    total_bytes.fetch_add(out.len(), Ordering::Relaxed);
-                                    outputs.lock().unwrap().push((spec.output_key.clone(), out));
+                                let seq = task_seq;
+                                task_seq += 1;
+                                let vertex_start = Instant::now();
+                                let mut used_attempts = 0u32;
+                                let out = policy.run_blocking(&mut rng, |attempt| {
+                                    used_attempts = attempt;
+                                    if let Some(schedule) = chaos {
+                                        // Any death die or a torn output
+                                        // costs exactly one failed attempt;
+                                        // the job manager re-runs the vertex.
+                                        if attempt == 0
+                                            && (schedule.die_before_execute(worker, seq)
+                                                || schedule.die_mid_execute(worker, seq)
+                                                || schedule.die_before_delete(worker, seq)
+                                                || schedule.is_torn_upload(worker, seq))
+                                        {
+                                            return Err(PpcError::Transient(
+                                                "chaos: vertex attempt killed".into(),
+                                            ));
+                                        }
+                                    }
+                                    executor.run(&spec, &input)
+                                });
+                                if let Some(schedule) = chaos {
+                                    // Gray degradation stretches the vertex.
+                                    let factor = schedule.slowdown(worker, clock.now_s());
+                                    if factor > 1.0 {
+                                        std::thread::sleep(
+                                            vertex_start.elapsed().mul_f64(factor - 1.0),
+                                        );
+                                    }
                                 }
-                                None => {
-                                    failures.fetch_add(1, Ordering::Relaxed);
-                                    let mut fe = first_error.lock().unwrap();
-                                    if fe.is_none() {
-                                        *fe = last_err;
+                                match out {
+                                    Ok(out) => {
+                                        if used_attempts > 0 {
+                                            retries.fetch_add(
+                                                used_attempts as usize,
+                                                Ordering::Relaxed,
+                                            );
+                                        }
+                                        total_bytes.fetch_add(out.len(), Ordering::Relaxed);
+                                        outputs
+                                            .lock()
+                                            .unwrap()
+                                            .push((spec.output_key.clone(), out));
+                                    }
+                                    Err(e) => {
+                                        failures.fetch_add(1, Ordering::Relaxed);
+                                        let mut fe = first_error.lock().unwrap();
+                                        if fe.is_none() {
+                                            *fe = Some(e);
+                                        }
                                     }
                                 }
                             }
@@ -281,6 +365,65 @@ mod tests {
         assert_eq!(report.vertex_failures, 0, "retries recovered every vertex");
         assert_eq!(outputs.len(), 12);
         assert_eq!(report.vertex_retries, 12, "one retry per task");
+    }
+
+    #[test]
+    fn scheduled_kill_recovered_by_surviving_slot() {
+        // Kill slot 0 (node 0) almost immediately; its in-hand vertex must
+        // be re-run by the node's surviving slot, losing nothing.
+        let cluster = Cluster::provision(BARE_HPC16, 2, 2);
+        let exec = FnExecutor::new("slow", |_s, i: &[u8]| {
+            std::thread::sleep(Duration::from_millis(2));
+            Ok(i.to_vec())
+        });
+        let schedule = Arc::new(FaultSchedule::new(5).kill_at(0, 0.003));
+        let (report, outputs) = run_homomorphic_job_chaos(
+            &cluster,
+            inputs(16),
+            exec,
+            &DryadConfig::default(),
+            Some(schedule),
+        )
+        .unwrap();
+        assert_eq!(report.vertex_failures, 0);
+        assert_eq!(outputs.len(), 16, "no vertex may be lost to the kill");
+    }
+
+    #[test]
+    fn chaos_dice_drive_vertex_retries() {
+        let cluster = Cluster::provision(BARE_HPC16, 2, 2);
+        let exec = FnExecutor::new("id", |_s, i: &[u8]| Ok(i.to_vec()));
+        let schedule = Arc::new(FaultSchedule::new(7).with_death_probabilities(0.3, 0.2, 0.1));
+        let (report, outputs) = run_homomorphic_job_chaos(
+            &cluster,
+            inputs(40),
+            exec,
+            &DryadConfig::default(),
+            Some(schedule),
+        )
+        .unwrap();
+        assert_eq!(report.vertex_failures, 0);
+        assert_eq!(outputs.len(), 40);
+        assert!(
+            report.vertex_retries > 0,
+            "dice must have cost some attempts"
+        );
+    }
+
+    #[test]
+    fn invalid_schedule_rejected_up_front() {
+        let cluster = Cluster::provision(BARE_HPC16, 1, 1);
+        let exec = FnExecutor::new("id", |_s, i: &[u8]| Ok(i.to_vec()));
+        let schedule = Arc::new(FaultSchedule::new(1).brownout(0.5, 0.1));
+        let err = run_homomorphic_job_chaos(
+            &cluster,
+            inputs(2),
+            exec,
+            &DryadConfig::default(),
+            Some(schedule),
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "InvalidArgument");
     }
 
     #[test]

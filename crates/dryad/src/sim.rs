@@ -7,13 +7,16 @@
 //! precisely why DryadLINQ load-balances worse than the global-queue
 //! platforms — nothing can flow between nodes mid-job.)
 
+use ppc_chaos::FaultSchedule;
 use ppc_compute::cluster::Cluster;
 use ppc_compute::model::{task_service_seconds, AppModel};
 use ppc_core::metrics::RunSummary;
 use ppc_core::rng::Pcg32;
 use ppc_core::task::TaskSpec;
+use ppc_core::{PpcError, Result};
 use ppc_storage::latency::LatencyModel;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::runtime::DryadReport;
 
@@ -42,9 +45,55 @@ impl Default for DryadSimConfig {
     }
 }
 
+impl DryadSimConfig {
+    /// Reject nonsense configuration before the simulation starts.
+    pub fn validate(&self) -> Result<()> {
+        if !self.vertex_overhead_s.is_finite() || self.vertex_overhead_s < 0.0 {
+            return Err(PpcError::InvalidArgument(format!(
+                "dryad sim config: vertex_overhead_s = {} must be finite and >= 0",
+                self.vertex_overhead_s
+            )));
+        }
+        if !self.jitter_sigma.is_finite() || self.jitter_sigma < 0.0 {
+            return Err(PpcError::InvalidArgument(format!(
+                "dryad sim config: jitter_sigma = {} must be finite and >= 0",
+                self.jitter_sigma
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Simulate a statically partitioned job of `tasks` on `cluster`.
 pub fn simulate(cluster: &Cluster, tasks: &[TaskSpec], cfg: &DryadSimConfig) -> DryadReport {
+    simulate_chaos(cluster, tasks, cfg, None)
+}
+
+/// Cap on chaos re-runs of one vertex before it counts as failed (the
+/// i.i.d. death dice can in principle chain forever at p close to 1).
+const MAX_CHAOS_ATTEMPTS: u32 = 16;
+
+/// [`simulate`] under a deterministic [`FaultSchedule`]. Slots are
+/// addressed by flat node-major index; a kill or death die landing on a
+/// vertex costs one full re-run *on the same node* (static partitioning:
+/// work never migrates across nodes). Gray degradation stretches every
+/// vertex the degraded slot runs; cloud-storage outages do not apply to
+/// Dryad's node-local files.
+pub fn simulate_chaos(
+    cluster: &Cluster,
+    tasks: &[TaskSpec],
+    cfg: &DryadSimConfig,
+    schedule: Option<Arc<FaultSchedule>>,
+) -> DryadReport {
     assert!(!tasks.is_empty(), "no tasks to simulate");
+    if let Err(e) = cfg.validate() {
+        panic!("{e}");
+    }
+    if let Some(schedule) = &schedule {
+        if let Err(e) = schedule.validate() {
+            panic!("{e}");
+        }
+    }
     let n_nodes = cluster.n_nodes();
     let itype = cluster.itype();
     let mut rng = Pcg32::new(cfg.seed);
@@ -53,12 +102,18 @@ pub fn simulate(cluster: &Cluster, tasks: &[TaskSpec], cfg: &DryadSimConfig) -> 
     let partitions = crate::partition::partition_round_robin(tasks.to_vec(), n_nodes);
 
     let mut per_node_seconds = Vec::with_capacity(n_nodes);
+    let mut vertex_failures = 0usize;
+    let mut vertex_retries = 0usize;
+    let mut node_base = 0usize;
     for (node_idx, node_tasks) in partitions.iter().enumerate() {
         let workers = cluster.nodes()[node_idx].workers;
         // List-schedule the node's tasks onto its worker slots: a min-heap
-        // of slot-free times (exact for FIFO within a node).
-        let mut slots: BinaryHeap<std::cmp::Reverse<u64>> =
-            (0..workers).map(|_| std::cmp::Reverse(0u64)).collect();
+        // of (slot-free time, flat slot id) — exact for FIFO within a node.
+        let mut slots: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = (0..workers)
+            .map(|s| std::cmp::Reverse((0u64, node_base + s)))
+            .collect();
+        let mut task_seqs = vec![0u32; workers];
+        let mut last_kill = vec![0.0f64; workers];
         let mut node_finish = 0u64; // microseconds
         for task in node_tasks {
             let t_exec = task_service_seconds(&itype, workers, &task.profile, &cfg.app);
@@ -69,13 +124,47 @@ pub fn simulate(cluster: &Cluster, tasks: &[TaskSpec], cfg: &DryadSimConfig) -> 
             };
             let t_io = cfg.local_io.transfer_seconds(task.profile.input_bytes)
                 + cfg.local_io.transfer_seconds(task.profile.output_bytes);
-            let dur = ((cfg.vertex_overhead_s + t_exec * jitter + t_io) * 1e6).round() as u64;
-            let std::cmp::Reverse(free_at) = slots.pop().expect("at least one slot");
-            let finish = free_at + dur;
+            let std::cmp::Reverse((free_at, slot)) = slots.pop().expect("at least one slot");
+            let local_slot = slot - node_base;
+            let mut finish = free_at;
+            if let Some(schedule) = &schedule {
+                let w = slot as u32;
+                let mut attempts = 0u32;
+                loop {
+                    let now_s = finish as f64 / 1e6;
+                    let factor = schedule.slowdown(w, now_s);
+                    let dur = ((cfg.vertex_overhead_s + t_exec * jitter * factor + t_io) * 1e6)
+                        .round() as u64;
+                    finish += dur;
+                    let seq = task_seqs[local_slot];
+                    task_seqs[local_slot] += 1;
+                    let end_s = finish as f64 / 1e6;
+                    let killed = schedule.kills_in(w, last_kill[local_slot], end_s);
+                    last_kill[local_slot] = end_s;
+                    let dies = killed
+                        || schedule.die_before_execute(w, seq)
+                        || schedule.die_mid_execute(w, seq)
+                        || schedule.die_before_delete(w, seq)
+                        || schedule.is_torn_upload(w, seq);
+                    attempts += 1;
+                    if !dies {
+                        break;
+                    }
+                    if attempts >= MAX_CHAOS_ATTEMPTS {
+                        vertex_failures += 1;
+                        break;
+                    }
+                    vertex_retries += 1;
+                }
+            } else {
+                let dur = ((cfg.vertex_overhead_s + t_exec * jitter + t_io) * 1e6).round() as u64;
+                finish = free_at + dur;
+            }
             node_finish = node_finish.max(finish);
-            slots.push(std::cmp::Reverse(finish));
+            slots.push(std::cmp::Reverse((finish, slot)));
         }
         per_node_seconds.push(node_finish as f64 / 1e6);
+        node_base += workers;
     }
 
     let makespan = per_node_seconds.iter().cloned().fold(0.0, f64::max);
@@ -83,14 +172,14 @@ pub fn simulate(cluster: &Cluster, tasks: &[TaskSpec], cfg: &DryadSimConfig) -> 
         summary: RunSummary {
             platform: format!("dryad-sim-{}", itype.name),
             cores: cluster.total_workers(),
-            tasks: tasks.len(),
+            tasks: tasks.len() - vertex_failures,
             makespan_seconds: makespan,
-            redundant_executions: 0,
+            redundant_executions: vertex_retries,
             remote_bytes: 0,
         },
         per_node_seconds,
-        vertex_failures: 0,
-        vertex_retries: 0,
+        vertex_failures,
+        vertex_retries,
     }
 }
 
@@ -173,6 +262,44 @@ mod tests {
             simulate(&cluster, &tasks, &cfg).summary.makespan_seconds,
             simulate(&cluster, &tasks, &cfg).summary.makespan_seconds
         );
+    }
+
+    #[test]
+    fn chaos_costs_time_and_stays_deterministic() {
+        let cluster = Cluster::provision(BARE_HPC16, 2, 16);
+        let tasks = cpu_tasks(64, 10.0);
+        let cfg = quiet();
+        let schedule = Arc::new(
+            FaultSchedule::new(13)
+                .kill_at(0, 5.0)
+                .degrade(17, 2.0, 0.0, 40.0)
+                .with_death_probabilities(0.05, 0.03, 0.02),
+        );
+        let clean = simulate(&cluster, &tasks, &cfg);
+        let a = simulate_chaos(&cluster, &tasks, &cfg, Some(schedule.clone()));
+        let b = simulate_chaos(&cluster, &tasks, &cfg, Some(schedule));
+        assert_eq!(a.vertex_failures, 0);
+        assert_eq!(a.summary.tasks, 64);
+        assert!(a.vertex_retries > 0, "chaos must cost re-runs");
+        assert!(
+            a.summary.makespan_seconds > clean.summary.makespan_seconds,
+            "chaos must cost time: {} vs {}",
+            a.summary.makespan_seconds,
+            clean.summary.makespan_seconds
+        );
+        assert_eq!(a.summary.makespan_seconds, b.summary.makespan_seconds);
+        assert_eq!(a.vertex_retries, b.vertex_retries);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex_overhead_s")]
+    fn invalid_sim_config_panics_with_message() {
+        let cluster = Cluster::provision(BARE_HPC16, 1, 1);
+        let cfg = DryadSimConfig {
+            vertex_overhead_s: -1.0,
+            ..Default::default()
+        };
+        simulate(&cluster, &cpu_tasks(2, 1.0), &cfg);
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub use iterative::{run_iterative, IterativeJob, IterativeReport};
 pub use job::{ExecutableMapper, MapContext, MapReduceJob, Mapper, Reducer};
 pub use report::MapReduceReport;
 pub use runtime::{run_job, HadoopConfig};
-pub use sim::{simulate, HadoopSimConfig};
+pub use sim::{simulate, simulate_chaos, HadoopSimConfig};

@@ -10,9 +10,10 @@ use crate::input::{compute_splits, InputFormat};
 use crate::job::{partition_for, MapContext, MapReduceJob, Mapper, Reducer};
 use crate::report::MapReduceReport;
 use crate::scheduler::{CompleteOutcome, Scheduler};
+use ppc_chaos::{FaultSchedule, RunClock};
 use ppc_core::metrics::RunSummary;
 use ppc_core::rng::Pcg32;
-use ppc_core::Result;
+use ppc_core::{PpcError, Result};
 use ppc_hdfs::block::DataNodeId;
 use ppc_hdfs::fs::MiniHdfs;
 use std::collections::BTreeMap;
@@ -32,6 +33,13 @@ pub struct HadoopConfig {
     /// Poll sleep when no work is available yet.
     pub poll_backoff: Duration,
     pub seed: u64,
+    /// Deterministic fault schedule. Workers are addressed by the flat
+    /// slot index `node * slots_per_node + slot`; a scheduled kill takes
+    /// the whole tasktracker slot down (its in-hand attempt fails and the
+    /// surviving slots re-execute the task), while the i.i.d. death dice
+    /// and torn uploads fail individual attempts — Hadoop's
+    /// output-committer discipline makes both recoverable.
+    pub schedule: Option<Arc<FaultSchedule>>,
 }
 
 impl Default for HadoopConfig {
@@ -42,7 +50,29 @@ impl Default for HadoopConfig {
             straggler_delay: None,
             poll_backoff: Duration::from_micros(200),
             seed: 0xad00,
+            schedule: None,
         }
+    }
+}
+
+impl HadoopConfig {
+    /// Reject nonsense configuration before any threads are spawned.
+    pub fn validate(&self) -> Result<()> {
+        if self.slots_per_node == 0 {
+            return Err(PpcError::InvalidArgument(
+                "hadoop config: slots_per_node must be at least 1".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.attempt_failure_p) {
+            return Err(PpcError::InvalidArgument(format!(
+                "hadoop config: attempt_failure_p = {} is not a probability in [0, 1]",
+                self.attempt_failure_p
+            )));
+        }
+        if let Some(schedule) = &self.schedule {
+            schedule.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -65,6 +95,7 @@ pub fn run_job_with(
     config: &HadoopConfig,
 ) -> Result<MapReduceReport> {
     job.validate()?;
+    config.validate()?;
     let splits = compute_splits(fs, &job.input_paths)?;
     let n_tasks = splits.len();
     let scheduler = Mutex::new(Scheduler::new(splits, job.speculative, job.max_attempts));
@@ -79,6 +110,7 @@ pub fn run_job_with(
     let map_done_at: Mutex<Option<Instant>> = Mutex::new(None);
 
     let start = Instant::now();
+    let clock = RunClock::start();
     let n_nodes = fs.n_nodes();
 
     std::thread::scope(|scope| {
@@ -93,8 +125,13 @@ pub fn run_job_with(
                 let map_output_records = &map_output_records;
                 let shuffle_records = &shuffle_records;
                 let fs = fs.clone();
+                let clock = &clock;
                 scope.spawn(move || {
                     let node_id = DataNodeId(node);
+                    let worker = (node * config.slots_per_node + slot) as u32;
+                    let chaos = config.schedule.as_deref();
+                    let mut task_seq: u32 = 0;
+                    let mut last_kill_s: f64 = 0.0;
                     let mut rng = Pcg32::new(config.seed ^ ((node as u64) << 16) ^ slot as u64);
                     loop {
                         let assignment = {
@@ -121,6 +158,34 @@ pub fn run_job_with(
                             remote_bytes.fetch_add(split.len, Ordering::Relaxed);
                         }
 
+                        let seq = task_seq;
+                        task_seq += 1;
+                        if let Some(schedule) = chaos {
+                            // A scheduled kill takes the whole slot down: the
+                            // in-hand attempt fails and this thread exits, so
+                            // the task re-runs on a surviving slot.
+                            let now_s = clock.now_s();
+                            if schedule.kills_in(worker, last_kill_s, now_s) {
+                                scheduler.lock().unwrap().fail(assignment.id);
+                                break;
+                            }
+                            last_kill_s = now_s;
+                            // I.i.d. crash before the attempt does any work.
+                            if schedule.die_before_execute(worker, seq) {
+                                scheduler.lock().unwrap().fail(assignment.id);
+                                continue;
+                            }
+                            // HDFS brownout/partition: the client rides out
+                            // the window (like the cloud-storage retry path)
+                            // instead of burning the task's attempt budget.
+                            if let Some(until) = schedule.storage_outage_until(clock.now_s()) {
+                                let wait = until - clock.now_s();
+                                if wait > 0.0 {
+                                    std::thread::sleep(Duration::from_secs_f64(wait));
+                                }
+                            }
+                        }
+
                         // Injected attempt failure.
                         if config.attempt_failure_p > 0.0 && rng.chance(config.attempt_failure_p) {
                             scheduler.lock().unwrap().fail(assignment.id);
@@ -133,6 +198,7 @@ pub fn run_job_with(
                             }
                         }
 
+                        let map_started = Instant::now();
                         let mut ctx = MapContext::new(&fs, node_id);
                         let map_result = match job.input_format {
                             InputFormat::FileName => {
@@ -143,6 +209,26 @@ pub fn run_job_with(
                                 Err(e) => Err(e),
                             },
                         };
+                        if let Some(schedule) = chaos {
+                            // Gray degradation: stretch the attempt by the
+                            // schedule's slowdown factor for this worker.
+                            let factor = schedule.slowdown(worker, clock.now_s());
+                            if factor > 1.0 {
+                                std::thread::sleep(map_started.elapsed().mul_f64(factor - 1.0));
+                            }
+                            // Mid-execution death, a torn output, or dying
+                            // before reporting all surface as a failed
+                            // attempt: the output committer only commits the
+                            // first *completed* attempt, so partial output
+                            // can never reach the output directory.
+                            if schedule.die_mid_execute(worker, seq)
+                                || schedule.is_torn_upload(worker, seq)
+                                || schedule.die_before_delete(worker, seq)
+                            {
+                                scheduler.lock().unwrap().fail(assignment.id);
+                                continue;
+                            }
+                        }
                         match map_result {
                             Ok(()) => {
                                 let (mut emitted, _all_local) = ctx.finish();
@@ -484,5 +570,77 @@ mod tests {
         let exec = FnExecutor::new("id", |_s, i: &[u8]| Ok(i.to_vec()));
         let mapper = ExecutableMapper::new("id", exec);
         assert!(run_job(&fs, &job, &mapper, None).is_err());
+    }
+
+    #[test]
+    fn invalid_config_rejected_up_front() {
+        let (fs, paths) = make_fs(2, 2);
+        let job = MapReduceJob::map_only("bad", paths, "/out");
+        let exec = FnExecutor::new("id", |_s, i: &[u8]| Ok(i.to_vec()));
+        let mapper = ExecutableMapper::new("id", exec);
+        let config = HadoopConfig {
+            attempt_failure_p: 1.5,
+            ..HadoopConfig::default()
+        };
+        let err = run_job_with(&fs, &job, &mapper, None, &config).unwrap_err();
+        assert_eq!(err.code(), "InvalidArgument");
+
+        let config = HadoopConfig {
+            schedule: Some(Arc::new(FaultSchedule::new(1).brownout(0.5, 0.1))),
+            ..HadoopConfig::default()
+        };
+        let err = run_job_with(&fs, &job, &mapper, None, &config).unwrap_err();
+        assert_eq!(err.code(), "InvalidArgument");
+    }
+
+    #[test]
+    fn scheduled_kills_are_recovered_by_reexecution() {
+        let (fs, paths) = make_fs(3, 24);
+        let job = MapReduceJob::map_only("chaos", paths, "/out");
+        let exec = FnExecutor::new("id", |_s, i: &[u8]| {
+            std::thread::sleep(Duration::from_millis(2));
+            Ok(i.to_vec())
+        });
+        let mapper = ExecutableMapper::new("id", exec);
+        // Kill two of the six slots early; degrade another; roll dice
+        // everywhere. The job must still produce every output exactly once.
+        let schedule = FaultSchedule::new(11)
+            .kill_at(0, 0.004)
+            .kill_at(4, 0.010)
+            .degrade(2, 3.0, 0.0, 0.060)
+            .with_death_probabilities(0.05, 0.05, 0.05);
+        let config = HadoopConfig {
+            schedule: Some(Arc::new(schedule)),
+            ..HadoopConfig::default()
+        };
+        let report = run_job_with(&fs, &job, &mapper, None, &config).unwrap();
+        assert!(report.is_complete(), "failed: {:?}", report.failed);
+        assert_eq!(report.summary.tasks, 24);
+        assert!(
+            report.scheduler.retries > 0,
+            "chaos must have failed some attempts"
+        );
+        assert_eq!(fs.list("/out/").len(), 24);
+    }
+
+    #[test]
+    fn storage_brownout_stalls_but_completes() {
+        let (fs, paths) = make_fs(2, 12);
+        let job = MapReduceJob::map_only("brown", paths, "/out");
+        let exec = FnExecutor::new("id", |_s, i: &[u8]| Ok(i.to_vec()));
+        let mapper = ExecutableMapper::new("id", exec);
+        let schedule = FaultSchedule::new(3).brownout(0.0, 0.030);
+        let config = HadoopConfig {
+            schedule: Some(Arc::new(schedule)),
+            ..HadoopConfig::default()
+        };
+        let report = run_job_with(&fs, &job, &mapper, None, &config).unwrap();
+        assert!(report.is_complete());
+        // Every worker rode out the 30 ms outage window before reading.
+        assert!(
+            report.summary.makespan_seconds >= 0.030,
+            "brownout must stall the job: {}s",
+            report.summary.makespan_seconds
+        );
     }
 }

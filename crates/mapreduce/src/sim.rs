@@ -14,16 +14,19 @@
 use crate::input::InputSplit;
 use crate::report::MapReduceReport;
 use crate::scheduler::Scheduler;
+use ppc_chaos::FaultSchedule;
 use ppc_compute::cluster::Cluster;
 use ppc_compute::model::{task_service_seconds, AppModel};
 use ppc_core::metrics::RunSummary;
 use ppc_core::rng::Pcg32;
 use ppc_core::task::TaskSpec;
+use ppc_core::{PpcError, Result};
 use ppc_des::{Engine, SimTime};
 use ppc_hdfs::block::DataNodeId;
 use ppc_storage::latency::LatencyModel;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Configuration of the simulated Hadoop platform.
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +82,39 @@ impl Default for HadoopSimConfig {
     }
 }
 
+impl HadoopSimConfig {
+    /// Reject nonsense configuration before the simulation starts.
+    pub fn validate(&self) -> Result<()> {
+        for (name, p) in [
+            ("attempt_failure_p", self.attempt_failure_p),
+            ("straggler_p", self.straggler_p),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(PpcError::InvalidArgument(format!(
+                    "hadoop sim config: {name} = {p} is not a probability in [0, 1]"
+                )));
+            }
+        }
+        if !self.jitter_sigma.is_finite() || self.jitter_sigma < 0.0 {
+            return Err(PpcError::InvalidArgument(format!(
+                "hadoop sim config: jitter_sigma = {} must be finite and >= 0",
+                self.jitter_sigma
+            )));
+        }
+        if self.max_attempts == 0 {
+            return Err(PpcError::InvalidArgument(
+                "hadoop sim config: max_attempts must be at least 1".into(),
+            ));
+        }
+        if self.poll_interval_s <= 0.0 {
+            return Err(PpcError::InvalidArgument(
+                "hadoop sim config: poll_interval_s must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 struct SimState {
     scheduler: Scheduler,
     rng: Pcg32,
@@ -86,12 +122,37 @@ struct SimState {
     attempts: usize,
     data_local: usize,
     remote_bytes: u64,
+    schedule: Option<Arc<FaultSchedule>>,
+    task_seqs: Vec<u32>,
+    last_kill: Vec<f64>,
 }
 
 /// Simulate a map-only Hadoop job of `tasks` on `cluster`.
 pub fn simulate(cluster: &Cluster, tasks: &[TaskSpec], cfg: &HadoopSimConfig) -> MapReduceReport {
+    simulate_chaos(cluster, tasks, cfg, None)
+}
+
+/// [`simulate`] under a deterministic [`FaultSchedule`]. Workers are
+/// addressed by their flat spawn index (node-major); kills, death dice,
+/// torn outputs, gray slowdowns and storage outage windows all map onto
+/// Hadoop's recovery mechanism — the failed attempt is re-executed.
+pub fn simulate_chaos(
+    cluster: &Cluster,
+    tasks: &[TaskSpec],
+    cfg: &HadoopSimConfig,
+    schedule: Option<Arc<FaultSchedule>>,
+) -> MapReduceReport {
     assert!(!tasks.is_empty(), "no tasks to simulate");
+    if let Err(e) = cfg.validate() {
+        panic!("{e}");
+    }
+    if let Some(schedule) = &schedule {
+        if let Err(e) = schedule.validate() {
+            panic!("{e}");
+        }
+    }
     let n_nodes = cluster.n_nodes();
+    let total_workers = cluster.total_workers();
     let mut rng = Pcg32::new(cfg.seed);
 
     // Synthesize HDFS locality: each input replicated on `replication`
@@ -125,6 +186,9 @@ pub fn simulate(cluster: &Cluster, tasks: &[TaskSpec], cfg: &HadoopSimConfig) ->
         attempts: 0,
         data_local: 0,
         remote_bytes: 0,
+        schedule,
+        task_seqs: vec![0; total_workers],
+        last_kill: vec![0.0; total_workers],
     }));
 
     let tasks: Rc<Vec<TaskSpec>> = Rc::new(tasks.to_vec());
@@ -132,14 +196,17 @@ pub fn simulate(cluster: &Cluster, tasks: &[TaskSpec], cfg: &HadoopSimConfig) ->
     let itype = cluster.itype();
     let cfg = *cfg;
 
+    let mut windex: usize = 0;
     for node in cluster.nodes() {
         for _ in 0..node.workers {
             let state = state.clone();
             let tasks = tasks.clone();
             let node_id = DataNodeId(node.id);
             let workers = node.workers;
+            let worker = windex;
+            windex += 1;
             engine.schedule_at(SimTime::ZERO, move |e| {
-                worker_tick(e, state, tasks, node_id, workers, itype, cfg);
+                worker_tick(e, state, tasks, node_id, workers, worker, itype, cfg);
             });
         }
     }
@@ -174,9 +241,11 @@ fn worker_tick(
     tasks: Rc<Vec<TaskSpec>>,
     node: DataNodeId,
     workers_on_node: usize,
+    worker: usize,
     itype: ppc_compute::instance::InstanceType,
     cfg: HadoopSimConfig,
 ) {
+    let now_s = engine.now().as_secs_f64();
     let assignment = {
         let mut st = state.borrow_mut();
         if st.scheduler.is_complete() {
@@ -196,13 +265,13 @@ fn worker_tick(
         None => {
             // With no failure injection a retry can never repopulate the
             // queue, so an idle worker can retire instead of polling.
-            if cfg.attempt_failure_p <= 0.0 {
+            if cfg.attempt_failure_p <= 0.0 && state.borrow().schedule.is_none() {
                 return;
             }
             // Re-poll later (a retry may repopulate the queue).
             let st2 = state.clone();
             engine.schedule_in(SimTime::from_secs_f64(cfg.poll_interval_s), move |e| {
-                worker_tick(e, st2, tasks, node, workers_on_node, itype, cfg);
+                worker_tick(e, st2, tasks, node, workers_on_node, worker, itype, cfg);
             });
             return;
         }
@@ -217,13 +286,14 @@ fn worker_tick(
         } else {
             cfg.remote_read
         };
-        let t_read = read_model.transfer_seconds(task.profile.input_bytes);
+        let mut t_read = read_model.transfer_seconds(task.profile.input_bytes);
         if assignment.local {
             st.data_local += 1;
         } else {
             st.remote_bytes += task.profile.input_bytes;
         }
-        let t_exec_base = task_service_seconds(&itype, workers_on_node, &task.profile, &cfg.app);
+        let mut t_exec_base =
+            task_service_seconds(&itype, workers_on_node, &task.profile, &cfg.app);
         let jitter = if cfg.jitter_sigma > 0.0 {
             st.rng.log_normal(0.0, cfg.jitter_sigma)
         } else {
@@ -235,7 +305,35 @@ fn worker_tick(
             1.0
         };
         let t_write = cfg.local_read.transfer_seconds(task.profile.output_bytes);
-        let fails = cfg.attempt_failure_p > 0.0 && st.rng.chance(cfg.attempt_failure_p);
+        let mut fails = cfg.attempt_failure_p > 0.0 && st.rng.chance(cfg.attempt_failure_p);
+        if let Some(schedule) = st.schedule.clone() {
+            let w = worker as u32;
+            let seq = st.task_seqs[worker];
+            st.task_seqs[worker] += 1;
+            // Gray degradation stretches the attempt; an HDFS outage
+            // window stalls the read until the window closes (the
+            // client rides it out rather than burning attempts).
+            t_exec_base *= schedule.slowdown(w, now_s);
+            if let Some(until) = schedule.storage_outage_until(now_s) {
+                t_read += until - now_s;
+            }
+            // A kill landing anywhere in the attempt's service window,
+            // any death die, or a torn output fails the attempt; the
+            // scheduler re-executes on the attempt budget.
+            let window_end = now_s
+                + cfg.dispatch_overhead_s
+                + t_read
+                + t_exec_base * jitter * straggle
+                + t_write;
+            let killed = schedule.kills_in(w, st.last_kill[worker], window_end);
+            st.last_kill[worker] = window_end;
+            fails = fails
+                || killed
+                || schedule.die_before_execute(w, seq)
+                || schedule.die_mid_execute(w, seq)
+                || schedule.die_before_delete(w, seq)
+                || schedule.is_torn_upload(w, seq);
+        }
         (
             cfg.dispatch_overhead_s + t_read + t_exec_base * jitter * straggle + t_write,
             fails,
@@ -255,7 +353,7 @@ fn worker_tick(
                 st.completed_at = Some(e.now());
             }
         }
-        worker_tick(e, st2, tasks, node, workers_on_node, itype, cfg);
+        worker_tick(e, st2, tasks, node, workers_on_node, worker, itype, cfg);
     });
 }
 
@@ -381,6 +479,46 @@ mod tests {
         let a = simulate(&cluster, &tasks, &cfg).summary.makespan_seconds;
         let b = simulate(&cluster, &tasks, &cfg).summary.makespan_seconds;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chaos_schedule_drives_retries_and_stays_deterministic() {
+        let cluster = Cluster::provision(BARE_CAP3, 4, 8);
+        let tasks = cpu_tasks(64, 10.0);
+        let cfg = quiet(HadoopSimConfig::default());
+        let schedule = Arc::new(
+            FaultSchedule::new(17)
+                .kill_at(0, 15.0)
+                .kill_at(9, 25.0)
+                .degrade(3, 2.0, 0.0, 60.0)
+                .brownout(5.0, 8.0)
+                .with_death_probabilities(0.02, 0.02, 0.02),
+        );
+        let clean = simulate(&cluster, &tasks, &cfg);
+        let a = simulate_chaos(&cluster, &tasks, &cfg, Some(schedule.clone()));
+        let b = simulate_chaos(&cluster, &tasks, &cfg, Some(schedule));
+        assert!(a.is_complete(), "failed: {:?}", a.failed);
+        assert_eq!(a.summary.tasks, 64);
+        assert!(a.scheduler.retries > 0, "chaos must fail some attempts");
+        assert!(
+            a.summary.makespan_seconds > clean.summary.makespan_seconds,
+            "chaos must cost time: {} vs {}",
+            a.summary.makespan_seconds,
+            clean.summary.makespan_seconds
+        );
+        assert_eq!(a.summary.makespan_seconds, b.summary.makespan_seconds);
+        assert_eq!(a.total_attempts, b.total_attempts);
+    }
+
+    #[test]
+    #[should_panic(expected = "attempt_failure_p")]
+    fn invalid_sim_config_panics_with_message() {
+        let cluster = Cluster::provision(BARE_CAP3, 2, 8);
+        let cfg = HadoopSimConfig {
+            attempt_failure_p: -0.5,
+            ..HadoopSimConfig::default()
+        };
+        simulate(&cluster, &cpu_tasks(4, 1.0), &cfg);
     }
 
     #[test]

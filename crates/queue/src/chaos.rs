@@ -9,6 +9,8 @@
 //!   (at-least-once delivery applies even without consumer failure),
 //! * transient API errors the client must retry.
 
+use ppc_core::{PpcError, Result};
+
 /// Probabilities for injected queue misbehaviour. All default to zero.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChaosConfig {
@@ -39,11 +41,29 @@ impl ChaosConfig {
         }
     }
 
-    pub fn validate(&self) -> bool {
-        let ok = |p: f64| (0.0..=1.0).contains(&p);
-        ok(self.empty_receive_probability)
-            && ok(self.duplicate_delivery_probability)
-            && ok(self.transient_error_probability)
+    /// Reject probabilities outside `[0, 1]`, naming the offender. Called
+    /// at every entry point that accepts a [`ChaosConfig`] (queue
+    /// construction, the Classic Cloud runtimes) so bad dials fail loudly
+    /// instead of silently skewing an experiment.
+    pub fn validate(&self) -> Result<()> {
+        for (name, p) in [
+            ("empty_receive_probability", self.empty_receive_probability),
+            (
+                "duplicate_delivery_probability",
+                self.duplicate_delivery_probability,
+            ),
+            (
+                "transient_error_probability",
+                self.transient_error_probability,
+            ),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(PpcError::InvalidArgument(format!(
+                    "queue chaos: {name} = {p} is not a probability in [0, 1]"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -60,20 +80,29 @@ mod tests {
     #[test]
     fn defaults_are_quiet() {
         assert_eq!(ChaosConfig::default(), ChaosConfig::NONE);
-        assert!(ChaosConfig::NONE.validate());
+        assert!(ChaosConfig::NONE.validate().is_ok());
     }
 
     #[test]
-    fn validation_catches_bad_probabilities() {
+    fn validation_names_the_bad_probability() {
         let mut c = ChaosConfig::NONE;
         c.empty_receive_probability = 1.5;
-        assert!(!c.validate());
+        let e = c.validate().unwrap_err();
+        assert_eq!(e.code(), "InvalidArgument");
+        assert!(e.to_string().contains("empty_receive_probability"), "{e}");
         c.empty_receive_probability = -0.1;
-        assert!(!c.validate());
+        assert!(c.validate().is_err());
+        let mut c = ChaosConfig::NONE;
+        c.transient_error_probability = 2.0;
+        assert!(c
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("transient_error_probability"));
     }
 
     #[test]
     fn flaky_is_valid() {
-        assert!(ChaosConfig::flaky().validate());
+        assert!(ChaosConfig::flaky().validate().is_ok());
     }
 }

@@ -7,8 +7,10 @@
 
 use crate::message::{Message, MessageId, ReceiptHandle};
 use crate::queue::Queue;
+use ppc_core::retry::{Deadline, RetryPolicy};
+use ppc_core::rng::Pcg32;
 use ppc_core::{PpcError, Result};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Maximum entries per batch call (SQS's limit).
 pub const MAX_BATCH: usize = 10;
@@ -28,27 +30,60 @@ impl Queue {
         self.stats()
             .receives
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let deadline = Instant::now() + wait;
-        loop {
-            match self.receive_metered(false) {
-                Ok(Some(m)) => return Ok(Some(m)),
+        let record_empty = || {
+            self.stats()
+                .empty_receives
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        };
+        if wait.is_zero() {
+            // Degenerate short poll: a single attempt.
+            return match self.receive_metered(false) {
+                Ok(Some(m)) => Ok(Some(m)),
                 Ok(None) => {
-                    if Instant::now() >= deadline {
-                        self.stats()
-                            .empty_receives
-                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        return Ok(None);
-                    }
-                    std::thread::sleep(Duration::from_micros(200).min(wait));
+                    record_empty();
+                    Ok(None)
                 }
-                Err(e) if e.is_retryable() => {
-                    if Instant::now() >= deadline {
-                        return Err(e);
-                    }
-                    std::thread::sleep(Duration::from_micros(200));
+                Err(e) => Err(e),
+            };
+        }
+        // The whole wait is one deadline propagated through the shared
+        // retry layer: flat 200 µs pacing (a poll loop, not congestion
+        // backoff), unlimited attempts, the deadline bounds the loop.
+        let pause = Duration::from_micros(200).min(wait);
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_delay: pause,
+            max_delay: pause,
+            multiplier: 1.0,
+            jitter: 0.0,
+            budget: None,
+        };
+        let deadline = Deadline::after(wait);
+        let mut rng = Pcg32::new(0);
+        let mut last_was_empty = false;
+        let out = policy.run(
+            &mut rng,
+            Some(&deadline),
+            std::thread::sleep,
+            |_| match self.receive_metered(false) {
+                Ok(Some(m)) => Ok(m),
+                Ok(None) => {
+                    last_was_empty = true;
+                    Err(PpcError::Transient("no message within wait".into()))
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    last_was_empty = false;
+                    Err(e)
+                }
+            },
+        );
+        match out {
+            Ok(m) => Ok(Some(m)),
+            Err(_) if last_was_empty => {
+                record_empty();
+                Ok(None)
             }
+            Err(e) => Err(e),
         }
     }
 
@@ -88,6 +123,7 @@ impl Queue {
 mod tests {
     use super::*;
     use crate::queue::QueueConfig;
+    use std::time::Instant;
 
     #[test]
     fn long_poll_returns_early_when_message_arrives() {

@@ -125,7 +125,9 @@ impl std::fmt::Debug for Queue {
 
 impl Queue {
     pub fn new(name: impl Into<String>, config: QueueConfig) -> Queue {
-        assert!(config.chaos.validate(), "invalid chaos probabilities");
+        if let Err(e) = config.chaos.validate() {
+            panic!("{e}");
+        }
         Queue {
             name: name.into(),
             config,

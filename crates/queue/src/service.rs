@@ -24,8 +24,10 @@ impl QueueService {
         Arc::new(QueueService::default())
     }
 
-    /// Create a queue; errors if the name is taken.
+    /// Create a queue; errors if the name is taken or the chaos
+    /// configuration holds out-of-range probabilities.
     pub fn create_queue(&self, name: &str, config: QueueConfig) -> Result<Arc<Queue>> {
+        config.chaos.validate()?;
         let mut queues = self.queues.write();
         if queues.contains_key(name) {
             return Err(PpcError::AlreadyExists(format!("queue '{name}'")));

@@ -8,6 +8,9 @@
 use crate::consistency::ConsistencyModel;
 use crate::latency::LatencyModel;
 use crate::metering::Metering;
+use ppc_chaos::{FaultSchedule, RunClock, StorageFault};
+use ppc_core::retry::RetryPolicy;
+use ppc_core::rng::Pcg32;
 use ppc_core::sync::RwLock;
 use ppc_core::{PpcError, Result};
 use std::collections::HashMap;
@@ -49,6 +52,14 @@ pub struct StorageService {
     /// Fraction of modeled latency to actually sleep in native mode.
     /// 0.0 (default) = never sleep; 1.0 = full fidelity.
     delay_scale: f64,
+    /// Optional chaos injection: brownout/partition windows queried
+    /// against a clock started when the schedule was attached.
+    chaos: RwLock<Option<ChaosInjection>>,
+}
+
+struct ChaosInjection {
+    schedule: Arc<FaultSchedule>,
+    clock: RunClock,
 }
 
 impl StorageService {
@@ -61,6 +72,7 @@ impl StorageService {
             metering: Metering::new(),
             epoch: Instant::now(),
             delay_scale: 0.0,
+            chaos: RwLock::new(None),
         })
     }
 
@@ -78,7 +90,41 @@ impl StorageService {
             metering: Metering::new(),
             epoch: Instant::now(),
             delay_scale,
+            chaos: RwLock::new(None),
         })
+    }
+
+    /// Attach a [`FaultSchedule`]: from now on, requests issued inside one
+    /// of its storage outage windows (measured from this call) fail with a
+    /// retryable [`PpcError::Transient`] — a brownout clients with backoff
+    /// ride out, or a partition that lasts the whole window.
+    pub fn set_chaos(&self, schedule: Arc<FaultSchedule>) {
+        *self.chaos.write() = Some(ChaosInjection {
+            schedule,
+            clock: RunClock::start(),
+        });
+    }
+
+    /// Detach any fault schedule; the service is healthy again.
+    pub fn clear_chaos(&self) {
+        *self.chaos.write() = None;
+    }
+
+    /// Fail the current request if a storage outage window is in effect.
+    fn chaos_check(&self) -> Result<()> {
+        let chaos = self.chaos.read();
+        if let Some(inj) = chaos.as_ref() {
+            match inj.schedule.storage_fault(inj.clock.now_s()) {
+                Some(StorageFault::Brownout) => {
+                    return Err(PpcError::Transient("storage brownout".into()));
+                }
+                Some(StorageFault::Partition) => {
+                    return Err(PpcError::Transient("storage partition".into()));
+                }
+                None => {}
+            }
+        }
+        Ok(())
     }
 
     /// The latency model clients should assume for this endpoint.
@@ -140,6 +186,7 @@ impl StorageService {
         if key.is_empty() {
             return Err(PpcError::InvalidArgument("empty object key".into()));
         }
+        self.chaos_check()?;
         self.metering.record_request();
         let size = data.len() as u64;
         self.metering.record_bytes_in(size);
@@ -164,6 +211,7 @@ impl StorageService {
     /// under an eventually consistent model — callers are expected to retry,
     /// exactly as the paper's workers do.
     pub fn get(&self, bucket: &str, key: &str) -> Result<Arc<Vec<u8>>> {
+        self.chaos_check()?;
         self.metering.record_request();
         let (data, age_s) = {
             let buckets = self.buckets.read();
@@ -186,30 +234,41 @@ impl StorageService {
     }
 
     /// Fetch with bounded retry, the client-side idiom for eventual
-    /// consistency. Retries only [`PpcError::Transient`] failures.
+    /// consistency. Retries only [`PpcError::Transient`] failures, through
+    /// the shared [`RetryPolicy`]: exponential backoff (seeded at one
+    /// request round-trip) with jitter, slept at the same `delay_scale`
+    /// as modeled latency.
     pub fn get_with_retry(
         &self,
         bucket: &str,
         key: &str,
         max_attempts: u32,
     ) -> Result<Arc<Vec<u8>>> {
-        let mut last = None;
-        for attempt in 0..max_attempts {
-            match self.get(bucket, key) {
-                Ok(d) => return Ok(d),
-                Err(e) if e.is_retryable() => {
-                    // Linear backoff; scaled the same way as modeled latency.
-                    self.sleep_for(self.latency.request_seconds() * (attempt + 1) as f64);
-                    last = Some(e);
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        Err(last.unwrap_or_else(|| PpcError::NotFound(format!("object '{bucket}/{key}'"))))
+        let rtt = self.latency.request_seconds().max(0.0);
+        let policy = RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay: Duration::from_secs_f64(rtt),
+            max_delay: Duration::from_secs_f64(rtt * 8.0),
+            multiplier: 2.0,
+            jitter: 0.5,
+            budget: None,
+        };
+        // Deterministic per-key jitter stream (no global RNG state).
+        let seed = key
+            .bytes()
+            .fold(0x5u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+        let mut rng = Pcg32::new(seed);
+        policy.run(
+            &mut rng,
+            None,
+            |d| self.sleep_for(d.as_secs_f64()),
+            |_| self.get(bucket, key),
+        )
     }
 
     /// Object metadata without the payload (HTTP `HEAD`).
     pub fn head(&self, bucket: &str, key: &str) -> Result<ObjectMeta> {
+        self.chaos_check()?;
         self.metering.record_request();
         let buckets = self.buckets.read();
         let b = buckets
@@ -230,6 +289,7 @@ impl StorageService {
     /// database). The range is clamped to the object size; an empty clamped
     /// range returns an empty payload.
     pub fn get_range(&self, bucket: &str, key: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.chaos_check()?;
         self.metering.record_request();
         let (data, age_s) = {
             let buckets = self.buckets.read();
@@ -265,6 +325,7 @@ impl StorageService {
         if dst_key.is_empty() {
             return Err(PpcError::InvalidArgument("empty destination key".into()));
         }
+        self.chaos_check()?;
         self.metering.record_request();
         let mut buckets = self.buckets.write();
         let data = buckets
@@ -315,6 +376,7 @@ impl StorageService {
 
     /// Delete an object; deleting a missing object succeeds (S3 semantics).
     pub fn delete(&self, bucket: &str, key: &str) -> Result<()> {
+        self.chaos_check()?;
         self.metering.record_request();
         let mut buckets = self.buckets.write();
         let b = buckets
@@ -534,6 +596,40 @@ mod tests {
         let (page3, token3) = s.list_page("b", "k", token2.as_deref(), 3).unwrap();
         assert_eq!(page3, vec!["k6"]);
         assert!(token3.is_none(), "final page has no token");
+    }
+
+    #[test]
+    fn brownout_window_fails_transiently_then_recovers() {
+        let s = StorageService::in_memory();
+        s.create_bucket("b").unwrap();
+        s.put("b", "k", vec![1]).unwrap();
+        // Brownout for the first 50 ms after attach: requests inside the
+        // window fail retryably; once it lapses the object is readable.
+        s.set_chaos(Arc::new(FaultSchedule::new(1).brownout(0.0, 0.05)));
+        let e = s.get("b", "k").unwrap_err();
+        assert!(e.is_retryable(), "brownout must be retryable: {e}");
+        assert!(s.put("b", "k2", vec![2]).unwrap_err().is_retryable());
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(*s.get("b", "k").unwrap(), vec![1]);
+        s.clear_chaos();
+        assert!(s.get("b", "k").is_ok());
+    }
+
+    #[test]
+    fn get_with_retry_rides_out_a_brownout() {
+        let s = StorageService::cloud(
+            LatencyModel {
+                request_latency_s: 0.005,
+                ..LatencyModel::FREE
+            },
+            ConsistencyModel::strong(),
+            1.0,
+        );
+        s.create_bucket("b").unwrap();
+        s.put("b", "k", vec![7]).unwrap();
+        s.set_chaos(Arc::new(FaultSchedule::new(2).brownout(0.0, 0.03)));
+        // Backoff sleeps carry the client past the 30 ms window.
+        assert_eq!(*s.get_with_retry("b", "k", 32).unwrap(), vec![7]);
     }
 
     #[test]

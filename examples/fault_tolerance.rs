@@ -45,6 +45,7 @@ fn main() -> ppc::core::Result<()> {
     let config = ClassicConfig {
         fault: FaultPlan {
             die_before_execute: 0.10,
+            die_mid_execute: 0.05,
             die_before_delete: 0.10,
             restart_delay_ms: 1,
             seed: 11,

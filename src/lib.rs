@@ -26,6 +26,7 @@
 pub use ppc_apps as apps;
 pub use ppc_autoscale as autoscale;
 pub use ppc_bio as bio;
+pub use ppc_chaos as chaos;
 pub use ppc_classic as classic;
 pub use ppc_compute as compute;
 pub use ppc_core as core;

@@ -2,11 +2,12 @@
 //! correctness contract while its infrastructure misbehaves.
 
 use ppc::classic::fault::FaultPlan;
-use ppc::classic::runtime::{run_job, ClassicConfig};
+use ppc::classic::runtime::{run_job, run_job_autoscaled, ClassicConfig};
 use ppc::classic::spec::JobSpec;
 use ppc::compute::cluster::Cluster;
 use ppc::compute::instance::EC2_HCXL;
 use ppc::core::exec::FnExecutor;
+use ppc::core::task::TaskId;
 use ppc::core::task::{ResourceProfile, TaskSpec};
 use ppc::hdfs::block::DataNodeId;
 use ppc::hdfs::fs::MiniHdfs;
@@ -32,6 +33,17 @@ fn check_outputs(storage: &StorageService, bucket: &str, n: u64) {
     for i in 0..n {
         // Retry like any real client: the store may still be within its
         // eventual-consistency window for freshly written outputs.
+        let out = storage
+            .get_with_retry(bucket, &format!("f{i}.out"), 64)
+            .unwrap();
+        let mut expect = format!("payload-{i}").into_bytes();
+        expect.reverse();
+        assert_eq!(*out, expect, "task {i}");
+    }
+}
+
+fn check_outputs_except(storage: &StorageService, bucket: &str, n: u64, skip: u64) {
+    for i in (0..n).filter(|&i| i != skip) {
         let out = storage
             .get_with_retry(bucket, &format!("f{i}.out"), 64)
             .unwrap();
@@ -182,4 +194,114 @@ fn poison_task_bounded_by_dead_letter() {
     assert_eq!(report.failed.len(), 1);
     assert_eq!(report.failed[0].0, 7);
     assert_eq!(report.summary.tasks, 9);
+}
+
+/// A poison task on an *autoscaled* fleet parks in the DLQ without pinning
+/// the fleet at max, the fleet ledger balances (every launched instance is
+/// eventually retired), and redriving the parked task completes the work.
+#[test]
+fn autoscaled_poison_parks_in_dlq_and_redrives() {
+    use ppc::compute::instance::EC2_HCXL;
+
+    let storage = StorageService::in_memory();
+    let queues = QueueService::new();
+    let n = 24u64;
+    let tasks: Vec<TaskSpec> = (0..n)
+        .map(|i| TaskSpec::new(i, "rev", format!("f{i}"), ResourceProfile::cpu_bound(0.0)))
+        .collect();
+    let job = JobSpec::new("redrive", tasks)
+        .with_visibility_timeout(Duration::from_millis(40))
+        .with_max_deliveries(3);
+    storage.create_bucket(&job.input_bucket).unwrap();
+    for i in 0..n {
+        storage
+            .put(
+                &job.input_bucket,
+                &format!("f{i}"),
+                format!("payload-{i}").into_bytes(),
+            )
+            .unwrap();
+    }
+    // Task 7 is unprocessable on this (buggy) executor build.
+    let poison = FnExecutor::new("rev", |spec: &TaskSpec, input: &[u8]| {
+        std::thread::sleep(Duration::from_millis(5));
+        if spec.id.0 == 7 {
+            Err(ppc::core::PpcError::TaskFailed("unprocessable".into()))
+        } else {
+            let mut v = input.to_vec();
+            v.reverse();
+            Ok(v)
+        }
+    });
+    let autoscale = ppc::autoscale::AutoscaleConfig {
+        policy: ppc::autoscale::Policy::TargetBacklog { per_worker: 8.0 },
+        min_workers: 1,
+        max_workers: 4,
+        interval_s: 0.01,
+        scale_up_cooldown_s: 0.03,
+        scale_down_cooldown_s: 0.02,
+        warmup_s: 0.0,
+        billing_aware: false,
+        billing_window_s: 0.02,
+        billing_hour_s: 0.1,
+    };
+    let report = run_job_autoscaled(
+        &storage,
+        &queues,
+        EC2_HCXL,
+        &job,
+        &[],
+        poison,
+        &ClassicConfig::default(),
+        &autoscale,
+    )
+    .unwrap();
+    assert_eq!(report.failed, vec![TaskId(7)]);
+    assert_eq!(report.summary.tasks, (n - 1) as usize);
+    check_outputs_except(&storage, &job.output_bucket, n, 7);
+
+    // The fleet ledger balances: once the healthy backlog drained, the
+    // poison task's redelivery loop must not pin the fleet at max — the
+    // controller scales back toward min_workers, so the run ends well
+    // below its peak and the mean stays under the cap.
+    let fleet = report.fleet.expect("autoscaled run reports its fleet");
+    let (_, final_size) = *fleet.timeline.steps().last().expect("timeline recorded");
+    assert!(
+        final_size < autoscale.max_workers,
+        "fleet pinned at max ({final_size}) at job end"
+    );
+    assert!(
+        fleet.mean_fleet() < autoscale.max_workers as f64,
+        "poison task must not pin the fleet at max: mean {}",
+        fleet.mean_fleet()
+    );
+    // Billing consistency: every instance ever launched bills at least one
+    // started hour, so the summed bill covers at least the peak fleet.
+    assert!(fleet.billed_hours >= u64::from(fleet.peak_fleet()));
+
+    // Redrive: the DLQ holds exactly the poison task, body intact.
+    let dlq = queues.queue(&job.dead_letter_queue()).unwrap();
+    let parked = dlq.receive().unwrap().expect("poison task parked in DLQ");
+    let spec = TaskSpec::from_message(&parked.body).unwrap();
+    assert_eq!(spec.id, TaskId(7));
+    dlq.delete(parked.receipt).unwrap();
+    assert!(dlq.receive().unwrap().is_none(), "exactly one parked task");
+
+    // The operator fixes the executor and redrives just that task, reusing
+    // the original buckets.
+    let mut redrive_job = JobSpec::new("redrive-fixup", vec![spec]);
+    redrive_job.input_bucket = job.input_bucket.clone();
+    redrive_job.output_bucket = job.output_bucket.clone();
+    let cluster = Cluster::provision(EC2_HCXL, 1, 2);
+    let report = run_job(
+        &storage,
+        &queues,
+        &cluster,
+        &redrive_job,
+        reverse_executor(),
+        &ClassicConfig::default(),
+    )
+    .unwrap();
+    assert!(report.is_complete());
+    check_outputs(&storage, &job.output_bucket, n);
 }
