@@ -1,0 +1,25 @@
+//! Generate the span-trace artifact: a `chrome://tracing` / Perfetto JSON
+//! per paradigm simulator (written next to the given output stem) and the
+//! overhead decomposition tables on stdout.
+//!
+//! ```bash
+//! cargo run --release -p ppc-bench --bin trace_artifact -- target/cap3
+//! # -> target/cap3-classic.trace.json, -hadoop, -dryad
+//! ```
+
+fn main() {
+    let stem = std::env::args().nth(1).unwrap_or_else(|| "cap3".into());
+    for trace in ppc_bench::traces::traced_cap3_runs() {
+        let paradigm = ppc_trace::Paradigm::detect(&trace.meta().platform).expect("stamped");
+        let suffix = match paradigm {
+            ppc_trace::Paradigm::Classic => "classic",
+            ppc_trace::Paradigm::Hadoop => "hadoop",
+            ppc_trace::Paradigm::Dryad => "dryad",
+        };
+        let path = format!("{stem}-{suffix}.trace.json");
+        std::fs::write(&path, ppc_trace::chrome_trace_json(&trace))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+        println!("{}", ppc_trace::OverheadReport::from_trace(&trace).render());
+    }
+}

@@ -13,6 +13,7 @@
 pub mod ablations;
 pub mod figures;
 pub mod tables;
+pub mod traces;
 
 pub use figures::*;
 pub use tables::*;

@@ -133,6 +133,7 @@ mod tests {
             queue_requests: 420,
             executions_per_fleet: vec![100],
             timeline: None,
+            trace: None,
             fleet: None,
             storage: MeteringSnapshot::default(),
         }

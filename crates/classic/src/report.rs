@@ -29,8 +29,13 @@ pub struct ClassicReport {
     pub executions_per_fleet: Vec<usize>,
     /// Storage service usage.
     pub storage: MeteringSnapshot,
-    /// Per-worker execution timeline (simulated runs with `trace: true`).
+    /// Per-worker execution timeline, derived from `trace` (runs with
+    /// tracing enabled).
     pub timeline: Option<ppc_core::trace::Timeline>,
+    /// Full span trace (traced runs): per-task lifecycle phases, attempts,
+    /// and fleet events. Feed it to [`ppc_trace::OverheadReport`] or
+    /// [`ppc_trace::chrome_trace_json`].
+    pub trace: Option<ppc_trace::Trace>,
     /// Fleet-size timeline and per-instance billing for *elastic* runs
     /// (`run_job_autoscaled` / `simulate_autoscaled`); `None` for
     /// fixed-fleet runs.
@@ -134,6 +139,7 @@ mod tests {
             queue_requests: 10_000,
             executions_per_fleet: vec![4100],
             timeline: None,
+            trace: None,
             fleet: None,
             storage: MeteringSnapshot {
                 requests: 0,

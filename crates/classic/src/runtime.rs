@@ -23,6 +23,7 @@ use ppc_core::{PpcError, Result};
 use ppc_queue::queue::QueueConfig;
 use ppc_queue::service::QueueService;
 use ppc_storage::service::StorageService;
+use ppc_trace::{AttemptMarker, EventKind, Phase, RunMeta, Span, TraceEvent, TraceSink, NO_WORKER};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -61,6 +62,12 @@ pub struct ClassicConfig {
     /// external observer can watch a running job — the role of the paper's
     /// monitoring queue.
     pub progress: Option<Arc<AtomicUsize>>,
+    /// Optional span sink: when set (and enabled) every task attempt
+    /// records its lifecycle phases (`enqueue → dequeue → download →
+    /// execute → upload → ack`) plus worker-death events, and the report
+    /// carries the finished [`ppc_trace::Trace`]. `None` keeps the hot
+    /// path free of any recording cost.
+    pub trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl Default for ClassicConfig {
@@ -75,8 +82,14 @@ impl Default for ClassicConfig {
             storage_breaker_threshold: 8,
             storage_breaker_reset_s: 0.005,
             progress: None,
+            trace: None,
         }
     }
+}
+
+/// The live span sink, if tracing is on: `None` costs one branch.
+fn live_sink(config: &ClassicConfig) -> Option<&dyn TraceSink> {
+    config.trace.as_deref().filter(|s| s.enabled())
 }
 
 /// Validate every probability-bearing knob of a [`ClassicConfig`]; run at
@@ -284,7 +297,18 @@ pub fn run_job_on_fleets(
     let mut send_rng = Pcg32::new(config.fault.seed ^ 0xC11E);
     for task in &job.tasks {
         let body = task.to_message()?;
+        let sent_at = live_sink(config).map(|_| clock.now_s());
         send_policy.run_blocking(&mut send_rng, |_| sched.send(body.clone()))?;
+        if let (Some(s), Some(at)) = (live_sink(config), sent_at) {
+            s.span(Span::new(
+                task.id.0,
+                0,
+                NO_WORKER,
+                Phase::Enqueue,
+                at,
+                clock.now_s(),
+            ));
+        }
     }
 
     let n_tasks = job.tasks.len();
@@ -321,6 +345,13 @@ pub fn run_job_on_fleets(
             let clock = &clock;
             let breaker = &breaker;
             scope.spawn(move || {
+                if let Some(s) = live_sink(config) {
+                    s.event(TraceEvent {
+                        at_s: clock.now_s(),
+                        worker: windex as u32,
+                        kind: EventKind::WorkerStart,
+                    });
+                }
                 let mut chaos = WorkerChaos::new(config, clock, windex as u32);
                 while !shared.stop.load(Ordering::Acquire) {
                     poll_once(
@@ -356,7 +387,7 @@ pub fn run_job_on_fleets(
 
     let storage_after = storage.metering().snapshot();
     let per_fleet = shared.per_fleet.into_inner().unwrap();
-    let report = ClassicReport {
+    let mut report = ClassicReport {
         summary: RunSummary {
             platform: "classic".into(),
             cores: fleets.iter().map(Cluster::total_workers).sum(),
@@ -371,6 +402,7 @@ pub fn run_job_on_fleets(
         queue_requests: queues.total_requests() - requests_before,
         executions_per_fleet: per_fleet,
         timeline: None,
+        trace: None,
         fleet: None,
         storage: ppc_storage::metering::MeteringSnapshot {
             requests: storage_after.requests - storage_before.requests,
@@ -380,12 +412,31 @@ pub fn run_job_on_fleets(
             peak_stored_bytes: storage_after.peak_stored_bytes,
         },
     };
+    finalize_trace(config, &mut report);
 
     // Clean up job queues (buckets are left for the caller to inspect).
     let _ = queues.delete_queue(&job.sched_queue());
     let _ = queues.delete_queue(&job.monitor_queue());
 
     Ok(report)
+}
+
+/// Stamp the run metadata + job span into the sink and move the finished
+/// trace (and its derived legacy timeline) into the report. The makespan
+/// written here is byte-identical to `report.summary.makespan_seconds`, so
+/// `Trace::parallel_efficiency` reproduces `RunSummary::efficiency` exactly.
+fn finalize_trace(config: &ClassicConfig, report: &mut ClassicReport) {
+    if let Some(s) = live_sink(config) {
+        s.set_meta(RunMeta {
+            platform: report.summary.platform.clone(),
+            cores: report.summary.cores,
+            tasks: report.summary.tasks,
+            makespan_seconds: report.summary.makespan_seconds,
+        });
+        s.span(Span::job(report.summary.makespan_seconds));
+        report.trace = s.snapshot();
+        report.timeline = report.trace.as_ref().map(ppc_trace::Trace::to_timeline);
+    }
 }
 
 /// The monitor thread body: drains the monitoring queue and flips
@@ -458,6 +509,8 @@ fn poll_once(
     breaker: &CircuitBreaker,
 ) {
     let restart_delay = Duration::from_millis(config.fault.restart_delay_ms);
+    let sink = live_sink(config);
+    let polled_at = sink.map(|_| chaos.clock.now_s());
     // Long polling (SQS WaitTimeSeconds): one billable request per wait
     // window instead of a busy-poll storm.
     let msg = match sched.receive_wait(config.long_poll_wait) {
@@ -486,6 +539,21 @@ fn poll_once(
     };
     let seq = chaos.next_seq();
 
+    // Attempt number = redelivery ordinal, so chaos re-executions show up
+    // in the trace as distinct attempts of the same task. The structural
+    // Attempt span is flushed when `tt` drops, whichever exit is taken.
+    let mut tt = sink.map(|s| {
+        let mut tt = AttemptMarker::new(
+            s,
+            spec.id.0,
+            msg.receive_count.saturating_sub(1),
+            chaos.worker,
+            polled_at.unwrap_or(0.0),
+        );
+        tt.mark(Phase::Dequeue, chaos.clock.now_s());
+        tt
+    });
+
     // Dead-letter policy: give up on tasks that keep failing and park the
     // original message in the DLQ for offline inspection or redrive.
     if msg.receive_count > job.max_deliveries {
@@ -500,6 +568,13 @@ fn poll_once(
     // reappears after the visibility timeout.
     if chaos.kill_event_pending() || chaos.die_before_execute(seq) {
         shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = sink {
+            s.event(TraceEvent {
+                at_s: chaos.clock.now_s(),
+                worker: chaos.worker,
+                kind: EventKind::Death,
+            });
+        }
         std::thread::sleep(restart_delay);
         return;
     }
@@ -519,6 +594,9 @@ fn poll_once(
     ) {
         Ok(d) => {
             breaker.record_success();
+            if let Some(tt) = tt.as_mut() {
+                tt.mark(Phase::Download, chaos.clock.now_s());
+            }
             d
         }
         Err(e) if e.is_retryable() => {
@@ -540,6 +618,9 @@ fn poll_once(
         Err(_) => {
             // Leave the message; redelivery retries until the dead-letter
             // policy gives up.
+            if let Some(tt) = tt.as_mut() {
+                tt.mark(Phase::Execute, chaos.clock.now_s());
+            }
             return;
         }
     };
@@ -549,6 +630,9 @@ fn poll_once(
     if factor > 1.0 {
         std::thread::sleep(exec_started.elapsed().mul_f64(factor - 1.0));
     }
+    if let Some(tt) = tt.as_mut() {
+        tt.mark(Phase::Execute, chaos.clock.now_s());
+    }
 
     // Death mid-upload: half the output lands as a torn object, then the
     // worker dies. Redelivery must idempotently overwrite the torn bytes.
@@ -556,6 +640,13 @@ fn poll_once(
         let torn = output[..output.len() / 2].to_vec();
         let _ = storage.put(&job.output_bucket, &spec.output_key, torn);
         shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = sink {
+            s.event(TraceEvent {
+                at_s: chaos.clock.now_s(),
+                worker: chaos.worker,
+                kind: EventKind::Death,
+            });
+        }
         std::thread::sleep(restart_delay);
         return;
     }
@@ -576,11 +667,21 @@ fn poll_once(
     {
         return; // redelivery will retry the whole task
     }
+    if let Some(tt) = tt.as_mut() {
+        tt.mark(Phase::Upload, chaos.clock.now_s());
+    }
 
     // Injected death between upload and delete: the duplicate re-execution
     // must overwrite with identical output.
     if chaos.die_before_delete(seq) {
         shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = sink {
+            s.event(TraceEvent {
+                at_s: chaos.clock.now_s(),
+                worker: chaos.worker,
+                kind: EventKind::Death,
+            });
+        }
         std::thread::sleep(restart_delay);
         return;
     }
@@ -590,6 +691,9 @@ fn poll_once(
     // A stale receipt here means someone else finished the task first —
     // harmless by idempotence.
     let _ = sched.delete(msg.receipt);
+    if let Some(tt) = tt.as_mut() {
+        tt.mark(Phase::Ack, chaos.clock.now_s());
+    }
 }
 
 /// Execute a job on an *elastic* fleet: worker threads are launched and
@@ -705,12 +809,25 @@ pub fn run_job_autoscaled(
                 };
                 // Durable submission through the shared retry policy; a
                 // stop mid-retry surfaces as a non-retryable error.
-                let _ = client_send_policy().run_blocking(&mut send_rng, |_| {
+                let enq_at = live_sink(config).map(|_| clock.now_s());
+                let sent = client_send_policy().run_blocking(&mut send_rng, |_| {
                     if shared.stop.load(Ordering::Acquire) {
                         return Err(PpcError::InvalidState("job stopped".into()));
                     }
                     sched.send(body.clone())
                 });
+                if sent.is_ok() {
+                    if let Some(s) = live_sink(config) {
+                        s.span(Span::new(
+                            job.tasks[i].id.0,
+                            0,
+                            NO_WORKER,
+                            Phase::Enqueue,
+                            enq_at.unwrap_or(0.0),
+                            clock.now_s(),
+                        ));
+                    }
+                }
                 if shared.stop.load(Ordering::Acquire) {
                     return;
                 }
@@ -878,8 +995,25 @@ pub fn run_job_autoscaled(
         storage.clear_chaos();
     }
 
+    // Replay the controller's fleet ledger into the trace: launches,
+    // drains, retirements, and chaos-killed instances, addressed by slot.
+    if let Some(s) = live_sink(config) {
+        for ev in ctrl.events() {
+            s.event(TraceEvent {
+                at_s: ev.at_s,
+                worker: ev.slot,
+                kind: match ev.kind {
+                    FleetEventKind::Launch => EventKind::Launch,
+                    FleetEventKind::Drain => EventKind::Drain,
+                    FleetEventKind::Retire => EventKind::Retire,
+                    FleetEventKind::Died => EventKind::Death,
+                },
+            });
+        }
+    }
+
     let storage_after = storage.metering().snapshot();
-    let report = ClassicReport {
+    let mut report = ClassicReport {
         summary: RunSummary {
             platform: format!("classic-autoscale-{}", itype.name),
             cores: fleet.peak_fleet() as usize,
@@ -894,6 +1028,7 @@ pub fn run_job_autoscaled(
         queue_requests: queues.total_requests() - requests_before,
         executions_per_fleet: shared.per_fleet.into_inner().unwrap(),
         timeline: None,
+        trace: None,
         fleet: Some(fleet),
         storage: ppc_storage::metering::MeteringSnapshot {
             requests: storage_after.requests - storage_before.requests,
@@ -903,6 +1038,7 @@ pub fn run_job_autoscaled(
             peak_stored_bytes: storage_after.peak_stored_bytes,
         },
     };
+    finalize_trace(config, &mut report);
 
     let _ = queues.delete_queue(&job.sched_queue());
     let _ = queues.delete_queue(&job.monitor_queue());

@@ -24,8 +24,9 @@ use ppc_core::{PpcError, Result};
 use ppc_des::{Engine, SimTime};
 use ppc_storage::latency::LatencyModel;
 use ppc_storage::metering::MeteringSnapshot;
+use ppc_trace::{EventKind, Phase, Recorder, RunMeta, Span, TraceEvent, TraceSink, NO_WORKER};
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -47,8 +48,9 @@ pub struct SimConfig {
     /// Log-normal sigma applied to execution times (run-to-run variation;
     /// the paper measured ~1.5–2.3% CV on the clouds).
     pub jitter_sigma: f64,
-    /// Record a per-worker execution [`ppc_core::trace::Timeline`] in the
-    /// report (costs memory proportional to task count).
+    /// Record a per-task span [`ppc_trace::Trace`] in the report (costs
+    /// memory proportional to span count; the legacy per-worker
+    /// [`ppc_core::trace::Timeline`] is derived from it).
     pub trace: bool,
     /// Model a shared per-instance NIC: concurrent storage transfers on one
     /// node serialize through a link of this bandwidth (bytes/s). `None`
@@ -137,8 +139,71 @@ fn check_sim_inputs(cfg: &SimConfig, schedule: Option<&Arc<FaultSchedule>>) {
     }
 }
 
+/// Distribute one attempt's phase spans over `[start_s, end_s]` from the
+/// pipeline's modeled durations. The dequeue round-trip opens the attempt
+/// and the monitor-send + delete round-trips close it; a failed attempt
+/// lumps everything after the download into `execute` (the worker died
+/// somewhere in there) and records no terminal ack.
+#[allow(clippy::too_many_arguments)]
+fn record_attempt(
+    rec: &Recorder,
+    worker: u32,
+    task: u64,
+    attempt: u32,
+    start_s: f64,
+    end_s: f64,
+    t_in: f64,
+    t_exec: f64,
+    t_out: f64,
+    t_ctrl: f64,
+    ok: bool,
+) {
+    let c = t_ctrl / 3.0;
+    let mut at = start_s;
+    let mut push = |phase, dur: f64| {
+        rec.span(Span::new(task, attempt, worker, phase, at, at + dur));
+        at += dur;
+    };
+    push(Phase::Dequeue, c);
+    push(Phase::Download, t_in);
+    if ok {
+        push(Phase::Execute, t_exec);
+        // Anchor the tail on end_s so NIC queueing delay (if any) lands in
+        // the attempt gap between execute and upload.
+        let up = end_s - 2.0 * c - t_out;
+        rec.span(Span::new(
+            task,
+            attempt,
+            worker,
+            Phase::Upload,
+            up,
+            up + t_out,
+        ));
+        rec.span(Span::new(
+            task,
+            attempt,
+            worker,
+            Phase::Ack,
+            up + t_out,
+            end_s,
+        ));
+    } else {
+        rec.span(Span::new(task, attempt, worker, Phase::Execute, at, end_s));
+    }
+    rec.span(Span::new(
+        task,
+        attempt,
+        worker,
+        Phase::Attempt,
+        start_s,
+        end_s,
+    ));
+}
+
 struct SimState {
-    timeline: ppc_core::trace::Timeline,
+    rec: Option<Recorder>,
+    /// Next attempt index per task id (allocated at message pull).
+    attempts: HashMap<u64, u32>,
     pending: VecDeque<TaskSpec>,
     idle_workers: Vec<WorkerRef>,
     completed: usize,
@@ -211,7 +276,8 @@ pub fn simulate_fleets_chaos(
     rng.shuffle(&mut order);
 
     let state = Rc::new(RefCell::new(SimState {
-        timeline: ppc_core::trace::Timeline::new(),
+        rec: cfg.trace.then(Recorder::new),
+        attempts: HashMap::new(),
         pending: order.into(),
         idle_workers: Vec::new(),
         completed: 0,
@@ -227,6 +293,13 @@ pub fn simulate_fleets_chaos(
         task_seqs: vec![0; total_workers],
         last_kill: vec![0.0; total_workers],
     }));
+
+    if let Some(rec) = &state.borrow().rec {
+        // The client pushes every message up front at t = 0.
+        for t in tasks {
+            rec.span(Span::new(t.id.0, 0, NO_WORKER, Phase::Enqueue, 0.0, 0.0));
+        }
+    }
 
     let mut engine = Engine::new();
     let cfg = *cfg;
@@ -260,9 +333,21 @@ pub fn simulate_fleets_chaos(
     let st = state.borrow();
     let makespan = end.as_secs_f64();
 
+    let platform = format!("classic-sim-{}", itype.name);
+    let trace = st.rec.as_ref().and_then(|rec| {
+        rec.set_meta(RunMeta {
+            platform: platform.clone(),
+            cores: total_workers,
+            tasks: st.completed,
+            makespan_seconds: makespan,
+        });
+        rec.span(Span::job(makespan));
+        rec.snapshot()
+    });
+
     ClassicReport {
         summary: RunSummary {
-            platform: format!("classic-sim-{}", itype.name),
+            platform,
             cores: total_workers,
             tasks: st.completed,
             makespan_seconds: makespan,
@@ -274,11 +359,8 @@ pub fn simulate_fleets_chaos(
         worker_deaths: st.deaths,
         queue_requests: st.queue_requests,
         executions_per_fleet: Vec::new(),
-        timeline: if cfg.trace {
-            Some(st.timeline.clone())
-        } else {
-            None
-        },
+        timeline: trace.as_ref().map(ppc_trace::Trace::to_timeline),
+        trace,
         fleet: None,
         storage: MeteringSnapshot {
             requests: st.storage_requests,
@@ -367,6 +449,18 @@ fn worker_tick(
         (t_in, t_exec, t_out, t_ctrl, fails)
     };
     let duration_s = t_in + t_exec + t_out + t_ctrl;
+    // Claim the attempt index at pull time: pulls are ordered in virtual
+    // time, so redeliveries get strictly increasing attempt numbers.
+    let attempt = if cfg.trace {
+        let mut st = state.borrow_mut();
+        let a = st.attempts.entry(task.id.0).or_insert(0);
+        let n = *a;
+        *a += 1;
+        n
+    } else {
+        0
+    };
+    let parts = (t_in, t_exec, t_out, t_ctrl);
 
     // NIC contention: route the two transfers through the node's shared
     // uplink — concurrent transfers on one instance serialize.
@@ -389,7 +483,8 @@ fn worker_tick(
                 nic2.submit(e, t_nic_out, move |e| {
                     e.schedule_in(SimTime::from_secs_f64(t_out + t_ctrl), move |e| {
                         handle_completion(
-                            e, st4, worker4, itype, cfg, task, fails, started_at, task_id,
+                            e, st4, worker4, itype, cfg, task, fails, started_at, task_id, attempt,
+                            parts,
                         );
                     });
                 });
@@ -415,8 +510,35 @@ fn worker_tick(
             }
         });
         let st2 = state.clone();
+        let task_id = task.id.0;
         engine.schedule_in(SimTime::from_secs_f64(duration_s), move |e| {
-            st2.borrow_mut().deaths += 1;
+            {
+                let mut st = st2.borrow_mut();
+                st.deaths += 1;
+                if let Some(rec) = &st.rec {
+                    let end = e.now().as_secs_f64();
+                    let w = worker.index as u32;
+                    let (t_in, t_exec, t_out, t_ctrl) = parts;
+                    record_attempt(
+                        rec,
+                        w,
+                        task_id,
+                        attempt,
+                        end - duration_s,
+                        end,
+                        t_in,
+                        t_exec,
+                        t_out,
+                        t_ctrl,
+                        false,
+                    );
+                    rec.event(TraceEvent {
+                        at_s: end,
+                        worker: w,
+                        kind: EventKind::Death,
+                    });
+                }
+            }
             // The replacement worker polls again immediately.
             worker_tick(e, st2, worker, itype, cfg);
         });
@@ -430,9 +552,22 @@ fn worker_tick(
         {
             let mut st = st2.borrow_mut();
             st.completed += 1;
-            if cfg.trace {
+            if let Some(rec) = &st.rec {
                 let end = e.now().as_secs_f64();
-                st.timeline.push(worker.index, task_id, started_at, end);
+                let (t_in, t_exec, t_out, t_ctrl) = parts;
+                record_attempt(
+                    rec,
+                    worker.index as u32,
+                    task_id,
+                    attempt,
+                    started_at,
+                    end,
+                    t_in,
+                    t_exec,
+                    t_out,
+                    t_ctrl,
+                    true,
+                );
             }
         }
         worker_tick(e, st2, worker, itype, cfg);
@@ -452,7 +587,10 @@ fn handle_completion(
     fails: bool,
     started_at: f64,
     task_id: u64,
+    attempt: u32,
+    parts: (f64, f64, f64, f64),
 ) {
+    let end = engine.now().as_secs_f64();
     if fails {
         let st2 = state.clone();
         engine.schedule_in(SimTime::from_secs_f64(cfg.visibility_timeout_s), move |e| {
@@ -466,16 +604,43 @@ fn handle_completion(
                 e.schedule_in(SimTime::ZERO, move |e| worker_tick(e, st3, w, itype, cfg));
             }
         });
-        state.borrow_mut().deaths += 1;
+        {
+            let mut st = state.borrow_mut();
+            st.deaths += 1;
+            if let Some(rec) = &st.rec {
+                let w = worker.index as u32;
+                let (t_in, t_exec, t_out, t_ctrl) = parts;
+                record_attempt(
+                    rec, w, task_id, attempt, started_at, end, t_in, t_exec, t_out, t_ctrl, false,
+                );
+                rec.event(TraceEvent {
+                    at_s: end,
+                    worker: w,
+                    kind: EventKind::Death,
+                });
+            }
+        }
         worker_tick(engine, state, worker, itype, cfg);
         return;
     }
     {
         let mut st = state.borrow_mut();
         st.completed += 1;
-        if cfg.trace {
-            let end = engine.now().as_secs_f64();
-            st.timeline.push(worker.index, task_id, started_at, end);
+        if let Some(rec) = &st.rec {
+            let (t_in, t_exec, t_out, t_ctrl) = parts;
+            record_attempt(
+                rec,
+                worker.index as u32,
+                task_id,
+                attempt,
+                started_at,
+                end,
+                t_in,
+                t_exec,
+                t_out,
+                t_ctrl,
+                true,
+            );
         }
     }
     worker_tick(engine, state, worker, itype, cfg);
@@ -507,7 +672,9 @@ struct AsState {
     bytes_out: u64,
     n_tasks: usize,
     finished_at_s: f64,
-    timeline: ppc_core::trace::Timeline,
+    rec: Option<Recorder>,
+    /// Next attempt index per task id (allocated at message pull).
+    attempts: HashMap<u64, u32>,
     rng: Pcg32,
     controller: Controller,
     /// Optional event-based chaos; slots are addressed by controller id.
@@ -592,7 +759,8 @@ pub fn simulate_autoscaled_chaos(
         bytes_out: 0,
         n_tasks: tasks.len(),
         finished_at_s: 0.0,
-        timeline: ppc_core::trace::Timeline::new(),
+        rec: cfg.trace.then(Recorder::new),
+        attempts: HashMap::new(),
         rng: Pcg32::new(cfg.seed),
         controller: Controller::new(autoscale.clone()),
         schedule,
@@ -617,6 +785,9 @@ pub fn simulate_autoscaled_chaos(
             {
                 let mut s = st.borrow_mut();
                 s.queue_requests += 1; // the client's send
+                if let Some(rec) = &s.rec {
+                    rec.span(Span::new(task.id.0, 0, NO_WORKER, Phase::Enqueue, now, now));
+                }
                 s.pending.push_back((task, now));
             }
             as_wake_idle(e, st, itype, cfg);
@@ -663,9 +834,33 @@ pub fn simulate_autoscaled_chaos(
     let fleet =
         crate::runtime::fleet_report(&st.controller, itype, autoscale.billing_hour_s, end_s);
 
+    let platform = format!("classic-sim-autoscale-{}", itype.name);
+    let trace = st.rec.as_ref().and_then(|rec| {
+        for ev in st.controller.events() {
+            rec.event(TraceEvent {
+                at_s: ev.at_s,
+                worker: ev.slot,
+                kind: match ev.kind {
+                    ppc_autoscale::FleetEventKind::Launch => EventKind::Launch,
+                    ppc_autoscale::FleetEventKind::Drain => EventKind::Drain,
+                    ppc_autoscale::FleetEventKind::Retire => EventKind::Retire,
+                    ppc_autoscale::FleetEventKind::Died => EventKind::Death,
+                },
+            });
+        }
+        rec.set_meta(RunMeta {
+            platform: platform.clone(),
+            cores: fleet.peak_fleet() as usize,
+            tasks: st.completed,
+            makespan_seconds: makespan,
+        });
+        rec.span(Span::job(makespan));
+        rec.snapshot()
+    });
+
     ClassicReport {
         summary: RunSummary {
-            platform: format!("classic-sim-autoscale-{}", itype.name),
+            platform,
             cores: fleet.peak_fleet() as usize,
             tasks: st.completed,
             makespan_seconds: makespan,
@@ -677,11 +872,8 @@ pub fn simulate_autoscaled_chaos(
         worker_deaths: st.deaths,
         queue_requests: st.queue_requests,
         executions_per_fleet: Vec::new(),
-        timeline: if cfg.trace {
-            Some(st.timeline.clone())
-        } else {
-            None
-        },
+        timeline: trace.as_ref().map(ppc_trace::Trace::to_timeline),
+        trace,
         fleet: Some(fleet),
         storage: MeteringSnapshot {
             requests: st.storage_requests,
@@ -720,7 +912,7 @@ fn as_worker_tick(
     cfg: SimConfig,
 ) {
     let now_s = engine.now().as_secs_f64();
-    let (task, duration_s, fails, received_at) = {
+    let (task, parts, fails, received_at, attempt) = {
         let mut st = state.borrow_mut();
         if st.completed >= st.n_tasks {
             return; // job done; the fleet winds down
@@ -776,7 +968,19 @@ fn as_worker_tick(
                 || schedule.die_before_delete(slot, seq)
                 || schedule.is_torn_upload(slot, seq);
         }
-        (task, t_in + t_exec + t_out + t_ctrl, fails, now_s)
+        let attempt = if cfg.trace {
+            let a = st.attempts.entry(task.id.0).or_insert(0);
+            let n = *a;
+            *a += 1;
+            n
+        } else {
+            0
+        };
+        (task, (t_in, t_exec, t_out, t_ctrl), fails, now_s, attempt)
+    };
+    let duration_s = {
+        let (t_in, t_exec, t_out, t_ctrl) = parts;
+        t_in + t_exec + t_out + t_ctrl
     };
 
     let st2 = state.clone();
@@ -796,8 +1000,30 @@ fn as_worker_tick(
                 if st.completed >= st.n_tasks {
                     st.finished_at_s = now;
                 }
-                if cfg.trace {
-                    st.timeline.push(slot as usize, task.id.0, received_at, now);
+            }
+            if let Some(rec) = &st.rec {
+                let (t_in, t_exec, t_out, t_ctrl) = parts;
+                record_attempt(
+                    rec,
+                    slot,
+                    task.id.0,
+                    attempt,
+                    received_at,
+                    now,
+                    t_in,
+                    t_exec,
+                    t_out,
+                    t_ctrl,
+                    !lost,
+                );
+                // Whole-instance deaths are the controller's events; only
+                // per-task dice deaths are recorded here.
+                if fails && !slot_died {
+                    rec.event(TraceEvent {
+                        at_s: now,
+                        worker: slot,
+                        kind: EventKind::Death,
+                    });
                 }
             }
         }

@@ -15,18 +15,22 @@ use ppc_core::retry::RetryPolicy;
 use ppc_core::rng::Pcg32;
 use ppc_core::task::TaskSpec;
 use ppc_core::{PpcError, Result};
+use ppc_trace::{AttemptMarker, EventKind, Phase, RunMeta, Span, TraceEvent, TraceSink};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Configuration for the native Dryad runtime.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DryadConfig {
     /// Fail the whole job on the first unrecoverable vertex failure.
     pub fail_fast: bool,
     /// Re-run a failed vertex up to this many extra times before giving up
     /// — Table 3's "re-execution of failed ... tasks" for Dryad.
     pub max_retries: u32,
+    /// Span sink for the run; `None` (or a disabled sink) records nothing
+    /// and the report carries the finished [`ppc_trace::Trace`].
+    pub trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl Default for DryadConfig {
@@ -34,6 +38,7 @@ impl Default for DryadConfig {
         DryadConfig {
             fail_fast: false,
             max_retries: 2,
+            trace: None,
         }
     }
 }
@@ -48,6 +53,10 @@ pub struct DryadReport {
     pub vertex_failures: usize,
     /// Vertex re-executions that recovered a transient failure.
     pub vertex_retries: usize,
+    /// Span trace of the run when the engine was handed a live sink —
+    /// feed it to [`ppc_trace::OverheadReport`] or
+    /// [`ppc_trace::chrome_trace_json`].
+    pub trace: Option<ppc_trace::Trace>,
 }
 
 impl DryadReport {
@@ -127,6 +136,7 @@ pub fn run_homomorphic_job_chaos(
     let per_node: Mutex<Vec<f64>> = Mutex::new(vec![0.0; n_nodes]);
     let total_bytes = AtomicUsize::new(0);
     let chaos = schedule.as_deref();
+    let sink = config.trace.as_deref().filter(|s| s.enabled());
     let clock = RunClock::start();
 
     let start = Instant::now();
@@ -153,6 +163,13 @@ pub fn run_homomorphic_job_chaos(
                         let local = &local;
                         let worker = (node_base + slot) as u32;
                         inner.spawn(move || {
+                            if let Some(s) = sink {
+                                s.event(TraceEvent {
+                                    at_s: clock.now_s(),
+                                    worker,
+                                    kind: EventKind::WorkerStart,
+                                });
+                            }
                             // Re-execute a failed vertex (Table 3's Dryad
                             // fault tolerance) through the shared retry
                             // layer before declaring it failed.
@@ -171,6 +188,13 @@ pub fn run_homomorphic_job_chaos(
                                     if schedule.kills_in(worker, last_kill_s, now_s) {
                                         // Slot dies: hand the vertex back to
                                         // a surviving slot on this node.
+                                        if let Some(s) = sink {
+                                            s.event(TraceEvent {
+                                                at_s: now_s,
+                                                worker,
+                                                kind: EventKind::Death,
+                                            });
+                                        }
                                         local.lock().unwrap().push_front((spec, input));
                                         break;
                                     }
@@ -182,22 +206,62 @@ pub fn run_homomorphic_job_chaos(
                                 let mut used_attempts = 0u32;
                                 let out = policy.run_blocking(&mut rng, |attempt| {
                                     used_attempts = attempt;
+                                    // Each retry-layer attempt is its own
+                                    // span subtree; dropping the marker on
+                                    // a failure path still closes it.
+                                    let mut tt = sink.map(|s| {
+                                        let mut tt = AttemptMarker::new(
+                                            s,
+                                            spec.id.0,
+                                            attempt,
+                                            worker,
+                                            clock.now_s(),
+                                        );
+                                        tt.mark(Phase::VertexStart, clock.now_s());
+                                        tt
+                                    });
                                     if let Some(schedule) = chaos {
                                         // Any death die or a torn output
                                         // costs exactly one failed attempt;
                                         // the job manager re-runs the vertex.
-                                        if attempt == 0
-                                            && (schedule.die_before_execute(worker, seq)
+                                        if attempt == 0 {
+                                            let died = schedule.die_before_execute(worker, seq)
                                                 || schedule.die_mid_execute(worker, seq)
-                                                || schedule.die_before_delete(worker, seq)
-                                                || schedule.is_torn_upload(worker, seq))
-                                        {
-                                            return Err(PpcError::Transient(
-                                                "chaos: vertex attempt killed".into(),
-                                            ));
+                                                || schedule.die_before_delete(worker, seq);
+                                            if died || schedule.is_torn_upload(worker, seq) {
+                                                if died {
+                                                    if let Some(s) = sink {
+                                                        s.event(TraceEvent {
+                                                            at_s: clock.now_s(),
+                                                            worker,
+                                                            kind: EventKind::Death,
+                                                        });
+                                                    }
+                                                }
+                                                return Err(PpcError::Transient(
+                                                    "chaos: vertex attempt killed".into(),
+                                                ));
+                                            }
                                         }
                                     }
-                                    executor.run(&spec, &input)
+                                    // Inputs are already in node-local
+                                    // memory: the read phase is an instant,
+                                    // but it keeps the native phase set
+                                    // aligned with the simulator's.
+                                    if let Some(tt) = tt.as_mut() {
+                                        tt.mark(Phase::ReadLocal, clock.now_s());
+                                    }
+                                    let r = executor.run(&spec, &input);
+                                    if let Some(tt) = tt.as_mut() {
+                                        tt.mark(Phase::Execute, clock.now_s());
+                                        if r.is_ok() {
+                                            // Dryad has no speculative
+                                            // duplicates: the first Ok
+                                            // attempt is the terminal one.
+                                            tt.mark(Phase::Write, clock.now_s());
+                                        }
+                                    }
+                                    r
                                 });
                                 if let Some(schedule) = chaos {
                                     // Gray degradation stretches the vertex.
@@ -245,6 +309,18 @@ pub fn run_homomorphic_job_chaos(
         return Err(first_error.into_inner().unwrap().expect("failure recorded"));
     }
     let outputs = outputs.into_inner().unwrap();
+    // The meta carries the *same* f64 makespan the summary reports, so
+    // Eq. 1 recomputed from the trace matches the engine exactly.
+    let trace = sink.and_then(|s| {
+        s.set_meta(RunMeta {
+            platform: "dryadlinq".into(),
+            cores: cluster.total_workers(),
+            tasks: outputs.len(),
+            makespan_seconds: makespan,
+        });
+        s.span(Span::job(makespan));
+        s.snapshot()
+    });
     let report = DryadReport {
         summary: RunSummary {
             platform: "dryadlinq".into(),
@@ -257,6 +333,7 @@ pub fn run_homomorphic_job_chaos(
         per_node_seconds: per_node.into_inner().unwrap(),
         vertex_failures,
         vertex_retries: retries.load(Ordering::Relaxed),
+        trace,
     };
     Ok((report, outputs))
 }
@@ -320,6 +397,7 @@ mod tests {
             &DryadConfig {
                 fail_fast: true,
                 max_retries: 0,
+                ..Default::default()
             },
         )
         .unwrap_err();

@@ -15,6 +15,7 @@ use ppc_core::rng::Pcg32;
 use ppc_core::task::TaskSpec;
 use ppc_core::{PpcError, Result};
 use ppc_storage::latency::LatencyModel;
+use ppc_trace::{EventKind, Phase, Recorder, RunMeta, Span, TraceEvent, TraceSink};
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
@@ -31,6 +32,9 @@ pub struct DryadSimConfig {
     /// Log-normal execution jitter sigma.
     pub jitter_sigma: f64,
     pub seed: u64,
+    /// Record per-vertex phase spans; the report carries the finished
+    /// [`ppc_trace::Trace`].
+    pub trace: bool,
 }
 
 impl Default for DryadSimConfig {
@@ -41,8 +45,51 @@ impl Default for DryadSimConfig {
             local_io: LatencyModel::local_disk_2010(),
             jitter_sigma: 0.02,
             seed: 42,
+            trace: false,
         }
     }
+}
+
+/// Emit one vertex attempt's phase spans, boundaries clamped so µs
+/// quantization of the schedule can never produce a negative-length span.
+/// Only a successful attempt writes its output (the terminal `Write`).
+#[allow(clippy::too_many_arguments)]
+fn record_vertex(
+    rec: &Recorder,
+    task: u64,
+    attempt: u32,
+    worker: u32,
+    start_s: f64,
+    end_s: f64,
+    overhead_s: f64,
+    t_in: f64,
+    t_out: f64,
+    ok: bool,
+) {
+    let d1 = (start_s + overhead_s).min(end_s);
+    let d2 = (d1 + t_in).min(end_s);
+    let d3 = if ok { (end_s - t_out).max(d2) } else { end_s };
+    rec.span(Span::new(
+        task,
+        attempt,
+        worker,
+        Phase::VertexStart,
+        start_s,
+        d1,
+    ));
+    rec.span(Span::new(task, attempt, worker, Phase::ReadLocal, d1, d2));
+    rec.span(Span::new(task, attempt, worker, Phase::Execute, d2, d3));
+    if ok {
+        rec.span(Span::new(task, attempt, worker, Phase::Write, d3, end_s));
+    }
+    rec.span(Span::new(
+        task,
+        attempt,
+        worker,
+        Phase::Attempt,
+        start_s,
+        end_s,
+    ));
 }
 
 impl DryadSimConfig {
@@ -97,6 +144,7 @@ pub fn simulate_chaos(
     let n_nodes = cluster.n_nodes();
     let itype = cluster.itype();
     let mut rng = Pcg32::new(cfg.seed);
+    let rec: Option<Recorder> = cfg.trace.then(Recorder::new);
 
     // Static round-robin partitioning, fixed before execution starts.
     let partitions = crate::partition::partition_round_robin(tasks.to_vec(), n_nodes);
@@ -122,8 +170,9 @@ pub fn simulate_chaos(
             } else {
                 1.0
             };
-            let t_io = cfg.local_io.transfer_seconds(task.profile.input_bytes)
-                + cfg.local_io.transfer_seconds(task.profile.output_bytes);
+            let t_in = cfg.local_io.transfer_seconds(task.profile.input_bytes);
+            let t_out = cfg.local_io.transfer_seconds(task.profile.output_bytes);
+            let t_io = t_in + t_out;
             let std::cmp::Reverse((free_at, slot)) = slots.pop().expect("at least one slot");
             let local_slot = slot - node_base;
             let mut finish = free_at;
@@ -146,6 +195,27 @@ pub fn simulate_chaos(
                         || schedule.die_mid_execute(w, seq)
                         || schedule.die_before_delete(w, seq)
                         || schedule.is_torn_upload(w, seq);
+                    if let Some(rec) = &rec {
+                        record_vertex(
+                            rec,
+                            task.id.0,
+                            attempts,
+                            w,
+                            now_s,
+                            end_s,
+                            cfg.vertex_overhead_s,
+                            t_in,
+                            t_out,
+                            !dies,
+                        );
+                        if killed {
+                            rec.event(TraceEvent {
+                                at_s: end_s,
+                                worker: w,
+                                kind: EventKind::Death,
+                            });
+                        }
+                    }
                     attempts += 1;
                     if !dies {
                         break;
@@ -159,6 +229,20 @@ pub fn simulate_chaos(
             } else {
                 let dur = ((cfg.vertex_overhead_s + t_exec * jitter + t_io) * 1e6).round() as u64;
                 finish = free_at + dur;
+                if let Some(rec) = &rec {
+                    record_vertex(
+                        rec,
+                        task.id.0,
+                        0,
+                        slot as u32,
+                        free_at as f64 / 1e6,
+                        finish as f64 / 1e6,
+                        cfg.vertex_overhead_s,
+                        t_in,
+                        t_out,
+                        true,
+                    );
+                }
             }
             node_finish = node_finish.max(finish);
             slots.push(std::cmp::Reverse((finish, slot)));
@@ -168,9 +252,22 @@ pub fn simulate_chaos(
     }
 
     let makespan = per_node_seconds.iter().cloned().fold(0.0, f64::max);
+    let platform = format!("dryad-sim-{}", itype.name);
+    // Identical f64 makespan in meta and summary: Eq. 1 recomputed from
+    // the trace matches the engine exactly.
+    let trace = rec.as_ref().and_then(|rec| {
+        rec.set_meta(RunMeta {
+            platform: platform.clone(),
+            cores: cluster.total_workers(),
+            tasks: tasks.len() - vertex_failures,
+            makespan_seconds: makespan,
+        });
+        rec.span(Span::job(makespan));
+        rec.snapshot()
+    });
     DryadReport {
         summary: RunSummary {
-            platform: format!("dryad-sim-{}", itype.name),
+            platform,
             cores: cluster.total_workers(),
             tasks: tasks.len() - vertex_failures,
             makespan_seconds: makespan,
@@ -180,6 +277,7 @@ pub fn simulate_chaos(
         per_node_seconds,
         vertex_failures,
         vertex_retries,
+        trace,
     }
 }
 

@@ -21,6 +21,10 @@ pub struct MapReduceReport {
     /// Records actually shuffled to reducers (== map output unless a
     /// map-side combiner ran).
     pub shuffle_records: usize,
+    /// Full span trace (traced runs): per-attempt `dispatch → read → map →
+    /// commit` phases plus fleet events. Feed it to
+    /// [`ppc_trace::OverheadReport`] or [`ppc_trace::chrome_trace_json`].
+    pub trace: Option<ppc_trace::Trace>,
 }
 
 impl MapReduceReport {
@@ -60,6 +64,7 @@ mod tests {
             total_attempts: 10,
             map_output_records: 10,
             shuffle_records: 10,
+            trace: None,
         };
         assert!((r.locality_fraction() - 0.9).abs() < 1e-12);
         assert!(r.is_complete());
@@ -82,6 +87,7 @@ mod tests {
             total_attempts: 0,
             map_output_records: 0,
             shuffle_records: 0,
+            trace: None,
         };
         assert_eq!(r.locality_fraction(), 0.0);
     }

@@ -16,6 +16,7 @@ use ppc_core::rng::Pcg32;
 use ppc_core::{PpcError, Result};
 use ppc_hdfs::block::DataNodeId;
 use ppc_hdfs::fs::MiniHdfs;
+use ppc_trace::{AttemptMarker, EventKind, Phase, RunMeta, Span, TraceEvent, TraceSink};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -40,6 +41,10 @@ pub struct HadoopConfig {
     /// and torn uploads fail individual attempts — Hadoop's
     /// output-committer discipline makes both recoverable.
     pub schedule: Option<Arc<FaultSchedule>>,
+    /// Optional span sink: when set (and enabled) every map attempt records
+    /// its `dispatch → read → map → commit` phases plus slot-death events,
+    /// and the report carries the finished [`ppc_trace::Trace`].
+    pub trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl Default for HadoopConfig {
@@ -51,6 +56,7 @@ impl Default for HadoopConfig {
             poll_backoff: Duration::from_micros(200),
             seed: 0xad00,
             schedule: None,
+            trace: None,
         }
     }
 }
@@ -112,6 +118,7 @@ pub fn run_job_with(
     let start = Instant::now();
     let clock = RunClock::start();
     let n_nodes = fs.n_nodes();
+    let sink = config.trace.as_deref().filter(|s| s.enabled());
 
     std::thread::scope(|scope| {
         for node in 0..n_nodes {
@@ -129,11 +136,19 @@ pub fn run_job_with(
                 scope.spawn(move || {
                     let node_id = DataNodeId(node);
                     let worker = (node * config.slots_per_node + slot) as u32;
+                    if let Some(s) = sink {
+                        s.event(TraceEvent {
+                            at_s: clock.now_s(),
+                            worker,
+                            kind: EventKind::WorkerStart,
+                        });
+                    }
                     let chaos = config.schedule.as_deref();
                     let mut task_seq: u32 = 0;
                     let mut last_kill_s: f64 = 0.0;
                     let mut rng = Pcg32::new(config.seed ^ ((node as u64) << 16) ^ slot as u64);
                     loop {
+                        let poll_at = sink.map(|_| clock.now_s());
                         let assignment = {
                             let mut sched = scheduler.lock().unwrap();
                             if sched.is_complete() {
@@ -149,6 +164,19 @@ pub fn run_job_with(
                             }
                         };
                         let split = scheduler.lock().unwrap().split(assignment.split).clone();
+                        // Master → slot handoff done: the Dispatch phase
+                        // covers the poll and the scheduling decision.
+                        let mut tt = sink.map(|s| {
+                            let mut tt = AttemptMarker::new(
+                                s,
+                                assignment.id.task as u64,
+                                assignment.id.attempt,
+                                worker,
+                                poll_at.unwrap_or(0.0),
+                            );
+                            tt.mark(Phase::Dispatch, clock.now_s());
+                            tt
+                        });
                         total_attempts.fetch_add(1, Ordering::Relaxed);
                         // Locality accounting is per *assignment*, matching
                         // the simulator: speculative duplicates count too.
@@ -166,12 +194,26 @@ pub fn run_job_with(
                             // the task re-runs on a surviving slot.
                             let now_s = clock.now_s();
                             if schedule.kills_in(worker, last_kill_s, now_s) {
+                                if let Some(s) = sink {
+                                    s.event(TraceEvent {
+                                        at_s: now_s,
+                                        worker,
+                                        kind: EventKind::Death,
+                                    });
+                                }
                                 scheduler.lock().unwrap().fail(assignment.id);
                                 break;
                             }
                             last_kill_s = now_s;
                             // I.i.d. crash before the attempt does any work.
                             if schedule.die_before_execute(worker, seq) {
+                                if let Some(s) = sink {
+                                    s.event(TraceEvent {
+                                        at_s: clock.now_s(),
+                                        worker,
+                                        kind: EventKind::Death,
+                                    });
+                                }
                                 scheduler.lock().unwrap().fail(assignment.id);
                                 continue;
                             }
@@ -198,14 +240,30 @@ pub fn run_job_with(
                             }
                         }
 
+                        let read_phase = if assignment.local {
+                            Phase::ReadLocal
+                        } else {
+                            Phase::ReadRemote
+                        };
                         let map_started = Instant::now();
                         let mut ctx = MapContext::new(&fs, node_id);
                         let map_result = match job.input_format {
                             InputFormat::FileName => {
+                                // The "read" is the split metadata itself;
+                                // the span still closes here so the phase
+                                // set matches the simulator's.
+                                if let Some(tt) = tt.as_mut() {
+                                    tt.mark(read_phase, clock.now_s());
+                                }
                                 mapper.map(&split.name, split.path.as_bytes(), &mut ctx)
                             }
                             InputFormat::WholeFile => match ctx.read(&split.path) {
-                                Ok(data) => mapper.map(&split.path, &data, &mut ctx),
+                                Ok(data) => {
+                                    if let Some(tt) = tt.as_mut() {
+                                        tt.mark(read_phase, clock.now_s());
+                                    }
+                                    mapper.map(&split.path, &data, &mut ctx)
+                                }
                                 Err(e) => Err(e),
                             },
                         };
@@ -216,15 +274,28 @@ pub fn run_job_with(
                             if factor > 1.0 {
                                 std::thread::sleep(map_started.elapsed().mul_f64(factor - 1.0));
                             }
+                        }
+                        if let Some(tt) = tt.as_mut() {
+                            tt.mark(Phase::Map, clock.now_s());
+                        }
+                        if let Some(schedule) = chaos {
                             // Mid-execution death, a torn output, or dying
                             // before reporting all surface as a failed
                             // attempt: the output committer only commits the
                             // first *completed* attempt, so partial output
                             // can never reach the output directory.
-                            if schedule.die_mid_execute(worker, seq)
-                                || schedule.is_torn_upload(worker, seq)
-                                || schedule.die_before_delete(worker, seq)
-                            {
+                            let died = schedule.die_mid_execute(worker, seq)
+                                || schedule.die_before_delete(worker, seq);
+                            if died || schedule.is_torn_upload(worker, seq) {
+                                if died {
+                                    if let Some(s) = sink {
+                                        s.event(TraceEvent {
+                                            at_s: clock.now_s(),
+                                            worker,
+                                            kind: EventKind::Death,
+                                        });
+                                    }
+                                }
                                 scheduler.lock().unwrap().fail(assignment.id);
                                 continue;
                             }
@@ -277,6 +348,11 @@ pub fn run_job_with(
                                         }
                                         if job_done {
                                             *map_done_at.lock().unwrap() = Some(Instant::now());
+                                        }
+                                        // The committing attempt is the
+                                        // task's single terminal span.
+                                        if let Some(tt) = tt.as_mut() {
+                                            tt.mark(Phase::Commit, clock.now_s());
                                         }
                                     }
                                     CompleteOutcome::Duplicate => { /* discard redundant output */ }
@@ -340,13 +416,28 @@ pub fn run_job_with(
     let stats = sched.stats();
     let attempts = total_attempts.load(Ordering::Relaxed);
     let done = sched.n_done();
+    let makespan = finished.duration_since(start).as_secs_f64();
+
+    // The trace's meta carries the *same* f64 makespan and core count as
+    // the summary, so efficiency recomputed from the job span matches the
+    // report's exactly.
+    let trace = sink.and_then(|s| {
+        s.set_meta(RunMeta {
+            platform: "hadoop".into(),
+            cores: n_nodes * config.slots_per_node,
+            tasks: done,
+            makespan_seconds: makespan,
+        });
+        s.span(Span::job(makespan));
+        s.snapshot()
+    });
 
     Ok(MapReduceReport {
         summary: RunSummary {
             platform: "hadoop".into(),
             cores: n_nodes * config.slots_per_node,
             tasks: done,
-            makespan_seconds: finished.duration_since(start).as_secs_f64(),
+            makespan_seconds: makespan,
             redundant_executions: stats.duplicate_completions as usize,
             remote_bytes: remote_bytes.load(Ordering::Relaxed),
         },
@@ -356,6 +447,7 @@ pub fn run_job_with(
         total_attempts: attempts,
         map_output_records: map_output_records.load(Ordering::Relaxed),
         shuffle_records: shuffle_records.load(Ordering::Relaxed),
+        trace,
     })
     .inspect(|r| {
         debug_assert!(r.summary.tasks + r.failed.len() == n_tasks);

@@ -13,7 +13,7 @@
 
 use crate::input::InputSplit;
 use crate::report::MapReduceReport;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{CompleteOutcome, Scheduler};
 use ppc_chaos::FaultSchedule;
 use ppc_compute::cluster::Cluster;
 use ppc_compute::model::{task_service_seconds, AppModel};
@@ -24,6 +24,7 @@ use ppc_core::{PpcError, Result};
 use ppc_des::{Engine, SimTime};
 use ppc_hdfs::block::DataNodeId;
 use ppc_storage::latency::LatencyModel;
+use ppc_trace::{EventKind, Phase, Recorder, RunMeta, Span, TraceEvent, TraceSink};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -59,6 +60,9 @@ pub struct HadoopSimConfig {
     /// Ablation switch: pretend the scheduler has no locality information
     /// (every read goes over the cluster network).
     pub ignore_locality: bool,
+    /// Record per-attempt `dispatch → read → map → commit` spans into the
+    /// report's [`ppc_trace::Trace`].
+    pub trace: bool,
 }
 
 impl Default for HadoopSimConfig {
@@ -78,6 +82,7 @@ impl Default for HadoopSimConfig {
             speculative: true,
             max_attempts: 4,
             ignore_locality: false,
+            trace: false,
         }
     }
 }
@@ -125,6 +130,7 @@ struct SimState {
     schedule: Option<Arc<FaultSchedule>>,
     task_seqs: Vec<u32>,
     last_kill: Vec<f64>,
+    rec: Option<Recorder>,
 }
 
 /// Simulate a map-only Hadoop job of `tasks` on `cluster`.
@@ -189,6 +195,7 @@ pub fn simulate_chaos(
         schedule,
         task_seqs: vec![0; total_workers],
         last_kill: vec![0.0; total_workers],
+        rec: cfg.trace.then(Recorder::new),
     }));
 
     let tasks: Rc<Vec<TaskSpec>> = Rc::new(tasks.to_vec());
@@ -216,9 +223,24 @@ pub fn simulate_chaos(
     let makespan = st.completed_at.unwrap_or(SimTime::ZERO).as_secs_f64();
     let stats = st.scheduler.stats();
 
+    let platform = format!("hadoop-sim-{}", itype.name);
+    // The trace's meta carries the *same* f64 makespan and core count as
+    // the summary, so efficiency recomputed from the job span matches the
+    // report's exactly.
+    let trace = st.rec.as_ref().and_then(|rec| {
+        rec.set_meta(RunMeta {
+            platform: platform.clone(),
+            cores: cluster.total_workers(),
+            tasks: st.scheduler.n_done(),
+            makespan_seconds: makespan,
+        });
+        rec.span(Span::job(makespan));
+        rec.snapshot()
+    });
+
     MapReduceReport {
         summary: RunSummary {
-            platform: format!("hadoop-sim-{}", itype.name),
+            platform,
             cores: cluster.total_workers(),
             tasks: st.scheduler.n_done(),
             makespan_seconds: makespan,
@@ -231,6 +253,7 @@ pub fn simulate_chaos(
         total_attempts: st.attempts,
         map_output_records: 0,
         shuffle_records: 0,
+        trace,
     }
 }
 
@@ -277,7 +300,7 @@ fn worker_tick(
         }
     };
 
-    let (duration_s, fails) = {
+    let (duration_s, fails, killed, t_read, t_write) = {
         let mut st = state.borrow_mut();
         st.attempts += 1;
         let task = &tasks[assignment.split];
@@ -306,6 +329,7 @@ fn worker_tick(
         };
         let t_write = cfg.local_read.transfer_seconds(task.profile.output_bytes);
         let mut fails = cfg.attempt_failure_p > 0.0 && st.rng.chance(cfg.attempt_failure_p);
+        let mut killed = false;
         if let Some(schedule) = st.schedule.clone() {
             let w = worker as u32;
             let seq = st.task_seqs[worker];
@@ -325,7 +349,7 @@ fn worker_tick(
                 + t_read
                 + t_exec_base * jitter * straggle
                 + t_write;
-            let killed = schedule.kills_in(w, st.last_kill[worker], window_end);
+            killed = schedule.kills_in(w, st.last_kill[worker], window_end);
             st.last_kill[worker] = window_end;
             fails = fails
                 || killed
@@ -337,17 +361,59 @@ fn worker_tick(
         (
             cfg.dispatch_overhead_s + t_read + t_exec_base * jitter * straggle + t_write,
             fails,
+            killed,
+            t_read,
+            t_write,
         )
     };
 
     let st2 = state.clone();
     engine.schedule_in(SimTime::from_secs_f64(duration_s), move |e| {
+        let end = e.now().as_secs_f64();
         {
             let mut st = st2.borrow_mut();
-            if fails {
+            let terminal = if fails {
                 st.scheduler.fail(assignment.id);
+                false
             } else {
-                st.scheduler.complete(assignment.id);
+                st.scheduler.complete(assignment.id) == CompleteOutcome::First
+            };
+            if let Some(rec) = &st.rec {
+                // Phase boundaries, clamped so engine-clock quantization
+                // can never produce a negative-length span. Commit is
+                // recorded only for the attempt that actually finished the
+                // task, so each completed task has exactly one terminal
+                // span; duplicate and failed attempts fold the tail into
+                // the map phase.
+                let task_id = tasks[assignment.split].id.0;
+                let w = worker as u32;
+                let a = assignment.id.attempt;
+                let d1 = (now_s + cfg.dispatch_overhead_s).min(end);
+                let d2 = (d1 + t_read).min(end);
+                let d3 = if terminal {
+                    (end - t_write).max(d2)
+                } else {
+                    end
+                };
+                let read_phase = if assignment.local {
+                    Phase::ReadLocal
+                } else {
+                    Phase::ReadRemote
+                };
+                rec.span(Span::new(task_id, a, w, Phase::Dispatch, now_s, d1));
+                rec.span(Span::new(task_id, a, w, read_phase, d1, d2));
+                rec.span(Span::new(task_id, a, w, Phase::Map, d2, d3));
+                if terminal {
+                    rec.span(Span::new(task_id, a, w, Phase::Commit, d3, end));
+                }
+                rec.span(Span::new(task_id, a, w, Phase::Attempt, now_s, end));
+                if killed {
+                    rec.event(TraceEvent {
+                        at_s: end,
+                        worker: w,
+                        kind: EventKind::Death,
+                    });
+                }
             }
             if st.scheduler.is_complete() && st.completed_at.is_none() {
                 st.completed_at = Some(e.now());

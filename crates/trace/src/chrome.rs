@@ -1,0 +1,146 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto "trace event") JSON export.
+//!
+//! Timestamps are integer microseconds so the output is byte-stable across
+//! platforms — the golden test pins the exact string for a small trace.
+//! Workers map to Chrome threads (`pid` 0); client-side spans (enqueue, the
+//! job root) live on `pid` 1; fleet events become global instant events.
+
+use crate::span::{Phase, Span, TraceEvent, NO_WORKER};
+use crate::store::Trace;
+use ppc_core::json::Json;
+
+fn micros(s: f64) -> Json {
+    Json::Int((s * 1e6).round() as i128)
+}
+
+fn span_event(s: &Span) -> Json {
+    let (pid, tid) = if s.worker == NO_WORKER {
+        (1u64, 0u64)
+    } else {
+        (0u64, s.worker as u64)
+    };
+    let cat = if s.phase.is_structural() {
+        "structural"
+    } else {
+        "phase"
+    };
+    let mut args = vec![("attempt".to_string(), Json::from(s.attempt as u64))];
+    if s.phase != Phase::Job {
+        args.insert(0, ("task".to_string(), Json::from(s.task)));
+    }
+    Json::Obj(vec![
+        ("name".to_string(), Json::from(s.phase.name())),
+        ("cat".to_string(), Json::from(cat)),
+        ("ph".to_string(), Json::from("X")),
+        ("ts".to_string(), micros(s.start_s)),
+        ("dur".to_string(), micros(s.duration_s())),
+        ("pid".to_string(), Json::from(pid)),
+        ("tid".to_string(), Json::from(tid)),
+        ("args".to_string(), Json::Obj(args)),
+    ])
+}
+
+fn instant_event(e: &TraceEvent) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::from(e.kind.name())),
+        ("cat".to_string(), Json::from("fleet")),
+        ("ph".to_string(), Json::from("i")),
+        ("ts".to_string(), micros(e.at_s)),
+        ("pid".to_string(), Json::from(0u64)),
+        ("tid".to_string(), Json::from(e.worker as u64)),
+        ("s".to_string(), Json::from("g")),
+    ])
+}
+
+/// Serialise a trace to Chrome's trace-event JSON format. Load the result
+/// in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let meta = trace.meta();
+    let mut events: Vec<Json> = trace.spans().iter().map(span_event).collect();
+    events.extend(trace.events().iter().map(instant_event));
+    let doc = Json::Obj(vec![
+        ("displayTimeUnit".to_string(), Json::from("ms")),
+        (
+            "otherData".to_string(),
+            Json::Obj(vec![
+                ("platform".to_string(), Json::from(meta.platform.clone())),
+                ("cores".to_string(), Json::from(meta.cores)),
+                ("tasks".to_string(), Json::from(meta.tasks)),
+                (
+                    "makespan_seconds".to_string(),
+                    Json::from(meta.makespan_seconds),
+                ),
+            ]),
+        ),
+        ("traceEvents".to_string(), Json::Arr(events)),
+    ]);
+    doc.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{EventKind, RunMeta};
+
+    fn tiny_trace() -> Trace {
+        let meta = RunMeta {
+            platform: "classic-sim-test".into(),
+            cores: 1,
+            tasks: 1,
+            makespan_seconds: 2.5,
+        };
+        let spans = vec![
+            Span::job(2.5),
+            Span::new(0, 0, NO_WORKER, Phase::Enqueue, 0.0, 0.001),
+            Span::new(0, 0, 3, Phase::Dequeue, 0.5, 0.625),
+            Span::new(0, 0, 3, Phase::Execute, 0.625, 2.0),
+            Span::new(0, 0, 3, Phase::Ack, 2.0, 2.25),
+            Span::new(0, 0, 3, Phase::Attempt, 0.5, 2.25),
+        ];
+        let events = vec![TraceEvent {
+            at_s: 1.5,
+            worker: 7,
+            kind: EventKind::Death,
+        }];
+        Trace::new(meta, spans, events)
+    }
+
+    /// Golden test: the Chrome-trace schema is pinned byte-for-byte. If this
+    /// fails, downstream tooling that parses our trace files may break —
+    /// change it deliberately.
+    #[test]
+    fn chrome_trace_json_schema_is_pinned() {
+        let got = chrome_trace_json(&tiny_trace());
+        let want = concat!(
+            "{\"displayTimeUnit\":\"ms\",",
+            "\"otherData\":{\"platform\":\"classic-sim-test\",\"cores\":1,\"tasks\":1,\"makespan_seconds\":2.5},",
+            "\"traceEvents\":[",
+            "{\"name\":\"job\",\"cat\":\"structural\",\"ph\":\"X\",\"ts\":0,\"dur\":2500000,\"pid\":1,\"tid\":0,\"args\":{\"attempt\":0}},",
+            "{\"name\":\"enqueue\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":0,\"dur\":1000,\"pid\":1,\"tid\":0,\"args\":{\"task\":0,\"attempt\":0}},",
+            "{\"name\":\"dequeue\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":500000,\"dur\":125000,\"pid\":0,\"tid\":3,\"args\":{\"task\":0,\"attempt\":0}},",
+            "{\"name\":\"execute\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":625000,\"dur\":1375000,\"pid\":0,\"tid\":3,\"args\":{\"task\":0,\"attempt\":0}},",
+            "{\"name\":\"ack\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":2000000,\"dur\":250000,\"pid\":0,\"tid\":3,\"args\":{\"task\":0,\"attempt\":0}},",
+            "{\"name\":\"attempt\",\"cat\":\"structural\",\"ph\":\"X\",\"ts\":500000,\"dur\":1750000,\"pid\":0,\"tid\":3,\"args\":{\"task\":0,\"attempt\":0}},",
+            "{\"name\":\"death\",\"cat\":\"fleet\",\"ph\":\"i\",\"ts\":1500000,\"pid\":0,\"tid\":7,\"s\":\"g\"}",
+            "]}"
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn output_round_trips_through_the_json_parser() {
+        let got = chrome_trace_json(&tiny_trace());
+        let doc = Json::parse(&got).unwrap();
+        let events = doc.field("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 7);
+        assert_eq!(
+            doc.field("otherData")
+                .unwrap()
+                .field("platform")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "classic-sim-test"
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! Overhead decomposition: attribute the Eq. 1 efficiency gap to named
+//! per-framework overheads, recomputed purely from spans.
+//!
+//! The paper explains each framework's efficiency loss with a different
+//! mechanism — Classic Cloud pays queue-control round-trips and blob
+//! transfers, Hadoop pays dispatch latency and non-local reads, DryadLINQ
+//! pays vertex startup and static-partition idle time. Each paradigm gets a
+//! *fixed* category list (zero-valued categories included), so a sim trace
+//! and a native trace of the same paradigm always decompose into the same
+//! structure even when the numbers differ.
+
+use crate::span::{Phase, NO_WORKER};
+use crate::store::Trace;
+use ppc_core::metrics::{avg_time_per_task_per_core, parallel_efficiency};
+use ppc_core::report::Table;
+
+/// Which of the paper's three frameworks a trace came from, detected from
+/// the platform string every engine stamps into [`RunMeta`](crate::RunMeta).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Paradigm {
+    Classic,
+    Hadoop,
+    Dryad,
+}
+
+impl Paradigm {
+    /// Detect from a platform name: `classic*`, `hadoop*`, `dryad*`.
+    pub fn detect(platform: &str) -> Option<Paradigm> {
+        if platform.starts_with("classic") {
+            Some(Paradigm::Classic)
+        } else if platform.starts_with("hadoop") {
+            Some(Paradigm::Hadoop)
+        } else if platform.starts_with("dryad") {
+            Some(Paradigm::Dryad)
+        } else {
+            None
+        }
+    }
+
+    /// The fixed overhead taxonomy: `(category name, phases billed to it)`.
+    pub fn categories(self) -> &'static [(&'static str, &'static [Phase])] {
+        match self {
+            Paradigm::Classic => &[
+                ("queue control", &[Phase::Dequeue, Phase::Ack]),
+                ("storage download", &[Phase::Download]),
+                ("storage upload", &[Phase::Upload]),
+            ],
+            Paradigm::Hadoop => &[
+                ("dispatch", &[Phase::Dispatch]),
+                ("local read", &[Phase::ReadLocal]),
+                ("remote read", &[Phase::ReadRemote]),
+                ("commit write", &[Phase::Commit]),
+            ],
+            Paradigm::Dryad => &[
+                ("vertex startup", &[Phase::VertexStart]),
+                ("local io", &[Phase::ReadLocal, Phase::Write]),
+            ],
+        }
+    }
+}
+
+/// One named overhead bucket: total worker-seconds spent in its phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadCategory {
+    pub name: &'static str,
+    pub seconds: f64,
+}
+
+/// Eq. 1 / Eq. 2 recomputed from spans plus a core-time decomposition:
+/// `cores × horizon = compute + Σ overheads + idle`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadReport {
+    pub paradigm: Paradigm,
+    pub platform: String,
+    pub cores: usize,
+    pub tasks: usize,
+    pub makespan_s: f64,
+    /// Last span end — ≥ makespan, because speculative duplicates keep
+    /// burning cores after the winning attempt completes the job. This,
+    /// not the makespan, bounds the core-time being decomposed.
+    pub horizon_s: f64,
+    /// Worker-seconds of application compute (execute/map), all attempts.
+    pub compute_s: f64,
+    /// Fixed per-paradigm overhead buckets (zeros kept).
+    pub categories: Vec<OverheadCategory>,
+    /// Core-seconds not covered by compute or overheads: scheduling gaps,
+    /// static-partition imbalance, post-death idleness.
+    pub idle_s: f64,
+}
+
+impl OverheadReport {
+    /// Decompose a finished trace. Panics if the platform string does not
+    /// identify a paradigm — traces are always stamped by an engine.
+    pub fn from_trace(trace: &Trace) -> OverheadReport {
+        let meta = trace.meta();
+        let paradigm = Paradigm::detect(&meta.platform)
+            .unwrap_or_else(|| panic!("unknown paradigm for platform {:?}", meta.platform));
+        let makespan_s = trace.makespan_s();
+        let horizon_s = trace
+            .spans()
+            .iter()
+            .map(|s| s.end_s)
+            .fold(makespan_s, f64::max);
+        let mut compute_s = 0.0;
+        let mut categories: Vec<OverheadCategory> = paradigm
+            .categories()
+            .iter()
+            .map(|(name, _)| OverheadCategory { name, seconds: 0.0 })
+            .collect();
+        for s in trace.spans() {
+            if s.worker == NO_WORKER || s.phase.is_structural() {
+                continue;
+            }
+            if s.phase.is_compute() {
+                compute_s += s.duration_s();
+                continue;
+            }
+            for (i, (_, phases)) in paradigm.categories().iter().enumerate() {
+                if phases.contains(&s.phase) {
+                    categories[i].seconds += s.duration_s();
+                    break;
+                }
+            }
+        }
+        let overhead_s: f64 = categories.iter().map(|c| c.seconds).sum();
+        let idle_s = (meta.cores as f64 * horizon_s - compute_s - overhead_s).max(0.0);
+        OverheadReport {
+            paradigm,
+            platform: meta.platform.clone(),
+            cores: meta.cores,
+            tasks: meta.tasks,
+            makespan_s,
+            horizon_s,
+            compute_s,
+            categories,
+            idle_s,
+        }
+    }
+
+    /// Eq. 1 recomputed from the trace: `E = T1 / (P · Tp)`.
+    pub fn efficiency(&self, t1_seconds: f64) -> f64 {
+        parallel_efficiency(t1_seconds, self.makespan_s, self.cores)
+    }
+
+    /// Eq. 2 recomputed from the trace.
+    pub fn per_task_per_core(&self) -> f64 {
+        avg_time_per_task_per_core(self.makespan_s, self.cores, self.tasks)
+    }
+
+    /// Total worker-seconds across all overhead categories.
+    pub fn overhead_s(&self) -> f64 {
+        self.categories.iter().map(|c| c.seconds).sum()
+    }
+
+    /// The category names, in taxonomy order — structure, not values.
+    pub fn category_names(&self) -> Vec<&'static str> {
+        self.categories.iter().map(|c| c.name).collect()
+    }
+
+    /// Fraction of total core-time (`cores × horizon`) a bucket takes.
+    fn share(&self, seconds: f64) -> f64 {
+        let total = self.cores as f64 * self.horizon_s;
+        if total > 0.0 {
+            seconds / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Render the decomposition: each row attributes a slice of the
+    /// efficiency gap to a named overhead.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            format!("overhead decomposition — {}", self.platform),
+            &["bucket", "core-seconds", "share of core-time"],
+        );
+        t.row(vec![
+            "compute".into(),
+            format!("{:.3}", self.compute_s),
+            format!("{:.1}%", 100.0 * self.share(self.compute_s)),
+        ]);
+        for c in &self.categories {
+            t.row(vec![
+                c.name.into(),
+                format!("{:.3}", c.seconds),
+                format!("{:.1}%", 100.0 * self.share(c.seconds)),
+            ]);
+        }
+        t.row(vec![
+            "idle".into(),
+            format!("{:.3}", self.idle_s),
+            format!("{:.1}%", 100.0 * self.share(self.idle_s)),
+        ]);
+        t.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{RunMeta, Span};
+    use crate::store::Trace;
+
+    fn classic_trace() -> Trace {
+        let meta = RunMeta {
+            platform: "classic-sim-test".into(),
+            cores: 2,
+            tasks: 1,
+            makespan_seconds: 10.0,
+        };
+        let spans = vec![
+            Span::job(10.0),
+            Span::new(0, 0, 0, Phase::Dequeue, 0.0, 1.0),
+            Span::new(0, 0, 0, Phase::Download, 1.0, 3.0),
+            Span::new(0, 0, 0, Phase::Execute, 3.0, 8.0),
+            Span::new(0, 0, 0, Phase::Upload, 8.0, 9.0),
+            Span::new(0, 0, 0, Phase::Ack, 9.0, 9.5),
+            Span::new(0, 0, 0, Phase::Attempt, 0.0, 9.5),
+        ];
+        Trace::new(meta, spans, Vec::new())
+    }
+
+    #[test]
+    fn detects_paradigm_from_platform() {
+        assert_eq!(Paradigm::detect("classic"), Some(Paradigm::Classic));
+        assert_eq!(
+            Paradigm::detect("classic-autoscale-ec2-hcxl"),
+            Some(Paradigm::Classic)
+        );
+        assert_eq!(Paradigm::detect("hadoop-sim-x"), Some(Paradigm::Hadoop));
+        assert_eq!(Paradigm::detect("dryadlinq"), Some(Paradigm::Dryad));
+        assert_eq!(Paradigm::detect("unknown"), None);
+    }
+
+    #[test]
+    fn decomposition_accounts_for_all_core_time() {
+        let r = OverheadReport::from_trace(&classic_trace());
+        assert_eq!(r.paradigm, Paradigm::Classic);
+        assert_eq!(r.compute_s, 5.0);
+        assert_eq!(
+            r.category_names(),
+            vec!["queue control", "storage download", "storage upload"]
+        );
+        assert_eq!(r.categories[0].seconds, 1.5); // dequeue + ack
+        assert_eq!(r.categories[1].seconds, 2.0);
+        assert_eq!(r.categories[2].seconds, 1.0);
+        let total = r.compute_s + r.overhead_s() + r.idle_s;
+        assert!((total - 2.0 * 10.0).abs() < 1e-9);
+        // Eq. 1: with T1 = compute, E = 5 / 20.
+        assert!((r.efficiency(5.0) - 0.25).abs() < 1e-12);
+        let rendered = r.render();
+        assert!(rendered.contains("queue control"));
+        assert!(rendered.contains("idle"));
+    }
+
+    #[test]
+    fn zero_categories_are_kept_for_structural_parity() {
+        let meta = RunMeta {
+            platform: "hadoop".into(),
+            cores: 1,
+            tasks: 1,
+            makespan_seconds: 1.0,
+        };
+        let spans = vec![
+            Span::job(1.0),
+            Span::new(0, 0, 0, Phase::Dispatch, 0.0, 0.1),
+            Span::new(0, 0, 0, Phase::ReadLocal, 0.1, 0.2),
+            Span::new(0, 0, 0, Phase::Map, 0.2, 0.8),
+            Span::new(0, 0, 0, Phase::Commit, 0.8, 0.9),
+            Span::new(0, 0, 0, Phase::Attempt, 0.0, 0.9),
+        ];
+        let r = OverheadReport::from_trace(&Trace::new(meta, spans, Vec::new()));
+        // No remote read happened, but the category is still present.
+        assert!(r.category_names().contains(&"remote read"));
+        let remote = r
+            .categories
+            .iter()
+            .find(|c| c.name == "remote read")
+            .unwrap();
+        assert_eq!(remote.seconds, 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Span and event vocabulary shared by every engine.
+
+/// Worker id used for spans that happen outside any worker (the client's
+/// enqueue loop, the job-level root span).
+pub const NO_WORKER: u32 = u32::MAX;
+
+/// Task id used for the job-level root span.
+pub const JOB_TASK: u64 = u64::MAX;
+
+/// A lifecycle phase of a task attempt (or a structural container).
+///
+/// The per-paradigm taxonomies (DESIGN.md §6d):
+///
+/// | paradigm | phases |
+/// |----------|--------|
+/// | Classic  | `enqueue → dequeue → download → execute → upload → ack` |
+/// | Hadoop   | `dispatch → read_local\|read_remote → map → commit` |
+/// | Dryad    | `vertex_start → read_local → execute → write` |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Root span covering the whole run; `task == JOB_TASK`.
+    Job,
+    /// Structural parent covering one attempt of one task.
+    Attempt,
+    // Classic Cloud.
+    /// Client pushes the task message onto the queue (worker == NO_WORKER).
+    Enqueue,
+    /// Worker receives the message from the queue.
+    Dequeue,
+    /// Worker fetches the input object from blob storage.
+    Download,
+    /// Application compute (Classic + Dryad).
+    Execute,
+    /// Worker writes the output object to blob storage.
+    Upload,
+    /// Worker deletes the message — the terminal "this attempt won" span.
+    Ack,
+    // Hadoop.
+    /// Scheduler hands the attempt to a task tracker slot.
+    Dispatch,
+    /// Input read served by a local replica (Hadoop + Dryad).
+    ReadLocal,
+    /// Input read streamed from a remote datanode.
+    ReadRemote,
+    /// Application compute inside the mapper.
+    Map,
+    /// Output committer promotes the attempt's output — terminal for Hadoop.
+    Commit,
+    // Dryad.
+    /// Vertex scheduling/startup overhead.
+    VertexStart,
+    /// Vertex writes its output partition — terminal for Dryad.
+    Write,
+}
+
+impl Phase {
+    /// Stable lowercase name used by exporters and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Job => "job",
+            Phase::Attempt => "attempt",
+            Phase::Enqueue => "enqueue",
+            Phase::Dequeue => "dequeue",
+            Phase::Download => "download",
+            Phase::Execute => "execute",
+            Phase::Upload => "upload",
+            Phase::Ack => "ack",
+            Phase::Dispatch => "dispatch",
+            Phase::ReadLocal => "read_local",
+            Phase::ReadRemote => "read_remote",
+            Phase::Map => "map",
+            Phase::Commit => "commit",
+            Phase::VertexStart => "vertex_start",
+            Phase::Write => "write",
+        }
+    }
+
+    /// Structural spans contain other spans rather than naming a phase.
+    pub fn is_structural(self) -> bool {
+        matches!(self, Phase::Job | Phase::Attempt)
+    }
+
+    /// Terminal phases mark the attempt that *won* the task: the Classic
+    /// ack (message delete), the Hadoop commit, the Dryad output write.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Phase::Ack | Phase::Commit | Phase::Write)
+    }
+
+    /// Application compute as opposed to framework overhead.
+    pub fn is_compute(self) -> bool {
+        matches!(self, Phase::Execute | Phase::Map)
+    }
+
+    /// Whether the phase must nest inside an [`Phase::Attempt`] parent.
+    /// Client-side enqueue and the job root live outside attempts.
+    pub fn requires_attempt(self) -> bool {
+        !matches!(self, Phase::Job | Phase::Attempt | Phase::Enqueue)
+    }
+}
+
+/// One timed interval in a task attempt's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Task id (`TaskSpec::id`), or [`JOB_TASK`] for the root span.
+    pub task: u64,
+    /// Zero-based attempt number; chaos re-executions bump this.
+    pub attempt: u32,
+    /// Flat worker index, or [`NO_WORKER`] for client-side spans.
+    pub worker: u32,
+    pub phase: Phase,
+    pub start_s: f64,
+    pub end_s: f64,
+}
+
+impl Span {
+    pub fn new(
+        task: u64,
+        attempt: u32,
+        worker: u32,
+        phase: Phase,
+        start_s: f64,
+        end_s: f64,
+    ) -> Span {
+        Span {
+            task,
+            attempt,
+            worker,
+            phase,
+            start_s,
+            end_s,
+        }
+    }
+
+    /// The job-level root span: `[0, makespan]`, no task, no worker.
+    pub fn job(makespan_s: f64) -> Span {
+        Span::new(JOB_TASK, 0, NO_WORKER, Phase::Job, 0.0, makespan_s)
+    }
+
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Fleet-level instants recorded alongside spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// A worker thread/slot came up (fixed fleets record one per worker).
+    WorkerStart,
+    /// Autoscaler launched a new instance slot.
+    Launch,
+    /// Autoscaler began draining a slot (no new work).
+    Drain,
+    /// Autoscaler retired a drained slot at its billing boundary.
+    Retire,
+    /// Chaos killed a worker (fault-schedule kill or death dice).
+    Death,
+}
+
+impl EventKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::WorkerStart => "worker_start",
+            EventKind::Launch => "launch",
+            EventKind::Drain => "drain",
+            EventKind::Retire => "retire",
+            EventKind::Death => "death",
+        }
+    }
+}
+
+/// A fleet event: something happened to `worker` at `at_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    pub at_s: f64,
+    pub worker: u32,
+    pub kind: EventKind,
+}
+
+/// Run-level metadata stamped by the engine at finalisation. The makespan
+/// here is the *engine-reported* value, so Eq. 1 recomputed from the trace
+/// reproduces the report's efficiency exactly.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunMeta {
+    pub platform: String,
+    pub cores: usize,
+    pub tasks: usize,
+    pub makespan_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_are_stable_and_unique() {
+        let all = [
+            Phase::Job,
+            Phase::Attempt,
+            Phase::Enqueue,
+            Phase::Dequeue,
+            Phase::Download,
+            Phase::Execute,
+            Phase::Upload,
+            Phase::Ack,
+            Phase::Dispatch,
+            Phase::ReadLocal,
+            Phase::ReadRemote,
+            Phase::Map,
+            Phase::Commit,
+            Phase::VertexStart,
+            Phase::Write,
+        ];
+        let mut names: Vec<&str> = all.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "duplicate phase name");
+        for p in all {
+            assert!(p.is_structural() || p.requires_attempt() || p == Phase::Enqueue);
+        }
+    }
+
+    #[test]
+    fn terminal_and_compute_partition() {
+        assert!(Phase::Ack.is_terminal());
+        assert!(Phase::Commit.is_terminal());
+        assert!(Phase::Write.is_terminal());
+        assert!(!Phase::Execute.is_terminal());
+        assert!(Phase::Execute.is_compute());
+        assert!(Phase::Map.is_compute());
+        assert!(!Phase::Ack.is_compute());
+    }
+
+    #[test]
+    fn job_span_shape() {
+        let s = Span::job(12.5);
+        assert_eq!(s.task, JOB_TASK);
+        assert_eq!(s.worker, NO_WORKER);
+        assert_eq!(s.duration_s(), 12.5);
+        assert!(s.phase.is_structural());
+    }
+}

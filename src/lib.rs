@@ -37,3 +37,4 @@ pub use ppc_hdfs as hdfs;
 pub use ppc_mapreduce as mapreduce;
 pub use ppc_queue as queue;
 pub use ppc_storage as storage;
+pub use ppc_trace as trace;

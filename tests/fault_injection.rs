@@ -135,7 +135,12 @@ fn hadoop_retries_do_not_duplicate_outputs() {
         fs.create(&p, format!("data-{i}").as_bytes(), None).unwrap();
         paths.push(p);
     }
-    let job = MapReduceJob::map_only("flaky", paths, "/out");
+    let mut job = MapReduceJob::map_only("flaky", paths, "/out");
+    // The property under test is commit discipline, not retry exhaustion:
+    // at p=0.35 the default 4-attempt budget permanently fails a task in
+    // ~1.5% of interleavings, so give retries enough headroom that every
+    // task completes and the only question is how many outputs it has.
+    job.max_attempts = 12;
     let mapper = ExecutableMapper::new("rev", reverse_executor());
     let config = HadoopConfig {
         attempt_failure_p: 0.35,
