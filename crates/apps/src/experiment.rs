@@ -8,7 +8,7 @@
 //! * [`scalability_study`] — the four-platform efficiency/per-file studies
 //!   behind Figures 5/6, 10/11, 14/15.
 
-use ppc_classic::sim::{sequential_baseline_seconds, simulate as classic_sim, SimConfig};
+use ppc_classic::{sequential_baseline_seconds, simulate as classic_sim, ClassicEngine, SimConfig};
 use ppc_compute::billing::CostBreakdown;
 use ppc_compute::cluster::Cluster;
 use ppc_compute::instance::{
@@ -18,8 +18,9 @@ use ppc_compute::instance::{
 use ppc_compute::model::AppModel;
 use ppc_core::metrics::{avg_time_per_task_per_core, parallel_efficiency};
 use ppc_core::task::TaskSpec;
-use ppc_dryad::sim::{simulate as dryad_sim, DryadSimConfig};
-use ppc_mapreduce::sim::{simulate as hadoop_sim, HadoopSimConfig};
+use ppc_dryad::{DryadEngine, DryadSimConfig};
+use ppc_exec::{Engine, RunContext};
+use ppc_mapreduce::{simulate as hadoop_sim, HadoopEngine, HadoopSimConfig};
 
 /// One row of an instance-type study (one bar group in Figures 3/4 etc.).
 #[derive(Debug, Clone)]
@@ -47,7 +48,7 @@ pub fn ec2_instance_study(tasks: &[TaskSpec], app: AppModel, seed: u64) -> Vec<I
         .into_iter()
         .map(|cluster| {
             let cfg = SimConfig::ec2().with_app(app).with_seed(seed);
-            let report = classic_sim(&cluster, tasks, &cfg);
+            let report = classic_sim(&RunContext::new(&cluster), tasks, &cfg);
             InstanceStudyRow {
                 label: cluster.label().to_string(),
                 makespan_seconds: report.summary.makespan_seconds,
@@ -96,7 +97,7 @@ pub fn azure_instance_study(
                         .collect();
                     let cluster = Cluster::provision(itype, n_instances, w);
                     let cfg = SimConfig::azure().with_app(app).with_seed(seed);
-                    let report = classic_sim(&cluster, &scaled, &cfg);
+                    let report = classic_sim(&RunContext::new(&cluster), &scaled, &cfg);
                     InstanceStudyRow {
                         label: format!("{}x{}", w, t),
                         makespan_seconds: report.summary.makespan_seconds,
@@ -220,28 +221,30 @@ pub fn run_platform_sized(
 ) -> ScalePoint {
     let cluster = platform.fleet(application, cores);
     let itype = cluster.itype();
-    let summary = match platform {
-        Platform::ClassicEc2 | Platform::ClassicAzure => {
-            let cfg = SimConfig::ec2().with_app(app).with_seed(seed);
-            classic_sim(&cluster, tasks, &cfg).summary
-        }
-        Platform::Hadoop => {
-            let cfg = HadoopSimConfig {
+    // The platform choice picks an engine; from here on the call is
+    // paradigm-generic, with the seed arriving through the context.
+    let engine: Box<dyn Engine> = match platform {
+        Platform::ClassicEc2 | Platform::ClassicAzure => Box::new(ClassicEngine {
+            sim: SimConfig::ec2().with_app(app),
+            ..ClassicEngine::default()
+        }),
+        Platform::Hadoop => Box::new(HadoopEngine {
+            sim: HadoopSimConfig {
                 app,
-                seed,
                 ..HadoopSimConfig::default()
-            };
-            hadoop_sim(&cluster, tasks, &cfg).summary
-        }
-        Platform::Dryad => {
-            let cfg = DryadSimConfig {
+            },
+            ..HadoopEngine::default()
+        }),
+        Platform::Dryad => Box::new(DryadEngine {
+            sim: DryadSimConfig {
                 app,
-                seed,
                 ..DryadSimConfig::default()
-            };
-            dryad_sim(&cluster, tasks, &cfg).summary
-        }
+            },
+            ..DryadEngine::default()
+        }),
     };
+    let ctx = RunContext::new(&cluster).with_seed(seed);
+    let summary = engine.simulate(&ctx, tasks).summary;
     // T1 in the same environment (one worker, whole node otherwise idle).
     let t1 = sequential_baseline_seconds(&itype, tasks, &app);
     ScalePoint {
@@ -276,7 +279,9 @@ pub fn run_emr(
         seed,
         ..HadoopSimConfig::default()
     };
-    let summary = hadoop_sim(&cluster, tasks, &cfg).summary;
+    let summary = hadoop_sim(&RunContext::new(&cluster), tasks, &cfg)
+        .core
+        .summary;
     let t1 = sequential_baseline_seconds(&itype, tasks, &app);
     let point = ScalePoint {
         platform: "EMR",

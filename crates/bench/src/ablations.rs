@@ -7,17 +7,14 @@
 use ppc_apps::workload;
 use ppc_autoscale::{AutoscaleConfig, Policy as ScalePolicy, StepRule};
 use ppc_chaos::FaultSchedule;
-use ppc_classic::sim::{
-    simulate as classic_sim, simulate_autoscaled, simulate_chaos as classic_sim_chaos, SimConfig,
-};
+use ppc_classic::{simulate as classic_sim, SimConfig};
 use ppc_compute::cluster::Cluster;
 use ppc_compute::instance::{BARE_CAP3, EC2_HCXL};
 use ppc_compute::model::AppModel;
 use ppc_core::report::{Figure, Series};
-use ppc_dryad::sim::{simulate as dryad_sim, simulate_chaos as dryad_sim_chaos, DryadSimConfig};
-use ppc_mapreduce::sim::{
-    simulate as hadoop_sim, simulate_chaos as hadoop_sim_chaos, HadoopSimConfig,
-};
+use ppc_dryad::{simulate as dryad_sim, DryadSimConfig};
+use ppc_exec::RunContext;
+use ppc_mapreduce::{simulate as hadoop_sim, HadoopSimConfig};
 use ppc_storage::latency::LatencyModel;
 use std::sync::Arc;
 
@@ -40,7 +37,7 @@ pub fn ablate_visibility_timeout() -> Figure {
         let cfg = SimConfig::ec2()
             .with_app(AppModel::cap3())
             .with_failures(0.05, timeout);
-        let report = classic_sim(&cluster, &tasks, &cfg);
+        let report = classic_sim(&RunContext::new(&cluster), &tasks, &cfg);
         makespan.push(format!("{timeout}"), report.summary.makespan_seconds);
         redundant.push(format!("{timeout}"), report.redundant_executions() as f64);
     }
@@ -83,11 +80,23 @@ pub fn ablate_fault_rate() -> Figure {
     for rate in [0.0, 0.02, 0.05, 0.1, 0.2] {
         let schedule = Arc::new(FaultSchedule::new(7).with_death_probabilities(rate, 0.0, 0.0));
         let label = format!("{rate}");
-        let c = classic_sim_chaos(&classic_cluster, &tasks, &classic_cfg, schedule.clone());
+        let c = classic_sim(
+            &RunContext::new(&classic_cluster).with_schedule(schedule.clone()),
+            &tasks,
+            &classic_cfg,
+        );
         classic.push(label.clone(), c.summary.makespan_seconds);
-        let h = hadoop_sim_chaos(&bare_cluster, &tasks, &hadoop_cfg, Some(schedule.clone()));
+        let h = hadoop_sim(
+            &RunContext::new(&bare_cluster).with_schedule(schedule.clone()),
+            &tasks,
+            &hadoop_cfg,
+        );
         hadoop.push(label.clone(), h.summary.makespan_seconds);
-        let d = dryad_sim_chaos(&bare_cluster, &tasks, &dryad_cfg, Some(schedule));
+        let d = dryad_sim(
+            &RunContext::new(&bare_cluster).with_schedule(schedule),
+            &tasks,
+            &dryad_cfg,
+        );
         dryad.push(label, d.summary.makespan_seconds);
     }
     fig.add(classic);
@@ -133,7 +142,7 @@ pub fn ablate_load_balance() -> Figure {
     for sigma in [0.0, 0.3, 0.6, 0.9, 1.2] {
         let tasks = bounded_skew_tasks(1024, 300.0, sigma, 23);
         let h = hadoop_sim(
-            &cluster,
+            &RunContext::new(&cluster),
             &tasks,
             &HadoopSimConfig {
                 app: AppModel::cap3(),
@@ -141,7 +150,7 @@ pub fn ablate_load_balance() -> Figure {
             },
         );
         let d = dryad_sim(
-            &cluster,
+            &RunContext::new(&cluster),
             &tasks,
             &DryadSimConfig {
                 app: AppModel::cap3(),
@@ -183,8 +192,8 @@ pub fn ablate_locality() -> Figure {
             ignore_locality: true,
             ..Default::default()
         };
-        let a = hadoop_sim(&cluster, &tasks, &on);
-        let b = hadoop_sim(&cluster, &tasks, &off);
+        let a = hadoop_sim(&RunContext::new(&cluster), &tasks, &on);
+        let b = hadoop_sim(&RunContext::new(&cluster), &tasks, &off);
         with_locality.push(format!("{mb}"), a.summary.makespan_seconds);
         without.push(format!("{mb}"), b.summary.makespan_seconds);
     }
@@ -210,7 +219,7 @@ pub fn ablate_granularity() -> Figure {
         let n_files = total_queries / per_file;
         let tasks = workload::blast_sim_tasks(n_files, per_file);
         let cfg = SimConfig::ec2().with_seed(29);
-        let report = classic_sim(&cluster, &tasks, &cfg);
+        let report = classic_sim(&RunContext::new(&cluster), &tasks, &cfg);
         let t1 =
             ppc_classic::sim::sequential_baseline_seconds(&EC2_HCXL, &tasks, &AppModel::DEFAULT);
         eff.push(
@@ -257,13 +266,13 @@ pub fn ablate_nic_contention() -> Figure {
         };
         free.push(
             format!("{mb}"),
-            classic_sim(&cluster, &tasks, &base)
+            classic_sim(&RunContext::new(&cluster), &tasks, &base)
                 .summary
                 .makespan_seconds,
         );
         nic.push(
             format!("{mb}"),
-            classic_sim(&cluster, &tasks, &with_nic)
+            classic_sim(&RunContext::new(&cluster), &tasks, &with_nic)
                 .summary
                 .makespan_seconds,
         );
@@ -295,7 +304,7 @@ pub fn ablate_speculation() -> Figure {
             ..Default::default()
         };
         let on = hadoop_sim(
-            &cluster,
+            &RunContext::new(&cluster),
             &tasks,
             &HadoopSimConfig {
                 speculative: true,
@@ -303,7 +312,7 @@ pub fn ablate_speculation() -> Figure {
             },
         );
         let off = hadoop_sim(
-            &cluster,
+            &RunContext::new(&cluster),
             &tasks,
             &HadoopSimConfig {
                 speculative: false,
@@ -337,7 +346,7 @@ pub fn ablate_storage_latency() -> Figure {
             request_latency_s: ms as f64 / 1e3,
             bandwidth_bytes_per_s: 25e6,
         };
-        let report = classic_sim(&cluster, &tasks, &cfg);
+        let report = classic_sim(&RunContext::new(&cluster), &tasks, &cfg);
         let t1 =
             ppc_classic::sim::sequential_baseline_seconds(&EC2_HCXL, &tasks, &AppModel::cap3());
         eff.push(
@@ -377,7 +386,7 @@ pub fn ablate_iterative_caching() -> Figure {
         ..Default::default()
     };
     // One Hadoop round (reads inputs, pays dispatch).
-    let round_with_io = hadoop_sim(&cluster, &tasks, &per_job)
+    let round_with_io = hadoop_sim(&RunContext::new(&cluster), &tasks, &per_job)
         .summary
         .makespan_seconds;
     // A cached round: no input read, no per-task JVM launch (Twister keeps
@@ -390,7 +399,7 @@ pub fn ablate_iterative_caching() -> Figure {
         dispatch_overhead_s: 0.0,
         ..per_job
     };
-    let round_cached = hadoop_sim(&cluster, &cached_tasks, &cached_cfg)
+    let round_cached = hadoop_sim(&RunContext::new(&cluster), &cached_tasks, &cached_cfg)
         .summary
         .makespan_seconds;
 
@@ -485,8 +494,12 @@ pub fn ablate_autoscale() -> Figure {
     let mut wasted = Series::new("wasted billed hours");
     let mut mean_fleet = Series::new("mean fleet size");
     for (label, autoscale) in autoscale_strategies() {
-        let report = simulate_autoscaled(EC2_HCXL, &tasks, &arrivals, &cfg, &autoscale);
-        let fleet = report.fleet.expect("elastic run reports a fleet");
+        let report = classic_sim(
+            &RunContext::elastic(EC2_HCXL, autoscale.clone(), arrivals.clone()),
+            &tasks,
+            &cfg,
+        );
+        let fleet = report.fleet.as_ref().expect("elastic run reports a fleet");
         makespan.push(label, report.summary.makespan_seconds);
         cost.push(label, fleet.cost.compute_cost.as_f64() * 100.0);
         wasted.push(label, fleet.wasted_hours);
@@ -508,7 +521,11 @@ pub fn autoscale_timeline_demo() -> String {
     let runs: Vec<(&str, ppc_classic::report::FleetReport)> = autoscale_strategies()
         .into_iter()
         .map(|(label, autoscale)| {
-            let report = simulate_autoscaled(EC2_HCXL, &tasks, &arrivals, &cfg, &autoscale);
+            let report = classic_sim(
+                &RunContext::elastic(EC2_HCXL, autoscale.clone(), arrivals.clone()),
+                &tasks,
+                &cfg,
+            );
             (label, report.fleet.expect("fleet report"))
         })
         .collect();
@@ -548,7 +565,9 @@ pub fn sustained_variation() -> Figure {
                     .with_app(AppModel::cap3())
                     .with_seed(1000 + seed);
                 cfg.jitter_sigma = jitter;
-                classic_sim(&cluster, &tasks, &cfg).summary.makespan_seconds
+                classic_sim(&RunContext::new(&cluster), &tasks, &cfg)
+                    .summary
+                    .makespan_seconds
             })
             .collect();
         let stats = ppc_core::metrics::Stats::from_sample(&makespans).expect("non-empty");

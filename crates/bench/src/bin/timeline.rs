@@ -2,17 +2,18 @@
 //! Classic Cloud run — the observability view operators use to spot load
 //! imbalance. Compare a homogeneous run against an inhomogeneous one.
 use ppc_apps::workload;
-use ppc_classic::sim::{simulate, SimConfig};
+use ppc_classic::{simulate, SimConfig};
 use ppc_compute::cluster::Cluster;
 use ppc_compute::instance::EC2_HCXL;
 use ppc_compute::model::AppModel;
+use ppc_exec::RunContext;
 
 fn show(title: &str, tasks: &[ppc_core::TaskSpec]) {
     let cluster = Cluster::provision(EC2_HCXL, 1, 8);
     let mut cfg = SimConfig::ec2().with_app(AppModel::cap3());
     cfg.trace = true;
-    let report = simulate(&cluster, tasks, &cfg);
-    let timeline = report.timeline.expect("traced");
+    let report = simulate(&RunContext::new(&cluster), tasks, &cfg);
+    let timeline = report.timeline.as_ref().expect("traced");
     println!("## {title}");
     println!(
         "makespan {:.0} s, utilization {:.0}%",

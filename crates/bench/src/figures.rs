@@ -4,7 +4,7 @@ use ppc_apps::experiment::{
     azure_instance_study, ec2_instance_study, run_platform, InstanceStudyRow, Platform,
 };
 use ppc_apps::workload;
-use ppc_classic::sim::{sequential_baseline_seconds, simulate as classic_sim, SimConfig};
+use ppc_classic::{sequential_baseline_seconds, simulate as classic_sim, SimConfig};
 use ppc_compute::cluster::Cluster;
 use ppc_compute::instance::{
     InstanceType, AZURE_SMALL, BARE_HPC16, BARE_XEON24, EC2_HCXL, EC2_HM4XL, EC2_LARGE,
@@ -13,8 +13,9 @@ use ppc_compute::model::AppModel;
 use ppc_core::metrics::{avg_time_per_task_per_core, parallel_efficiency};
 use ppc_core::report::{Figure, Series};
 use ppc_core::task::TaskSpec;
-use ppc_dryad::sim::{simulate as dryad_sim, DryadSimConfig};
-use ppc_mapreduce::sim::{simulate as hadoop_sim, HadoopSimConfig};
+use ppc_dryad::{DryadEngine, DryadSimConfig};
+use ppc_exec::{Engine, RunContext};
+use ppc_mapreduce::{HadoopEngine, HadoopSimConfig};
 
 fn cost_figure(title: &str, rows: &[InstanceStudyRow]) -> Figure {
     let mut fig = Figure::new(title, "Instance type - n x workers", "cost ($)").with_precision(2);
@@ -279,7 +280,7 @@ fn gtm_classic_point(
 ) -> (f64, f64) {
     let cluster = Cluster::provision(itype, n, workers);
     let cfg = SimConfig::ec2().with_app(AppModel::DEFAULT).with_seed(19);
-    let report = classic_sim(&cluster, tasks, &cfg);
+    let report = classic_sim(&RunContext::new(&cluster), tasks, &cfg);
     let t1 = sequential_baseline_seconds(&itype, tasks, &AppModel::DEFAULT);
     let cores = cluster.total_workers();
     (
@@ -293,33 +294,26 @@ fn gtm_platform_point(platform: Platform, tasks: &[TaskSpec]) -> (f64, f64) {
     let cluster = platform.fleet("gtm", 128);
     let itype = cluster.itype();
     let app = AppModel::DEFAULT;
-    let summary = match platform {
-        Platform::Hadoop => {
-            hadoop_sim(
-                &cluster,
-                tasks,
-                &HadoopSimConfig {
-                    app,
-                    seed: 19,
-                    ..Default::default()
-                },
-            )
-            .summary
-        }
-        Platform::Dryad => {
-            dryad_sim(
-                &cluster,
-                tasks,
-                &DryadSimConfig {
-                    app,
-                    seed: 19,
-                    ..Default::default()
-                },
-            )
-            .summary
-        }
+    // Platform picks the engine; the simulate call is paradigm-generic.
+    let engine: Box<dyn Engine> = match platform {
+        Platform::Hadoop => Box::new(HadoopEngine {
+            sim: HadoopSimConfig {
+                app,
+                ..Default::default()
+            },
+            ..Default::default()
+        }),
+        Platform::Dryad => Box::new(DryadEngine {
+            sim: DryadSimConfig {
+                app,
+                ..Default::default()
+            },
+            ..Default::default()
+        }),
         _ => unreachable!("classic platforms use gtm_classic_point"),
     };
+    let ctx = RunContext::new(&cluster).with_seed(19);
+    let summary = engine.simulate(&ctx, tasks).summary;
     let t1 = sequential_baseline_seconds(&itype, tasks, &app);
     let cores = cluster.total_workers();
     (
@@ -412,9 +406,17 @@ pub fn blast_cost_at_scale() -> (ppc_core::Usd, ppc_core::Usd) {
         workload::replicate(&base, 6)
     };
     let ec2_cluster = Cluster::provision_per_core(EC2_HCXL, 16);
-    let ec2 = classic_sim(&ec2_cluster, &tasks, &SimConfig::ec2().with_seed(21));
+    let ec2 = classic_sim(
+        &RunContext::new(&ec2_cluster),
+        &tasks,
+        &SimConfig::ec2().with_seed(21),
+    );
     let az_cluster = Cluster::provision_per_core(AZURE_LARGE, 16);
-    let az = classic_sim(&az_cluster, &tasks, &SimConfig::azure().with_seed(21));
+    let az = classic_sim(
+        &RunContext::new(&az_cluster),
+        &tasks,
+        &SimConfig::azure().with_seed(21),
+    );
     (
         ec2_cluster
             .cost(ec2.summary.makespan_seconds)

@@ -1,14 +1,15 @@
 //! Tables 1–4.
 
 use ppc_apps::workload;
-use ppc_classic::sim::{simulate as classic_sim, SimConfig};
+use ppc_classic::{simulate as classic_sim, SimConfig};
 use ppc_compute::billing::OwnedClusterCost;
 use ppc_compute::cluster::Cluster;
 use ppc_compute::instance::{AZURE_SMALL, AZURE_TYPES, BARE_XEON24, EC2_HCXL, EC2_TYPES};
 use ppc_compute::model::AppModel;
 use ppc_core::pricing::{AWS_2010, AZURE_2010, GIB};
 use ppc_core::report::Table;
-use ppc_mapreduce::sim::{simulate as hadoop_sim, HadoopSimConfig};
+use ppc_exec::RunContext;
+use ppc_mapreduce::{simulate as hadoop_sim, HadoopSimConfig};
 
 /// Table 1: selected EC2 instance types.
 pub fn table1() -> Table {
@@ -99,18 +100,26 @@ pub fn table4() -> Table {
 
     // EC2: 16 HCXL instances.
     let ec2_cluster = Cluster::provision_per_core(EC2_HCXL, 16);
-    let ec2 = classic_sim(&ec2_cluster, &tasks, &SimConfig::ec2().with_app(app));
+    let ec2 = classic_sim(
+        &RunContext::new(&ec2_cluster),
+        &tasks,
+        &SimConfig::ec2().with_app(app),
+    );
     let ec2_bill = ec2.bill(&ec2_cluster, &AWS_2010, 1.0);
 
     // Azure: 128 Small instances.
     let az_cluster = Cluster::provision_per_core(AZURE_SMALL, 128);
-    let az = classic_sim(&az_cluster, &tasks, &SimConfig::azure().with_app(app));
+    let az = classic_sim(
+        &RunContext::new(&az_cluster),
+        &tasks,
+        &SimConfig::azure().with_app(app),
+    );
     let az_bill = az.bill(&az_cluster, &AZURE_2010, 1.0);
 
     // Owned cluster: Hadoop on 32 × 24-core nodes.
     let owned_cluster = Cluster::provision(BARE_XEON24, 32, 24);
     let hadoop = hadoop_sim(
-        &owned_cluster,
+        &RunContext::new(&owned_cluster),
         &tasks,
         &HadoopSimConfig {
             app,
@@ -208,16 +217,24 @@ pub fn cost_comparison(app_name: &str) -> (String, ppc_core::Usd, ppc_core::Usd,
         ),
     };
     let ec2_cluster = Cluster::provision_per_core(EC2_HCXL, 16);
-    let ec2 = classic_sim(&ec2_cluster, &tasks, &SimConfig::ec2().with_app(app));
+    let ec2 = classic_sim(
+        &RunContext::new(&ec2_cluster),
+        &tasks,
+        &SimConfig::ec2().with_app(app),
+    );
     let ec2_total = ec2.bill(&ec2_cluster, &AWS_2010, 1.0).total();
 
     let az_cluster = Cluster::provision_per_core(azure_type, azure_n);
-    let az = classic_sim(&az_cluster, &tasks, &SimConfig::azure().with_app(app));
+    let az = classic_sim(
+        &RunContext::new(&az_cluster),
+        &tasks,
+        &SimConfig::azure().with_app(app),
+    );
     let az_total = az.bill(&az_cluster, &AZURE_2010, 1.0).total();
 
     let owned_cluster = Cluster::provision(BARE_XEON24, 32, 24);
     let hadoop = hadoop_sim(
-        &owned_cluster,
+        &RunContext::new(&owned_cluster),
         &tasks,
         &HadoopSimConfig {
             app,
@@ -264,12 +281,20 @@ pub fn table4_numbers() -> Table4Numbers {
     let tasks = workload::cap3_sim_tasks(4096, 200);
     let app = AppModel::cap3();
     let ec2_cluster = Cluster::provision_per_core(EC2_HCXL, 16);
-    let ec2 = classic_sim(&ec2_cluster, &tasks, &SimConfig::ec2().with_app(app));
+    let ec2 = classic_sim(
+        &RunContext::new(&ec2_cluster),
+        &tasks,
+        &SimConfig::ec2().with_app(app),
+    );
     let az_cluster = Cluster::provision_per_core(AZURE_SMALL, 128);
-    let az = classic_sim(&az_cluster, &tasks, &SimConfig::azure().with_app(app));
+    let az = classic_sim(
+        &RunContext::new(&az_cluster),
+        &tasks,
+        &SimConfig::azure().with_app(app),
+    );
     let owned_cluster = Cluster::provision(BARE_XEON24, 32, 24);
     let hadoop = hadoop_sim(
-        &owned_cluster,
+        &RunContext::new(&owned_cluster),
         &tasks,
         &HadoopSimConfig {
             app,
@@ -292,7 +317,7 @@ pub fn cap3_reference_makespan() -> f64 {
     let tasks = workload::cap3_sim_tasks(200, 200);
     let cluster = Cluster::provision_per_core(EC2_HCXL, 2);
     classic_sim(
-        &cluster,
+        &RunContext::new(&cluster),
         &tasks,
         &SimConfig::ec2().with_app(AppModel::cap3()),
     )

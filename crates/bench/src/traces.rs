@@ -5,12 +5,13 @@
 //! publish a `chrome://tracing` / Perfetto JSON of a full run.
 
 use ppc_apps::workload;
-use ppc_classic::sim::{simulate as classic_sim, SimConfig};
+use ppc_classic::{simulate as classic_sim, SimConfig};
 use ppc_compute::cluster::Cluster;
 use ppc_compute::instance::{BARE_CAP3, EC2_HCXL};
 use ppc_compute::model::AppModel;
-use ppc_dryad::sim::{simulate as dryad_sim, DryadSimConfig};
-use ppc_mapreduce::sim::{simulate as hadoop_sim, HadoopSimConfig};
+use ppc_dryad::{simulate as dryad_sim, DryadSimConfig};
+use ppc_exec::RunContext;
+use ppc_mapreduce::{simulate as hadoop_sim, HadoopSimConfig};
 use ppc_trace::{OverheadReport, Trace};
 
 /// One traced Cap3 run per paradigm simulator, in Table 3 order.
@@ -20,7 +21,7 @@ pub fn traced_cap3_runs() -> Vec<Trace> {
     let classic_cluster = Cluster::provision(EC2_HCXL, 4, 8);
     let mut classic_cfg = SimConfig::ec2().with_app(AppModel::cap3());
     classic_cfg.trace = true;
-    let classic = classic_sim(&classic_cluster, &tasks, &classic_cfg);
+    let classic = classic_sim(&RunContext::new(&classic_cluster), &tasks, &classic_cfg);
 
     let bare_cluster = Cluster::provision(BARE_CAP3, 4, 8);
     let hadoop_cfg = HadoopSimConfig {
@@ -28,19 +29,19 @@ pub fn traced_cap3_runs() -> Vec<Trace> {
         trace: true,
         ..HadoopSimConfig::default()
     };
-    let hadoop = hadoop_sim(&bare_cluster, &tasks, &hadoop_cfg);
+    let hadoop = hadoop_sim(&RunContext::new(&bare_cluster), &tasks, &hadoop_cfg);
 
     let dryad_cfg = DryadSimConfig {
         app: AppModel::cap3(),
         trace: true,
         ..DryadSimConfig::default()
     };
-    let dryad = dryad_sim(&bare_cluster, &tasks, &dryad_cfg);
+    let dryad = dryad_sim(&RunContext::new(&bare_cluster), &tasks, &dryad_cfg);
 
     vec![
-        classic.trace.expect("classic sim trace"),
-        hadoop.trace.expect("hadoop sim trace"),
-        dryad.trace.expect("dryad sim trace"),
+        classic.core.trace.expect("classic sim trace"),
+        hadoop.core.trace.expect("hadoop sim trace"),
+        dryad.core.trace.expect("dryad sim trace"),
     ]
 }
 

@@ -1,0 +1,65 @@
+//! [`ppc_exec::Engine`] implementation: Classic Cloud as one of the three
+//! interchangeable paradigms.
+
+use crate::runtime::ClassicConfig;
+use crate::sim::SimConfig;
+use crate::spec::JobSpec;
+use ppc_core::task::TaskSpec;
+use ppc_core::Result;
+use ppc_exec::{Engine, JobOutputs, RunContext, RunReport, Workload};
+use ppc_queue::service::QueueService;
+use ppc_storage::service::StorageService;
+
+/// The Classic Cloud paradigm behind the uniform [`Engine`] interface.
+/// Native runs provision fresh in-memory storage/queue services per job;
+/// pass the configs to tune either runtime.
+#[derive(Clone)]
+pub struct ClassicEngine {
+    pub sim: SimConfig,
+    pub native: ClassicConfig,
+}
+
+impl Default for ClassicEngine {
+    fn default() -> Self {
+        ClassicEngine {
+            sim: SimConfig::ec2(),
+            native: ClassicConfig::default(),
+        }
+    }
+}
+
+impl Engine for ClassicEngine {
+    fn name(&self) -> &str {
+        "classic"
+    }
+
+    fn run(&self, ctx: &RunContext, workload: &Workload) -> Result<(RunReport, JobOutputs)> {
+        let storage = StorageService::in_memory();
+        let queues = QueueService::new();
+        let job = JobSpec::new(workload.name.clone(), workload.specs())
+            .with_max_deliveries(workload.max_attempts);
+        storage.create_bucket(&job.input_bucket)?;
+        for (spec, input) in &workload.inputs {
+            storage.put(&job.input_bucket, &spec.input_key, input.clone())?;
+        }
+        let report = crate::harness::run(
+            ctx,
+            &storage,
+            &queues,
+            &job,
+            workload.executor.clone(),
+            &self.native,
+        )?;
+        let mut outputs = JobOutputs::new();
+        for (spec, _) in &workload.inputs {
+            if let Ok(bytes) = storage.get(&job.output_bucket, &spec.output_key) {
+                outputs.push((spec.output_key.clone(), (*bytes).clone()));
+            }
+        }
+        Ok((report.core, outputs))
+    }
+
+    fn simulate(&self, ctx: &RunContext, tasks: &[TaskSpec]) -> RunReport {
+        crate::harness::simulate(ctx, tasks, &self.sim).core
+    }
+}

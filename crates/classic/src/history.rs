@@ -119,21 +119,24 @@ mod tests {
 
     fn report(makespan: f64) -> ClassicReport {
         ClassicReport {
-            summary: RunSummary {
-                platform: "classic".into(),
-                cores: 16,
-                tasks: 100,
-                makespan_seconds: makespan,
-                redundant_executions: 2,
-                remote_bytes: 0,
+            core: ppc_exec::RunReport {
+                summary: RunSummary {
+                    platform: "classic".into(),
+                    cores: 16,
+                    tasks: 100,
+                    makespan_seconds: makespan,
+                    redundant_executions: 2,
+                    remote_bytes: 0,
+                },
+                failed: vec![TaskId(7)],
+                total_attempts: 102,
+                worker_deaths: 1,
+                cost: None,
+                trace: None,
             },
-            failed: vec![TaskId(7)],
-            total_executions: 102,
-            worker_deaths: 1,
             queue_requests: 420,
             executions_per_fleet: vec![100],
             timeline: None,
-            trace: None,
             fleet: None,
             storage: MeteringSnapshot::default(),
         }

@@ -11,26 +11,38 @@
 //! > tolerance capability to the system. The workers delete the task
 //! > (message) in the queue only after the completion of the task."
 //!
-//! Two runtimes share one [`spec::JobSpec`] vocabulary:
+//! Two runtimes share one [`spec::JobSpec`] vocabulary, and both are
+//! reached through exactly two entry points driven by a
+//! [`ppc_exec::RunContext`]:
 //!
-//! * [`runtime`] — the **native** runtime: real worker threads polling a
-//!   real `ppc-queue` queue, moving real bytes through `ppc-storage`, and
-//!   running real application kernels. Used by examples, tests, and the
-//!   fault-tolerance studies ([`fault`] injects worker deaths).
-//! * [`sim`] — the **simulated** runtime: the same pipeline modeled on the
-//!   `ppc-des` engine in virtual time, used for the paper-scale experiments
-//!   (hundreds of cores, hour-scale billing).
+//! * [`run`] — the **native** runtime ([`runtime`]): real worker threads
+//!   polling a real `ppc-queue` queue, moving real bytes through
+//!   `ppc-storage`, and running real application kernels. Used by
+//!   examples, tests, and the fault-tolerance studies ([`fault`] injects
+//!   worker deaths).
+//! * [`simulate`] — the **simulated** runtime ([`sim`]): the same pipeline
+//!   modeled on the `ppc-des` engine in virtual time, used for the
+//!   paper-scale experiments (hundreds of cores, hour-scale billing).
+//!
+//! The context's fleet plan picks the shape (single cluster, hybrid
+//! fleets, elastic autoscaled fleet); its seed / fault schedule / trace
+//! settings override the per-runtime configs. [`ClassicEngine`] exposes
+//! the same pair behind the paradigm-generic [`ppc_exec::Engine`] trait.
 
+pub mod engine;
 pub mod fault;
+pub mod harness;
 pub mod history;
 pub mod report;
 pub mod runtime;
 pub mod sim;
 pub mod spec;
 
+pub use engine::ClassicEngine;
 pub use fault::FaultPlan;
+pub use harness::{run, simulate};
 pub use history::{record, runs_of, RunRecord};
 pub use report::{ClassicReport, FleetReport};
-pub use runtime::{run_job, run_job_autoscaled, ClassicConfig};
-pub use sim::{simulate, simulate_autoscaled, simulate_fleets, SimConfig};
+pub use runtime::{run_sequential, ClassicConfig};
+pub use sim::{sequential_baseline_seconds, SimConfig};
 pub use spec::JobSpec;

@@ -3,24 +3,23 @@
 use ppc_compute::billing::CostBreakdown;
 use ppc_compute::cluster::Cluster;
 use ppc_compute::instance::InstanceType;
-use ppc_core::metrics::RunSummary;
+use ppc_core::json::Json;
 use ppc_core::money::Usd;
 use ppc_core::pricing::PriceBook;
-use ppc_core::task::TaskId;
 use ppc_core::trace::FleetTimeline;
+use ppc_exec::RunReport;
 use ppc_storage::metering::MeteringSnapshot;
 
 /// Everything a Classic Cloud run reports back, shared by the native and
-/// simulated runtimes.
+/// simulated runtimes: the cross-paradigm [`RunReport`] core (summary,
+/// failed tasks, attempt/death counters, cost, trace — reachable directly
+/// through `Deref`) plus the Classic-specific extras.
 #[derive(Debug, Clone)]
 pub struct ClassicReport {
-    pub summary: RunSummary,
-    /// Tasks given up on after `max_deliveries` failed attempts.
-    pub failed: Vec<TaskId>,
-    /// Total task executions, including re-executions of the same task.
-    pub total_executions: usize,
-    /// Injected (or modeled) worker deaths observed.
-    pub worker_deaths: usize,
+    /// The shared report core; `report.summary`, `report.failed`,
+    /// `report.total_attempts`, `report.worker_deaths`, `report.cost`,
+    /// and `report.trace` all live here.
+    pub core: RunReport,
     /// Billable queue API requests across scheduling + monitoring queues.
     pub queue_requests: u64,
     /// Successful task completions credited to each worker fleet (one
@@ -29,17 +28,25 @@ pub struct ClassicReport {
     pub executions_per_fleet: Vec<usize>,
     /// Storage service usage.
     pub storage: MeteringSnapshot,
-    /// Per-worker execution timeline, derived from `trace` (runs with
-    /// tracing enabled).
+    /// Per-worker execution timeline, derived from the core's trace
+    /// (runs with tracing enabled).
     pub timeline: Option<ppc_core::trace::Timeline>,
-    /// Full span trace (traced runs): per-task lifecycle phases, attempts,
-    /// and fleet events. Feed it to [`ppc_trace::OverheadReport`] or
-    /// [`ppc_trace::chrome_trace_json`].
-    pub trace: Option<ppc_trace::Trace>,
-    /// Fleet-size timeline and per-instance billing for *elastic* runs
-    /// (`run_job_autoscaled` / `simulate_autoscaled`); `None` for
-    /// fixed-fleet runs.
+    /// Fleet-size timeline and per-instance billing for *elastic* runs;
+    /// `None` for fixed-fleet runs.
     pub fleet: Option<FleetReport>,
+}
+
+impl std::ops::Deref for ClassicReport {
+    type Target = RunReport;
+    fn deref(&self) -> &RunReport {
+        &self.core
+    }
+}
+
+impl std::ops::DerefMut for ClassicReport {
+    fn deref_mut(&mut self) -> &mut RunReport {
+        &mut self.core
+    }
 }
 
 /// What an autoscaled run adds to the report: the fleet-size step function
@@ -72,15 +79,43 @@ impl FleetReport {
     }
 }
 
+/// Combined whole-fleet cost of a fixed-fleet run: every cluster held for
+/// the full makespan. Shared by the native runtime and the simulator.
+pub(crate) fn fleets_cost(fleets: &[Cluster], makespan_s: f64) -> CostBreakdown {
+    fleets.iter().map(|c| c.cost(makespan_s)).fold(
+        CostBreakdown {
+            compute_cost: Usd::cents(0),
+            amortized_cost: Usd::cents(0),
+        },
+        |acc, c| CostBreakdown {
+            compute_cost: acc.compute_cost + c.compute_cost,
+            amortized_cost: acc.amortized_cost + c.amortized_cost,
+        },
+    )
+}
+
 impl ClassicReport {
     /// Re-executed task count: wasted (but harmless) work.
     pub fn redundant_executions(&self) -> usize {
-        self.total_executions.saturating_sub(self.summary.tasks)
+        self.core.redundant_attempts()
     }
 
-    /// Whether every task eventually completed.
-    pub fn is_complete(&self) -> bool {
-        self.failed.is_empty()
+    /// JSON rendering: the core's canonical object
+    /// ([`RunReport::to_json`]) extended with the Classic extras.
+    pub fn to_json(&self) -> Json {
+        let Json::Obj(mut fields) = self.core.to_json() else {
+            unreachable!("RunReport::to_json returns an object");
+        };
+        fields.push(("queue_requests".into(), Json::from(self.queue_requests)));
+        fields.push(("storage_requests".into(), Json::from(self.storage.requests)));
+        fields.push((
+            "peak_fleet".into(),
+            match &self.fleet {
+                Some(f) => Json::from(f.peak_fleet() as u64),
+                None => Json::Null,
+            },
+        ));
+        Json::Obj(fields)
     }
 
     /// Full cost of the run: instances + queue requests + storage,
@@ -121,25 +156,29 @@ impl Bill {
 mod tests {
     use super::*;
     use ppc_compute::instance::EC2_HCXL;
+    use ppc_core::metrics::RunSummary;
     use ppc_core::pricing::AWS_2010;
 
     fn report() -> ClassicReport {
         ClassicReport {
-            summary: RunSummary {
-                platform: "classic-ec2".into(),
-                cores: 128,
-                tasks: 4096,
-                makespan_seconds: 3000.0,
-                redundant_executions: 4,
-                remote_bytes: 2 << 30,
+            core: RunReport {
+                summary: RunSummary {
+                    platform: "classic-ec2".into(),
+                    cores: 128,
+                    tasks: 4096,
+                    makespan_seconds: 3000.0,
+                    redundant_executions: 4,
+                    remote_bytes: 2 << 30,
+                },
+                failed: vec![],
+                total_attempts: 4100,
+                worker_deaths: 2,
+                cost: None,
+                trace: None,
             },
-            failed: vec![],
-            total_executions: 4100,
-            worker_deaths: 2,
             queue_requests: 10_000,
             executions_per_fleet: vec![4100],
             timeline: None,
-            trace: None,
             fleet: None,
             storage: MeteringSnapshot {
                 requests: 0,
@@ -159,6 +198,31 @@ mod tests {
     }
 
     #[test]
+    fn core_reachable_through_deref() {
+        let r = report();
+        assert_eq!(r.summary.cores, 128);
+        assert_eq!(r.total_attempts, 4100);
+        assert_eq!(r.worker_deaths, 2);
+    }
+
+    #[test]
+    fn json_extends_the_core_object() {
+        let r = report();
+        let j = Json::parse(&r.to_json().to_string()).unwrap();
+        assert_eq!(
+            j.field("summary")
+                .unwrap()
+                .field("platform")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "classic-ec2"
+        );
+        assert_eq!(j.field("queue_requests").unwrap().as_u64().unwrap(), 10_000);
+        assert!(matches!(j.field("peak_fleet").unwrap(), Json::Null));
+    }
+
+    #[test]
     fn table4_shaped_bill() {
         // 16 HCXL within the hour: $10.88 compute + $0.01 queue + $0.24
         // storage/transfer = $11.13 — the paper's AWS column.
@@ -170,5 +234,16 @@ mod tests {
         assert_eq!(bill.storage, Usd::cents(24));
         assert_eq!(bill.total(), Usd::cents(1113));
         assert!(bill.total_amortized() < bill.total());
+    }
+
+    #[test]
+    fn fleet_costs_sum_across_clusters() {
+        let a = Cluster::provision(EC2_HCXL, 2, 8);
+        let single = fleets_cost(std::slice::from_ref(&a), 1800.0);
+        let double = fleets_cost(&[a.clone(), a], 1800.0);
+        assert_eq!(
+            double.compute_cost,
+            single.compute_cost + single.compute_cost
+        );
     }
 }

@@ -17,9 +17,10 @@ use ppc_compute::cluster::Cluster;
 use ppc_core::exec::Executor;
 use ppc_core::metrics::RunSummary;
 use ppc_core::retry::{CircuitBreaker, RetryPolicy};
-use ppc_core::rng::Pcg32;
+use ppc_core::rng::{Pcg32, CLIENT_STREAM};
 use ppc_core::task::{TaskId, TaskSpec};
 use ppc_core::{PpcError, Result};
+use ppc_exec::{RunContext, RunReport};
 use ppc_queue::queue::QueueConfig;
 use ppc_queue::service::QueueService;
 use ppc_storage::service::StorageService;
@@ -222,9 +223,7 @@ struct Shared {
 }
 
 /// Execute a job on the given (native) cluster and services.
-///
-/// Returns once every task has either completed or been declared failed
-/// after `max_deliveries` attempts.
+#[deprecated(note = "build a `ppc_exec::RunContext` and call `ppc_classic::run`")]
 pub fn run_job(
     storage: &Arc<StorageService>,
     queues: &Arc<QueueService>,
@@ -233,22 +232,47 @@ pub fn run_job(
     executor: Arc<dyn Executor>,
     config: &ClassicConfig,
 ) -> Result<ClassicReport> {
-    run_job_on_fleets(
+    crate::harness::run(
+        &RunContext::new(cluster),
         storage,
         queues,
-        std::slice::from_ref(cluster),
         job,
         executor,
         config,
     )
 }
 
-/// Execute a job with workers drawn from *several* fleets polling the same
-/// scheduling queue — the paper's §2.1.3 extension: "One interesting
-/// feature of the Classic Cloud framework is the ability to extend it to
-/// use the local machines and clusters side by side with the clouds."
-/// Typical use: `&[cloud_fleet, local_cluster]`.
+/// Execute a job with workers drawn from *several* fleets sharing a queue.
+#[deprecated(
+    note = "build a `ppc_exec::RunContext` with `RunContext::on_fleets(…)` and call `ppc_classic::run`"
+)]
 pub fn run_job_on_fleets(
+    storage: &Arc<StorageService>,
+    queues: &Arc<QueueService>,
+    fleets: &[Cluster],
+    job: &JobSpec,
+    executor: Arc<dyn Executor>,
+    config: &ClassicConfig,
+) -> Result<ClassicReport> {
+    crate::harness::run(
+        &RunContext::on_fleets(fleets.to_vec()),
+        storage,
+        queues,
+        job,
+        executor,
+        config,
+    )
+}
+
+/// The fixed-fleet native body: workers drawn from one or more fleets all
+/// polling the same scheduling queue — several fleets is the paper's
+/// §2.1.3 extension: "One interesting feature of the Classic Cloud
+/// framework is the ability to extend it to use the local machines and
+/// clusters side by side with the clouds." Returns once every task has
+/// either completed or been declared failed after `max_deliveries`
+/// attempts. Reached through [`crate::run`], which resolves the
+/// [`RunContext`] into the effective config.
+pub(crate) fn run_on_fleets_impl(
     storage: &Arc<StorageService>,
     queues: &Arc<QueueService>,
     fleets: &[Cluster],
@@ -294,7 +318,7 @@ pub fn run_job_on_fleets(
     // Transient send failures (queue chaos) retry through the shared
     // policy; anything else aborts the job before workers start.
     let send_policy = client_send_policy();
-    let mut send_rng = Pcg32::new(config.fault.seed ^ 0xC11E);
+    let mut send_rng = Pcg32::for_stream(config.fault.seed, CLIENT_STREAM);
     for task in &job.tasks {
         let body = task.to_message()?;
         let sent_at = live_sink(config).map(|_| clock.now_s());
@@ -388,21 +412,24 @@ pub fn run_job_on_fleets(
     let storage_after = storage.metering().snapshot();
     let per_fleet = shared.per_fleet.into_inner().unwrap();
     let mut report = ClassicReport {
-        summary: RunSummary {
-            platform: "classic".into(),
-            cores: fleets.iter().map(Cluster::total_workers).sum(),
-            tasks: completed,
-            makespan_seconds: makespan,
-            redundant_executions: total_executions.saturating_sub(completed),
-            remote_bytes: shared.remote_bytes.load(Ordering::Relaxed),
+        core: RunReport {
+            summary: RunSummary {
+                platform: "classic".into(),
+                cores: fleets.iter().map(Cluster::total_workers).sum(),
+                tasks: completed,
+                makespan_seconds: makespan,
+                redundant_executions: total_executions.saturating_sub(completed),
+                remote_bytes: shared.remote_bytes.load(Ordering::Relaxed),
+            },
+            failed,
+            total_attempts: total_executions,
+            worker_deaths: shared.worker_deaths.load(Ordering::Relaxed),
+            cost: Some(crate::report::fleets_cost(fleets, makespan)),
+            trace: None,
         },
-        failed,
-        total_executions,
-        worker_deaths: shared.worker_deaths.load(Ordering::Relaxed),
         queue_requests: queues.total_requests() - requests_before,
         executions_per_fleet: per_fleet,
         timeline: None,
-        trace: None,
         fleet: None,
         storage: ppc_storage::metering::MeteringSnapshot {
             requests: storage_after.requests - storage_before.requests,
@@ -696,9 +723,34 @@ fn poll_once(
     }
 }
 
-/// Execute a job on an *elastic* fleet: worker threads are launched and
-/// retired while the job runs, driven by a `ppc-autoscale`
-/// [`Controller`] watching the scheduling queue's
+/// Execute a job on an *elastic* fleet.
+#[deprecated(
+    note = "build a `ppc_exec::RunContext` with `RunContext::elastic(…)` and call `ppc_classic::run`"
+)]
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_autoscaled(
+    storage: &Arc<StorageService>,
+    queues: &Arc<QueueService>,
+    itype: ppc_compute::instance::InstanceType,
+    job: &JobSpec,
+    arrivals: &[f64],
+    executor: Arc<dyn Executor>,
+    config: &ClassicConfig,
+    autoscale: &AutoscaleConfig,
+) -> Result<ClassicReport> {
+    crate::harness::run(
+        &RunContext::elastic(itype, autoscale.clone(), arrivals.to_vec()),
+        storage,
+        queues,
+        job,
+        executor,
+        config,
+    )
+}
+
+/// The elastic native body: worker threads are launched and retired while
+/// the job runs, driven by a `ppc-autoscale` [`Controller`] watching the
+/// scheduling queue's
 /// [`metrics snapshot`](ppc_queue::Queue::metrics_snapshot).
 ///
 /// Each autoscaled unit is one single-worker instance of `itype` (the
@@ -712,9 +764,10 @@ fn poll_once(
 /// exits; the controller confirms the retirement on its next tick, so a
 /// leased message is never orphaned by scale-in. The report carries a
 /// [`FleetReport`](crate::report::FleetReport) with the fleet-size
-/// timeline and the staggered per-instance bill.
+/// timeline and the staggered per-instance bill. Reached through
+/// [`crate::run`], which resolves the [`RunContext`].
 #[allow(clippy::too_many_arguments)]
-pub fn run_job_autoscaled(
+pub(crate) fn run_autoscaled_impl(
     storage: &Arc<StorageService>,
     queues: &Arc<QueueService>,
     itype: ppc_compute::instance::InstanceType,
@@ -786,7 +839,7 @@ pub fn run_job_autoscaled(
 
         // Client: sends each task at its arrival offset.
         scope.spawn(|| {
-            let mut send_rng = Pcg32::new(config.fault.seed ^ 0xC11E);
+            let mut send_rng = Pcg32::for_stream(config.fault.seed, CLIENT_STREAM);
             let mut order: Vec<usize> = (0..n_tasks).collect();
             if !arrivals.is_empty() {
                 order.sort_by(|&a, &b| arrivals[a].partial_cmp(&arrivals[b]).unwrap());
@@ -1014,21 +1067,24 @@ pub fn run_job_autoscaled(
 
     let storage_after = storage.metering().snapshot();
     let mut report = ClassicReport {
-        summary: RunSummary {
-            platform: format!("classic-autoscale-{}", itype.name),
-            cores: fleet.peak_fleet() as usize,
-            tasks: completed,
-            makespan_seconds: makespan,
-            redundant_executions: total_executions.saturating_sub(completed),
-            remote_bytes: shared.remote_bytes.load(Ordering::Relaxed),
+        core: RunReport {
+            summary: RunSummary {
+                platform: format!("classic-autoscale-{}", itype.name),
+                cores: fleet.peak_fleet() as usize,
+                tasks: completed,
+                makespan_seconds: makespan,
+                redundant_executions: total_executions.saturating_sub(completed),
+                remote_bytes: shared.remote_bytes.load(Ordering::Relaxed),
+            },
+            failed,
+            total_attempts: total_executions,
+            worker_deaths: shared.worker_deaths.load(Ordering::Relaxed),
+            cost: Some(fleet.cost),
+            trace: None,
         },
-        failed,
-        total_executions,
-        worker_deaths: shared.worker_deaths.load(Ordering::Relaxed),
         queue_requests: queues.total_requests() - requests_before,
         executions_per_fleet: shared.per_fleet.into_inner().unwrap(),
         timeline: None,
-        trace: None,
         fleet: Some(fleet),
         storage: ppc_storage::metering::MeteringSnapshot {
             requests: storage_after.requests - storage_before.requests,
@@ -1131,6 +1187,48 @@ mod tests {
         })
     }
 
+    // Every native run below goes through the unified harness entry point
+    // (`crate::run` + a `RunContext`); these helpers shadow the deprecated
+    // legacy shims and spell out the context each fleet shape needs.
+    fn run_job(
+        storage: &Arc<StorageService>,
+        queues: &Arc<QueueService>,
+        cluster: &Cluster,
+        job: &JobSpec,
+        executor: Arc<dyn Executor>,
+        config: &ClassicConfig,
+    ) -> Result<ClassicReport> {
+        crate::run(
+            &RunContext::new(cluster),
+            storage,
+            queues,
+            job,
+            executor,
+            config,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_job_autoscaled(
+        storage: &Arc<StorageService>,
+        queues: &Arc<QueueService>,
+        itype: ppc_compute::instance::InstanceType,
+        job: &JobSpec,
+        arrivals: &[f64],
+        executor: Arc<dyn Executor>,
+        config: &ClassicConfig,
+        autoscale: &AutoscaleConfig,
+    ) -> Result<ClassicReport> {
+        crate::run(
+            &RunContext::elastic(itype, autoscale.clone(), arrivals.to_vec()),
+            storage,
+            queues,
+            job,
+            executor,
+            config,
+        )
+    }
+
     #[test]
     fn small_job_end_to_end() {
         let (storage, queues, job) = setup(20);
@@ -1146,7 +1244,7 @@ mod tests {
         .unwrap();
         assert!(report.is_complete());
         assert_eq!(report.summary.tasks, 20);
-        assert!(report.total_executions >= 20);
+        assert!(report.total_attempts >= 20);
         // Every output object exists and is correct.
         for i in 0..20 {
             let out = storage
@@ -1229,7 +1327,7 @@ mod tests {
         assert_eq!(report.failed, vec![TaskId(2)]);
         assert_eq!(report.summary.tasks, 3);
         assert!(
-            report.total_executions >= 3 + 3,
+            report.total_attempts >= 3 + 3,
             "poison task retried to the delivery cap"
         );
     }
@@ -1293,10 +1391,10 @@ mod tests {
         let (storage, queues, job) = setup(24);
         let cloud = Cluster::provision(EC2_HCXL, 1, 4);
         let local = Cluster::provision(ppc_compute::instance::BARE_CAP3, 1, 4);
-        let report = crate::runtime::run_job_on_fleets(
+        let report = crate::run(
+            &RunContext::on_fleets(vec![cloud, local]),
             &storage,
             &queues,
-            &[cloud, local],
             &job,
             reverse_executor(),
             &ClassicConfig::default(),
@@ -1310,10 +1408,10 @@ mod tests {
     #[test]
     fn empty_fleet_list_rejected() {
         let (storage, queues, job) = setup(1);
-        let err = crate::runtime::run_job_on_fleets(
+        let err = crate::run(
+            &RunContext::on_fleets(vec![]),
             &storage,
             &queues,
-            &[],
             &job,
             reverse_executor(),
             &ClassicConfig::default(),
@@ -1406,7 +1504,7 @@ mod tests {
         assert!(report.is_complete(), "failed: {:?}", report.failed);
         assert_eq!(report.summary.tasks, 40);
         assert_eq!(
-            report.total_executions, 40,
+            report.total_attempts, 40,
             "no redeliveries: scale-in drained cleanly"
         );
     }

@@ -18,10 +18,11 @@ use ppc_chaos::FaultSchedule;
 use ppc_compute::cluster::Cluster;
 use ppc_compute::model::{task_service_seconds, AppModel};
 use ppc_core::metrics::RunSummary;
-use ppc_core::rng::Pcg32;
+use ppc_core::rng::{Pcg32, CLIENT_STREAM};
 use ppc_core::task::TaskSpec;
 use ppc_core::{PpcError, Result};
 use ppc_des::{Engine, SimTime};
+use ppc_exec::{RunContext, RunReport};
 use ppc_storage::latency::LatencyModel;
 use ppc_storage::metering::MeteringSnapshot;
 use ppc_trace::{EventKind, Phase, Recorder, RunMeta, Span, TraceEvent, TraceSink, NO_WORKER};
@@ -214,7 +215,9 @@ struct SimState {
     remote_bytes: u64,
     bytes_in: u64,
     bytes_out: u64,
-    rng: Pcg32,
+    /// One independent RNG stream per worker slot (jitter, failure dice),
+    /// all derived from the run seed — see [`ppc_core::rng::stream_seed`].
+    rngs: Vec<Pcg32>,
     /// Optional event-based chaos shared with the other engines.
     schedule: Option<Arc<FaultSchedule>>,
     /// Per-worker count of tasks pulled so far (the chaos roll index).
@@ -234,33 +237,59 @@ struct WorkerRef {
 }
 
 /// Simulate a Classic Cloud run of `tasks` on `cluster`.
+#[deprecated(note = "build a `ppc_exec::RunContext` and call `ppc_classic::simulate`")]
 pub fn simulate(cluster: &Cluster, tasks: &[TaskSpec], cfg: &SimConfig) -> ClassicReport {
-    simulate_fleets(std::slice::from_ref(cluster), tasks, cfg)
+    crate::harness::simulate(&RunContext::new(cluster), tasks, cfg)
 }
 
-/// [`simulate`] under an event-based [`FaultSchedule`]: timed kills,
-/// mid-execution kills, torn uploads, gray degradation, and storage
-/// outage windows — the same schedule object the native runtime and the
-/// other paradigms accept, addressed by the same flat worker indices.
+/// [`simulate`] under an event-based [`FaultSchedule`].
+#[deprecated(
+    note = "build a `ppc_exec::RunContext` with `.with_schedule(…)` and call `ppc_classic::simulate`"
+)]
 pub fn simulate_chaos(
     cluster: &Cluster,
     tasks: &[TaskSpec],
     cfg: &SimConfig,
     schedule: Arc<FaultSchedule>,
 ) -> ClassicReport {
-    simulate_fleets_chaos(std::slice::from_ref(cluster), tasks, cfg, Some(schedule))
+    crate::harness::simulate(
+        &RunContext::new(cluster).with_schedule(schedule),
+        tasks,
+        cfg,
+    )
 }
 
-/// Simulate a *hybrid* Classic Cloud run: several (possibly heterogeneous)
-/// fleets all polling the same scheduling queue — the simulated twin of
-/// `crate::runtime::run_job_on_fleets` for paper-scale what-if studies
-/// ("how much does adding my local cluster to the cloud fleet help?").
+/// Simulate a *hybrid* Classic Cloud run: several fleets, one queue.
+#[deprecated(
+    note = "build a `ppc_exec::RunContext` with `RunContext::on_fleets(…)` and call `ppc_classic::simulate`"
+)]
 pub fn simulate_fleets(fleets: &[Cluster], tasks: &[TaskSpec], cfg: &SimConfig) -> ClassicReport {
-    simulate_fleets_chaos(fleets, tasks, cfg, None)
+    crate::harness::simulate(&RunContext::on_fleets(fleets.to_vec()), tasks, cfg)
 }
 
 /// [`simulate_fleets`] under an optional event-based [`FaultSchedule`].
+#[deprecated(
+    note = "build a `ppc_exec::RunContext` with `RunContext::on_fleets(…).with_schedule_opt(…)` and call `ppc_classic::simulate`"
+)]
 pub fn simulate_fleets_chaos(
+    fleets: &[Cluster],
+    tasks: &[TaskSpec],
+    cfg: &SimConfig,
+    schedule: Option<Arc<FaultSchedule>>,
+) -> ClassicReport {
+    crate::harness::simulate(
+        &RunContext::on_fleets(fleets.to_vec()).with_schedule_opt(schedule),
+        tasks,
+        cfg,
+    )
+}
+
+/// The fixed-fleet simulation body: every worker slot of every fleet polls
+/// the shared scheduling queue in virtual time — the simulated twin of
+/// [`crate::runtime::run_on_fleets_impl`] for paper-scale what-if studies
+/// ("how much does adding my local cluster to the cloud fleet help?").
+/// Reached through [`crate::simulate`], which resolves the [`RunContext`].
+pub(crate) fn sim_fleets_impl(
     fleets: &[Cluster],
     tasks: &[TaskSpec],
     cfg: &SimConfig,
@@ -270,10 +299,12 @@ pub fn simulate_fleets_chaos(
     assert!(!fleets.is_empty(), "no fleets to simulate");
     check_sim_inputs(cfg, schedule.as_ref());
     let total_workers: usize = fleets.iter().map(Cluster::total_workers).sum();
-    let mut rng = Pcg32::new(cfg.seed);
+    // The client's shuffle and the workers' jitter/failure dice draw from
+    // independent streams of the one run seed.
+    let mut client_rng = Pcg32::for_stream(cfg.seed, CLIENT_STREAM);
     let mut order: Vec<TaskSpec> = tasks.to_vec();
     // The queue has no ordering guarantee; workers see a shuffled stream.
-    rng.shuffle(&mut order);
+    client_rng.shuffle(&mut order);
 
     let state = Rc::new(RefCell::new(SimState {
         rec: cfg.trace.then(Recorder::new),
@@ -288,7 +319,9 @@ pub fn simulate_fleets_chaos(
         remote_bytes: 0,
         bytes_in: 0,
         bytes_out: 0,
-        rng,
+        rngs: (0..total_workers)
+            .map(|w| Pcg32::for_stream(cfg.seed, w as u64))
+            .collect(),
         schedule,
         task_seqs: vec![0; total_workers],
         last_kill: vec![0.0; total_workers],
@@ -346,21 +379,24 @@ pub fn simulate_fleets_chaos(
     });
 
     ClassicReport {
-        summary: RunSummary {
-            platform,
-            cores: total_workers,
-            tasks: st.completed,
-            makespan_seconds: makespan,
-            redundant_executions: st.executions - st.completed,
-            remote_bytes: st.remote_bytes,
+        core: RunReport {
+            summary: RunSummary {
+                platform,
+                cores: total_workers,
+                tasks: st.completed,
+                makespan_seconds: makespan,
+                redundant_executions: st.executions - st.completed,
+                remote_bytes: st.remote_bytes,
+            },
+            failed: Vec::new(),
+            total_attempts: st.executions,
+            worker_deaths: st.deaths,
+            cost: Some(crate::report::fleets_cost(fleets, makespan)),
+            trace: trace.clone(),
         },
-        failed: Vec::new(),
-        total_executions: st.executions,
-        worker_deaths: st.deaths,
         queue_requests: st.queue_requests,
         executions_per_fleet: Vec::new(),
         timeline: trace.as_ref().map(ppc_trace::Trace::to_timeline),
-        trace,
         fleet: None,
         storage: MeteringSnapshot {
             requests: st.storage_requests,
@@ -412,7 +448,7 @@ fn worker_tick(
         let t_exec_base =
             task_service_seconds(&itype, worker.itype_workers, &task.profile, &cfg.app);
         let jitter = if cfg.jitter_sigma > 0.0 {
-            st.rng.log_normal(0.0, cfg.jitter_sigma)
+            st.rngs[worker.index].log_normal(0.0, cfg.jitter_sigma)
         } else {
             1.0
         };
@@ -420,7 +456,7 @@ fn worker_tick(
         // receive + monitor-send + delete round trips.
         let t_ctrl = 3.0 * cfg.queue_latency.request_seconds();
         st.queue_requests += 2; // monitor send + delete
-        let mut fails = cfg.failure_rate > 0.0 && st.rng.chance(cfg.failure_rate);
+        let mut fails = cfg.failure_rate > 0.0 && st.rngs[worker.index].chance(cfg.failure_rate);
         if let Some(schedule) = st.schedule.clone() {
             let w = worker.index as u32;
             let seq = st.task_seqs[worker.index];
@@ -675,7 +711,11 @@ struct AsState {
     rec: Option<Recorder>,
     /// Next attempt index per task id (allocated at message pull).
     attempts: HashMap<u64, u32>,
-    rng: Pcg32,
+    /// The run seed; per-slot RNG streams derive from it lazily.
+    seed: u64,
+    /// Per-slot RNG streams (jitter, failure dice), indexed by controller
+    /// slot id and grown as the fleet scales out.
+    rngs: Vec<Pcg32>,
     controller: Controller,
     /// Optional event-based chaos; slots are addressed by controller id.
     schedule: Option<Arc<FaultSchedule>>,
@@ -699,6 +739,16 @@ impl AsState {
         self.task_seqs[i] += 1;
         seq
     }
+
+    /// The RNG stream of `slot`, created on first use.
+    fn rng(&mut self, slot: u32) -> &mut Pcg32 {
+        let i = slot as usize;
+        while self.rngs.len() <= i {
+            let stream = self.rngs.len() as u64;
+            self.rngs.push(Pcg32::for_stream(self.seed, stream));
+        }
+        &mut self.rngs[i]
+    }
 }
 
 /// Simulate an *elastic* Classic Cloud run: single-worker instances of
@@ -709,8 +759,10 @@ impl AsState {
 /// deterministic workload yields the same fleet-size trajectory).
 ///
 /// `arrivals[i]` is the virtual second at which `tasks[i]` enters the
-/// scheduling queue; an empty slice enqueues everything at t = 0. Tasks
-/// are delivered FIFO (no shuffle) to keep elastic runs reproducible.
+/// scheduling queue; an empty slice enqueues everything at t = 0.
+#[deprecated(
+    note = "build a `ppc_exec::RunContext` with `RunContext::elastic(…)` and call `ppc_classic::simulate`"
+)]
 pub fn simulate_autoscaled(
     itype: ppc_compute::instance::InstanceType,
     tasks: &[TaskSpec],
@@ -718,15 +770,45 @@ pub fn simulate_autoscaled(
     cfg: &SimConfig,
     autoscale: &AutoscaleConfig,
 ) -> ClassicReport {
-    simulate_autoscaled_chaos(itype, tasks, arrivals, cfg, autoscale, None)
+    crate::harness::simulate(
+        &RunContext::elastic(itype, autoscale.clone(), arrivals.to_vec()),
+        tasks,
+        cfg,
+    )
 }
 
-/// [`simulate_autoscaled`] under an optional event-based
-/// [`FaultSchedule`]: timed kills take whole instances down (the
+/// [`simulate_autoscaled`] under an optional event-based [`FaultSchedule`].
+#[deprecated(
+    note = "build a `ppc_exec::RunContext` with `RunContext::elastic(…).with_schedule_opt(…)` and call `ppc_classic::simulate`"
+)]
+pub fn simulate_autoscaled_chaos(
+    itype: ppc_compute::instance::InstanceType,
+    tasks: &[TaskSpec],
+    arrivals: &[f64],
+    cfg: &SimConfig,
+    autoscale: &AutoscaleConfig,
+    schedule: Option<Arc<FaultSchedule>>,
+) -> ClassicReport {
+    crate::harness::simulate(
+        &RunContext::elastic(itype, autoscale.clone(), arrivals.to_vec())
+            .with_schedule_opt(schedule),
+        tasks,
+        cfg,
+    )
+}
+
+/// The elastic simulation body: single-worker instances of `itype`
+/// launched and retired in virtual time by a `ppc-autoscale`
+/// [`Controller`] — the simulated twin of
+/// [`crate::runtime::run_autoscaled_impl`], sharing its decision logic and
+/// billing exactly (both engines drive the same pure state machine, so a
+/// deterministic workload yields the same fleet-size trajectory). Tasks
+/// are delivered FIFO (no shuffle) to keep elastic runs reproducible.
+/// Under a [`FaultSchedule`], timed kills take whole instances down (the
 /// controller detects the death, records it, and launches a replacement
 /// with the scale-up cooldown waived), on top of the per-task chaos the
-/// fixed-fleet simulator models.
-pub fn simulate_autoscaled_chaos(
+/// fixed-fleet simulator models. Reached through [`crate::simulate`].
+pub(crate) fn sim_autoscaled_impl(
     itype: ppc_compute::instance::InstanceType,
     tasks: &[TaskSpec],
     arrivals: &[f64],
@@ -761,7 +843,8 @@ pub fn simulate_autoscaled_chaos(
         finished_at_s: 0.0,
         rec: cfg.trace.then(Recorder::new),
         attempts: HashMap::new(),
-        rng: Pcg32::new(cfg.seed),
+        seed: cfg.seed,
+        rngs: Vec::new(),
         controller: Controller::new(autoscale.clone()),
         schedule,
         task_seqs: Vec::new(),
@@ -859,21 +942,24 @@ pub fn simulate_autoscaled_chaos(
     });
 
     ClassicReport {
-        summary: RunSummary {
-            platform,
-            cores: fleet.peak_fleet() as usize,
-            tasks: st.completed,
-            makespan_seconds: makespan,
-            redundant_executions: st.executions - st.completed,
-            remote_bytes: st.remote_bytes,
+        core: RunReport {
+            summary: RunSummary {
+                platform,
+                cores: fleet.peak_fleet() as usize,
+                tasks: st.completed,
+                makespan_seconds: makespan,
+                redundant_executions: st.executions - st.completed,
+                remote_bytes: st.remote_bytes,
+            },
+            failed: Vec::new(),
+            total_attempts: st.executions,
+            worker_deaths: st.deaths,
+            cost: Some(fleet.cost),
+            trace: trace.clone(),
         },
-        failed: Vec::new(),
-        total_executions: st.executions,
-        worker_deaths: st.deaths,
         queue_requests: st.queue_requests,
         executions_per_fleet: Vec::new(),
         timeline: trace.as_ref().map(ppc_trace::Trace::to_timeline),
-        trace,
         fleet: Some(fleet),
         storage: MeteringSnapshot {
             requests: st.storage_requests,
@@ -945,7 +1031,7 @@ fn as_worker_tick(
             .storage_latency
             .transfer_seconds(task.profile.output_bytes);
         let jitter = if cfg.jitter_sigma > 0.0 {
-            st.rng.log_normal(0.0, cfg.jitter_sigma)
+            st.rng(slot).log_normal(0.0, cfg.jitter_sigma)
         } else {
             1.0
         };
@@ -953,7 +1039,7 @@ fn as_worker_tick(
         let t_ctrl = 3.0 * cfg.queue_latency.request_seconds();
         st.queue_requests += 2; // monitor send + delete
         st.in_flight += 1;
-        let mut fails = cfg.failure_rate > 0.0 && st.rng.chance(cfg.failure_rate);
+        let mut fails = cfg.failure_rate > 0.0 && st.rng(slot).chance(cfg.failure_rate);
         if let Some(schedule) = st.schedule.clone() {
             let seq = st.next_seq(slot);
             t_exec *= schedule.slowdown(slot, now_s);
@@ -1152,6 +1238,60 @@ mod tests {
         (0..n)
             .map(|i| TaskSpec::new(i, "cap3", format!("f{i}"), ResourceProfile::cpu_bound(secs)))
             .collect()
+    }
+
+    // Every simulation below goes through the unified harness entry point
+    // (`crate::simulate` + a `RunContext`); these helpers shadow the
+    // deprecated legacy shims and spell out the context each shape needs.
+    fn simulate(cluster: &Cluster, tasks: &[TaskSpec], cfg: &SimConfig) -> ClassicReport {
+        crate::simulate(&RunContext::new(cluster), tasks, cfg)
+    }
+
+    fn simulate_chaos(
+        cluster: &Cluster,
+        tasks: &[TaskSpec],
+        cfg: &SimConfig,
+        schedule: Arc<FaultSchedule>,
+    ) -> ClassicReport {
+        crate::simulate(
+            &RunContext::new(cluster).with_schedule(schedule),
+            tasks,
+            cfg,
+        )
+    }
+
+    fn simulate_fleets(fleets: &[Cluster], tasks: &[TaskSpec], cfg: &SimConfig) -> ClassicReport {
+        crate::simulate(&RunContext::on_fleets(fleets.to_vec()), tasks, cfg)
+    }
+
+    fn simulate_autoscaled(
+        itype: ppc_compute::instance::InstanceType,
+        tasks: &[TaskSpec],
+        arrivals: &[f64],
+        cfg: &SimConfig,
+        autoscale: &AutoscaleConfig,
+    ) -> ClassicReport {
+        crate::simulate(
+            &RunContext::elastic(itype, autoscale.clone(), arrivals.to_vec()),
+            tasks,
+            cfg,
+        )
+    }
+
+    fn simulate_autoscaled_chaos(
+        itype: ppc_compute::instance::InstanceType,
+        tasks: &[TaskSpec],
+        arrivals: &[f64],
+        cfg: &SimConfig,
+        autoscale: &AutoscaleConfig,
+        schedule: Option<Arc<FaultSchedule>>,
+    ) -> ClassicReport {
+        crate::simulate(
+            &RunContext::elastic(itype, autoscale.clone(), arrivals.to_vec())
+                .with_schedule_opt(schedule),
+            tasks,
+            cfg,
+        )
     }
 
     #[test]
@@ -1407,7 +1547,10 @@ mod tests {
             &autoscale_cfg(),
         );
         assert_eq!(report.summary.tasks, 48);
-        let fleet = report.fleet.expect("autoscaled run reports its fleet");
+        let fleet = report
+            .fleet
+            .as_ref()
+            .expect("autoscaled run reports its fleet");
         assert_eq!(fleet.timeline.size_sequence(), vec![1, 4, 3, 2, 1]);
         assert_eq!(fleet.peak_fleet(), 4);
         assert!(fleet.mean_fleet() > 1.0 && fleet.mean_fleet() < 4.0);
@@ -1503,7 +1646,7 @@ mod tests {
             chaos.summary.makespan_seconds,
             again.summary.makespan_seconds
         );
-        assert_eq!(chaos.total_executions, again.total_executions);
+        assert_eq!(chaos.total_attempts, again.total_attempts);
     }
 
     #[test]

@@ -56,6 +56,27 @@ pub struct RunSummary {
 }
 
 impl RunSummary {
+    /// Canonical JSON rendering. This is the one shared report serializer:
+    /// `ppc_exec::RunReport::to_json` embeds it, and every paradigm
+    /// report's JSON in turn embeds that — no per-crate copies.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::Obj(vec![
+            ("platform".into(), Json::from(self.platform.as_str())),
+            ("cores".into(), Json::from(self.cores)),
+            ("tasks".into(), Json::from(self.tasks)),
+            (
+                "makespan_seconds".into(),
+                Json::Float(self.makespan_seconds),
+            ),
+            (
+                "redundant_executions".into(),
+                Json::from(self.redundant_executions),
+            ),
+            ("remote_bytes".into(), Json::from(self.remote_bytes)),
+        ])
+    }
+
     /// Equation 1 against a supplied sequential baseline.
     pub fn efficiency(&self, t1_seconds: f64) -> f64 {
         parallel_efficiency(t1_seconds, self.makespan_seconds, self.cores)
@@ -156,6 +177,29 @@ mod tests {
         };
         assert!((s.efficiency(1600.0) - 0.8).abs() < 1e-12);
         assert!((s.per_task_per_core() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let s = RunSummary {
+            platform: "classic-ec2".into(),
+            cores: 128,
+            tasks: 4096,
+            makespan_seconds: 3000.5,
+            redundant_executions: 4,
+            remote_bytes: 2 << 30,
+        };
+        let j = crate::json::Json::parse(&s.to_json().to_string()).unwrap();
+        assert_eq!(
+            j.field("platform").unwrap().as_str().unwrap(),
+            "classic-ec2"
+        );
+        assert_eq!(j.field("cores").unwrap().as_usize().unwrap(), 128);
+        assert_eq!(
+            j.field("makespan_seconds").unwrap().as_f64().unwrap(),
+            3000.5
+        );
+        assert_eq!(j.field("remote_bytes").unwrap().as_u64().unwrap(), 2 << 30);
     }
 
     #[test]

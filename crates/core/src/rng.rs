@@ -25,6 +25,24 @@ impl SplitMix64 {
     }
 }
 
+/// Reserved stream id for the *client/master* role of a run (the job
+/// submitter, shuffler, or locality synthesizer), far away from the dense
+/// `0, 1, 2, …` ids that address worker slots.
+pub const CLIENT_STREAM: u64 = u64::MAX;
+
+/// Derive the seed of an independent RNG stream from one run-level seed.
+///
+/// All runtimes and simulators draw their per-worker randomness from
+/// `stream_seed(run_seed, worker_index)` (and the client side from
+/// [`CLIENT_STREAM`]), so a single seed governs every stochastic choice of
+/// a run while streams stay statistically independent. Two SplitMix64
+/// scrambles chain the words so nearby stream ids (0, 1, 2, …) land far
+/// apart.
+pub fn stream_seed(seed: u64, stream: u64) -> u64 {
+    let mixed = SplitMix64::new(seed).next_u64();
+    SplitMix64::new(mixed ^ stream).next_u64()
+}
+
 /// PCG-XSH-RR 64/32 — small, fast, statistically solid for simulation use.
 #[derive(Debug, Clone)]
 pub struct Pcg32 {
@@ -47,6 +65,11 @@ impl Pcg32 {
         rng.state = rng.state.wrapping_add(initstate);
         rng.next_u32();
         rng
+    }
+
+    /// Generator for stream `stream` of run `seed` — see [`stream_seed`].
+    pub fn for_stream(seed: u64, stream: u64) -> Pcg32 {
+        Pcg32::new(stream_seed(seed, stream))
     }
 
     pub fn next_u32(&mut self) -> u32 {
@@ -227,6 +250,24 @@ mod tests {
         assert!([1, 2, 3].contains(r.choose(&[1, 2, 3]).unwrap()));
         let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
         assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_independent() {
+        let draw = |seed, stream| -> Vec<u32> {
+            let mut r = Pcg32::for_stream(seed, stream);
+            (0..16).map(|_| r.next_u32()).collect()
+        };
+        // Same (seed, stream) → same sequence.
+        assert_eq!(draw(42, 0), draw(42, 0));
+        assert_eq!(draw(42, CLIENT_STREAM), draw(42, CLIENT_STREAM));
+        // Neighbouring streams and neighbouring seeds diverge.
+        assert_ne!(draw(42, 0), draw(42, 1));
+        assert_ne!(draw(42, 0), draw(43, 0));
+        assert_ne!(draw(42, 0), draw(42, CLIENT_STREAM));
+        // stream_seed itself is stable across calls.
+        assert_eq!(stream_seed(7, 3), stream_seed(7, 3));
+        assert_ne!(stream_seed(7, 3), stream_seed(7, 4));
     }
 
     #[test]

@@ -23,15 +23,24 @@
 //! * [`runtime`] — the native homomorphic-apply job runner (the paper's
 //!   "select over data partitions" pattern) on real threads.
 //! * [`sim`] — the discrete-event model for paper-scale runs.
+//!
+//! Both runtimes are reached through exactly two entry points driven by a
+//! [`ppc_exec::RunContext`]: [`run`] (native) and [`simulate`]
+//! (discrete-event). [`DryadEngine`] exposes the same pair behind the
+//! paradigm-generic [`ppc_exec::Engine`] trait.
 
+pub mod engine;
 pub mod graph;
+pub mod harness;
 pub mod linq;
 pub mod partition;
 pub mod runtime;
 pub mod sim;
 
+pub use engine::DryadEngine;
 pub use graph::Graph;
+pub use harness::{run, simulate};
 pub use linq::DVec;
 pub use partition::{partition_contiguous, partition_round_robin, PartitionManifest};
-pub use runtime::{run_homomorphic_job, run_homomorphic_job_chaos, DryadConfig, DryadReport};
-pub use sim::{simulate, simulate_chaos, DryadSimConfig};
+pub use runtime::{DryadConfig, DryadReport, JobOutputs};
+pub use sim::DryadSimConfig;

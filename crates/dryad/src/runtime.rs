@@ -10,11 +10,13 @@
 use ppc_chaos::{FaultSchedule, RunClock};
 use ppc_compute::cluster::Cluster;
 use ppc_core::exec::Executor;
+use ppc_core::json::Json;
 use ppc_core::metrics::RunSummary;
 use ppc_core::retry::RetryPolicy;
 use ppc_core::rng::Pcg32;
-use ppc_core::task::TaskSpec;
+use ppc_core::task::{TaskId, TaskSpec};
 use ppc_core::{PpcError, Result};
+use ppc_exec::{RunContext, RunReport};
 use ppc_trace::{AttemptMarker, EventKind, Phase, RunMeta, Span, TraceEvent, TraceSink};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -28,6 +30,13 @@ pub struct DryadConfig {
     /// Re-run a failed vertex up to this many extra times before giving up
     /// — Table 3's "re-execution of failed ... tasks" for Dryad.
     pub max_retries: u32,
+    /// Seed for the per-slot retry-backoff RNG streams.
+    pub seed: u64,
+    /// Deterministic fault schedule. Slots are addressed by flat
+    /// node-major index; a scheduled kill takes a vertex slot down (its
+    /// in-hand vertex goes back on the node's local list), death dice and
+    /// torn outputs fail single vertex attempts.
+    pub schedule: Option<Arc<FaultSchedule>>,
     /// Span sink for the run; `None` (or a disabled sink) records nothing
     /// and the report carries the finished [`ppc_trace::Trace`].
     pub trace: Option<Arc<dyn TraceSink>>,
@@ -38,25 +47,42 @@ impl Default for DryadConfig {
         DryadConfig {
             fail_fast: false,
             max_retries: 2,
+            seed: 0xd12ad,
+            schedule: None,
             trace: None,
         }
     }
 }
 
-/// Report of one Dryad job run.
+/// Report of one Dryad job run: the cross-paradigm [`RunReport`] core
+/// (summary, failed tasks, attempt/death counters, cost, trace —
+/// reachable directly through `Deref`) plus the Dryad-specific extras.
 #[derive(Debug, Clone)]
 pub struct DryadReport {
-    pub summary: RunSummary,
+    /// The shared report core; `report.summary`, `report.failed`,
+    /// `report.total_attempts`, `report.worker_deaths`, `report.cost`,
+    /// and `report.trace` all live here.
+    pub core: RunReport,
     /// Wall seconds each node took to clear its static partition.
     pub per_node_seconds: Vec<f64>,
-    /// Vertices that failed *permanently* (exhausted their retries).
+    /// Vertices that failed *permanently* (exhausted their retries);
+    /// `core.failed` lists their task ids.
     pub vertex_failures: usize,
     /// Vertex re-executions that recovered a transient failure.
     pub vertex_retries: usize,
-    /// Span trace of the run when the engine was handed a live sink —
-    /// feed it to [`ppc_trace::OverheadReport`] or
-    /// [`ppc_trace::chrome_trace_json`].
-    pub trace: Option<ppc_trace::Trace>,
+}
+
+impl std::ops::Deref for DryadReport {
+    type Target = RunReport;
+    fn deref(&self) -> &RunReport {
+        &self.core
+    }
+}
+
+impl std::ops::DerefMut for DryadReport {
+    fn deref_mut(&mut self) -> &mut RunReport {
+        &mut self.core
+    }
 }
 
 impl DryadReport {
@@ -76,24 +102,56 @@ impl DryadReport {
             max / mean
         }
     }
+
+    /// JSON rendering: the core's canonical object
+    /// ([`RunReport::to_json`]) extended with the Dryad extras.
+    pub fn to_json(&self) -> Json {
+        let Json::Obj(mut fields) = self.core.to_json() else {
+            unreachable!("RunReport::to_json returns an object");
+        };
+        fields.push(("imbalance".into(), Json::from(self.imbalance())));
+        fields.push((
+            "vertex_retries".into(),
+            Json::from(self.vertex_retries as u64),
+        ));
+        Json::Obj(fields)
+    }
 }
 
 /// (output key, output bytes) pairs, in completion order.
-pub type JobOutputs = Vec<(String, Vec<u8>)>;
+pub use ppc_exec::JobOutputs;
 
 /// Run `executor` over every input, statically partitioned round-robin
 /// across the cluster's nodes. Returns the report and the outputs
 /// (output key → bytes), in completion order.
+#[deprecated(note = "build a `ppc_exec::RunContext` and call `ppc_dryad::run`")]
 pub fn run_homomorphic_job(
     cluster: &Cluster,
     inputs: Vec<(TaskSpec, Vec<u8>)>,
     executor: Arc<dyn Executor>,
     config: &DryadConfig,
 ) -> Result<(DryadReport, JobOutputs)> {
-    run_homomorphic_job_chaos(cluster, inputs, executor, config, None)
+    crate::harness::run(&RunContext::new(cluster), inputs, executor, config)
 }
 
 /// [`run_homomorphic_job`] under a deterministic [`FaultSchedule`].
+#[deprecated(note = "build a `ppc_exec::RunContext` and call `ppc_dryad::run`")]
+pub fn run_homomorphic_job_chaos(
+    cluster: &Cluster,
+    inputs: Vec<(TaskSpec, Vec<u8>)>,
+    executor: Arc<dyn Executor>,
+    config: &DryadConfig,
+    schedule: Option<Arc<FaultSchedule>>,
+) -> Result<(DryadReport, JobOutputs)> {
+    crate::harness::run(
+        &RunContext::new(cluster).with_schedule_opt(schedule),
+        inputs,
+        executor,
+        config,
+    )
+}
+
+/// The native runtime body, reached through [`crate::run`].
 ///
 /// Workers are addressed by flat slot index (node-major). A scheduled kill
 /// takes a vertex slot down: its in-hand vertex goes back on the node's
@@ -102,16 +160,16 @@ pub fn run_homomorphic_job(
 /// and torn outputs fail a single vertex attempt, recovered by the shared
 /// retry layer. Cloud-storage outage windows do *not* apply: Dryad reads
 /// node-local files (the paper's Windows shared directories).
-pub fn run_homomorphic_job_chaos(
+pub(crate) fn run_impl(
     cluster: &Cluster,
     inputs: Vec<(TaskSpec, Vec<u8>)>,
     executor: Arc<dyn Executor>,
     config: &DryadConfig,
-    schedule: Option<Arc<FaultSchedule>>,
 ) -> Result<(DryadReport, JobOutputs)> {
     if inputs.is_empty() {
         return Err(PpcError::InvalidArgument("no inputs".into()));
     }
+    let schedule = config.schedule.clone();
     if let Some(schedule) = &schedule {
         schedule.validate()?;
     }
@@ -131,7 +189,10 @@ pub fn run_homomorphic_job_chaos(
 
     let outputs: Mutex<Vec<(String, Vec<u8>)>> = Mutex::new(Vec::new());
     let failures = AtomicUsize::new(0);
+    let failed_ids: Mutex<Vec<TaskId>> = Mutex::new(Vec::new());
     let retries = AtomicUsize::new(0);
+    let attempts_total = AtomicUsize::new(0);
+    let deaths = AtomicUsize::new(0);
     let first_error: Mutex<Option<PpcError>> = Mutex::new(None);
     let per_node: Mutex<Vec<f64>> = Mutex::new(vec![0.0; n_nodes]);
     let total_bytes = AtomicUsize::new(0);
@@ -147,7 +208,10 @@ pub fn run_homomorphic_job_chaos(
             let executor = executor.clone();
             let outputs = &outputs;
             let failures = &failures;
+            let failed_ids = &failed_ids;
             let retries = &retries;
+            let attempts_total = &attempts_total;
+            let deaths = &deaths;
             let first_error = &first_error;
             let per_node = &per_node;
             let total_bytes = &total_bytes;
@@ -174,7 +238,7 @@ pub fn run_homomorphic_job_chaos(
                             // fault tolerance) through the shared retry
                             // layer before declaring it failed.
                             let policy = RetryPolicy::immediate(config.max_retries + 1);
-                            let mut rng = Pcg32::new(0xd12ad ^ ((worker as u64) << 8));
+                            let mut rng = Pcg32::for_stream(config.seed, worker as u64);
                             let mut task_seq: u32 = 0;
                             let mut last_kill_s: f64 = 0.0;
                             loop {
@@ -188,6 +252,7 @@ pub fn run_homomorphic_job_chaos(
                                     if schedule.kills_in(worker, last_kill_s, now_s) {
                                         // Slot dies: hand the vertex back to
                                         // a surviving slot on this node.
+                                        deaths.fetch_add(1, Ordering::Relaxed);
                                         if let Some(s) = sink {
                                             s.event(TraceEvent {
                                                 at_s: now_s,
@@ -206,6 +271,7 @@ pub fn run_homomorphic_job_chaos(
                                 let mut used_attempts = 0u32;
                                 let out = policy.run_blocking(&mut rng, |attempt| {
                                     used_attempts = attempt;
+                                    attempts_total.fetch_add(1, Ordering::Relaxed);
                                     // Each retry-layer attempt is its own
                                     // span subtree; dropping the marker on
                                     // a failure path still closes it.
@@ -230,6 +296,7 @@ pub fn run_homomorphic_job_chaos(
                                                 || schedule.die_before_delete(worker, seq);
                                             if died || schedule.is_torn_upload(worker, seq) {
                                                 if died {
+                                                    deaths.fetch_add(1, Ordering::Relaxed);
                                                     if let Some(s) = sink {
                                                         s.event(TraceEvent {
                                                             at_s: clock.now_s(),
@@ -288,6 +355,7 @@ pub fn run_homomorphic_job_chaos(
                                     }
                                     Err(e) => {
                                         failures.fetch_add(1, Ordering::Relaxed);
+                                        failed_ids.lock().unwrap().push(spec.id);
                                         let mut fe = first_error.lock().unwrap();
                                         if fe.is_none() {
                                             *fe = Some(e);
@@ -321,19 +389,26 @@ pub fn run_homomorphic_job_chaos(
         s.span(Span::job(makespan));
         s.snapshot()
     });
+    let vertex_retries = retries.load(Ordering::Relaxed);
     let report = DryadReport {
-        summary: RunSummary {
-            platform: "dryadlinq".into(),
-            cores: cluster.total_workers(),
-            tasks: outputs.len(),
-            makespan_seconds: makespan,
-            redundant_executions: 0,
-            remote_bytes: 0, // node-local files only
+        core: RunReport {
+            summary: RunSummary {
+                platform: "dryadlinq".into(),
+                cores: cluster.total_workers(),
+                tasks: outputs.len(),
+                makespan_seconds: makespan,
+                redundant_executions: 0,
+                remote_bytes: 0, // node-local files only
+            },
+            failed: failed_ids.into_inner().unwrap(),
+            total_attempts: attempts_total.load(Ordering::Relaxed),
+            worker_deaths: deaths.load(Ordering::Relaxed),
+            cost: Some(cluster.cost(makespan)),
+            trace,
         },
         per_node_seconds: per_node.into_inner().unwrap(),
         vertex_failures,
-        vertex_retries: retries.load(Ordering::Relaxed),
-        trace,
+        vertex_retries,
     };
     Ok((report, outputs))
 }
@@ -345,6 +420,32 @@ mod tests {
     use ppc_core::exec::FnExecutor;
     use ppc_core::task::ResourceProfile;
     use std::time::Duration;
+
+    // Route the legacy-named helpers through the RunContext entry point
+    // (explicit items shadow the glob-imported deprecated shims).
+    fn run_homomorphic_job(
+        cluster: &Cluster,
+        inputs: Vec<(TaskSpec, Vec<u8>)>,
+        executor: Arc<dyn Executor>,
+        config: &DryadConfig,
+    ) -> Result<(DryadReport, JobOutputs)> {
+        crate::run(&RunContext::new(cluster), inputs, executor, config)
+    }
+
+    fn run_homomorphic_job_chaos(
+        cluster: &Cluster,
+        inputs: Vec<(TaskSpec, Vec<u8>)>,
+        executor: Arc<dyn Executor>,
+        config: &DryadConfig,
+        schedule: Option<Arc<FaultSchedule>>,
+    ) -> Result<(DryadReport, JobOutputs)> {
+        crate::run(
+            &RunContext::new(cluster).with_schedule_opt(schedule),
+            inputs,
+            executor,
+            config,
+        )
+    }
 
     fn inputs(n: u64) -> Vec<(TaskSpec, Vec<u8>)> {
         (0..n)

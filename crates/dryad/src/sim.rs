@@ -12,8 +12,9 @@ use ppc_compute::cluster::Cluster;
 use ppc_compute::model::{task_service_seconds, AppModel};
 use ppc_core::metrics::RunSummary;
 use ppc_core::rng::Pcg32;
-use ppc_core::task::TaskSpec;
+use ppc_core::task::{TaskId, TaskSpec};
 use ppc_core::{PpcError, Result};
+use ppc_exec::{RunContext, RunReport};
 use ppc_storage::latency::LatencyModel;
 use ppc_trace::{EventKind, Phase, Recorder, RunMeta, Span, TraceEvent, TraceSink};
 use std::collections::BinaryHeap;
@@ -112,8 +113,9 @@ impl DryadSimConfig {
 }
 
 /// Simulate a statically partitioned job of `tasks` on `cluster`.
+#[deprecated(note = "build a `ppc_exec::RunContext` and call `ppc_dryad::simulate`")]
 pub fn simulate(cluster: &Cluster, tasks: &[TaskSpec], cfg: &DryadSimConfig) -> DryadReport {
-    simulate_chaos(cluster, tasks, cfg, None)
+    crate::harness::simulate(&RunContext::new(cluster), tasks, cfg)
 }
 
 /// Cap on chaos re-runs of one vertex before it counts as failed (the
@@ -126,7 +128,23 @@ const MAX_CHAOS_ATTEMPTS: u32 = 16;
 /// work never migrates across nodes). Gray degradation stretches every
 /// vertex the degraded slot runs; cloud-storage outages do not apply to
 /// Dryad's node-local files.
+#[deprecated(note = "build a `ppc_exec::RunContext` and call `ppc_dryad::simulate`")]
 pub fn simulate_chaos(
+    cluster: &Cluster,
+    tasks: &[TaskSpec],
+    cfg: &DryadSimConfig,
+    schedule: Option<Arc<FaultSchedule>>,
+) -> DryadReport {
+    crate::harness::simulate(
+        &RunContext::new(cluster).with_schedule_opt(schedule),
+        tasks,
+        cfg,
+    )
+}
+
+/// The simulator body, reached through [`crate::simulate`]: independent
+/// per-node list schedules over virtual worker slots.
+pub(crate) fn simulate_impl(
     cluster: &Cluster,
     tasks: &[TaskSpec],
     cfg: &DryadSimConfig,
@@ -143,7 +161,10 @@ pub fn simulate_chaos(
     }
     let n_nodes = cluster.n_nodes();
     let itype = cluster.itype();
-    let mut rng = Pcg32::new(cfg.seed);
+    // One independent RNG stream per worker slot (flat node-major index).
+    let mut rngs: Vec<Pcg32> = (0..cluster.total_workers())
+        .map(|w| Pcg32::for_stream(cfg.seed, w as u64))
+        .collect();
     let rec: Option<Recorder> = cfg.trace.then(Recorder::new);
 
     // Static round-robin partitioning, fixed before execution starts.
@@ -152,6 +173,9 @@ pub fn simulate_chaos(
     let mut per_node_seconds = Vec::with_capacity(n_nodes);
     let mut vertex_failures = 0usize;
     let mut vertex_retries = 0usize;
+    let mut total_attempts = 0usize;
+    let mut deaths = 0usize;
+    let mut failed: Vec<TaskId> = Vec::new();
     let mut node_base = 0usize;
     for (node_idx, node_tasks) in partitions.iter().enumerate() {
         let workers = cluster.nodes()[node_idx].workers;
@@ -165,16 +189,17 @@ pub fn simulate_chaos(
         let mut node_finish = 0u64; // microseconds
         for task in node_tasks {
             let t_exec = task_service_seconds(&itype, workers, &task.profile, &cfg.app);
-            let jitter = if cfg.jitter_sigma > 0.0 {
-                rng.log_normal(0.0, cfg.jitter_sigma)
-            } else {
-                1.0
-            };
             let t_in = cfg.local_io.transfer_seconds(task.profile.input_bytes);
             let t_out = cfg.local_io.transfer_seconds(task.profile.output_bytes);
             let t_io = t_in + t_out;
             let std::cmp::Reverse((free_at, slot)) = slots.pop().expect("at least one slot");
             let local_slot = slot - node_base;
+            // The executing slot draws the jitter from its own stream.
+            let jitter = if cfg.jitter_sigma > 0.0 {
+                rngs[slot].log_normal(0.0, cfg.jitter_sigma)
+            } else {
+                1.0
+            };
             let mut finish = free_at;
             if let Some(schedule) = &schedule {
                 let w = slot as u32;
@@ -188,13 +213,17 @@ pub fn simulate_chaos(
                     let seq = task_seqs[local_slot];
                     task_seqs[local_slot] += 1;
                     let end_s = finish as f64 / 1e6;
+                    total_attempts += 1;
                     let killed = schedule.kills_in(w, last_kill[local_slot], end_s);
                     last_kill[local_slot] = end_s;
-                    let dies = killed
+                    let died = killed
                         || schedule.die_before_execute(w, seq)
                         || schedule.die_mid_execute(w, seq)
-                        || schedule.die_before_delete(w, seq)
-                        || schedule.is_torn_upload(w, seq);
+                        || schedule.die_before_delete(w, seq);
+                    if died {
+                        deaths += 1;
+                    }
+                    let dies = died || schedule.is_torn_upload(w, seq);
                     if let Some(rec) = &rec {
                         record_vertex(
                             rec,
@@ -222,11 +251,13 @@ pub fn simulate_chaos(
                     }
                     if attempts >= MAX_CHAOS_ATTEMPTS {
                         vertex_failures += 1;
+                        failed.push(task.id);
                         break;
                     }
                     vertex_retries += 1;
                 }
             } else {
+                total_attempts += 1;
                 let dur = ((cfg.vertex_overhead_s + t_exec * jitter + t_io) * 1e6).round() as u64;
                 finish = free_at + dur;
                 if let Some(rec) = &rec {
@@ -266,18 +297,24 @@ pub fn simulate_chaos(
         rec.snapshot()
     });
     DryadReport {
-        summary: RunSummary {
-            platform,
-            cores: cluster.total_workers(),
-            tasks: tasks.len() - vertex_failures,
-            makespan_seconds: makespan,
-            redundant_executions: vertex_retries,
-            remote_bytes: 0,
+        core: RunReport {
+            summary: RunSummary {
+                platform,
+                cores: cluster.total_workers(),
+                tasks: tasks.len() - vertex_failures,
+                makespan_seconds: makespan,
+                redundant_executions: vertex_retries,
+                remote_bytes: 0,
+            },
+            failed,
+            total_attempts,
+            worker_deaths: deaths,
+            cost: Some(cluster.cost(makespan)),
+            trace,
         },
         per_node_seconds,
         vertex_failures,
         vertex_retries,
-        trace,
     }
 }
 
@@ -300,6 +337,25 @@ mod tests {
             jitter_sigma: 0.0,
             ..Default::default()
         }
+    }
+
+    // Route the legacy-named helpers through the RunContext entry point
+    // (explicit items shadow the glob-imported deprecated shims).
+    fn simulate(cluster: &Cluster, tasks: &[TaskSpec], cfg: &DryadSimConfig) -> DryadReport {
+        crate::simulate(&RunContext::new(cluster), tasks, cfg)
+    }
+
+    fn simulate_chaos(
+        cluster: &Cluster,
+        tasks: &[TaskSpec],
+        cfg: &DryadSimConfig,
+        schedule: Option<Arc<FaultSchedule>>,
+    ) -> DryadReport {
+        crate::simulate(
+            &RunContext::new(cluster).with_schedule_opt(schedule),
+            tasks,
+            cfg,
+        )
     }
 
     #[test]

@@ -1,0 +1,439 @@
+//! # ppc-exec — the unified execution harness
+//!
+//! The paper's contribution is a *comparison* of three paradigms on
+//! identical workloads, yet every cross-cutting layer (autoscaling, chaos,
+//! tracing) used to be threaded into each engine as a new variant
+//! function — Classic Cloud alone grew nine entry points. This crate is
+//! the shared runtime abstraction that stops the multiplication:
+//!
+//! * [`RunContext`] carries everything previously passed ad-hoc — the run
+//!   seed, the fleet layout (fixed clusters or an elastic plan), an
+//!   optional [`FaultSchedule`], an optional [`TraceSink`]/`trace` flag —
+//!   so each paradigm exposes exactly two entry points: `run(ctx, …)`
+//!   (native) and `simulate(ctx, …)` (discrete-event).
+//! * [`Engine`] is the object-safe paradigm trait (`name`/`run`/
+//!   `simulate`) implemented by Classic, Hadoop, and Dryad, letting
+//!   cross-framework studies iterate paradigms generically.
+//! * [`RunReport`] is the report core every paradigm embeds (makespan
+//!   summary, failed tasks, attempt/death counters, cost, optional
+//!   trace), with the one JSON serializer in place of per-crate copies.
+//!
+//! Context fields *override* the per-paradigm config when set and fall
+//! back to it when not, so legacy configs keep meaning what they meant:
+//! the deprecated variant functions are one-line shims that build an
+//! equivalent `RunContext` and call the new entry points.
+
+use ppc_autoscale::AutoscaleConfig;
+use ppc_chaos::{FaultSchedule, RunClock};
+use ppc_compute::billing::CostBreakdown;
+use ppc_compute::cluster::Cluster;
+use ppc_compute::instance::InstanceType;
+use ppc_core::exec::Executor;
+use ppc_core::json::Json;
+use ppc_core::metrics::RunSummary;
+use ppc_core::task::{TaskId, TaskSpec};
+use ppc_core::{PpcError, Result};
+use ppc_trace::{Trace, TraceSink};
+use std::sync::Arc;
+
+/// The worker fleet a run executes on.
+#[derive(Clone)]
+pub enum FleetPlan {
+    /// One or more fixed clusters (several = the hybrid-cloud layout).
+    Fixed(Vec<Cluster>),
+    /// An elastic Classic Cloud fleet: instance type, autoscaling policy,
+    /// and per-task arrival times (empty = all tasks available at t=0).
+    Elastic {
+        itype: InstanceType,
+        autoscale: AutoscaleConfig,
+        arrivals: Vec<f64>,
+    },
+}
+
+impl std::fmt::Debug for FleetPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetPlan::Fixed(fleets) => f.debug_tuple("Fixed").field(&fleets.len()).finish(),
+            FleetPlan::Elastic { itype, .. } => f
+                .debug_struct("Elastic")
+                .field("itype", &itype.name)
+                .finish(),
+        }
+    }
+}
+
+/// Everything a run needs beyond its workload and paradigm config: seed,
+/// fleet layout, fault schedule, trace sink. Build one with the
+/// constructors and `with_*` builders; pass it to a paradigm's `run` /
+/// `simulate` (or through the [`Engine`] trait).
+#[derive(Clone)]
+pub struct RunContext {
+    pub fleet: FleetPlan,
+    /// Run seed. When set it overrides the paradigm config's seed and
+    /// every RNG stream of the run (per-worker streams, client stream,
+    /// fault dice) derives from it; when `None` the config's own seed is
+    /// the single source.
+    pub seed: Option<u64>,
+    /// Deterministic fault schedule; overrides the config's when set.
+    pub schedule: Option<Arc<FaultSchedule>>,
+    /// Span sink for native runs; overrides the config's when set.
+    pub sink: Option<Arc<dyn TraceSink>>,
+    /// Record spans in simulated runs (ORed with the sim config's flag).
+    pub trace: bool,
+}
+
+impl RunContext {
+    /// A run on one fixed cluster.
+    pub fn new(cluster: &Cluster) -> RunContext {
+        RunContext::on_fleets(vec![cluster.clone()])
+    }
+
+    /// A run across several fixed fleets (the hybrid-cloud layout).
+    pub fn on_fleets(fleets: Vec<Cluster>) -> RunContext {
+        RunContext {
+            fleet: FleetPlan::Fixed(fleets),
+            seed: None,
+            schedule: None,
+            sink: None,
+            trace: false,
+        }
+    }
+
+    /// A context with an empty fixed-fleet plan, for runtimes whose
+    /// worker topology comes from elsewhere (e.g. the native MapReduce
+    /// runtime, where compute is co-located with the HDFS datanodes):
+    /// only the seed / schedule / trace settings apply.
+    pub fn local() -> RunContext {
+        RunContext::on_fleets(Vec::new())
+    }
+
+    /// An elastic run: the fleet grows and shrinks under `autoscale`.
+    pub fn elastic(
+        itype: InstanceType,
+        autoscale: AutoscaleConfig,
+        arrivals: Vec<f64>,
+    ) -> RunContext {
+        RunContext {
+            fleet: FleetPlan::Elastic {
+                itype,
+                autoscale,
+                arrivals,
+            },
+            seed: None,
+            schedule: None,
+            sink: None,
+            trace: false,
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> RunContext {
+        self.seed = Some(seed);
+        self
+    }
+
+    pub fn with_schedule(mut self, schedule: Arc<FaultSchedule>) -> RunContext {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Like [`RunContext::with_schedule`] but accepting the `Option` the
+    /// legacy chaos entry points took.
+    pub fn with_schedule_opt(mut self, schedule: Option<Arc<FaultSchedule>>) -> RunContext {
+        self.schedule = schedule;
+        self
+    }
+
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> RunContext {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Like [`RunContext::with_sink`] but accepting the `Option` the
+    /// legacy native configs carried.
+    pub fn with_sink_opt(mut self, sink: Option<Arc<dyn TraceSink>>) -> RunContext {
+        self.sink = sink;
+        self
+    }
+
+    pub fn with_trace(mut self, on: bool) -> RunContext {
+        self.trace = on;
+        self
+    }
+
+    /// A fresh wall-clock for a native run starting now.
+    pub fn clock(&self) -> RunClock {
+        RunClock::start()
+    }
+
+    /// Effective seed: the context's when set, else the config's.
+    pub fn seed_or(&self, config_seed: u64) -> u64 {
+        self.seed.unwrap_or(config_seed)
+    }
+
+    /// Effective fault schedule: the context's when set, else the config's.
+    pub fn schedule_or(
+        &self,
+        config_schedule: &Option<Arc<FaultSchedule>>,
+    ) -> Option<Arc<FaultSchedule>> {
+        self.schedule.clone().or_else(|| config_schedule.clone())
+    }
+
+    /// Effective trace sink: the context's when set, else the config's.
+    pub fn sink_or(&self, config_sink: &Option<Arc<dyn TraceSink>>) -> Option<Arc<dyn TraceSink>> {
+        self.sink.clone().or_else(|| config_sink.clone())
+    }
+
+    /// Effective sim-trace flag: context OR config.
+    pub fn trace_or(&self, config_trace: bool) -> bool {
+        self.trace || config_trace
+    }
+
+    /// The fixed fleets of this plan, or an error for elastic plans (for
+    /// paradigms without an elastic mode).
+    pub fn fixed_fleets(&self) -> Result<&[Cluster]> {
+        match &self.fleet {
+            FleetPlan::Fixed(fleets) if !fleets.is_empty() => Ok(fleets),
+            FleetPlan::Fixed(_) => Err(PpcError::InvalidArgument(
+                "run context has an empty fleet list".into(),
+            )),
+            FleetPlan::Elastic { .. } => Err(PpcError::InvalidArgument(
+                "this paradigm does not support elastic fleets".into(),
+            )),
+        }
+    }
+
+    /// The single cluster of this plan; errors on hybrid or elastic plans
+    /// (for paradigms that run on exactly one cluster).
+    pub fn single_cluster(&self) -> Result<&Cluster> {
+        let fleets = self.fixed_fleets()?;
+        if fleets.len() == 1 {
+            Ok(&fleets[0])
+        } else {
+            Err(PpcError::InvalidArgument(format!(
+                "this paradigm runs on a single cluster, got {} fleets",
+                fleets.len()
+            )))
+        }
+    }
+}
+
+/// The report core shared by all three paradigms. `ClassicReport`,
+/// `MapReduceReport`, and `DryadReport` embed one (exposed through
+/// `Deref`), adding only their paradigm-specific extras.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub summary: RunSummary,
+    /// Tasks that exhausted their attempt budget.
+    pub failed: Vec<TaskId>,
+    /// Attempts actually executed (≥ tasks when retries or duplicates ran).
+    pub total_attempts: usize,
+    /// Worker/slot deaths observed (injected or scheduled).
+    pub worker_deaths: usize,
+    /// Compute cost of the run where the fleet's pricing is known.
+    pub cost: Option<CostBreakdown>,
+    /// Full span trace for traced runs.
+    pub trace: Option<Trace>,
+}
+
+impl RunReport {
+    /// Whether every task eventually completed.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// Re-executed attempt count: wasted (but harmless) work.
+    pub fn redundant_attempts(&self) -> usize {
+        self.total_attempts.saturating_sub(self.summary.tasks)
+    }
+
+    /// The one report→JSON serializer. Embeds
+    /// [`RunSummary::to_json`](ppc_core::metrics::RunSummary::to_json);
+    /// paradigm reports append their extras to this object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("summary".into(), self.summary.to_json()),
+            (
+                "failed".into(),
+                Json::Arr(self.failed.iter().map(|t| Json::from(t.0)).collect()),
+            ),
+            ("total_attempts".into(), Json::from(self.total_attempts)),
+            ("worker_deaths".into(), Json::from(self.worker_deaths)),
+            (
+                "cost".into(),
+                match &self.cost {
+                    Some(c) => Json::Obj(vec![
+                        ("compute".into(), Json::Float(c.compute_cost.as_f64())),
+                        ("amortized".into(), Json::Float(c.amortized_cost.as_f64())),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "trace_spans".into(),
+                match &self.trace {
+                    Some(t) => Json::from(t.spans().len()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// (output key, output bytes) pairs, in completion order.
+pub type JobOutputs = Vec<(String, Vec<u8>)>;
+
+/// A paradigm-neutral pleasingly-parallel workload: independent inputs
+/// plus the executor that maps each to its output.
+#[derive(Clone)]
+pub struct Workload {
+    pub name: String,
+    pub inputs: Vec<(TaskSpec, Vec<u8>)>,
+    pub executor: Arc<dyn Executor>,
+    /// Attempt budget per task (each paradigm maps this onto its own
+    /// fault-tolerance mechanism).
+    pub max_attempts: u32,
+}
+
+impl Workload {
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<(TaskSpec, Vec<u8>)>,
+        executor: Arc<dyn Executor>,
+    ) -> Workload {
+        Workload {
+            name: name.into(),
+            inputs,
+            executor,
+            max_attempts: 4,
+        }
+    }
+
+    pub fn with_max_attempts(mut self, n: u32) -> Workload {
+        self.max_attempts = n;
+        self
+    }
+
+    /// The task specs alone (what the simulators consume).
+    pub fn specs(&self) -> Vec<TaskSpec> {
+        self.inputs.iter().map(|(t, _)| t.clone()).collect()
+    }
+}
+
+/// One cloud paradigm, viewed uniformly: run a workload natively or
+/// simulate a task set, both under one [`RunContext`]. Object-safe so
+/// studies can hold `Vec<Box<dyn Engine>>` and iterate paradigms instead
+/// of copy-pasting three call sites per scenario.
+pub trait Engine {
+    /// Short platform name ("classic", "hadoop", "dryadlinq").
+    fn name(&self) -> &str;
+
+    /// Execute `workload` natively (real threads, real services) and
+    /// return the shared report core plus the outputs.
+    fn run(&self, ctx: &RunContext, workload: &Workload) -> Result<(RunReport, JobOutputs)>;
+
+    /// Simulate `tasks` in virtual time and return the report core.
+    fn simulate(&self, ctx: &RunContext, tasks: &[TaskSpec]) -> RunReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppc_compute::instance::EC2_HCXL;
+
+    fn summary() -> RunSummary {
+        RunSummary {
+            platform: "classic-ec2".into(),
+            cores: 16,
+            tasks: 10,
+            makespan_seconds: 12.5,
+            redundant_executions: 1,
+            remote_bytes: 1024,
+        }
+    }
+
+    #[test]
+    fn context_overrides_and_fallbacks() {
+        let cluster = Cluster::provision(EC2_HCXL, 2, 8);
+        let ctx = RunContext::new(&cluster);
+        // Unset context → config values win.
+        assert_eq!(ctx.seed_or(42), 42);
+        assert!(ctx.schedule_or(&None).is_none());
+        assert!(!ctx.trace_or(false));
+        assert!(ctx.trace_or(true));
+        // Set context → context wins.
+        let sched = Arc::new(FaultSchedule::new(7));
+        let ctx = ctx
+            .with_seed(9)
+            .with_schedule(sched.clone())
+            .with_trace(true);
+        assert_eq!(ctx.seed_or(42), 9);
+        let cfg_sched = Some(Arc::new(FaultSchedule::new(1)));
+        assert!(Arc::ptr_eq(&ctx.schedule_or(&cfg_sched).unwrap(), &sched));
+        assert!(ctx.trace_or(false));
+    }
+
+    #[test]
+    fn fleet_accessors_enforce_shape() {
+        let cluster = Cluster::provision(EC2_HCXL, 2, 8);
+        let one = RunContext::new(&cluster);
+        assert_eq!(one.fixed_fleets().unwrap().len(), 1);
+        assert!(one.single_cluster().is_ok());
+
+        let hybrid = RunContext::on_fleets(vec![cluster.clone(), cluster.clone()]);
+        assert_eq!(hybrid.fixed_fleets().unwrap().len(), 2);
+        assert!(hybrid.single_cluster().is_err());
+
+        let elastic = RunContext::elastic(
+            EC2_HCXL,
+            AutoscaleConfig::target_tracking(1, 4, 4.0),
+            vec![],
+        );
+        assert!(elastic.fixed_fleets().is_err());
+        assert!(elastic.single_cluster().is_err());
+
+        assert!(RunContext::on_fleets(vec![]).fixed_fleets().is_err());
+    }
+
+    #[test]
+    fn report_json_embeds_summary() {
+        let report = RunReport {
+            summary: summary(),
+            failed: vec![TaskId(3)],
+            total_attempts: 11,
+            worker_deaths: 2,
+            cost: Some(CostBreakdown {
+                compute_cost: ppc_core::money::Usd::cents(136),
+                amortized_cost: ppc_core::money::Usd::cents(68),
+            }),
+            trace: None,
+        };
+        assert!(!report.is_complete());
+        assert_eq!(report.redundant_attempts(), 1);
+        let j = Json::parse(&report.to_json().to_string()).unwrap();
+        let s = j.field("summary").unwrap();
+        assert_eq!(
+            s.field("platform").unwrap().as_str().unwrap(),
+            "classic-ec2"
+        );
+        assert_eq!(s.field("tasks").unwrap().as_usize().unwrap(), 10);
+        assert_eq!(
+            j.field("failed").unwrap().as_arr().unwrap()[0]
+                .as_u64()
+                .unwrap(),
+            3
+        );
+        assert_eq!(j.field("total_attempts").unwrap().as_usize().unwrap(), 11);
+        assert!(
+            (j.field("cost")
+                .unwrap()
+                .field("compute")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                - 1.36)
+                .abs()
+                < 1e-9
+        );
+        assert!(matches!(j.field("trace_spans").unwrap(), Json::Null));
+    }
+}

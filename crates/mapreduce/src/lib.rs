@@ -19,10 +19,20 @@
 //!
 //! Map-only jobs (all three paper applications), full map/shuffle/reduce
 //! jobs, and Twister-style **iterative MapReduce** ([`iterative`] — the
-//! paper's §8 future work) are all supported. Two runtimes share the [`scheduler::Scheduler`]:
-//! [`runtime`] executes on real threads against a real `MiniHdfs`;
-//! [`sim`] models paper-scale clusters on the `ppc-des` engine.
+//! paper's §8 future work) are all supported. Two runtimes share the
+//! [`scheduler::Scheduler`], and both are reached through exactly two
+//! entry points driven by a [`ppc_exec::RunContext`]:
+//!
+//! * [`run`] — the native runtime ([`runtime`]): real threads against a
+//!   real `MiniHdfs`.
+//! * [`simulate`] — the simulated runtime ([`sim`]): paper-scale clusters
+//!   on the `ppc-des` engine.
+//!
+//! [`HadoopEngine`] exposes the same pair behind the paradigm-generic
+//! [`ppc_exec::Engine`] trait.
 
+pub mod engine;
+pub mod harness;
 pub mod input;
 pub mod iterative;
 pub mod job;
@@ -31,9 +41,11 @@ pub mod runtime;
 pub mod scheduler;
 pub mod sim;
 
+pub use engine::HadoopEngine;
+pub use harness::{run, simulate};
 pub use input::{InputFormat, InputSplit};
 pub use iterative::{run_iterative, IterativeJob, IterativeReport};
 pub use job::{ExecutableMapper, MapContext, MapReduceJob, Mapper, Reducer};
 pub use report::MapReduceReport;
-pub use runtime::{run_job, HadoopConfig};
-pub use sim::{simulate, simulate_chaos, HadoopSimConfig};
+pub use runtime::HadoopConfig;
+pub use sim::HadoopSimConfig;

@@ -13,7 +13,9 @@ use crate::scheduler::{CompleteOutcome, Scheduler};
 use ppc_chaos::{FaultSchedule, RunClock};
 use ppc_core::metrics::RunSummary;
 use ppc_core::rng::Pcg32;
+use ppc_core::task::TaskId;
 use ppc_core::{PpcError, Result};
+use ppc_exec::{RunContext, RunReport};
 use ppc_hdfs::block::DataNodeId;
 use ppc_hdfs::fs::MiniHdfs;
 use ppc_trace::{AttemptMarker, EventKind, Phase, RunMeta, Span, TraceEvent, TraceSink};
@@ -83,17 +85,39 @@ impl HadoopConfig {
 }
 
 /// Run a job (map-only or map+reduce) on the cluster underlying `fs`.
+#[deprecated(note = "build a `ppc_exec::RunContext` and call `ppc_mapreduce::run`")]
 pub fn run_job(
     fs: &Arc<MiniHdfs>,
     job: &MapReduceJob,
     mapper: &dyn Mapper,
     reducer: Option<&dyn Reducer>,
 ) -> Result<MapReduceReport> {
-    run_job_with(fs, job, mapper, reducer, &HadoopConfig::default())
+    crate::harness::run(
+        &RunContext::local(),
+        fs,
+        job,
+        mapper,
+        reducer,
+        &HadoopConfig::default(),
+    )
 }
 
 /// [`run_job`] with explicit configuration.
+#[deprecated(note = "build a `ppc_exec::RunContext` and call `ppc_mapreduce::run`")]
 pub fn run_job_with(
+    fs: &Arc<MiniHdfs>,
+    job: &MapReduceJob,
+    mapper: &dyn Mapper,
+    reducer: Option<&dyn Reducer>,
+    config: &HadoopConfig,
+) -> Result<MapReduceReport> {
+    crate::harness::run(&RunContext::local(), fs, job, mapper, reducer, config)
+}
+
+/// The native runtime body, reached through [`crate::run`]: co-located
+/// compute and storage, Hadoop's output-committer discipline, retries and
+/// speculation from the shared [`Scheduler`].
+pub(crate) fn run_job_impl(
     fs: &Arc<MiniHdfs>,
     job: &MapReduceJob,
     mapper: &dyn Mapper,
@@ -113,6 +137,7 @@ pub fn run_job_with(
     let map_output_records = AtomicUsize::new(0);
     let shuffle_records = AtomicUsize::new(0);
     let remote_bytes = AtomicU64::new(0);
+    let worker_deaths = AtomicUsize::new(0);
     let map_done_at: Mutex<Option<Instant>> = Mutex::new(None);
 
     let start = Instant::now();
@@ -128,6 +153,7 @@ pub fn run_job_with(
                 let data_local_tasks = &data_local_tasks;
                 let total_attempts = &total_attempts;
                 let remote_bytes = &remote_bytes;
+                let worker_deaths = &worker_deaths;
                 let map_done_at = &map_done_at;
                 let map_output_records = &map_output_records;
                 let shuffle_records = &shuffle_records;
@@ -146,7 +172,7 @@ pub fn run_job_with(
                     let chaos = config.schedule.as_deref();
                     let mut task_seq: u32 = 0;
                     let mut last_kill_s: f64 = 0.0;
-                    let mut rng = Pcg32::new(config.seed ^ ((node as u64) << 16) ^ slot as u64);
+                    let mut rng = Pcg32::for_stream(config.seed, worker as u64);
                     loop {
                         let poll_at = sink.map(|_| clock.now_s());
                         let assignment = {
@@ -194,6 +220,7 @@ pub fn run_job_with(
                             // the task re-runs on a surviving slot.
                             let now_s = clock.now_s();
                             if schedule.kills_in(worker, last_kill_s, now_s) {
+                                worker_deaths.fetch_add(1, Ordering::Relaxed);
                                 if let Some(s) = sink {
                                     s.event(TraceEvent {
                                         at_s: now_s,
@@ -207,6 +234,7 @@ pub fn run_job_with(
                             last_kill_s = now_s;
                             // I.i.d. crash before the attempt does any work.
                             if schedule.die_before_execute(worker, seq) {
+                                worker_deaths.fetch_add(1, Ordering::Relaxed);
                                 if let Some(s) = sink {
                                     s.event(TraceEvent {
                                         at_s: clock.now_s(),
@@ -288,6 +316,7 @@ pub fn run_job_with(
                                 || schedule.die_before_delete(worker, seq);
                             if died || schedule.is_torn_upload(worker, seq) {
                                 if died {
+                                    worker_deaths.fetch_add(1, Ordering::Relaxed);
                                     if let Some(s) = sink {
                                         s.event(TraceEvent {
                                             at_s: clock.now_s(),
@@ -433,21 +462,25 @@ pub fn run_job_with(
     });
 
     Ok(MapReduceReport {
-        summary: RunSummary {
-            platform: "hadoop".into(),
-            cores: n_nodes * config.slots_per_node,
-            tasks: done,
-            makespan_seconds: makespan,
-            redundant_executions: stats.duplicate_completions as usize,
-            remote_bytes: remote_bytes.load(Ordering::Relaxed),
+        core: RunReport {
+            summary: RunSummary {
+                platform: "hadoop".into(),
+                cores: n_nodes * config.slots_per_node,
+                tasks: done,
+                makespan_seconds: makespan,
+                redundant_executions: stats.duplicate_completions as usize,
+                remote_bytes: remote_bytes.load(Ordering::Relaxed),
+            },
+            failed: failed.iter().map(|&i| TaskId(i as u64)).collect(),
+            total_attempts: attempts,
+            worker_deaths: worker_deaths.load(Ordering::Relaxed),
+            cost: None,
+            trace,
         },
-        failed,
         scheduler: stats,
         data_local_tasks: data_local_tasks.load(Ordering::Relaxed),
-        total_attempts: attempts,
         map_output_records: map_output_records.load(Ordering::Relaxed),
         shuffle_records: shuffle_records.load(Ordering::Relaxed),
-        trace,
     })
     .inspect(|r| {
         debug_assert!(r.summary.tasks + r.failed.len() == n_tasks);
@@ -460,6 +493,34 @@ mod tests {
     use crate::job::ExecutableMapper;
     use ppc_core::exec::FnExecutor;
     use ppc_core::PpcError;
+
+    // Route the legacy-named helpers through the RunContext entry point
+    // (explicit items shadow the glob-imported deprecated shims).
+    fn run_job(
+        fs: &Arc<MiniHdfs>,
+        job: &MapReduceJob,
+        mapper: &dyn Mapper,
+        reducer: Option<&dyn Reducer>,
+    ) -> Result<MapReduceReport> {
+        crate::run(
+            &RunContext::local(),
+            fs,
+            job,
+            mapper,
+            reducer,
+            &HadoopConfig::default(),
+        )
+    }
+
+    fn run_job_with(
+        fs: &Arc<MiniHdfs>,
+        job: &MapReduceJob,
+        mapper: &dyn Mapper,
+        reducer: Option<&dyn Reducer>,
+        config: &HadoopConfig,
+    ) -> Result<MapReduceReport> {
+        crate::run(&RunContext::local(), fs, job, mapper, reducer, config)
+    }
 
     fn make_fs(n_nodes: usize, files: usize) -> (Arc<MiniHdfs>, Vec<String>) {
         let fs = MiniHdfs::new(n_nodes, 1 << 20, 2, 99);

@@ -18,10 +18,11 @@ use ppc_chaos::FaultSchedule;
 use ppc_compute::cluster::Cluster;
 use ppc_compute::model::{task_service_seconds, AppModel};
 use ppc_core::metrics::RunSummary;
-use ppc_core::rng::Pcg32;
+use ppc_core::rng::{Pcg32, CLIENT_STREAM};
 use ppc_core::task::TaskSpec;
 use ppc_core::{PpcError, Result};
 use ppc_des::{Engine, SimTime};
+use ppc_exec::{RunContext, RunReport};
 use ppc_hdfs::block::DataNodeId;
 use ppc_storage::latency::LatencyModel;
 use ppc_trace::{EventKind, Phase, Recorder, RunMeta, Span, TraceEvent, TraceSink};
@@ -122,9 +123,11 @@ impl HadoopSimConfig {
 
 struct SimState {
     scheduler: Scheduler,
-    rng: Pcg32,
+    /// One independent stream per worker slot.
+    rngs: Vec<Pcg32>,
     completed_at: Option<SimTime>,
     attempts: usize,
+    deaths: usize,
     data_local: usize,
     remote_bytes: u64,
     schedule: Option<Arc<FaultSchedule>>,
@@ -134,15 +137,32 @@ struct SimState {
 }
 
 /// Simulate a map-only Hadoop job of `tasks` on `cluster`.
+#[deprecated(note = "build a `ppc_exec::RunContext` and call `ppc_mapreduce::simulate`")]
 pub fn simulate(cluster: &Cluster, tasks: &[TaskSpec], cfg: &HadoopSimConfig) -> MapReduceReport {
-    simulate_chaos(cluster, tasks, cfg, None)
+    crate::harness::simulate(&RunContext::new(cluster), tasks, cfg)
 }
 
 /// [`simulate`] under a deterministic [`FaultSchedule`]. Workers are
 /// addressed by their flat spawn index (node-major); kills, death dice,
 /// torn outputs, gray slowdowns and storage outage windows all map onto
 /// Hadoop's recovery mechanism — the failed attempt is re-executed.
+#[deprecated(note = "build a `ppc_exec::RunContext` and call `ppc_mapreduce::simulate`")]
 pub fn simulate_chaos(
+    cluster: &Cluster,
+    tasks: &[TaskSpec],
+    cfg: &HadoopSimConfig,
+    schedule: Option<Arc<FaultSchedule>>,
+) -> MapReduceReport {
+    crate::harness::simulate(
+        &RunContext::new(cluster).with_schedule_opt(schedule),
+        tasks,
+        cfg,
+    )
+}
+
+/// The simulator body, reached through [`crate::simulate`]: drives the
+/// shared [`Scheduler`] over virtual workers on the `ppc-des` engine.
+pub(crate) fn simulate_impl(
     cluster: &Cluster,
     tasks: &[TaskSpec],
     cfg: &HadoopSimConfig,
@@ -159,7 +179,9 @@ pub fn simulate_chaos(
     }
     let n_nodes = cluster.n_nodes();
     let total_workers = cluster.total_workers();
-    let mut rng = Pcg32::new(cfg.seed);
+    // Locality synthesis happens on the master's stream; each worker slot
+    // draws its jitter/failure dice from its own stream below.
+    let mut rng = Pcg32::for_stream(cfg.seed, CLIENT_STREAM);
 
     // Synthesize HDFS locality: each input replicated on `replication`
     // distinct pseudo-random nodes.
@@ -187,9 +209,12 @@ pub fn simulate_chaos(
 
     let state = Rc::new(RefCell::new(SimState {
         scheduler: Scheduler::new(splits, cfg.speculative, cfg.max_attempts),
-        rng,
+        rngs: (0..total_workers)
+            .map(|w| Pcg32::for_stream(cfg.seed, w as u64))
+            .collect(),
         completed_at: None,
         attempts: 0,
+        deaths: 0,
         data_local: 0,
         remote_bytes: 0,
         schedule,
@@ -239,21 +264,30 @@ pub fn simulate_chaos(
     });
 
     MapReduceReport {
-        summary: RunSummary {
-            platform,
-            cores: cluster.total_workers(),
-            tasks: st.scheduler.n_done(),
-            makespan_seconds: makespan,
-            redundant_executions: stats.duplicate_completions as usize,
-            remote_bytes: st.remote_bytes,
+        core: RunReport {
+            summary: RunSummary {
+                platform,
+                cores: cluster.total_workers(),
+                tasks: st.scheduler.n_done(),
+                makespan_seconds: makespan,
+                redundant_executions: stats.duplicate_completions as usize,
+                remote_bytes: st.remote_bytes,
+            },
+            failed: st
+                .scheduler
+                .failed_tasks()
+                .iter()
+                .map(|&i| tasks[i].id)
+                .collect(),
+            total_attempts: st.attempts,
+            worker_deaths: st.deaths,
+            cost: Some(cluster.cost(makespan)),
+            trace,
         },
-        failed: st.scheduler.failed_tasks(),
         scheduler: stats,
         data_local_tasks: st.data_local,
-        total_attempts: st.attempts,
         map_output_records: 0,
         shuffle_records: 0,
-        trace,
     }
 }
 
@@ -318,17 +352,18 @@ fn worker_tick(
         let mut t_exec_base =
             task_service_seconds(&itype, workers_on_node, &task.profile, &cfg.app);
         let jitter = if cfg.jitter_sigma > 0.0 {
-            st.rng.log_normal(0.0, cfg.jitter_sigma)
+            st.rngs[worker].log_normal(0.0, cfg.jitter_sigma)
         } else {
             1.0
         };
-        let straggle = if cfg.straggler_p > 0.0 && st.rng.chance(cfg.straggler_p) {
+        let straggle = if cfg.straggler_p > 0.0 && st.rngs[worker].chance(cfg.straggler_p) {
             cfg.straggler_factor
         } else {
             1.0
         };
         let t_write = cfg.local_read.transfer_seconds(task.profile.output_bytes);
-        let mut fails = cfg.attempt_failure_p > 0.0 && st.rng.chance(cfg.attempt_failure_p);
+        let mut fails =
+            cfg.attempt_failure_p > 0.0 && st.rngs[worker].chance(cfg.attempt_failure_p);
         let mut killed = false;
         if let Some(schedule) = st.schedule.clone() {
             let w = worker as u32;
@@ -351,12 +386,14 @@ fn worker_tick(
                 + t_write;
             killed = schedule.kills_in(w, st.last_kill[worker], window_end);
             st.last_kill[worker] = window_end;
-            fails = fails
-                || killed
+            let died = killed
                 || schedule.die_before_execute(w, seq)
                 || schedule.die_mid_execute(w, seq)
-                || schedule.die_before_delete(w, seq)
-                || schedule.is_torn_upload(w, seq);
+                || schedule.die_before_delete(w, seq);
+            if died {
+                st.deaths += 1;
+            }
+            fails = fails || died || schedule.is_torn_upload(w, seq);
         }
         (
             cfg.dispatch_overhead_s + t_read + t_exec_base * jitter * straggle + t_write,
@@ -446,6 +483,25 @@ mod tests {
             dispatch_overhead_s: 0.0,
             ..cfg
         }
+    }
+
+    // Route the legacy-named helpers through the RunContext entry point
+    // (explicit items shadow the glob-imported deprecated shims).
+    fn simulate(cluster: &Cluster, tasks: &[TaskSpec], cfg: &HadoopSimConfig) -> MapReduceReport {
+        crate::simulate(&RunContext::new(cluster), tasks, cfg)
+    }
+
+    fn simulate_chaos(
+        cluster: &Cluster,
+        tasks: &[TaskSpec],
+        cfg: &HadoopSimConfig,
+        schedule: Option<Arc<FaultSchedule>>,
+    ) -> MapReduceReport {
+        crate::simulate(
+            &RunContext::new(cluster).with_schedule_opt(schedule),
+            tasks,
+            cfg,
+        )
     }
 
     #[test]

@@ -20,11 +20,12 @@
 use ppc::apps::cap3::Cap3Executor;
 use ppc::apps::workload::{cap3_native_inputs, cap3_sim_tasks_inhomogeneous};
 use ppc::autoscale::{AutoscaleConfig, Policy};
-use ppc::classic::runtime::{run_job_autoscaled, ClassicConfig};
-use ppc::classic::sim::{simulate_autoscaled, SimConfig};
 use ppc::classic::spec::JobSpec;
+use ppc::classic::{run as classic_run, ClassicConfig};
+use ppc::classic::{simulate as classic_simulate, SimConfig};
 use ppc::compute::instance::EC2_HCXL;
 use ppc::compute::model::AppModel;
+use ppc::exec::RunContext;
 use ppc::queue::service::QueueService;
 use ppc::storage::service::StorageService;
 use std::sync::Arc;
@@ -69,18 +70,16 @@ fn native() -> ppc::core::Result<()> {
         billing_window_s: 0.05,
         billing_hour_s: 0.2,
     };
-    let report = run_job_autoscaled(
+    let report = classic_run(
+        &RunContext::elastic(EC2_HCXL, autoscale, arrivals.clone()),
         &storage,
         &queues,
-        EC2_HCXL,
         &job,
-        &arrivals,
         Arc::new(Cap3Executor::new()),
         &ClassicConfig::default(),
-        &autoscale,
     )?;
     assert!(report.is_complete());
-    let fleet = report.fleet.expect("elastic run reports a fleet");
+    let fleet = report.fleet.as_ref().expect("elastic run reports a fleet");
 
     println!("platform     : {}", report.summary.platform);
     println!("tasks        : {} assembled", report.summary.tasks);
@@ -123,9 +122,13 @@ fn simulated() {
         trace: true,
         ..SimConfig::ec2().with_app(AppModel::cap3())
     };
-    let report = simulate_autoscaled(EC2_HCXL, &tasks, &arrivals, &cfg, &autoscale);
+    let report = classic_simulate(
+        &RunContext::elastic(EC2_HCXL, autoscale, arrivals.clone()),
+        &tasks,
+        &cfg,
+    );
     assert!(report.is_complete());
-    let fleet = report.fleet.expect("elastic run reports a fleet");
+    let fleet = report.fleet.as_ref().expect("elastic run reports a fleet");
 
     println!("platform     : {}", report.summary.platform);
     println!(

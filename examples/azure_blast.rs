@@ -14,10 +14,11 @@ use ppc::apps::workload::blast_native_inputs;
 use ppc::bio::blast::BlastDb;
 use ppc::bio::simulate::ProteinDbParams;
 use ppc::classic::history::{record, runs_of, summary_of, RunRecord};
-use ppc::classic::runtime::{run_job, ClassicConfig};
 use ppc::classic::spec::JobSpec;
+use ppc::classic::{run as classic_run, ClassicConfig};
 use ppc::compute::cluster::Cluster;
 use ppc::compute::instance::AZURE_LARGE;
+use ppc::exec::RunContext;
 use ppc::queue::service::QueueService;
 use ppc::storage::service::StorageService;
 use ppc::storage::table::TableService;
@@ -71,10 +72,10 @@ fn main() -> ppc::core::Result<()> {
         for (spec, payload) in &inputs {
             blobs.put(&job.input_bucket, &spec.input_key, payload.clone())?;
         }
-        let report = run_job(
+        let report = classic_run(
+            &RunContext::new(&cluster),
             &blobs,
             &queues,
-            &cluster,
             &job,
             Arc::new(BlastExecutor::new(db.clone())),
             &ClassicConfig::default(),

@@ -12,13 +12,14 @@ use ppc::apps::blast::BlastExecutor;
 use ppc::apps::workload::blast_native_inputs;
 use ppc::bio::blast::BlastDb;
 use ppc::bio::simulate::ProteinDbParams;
-use ppc::classic::runtime::{run_job as classic_run, ClassicConfig};
 use ppc::classic::spec::JobSpec;
+use ppc::classic::{run as classic_run, ClassicConfig};
 use ppc::compute::cluster::Cluster;
 use ppc::compute::instance::EC2_HCXL;
+use ppc::exec::RunContext;
 use ppc::hdfs::fs::MiniHdfs;
 use ppc::mapreduce::job::{ExecutableMapper, MapReduceJob};
-use ppc::mapreduce::runtime::run_job as hadoop_run;
+use ppc::mapreduce::{run as hadoop_run, HadoopConfig};
 use ppc::queue::service::QueueService;
 use ppc::storage::service::StorageService;
 use std::sync::Arc;
@@ -55,9 +56,9 @@ fn main() -> ppc::core::Result<()> {
         storage.put(&job.input_bucket, &spec.input_key, payload.clone())?;
     }
     let classic = classic_run(
+        &RunContext::new(&cluster),
         &storage,
         &queues,
-        &cluster,
         &job,
         executor.clone(),
         &ClassicConfig::default(),
@@ -77,7 +78,14 @@ fn main() -> ppc::core::Result<()> {
     }
     let mr_job = MapReduceJob::map_only("blast", paths, "/out");
     let mapper = ExecutableMapper::new("blast", executor);
-    let hadoop = hadoop_run(&fs, &mr_job, &mapper, None)?;
+    let hadoop = hadoop_run(
+        &RunContext::local(),
+        &fs,
+        &mr_job,
+        &mapper,
+        None,
+        &HadoopConfig::default(),
+    )?;
     println!(
         "Hadoop       : {} tasks in {:.2} s (locality {:.0}%)",
         hadoop.summary.tasks,

@@ -11,12 +11,13 @@
 //! ```
 
 use ppc::classic::fault::FaultPlan;
-use ppc::classic::runtime::{run_job, ClassicConfig};
 use ppc::classic::spec::JobSpec;
+use ppc::classic::{run as classic_run, ClassicConfig};
 use ppc::compute::cluster::Cluster;
 use ppc::compute::instance::EC2_HCXL;
 use ppc::core::exec::FnExecutor;
 use ppc::core::task::{ResourceProfile, TaskSpec};
+use ppc::exec::RunContext;
 use ppc::queue::chaos::ChaosConfig;
 use ppc::queue::service::QueueService;
 use ppc::storage::service::StorageService;
@@ -63,14 +64,21 @@ fn main() -> ppc::core::Result<()> {
         v.reverse();
         Ok(v)
     });
-    let report = run_job(&storage, &queues, &cluster, &job, executor, &config)?;
+    let report = classic_run(
+        &RunContext::new(&cluster),
+        &storage,
+        &queues,
+        &job,
+        executor,
+        &config,
+    )?;
 
     println!("hostile environment: 10% death before execute, 10% before delete,");
     println!("                     10% empty receives, 5% duplicate delivery, 2% API errors");
     println!("tasks completed    : {}/{n}", report.summary.tasks);
     println!(
         "total executions   : {} ({} redundant)",
-        report.total_executions,
+        report.total_attempts,
         report.redundant_executions()
     );
     println!("worker deaths      : {}", report.worker_deaths);

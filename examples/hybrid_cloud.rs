@@ -16,10 +16,11 @@
 
 use ppc::apps::cap3::Cap3Executor;
 use ppc::apps::workload::cap3_native_inputs;
-use ppc::classic::runtime::{run_job_on_fleets, ClassicConfig};
 use ppc::classic::spec::JobSpec;
+use ppc::classic::{run as classic_run, ClassicConfig};
 use ppc::compute::cluster::Cluster;
 use ppc::compute::instance::{BARE_CAP3, EC2_HCXL};
+use ppc::exec::RunContext;
 use ppc::queue::service::QueueService;
 use ppc::storage::service::StorageService;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -73,10 +74,10 @@ fn main() -> ppc::core::Result<()> {
         }
     });
 
-    let report = run_job_on_fleets(
+    let report = classic_run(
+        &RunContext::on_fleets(vec![cloud, local]),
         &storage,
         &queues,
-        &[cloud, local],
         &job,
         Arc::new(Cap3Executor::new()),
         &config,

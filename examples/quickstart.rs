@@ -11,10 +11,11 @@
 
 use ppc::apps::cap3::Cap3Executor;
 use ppc::apps::workload::cap3_native_inputs;
-use ppc::classic::runtime::{run_job, ClassicConfig};
 use ppc::classic::spec::JobSpec;
+use ppc::classic::{run as classic_run, ClassicConfig};
 use ppc::compute::cluster::Cluster;
 use ppc::compute::instance::EC2_HCXL;
+use ppc::exec::RunContext;
 use ppc::queue::service::QueueService;
 use ppc::storage::service::StorageService;
 use std::sync::Arc;
@@ -40,10 +41,10 @@ fn main() -> ppc::core::Result<()> {
     }
 
     // 3. Run the job: the client fills the queue, workers drain it.
-    let report = run_job(
+    let report = classic_run(
+        &RunContext::new(&cluster),
         &storage,
         &queues,
-        &cluster,
         &job,
         Arc::new(Cap3Executor::new()),
         &ClassicConfig::default(),

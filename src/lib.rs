@@ -22,6 +22,11 @@
 //!
 //! and regenerate the paper's evaluation with
 //! `cargo run --release -p ppc-bench --bin all`.
+//!
+//! Every paradigm is driven through the [`exec`] harness: build a
+//! [`exec::RunContext`] (fleet layout + seed + fault schedule + tracing),
+//! then call the paradigm's `run`/`simulate` pair — or hold all three
+//! behind the paradigm-generic [`exec::Engine`] trait via [`engines`].
 
 pub use ppc_apps as apps;
 pub use ppc_autoscale as autoscale;
@@ -32,9 +37,34 @@ pub use ppc_compute as compute;
 pub use ppc_core as core;
 pub use ppc_des as des;
 pub use ppc_dryad as dryad;
+pub use ppc_exec as exec;
 pub use ppc_gtm as gtm;
 pub use ppc_hdfs as hdfs;
 pub use ppc_mapreduce as mapreduce;
 pub use ppc_queue as queue;
 pub use ppc_storage as storage;
 pub use ppc_trace as trace;
+
+/// All three paradigms behind the uniform [`exec::Engine`] interface,
+/// with default configurations — the paper's Table 1 lineup, iterable:
+///
+/// ```
+/// use ppc::core::task::{ResourceProfile, TaskSpec};
+/// let cluster = ppc::compute::cluster::Cluster::provision(
+///     ppc::compute::instance::EC2_HCXL, 4, 8);
+/// let ctx = ppc::exec::RunContext::new(&cluster).with_seed(7);
+/// let tasks: Vec<TaskSpec> = (0..32)
+///     .map(|i| TaskSpec::new(i, "cap3", format!("in/{i}"), ResourceProfile::cpu_bound(30.0)))
+///     .collect();
+/// for engine in ppc::engines() {
+///     let report = engine.simulate(&ctx, &tasks);
+///     assert!(report.is_complete(), "{} dropped tasks", engine.name());
+/// }
+/// ```
+pub fn engines() -> Vec<Box<dyn exec::Engine>> {
+    vec![
+        Box::new(classic::ClassicEngine::default()),
+        Box::new(mapreduce::HadoopEngine::default()),
+        Box::new(dryad::DryadEngine::default()),
+    ]
+}

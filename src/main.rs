@@ -4,6 +4,7 @@
 //! ppc catalog                         print the instance-type catalogs
 //! ppc advisor <cap3|blast|gtm>        instance-type study for a workload
 //! ppc simulate --app <name> [--instance T] [--instances N] [--workers W] [--files F]
+//! ppc compare --app <name> [--files F] print all three paradigms on one fleet
 //! ppc demo                            native end-to-end Cap3 mini-run
 //! ```
 //!
@@ -33,7 +34,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  ppc catalog\n  ppc advisor <cap3|blast|gtm> [--budget <$>] [--deadline <seconds>]\n  ppc simulate --app <cap3|blast|gtm> [--instance HCXL] [--instances 2] [--workers 8] [--files 64]\n  ppc demo"
+    "usage:\n  ppc catalog\n  ppc advisor <cap3|blast|gtm> [--budget <$>] [--deadline <seconds>]\n  ppc simulate --app <cap3|blast|gtm> [--instance HCXL] [--instances 2] [--workers 8] [--files 64]\n  ppc compare --app <cap3|blast|gtm> [--files 64]\n  ppc demo"
 }
 
 /// Dispatch a CLI invocation; returns the rendered output.
@@ -46,6 +47,7 @@ fn run(args: &[String]) -> Result<String> {
             advisor(app, &flags)
         }
         Some("simulate") => simulate_cmd(parse_flags(&args[1..])?),
+        Some("compare") => compare_cmd(parse_flags(&args[1..])?),
         Some("demo") => demo(),
         _ => Err(PpcError::InvalidArgument(
             "missing or unknown subcommand".into(),
@@ -214,7 +216,8 @@ fn simulate_cmd(flags: HashMap<String, String>) -> Result<String> {
     }
     let cluster = Cluster::provision(itype, n_instances, workers);
     let cfg = ppc::classic::sim::SimConfig::ec2().with_app(model);
-    let report = ppc::classic::sim::simulate(&cluster, &tasks, &cfg);
+    let ctx = ppc::exec::RunContext::new(&cluster);
+    let report = ppc::classic::simulate(&ctx, &tasks, &cfg);
     let cost = cluster.cost(report.summary.makespan_seconds);
     Ok(format!(
         "{app} x {} files on {}:\n  makespan        : {:.1} s\n  compute cost    : {}\n  amortized cost  : {}\n  queue requests  : {}\n  bytes via cloud : {}",
@@ -228,12 +231,70 @@ fn simulate_cmd(flags: HashMap<String, String>) -> Result<String> {
     ))
 }
 
+/// Run the same workload through all three paradigms on one fleet via the
+/// paradigm-generic `Engine` trait — the paper's Table 3 comparison in one
+/// command.
+fn compare_cmd(flags: HashMap<String, String>) -> Result<String> {
+    let app = flags
+        .get("app")
+        .map(String::as_str)
+        .ok_or_else(|| PpcError::InvalidArgument("compare needs --app".into()))?;
+    let n_files: usize = match flags.get("files") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| PpcError::InvalidArgument(format!("bad --files: '{v}'")))?,
+        None => 64,
+    };
+    let (mut tasks, model) = workload_for(app)?;
+    tasks.truncate(n_files);
+    let cluster = Cluster::provision(ppc::compute::instance::EC2_HCXL, 4, 8);
+    let ctx = ppc::exec::RunContext::new(&cluster).with_seed(42);
+    let engines: Vec<Box<dyn ppc::exec::Engine>> = vec![
+        Box::new(ppc::classic::ClassicEngine {
+            sim: ppc::classic::SimConfig::ec2().with_app(model),
+            ..Default::default()
+        }),
+        Box::new(ppc::mapreduce::HadoopEngine {
+            sim: ppc::mapreduce::HadoopSimConfig {
+                app: model,
+                ..Default::default()
+            },
+            ..Default::default()
+        }),
+        Box::new(ppc::dryad::DryadEngine {
+            sim: ppc::dryad::DryadSimConfig {
+                app: model,
+                ..Default::default()
+            },
+            ..Default::default()
+        }),
+    ];
+    let mut table = Table::new(
+        format!("{app} x {} files on {}", tasks.len(), cluster.label()),
+        &["paradigm", "makespan (s)", "attempts", "compute cost"],
+    );
+    for engine in engines {
+        let report = engine.simulate(&ctx, &tasks);
+        table.row(vec![
+            engine.name().to_string(),
+            format!("{:.1}", report.summary.makespan_seconds),
+            report.total_attempts.to_string(),
+            report
+                .cost
+                .map(|c| c.compute_cost.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    Ok(table.to_string())
+}
+
 fn demo() -> Result<String> {
     use ppc::apps::cap3::Cap3Executor;
     use ppc::apps::workload::cap3_native_inputs;
-    use ppc::classic::runtime::{run_job, ClassicConfig};
     use ppc::classic::spec::JobSpec;
+    use ppc::classic::{run as classic_run, ClassicConfig};
     use ppc::compute::instance::EC2_HCXL;
+    use ppc::exec::RunContext;
     use ppc::queue::service::QueueService;
     use ppc::storage::service::StorageService;
     use std::sync::Arc;
@@ -247,10 +308,10 @@ fn demo() -> Result<String> {
     for (spec, payload) in &inputs {
         storage.put(&job.input_bucket, &spec.input_key, payload.clone())?;
     }
-    let report = run_job(
+    let report = classic_run(
+        &RunContext::new(&cluster),
         &storage,
         &queues,
-        &cluster,
         &job,
         Arc::new(Cap3Executor::new()),
         &ClassicConfig::default(),

@@ -10,12 +10,13 @@
 //! ticks). The decision sequence depends only on the ratios.
 
 use ppc::autoscale::{AutoscaleConfig, Policy};
-use ppc::classic::runtime::{run_job_autoscaled, ClassicConfig};
-use ppc::classic::sim::{simulate_autoscaled, SimConfig};
 use ppc::classic::spec::JobSpec;
+use ppc::classic::{run as classic_run, ClassicConfig};
+use ppc::classic::{simulate as classic_simulate, SimConfig};
 use ppc::compute::instance::EC2_HCXL;
 use ppc::core::exec::FnExecutor;
 use ppc::core::task::{ResourceProfile, TaskSpec};
+use ppc::exec::RunContext;
 use ppc::queue::service::QueueService;
 use ppc::storage::latency::LatencyModel;
 use ppc::storage::service::StorageService;
@@ -65,7 +66,11 @@ fn engines_agree_on_scale_decision_sequence() {
         jitter_sigma: 0.0,
         ..SimConfig::ec2()
     };
-    let sim = simulate_autoscaled(EC2_HCXL, &tasks(30.0), &[], &sim_cfg, &autoscale_cfg(1.0));
+    let sim = classic_simulate(
+        &RunContext::elastic(EC2_HCXL, autoscale_cfg(1.0), Vec::new()),
+        &tasks(30.0),
+        &sim_cfg,
+    );
     assert_eq!(sim.summary.tasks, N_TASKS as usize);
     let sim_fleet = sim.fleet.expect("sim fleet report");
 
@@ -84,15 +89,13 @@ fn engines_agree_on_scale_decision_sequence() {
         std::thread::sleep(Duration::from_millis(30));
         Ok(input.to_vec())
     });
-    let native = run_job_autoscaled(
+    let native = classic_run(
+        &RunContext::elastic(EC2_HCXL, autoscale_cfg(1e-3), Vec::new()),
         &storage,
         &queues,
-        EC2_HCXL,
         &job,
-        &[],
         executor,
         &ClassicConfig::default(),
-        &autoscale_cfg(1e-3),
     )
     .unwrap();
     assert!(native.is_complete());
@@ -114,9 +117,13 @@ fn engines_agree_on_scale_decision_sequence() {
 fn simulated_scale_events_are_deterministic() {
     let cfg = SimConfig::ec2();
     let run = || {
-        simulate_autoscaled(EC2_HCXL, &tasks(25.0), &[], &cfg, &autoscale_cfg(1.0))
-            .fleet
-            .unwrap()
+        classic_simulate(
+            &RunContext::elastic(EC2_HCXL, autoscale_cfg(1.0), Vec::new()),
+            &tasks(25.0),
+            &cfg,
+        )
+        .fleet
+        .unwrap()
     };
     let (a, b) = (run(), run());
     assert_eq!(a.timeline.steps(), b.timeline.steps());
@@ -148,7 +155,11 @@ fn fleet_invariants_hold_across_random_elastic_runs() {
             jitter_sigma: 0.1,
             ..SimConfig::ec2().with_seed(trial)
         };
-        let report = simulate_autoscaled(EC2_HCXL, &specs, &arrivals, &cfg, &autoscale_cfg(1.0));
+        let report = classic_simulate(
+            &RunContext::elastic(EC2_HCXL, autoscale_cfg(1.0), arrivals.clone()),
+            &specs,
+            &cfg,
+        );
         assert_eq!(report.summary.tasks, n as usize, "trial {trial}");
         let fleet = report.fleet.unwrap();
         let seq = fleet.timeline.size_sequence();

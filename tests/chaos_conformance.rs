@@ -19,19 +19,20 @@
 //! the invariants must hold for *any* seed, not a lucky one.
 
 use ppc::chaos::FaultSchedule;
-use ppc::classic::runtime::{run_job, ClassicConfig};
-use ppc::classic::sim::{simulate_chaos as classic_simulate_chaos, SimConfig};
 use ppc::classic::spec::JobSpec;
+use ppc::classic::{run as classic_run, ClassicConfig};
+use ppc::classic::{simulate as classic_simulate, SimConfig};
 use ppc::compute::cluster::Cluster;
 use ppc::compute::instance::{BARE_CAP3, EC2_HCXL};
 use ppc::core::exec::{Executor, FnExecutor};
 use ppc::core::task::{ResourceProfile, TaskSpec};
-use ppc::dryad::runtime::{run_homomorphic_job_chaos, DryadConfig};
-use ppc::dryad::sim::{simulate_chaos as dryad_simulate_chaos, DryadSimConfig};
+use ppc::dryad::{run as dryad_run, DryadConfig};
+use ppc::dryad::{simulate as dryad_simulate, DryadSimConfig};
+use ppc::exec::RunContext;
 use ppc::hdfs::fs::MiniHdfs;
 use ppc::mapreduce::job::{ExecutableMapper, MapReduceJob};
-use ppc::mapreduce::runtime::{run_job_with, HadoopConfig};
-use ppc::mapreduce::sim::{simulate_chaos as hadoop_simulate_chaos, HadoopSimConfig};
+use ppc::mapreduce::{run as hadoop_run, HadoopConfig};
+use ppc::mapreduce::{simulate as hadoop_simulate, HadoopSimConfig};
 use ppc::queue::service::QueueService;
 use ppc::storage::service::StorageService;
 use std::collections::BTreeMap;
@@ -100,10 +101,10 @@ fn classic_native_conforms_under_hostile_schedule() {
         schedule: Some(hostile()),
         ..ClassicConfig::default()
     };
-    let report = run_job(
+    let report = classic_run(
+        &RunContext::new(&cluster),
         &storage,
         &queues,
-        &cluster,
         &job,
         reverse_executor(),
         &config,
@@ -122,9 +123,9 @@ fn classic_native_conforms_under_hostile_schedule() {
     }
     // Bounded re-execution: chaos costs attempts, not runaway loops.
     assert!(
-        report.total_executions <= 2 * N_TASKS as usize,
+        report.total_attempts <= 2 * N_TASKS as usize,
         "re-execution unbounded: {} executions for {N_TASKS} tasks",
-        report.total_executions
+        report.total_attempts
     );
     // Billing consistency: the queue ledger metered the run.
     assert!(report.queue_requests > 0);
@@ -146,7 +147,7 @@ fn mapreduce_native_conforms_under_hostile_schedule() {
         schedule: Some(hostile()),
         ..HadoopConfig::default()
     };
-    let report = run_job_with(&fs, &job, &mapper, None, &config).unwrap();
+    let report = hadoop_run(&RunContext::local(), &fs, &job, &mapper, None, &config).unwrap();
 
     assert!(report.is_complete(), "failed: {:?}", report.failed);
     assert_eq!(report.summary.tasks, N_TASKS as usize);
@@ -175,12 +176,11 @@ fn dryad_native_conforms_under_hostile_schedule() {
             )
         })
         .collect();
-    let (report, outputs) = run_homomorphic_job_chaos(
-        &cluster,
+    let (report, outputs) = dryad_run(
+        &RunContext::new(&cluster).with_schedule(hostile()),
         inputs,
         reverse_executor(),
         &DryadConfig::default(),
-        Some(hostile()),
     )
     .unwrap();
 
@@ -216,17 +216,33 @@ fn simulators_replay_hostile_schedule_deterministically() {
     // Classic Cloud sim.
     let cluster = Cluster::provision(EC2_HCXL, 4, 8);
     let cfg = SimConfig::ec2().with_failures(0.0, 60.0);
-    let a = classic_simulate_chaos(&cluster, &tasks, &cfg, schedule.clone());
-    let b = classic_simulate_chaos(&cluster, &tasks, &cfg, schedule.clone());
+    let a = classic_simulate(
+        &RunContext::new(&cluster).with_schedule(schedule.clone()),
+        &tasks,
+        &cfg,
+    );
+    let b = classic_simulate(
+        &RunContext::new(&cluster).with_schedule(schedule.clone()),
+        &tasks,
+        &cfg,
+    );
     assert!(a.is_complete());
     assert_eq!(a.summary.makespan_seconds, b.summary.makespan_seconds);
-    assert_eq!(a.total_executions, b.total_executions);
+    assert_eq!(a.total_attempts, b.total_attempts);
 
     // MapReduce sim.
     let cluster = Cluster::provision(BARE_CAP3, 4, 8);
     let cfg = HadoopSimConfig::default();
-    let a = hadoop_simulate_chaos(&cluster, &tasks, &cfg, Some(schedule.clone()));
-    let b = hadoop_simulate_chaos(&cluster, &tasks, &cfg, Some(schedule.clone()));
+    let a = hadoop_simulate(
+        &RunContext::new(&cluster).with_schedule(schedule.clone()),
+        &tasks,
+        &cfg,
+    );
+    let b = hadoop_simulate(
+        &RunContext::new(&cluster).with_schedule(schedule.clone()),
+        &tasks,
+        &cfg,
+    );
     assert!(a.is_complete(), "failed: {:?}", a.failed);
     assert_eq!(a.summary.makespan_seconds, b.summary.makespan_seconds);
     assert_eq!(a.total_attempts, b.total_attempts);
@@ -234,8 +250,16 @@ fn simulators_replay_hostile_schedule_deterministically() {
     // Dryad sim.
     let cluster = Cluster::provision(BARE_CAP3, 4, 8);
     let cfg = DryadSimConfig::default();
-    let a = dryad_simulate_chaos(&cluster, &tasks, &cfg, Some(schedule.clone()));
-    let b = dryad_simulate_chaos(&cluster, &tasks, &cfg, Some(schedule));
+    let a = dryad_simulate(
+        &RunContext::new(&cluster).with_schedule(schedule.clone()),
+        &tasks,
+        &cfg,
+    );
+    let b = dryad_simulate(
+        &RunContext::new(&cluster).with_schedule(schedule),
+        &tasks,
+        &cfg,
+    );
     assert_eq!(a.summary.makespan_seconds, b.summary.makespan_seconds);
     assert_eq!(a.vertex_retries, b.vertex_retries);
 }

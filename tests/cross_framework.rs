@@ -5,15 +5,16 @@
 
 use ppc::apps::cap3::Cap3Executor;
 use ppc::apps::workload::cap3_native_inputs;
-use ppc::classic::runtime::{run_job as classic_run, ClassicConfig};
 use ppc::classic::spec::JobSpec;
+use ppc::classic::{run as classic_run, ClassicConfig};
 use ppc::compute::cluster::Cluster;
 use ppc::compute::instance::{BARE_HPC16, EC2_HCXL};
 use ppc::core::exec::Executor;
-use ppc::dryad::runtime::{run_homomorphic_job, DryadConfig};
+use ppc::dryad::{run as dryad_run, DryadConfig};
+use ppc::exec::RunContext;
 use ppc::hdfs::fs::MiniHdfs;
 use ppc::mapreduce::job::{ExecutableMapper, MapReduceJob};
-use ppc::mapreduce::runtime::run_job as hadoop_run;
+use ppc::mapreduce::{run as hadoop_run, HadoopConfig};
 use ppc::queue::service::QueueService;
 use ppc::storage::service::StorageService;
 use std::collections::HashMap;
@@ -37,9 +38,9 @@ fn cap3_outputs_identical_across_frameworks() {
             .unwrap();
     }
     let classic_report = classic_run(
+        &RunContext::new(&cluster),
         &storage,
         &queues,
-        &cluster,
         &job,
         executor.clone(),
         &ClassicConfig::default(),
@@ -69,13 +70,21 @@ fn cap3_outputs_identical_across_frameworks() {
     }
     let mr = MapReduceJob::map_only("x", paths, "/out");
     let mapper = ExecutableMapper::new("cap3", executor.clone());
-    let hadoop_report = hadoop_run(&fs, &mr, &mapper, None).unwrap();
+    let hadoop_report = hadoop_run(
+        &RunContext::local(),
+        &fs,
+        &mr,
+        &mapper,
+        None,
+        &HadoopConfig::default(),
+    )
+    .unwrap();
     assert!(hadoop_report.is_complete());
 
     // --- DryadLINQ ---
     let dryad_cluster = Cluster::provision(BARE_HPC16, 2, 2);
-    let (dryad_report, dryad_outputs) = run_homomorphic_job(
-        &dryad_cluster,
+    let (dryad_report, dryad_outputs) = dryad_run(
+        &RunContext::new(&dryad_cluster),
         inputs.clone(),
         executor.clone(),
         &DryadConfig::default(),
@@ -159,6 +168,54 @@ fn idempotence_holds_for_all_executables() {
         assert_eq!(
             gtm.run(spec, payload).unwrap(),
             gtm.run(spec, payload).unwrap()
+        );
+    }
+}
+
+/// The same contract once more, but through the paradigm-generic
+/// [`ppc::exec::Engine`] interface: one `Workload`, one `RunContext`,
+/// three engines iterated in a loop — byte-identical outputs per task.
+#[test]
+fn engine_trait_runs_the_same_workload_on_all_paradigms() {
+    use ppc::exec::Workload;
+    use std::collections::BTreeMap;
+
+    let inputs = cap3_native_inputs(6, 30, 900, 77);
+    let workload = Workload::new(
+        "cap3-engines",
+        inputs.clone(),
+        Arc::new(Cap3Executor::new()),
+    );
+    let cluster = Cluster::provision(BARE_HPC16, 2, 2);
+    let ctx = RunContext::new(&cluster).with_seed(5);
+
+    let mut per_engine: Vec<(String, BTreeMap<String, Vec<u8>>)> = Vec::new();
+    for engine in ppc::engines() {
+        let (report, outputs) = engine.run(&ctx, &workload).unwrap();
+        assert!(
+            report.is_complete(),
+            "{} dropped tasks: {:?}",
+            engine.name(),
+            report.failed
+        );
+        assert_eq!(report.summary.tasks, inputs.len(), "{}", engine.name());
+        // Key outputs by the trailing task file name so the paradigms'
+        // different namespaces (bucket keys vs HDFS paths) line up.
+        let keyed: BTreeMap<String, Vec<u8>> = outputs
+            .into_iter()
+            .map(|(k, v)| {
+                let base = k.rsplit('/').next().unwrap().trim_end_matches(".out");
+                (base.to_string(), v)
+            })
+            .collect();
+        assert_eq!(keyed.len(), inputs.len(), "{} output set", engine.name());
+        per_engine.push((engine.name().to_string(), keyed));
+    }
+    let (first_name, first) = &per_engine[0];
+    for (name, keyed) in &per_engine[1..] {
+        assert_eq!(
+            first, keyed,
+            "outputs differ between {first_name} and {name}"
         );
     }
 }

@@ -2,17 +2,18 @@
 //! correctness contract while its infrastructure misbehaves.
 
 use ppc::classic::fault::FaultPlan;
-use ppc::classic::runtime::{run_job, run_job_autoscaled, ClassicConfig};
 use ppc::classic::spec::JobSpec;
+use ppc::classic::{run as classic_run, ClassicConfig};
 use ppc::compute::cluster::Cluster;
 use ppc::compute::instance::EC2_HCXL;
 use ppc::core::exec::FnExecutor;
 use ppc::core::task::TaskId;
 use ppc::core::task::{ResourceProfile, TaskSpec};
+use ppc::exec::RunContext;
 use ppc::hdfs::block::DataNodeId;
 use ppc::hdfs::fs::MiniHdfs;
 use ppc::mapreduce::job::{ExecutableMapper, MapReduceJob};
-use ppc::mapreduce::runtime::{run_job_with, HadoopConfig};
+use ppc::mapreduce::{run as hadoop_run, HadoopConfig};
 use ppc::queue::chaos::ChaosConfig;
 use ppc::queue::service::QueueService;
 use ppc::storage::consistency::ConsistencyModel;
@@ -84,10 +85,10 @@ fn classic_survives_combined_failures() {
         queue_chaos: ChaosConfig::flaky(),
         ..ClassicConfig::default()
     };
-    let report = run_job(
+    let report = classic_run(
+        &RunContext::new(&cluster),
         &storage,
         &queues,
-        &cluster,
         &job,
         reverse_executor(),
         &config,
@@ -115,7 +116,15 @@ fn hadoop_survives_datanode_loss() {
     fs.kill_datanode(DataNodeId(2)).unwrap();
     let job = MapReduceJob::map_only("loss", paths, "/out");
     let mapper = ExecutableMapper::new("rev", reverse_executor());
-    let report = run_job_with(&fs, &job, &mapper, None, &HadoopConfig::default()).unwrap();
+    let report = hadoop_run(
+        &RunContext::local(),
+        &fs,
+        &job,
+        &mapper,
+        None,
+        &HadoopConfig::default(),
+    )
+    .unwrap();
     assert!(report.is_complete(), "failed: {:?}", report.failed);
     assert_eq!(fs.list("/out/").len(), n);
     // The namenode can restore full replication from survivors.
@@ -147,7 +156,7 @@ fn hadoop_retries_do_not_duplicate_outputs() {
         seed: 5,
         ..HadoopConfig::default()
     };
-    let report = run_job_with(&fs, &job, &mapper, None, &config).unwrap();
+    let report = hadoop_run(&RunContext::local(), &fs, &job, &mapper, None, &config).unwrap();
     assert!(report.is_complete());
     assert!(report.scheduler.retries > 0);
     let outs = fs.list("/out/");
@@ -187,10 +196,10 @@ fn poison_task_bounded_by_dead_letter() {
             Ok(v)
         }
     });
-    let report = run_job(
+    let report = classic_run(
+        &RunContext::new(&cluster),
         &storage,
         &queues,
-        &cluster,
         &job,
         exec,
         &ClassicConfig::default(),
@@ -250,15 +259,13 @@ fn autoscaled_poison_parks_in_dlq_and_redrives() {
         billing_window_s: 0.02,
         billing_hour_s: 0.1,
     };
-    let report = run_job_autoscaled(
+    let report = classic_run(
+        &RunContext::elastic(EC2_HCXL, autoscale.clone(), Vec::new()),
         &storage,
         &queues,
-        EC2_HCXL,
         &job,
-        &[],
         poison,
         &ClassicConfig::default(),
-        &autoscale,
     )
     .unwrap();
     assert_eq!(report.failed, vec![TaskId(7)]);
@@ -298,10 +305,10 @@ fn autoscaled_poison_parks_in_dlq_and_redrives() {
     redrive_job.input_bucket = job.input_bucket.clone();
     redrive_job.output_bucket = job.output_bucket.clone();
     let cluster = Cluster::provision(EC2_HCXL, 1, 2);
-    let report = run_job(
+    let report = classic_run(
+        &RunContext::new(&cluster),
         &storage,
         &queues,
-        &cluster,
         &redrive_job,
         reverse_executor(),
         &ClassicConfig::default(),

@@ -6,10 +6,11 @@
 
 use ppc::apps::gtm::{decode_points, GtmExecutor};
 use ppc::apps::workload::gtm_native_inputs;
-use ppc::classic::runtime::{run_job, ClassicConfig};
 use ppc::classic::spec::JobSpec;
+use ppc::classic::{run as classic_run, ClassicConfig};
 use ppc::compute::cluster::Cluster;
 use ppc::compute::instance::AZURE_SMALL;
+use ppc::exec::RunContext;
 use ppc::gtm::train::{train, GtmModel, TrainConfig};
 use ppc::queue::service::QueueService;
 use ppc::storage::service::StorageService;
@@ -46,10 +47,10 @@ fn gtm_interpolation_through_classic_cloud() {
             .put(&job.input_bucket, &spec.input_key, payload.clone())
             .unwrap();
     }
-    let report = run_job(
+    let report = classic_run(
+        &RunContext::new(&cluster),
         &storage,
         &queues,
-        &cluster,
         &job,
         Arc::new(GtmExecutor::new(worker_model.clone())),
         &ClassicConfig::default(),

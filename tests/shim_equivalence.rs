@@ -1,0 +1,341 @@
+//! The deprecated entry-point shims are pure sugar: every legacy variant
+//! must produce a report bit-identical to the equivalent `RunContext`
+//! call, because each shim only builds the context the caller would have
+//! built by hand. Simulators are compared as serialized JSON (exact,
+//! including float bits); native runs are compared on their deterministic
+//! surface (completed set and output bytes), since wall-clock makespans
+//! differ between any two threaded runs.
+//!
+//! The second half pins the other harness contract: the context's seed
+//! overrides whatever seed the paradigm config carries, for all six entry
+//! points, so one `RunContext` value reproduces a run regardless of the
+//! config it is paired with.
+#![allow(deprecated)]
+
+use ppc::autoscale::{AutoscaleConfig, Policy};
+use ppc::chaos::FaultSchedule;
+use ppc::compute::cluster::Cluster;
+use ppc::compute::instance::{BARE_CAP3, EC2_HCXL};
+use ppc::core::exec::{Executor, FnExecutor};
+use ppc::core::task::{ResourceProfile, TaskSpec};
+use ppc::exec::RunContext;
+use std::sync::Arc;
+
+fn tasks(n: u64) -> Vec<TaskSpec> {
+    (0..n)
+        .map(|i| {
+            let mut p = ResourceProfile::cpu_bound(20.0 + (i % 7) as f64);
+            p.input_bytes = 100 << 10;
+            p.output_bytes = 50 << 10;
+            TaskSpec::new(i, "cap3", format!("f{i}"), p)
+        })
+        .collect()
+}
+
+fn hostile() -> Arc<FaultSchedule> {
+    Arc::new(FaultSchedule::new(13).with_death_probabilities(0.05, 0.02, 0.02))
+}
+
+fn autoscale() -> AutoscaleConfig {
+    AutoscaleConfig {
+        policy: Policy::TargetBacklog { per_worker: 4.0 },
+        min_workers: 1,
+        max_workers: 4,
+        interval_s: 15.0,
+        scale_up_cooldown_s: 60.0,
+        scale_down_cooldown_s: 120.0,
+        warmup_s: 45.0,
+        billing_aware: true,
+        billing_window_s: 180.0,
+        billing_hour_s: 900.0,
+    }
+}
+
+#[test]
+fn classic_sim_shims_match_harness() {
+    let cluster = Cluster::provision(EC2_HCXL, 4, 8);
+    let tasks = tasks(64);
+    let cfg = ppc::classic::SimConfig::ec2();
+
+    let legacy = ppc::classic::sim::simulate(&cluster, &tasks, &cfg);
+    let harness = ppc::classic::simulate(&RunContext::new(&cluster), &tasks, &cfg);
+    assert_eq!(legacy.to_json().to_string(), harness.to_json().to_string());
+
+    let legacy = ppc::classic::sim::simulate_chaos(&cluster, &tasks, &cfg, hostile());
+    let harness = ppc::classic::simulate(
+        &RunContext::new(&cluster).with_schedule(hostile()),
+        &tasks,
+        &cfg,
+    );
+    assert_eq!(legacy.to_json().to_string(), harness.to_json().to_string());
+
+    let fleets = vec![
+        Cluster::provision(EC2_HCXL, 2, 8),
+        Cluster::provision(BARE_CAP3, 1, 8),
+    ];
+    let legacy = ppc::classic::sim::simulate_fleets(&fleets, &tasks, &cfg);
+    let harness = ppc::classic::simulate(&RunContext::on_fleets(fleets.clone()), &tasks, &cfg);
+    assert_eq!(legacy.to_json().to_string(), harness.to_json().to_string());
+
+    let legacy = ppc::classic::sim::simulate_autoscaled(EC2_HCXL, &tasks, &[], &cfg, &autoscale());
+    let harness = ppc::classic::simulate(
+        &RunContext::elastic(EC2_HCXL, autoscale(), Vec::new()),
+        &tasks,
+        &cfg,
+    );
+    assert_eq!(legacy.to_json().to_string(), harness.to_json().to_string());
+}
+
+#[test]
+fn hadoop_sim_shims_match_harness() {
+    let cluster = Cluster::provision(BARE_CAP3, 4, 8);
+    let tasks = tasks(64);
+    let cfg = ppc::mapreduce::HadoopSimConfig::default();
+
+    let legacy = ppc::mapreduce::sim::simulate(&cluster, &tasks, &cfg);
+    let harness = ppc::mapreduce::simulate(&RunContext::new(&cluster), &tasks, &cfg);
+    assert_eq!(legacy.to_json().to_string(), harness.to_json().to_string());
+
+    let legacy = ppc::mapreduce::sim::simulate_chaos(&cluster, &tasks, &cfg, Some(hostile()));
+    let harness = ppc::mapreduce::simulate(
+        &RunContext::new(&cluster).with_schedule(hostile()),
+        &tasks,
+        &cfg,
+    );
+    assert_eq!(legacy.to_json().to_string(), harness.to_json().to_string());
+}
+
+#[test]
+fn dryad_sim_shims_match_harness() {
+    let cluster = Cluster::provision(BARE_CAP3, 4, 8);
+    let tasks = tasks(64);
+    let cfg = ppc::dryad::DryadSimConfig::default();
+
+    let legacy = ppc::dryad::sim::simulate(&cluster, &tasks, &cfg);
+    let harness = ppc::dryad::simulate(&RunContext::new(&cluster), &tasks, &cfg);
+    assert_eq!(legacy.to_json().to_string(), harness.to_json().to_string());
+
+    let legacy = ppc::dryad::sim::simulate_chaos(&cluster, &tasks, &cfg, Some(hostile()));
+    let harness = ppc::dryad::simulate(
+        &RunContext::new(&cluster).with_schedule(hostile()),
+        &tasks,
+        &cfg,
+    );
+    assert_eq!(legacy.to_json().to_string(), harness.to_json().to_string());
+}
+
+fn reverse_executor() -> Arc<dyn Executor> {
+    FnExecutor::new("rev", |_s: &TaskSpec, input: &[u8]| {
+        let mut v = input.to_vec();
+        v.reverse();
+        Ok(v)
+    })
+}
+
+#[test]
+fn classic_native_shim_matches_harness_outputs() {
+    use ppc::classic::spec::JobSpec;
+    use ppc::queue::service::QueueService;
+    use ppc::storage::service::StorageService;
+
+    let run = |legacy: bool| {
+        let storage = StorageService::in_memory();
+        let queues = QueueService::new();
+        let cluster = Cluster::provision(EC2_HCXL, 1, 4);
+        let specs: Vec<TaskSpec> = (0..8)
+            .map(|i| TaskSpec::new(i, "rev", format!("f{i}"), ResourceProfile::cpu_bound(0.0)))
+            .collect();
+        let job = JobSpec::new("shim-eq", specs.clone());
+        storage.create_bucket(&job.input_bucket).unwrap();
+        for spec in &specs {
+            storage
+                .put(
+                    &job.input_bucket,
+                    &spec.input_key,
+                    format!("p{}", spec.id.0).into_bytes(),
+                )
+                .unwrap();
+        }
+        let cfg = ppc::classic::ClassicConfig::default();
+        let report = if legacy {
+            ppc::classic::runtime::run_job(
+                &storage,
+                &queues,
+                &cluster,
+                &job,
+                reverse_executor(),
+                &cfg,
+            )
+            .unwrap()
+        } else {
+            ppc::classic::run(
+                &RunContext::new(&cluster),
+                &storage,
+                &queues,
+                &job,
+                reverse_executor(),
+                &cfg,
+            )
+            .unwrap()
+        };
+        let outputs: Vec<Vec<u8>> = specs
+            .iter()
+            .map(|s| {
+                storage
+                    .get(&job.output_bucket, &s.output_key)
+                    .unwrap()
+                    .to_vec()
+            })
+            .collect();
+        (report.summary.tasks, outputs)
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn hadoop_native_shim_matches_harness_outputs() {
+    use ppc::hdfs::fs::MiniHdfs;
+    use ppc::mapreduce::job::{ExecutableMapper, MapReduceJob};
+
+    let run = |legacy: bool| {
+        let fs = MiniHdfs::new(3, 1 << 20, 2, 7);
+        let mut paths = Vec::new();
+        for i in 0..8 {
+            let p = format!("/in/f{i}");
+            fs.create(&p, format!("p{i}").as_bytes(), None).unwrap();
+            paths.push(p);
+        }
+        let job = MapReduceJob::map_only("shim-eq", paths.clone(), "/out");
+        let mapper = ExecutableMapper::new("rev", reverse_executor());
+        let cfg = ppc::mapreduce::HadoopConfig::default();
+        let report = if legacy {
+            ppc::mapreduce::runtime::run_job_with(&fs, &job, &mapper, None, &cfg).unwrap()
+        } else {
+            ppc::mapreduce::run(&RunContext::local(), &fs, &job, &mapper, None, &cfg).unwrap()
+        };
+        let outputs: Vec<Vec<u8>> = (0..8)
+            .map(|i| fs.read(&format!("/out/f{i}.out")).unwrap())
+            .collect();
+        (report.summary.tasks, outputs)
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn dryad_native_shim_matches_harness_outputs() {
+    let cluster = Cluster::provision(BARE_CAP3, 2, 2);
+    let inputs: Vec<(TaskSpec, Vec<u8>)> = (0..8)
+        .map(|i| {
+            (
+                TaskSpec::new(i, "rev", format!("f{i}"), ResourceProfile::cpu_bound(0.0)),
+                format!("p{i}").into_bytes(),
+            )
+        })
+        .collect();
+    let cfg = ppc::dryad::DryadConfig::default();
+    let (legacy_report, mut legacy_out) = ppc::dryad::runtime::run_homomorphic_job(
+        &cluster,
+        inputs.clone(),
+        reverse_executor(),
+        &cfg,
+    )
+    .unwrap();
+    let (harness_report, mut harness_out) =
+        ppc::dryad::run(&RunContext::new(&cluster), inputs, reverse_executor(), &cfg).unwrap();
+    legacy_out.sort();
+    harness_out.sort();
+    assert_eq!(legacy_out, harness_out);
+    assert_eq!(legacy_report.summary.tasks, harness_report.summary.tasks);
+}
+
+/// Satellite contract: the context's seed wins over the config's, so two
+/// configs that embed different seeds produce bit-identical simulations
+/// when driven by the same `RunContext` — for all three simulators.
+#[test]
+fn context_seed_overrides_config_seed_in_every_simulator() {
+    let tasks = tasks(48);
+    let ctx_of = |c: &Cluster| RunContext::new(c).with_seed(99).with_schedule(hostile());
+
+    let cluster = Cluster::provision(EC2_HCXL, 2, 8);
+    let a = ppc::classic::simulate(
+        &ctx_of(&cluster),
+        &tasks,
+        &ppc::classic::SimConfig::ec2().with_seed(1),
+    );
+    let b = ppc::classic::simulate(
+        &ctx_of(&cluster),
+        &tasks,
+        &ppc::classic::SimConfig::ec2().with_seed(2),
+    );
+    assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+
+    let cluster = Cluster::provision(BARE_CAP3, 2, 8);
+    let a = ppc::mapreduce::simulate(
+        &ctx_of(&cluster),
+        &tasks,
+        &ppc::mapreduce::HadoopSimConfig {
+            seed: 1,
+            ..Default::default()
+        },
+    );
+    let b = ppc::mapreduce::simulate(
+        &ctx_of(&cluster),
+        &tasks,
+        &ppc::mapreduce::HadoopSimConfig {
+            seed: 2,
+            ..Default::default()
+        },
+    );
+    assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+
+    let a = ppc::dryad::simulate(
+        &ctx_of(&cluster),
+        &tasks,
+        &ppc::dryad::DryadSimConfig {
+            seed: 1,
+            ..Default::default()
+        },
+    );
+    let b = ppc::dryad::simulate(
+        &ctx_of(&cluster),
+        &tasks,
+        &ppc::dryad::DryadSimConfig {
+            seed: 2,
+            ..Default::default()
+        },
+    );
+    assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+}
+
+/// The same override on the native side: config seeds lose to the context
+/// seed, observable through identical chaos outcomes (which tasks died and
+/// recovered is a pure function of the effective seed in the dryad
+/// runtime's hash-based fault dice).
+#[test]
+fn context_seed_overrides_config_seed_native_dryad() {
+    let cluster = Cluster::provision(BARE_CAP3, 2, 2);
+    let inputs: Vec<(TaskSpec, Vec<u8>)> = (0..16)
+        .map(|i| {
+            (
+                TaskSpec::new(i, "rev", format!("f{i}"), ResourceProfile::cpu_bound(0.0)),
+                format!("p{i}").into_bytes(),
+            )
+        })
+        .collect();
+    let ctx = RunContext::new(&cluster)
+        .with_seed(99)
+        .with_schedule(hostile());
+    let run_with_config_seed = |seed: u64| {
+        let cfg = ppc::dryad::DryadConfig {
+            seed,
+            ..Default::default()
+        };
+        let (report, _) = ppc::dryad::run(&ctx, inputs.clone(), reverse_executor(), &cfg).unwrap();
+        (
+            report.summary.tasks,
+            report.worker_deaths,
+            report.core.total_attempts,
+        )
+    };
+    assert_eq!(run_with_config_seed(1), run_with_config_seed(2));
+}

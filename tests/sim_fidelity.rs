@@ -2,13 +2,14 @@
 //! control exactly, the discrete-event simulation must predict the native
 //! threaded runtime's makespan.
 
-use ppc::classic::runtime::{run_job, ClassicConfig};
-use ppc::classic::sim::{simulate, SimConfig};
 use ppc::classic::spec::JobSpec;
+use ppc::classic::{run as classic_run, ClassicConfig};
+use ppc::classic::{simulate as classic_simulate, SimConfig};
 use ppc::compute::cluster::Cluster;
 use ppc::compute::instance::EC2_HCXL;
 use ppc::core::exec::FnExecutor;
 use ppc::core::task::{ResourceProfile, TaskSpec};
+use ppc::exec::RunContext;
 use ppc::queue::service::QueueService;
 use ppc::storage::latency::LatencyModel;
 use ppc::storage::service::StorageService;
@@ -49,10 +50,10 @@ fn simulated_makespan_predicts_native() {
         std::thread::sleep(Duration::from_secs_f64(sleep_s));
         Ok(input.to_vec())
     });
-    let native = run_job(
+    let native = classic_run(
+        &RunContext::new(&cluster),
         &storage,
         &queues,
-        &cluster,
         &job,
         exec,
         &ClassicConfig::default(),
@@ -66,7 +67,7 @@ fn simulated_makespan_predicts_native() {
         jitter_sigma: 0.0,
         ..SimConfig::ec2()
     };
-    let simulated = simulate(&cluster, &tasks(n_tasks, sleep_s), &cfg);
+    let simulated = classic_simulate(&RunContext::new(&cluster), &tasks(n_tasks, sleep_s), &cfg);
 
     // Ideal: 32 tasks / 4 workers x 20 ms = 160 ms.
     let ideal = n_tasks as f64 / 4.0 * sleep_s;
@@ -95,8 +96,8 @@ fn hadoop_sim_predicts_native_makespan() {
     use ppc::core::exec::FnExecutor;
     use ppc::hdfs::fs::MiniHdfs;
     use ppc::mapreduce::job::{ExecutableMapper, MapReduceJob};
-    use ppc::mapreduce::runtime::{run_job_with, HadoopConfig};
-    use ppc::mapreduce::sim::{simulate as hadoop_sim, HadoopSimConfig};
+    use ppc::mapreduce::{run as hadoop_run, HadoopConfig};
+    use ppc::mapreduce::{simulate as hadoop_sim, HadoopSimConfig};
     use ppc::storage::latency::LatencyModel;
 
     let sleep_s = 0.02;
@@ -120,7 +121,7 @@ fn hadoop_sim_predicts_native_makespan() {
         slots_per_node: 3,
         ..HadoopConfig::default()
     };
-    let native = run_job_with(&fs, &job, &mapper, None, &config).unwrap();
+    let native = hadoop_run(&RunContext::local(), &fs, &job, &mapper, None, &config).unwrap();
 
     // --- simulated twin (no dispatch overhead, free IO, BARE_CAP3 runs at
     // the 2.5 GHz reference clock so cpu_seconds_ref maps 1:1) ---
@@ -134,7 +135,7 @@ fn hadoop_sim_predicts_native_makespan() {
         speculative: false,
         ..HadoopSimConfig::default()
     };
-    let simulated = hadoop_sim(&cluster, &sim_tasks, &cfg);
+    let simulated = hadoop_sim(&RunContext::new(&cluster), &sim_tasks, &cfg);
 
     // Ideal: 24 tasks / 6 slots x 20 ms = 80 ms.
     let ideal = n_tasks as f64 / 6.0 * sleep_s;
@@ -170,16 +171,20 @@ fn sim_and_native_agree_on_queue_accounting() {
             .unwrap();
     }
     let exec = FnExecutor::new("quick", |_s, i: &[u8]| Ok(i.to_vec()));
-    let native = run_job(
+    let native = classic_run(
+        &RunContext::new(&cluster),
         &storage,
         &queues,
-        &cluster,
         &job,
         exec,
         &ClassicConfig::default(),
     )
     .unwrap();
-    let simulated = simulate(&cluster, &tasks(n_tasks, 0.001), &SimConfig::ec2());
+    let simulated = classic_simulate(
+        &RunContext::new(&cluster),
+        &tasks(n_tasks, 0.001),
+        &SimConfig::ec2(),
+    );
 
     for (label, r) in [
         ("native", native.queue_requests),

@@ -21,19 +21,20 @@
 //! the invariants must hold for any seed.
 
 use ppc::chaos::FaultSchedule;
-use ppc::classic::runtime::{run_job, ClassicConfig};
-use ppc::classic::sim::{simulate_chaos as classic_simulate_chaos, SimConfig};
 use ppc::classic::spec::JobSpec;
+use ppc::classic::{run as classic_run, ClassicConfig};
+use ppc::classic::{simulate as classic_simulate, SimConfig};
 use ppc::compute::cluster::Cluster;
 use ppc::compute::instance::{BARE_CAP3, EC2_HCXL};
 use ppc::core::exec::{Executor, FnExecutor};
 use ppc::core::task::{ResourceProfile, TaskSpec};
-use ppc::dryad::runtime::{run_homomorphic_job_chaos, DryadConfig};
-use ppc::dryad::sim::{simulate_chaos as dryad_simulate_chaos, DryadSimConfig};
+use ppc::dryad::{run as dryad_run, DryadConfig};
+use ppc::dryad::{simulate as dryad_simulate, DryadSimConfig};
+use ppc::exec::RunContext;
 use ppc::hdfs::fs::MiniHdfs;
 use ppc::mapreduce::job::{ExecutableMapper, MapReduceJob};
-use ppc::mapreduce::runtime::{run_job_with, HadoopConfig};
-use ppc::mapreduce::sim::{simulate_chaos as hadoop_simulate_chaos, HadoopSimConfig};
+use ppc::mapreduce::{run as hadoop_run, HadoopConfig};
+use ppc::mapreduce::{simulate as hadoop_simulate, HadoopSimConfig};
 use ppc::queue::service::QueueService;
 use ppc::storage::service::StorageService;
 use ppc::trace::{EventKind, Recorder, Trace};
@@ -173,10 +174,10 @@ fn classic_native_trace_conforms() {
         trace: Some(Arc::new(Recorder::new())),
         ..ClassicConfig::default()
     };
-    let report = run_job(
+    let report = classic_run(
+        &RunContext::new(&cluster),
         &storage,
         &queues,
-        &cluster,
         &job,
         reverse_executor(),
         &config,
@@ -187,7 +188,7 @@ fn classic_native_trace_conforms() {
     let trace = report.trace.as_ref().expect("trace recorded");
     // Classic native: double-ack under the visibility-timeout race is
     // benign, so completed tasks may hold more than one terminal span.
-    let reruns = report.total_executions.saturating_sub(N_TASKS as usize);
+    let reruns = report.total_attempts.saturating_sub(N_TASKS as usize);
     assert_conformant(trace, &report.summary, reruns, usize::MAX);
     // Fleet lifecycle made it into the trace: every worker announced.
     assert_eq!(
@@ -203,10 +204,14 @@ fn classic_sim_trace_conforms() {
     let tasks = sim_tasks(64);
     let mut cfg = SimConfig::ec2().with_failures(0.0, 60.0);
     cfg.trace = true;
-    let report = classic_simulate_chaos(&cluster, &tasks, &cfg, hostile());
+    let report = classic_simulate(
+        &RunContext::new(&cluster).with_schedule(hostile()),
+        &tasks,
+        &cfg,
+    );
     assert!(report.is_complete());
     let trace = report.trace.as_ref().expect("trace recorded");
-    let reruns = report.total_executions.saturating_sub(64);
+    let reruns = report.total_attempts.saturating_sub(64);
     assert_conformant(trace, &report.summary, reruns, 1);
 }
 
@@ -227,7 +232,7 @@ fn hadoop_native_trace_conforms() {
         trace: Some(Arc::new(Recorder::new())),
         ..HadoopConfig::default()
     };
-    let report = run_job_with(&fs, &job, &mapper, None, &config).unwrap();
+    let report = hadoop_run(&RunContext::local(), &fs, &job, &mapper, None, &config).unwrap();
     assert!(report.is_complete(), "failed: {:?}", report.failed);
 
     let trace = report.trace.as_ref().expect("trace recorded");
@@ -244,7 +249,11 @@ fn hadoop_sim_trace_conforms() {
         trace: true,
         ..HadoopSimConfig::default()
     };
-    let report = hadoop_simulate_chaos(&cluster, &tasks, &cfg, Some(hostile()));
+    let report = hadoop_simulate(
+        &RunContext::new(&cluster).with_schedule(hostile()),
+        &tasks,
+        &cfg,
+    );
     assert!(report.is_complete(), "failed: {:?}", report.failed);
     let trace = report.trace.as_ref().expect("trace recorded");
     let reruns = report.total_attempts.saturating_sub(64);
@@ -266,12 +275,11 @@ fn dryad_native_trace_conforms() {
         trace: Some(Arc::new(Recorder::new())),
         ..DryadConfig::default()
     };
-    let (report, outputs) = run_homomorphic_job_chaos(
-        &cluster,
+    let (report, outputs) = dryad_run(
+        &RunContext::new(&cluster).with_schedule(hostile()),
         inputs,
         reverse_executor(),
         &config,
-        Some(hostile()),
     )
     .unwrap();
     assert_eq!(outputs.len(), N_TASKS as usize);
@@ -288,7 +296,11 @@ fn dryad_sim_trace_conforms() {
         trace: true,
         ..DryadSimConfig::default()
     };
-    let report = dryad_simulate_chaos(&cluster, &tasks, &cfg, Some(hostile()));
+    let report = dryad_simulate(
+        &RunContext::new(&cluster).with_schedule(hostile()),
+        &tasks,
+        &cfg,
+    );
     assert_eq!(report.vertex_failures, 0);
     let trace = report.trace.as_ref().expect("trace recorded");
     assert_conformant(trace, &report.summary, report.vertex_retries, 1);

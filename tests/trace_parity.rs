@@ -9,20 +9,21 @@
 //! legitimately differ: the sim runs modeled 2010 hardware, the native
 //! engines run on this machine.
 
-use ppc::classic::runtime::{run_job, ClassicConfig};
-use ppc::classic::sim::{simulate, SimConfig};
 use ppc::classic::spec::JobSpec;
+use ppc::classic::{run as classic_run, ClassicConfig};
+use ppc::classic::{simulate as classic_simulate, SimConfig};
 use ppc::compute::cluster::Cluster;
 use ppc::compute::instance::{BARE_CAP3, EC2_HCXL};
 use ppc::compute::model::AppModel;
 use ppc::core::exec::{Executor, FnExecutor};
 use ppc::core::task::{ResourceProfile, TaskSpec};
-use ppc::dryad::runtime::{run_homomorphic_job, DryadConfig};
-use ppc::dryad::sim::{simulate as dryad_simulate, DryadSimConfig};
+use ppc::dryad::{run as dryad_run, DryadConfig};
+use ppc::dryad::{simulate as dryad_simulate, DryadSimConfig};
+use ppc::exec::RunContext;
 use ppc::hdfs::fs::MiniHdfs;
 use ppc::mapreduce::job::{ExecutableMapper, MapReduceJob};
-use ppc::mapreduce::runtime::{run_job_with, HadoopConfig};
-use ppc::mapreduce::sim::{simulate as hadoop_simulate, HadoopSimConfig};
+use ppc::mapreduce::{run as hadoop_run, HadoopConfig};
+use ppc::mapreduce::{simulate as hadoop_simulate, HadoopSimConfig};
 use ppc::queue::service::QueueService;
 use ppc::storage::service::StorageService;
 use ppc::trace::{OverheadReport, Phase, Recorder, Trace};
@@ -119,14 +120,22 @@ fn classic_native_and_sim_speak_the_same_trace_language() {
         trace: Some(Arc::new(Recorder::new())),
         ..ClassicConfig::default()
     };
-    let native = run_job(&storage, &queues, &cluster, &job, cap3_executor(), &config).unwrap();
+    let native = classic_run(
+        &RunContext::new(&cluster),
+        &storage,
+        &queues,
+        &job,
+        cap3_executor(),
+        &config,
+    )
+    .unwrap();
     assert!(native.is_complete());
 
     // Simulated run of the same shape.
     let cluster = Cluster::provision(EC2_HCXL, 2, 2);
     let mut cfg = SimConfig::ec2().with_app(AppModel::cap3());
     cfg.trace = true;
-    let sim = simulate(&cluster, &cap3_sim_tasks(), &cfg);
+    let sim = classic_simulate(&RunContext::new(&cluster), &cap3_sim_tasks(), &cfg);
     assert!(sim.is_complete());
 
     assert_parity(native.trace.as_ref().unwrap(), sim.trace.as_ref().unwrap());
@@ -147,7 +156,7 @@ fn hadoop_native_and_sim_speak_the_same_trace_language() {
         trace: Some(Arc::new(Recorder::new())),
         ..HadoopConfig::default()
     };
-    let native = run_job_with(&fs, &job, &mapper, None, &config).unwrap();
+    let native = hadoop_run(&RunContext::local(), &fs, &job, &mapper, None, &config).unwrap();
     assert!(native.is_complete());
 
     let cluster = Cluster::provision(BARE_CAP3, 2, 2);
@@ -156,7 +165,7 @@ fn hadoop_native_and_sim_speak_the_same_trace_language() {
         trace: true,
         ..HadoopSimConfig::default()
     };
-    let sim = hadoop_simulate(&cluster, &cap3_sim_tasks(), &cfg);
+    let sim = hadoop_simulate(&RunContext::new(&cluster), &cap3_sim_tasks(), &cfg);
     assert!(sim.is_complete());
 
     assert_parity(native.trace.as_ref().unwrap(), sim.trace.as_ref().unwrap());
@@ -183,7 +192,7 @@ fn dryad_native_and_sim_speak_the_same_trace_language() {
         ..DryadConfig::default()
     };
     let (native, outputs) =
-        run_homomorphic_job(&cluster, inputs, cap3_executor(), &config).unwrap();
+        dryad_run(&RunContext::new(&cluster), inputs, cap3_executor(), &config).unwrap();
     assert_eq!(outputs.len(), N_TASKS as usize);
 
     let cluster = Cluster::provision(BARE_CAP3, 2, 2);
@@ -192,7 +201,7 @@ fn dryad_native_and_sim_speak_the_same_trace_language() {
         trace: true,
         ..DryadSimConfig::default()
     };
-    let sim = dryad_simulate(&cluster, &cap3_sim_tasks(), &cfg);
+    let sim = dryad_simulate(&RunContext::new(&cluster), &cap3_sim_tasks(), &cfg);
 
     assert_parity(native.trace.as_ref().unwrap(), sim.trace.as_ref().unwrap());
 }
