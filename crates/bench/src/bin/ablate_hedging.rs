@@ -1,0 +1,17 @@
+//! Hedged vs unhedged tail latency under a gray straggler, across all
+//! three paradigm simulators. Prints the figure and writes the full
+//! machine-readable quantile report.
+//!
+//! ```bash
+//! cargo run --release -p ppc-bench --bin ablate_hedging -- BENCH_resilience.json
+//! ```
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_resilience.json".into());
+    let (fig, json) = ppc_bench::ablations::resilience_bench();
+    std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("wrote {out}");
+    println!("{fig}");
+}

@@ -58,6 +58,7 @@ fn exhibits() -> Vec<Exhibit> {
             "ablate_speculation",
             ppc_bench::ablations::ablate_speculation(),
         ),
+        Figure("ablate_hedging", ppc_bench::ablations::ablate_hedging()),
         Figure(
             "ablate_nic_contention",
             ppc_bench::ablations::ablate_nic_contention(),

@@ -41,6 +41,7 @@ pub fn run(
     cfg.fault.seed = ctx.seed_or(cfg.fault.seed);
     cfg.schedule = ctx.schedule_or(&cfg.schedule);
     cfg.trace = ctx.sink_or(&cfg.trace);
+    cfg.resilience = ctx.resilience_or(&cfg.resilience);
     match &ctx.fleet {
         FleetPlan::Fixed(_) => {
             let fleets = ctx.fixed_fleets()?;
@@ -66,6 +67,7 @@ pub fn simulate(ctx: &RunContext, tasks: &[TaskSpec], cfg: &SimConfig) -> Classi
     let mut cfg = *cfg;
     cfg.seed = ctx.seed_or(cfg.seed);
     cfg.trace = ctx.trace_or(cfg.trace);
+    cfg.resilience = ctx.resilience_or(&cfg.resilience);
     let schedule = ctx.schedule.clone();
     match &ctx.fleet {
         FleetPlan::Fixed(fleets) => crate::sim::sim_fleets_impl(fleets, tasks, &cfg, schedule),

@@ -23,9 +23,10 @@ use ppc_core::{PpcError, Result};
 use ppc_exec::{RunContext, RunReport};
 use ppc_queue::queue::QueueConfig;
 use ppc_queue::service::QueueService;
+use ppc_resilience::{DeadlineConfig, Health, HealthTracker, HedgePolicy, ResiliencePolicy};
 use ppc_storage::service::StorageService;
 use ppc_trace::{AttemptMarker, EventKind, Phase, RunMeta, Span, TraceEvent, TraceSink, NO_WORKER};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -69,6 +70,14 @@ pub struct ClassicConfig {
     /// carries the finished [`ppc_trace::Trace`]. `None` keeps the hot
     /// path free of any recording cost.
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Straggler and gray-failure defense (hedged duplicate messages,
+    /// health-scored worker quarantine, per-task deadlines). `None` — the
+    /// default — keeps the legacy behavior bit-identical: recovery is the
+    /// visibility timeout alone. Hedging and deadlines re-dispatch the
+    /// task body through the scheduling queue (the Classic analogue of
+    /// speculation); first result wins by output idempotence and the
+    /// monitor's done-set dedupe.
+    pub resilience: Option<ResiliencePolicy>,
 }
 
 impl Default for ClassicConfig {
@@ -84,6 +93,7 @@ impl Default for ClassicConfig {
             storage_breaker_reset_s: 0.005,
             progress: None,
             trace: None,
+            resilience: None,
         }
     }
 }
@@ -101,7 +111,171 @@ fn validate_config(config: &ClassicConfig) -> Result<()> {
     if let Some(schedule) = &config.schedule {
         schedule.validate()?;
     }
+    if let Some(policy) = &config.resilience {
+        policy.validate()?;
+    }
     Ok(())
+}
+
+/// Worker-health helpers shared by both native bodies: score an attempt
+/// outcome into the tracker and surface Healthy→Quarantined transitions as
+/// trace events. No-ops when quarantine is off.
+fn note_failure(
+    health: Option<&Mutex<HealthTracker>>,
+    sink: Option<&dyn TraceSink>,
+    worker: u32,
+    now_s: f64,
+) {
+    if let Some(h) = health {
+        let mut tracker = h.lock().unwrap();
+        let benched_before = matches!(tracker.health(worker), Health::Quarantined { .. });
+        tracker.record_failure(worker, now_s);
+        if !benched_before && matches!(tracker.health(worker), Health::Quarantined { .. }) {
+            if let Some(s) = sink {
+                s.event(TraceEvent {
+                    at_s: now_s,
+                    worker,
+                    kind: EventKind::Quarantine,
+                });
+            }
+        }
+    }
+}
+
+fn note_success(
+    health: Option<&Mutex<HealthTracker>>,
+    sink: Option<&dyn TraceSink>,
+    worker: u32,
+    latency_s: f64,
+    now_s: f64,
+) {
+    if let Some(h) = health {
+        let mut tracker = h.lock().unwrap();
+        let benched_before = matches!(tracker.health(worker), Health::Quarantined { .. });
+        tracker.record_success(worker, latency_s, now_s);
+        if !benched_before && matches!(tracker.health(worker), Health::Quarantined { .. }) {
+            if let Some(s) = sink {
+                s.event(TraceEvent {
+                    at_s: now_s,
+                    worker,
+                    kind: EventKind::Quarantine,
+                });
+            }
+        }
+    }
+}
+
+/// The monitor thread's straggler defense: watches `start:`/`done:`
+/// progress reports against the run clock and re-dispatches the bodies of
+/// tasks that outlive the hedge delay (a duplicate attempt races the
+/// straggler — Hadoop's speculation generalized to queue re-dispatch) or
+/// their deadline (cancel-and-requeue). First result wins: outputs are
+/// idempotent overwrites and the done set ignores late duplicates.
+struct MonitorDefense {
+    hedge: Option<HedgePolicy>,
+    deadline: Option<DeadlineConfig>,
+    /// Message body of each task, for re-dispatch.
+    bodies: HashMap<u64, String>,
+    /// Start time of the most recent attempt of each unresolved task.
+    running: HashMap<u64, f64>,
+    /// Tasks already hedged once (one duplicate per task).
+    hedged: HashSet<u64>,
+    n_tasks: usize,
+}
+
+impl MonitorDefense {
+    /// Build the defense when the policy asks for hedging or deadlines.
+    fn new(config: &ClassicConfig, job: &JobSpec) -> Option<MonitorDefense> {
+        let policy = config.resilience?;
+        if policy.hedge.is_none() && policy.deadline.is_none() {
+            return None;
+        }
+        let bodies = job
+            .tasks
+            .iter()
+            .filter_map(|t| t.to_message().ok().map(|b| (t.id.0, b)))
+            .collect();
+        Some(MonitorDefense {
+            hedge: policy.hedge.map(HedgePolicy::new),
+            deadline: policy.deadline,
+            bodies,
+            running: HashMap::new(),
+            hedged: HashSet::new(),
+            n_tasks: job.tasks.len(),
+        })
+    }
+
+    fn on_start(&mut self, id: u64, now_s: f64) {
+        self.running.insert(id, now_s);
+    }
+
+    fn on_done(&mut self, id: u64, now_s: f64) {
+        if let Some(started) = self.running.remove(&id) {
+            if let Some(policy) = &mut self.hedge {
+                policy.observe(now_s - started);
+            }
+        }
+        self.hedged.remove(&id);
+    }
+
+    /// One pass over the running set: hedge stragglers, cancel-and-requeue
+    /// deadline breaches. Called on every monitor iteration.
+    fn sweep(
+        &mut self,
+        sched: &ppc_queue::Queue,
+        sink: Option<&dyn TraceSink>,
+        done: &HashSet<u64>,
+        now_s: f64,
+    ) {
+        let ids: Vec<u64> = self.running.keys().copied().collect();
+        for id in ids {
+            if done.contains(&id) {
+                self.running.remove(&id);
+                continue;
+            }
+            let started = self.running[&id];
+            let age = now_s - started;
+            if let Some(d) = self.deadline {
+                if age > d.timeout_s {
+                    // Cancel-and-requeue: the stuck attempt is abandoned to
+                    // its lease and a fresh copy of the task re-enters the
+                    // queue right now instead of waiting out the
+                    // visibility timeout.
+                    if let Some(body) = self.bodies.get(&id) {
+                        if sched.send(body.clone()).is_ok() {
+                            if let Some(s) = sink {
+                                s.event(TraceEvent {
+                                    at_s: now_s,
+                                    worker: NO_WORKER,
+                                    kind: EventKind::Cancel,
+                                });
+                            }
+                            self.running.insert(id, now_s);
+                        }
+                    }
+                    continue;
+                }
+            }
+            if let Some(policy) = &mut self.hedge {
+                let live = if self.hedged.contains(&id) { 2 } else { 1 };
+                if policy.should_hedge(age, live, self.n_tasks) {
+                    if let Some(body) = self.bodies.get(&id) {
+                        if sched.send(body.clone()).is_ok() {
+                            policy.record_hedge();
+                            self.hedged.insert(id);
+                            if let Some(s) = sink {
+                                s.event(TraceEvent {
+                                    at_s: now_s,
+                                    worker: NO_WORKER,
+                                    kind: EventKind::Hedge,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Create (or reuse) the job's dead-letter queue. Unlike the scheduling
@@ -309,6 +483,11 @@ pub(crate) fn run_on_fleets_impl(
         config.storage_breaker_threshold,
         config.storage_breaker_reset_s,
     );
+    let health: Option<Mutex<HealthTracker>> = config
+        .resilience
+        .and_then(|p| p.quarantine)
+        .map(|q| Mutex::new(HealthTracker::new(q)));
+    let health = health.as_ref();
 
     let storage_before = storage.metering().snapshot();
     let requests_before = queues.total_requests();
@@ -348,7 +527,7 @@ pub(crate) fn run_on_fleets_impl(
 
     std::thread::scope(|scope| {
         // Monitor: drains the monitoring queue, decides when the job is done.
-        scope.spawn(|| monitor_loop(&monitor, config, &shared, n_tasks));
+        scope.spawn(|| monitor_loop(&monitor, &sched, config, &shared, job, &clock));
 
         // Workers: one thread per worker slot, across every fleet. The
         // chaos schedule addresses workers by their flat spawn index.
@@ -390,6 +569,7 @@ pub(crate) fn run_on_fleets_impl(
                         fleet_id,
                         &mut chaos,
                         breaker,
+                        health,
                     );
                 }
             });
@@ -467,15 +647,23 @@ fn finalize_trace(config: &ClassicConfig, report: &mut ClassicReport) {
 }
 
 /// The monitor thread body: drains the monitoring queue and flips
-/// `shared.stop` once every task is resolved (done or failed).
+/// `shared.stop` once every task is resolved (done or failed). When a
+/// resilience policy with hedging or deadlines is set, the monitor also
+/// plays job manager: it tracks `start:` progress reports and re-dispatches
+/// straggling tasks through `sched` (see [`MonitorDefense`]).
 fn monitor_loop(
     monitor: &ppc_queue::Queue,
+    sched: &ppc_queue::Queue,
     config: &ClassicConfig,
     shared: &Shared,
-    n_tasks: usize,
+    job: &JobSpec,
+    clock: &RunClock,
 ) {
+    let n_tasks = job.tasks.len();
     let mut done: HashSet<u64> = HashSet::with_capacity(n_tasks);
     let mut failed: HashSet<u64> = HashSet::new();
+    let mut defense = MonitorDefense::new(config, job);
+    let sink = live_sink(config);
     while !shared.stop.load(Ordering::Acquire) {
         match monitor.receive_wait(config.long_poll_wait) {
             Ok(Some(msg)) => {
@@ -483,11 +671,20 @@ fn monitor_loop(
                     if let Ok(id) = id.parse::<u64>() {
                         done.insert(id);
                         failed.remove(&id); // a late success still counts
+                        if let Some(d) = &mut defense {
+                            d.on_done(id, clock.now_s());
+                        }
                     }
                 } else if let Some(id) = msg.body.strip_prefix("fail:") {
                     if let Ok(id) = id.parse::<u64>() {
                         if !done.contains(&id) {
                             failed.insert(id);
+                        }
+                    }
+                } else if let Some(id) = msg.body.strip_prefix("start:") {
+                    if let (Ok(id), Some(d)) = (id.parse::<u64>(), &mut defense) {
+                        if !done.contains(&id) {
+                            d.on_start(id, clock.now_s());
                         }
                     }
                 }
@@ -512,6 +709,9 @@ fn monitor_loop(
             }
             Err(_) => std::thread::sleep(config.poll_backoff),
         }
+        if let Some(d) = &mut defense {
+            d.sweep(sched, sink, &done, clock.now_s());
+        }
     }
 }
 
@@ -534,9 +734,34 @@ fn poll_once(
     fleet_id: usize,
     chaos: &mut WorkerChaos<'_>,
     breaker: &CircuitBreaker,
+    health: Option<&Mutex<HealthTracker>>,
 ) {
     let restart_delay = Duration::from_millis(config.fault.restart_delay_ms);
     let sink = live_sink(config);
+
+    // Health-scored quarantine: a benched worker stays off the assignment
+    // path entirely (it does not even receive), then re-enters through
+    // probation when its bench expires.
+    if let Some(h) = health {
+        let now_s = chaos.clock.now_s();
+        let mut tracker = h.lock().unwrap();
+        let benched_before = matches!(tracker.health(chaos.worker), Health::Quarantined { .. });
+        if !tracker.allow(chaos.worker, now_s) {
+            drop(tracker);
+            std::thread::sleep(config.poll_backoff);
+            return;
+        }
+        if benched_before {
+            if let Some(s) = sink {
+                s.event(TraceEvent {
+                    at_s: now_s,
+                    worker: chaos.worker,
+                    kind: EventKind::Release,
+                });
+            }
+        }
+    }
+
     let polled_at = sink.map(|_| chaos.clock.now_s());
     // Long polling (SQS WaitTimeSeconds): one billable request per wait
     // window instead of a busy-poll storm.
@@ -565,6 +790,7 @@ fn poll_once(
         }
     };
     let seq = chaos.next_seq();
+    let attempt_began_s = chaos.clock.now_s();
 
     // Attempt number = redelivery ordinal, so chaos re-executions show up
     // in the trace as distinct attempts of the same task. The structural
@@ -590,6 +816,15 @@ fn poll_once(
         return;
     }
 
+    // Progress report for the monitor's straggler defense: lets it hedge
+    // or deadline-cancel this attempt if it never reports done.
+    if config
+        .resilience
+        .is_some_and(|p| p.hedge.is_some() || p.deadline.is_some())
+    {
+        let _ = monitor.send(format!("start:{}", spec.id.0));
+    }
+
     // Injected death between receive and execute — a timed kill from the
     // schedule or an i.i.d. roll. The message stays in flight and
     // reappears after the visibility timeout.
@@ -602,6 +837,7 @@ fn poll_once(
                 kind: EventKind::Death,
             });
         }
+        note_failure(health, sink, chaos.worker, chaos.clock.now_s());
         std::thread::sleep(restart_delay);
         return;
     }
@@ -648,6 +884,7 @@ fn poll_once(
             if let Some(tt) = tt.as_mut() {
                 tt.mark(Phase::Execute, chaos.clock.now_s());
             }
+            note_failure(health, sink, chaos.worker, chaos.clock.now_s());
             return;
         }
     };
@@ -674,6 +911,7 @@ fn poll_once(
                 kind: EventKind::Death,
             });
         }
+        note_failure(health, sink, chaos.worker, chaos.clock.now_s());
         std::thread::sleep(restart_delay);
         return;
     }
@@ -682,6 +920,7 @@ fn poll_once(
     if chaos.torn_upload(seq) {
         let torn = output[..output.len() / 2].to_vec();
         let _ = storage.put(&job.output_bucket, &spec.output_key, torn);
+        note_failure(health, sink, chaos.worker, chaos.clock.now_s());
         return;
     }
 
@@ -709,6 +948,7 @@ fn poll_once(
                 kind: EventKind::Death,
             });
         }
+        note_failure(health, sink, chaos.worker, chaos.clock.now_s());
         std::thread::sleep(restart_delay);
         return;
     }
@@ -718,8 +958,10 @@ fn poll_once(
     // A stale receipt here means someone else finished the task first —
     // harmless by idempotence.
     let _ = sched.delete(msg.receipt);
+    let done_s = chaos.clock.now_s();
+    note_success(health, sink, chaos.worker, done_s - attempt_began_s, done_s);
     if let Some(tt) = tt.as_mut() {
-        tt.mark(Phase::Ack, chaos.clock.now_s());
+        tt.mark(Phase::Ack, done_s);
     }
 }
 
@@ -807,6 +1049,11 @@ pub(crate) fn run_autoscaled_impl(
         config.storage_breaker_threshold,
         config.storage_breaker_reset_s,
     );
+    let health: Option<Mutex<HealthTracker>> = config
+        .resilience
+        .and_then(|p| p.quarantine)
+        .map(|q| Mutex::new(HealthTracker::new(q)));
+    let health = health.as_ref();
 
     let storage_before = storage.metering().snapshot();
     let requests_before = queues.total_requests();
@@ -835,7 +1082,7 @@ pub(crate) fn run_autoscaled_impl(
     let start = Instant::now();
 
     std::thread::scope(|scope| {
-        scope.spawn(|| monitor_loop(&monitor, config, &shared, n_tasks));
+        scope.spawn(|| monitor_loop(&monitor, &sched, config, &shared, job, &clock));
 
         // Client: sends each task at its arrival offset.
         scope.spawn(|| {
@@ -924,6 +1171,7 @@ pub(crate) fn run_autoscaled_impl(
                             0,
                             &mut chaos,
                             breaker,
+                            health,
                         );
                     }
                     if drain.load(Ordering::Acquire) {

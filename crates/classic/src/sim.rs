@@ -23,11 +23,12 @@ use ppc_core::task::TaskSpec;
 use ppc_core::{PpcError, Result};
 use ppc_des::{Engine, SimTime};
 use ppc_exec::{RunContext, RunReport};
+use ppc_resilience::{Health, HealthTracker, HedgePolicy, ResiliencePolicy};
 use ppc_storage::latency::LatencyModel;
 use ppc_storage::metering::MeteringSnapshot;
 use ppc_trace::{EventKind, Phase, Recorder, RunMeta, Span, TraceEvent, TraceSink, NO_WORKER};
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -59,6 +60,12 @@ pub struct SimConfig {
     /// the regime where paper-scale tasks live; enable it to study
     /// IO-heavy workloads (the `ablate_nic_contention` bench).
     pub nic_bandwidth_bytes_per_s: Option<f64>,
+    /// Straggler and gray-failure defense (hedged duplicate messages,
+    /// health-scored worker quarantine, per-task deadlines) — the DES twin
+    /// of [`crate::runtime::ClassicConfig::resilience`]. `None` (default)
+    /// keeps legacy behavior bit-identical. Hedging and deadlines are not
+    /// modeled on the NIC-contention path.
+    pub resilience: Option<ResiliencePolicy>,
 }
 
 impl SimConfig {
@@ -74,6 +81,7 @@ impl SimConfig {
             jitter_sigma: 0.02,
             trace: false,
             nic_bandwidth_bytes_per_s: None,
+            resilience: None,
         }
     }
 
@@ -121,6 +129,9 @@ impl SimConfig {
                 "sim config: visibility_timeout_s = {} must be positive when failures are on",
                 self.visibility_timeout_s
             )));
+        }
+        if let Some(policy) = &self.resilience {
+            policy.validate()?;
         }
         Ok(())
     }
@@ -201,6 +212,54 @@ fn record_attempt(
     ));
 }
 
+/// Score a failed attempt into the health tracker (if any), emitting a
+/// `Quarantine` event on the Healthy→Quarantined edge. No-op on legacy runs.
+fn sim_note_failure(
+    health: &mut Option<HealthTracker>,
+    rec: &Option<Recorder>,
+    worker: u32,
+    now_s: f64,
+) {
+    if let Some(tracker) = health {
+        let benched_before = matches!(tracker.health(worker), Health::Quarantined { .. });
+        tracker.record_failure(worker, now_s);
+        if !benched_before && matches!(tracker.health(worker), Health::Quarantined { .. }) {
+            if let Some(rec) = rec {
+                rec.event(TraceEvent {
+                    at_s: now_s,
+                    worker,
+                    kind: EventKind::Quarantine,
+                });
+            }
+        }
+    }
+}
+
+/// Score a successful attempt's latency into the health tracker (if any) —
+/// a gray-slow worker can be benched off a success, so this too can emit
+/// the `Quarantine` event. No-op on legacy runs.
+fn sim_note_success(
+    health: &mut Option<HealthTracker>,
+    rec: &Option<Recorder>,
+    worker: u32,
+    latency_s: f64,
+    now_s: f64,
+) {
+    if let Some(tracker) = health {
+        let benched_before = matches!(tracker.health(worker), Health::Quarantined { .. });
+        tracker.record_success(worker, latency_s, now_s);
+        if !benched_before && matches!(tracker.health(worker), Health::Quarantined { .. }) {
+            if let Some(rec) = rec {
+                rec.event(TraceEvent {
+                    at_s: now_s,
+                    worker,
+                    kind: EventKind::Quarantine,
+                });
+            }
+        }
+    }
+}
+
 struct SimState {
     rec: Option<Recorder>,
     /// Next attempt index per task id (allocated at message pull).
@@ -224,6 +283,23 @@ struct SimState {
     task_seqs: Vec<u32>,
     /// Per-worker virtual time of the last timed-kill check.
     last_kill: Vec<f64>,
+    /// Hedging state when the run carries a [`ResiliencePolicy`] with a
+    /// hedge config; `None` keeps the legacy path untouched.
+    hedge: Option<HedgePolicy>,
+    /// Worker quarantine state machine, when the policy asks for one.
+    health: Option<HealthTracker>,
+    /// Tasks whose first result already committed (first result wins;
+    /// duplicate messages are deleted at pull). Empty on legacy runs.
+    done: HashSet<u64>,
+    /// Tasks that already received their one hedged duplicate.
+    hedged: HashSet<u64>,
+    /// Live attempt count per task (primary + hedge), defended runs only.
+    running: HashMap<u64, u32>,
+    /// Job size, for the hedge budget.
+    n_tasks: usize,
+    /// When the last unique task committed. On defended runs this is the
+    /// makespan — hedged losers may still be draining after it.
+    finished_at_s: f64,
 }
 
 #[derive(Clone)]
@@ -325,6 +401,16 @@ pub(crate) fn sim_fleets_impl(
         schedule,
         task_seqs: vec![0; total_workers],
         last_kill: vec![0.0; total_workers],
+        hedge: cfg.resilience.and_then(|p| p.hedge).map(HedgePolicy::new),
+        health: cfg
+            .resilience
+            .and_then(|p| p.quarantine)
+            .map(HealthTracker::new),
+        done: HashSet::new(),
+        hedged: HashSet::new(),
+        running: HashMap::new(),
+        n_tasks: tasks.len(),
+        finished_at_s: 0.0,
     }));
 
     if let Some(rec) = &state.borrow().rec {
@@ -364,7 +450,13 @@ pub(crate) fn sim_fleets_impl(
 
     let end = engine.run();
     let st = state.borrow();
-    let makespan = end.as_secs_f64();
+    // On defended runs the job is over when the last unique result commits;
+    // hedged losers draining afterwards stretch the engine, not the job.
+    let makespan = if cfg.resilience.is_some() && st.finished_at_s > 0.0 {
+        st.finished_at_s
+    } else {
+        end.as_secs_f64()
+    };
 
     let platform = format!("classic-sim-{}", itype.name);
     let trace = st.rec.as_ref().and_then(|rec| {
@@ -415,16 +507,60 @@ fn worker_tick(
     itype: ppc_compute::instance::InstanceType,
     cfg: SimConfig,
 ) {
-    // Pull the next task from the (simulated) scheduling queue.
+    // Quarantine gate: a benched worker pulls nothing until its sentence
+    // expires, then re-enters through probation.
+    let benched_until = {
+        let mut st = state.borrow_mut();
+        let now = engine.now().as_secs_f64();
+        let SimState { health, rec, .. } = &mut *st;
+        health.as_mut().and_then(|tracker| {
+            let w = worker.index as u32;
+            let benched_before = matches!(tracker.health(w), Health::Quarantined { .. });
+            if tracker.allow(w, now) {
+                if benched_before {
+                    if let Some(rec) = rec {
+                        rec.event(TraceEvent {
+                            at_s: now,
+                            worker: w,
+                            kind: EventKind::Release,
+                        });
+                    }
+                }
+                None
+            } else {
+                match tracker.health(w) {
+                    Health::Quarantined { until_s } => Some(until_s),
+                    _ => None,
+                }
+            }
+        })
+    };
+    if let Some(until_s) = benched_until {
+        let st = state.clone();
+        let w = worker.clone();
+        engine.schedule_at(SimTime::from_secs_f64(until_s), move |e| {
+            worker_tick(e, st, w, itype, cfg);
+        });
+        return;
+    }
+
+    // Pull the next task from the (simulated) scheduling queue. First
+    // result wins on defended runs: a duplicate of a task whose result
+    // already committed is simply deleted.
     let task = {
         let mut st = state.borrow_mut();
         st.queue_requests += 1; // the receive call
-        match st.pending.pop_front() {
-            Some(t) => t,
-            None => {
-                // Nothing visible: park; a redelivery event will wake us.
-                st.idle_workers.push(worker);
-                return;
+        loop {
+            match st.pending.pop_front() {
+                Some(t) if st.done.contains(&t.id.0) => {
+                    st.queue_requests += 1; // the stale duplicate's delete
+                }
+                Some(t) => break t,
+                None => {
+                    // Nothing visible: park; a redelivery event will wake us.
+                    st.idle_workers.push(worker);
+                    return;
+                }
             }
         }
     };
@@ -484,7 +620,17 @@ fn worker_tick(
         }
         (t_in, t_exec, t_out, t_ctrl, fails)
     };
-    let duration_s = t_in + t_exec + t_out + t_ctrl;
+    let mut duration_s = t_in + t_exec + t_out + t_ctrl;
+    // Per-task deadline: an attempt that would outlive the timeout is cut
+    // there and the message re-sent immediately (cancel-and-requeue).
+    let deadline = cfg.resilience.and_then(|p| p.deadline);
+    let cancelled = match deadline {
+        Some(d) if duration_s > d.timeout_s => {
+            duration_s = d.timeout_s;
+            true
+        }
+        _ => false,
+    };
     // Claim the attempt index at pull time: pulls are ordered in virtual
     // time, so redeliveries get strictly increasing attempt numbers.
     let attempt = if cfg.trace {
@@ -496,7 +642,15 @@ fn worker_tick(
     } else {
         0
     };
-    let parts = (t_in, t_exec, t_out, t_ctrl);
+    let parts = if cancelled {
+        (t_in.min(duration_s), 0.0, 0.0, 0.0)
+    } else {
+        (t_in, t_exec, t_out, t_ctrl)
+    };
+    if cfg.resilience.is_some() {
+        let mut st = state.borrow_mut();
+        *st.running.entry(task.id.0).or_insert(0) += 1;
+    }
 
     // NIC contention: route the two transfers through the node's shared
     // uplink — concurrent transfers on one instance serialize.
@@ -529,6 +683,94 @@ fn worker_tick(
         return;
     }
 
+    // Hedge check: arm a timer one hedge delay past this pull; if the task
+    // is still live when it fires, a duplicate message is enqueued.
+    if !cancelled && cfg.resilience.is_some_and(|p| p.hedge.is_some()) {
+        let delay = state
+            .borrow()
+            .hedge
+            .as_ref()
+            .map(|h| h.hedge_delay())
+            .unwrap_or(0.0);
+        hedge_check_at(
+            engine,
+            state.clone(),
+            task.clone(),
+            now_s,
+            now_s + delay,
+            itype,
+            cfg,
+        );
+    }
+
+    if cancelled {
+        // Deadline breach: the worker gives up at the timeout, re-sends the
+        // message (no visibility-timeout wait), and polls again.
+        let st2 = state.clone();
+        let task_id = task.id.0;
+        engine.schedule_in(SimTime::from_secs_f64(duration_s), move |e| {
+            let now = e.now().as_secs_f64();
+            let woken = {
+                let mut st = st2.borrow_mut();
+                let w = worker.index as u32;
+                let SimState {
+                    running,
+                    health,
+                    rec,
+                    pending,
+                    queue_requests,
+                    idle_workers,
+                    done,
+                    ..
+                } = &mut *st;
+                if let Some(n) = running.get_mut(&task_id) {
+                    *n = n.saturating_sub(1);
+                }
+                sim_note_failure(health, rec, w, now);
+                if let Some(rec) = rec {
+                    let (t_in, t_exec, t_out, t_ctrl) = parts;
+                    record_attempt(
+                        rec,
+                        w,
+                        task_id,
+                        attempt,
+                        now - duration_s,
+                        now,
+                        t_in,
+                        t_exec,
+                        t_out,
+                        t_ctrl,
+                        false,
+                    );
+                    rec.event(TraceEvent {
+                        at_s: now,
+                        worker: w,
+                        kind: EventKind::Cancel,
+                    });
+                }
+                if done.contains(&task_id) {
+                    None
+                } else {
+                    *queue_requests += 1; // the cancel's re-send
+                    pending.push_back(task);
+                    idle_workers.pop()
+                }
+            };
+            if let Some(w) = woken {
+                let st3 = st2.clone();
+                e.schedule_in(SimTime::ZERO, move |e| worker_tick(e, st3, w, itype, cfg));
+            }
+            // Re-poll as an event *after* the wake above, so a woken healthy
+            // worker claims the requeued message ahead of this (possibly
+            // gray) worker — a direct call here would livelock a lone gray
+            // worker on its own cancelled task.
+            e.schedule_in(SimTime::ZERO, move |e| {
+                worker_tick(e, st2, worker, itype, cfg)
+            });
+        });
+        return;
+    }
+
     if fails {
         // Worker dies before deleting: the message reappears after the
         // visibility timeout, waking an idle worker if one exists.
@@ -551,9 +793,19 @@ fn worker_tick(
             {
                 let mut st = st2.borrow_mut();
                 st.deaths += 1;
-                if let Some(rec) = &st.rec {
-                    let end = e.now().as_secs_f64();
-                    let w = worker.index as u32;
+                let end = e.now().as_secs_f64();
+                let w = worker.index as u32;
+                let SimState {
+                    running,
+                    health,
+                    rec,
+                    ..
+                } = &mut *st;
+                if let Some(n) = running.get_mut(&task_id) {
+                    *n = n.saturating_sub(1);
+                }
+                sim_note_failure(health, rec, w, end);
+                if let Some(rec) = rec {
                     let (t_in, t_exec, t_out, t_ctrl) = parts;
                     record_attempt(
                         rec,
@@ -584,29 +836,127 @@ fn worker_tick(
     let st2 = state.clone();
     let started_at = engine.now().as_secs_f64();
     let task_id = task.id.0;
+    let defended = cfg.resilience.is_some();
     engine.schedule_in(SimTime::from_secs_f64(duration_s), move |e| {
         {
             let mut st = st2.borrow_mut();
-            st.completed += 1;
-            if let Some(rec) = &st.rec {
-                let end = e.now().as_secs_f64();
+            let end = e.now().as_secs_f64();
+            let w = worker.index as u32;
+            let SimState {
+                running,
+                health,
+                hedge,
+                done,
+                rec,
+                completed,
+                n_tasks,
+                finished_at_s,
+                ..
+            } = &mut *st;
+            if let Some(n) = running.get_mut(&task_id) {
+                *n = n.saturating_sub(1);
+            }
+            // First result wins: a hedged loser's output is discarded (its
+            // time shows up as wasted duplicate work in the trace).
+            let winner = !defended || done.insert(task_id);
+            if winner {
+                *completed += 1;
+                if *completed >= *n_tasks {
+                    *finished_at_s = end;
+                }
+                if let Some(h) = hedge {
+                    h.observe(duration_s);
+                }
+            }
+            sim_note_success(health, rec, w, duration_s, end);
+            if let Some(rec) = rec {
                 let (t_in, t_exec, t_out, t_ctrl) = parts;
                 record_attempt(
-                    rec,
-                    worker.index as u32,
-                    task_id,
-                    attempt,
-                    started_at,
-                    end,
-                    t_in,
-                    t_exec,
-                    t_out,
-                    t_ctrl,
-                    true,
+                    rec, w, task_id, attempt, started_at, end, t_in, t_exec, t_out, t_ctrl, true,
                 );
             }
         }
         worker_tick(e, st2, worker, itype, cfg);
+    });
+}
+
+/// Arm (and, on firing, apply) the hedge check for one pulled attempt: if
+/// the task is still live past the policy's delay, a duplicate message is
+/// enqueued — the Classic Cloud hedge is a queue re-dispatch, since the
+/// queue has no worker affinity and any idle worker picks the copy up.
+/// Re-arms itself while the quantile-derived delay grows past the
+/// attempt's age.
+fn hedge_check_at(
+    engine: &mut Engine,
+    state: Rc<RefCell<SimState>>,
+    task: TaskSpec,
+    pulled_s: f64,
+    at_s: f64,
+    itype: ppc_compute::instance::InstanceType,
+    cfg: SimConfig,
+) {
+    engine.schedule_at(SimTime::from_secs_f64(at_s.max(pulled_s)), move |e| {
+        enum Next {
+            Stop,
+            Rearm(f64),
+            Wake(Option<WorkerRef>),
+        }
+        let now = e.now().as_secs_f64();
+        let next = {
+            let mut st = state.borrow_mut();
+            let id = task.id.0;
+            let SimState {
+                hedge,
+                hedged,
+                done,
+                running,
+                pending,
+                queue_requests,
+                rec,
+                idle_workers,
+                n_tasks,
+                ..
+            } = &mut *st;
+            let live = running.get(&id).copied().unwrap_or(0);
+            let policy = hedge.as_mut().expect("hedge check armed without a policy");
+            if done.contains(&id) || hedged.contains(&id) || live == 0 {
+                Next::Stop
+            } else {
+                let age = now - pulled_s;
+                if policy.should_hedge(age, live, *n_tasks) {
+                    policy.record_hedge();
+                    hedged.insert(id);
+                    *queue_requests += 1; // the duplicate's send
+                    pending.push_back(task.clone());
+                    if let Some(rec) = rec {
+                        rec.event(TraceEvent {
+                            at_s: now,
+                            worker: NO_WORKER,
+                            kind: EventKind::Hedge,
+                        });
+                    }
+                    Next::Wake(idle_workers.pop())
+                } else {
+                    // Either the delay grew past this attempt's age (re-arm
+                    // at the new deadline) or the budget / live-attempt cap
+                    // said no (this task will not be hedged).
+                    let delay = policy.hedge_delay();
+                    if age < delay {
+                        Next::Rearm(pulled_s + delay)
+                    } else {
+                        Next::Stop
+                    }
+                }
+            }
+        };
+        match next {
+            Next::Stop | Next::Wake(None) => {}
+            Next::Rearm(at) => hedge_check_at(e, state, task, pulled_s, at, itype, cfg),
+            Next::Wake(Some(w)) => {
+                let st = state.clone();
+                e.schedule_in(SimTime::ZERO, move |e| worker_tick(e, st, w, itype, cfg));
+            }
+        }
     });
 }
 
@@ -643,8 +993,18 @@ fn handle_completion(
         {
             let mut st = state.borrow_mut();
             st.deaths += 1;
-            if let Some(rec) = &st.rec {
-                let w = worker.index as u32;
+            let w = worker.index as u32;
+            let SimState {
+                running,
+                health,
+                rec,
+                ..
+            } = &mut *st;
+            if let Some(n) = running.get_mut(&task_id) {
+                *n = n.saturating_sub(1);
+            }
+            sim_note_failure(health, rec, w, end);
+            if let Some(rec) = rec {
                 let (t_in, t_exec, t_out, t_ctrl) = parts;
                 record_attempt(
                     rec, w, task_id, attempt, started_at, end, t_in, t_exec, t_out, t_ctrl, false,
@@ -661,21 +1021,37 @@ fn handle_completion(
     }
     {
         let mut st = state.borrow_mut();
-        st.completed += 1;
-        if let Some(rec) = &st.rec {
+        let w = worker.index as u32;
+        let defended = cfg.resilience.is_some();
+        let SimState {
+            running,
+            health,
+            hedge,
+            done,
+            rec,
+            completed,
+            n_tasks,
+            finished_at_s,
+            ..
+        } = &mut *st;
+        if let Some(n) = running.get_mut(&task_id) {
+            *n = n.saturating_sub(1);
+        }
+        let winner = !defended || done.insert(task_id);
+        if winner {
+            *completed += 1;
+            if *completed >= *n_tasks {
+                *finished_at_s = end;
+            }
+            if let Some(h) = hedge {
+                h.observe(end - started_at);
+            }
+        }
+        sim_note_success(health, rec, w, end - started_at, end);
+        if let Some(rec) = rec {
             let (t_in, t_exec, t_out, t_ctrl) = parts;
             record_attempt(
-                rec,
-                worker.index as u32,
-                task_id,
-                attempt,
-                started_at,
-                end,
-                t_in,
-                t_exec,
-                t_out,
-                t_ctrl,
-                true,
+                rec, w, task_id, attempt, started_at, end, t_in, t_exec, t_out, t_ctrl, true,
             );
         }
     }
@@ -726,6 +1102,13 @@ struct AsState {
     dead: std::collections::HashSet<u32>,
     /// Virtual time of the controller's last timed-kill sweep.
     last_kill_check_s: f64,
+    /// Hedging / quarantine / first-result-wins bookkeeping — the elastic
+    /// twin of the fields on [`SimState`]; all inert on legacy runs.
+    hedge: Option<HedgePolicy>,
+    health: Option<HealthTracker>,
+    done: HashSet<u64>,
+    hedged: HashSet<u64>,
+    running: HashMap<u64, u32>,
 }
 
 impl AsState {
@@ -850,6 +1233,14 @@ pub(crate) fn sim_autoscaled_impl(
         task_seqs: Vec::new(),
         dead: std::collections::HashSet::new(),
         last_kill_check_s: 0.0,
+        hedge: cfg.resilience.and_then(|p| p.hedge).map(HedgePolicy::new),
+        health: cfg
+            .resilience
+            .and_then(|p| p.quarantine)
+            .map(HealthTracker::new),
+        done: HashSet::new(),
+        hedged: HashSet::new(),
+        running: HashMap::new(),
     }));
 
     let mut engine = Engine::new();
@@ -998,6 +1389,44 @@ fn as_worker_tick(
     cfg: SimConfig,
 ) {
     let now_s = engine.now().as_secs_f64();
+    // Quarantine gate (mirrors the fixed-fleet sim): a benched slot pulls
+    // nothing until its sentence expires. Dead, draining, or post-job slots
+    // skip the gate — the main block below retires them.
+    let benched_until = {
+        let mut st = state.borrow_mut();
+        if st.completed >= st.n_tasks || st.dead.contains(&slot) || st.drain.contains(&slot) {
+            None
+        } else {
+            let AsState { health, rec, .. } = &mut *st;
+            health.as_mut().and_then(|tracker| {
+                let benched_before = matches!(tracker.health(slot), Health::Quarantined { .. });
+                if tracker.allow(slot, now_s) {
+                    if benched_before {
+                        if let Some(rec) = rec {
+                            rec.event(TraceEvent {
+                                at_s: now_s,
+                                worker: slot,
+                                kind: EventKind::Release,
+                            });
+                        }
+                    }
+                    None
+                } else {
+                    match tracker.health(slot) {
+                        Health::Quarantined { until_s } => Some(until_s),
+                        _ => None,
+                    }
+                }
+            })
+        }
+    };
+    if let Some(until_s) = benched_until {
+        let st = state.clone();
+        engine.schedule_at(SimTime::from_secs_f64(until_s), move |e| {
+            as_worker_tick(e, st, slot, itype, cfg);
+        });
+        return;
+    }
     let (task, parts, fails, received_at, attempt) = {
         let mut st = state.borrow_mut();
         if st.completed >= st.n_tasks {
@@ -1012,11 +1441,17 @@ fn as_worker_tick(
             return;
         }
         st.queue_requests += 1; // the receive call
-        let (task, _since) = match st.pending.pop_front() {
-            Some(t) => t,
-            None => {
-                st.idle.push(slot);
-                return;
+                                // First result wins on defended runs: stale duplicates are deleted.
+        let (task, _since) = loop {
+            match st.pending.pop_front() {
+                Some((t, _)) if st.done.contains(&t.id.0) => {
+                    st.queue_requests += 1; // the stale duplicate's delete
+                }
+                Some(pair) => break pair,
+                None => {
+                    st.idle.push(slot);
+                    return;
+                }
             }
         };
         st.executions += 1;
@@ -1068,6 +1503,41 @@ fn as_worker_tick(
         let (t_in, t_exec, t_out, t_ctrl) = parts;
         t_in + t_exec + t_out + t_ctrl
     };
+    // Per-task deadline: cut the attempt at the timeout and requeue at once.
+    let deadline = cfg.resilience.and_then(|p| p.deadline);
+    let (duration_s, cancelled) = match deadline {
+        Some(d) if duration_s > d.timeout_s => (d.timeout_s, true),
+        _ => (duration_s, false),
+    };
+    let parts = if cancelled {
+        (parts.0.min(duration_s), 0.0, 0.0, 0.0)
+    } else {
+        parts
+    };
+    let defended = cfg.resilience.is_some();
+    if defended {
+        let mut st = state.borrow_mut();
+        *st.running.entry(task.id.0).or_insert(0) += 1;
+    }
+    // Hedge check: arm a timer one hedge delay past this pull; if the task
+    // is still live when it fires, a duplicate message is enqueued.
+    if !cancelled && cfg.resilience.is_some_and(|p| p.hedge.is_some()) {
+        let delay = state
+            .borrow()
+            .hedge
+            .as_ref()
+            .map(|h| h.hedge_delay())
+            .unwrap_or(0.0);
+        as_hedge_check_at(
+            engine,
+            state.clone(),
+            task.clone(),
+            now_s,
+            now_s + delay,
+            itype,
+            cfg,
+        );
+    }
 
     let st2 = state.clone();
     engine.schedule_in(SimTime::from_secs_f64(duration_s), move |e| {
@@ -1076,18 +1546,47 @@ fn as_worker_tick(
         // work: the execution never completes and the message reappears.
         let slot_died = st2.borrow().dead.contains(&slot);
         let lost = fails || slot_died;
+        let cancel = cancelled && !slot_died;
         {
             let mut st = st2.borrow_mut();
             st.in_flight -= 1;
-            if lost {
-                st.deaths += 1;
-            } else {
-                st.completed += 1;
-                if st.completed >= st.n_tasks {
-                    st.finished_at_s = now;
-                }
+            let AsState {
+                running,
+                health,
+                hedge,
+                done,
+                rec,
+                completed,
+                n_tasks,
+                finished_at_s,
+                deaths,
+                ..
+            } = &mut *st;
+            if let Some(n) = running.get_mut(&task.id.0) {
+                *n = n.saturating_sub(1);
             }
-            if let Some(rec) = &st.rec {
+            if cancel {
+                sim_note_failure(health, rec, slot, now);
+            } else if lost {
+                *deaths += 1;
+                if !slot_died {
+                    sim_note_failure(health, rec, slot, now);
+                }
+            } else {
+                // First result wins: a hedged loser's output is discarded.
+                let winner = !defended || done.insert(task.id.0);
+                if winner {
+                    *completed += 1;
+                    if *completed >= *n_tasks {
+                        *finished_at_s = now;
+                    }
+                    if let Some(h) = hedge {
+                        h.observe(duration_s);
+                    }
+                }
+                sim_note_success(health, rec, slot, duration_s, now);
+            }
+            if let Some(rec) = rec {
                 let (t_in, t_exec, t_out, t_ctrl) = parts;
                 record_attempt(
                     rec,
@@ -1100,20 +1599,38 @@ fn as_worker_tick(
                     t_exec,
                     t_out,
                     t_ctrl,
-                    !lost,
+                    !lost && !cancel,
                 );
                 // Whole-instance deaths are the controller's events; only
                 // per-task dice deaths are recorded here.
-                if fails && !slot_died {
+                if fails && !slot_died && !cancel {
                     rec.event(TraceEvent {
                         at_s: now,
                         worker: slot,
                         kind: EventKind::Death,
                     });
                 }
+                if cancel {
+                    rec.event(TraceEvent {
+                        at_s: now,
+                        worker: slot,
+                        kind: EventKind::Cancel,
+                    });
+                }
             }
         }
-        if lost {
+        if cancel {
+            // Cancel-and-requeue: the worker deleted its lease and re-sent
+            // the message, so the retry is visible immediately.
+            if !st2.borrow().done.contains(&task.id.0) {
+                {
+                    let mut st = st2.borrow_mut();
+                    st.queue_requests += 1; // the cancel's re-send
+                    st.pending.push_back((task, now));
+                }
+                as_wake_idle(e, st2.clone(), itype, cfg);
+            }
+        } else if lost {
             // The undeleted message reappears one visibility timeout after
             // its receive, waking a parked worker if one exists.
             let reappear_at = (received_at + cfg.visibility_timeout_s).max(now);
@@ -1127,7 +1644,89 @@ fn as_worker_tick(
         if slot_died {
             return; // dead instances do not poll again
         }
-        as_worker_tick(e, st2, slot, itype, cfg);
+        if cancel {
+            // Re-poll after the wake above so a woken healthy instance
+            // claims the requeued message ahead of this (possibly gray)
+            // one — a direct call would livelock a lone gray slot on its
+            // own cancelled task.
+            e.schedule_in(SimTime::ZERO, move |e| {
+                as_worker_tick(e, st2, slot, itype, cfg)
+            });
+        } else {
+            as_worker_tick(e, st2, slot, itype, cfg);
+        }
+    });
+}
+
+/// The elastic twin of [`hedge_check_at`]: re-enqueue a duplicate message
+/// for a task still live past the hedge delay, waking a parked instance.
+fn as_hedge_check_at(
+    engine: &mut Engine,
+    state: Rc<RefCell<AsState>>,
+    task: TaskSpec,
+    pulled_s: f64,
+    at_s: f64,
+    itype: ppc_compute::instance::InstanceType,
+    cfg: SimConfig,
+) {
+    engine.schedule_at(SimTime::from_secs_f64(at_s.max(pulled_s)), move |e| {
+        enum Next {
+            Stop,
+            Rearm(f64),
+            Wake,
+        }
+        let now = e.now().as_secs_f64();
+        let next = {
+            let mut st = state.borrow_mut();
+            let id = task.id.0;
+            let AsState {
+                hedge,
+                hedged,
+                done,
+                running,
+                pending,
+                queue_requests,
+                rec,
+                n_tasks,
+                ..
+            } = &mut *st;
+            let live = running.get(&id).copied().unwrap_or(0);
+            let policy = hedge.as_mut().expect("hedge check armed without a policy");
+            if done.contains(&id) || hedged.contains(&id) || live == 0 {
+                Next::Stop
+            } else {
+                let age = now - pulled_s;
+                if policy.should_hedge(age, live, *n_tasks) {
+                    policy.record_hedge();
+                    hedged.insert(id);
+                    *queue_requests += 1; // the duplicate's send
+                    pending.push_back((task.clone(), now));
+                    if let Some(rec) = rec {
+                        rec.event(TraceEvent {
+                            at_s: now,
+                            worker: NO_WORKER,
+                            kind: EventKind::Hedge,
+                        });
+                    }
+                    Next::Wake
+                } else {
+                    // Either the delay grew past this attempt's age (re-arm
+                    // at the new deadline) or the budget / live-attempt cap
+                    // said no (this task will not be hedged).
+                    let delay = policy.hedge_delay();
+                    if age < delay {
+                        Next::Rearm(pulled_s + delay)
+                    } else {
+                        Next::Stop
+                    }
+                }
+            }
+        };
+        match next {
+            Next::Stop => {}
+            Next::Rearm(at) => as_hedge_check_at(e, state, task, pulled_s, at, itype, cfg),
+            Next::Wake => as_wake_idle(e, state, itype, cfg),
+        }
     });
 }
 
@@ -1721,6 +2320,124 @@ mod tests {
         assert!(
             aware_hours <= naive_hours + 1e-9,
             "aware {aware_hours} vs naive {naive_hours}"
+        );
+    }
+
+    #[test]
+    fn hedging_rescues_gray_straggler() {
+        use ppc_resilience::{HedgeConfig, ResiliencePolicy};
+        // Worker 0 computes 30× slow for the whole run: without hedging the
+        // job waits ~300 s for each task it holds; with hedging a duplicate
+        // message lands on a healthy worker and the first result wins.
+        let cluster = Cluster::provision(EC2_HCXL, 1, 8);
+        let tasks = cpu_tasks(64, 10.0);
+        let cfg = SimConfig {
+            storage_latency: LatencyModel::FREE,
+            queue_latency: LatencyModel::FREE,
+            jitter_sigma: 0.0,
+            trace: true,
+            ..SimConfig::ec2()
+        };
+        let schedule = Arc::new(FaultSchedule::new(1).degrade(0, 30.0, 0.0, 1e9));
+        let run = |policy: Option<ResiliencePolicy>| {
+            let mut ctx = RunContext::new(&cluster).with_schedule(schedule.clone());
+            if let Some(p) = policy {
+                ctx = ctx.with_resilience(p);
+            }
+            crate::simulate(&ctx, &tasks, &cfg)
+        };
+        let unhedged = run(None);
+        let hedged = run(Some(ResiliencePolicy::hedged(HedgeConfig::quantile(30.0))));
+        assert_eq!(unhedged.summary.tasks, 64);
+        assert_eq!(hedged.summary.tasks, 64, "first result wins exactly once");
+        assert!(
+            hedged.summary.makespan_seconds < unhedged.summary.makespan_seconds,
+            "hedged {} vs unhedged {}",
+            hedged.summary.makespan_seconds,
+            unhedged.summary.makespan_seconds
+        );
+        let trace = hedged.core.trace.as_ref().unwrap();
+        assert!(trace.events_of_kind(EventKind::Hedge) > 0, "hedges fired");
+        assert!(
+            hedged.redundant_executions() > 0,
+            "the losing duplicates are visible as redundant executions"
+        );
+    }
+
+    #[test]
+    fn quarantine_benches_gray_worker() {
+        use ppc_resilience::{QuarantineConfig, ResiliencePolicy};
+        // With quarantine alone (no hedging), the gray worker is benched
+        // off the polling path after two slow completions, so healthy
+        // workers absorb the queue and the makespan improves. The job must
+        // be long enough for the 10×-slow worker to produce that evidence.
+        let cluster = Cluster::provision(EC2_HCXL, 1, 8);
+        let tasks = cpu_tasks(512, 10.0);
+        let cfg = SimConfig {
+            storage_latency: LatencyModel::FREE,
+            queue_latency: LatencyModel::FREE,
+            jitter_sigma: 0.0,
+            trace: true,
+            ..SimConfig::ec2()
+        };
+        let schedule = Arc::new(FaultSchedule::new(1).degrade(0, 10.0, 0.0, 1e9));
+        let run = |policy: Option<ResiliencePolicy>| {
+            let mut ctx = RunContext::new(&cluster).with_schedule(schedule.clone());
+            if let Some(p) = policy {
+                ctx = ctx.with_resilience(p);
+            }
+            crate::simulate(&ctx, &tasks, &cfg)
+        };
+        let undefended = run(None);
+        let policy = ResiliencePolicy::default().with_quarantine(QuarantineConfig {
+            min_samples: 2,
+            quarantine_s: 1e4, // benched for the rest of the run
+            ..QuarantineConfig::default()
+        });
+        let defended = run(Some(policy));
+        assert_eq!(defended.summary.tasks, 512);
+        let trace = defended.core.trace.as_ref().unwrap();
+        assert!(
+            trace.events_of_kind(EventKind::Quarantine) > 0,
+            "the gray worker was benched"
+        );
+        assert!(
+            defended.summary.makespan_seconds < undefended.summary.makespan_seconds,
+            "defended {} vs undefended {}",
+            defended.summary.makespan_seconds,
+            undefended.summary.makespan_seconds
+        );
+    }
+
+    #[test]
+    fn deadline_cancels_and_requeues() {
+        use ppc_resilience::ResiliencePolicy;
+        // A 30× degradation window covers the start of the run; per-task
+        // deadlines cut attempts that cannot finish by 60 s and requeue
+        // them, so every task still completes exactly once.
+        let cluster = Cluster::provision(EC2_HCXL, 1, 8);
+        let tasks = cpu_tasks(64, 10.0);
+        let cfg = SimConfig {
+            storage_latency: LatencyModel::FREE,
+            queue_latency: LatencyModel::FREE,
+            jitter_sigma: 0.0,
+            trace: true,
+            ..SimConfig::ec2()
+        };
+        let schedule = Arc::new(FaultSchedule::new(1).degrade(0, 30.0, 0.0, 1e9));
+        let ctx = RunContext::new(&cluster)
+            .with_schedule(schedule)
+            .with_resilience(ResiliencePolicy::default().with_deadline(60.0));
+        let report = crate::simulate(&ctx, &tasks, &cfg);
+        assert_eq!(report.summary.tasks, 64, "cancelled tasks are requeued");
+        let trace = report.core.trace.as_ref().unwrap();
+        assert!(
+            trace.events_of_kind(EventKind::Cancel) > 0,
+            "deadline breaches cancelled attempts"
+        );
+        assert!(
+            report.summary.makespan_seconds < 64.0 * 300.0,
+            "the job does not wait out every gray attempt"
         );
     }
 }

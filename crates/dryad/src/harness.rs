@@ -31,6 +31,7 @@ pub fn run(
     cfg.seed = ctx.seed_or(cfg.seed);
     cfg.schedule = ctx.schedule_or(&cfg.schedule);
     cfg.trace = ctx.sink_or(&cfg.trace);
+    cfg.resilience = ctx.resilience_or(&cfg.resilience);
     crate::runtime::run_impl(cluster, inputs, executor, &cfg)
 }
 
@@ -49,5 +50,6 @@ pub fn simulate(ctx: &RunContext, tasks: &[TaskSpec], cfg: &DryadSimConfig) -> D
     let mut cfg = *cfg;
     cfg.seed = ctx.seed_or(cfg.seed);
     cfg.trace = ctx.trace_or(cfg.trace);
+    cfg.resilience = ctx.resilience_or(&cfg.resilience);
     crate::sim::simulate_impl(cluster, tasks, &cfg, ctx.schedule.clone())
 }

@@ -17,10 +17,12 @@ use ppc_core::rng::Pcg32;
 use ppc_core::task::{TaskId, TaskSpec};
 use ppc_core::{PpcError, Result};
 use ppc_exec::{RunContext, RunReport};
-use ppc_trace::{AttemptMarker, EventKind, Phase, RunMeta, Span, TraceEvent, TraceSink};
+use ppc_resilience::{Health, HealthTracker, HedgePolicy, ResiliencePolicy};
+use ppc_trace::{AttemptMarker, EventKind, Phase, RunMeta, Span, TraceEvent, TraceSink, NO_WORKER};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration for the native Dryad runtime.
 #[derive(Debug, Clone)]
@@ -40,6 +42,13 @@ pub struct DryadConfig {
     /// Span sink for the run; `None` (or a disabled sink) records nothing
     /// and the report carries the finished [`ppc_trace::Trace`].
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Straggler and gray-failure defense. With a hedge or deadline config,
+    /// idle vertex slots launch *backup vertices* for running stragglers on
+    /// their own node (re-execution still never crosses nodes); the first
+    /// Ok attempt wins and losers count as redundant executions. With a
+    /// quarantine config, gray slots are benched off the local work list.
+    /// `None` (the default) keeps the legacy runtime bit-identical.
+    pub resilience: Option<ResiliencePolicy>,
 }
 
 impl Default for DryadConfig {
@@ -50,6 +59,7 @@ impl Default for DryadConfig {
             seed: 0xd12ad,
             schedule: None,
             trace: None,
+            resilience: None,
         }
     }
 }
@@ -173,6 +183,10 @@ pub(crate) fn run_impl(
     if let Some(schedule) = &schedule {
         schedule.validate()?;
     }
+    if let Some(policy) = &config.resilience {
+        policy.validate()?;
+    }
+    let n_tasks = inputs.len();
     let n_nodes = cluster.n_nodes();
     // Static node-level partitioning, fixed before execution.
     let partitions = crate::partition::partition_round_robin(inputs, n_nodes);
@@ -196,173 +210,73 @@ pub(crate) fn run_impl(
     let first_error: Mutex<Option<PpcError>> = Mutex::new(None);
     let per_node: Mutex<Vec<f64>> = Mutex::new(vec![0.0; n_nodes]);
     let total_bytes = AtomicUsize::new(0);
+    let redundant = AtomicUsize::new(0);
     let chaos = schedule.as_deref();
     let sink = config.trace.as_deref().filter(|s| s.enabled());
     let clock = RunClock::start();
+
+    // Cluster-wide defense state: one hedge policy and one health tracker
+    // shared by every node, so latency observations feed a single quantile
+    // even though backup vertices themselves never cross nodes.
+    let hedge_state = config
+        .resilience
+        .and_then(|p| p.hedge)
+        .map(|cfg| Mutex::new(HedgePolicy::new(cfg)));
+    let health_state = config
+        .resilience
+        .and_then(|p| p.quarantine)
+        .map(|cfg| Mutex::new(HealthTracker::new(cfg)));
+
+    let ctx = SlotCtx {
+        executor: &executor,
+        sink,
+        chaos,
+        clock: &clock,
+        config,
+        outputs: &outputs,
+        failures: &failures,
+        failed_ids: &failed_ids,
+        retries: &retries,
+        attempts_total: &attempts_total,
+        deaths: &deaths,
+        first_error: &first_error,
+        total_bytes: &total_bytes,
+    };
+    let finished_s = Mutex::new(0f64);
+    let defense = config.resilience.map(|policy| Defense {
+        policy,
+        hedge: hedge_state.as_ref(),
+        health: health_state.as_ref(),
+        redundant: &redundant,
+        finished_s: &finished_s,
+        n_tasks,
+    });
 
     let start = Instant::now();
     std::thread::scope(|scope| {
         for (node, node_inputs) in partitions.into_iter().enumerate() {
             let workers = cluster.nodes()[node].workers;
             let node_base = node_bases[node];
-            let executor = executor.clone();
-            let outputs = &outputs;
-            let failures = &failures;
-            let failed_ids = &failed_ids;
-            let retries = &retries;
-            let attempts_total = &attempts_total;
-            let deaths = &deaths;
-            let first_error = &first_error;
+            let ctx = &ctx;
+            let defense = defense.as_ref();
             let per_node = &per_node;
-            let total_bytes = &total_bytes;
-            let clock = &clock;
             scope.spawn(move || {
                 let node_start = Instant::now();
+                let node_defense = defense.map(|_| NodeDefense {
+                    registry: Mutex::new(HashMap::new()),
+                    done: Mutex::new(HashSet::new()),
+                    remaining: AtomicUsize::new(node_inputs.len()),
+                });
                 // Within the node, vertices share a local work list.
-                let local: Mutex<std::collections::VecDeque<(TaskSpec, Vec<u8>)>> =
-                    Mutex::new(node_inputs.into());
+                let local: Mutex<VecDeque<(TaskSpec, Vec<u8>)>> = Mutex::new(node_inputs.into());
                 std::thread::scope(|inner| {
                     for slot in 0..workers {
-                        let executor = executor.clone();
                         let local = &local;
+                        let node_defense = node_defense.as_ref();
                         let worker = (node_base + slot) as u32;
-                        inner.spawn(move || {
-                            if let Some(s) = sink {
-                                s.event(TraceEvent {
-                                    at_s: clock.now_s(),
-                                    worker,
-                                    kind: EventKind::WorkerStart,
-                                });
-                            }
-                            // Re-execute a failed vertex (Table 3's Dryad
-                            // fault tolerance) through the shared retry
-                            // layer before declaring it failed.
-                            let policy = RetryPolicy::immediate(config.max_retries + 1);
-                            let mut rng = Pcg32::for_stream(config.seed, worker as u64);
-                            let mut task_seq: u32 = 0;
-                            let mut last_kill_s: f64 = 0.0;
-                            loop {
-                                let item = local.lock().unwrap().pop_front();
-                                let (spec, input) = match item {
-                                    Some(x) => x,
-                                    None => break,
-                                };
-                                if let Some(schedule) = chaos {
-                                    let now_s = clock.now_s();
-                                    if schedule.kills_in(worker, last_kill_s, now_s) {
-                                        // Slot dies: hand the vertex back to
-                                        // a surviving slot on this node.
-                                        deaths.fetch_add(1, Ordering::Relaxed);
-                                        if let Some(s) = sink {
-                                            s.event(TraceEvent {
-                                                at_s: now_s,
-                                                worker,
-                                                kind: EventKind::Death,
-                                            });
-                                        }
-                                        local.lock().unwrap().push_front((spec, input));
-                                        break;
-                                    }
-                                    last_kill_s = now_s;
-                                }
-                                let seq = task_seq;
-                                task_seq += 1;
-                                let vertex_start = Instant::now();
-                                let mut used_attempts = 0u32;
-                                let out = policy.run_blocking(&mut rng, |attempt| {
-                                    used_attempts = attempt;
-                                    attempts_total.fetch_add(1, Ordering::Relaxed);
-                                    // Each retry-layer attempt is its own
-                                    // span subtree; dropping the marker on
-                                    // a failure path still closes it.
-                                    let mut tt = sink.map(|s| {
-                                        let mut tt = AttemptMarker::new(
-                                            s,
-                                            spec.id.0,
-                                            attempt,
-                                            worker,
-                                            clock.now_s(),
-                                        );
-                                        tt.mark(Phase::VertexStart, clock.now_s());
-                                        tt
-                                    });
-                                    if let Some(schedule) = chaos {
-                                        // Any death die or a torn output
-                                        // costs exactly one failed attempt;
-                                        // the job manager re-runs the vertex.
-                                        if attempt == 0 {
-                                            let died = schedule.die_before_execute(worker, seq)
-                                                || schedule.die_mid_execute(worker, seq)
-                                                || schedule.die_before_delete(worker, seq);
-                                            if died || schedule.is_torn_upload(worker, seq) {
-                                                if died {
-                                                    deaths.fetch_add(1, Ordering::Relaxed);
-                                                    if let Some(s) = sink {
-                                                        s.event(TraceEvent {
-                                                            at_s: clock.now_s(),
-                                                            worker,
-                                                            kind: EventKind::Death,
-                                                        });
-                                                    }
-                                                }
-                                                return Err(PpcError::Transient(
-                                                    "chaos: vertex attempt killed".into(),
-                                                ));
-                                            }
-                                        }
-                                    }
-                                    // Inputs are already in node-local
-                                    // memory: the read phase is an instant,
-                                    // but it keeps the native phase set
-                                    // aligned with the simulator's.
-                                    if let Some(tt) = tt.as_mut() {
-                                        tt.mark(Phase::ReadLocal, clock.now_s());
-                                    }
-                                    let r = executor.run(&spec, &input);
-                                    if let Some(tt) = tt.as_mut() {
-                                        tt.mark(Phase::Execute, clock.now_s());
-                                        if r.is_ok() {
-                                            // Dryad has no speculative
-                                            // duplicates: the first Ok
-                                            // attempt is the terminal one.
-                                            tt.mark(Phase::Write, clock.now_s());
-                                        }
-                                    }
-                                    r
-                                });
-                                if let Some(schedule) = chaos {
-                                    // Gray degradation stretches the vertex.
-                                    let factor = schedule.slowdown(worker, clock.now_s());
-                                    if factor > 1.0 {
-                                        std::thread::sleep(
-                                            vertex_start.elapsed().mul_f64(factor - 1.0),
-                                        );
-                                    }
-                                }
-                                match out {
-                                    Ok(out) => {
-                                        if used_attempts > 0 {
-                                            retries.fetch_add(
-                                                used_attempts as usize,
-                                                Ordering::Relaxed,
-                                            );
-                                        }
-                                        total_bytes.fetch_add(out.len(), Ordering::Relaxed);
-                                        outputs
-                                            .lock()
-                                            .unwrap()
-                                            .push((spec.output_key.clone(), out));
-                                    }
-                                    Err(e) => {
-                                        failures.fetch_add(1, Ordering::Relaxed);
-                                        failed_ids.lock().unwrap().push(spec.id);
-                                        let mut fe = first_error.lock().unwrap();
-                                        if fe.is_none() {
-                                            *fe = Some(e);
-                                        }
-                                    }
-                                }
-                            }
+                        inner.spawn(move || match (defense, node_defense) {
+                            (Some(d), Some(nd)) => defended_slot_loop(ctx, d, nd, local, worker),
+                            _ => legacy_slot_loop(ctx, local, worker),
                         });
                     }
                 });
@@ -370,7 +284,20 @@ pub(crate) fn run_impl(
             });
         }
     });
-    let makespan = start.elapsed().as_secs_f64();
+    // Under a defense policy the job is done when its last vertex settles;
+    // losing duplicate threads may still be draining past that point and
+    // must not count against the makespan.
+    let makespan = match defense {
+        Some(_) => {
+            let settled = *finished_s.lock().unwrap();
+            if settled > 0.0 {
+                settled
+            } else {
+                start.elapsed().as_secs_f64()
+            }
+        }
+        None => start.elapsed().as_secs_f64(),
+    };
 
     let vertex_failures = failures.load(Ordering::Relaxed);
     if config.fail_fast && vertex_failures > 0 {
@@ -397,7 +324,7 @@ pub(crate) fn run_impl(
                 cores: cluster.total_workers(),
                 tasks: outputs.len(),
                 makespan_seconds: makespan,
-                redundant_executions: 0,
+                redundant_executions: redundant.load(Ordering::Relaxed),
                 remote_bytes: 0, // node-local files only
             },
             failed: failed_ids.into_inner().unwrap(),
@@ -411,6 +338,525 @@ pub(crate) fn run_impl(
         vertex_retries,
     };
     Ok((report, outputs))
+}
+
+/// Everything a vertex slot touches, shared across every node's slots.
+struct SlotCtx<'a> {
+    executor: &'a Arc<dyn Executor>,
+    sink: Option<&'a dyn TraceSink>,
+    chaos: Option<&'a FaultSchedule>,
+    clock: &'a RunClock,
+    config: &'a DryadConfig,
+    outputs: &'a Mutex<Vec<(String, Vec<u8>)>>,
+    failures: &'a AtomicUsize,
+    failed_ids: &'a Mutex<Vec<TaskId>>,
+    retries: &'a AtomicUsize,
+    attempts_total: &'a AtomicUsize,
+    deaths: &'a AtomicUsize,
+    first_error: &'a Mutex<Option<PpcError>>,
+    total_bytes: &'a AtomicUsize,
+}
+
+/// Cluster-wide defense state shared by every node when a
+/// [`ResiliencePolicy`] is configured.
+struct Defense<'a> {
+    policy: ResiliencePolicy,
+    hedge: Option<&'a Mutex<HedgePolicy>>,
+    health: Option<&'a Mutex<HealthTracker>>,
+    redundant: &'a AtomicUsize,
+    /// Clock time the last vertex settled (committed or permanently
+    /// failed). Native threads cannot be interrupted, so losing duplicates
+    /// may still be draining after this point; the defended report's
+    /// makespan is this settle time, not the join time.
+    finished_s: &'a Mutex<f64>,
+    n_tasks: usize,
+}
+
+/// A vertex some slot on this node is currently running, visible to the
+/// node's other slots as a backup candidate.
+struct RunningVertex {
+    spec: TaskSpec,
+    input: Vec<u8>,
+    started_s: f64,
+    /// Attempts (original + backups) still in flight.
+    live: u32,
+    hedged: bool,
+    cancelled: bool,
+    /// Next attempt index to hand a backup; starts past the retry layer's
+    /// range so backup spans never collide with primary retries.
+    next_attempt: u32,
+}
+
+/// Per-node defense state: the running-vertex registry idle slots scan for
+/// backup candidates, the first-result-wins commit set, and the count of
+/// vertices not yet committed or permanently failed.
+struct NodeDefense {
+    registry: Mutex<HashMap<u64, RunningVertex>>,
+    done: Mutex<HashSet<u64>>,
+    remaining: AtomicUsize,
+}
+
+/// What an idle slot found while scanning the node's registry.
+enum Backup {
+    /// Run this backup attempt.
+    Run(TaskSpec, Vec<u8>, u32),
+    /// Nothing eligible yet, but vertices are still outstanding.
+    Wait,
+    /// The node's partition is fully settled.
+    Done,
+}
+
+/// Score a successful attempt with the health tracker, emitting a
+/// Quarantine event if this observation benches the worker.
+fn note_success(
+    health: Option<&Mutex<HealthTracker>>,
+    sink: Option<&dyn TraceSink>,
+    worker: u32,
+    latency_s: f64,
+    now_s: f64,
+) {
+    let Some(health) = health else { return };
+    let mut tracker = health.lock().unwrap();
+    let before = matches!(tracker.health(worker), Health::Quarantined { .. });
+    tracker.record_success(worker, latency_s, now_s);
+    let benched = !before && matches!(tracker.health(worker), Health::Quarantined { .. });
+    drop(tracker);
+    if benched {
+        if let Some(s) = sink {
+            s.event(TraceEvent {
+                at_s: now_s,
+                worker,
+                kind: EventKind::Quarantine,
+            });
+        }
+    }
+}
+
+/// Score a failed attempt with the health tracker, emitting a Quarantine
+/// event if this failure benches the worker.
+fn note_failure(
+    health: Option<&Mutex<HealthTracker>>,
+    sink: Option<&dyn TraceSink>,
+    worker: u32,
+    now_s: f64,
+) {
+    let Some(health) = health else { return };
+    let mut tracker = health.lock().unwrap();
+    let before = matches!(tracker.health(worker), Health::Quarantined { .. });
+    tracker.record_failure(worker, now_s);
+    let benched = !before && matches!(tracker.health(worker), Health::Quarantined { .. });
+    drop(tracker);
+    if benched {
+        if let Some(s) = sink {
+            s.event(TraceEvent {
+                at_s: now_s,
+                worker,
+                kind: EventKind::Quarantine,
+            });
+        }
+    }
+}
+
+/// One traced vertex attempt: chaos dice (primary first attempts only),
+/// local read, execute, and the terminal write mark on success.
+fn vertex_attempt(
+    ctx: &SlotCtx,
+    spec: &TaskSpec,
+    input: &[u8],
+    worker: u32,
+    seq: u32,
+    attempt: u32,
+    dice: bool,
+) -> Result<Vec<u8>> {
+    ctx.attempts_total.fetch_add(1, Ordering::Relaxed);
+    let attempt_start = Instant::now();
+    // Each attempt is its own span subtree; dropping the marker on a
+    // failure path still closes it.
+    let mut tt = ctx.sink.map(|s| {
+        let mut tt = AttemptMarker::new(s, spec.id.0, attempt, worker, ctx.clock.now_s());
+        tt.mark(Phase::VertexStart, ctx.clock.now_s());
+        tt
+    });
+    if let Some(schedule) = ctx.chaos {
+        // Any death die or a torn output costs exactly one failed attempt;
+        // the job manager re-runs the vertex.
+        if dice {
+            let died = schedule.die_before_execute(worker, seq)
+                || schedule.die_mid_execute(worker, seq)
+                || schedule.die_before_delete(worker, seq);
+            if died || schedule.is_torn_upload(worker, seq) {
+                if died {
+                    ctx.deaths.fetch_add(1, Ordering::Relaxed);
+                    if let Some(s) = ctx.sink {
+                        s.event(TraceEvent {
+                            at_s: ctx.clock.now_s(),
+                            worker,
+                            kind: EventKind::Death,
+                        });
+                    }
+                }
+                return Err(PpcError::Transient("chaos: vertex attempt killed".into()));
+            }
+        }
+    }
+    // Inputs are already in node-local memory: the read phase is an
+    // instant, but it keeps the native phase set aligned with the
+    // simulator's.
+    if let Some(tt) = tt.as_mut() {
+        tt.mark(Phase::ReadLocal, ctx.clock.now_s());
+    }
+    let r = ctx.executor.run(spec, input);
+    // Gray degradation stretches the execute phase itself, so a straggling
+    // attempt is slow in the trace and loses the commit race for real.
+    apply_gray_slowdown(ctx, worker, attempt_start);
+    if let Some(tt) = tt.as_mut() {
+        tt.mark(Phase::Execute, ctx.clock.now_s());
+        if r.is_ok() {
+            // Under hedging a backup vertex may race this attempt; the
+            // write that reaches the commit set first is the terminal one.
+            tt.mark(Phase::Write, ctx.clock.now_s());
+        }
+    }
+    r
+}
+
+/// Stretch the slot's wall time under a gray degradation window.
+fn apply_gray_slowdown(ctx: &SlotCtx, worker: u32, vertex_start: Instant) {
+    if let Some(schedule) = ctx.chaos {
+        let factor = schedule.slowdown(worker, ctx.clock.now_s());
+        if factor > 1.0 {
+            std::thread::sleep(vertex_start.elapsed().mul_f64(factor - 1.0));
+        }
+    }
+}
+
+/// The legacy slot loop: pull vertices off the node's local list until it
+/// drains. Exactly the pre-resilience behavior — the `None` policy path.
+fn legacy_slot_loop(ctx: &SlotCtx, local: &Mutex<VecDeque<(TaskSpec, Vec<u8>)>>, worker: u32) {
+    if let Some(s) = ctx.sink {
+        s.event(TraceEvent {
+            at_s: ctx.clock.now_s(),
+            worker,
+            kind: EventKind::WorkerStart,
+        });
+    }
+    // Re-execute a failed vertex (Table 3's Dryad fault tolerance) through
+    // the shared retry layer before declaring it failed.
+    let policy = RetryPolicy::immediate(ctx.config.max_retries + 1);
+    let mut rng = Pcg32::for_stream(ctx.config.seed, worker as u64);
+    let mut task_seq: u32 = 0;
+    let mut last_kill_s: f64 = 0.0;
+    loop {
+        let item = local.lock().unwrap().pop_front();
+        let (spec, input) = match item {
+            Some(x) => x,
+            None => break,
+        };
+        if let Some(schedule) = ctx.chaos {
+            let now_s = ctx.clock.now_s();
+            if schedule.kills_in(worker, last_kill_s, now_s) {
+                // Slot dies: hand the vertex back to a surviving slot on
+                // this node.
+                ctx.deaths.fetch_add(1, Ordering::Relaxed);
+                if let Some(s) = ctx.sink {
+                    s.event(TraceEvent {
+                        at_s: now_s,
+                        worker,
+                        kind: EventKind::Death,
+                    });
+                }
+                local.lock().unwrap().push_front((spec, input));
+                break;
+            }
+            last_kill_s = now_s;
+        }
+        let seq = task_seq;
+        task_seq += 1;
+        let mut used_attempts = 0u32;
+        let out = policy.run_blocking(&mut rng, |attempt| {
+            used_attempts = attempt;
+            vertex_attempt(ctx, &spec, &input, worker, seq, attempt, attempt == 0)
+        });
+        match out {
+            Ok(out) => {
+                if used_attempts > 0 {
+                    ctx.retries
+                        .fetch_add(used_attempts as usize, Ordering::Relaxed);
+                }
+                ctx.total_bytes.fetch_add(out.len(), Ordering::Relaxed);
+                ctx.outputs
+                    .lock()
+                    .unwrap()
+                    .push((spec.output_key.clone(), out));
+            }
+            Err(e) => {
+                ctx.failures.fetch_add(1, Ordering::Relaxed);
+                ctx.failed_ids.lock().unwrap().push(spec.id);
+                let mut fe = ctx.first_error.lock().unwrap();
+                if fe.is_none() {
+                    *fe = Some(e);
+                }
+            }
+        }
+    }
+}
+
+/// The defended slot loop: like [`legacy_slot_loop`], but every running
+/// vertex is registered as a backup candidate, idle slots launch backup
+/// vertices for deadline breaches and hedge-eligible stragglers on their
+/// own node, the first Ok attempt wins (losers count as redundant work),
+/// and quarantined slots are benched off the local list until released.
+fn defended_slot_loop(
+    ctx: &SlotCtx,
+    defense: &Defense,
+    node: &NodeDefense,
+    local: &Mutex<VecDeque<(TaskSpec, Vec<u8>)>>,
+    worker: u32,
+) {
+    if let Some(s) = ctx.sink {
+        s.event(TraceEvent {
+            at_s: ctx.clock.now_s(),
+            worker,
+            kind: EventKind::WorkerStart,
+        });
+    }
+    let retry = RetryPolicy::immediate(ctx.config.max_retries + 1);
+    let mut rng = Pcg32::for_stream(ctx.config.seed, worker as u64);
+    let mut task_seq: u32 = 0;
+    let mut last_kill_s: f64 = 0.0;
+    loop {
+        if let Some(health) = defense.health {
+            // Quarantine gate: a benched slot naps instead of pulling work.
+            // Its share of the list is picked up by the node's other slots
+            // (within-node balancing is dynamic; across nodes it is not).
+            let now_s = ctx.clock.now_s();
+            let mut tracker = health.lock().unwrap();
+            let was_benched = matches!(tracker.health(worker), Health::Quarantined { .. });
+            if !tracker.allow(worker, now_s) {
+                drop(tracker);
+                if node.remaining.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(500));
+                continue;
+            }
+            drop(tracker);
+            if was_benched {
+                if let Some(s) = ctx.sink {
+                    s.event(TraceEvent {
+                        at_s: now_s,
+                        worker,
+                        kind: EventKind::Release,
+                    });
+                }
+            }
+        }
+        let item = local.lock().unwrap().pop_front();
+        match item {
+            Some((spec, input)) => {
+                if let Some(schedule) = ctx.chaos {
+                    let now_s = ctx.clock.now_s();
+                    if schedule.kills_in(worker, last_kill_s, now_s) {
+                        ctx.deaths.fetch_add(1, Ordering::Relaxed);
+                        if let Some(s) = ctx.sink {
+                            s.event(TraceEvent {
+                                at_s: now_s,
+                                worker,
+                                kind: EventKind::Death,
+                            });
+                        }
+                        local.lock().unwrap().push_front((spec, input));
+                        break;
+                    }
+                    last_kill_s = now_s;
+                }
+                let seq = task_seq;
+                task_seq += 1;
+                // Register before running so other slots can back this
+                // vertex up while it is in flight.
+                node.registry.lock().unwrap().insert(
+                    spec.id.0,
+                    RunningVertex {
+                        spec: spec.clone(),
+                        input: input.clone(),
+                        started_s: ctx.clock.now_s(),
+                        live: 1,
+                        hedged: false,
+                        cancelled: false,
+                        next_attempt: ctx.config.max_retries + 1,
+                    },
+                );
+                let vertex_start = Instant::now();
+                let mut used_attempts = 0u32;
+                let out = retry.run_blocking(&mut rng, |attempt| {
+                    used_attempts = attempt;
+                    let r = vertex_attempt(ctx, &spec, &input, worker, seq, attempt, attempt == 0);
+                    if r.is_err() {
+                        note_failure(defense.health, ctx.sink, worker, ctx.clock.now_s());
+                    }
+                    r
+                });
+                let latency_s = vertex_start.elapsed().as_secs_f64();
+                finish_attempt(
+                    ctx,
+                    defense,
+                    node,
+                    &spec,
+                    worker,
+                    out,
+                    used_attempts,
+                    latency_s,
+                );
+            }
+            None => match next_backup(ctx, defense, node) {
+                Backup::Run(spec, input, attempt) => {
+                    let vertex_start = Instant::now();
+                    // Backups roll no chaos dice: the dice model per-pull
+                    // hazards and this slot already survived its pull.
+                    let out = vertex_attempt(ctx, &spec, &input, worker, 0, attempt, false);
+                    if out.is_err() {
+                        note_failure(defense.health, ctx.sink, worker, ctx.clock.now_s());
+                    }
+                    let latency_s = vertex_start.elapsed().as_secs_f64();
+                    finish_attempt(ctx, defense, node, &spec, worker, out, 0, latency_s);
+                }
+                Backup::Wait => std::thread::sleep(Duration::from_micros(200)),
+                Backup::Done => break,
+            },
+        }
+    }
+}
+
+/// Scan the node's registry for a backup candidate: deadline breaches
+/// first (cancel-and-re-execute), then hedge-eligible stragglers.
+fn next_backup(ctx: &SlotCtx, defense: &Defense, node: &NodeDefense) -> Backup {
+    if node.remaining.load(Ordering::Acquire) == 0 {
+        return Backup::Done;
+    }
+    let now_s = ctx.clock.now_s();
+    let mut reg = node.registry.lock().unwrap();
+    let done = node.done.lock().unwrap();
+    if let Some(d) = defense.policy.deadline {
+        if let Some(e) = reg.values_mut().find(|e| {
+            !done.contains(&e.spec.id.0) && !e.cancelled && now_s - e.started_s > d.timeout_s
+        }) {
+            // Native threads cannot be interrupted, so "cancel" here means
+            // the overdue attempt is logically abandoned: a replacement
+            // launches now and whichever finishes first still wins.
+            e.cancelled = true;
+            e.live += 1;
+            let attempt = e.next_attempt;
+            e.next_attempt += 1;
+            if let Some(s) = ctx.sink {
+                s.event(TraceEvent {
+                    at_s: now_s,
+                    worker: NO_WORKER,
+                    kind: EventKind::Cancel,
+                });
+            }
+            return Backup::Run(e.spec.clone(), e.input.clone(), attempt);
+        }
+    }
+    if let Some(hedge) = defense.hedge {
+        let mut policy = hedge.lock().unwrap();
+        if let Some(e) = reg.values_mut().find(|e| {
+            !done.contains(&e.spec.id.0)
+                && !e.hedged
+                && policy.should_hedge(now_s - e.started_s, e.live, defense.n_tasks)
+        }) {
+            policy.record_hedge();
+            e.hedged = true;
+            e.live += 1;
+            let attempt = e.next_attempt;
+            e.next_attempt += 1;
+            if let Some(s) = ctx.sink {
+                s.event(TraceEvent {
+                    at_s: now_s,
+                    worker: NO_WORKER,
+                    kind: EventKind::Hedge,
+                });
+            }
+            return Backup::Run(e.spec.clone(), e.input.clone(), attempt);
+        }
+    }
+    Backup::Wait
+}
+
+/// Settle one finished attempt (primary or backup): first Ok wins and
+/// commits the output, losing duplicates count as redundant work, and a
+/// permanent failure is recorded only once every live attempt has failed.
+#[allow(clippy::too_many_arguments)]
+fn finish_attempt(
+    ctx: &SlotCtx,
+    defense: &Defense,
+    node: &NodeDefense,
+    spec: &TaskSpec,
+    worker: u32,
+    out: Result<Vec<u8>>,
+    used_attempts: u32,
+    latency_s: f64,
+) {
+    let now_s = ctx.clock.now_s();
+    match out {
+        Ok(bytes) => {
+            let winner = node.done.lock().unwrap().insert(spec.id.0);
+            if winner {
+                if used_attempts > 0 {
+                    ctx.retries
+                        .fetch_add(used_attempts as usize, Ordering::Relaxed);
+                }
+                ctx.total_bytes.fetch_add(bytes.len(), Ordering::Relaxed);
+                ctx.outputs
+                    .lock()
+                    .unwrap()
+                    .push((spec.output_key.clone(), bytes));
+                if let Some(hedge) = defense.hedge {
+                    hedge.lock().unwrap().observe(latency_s);
+                }
+                node.remaining.fetch_sub(1, Ordering::AcqRel);
+                let mut f = defense.finished_s.lock().unwrap();
+                *f = f.max(now_s);
+            } else {
+                // A duplicate lost the race: its bytes are discarded —
+                // exactly-once output, the work was redundant.
+                defense.redundant.fetch_add(1, Ordering::Relaxed);
+            }
+            note_success(defense.health, ctx.sink, worker, latency_s, now_s);
+            let mut reg = node.registry.lock().unwrap();
+            if let Some(e) = reg.get_mut(&spec.id.0) {
+                e.live = e.live.saturating_sub(1);
+                if e.live == 0 {
+                    reg.remove(&spec.id.0);
+                }
+            }
+        }
+        Err(e) => {
+            let mut reg = node.registry.lock().unwrap();
+            let last_live = match reg.get_mut(&spec.id.0) {
+                Some(entry) => {
+                    entry.live = entry.live.saturating_sub(1);
+                    entry.live == 0
+                }
+                None => true,
+            };
+            let done = node.done.lock().unwrap().contains(&spec.id.0);
+            if last_live {
+                reg.remove(&spec.id.0);
+            }
+            drop(reg);
+            if last_live && !done {
+                ctx.failures.fetch_add(1, Ordering::Relaxed);
+                ctx.failed_ids.lock().unwrap().push(spec.id);
+                let mut fe = ctx.first_error.lock().unwrap();
+                if fe.is_none() {
+                    *fe = Some(e);
+                }
+                node.remaining.fetch_sub(1, Ordering::AcqRel);
+                let mut f = defense.finished_s.lock().unwrap();
+                *f = f.max(now_s);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -603,6 +1049,77 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.code(), "InvalidArgument");
+    }
+
+    fn sleepy(ms: u64) -> Arc<dyn Executor> {
+        FnExecutor::new("sleepy", move |_s: &TaskSpec, i: &[u8]| {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(i.to_vec())
+        })
+    }
+
+    #[test]
+    fn backup_vertex_rescues_gray_straggler() {
+        use ppc_resilience::HedgeConfig;
+        use ppc_trace::Recorder;
+        // Slot 0 is gray (40x): without hedging its in-hand vertex pins the
+        // node for ~200ms; with hedging an idle slot launches a backup and
+        // the first Ok wins.
+        let cluster = Cluster::provision(BARE_HPC16, 1, 4);
+        let schedule = Arc::new(FaultSchedule::new(3).degrade(0, 40.0, 0.0, 1e9));
+        let run_with = |resilience: Option<ResiliencePolicy>| {
+            let rec = Arc::new(Recorder::new());
+            let config = DryadConfig {
+                resilience,
+                trace: Some(rec.clone()),
+                ..Default::default()
+            };
+            let ctx = RunContext::new(&cluster).with_schedule(schedule.clone());
+            crate::run(&ctx, inputs(16), sleepy(5), &config).unwrap()
+        };
+        let (plain, plain_out) = run_with(None);
+        let hedged_policy = ResiliencePolicy::hedged(HedgeConfig::quantile(0.02));
+        let (hedged, hedged_out) = run_with(Some(hedged_policy));
+        assert_eq!(plain_out.len(), 16);
+        assert_eq!(hedged_out.len(), 16, "first-Ok-wins must keep every output");
+        assert_eq!(hedged.summary.tasks, 16);
+        let trace = hedged.core.trace.as_ref().unwrap();
+        assert!(
+            trace.events_of_kind(EventKind::Hedge) > 0,
+            "an idle slot must have launched a backup vertex"
+        );
+        assert!(
+            hedged.summary.redundant_executions > 0,
+            "the losing duplicate counts as redundant work"
+        );
+        assert!(
+            hedged.summary.makespan_seconds < plain.summary.makespan_seconds,
+            "hedged {} vs unhedged {}",
+            hedged.summary.makespan_seconds,
+            plain.summary.makespan_seconds
+        );
+    }
+
+    #[test]
+    fn deadline_cancels_overdue_vertex() {
+        // Slot 0 is gray (40x, ~200ms per vertex); a 50ms deadline lets an
+        // idle slot cancel the overdue attempt and re-run it.
+        let cluster = Cluster::provision(BARE_HPC16, 1, 4);
+        let schedule = Arc::new(FaultSchedule::new(3).degrade(0, 40.0, 0.0, 1e9));
+        let rec = Arc::new(ppc_trace::Recorder::new());
+        let config = DryadConfig {
+            resilience: Some(ResiliencePolicy::default().with_deadline(0.05)),
+            trace: Some(rec),
+            ..Default::default()
+        };
+        let ctx = RunContext::new(&cluster).with_schedule(schedule);
+        let (report, outputs) = crate::run(&ctx, inputs(16), sleepy(5), &config).unwrap();
+        assert_eq!(outputs.len(), 16, "cancellation must never lose a vertex");
+        let trace = report.core.trace.as_ref().unwrap();
+        assert!(
+            trace.events_of_kind(EventKind::Cancel) > 0,
+            "the overdue vertex must have been cancelled"
+        );
     }
 
     #[test]

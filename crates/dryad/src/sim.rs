@@ -15,8 +15,9 @@ use ppc_core::rng::Pcg32;
 use ppc_core::task::{TaskId, TaskSpec};
 use ppc_core::{PpcError, Result};
 use ppc_exec::{RunContext, RunReport};
+use ppc_resilience::{Health, HealthTracker, HedgePolicy, ResiliencePolicy};
 use ppc_storage::latency::LatencyModel;
-use ppc_trace::{EventKind, Phase, Recorder, RunMeta, Span, TraceEvent, TraceSink};
+use ppc_trace::{EventKind, Phase, Recorder, RunMeta, Span, TraceEvent, TraceSink, NO_WORKER};
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
@@ -36,6 +37,13 @@ pub struct DryadSimConfig {
     /// Record per-vertex phase spans; the report carries the finished
     /// [`ppc_trace::Trace`].
     pub trace: bool,
+    /// Straggler and gray-failure defense. With a hedge config, a vertex
+    /// whose service time exceeds the learned delay gets a *backup vertex*
+    /// on the node's next-free slot (never crossing nodes) and the first
+    /// completion wins; a deadline cuts overlong attempts and re-runs them
+    /// through slot selection; a quarantine config benches gray slots off
+    /// the list schedule. `None` keeps the legacy simulator bit-identical.
+    pub resilience: Option<ResiliencePolicy>,
 }
 
 impl Default for DryadSimConfig {
@@ -47,6 +55,7 @@ impl Default for DryadSimConfig {
             jitter_sigma: 0.02,
             seed: 42,
             trace: false,
+            resilience: None,
         }
     }
 }
@@ -108,7 +117,55 @@ impl DryadSimConfig {
                 self.jitter_sigma
             )));
         }
+        if let Some(policy) = &self.resilience {
+            policy.validate()?;
+        }
         Ok(())
+    }
+}
+
+/// Score a successful attempt, emitting a Quarantine event if this
+/// observation benches the slot.
+fn sim_note_success(
+    health: &mut Option<HealthTracker>,
+    rec: &Option<Recorder>,
+    worker: u32,
+    latency_s: f64,
+    now_s: f64,
+) {
+    let Some(h) = health.as_mut() else { return };
+    let before = matches!(h.health(worker), Health::Quarantined { .. });
+    h.record_success(worker, latency_s, now_s);
+    if !before && matches!(h.health(worker), Health::Quarantined { .. }) {
+        if let Some(rec) = rec {
+            rec.event(TraceEvent {
+                at_s: now_s,
+                worker,
+                kind: EventKind::Quarantine,
+            });
+        }
+    }
+}
+
+/// Score a failed or cancelled attempt, emitting a Quarantine event if
+/// this observation benches the slot.
+fn sim_note_failure(
+    health: &mut Option<HealthTracker>,
+    rec: &Option<Recorder>,
+    worker: u32,
+    now_s: f64,
+) {
+    let Some(h) = health.as_mut() else { return };
+    let before = matches!(h.health(worker), Health::Quarantined { .. });
+    h.record_failure(worker, now_s);
+    if !before && matches!(h.health(worker), Health::Quarantined { .. }) {
+        if let Some(rec) = rec {
+            rec.event(TraceEvent {
+                at_s: now_s,
+                worker,
+                kind: EventKind::Quarantine,
+            });
+        }
     }
 }
 
@@ -176,6 +233,15 @@ pub(crate) fn simulate_impl(
     let mut total_attempts = 0usize;
     let mut deaths = 0usize;
     let mut failed: Vec<TaskId> = Vec::new();
+    // Defense state is cluster-wide (one latency quantile, one health
+    // ledger) even though backup vertices never cross nodes.
+    let mut hedge = cfg.resilience.and_then(|p| p.hedge).map(HedgePolicy::new);
+    let mut health = cfg
+        .resilience
+        .and_then(|p| p.quarantine)
+        .map(HealthTracker::new);
+    let deadline = cfg.resilience.and_then(|p| p.deadline);
+    let mut hedged_losers = 0usize;
     let mut node_base = 0usize;
     for (node_idx, node_tasks) in partitions.iter().enumerate() {
         let workers = cluster.nodes()[node_idx].workers;
@@ -192,6 +258,266 @@ pub(crate) fn simulate_impl(
             let t_in = cfg.local_io.transfer_seconds(task.profile.input_bytes);
             let t_out = cfg.local_io.transfer_seconds(task.profile.output_bytes);
             let t_io = t_in + t_out;
+            if cfg.resilience.is_some() {
+                // ---- defended scheduling of one vertex --------------------
+                let mut attempt_idx = 0u32;
+                // A re-attempt (after a death or a deadline cancellation)
+                // cannot start before the failed attempt ended, even if the
+                // replacement slot freed up earlier.
+                let mut earliest: u64 = 0;
+                loop {
+                    // Pick a slot through the quarantine gate: a benched
+                    // slot re-enters the heap at its release time, so the
+                    // list schedule flows around gray slots.
+                    let (start, slot) = loop {
+                        let std::cmp::Reverse((fa, s)) = slots.pop().expect("at least one slot");
+                        let now_s = fa as f64 / 1e6;
+                        let Some(h) = health.as_mut() else {
+                            break (fa, s);
+                        };
+                        let was_benched = matches!(h.health(s as u32), Health::Quarantined { .. });
+                        if h.allow(s as u32, now_s) {
+                            if was_benched {
+                                if let Some(rec) = &rec {
+                                    rec.event(TraceEvent {
+                                        at_s: now_s,
+                                        worker: s as u32,
+                                        kind: EventKind::Release,
+                                    });
+                                }
+                            }
+                            break (fa, s);
+                        }
+                        let until_s = match h.health(s as u32) {
+                            Health::Quarantined { until_s } => until_s,
+                            _ => now_s,
+                        };
+                        slots.push(std::cmp::Reverse((
+                            ((until_s.max(now_s)) * 1e6).round() as u64 + 1,
+                            s,
+                        )));
+                    };
+                    let w = slot as u32;
+                    let local_slot = slot - node_base;
+                    let start = start.max(earliest);
+                    let start_s = start as f64 / 1e6;
+                    let jitter = if cfg.jitter_sigma > 0.0 {
+                        rngs[slot].log_normal(0.0, cfg.jitter_sigma)
+                    } else {
+                        1.0
+                    };
+                    let factor = schedule.as_ref().map_or(1.0, |s| s.slowdown(w, start_s));
+                    let dur_s = cfg.vertex_overhead_s + t_exec * jitter * factor + t_io;
+                    let seq = task_seqs[local_slot];
+                    task_seqs[local_slot] += 1;
+                    total_attempts += 1;
+                    let mut killed = false;
+                    let mut dies = false;
+                    if let Some(schedule) = &schedule {
+                        let end_s = start_s + dur_s;
+                        killed = schedule.kills_in(w, last_kill[local_slot], end_s);
+                        last_kill[local_slot] = end_s;
+                        let died = killed
+                            || schedule.die_before_execute(w, seq)
+                            || schedule.die_mid_execute(w, seq)
+                            || schedule.die_before_delete(w, seq);
+                        if died {
+                            deaths += 1;
+                        }
+                        dies = died || schedule.is_torn_upload(w, seq);
+                    }
+                    if dies {
+                        let finish = start + (dur_s * 1e6).round() as u64;
+                        let end_s = finish as f64 / 1e6;
+                        if let Some(rec) = &rec {
+                            record_vertex(
+                                rec,
+                                task.id.0,
+                                attempt_idx,
+                                w,
+                                start_s,
+                                end_s,
+                                cfg.vertex_overhead_s,
+                                t_in,
+                                t_out,
+                                false,
+                            );
+                            if killed {
+                                rec.event(TraceEvent {
+                                    at_s: end_s,
+                                    worker: w,
+                                    kind: EventKind::Death,
+                                });
+                            }
+                        }
+                        sim_note_failure(&mut health, &rec, w, end_s);
+                        node_finish = node_finish.max(finish);
+                        slots.push(std::cmp::Reverse((finish, slot)));
+                        earliest = finish;
+                        attempt_idx += 1;
+                        if attempt_idx >= MAX_CHAOS_ATTEMPTS {
+                            vertex_failures += 1;
+                            failed.push(task.id);
+                            break;
+                        }
+                        vertex_retries += 1;
+                        continue;
+                    }
+                    if let Some(d) = deadline {
+                        if dur_s > d.timeout_s {
+                            // Cancel the overlong attempt at the deadline
+                            // and re-run through slot selection, where the
+                            // quarantine gate can divert it off a gray slot.
+                            let finish = start + (d.timeout_s * 1e6).round() as u64;
+                            let end_s = finish as f64 / 1e6;
+                            if let Some(rec) = &rec {
+                                record_vertex(
+                                    rec,
+                                    task.id.0,
+                                    attempt_idx,
+                                    w,
+                                    start_s,
+                                    end_s,
+                                    cfg.vertex_overhead_s,
+                                    t_in,
+                                    t_out,
+                                    false,
+                                );
+                                rec.event(TraceEvent {
+                                    at_s: end_s,
+                                    worker: w,
+                                    kind: EventKind::Cancel,
+                                });
+                            }
+                            sim_note_failure(&mut health, &rec, w, end_s);
+                            node_finish = node_finish.max(finish);
+                            slots.push(std::cmp::Reverse((finish, slot)));
+                            attempt_idx += 1;
+                            if attempt_idx >= MAX_CHAOS_ATTEMPTS {
+                                vertex_failures += 1;
+                                failed.push(task.id);
+                                break;
+                            }
+                            vertex_retries += 1;
+                            continue;
+                        }
+                    }
+                    // The attempt will complete; a straggler may earn a
+                    // backup vertex on the node's next-free slot first.
+                    let mut finish = start + (dur_s * 1e6).round() as u64;
+                    let mut winner_w = w;
+                    let mut winner_latency = dur_s;
+                    let mut hedged = false;
+                    if let Some(policy) = hedge.as_mut() {
+                        let delay = policy.hedge_delay();
+                        if dur_s > delay && policy.should_hedge(delay, 1, tasks.len()) {
+                            let std::cmp::Reverse((b_free, b_slot)) =
+                                slots.pop().expect("at least one slot");
+                            let b_start = b_free.max(start + (delay * 1e6).round() as u64);
+                            if b_start < finish {
+                                let bw = b_slot as u32;
+                                let b_start_s = b_start as f64 / 1e6;
+                                let b_jitter = if cfg.jitter_sigma > 0.0 {
+                                    rngs[b_slot].log_normal(0.0, cfg.jitter_sigma)
+                                } else {
+                                    1.0
+                                };
+                                let b_factor =
+                                    schedule.as_ref().map_or(1.0, |s| s.slowdown(bw, b_start_s));
+                                let b_dur_s =
+                                    cfg.vertex_overhead_s + t_exec * b_jitter * b_factor + t_io;
+                                let b_finish = b_start + (b_dur_s * 1e6).round() as u64;
+                                policy.record_hedge();
+                                total_attempts += 1;
+                                hedged = true;
+                                hedged_losers += 1;
+                                if let Some(rec) = &rec {
+                                    rec.event(TraceEvent {
+                                        at_s: b_start_s,
+                                        worker: NO_WORKER,
+                                        kind: EventKind::Hedge,
+                                    });
+                                }
+                                // First result wins; the loser is cancelled
+                                // at the winner's completion, freeing both
+                                // slots there.
+                                let win = finish.min(b_finish);
+                                if let Some(rec) = &rec {
+                                    record_vertex(
+                                        rec,
+                                        task.id.0,
+                                        attempt_idx,
+                                        w,
+                                        start_s,
+                                        if b_finish < finish {
+                                            win as f64 / 1e6
+                                        } else {
+                                            finish as f64 / 1e6
+                                        },
+                                        cfg.vertex_overhead_s,
+                                        t_in,
+                                        t_out,
+                                        b_finish >= finish,
+                                    );
+                                    record_vertex(
+                                        rec,
+                                        task.id.0,
+                                        attempt_idx + 1,
+                                        bw,
+                                        b_start_s,
+                                        if b_finish < finish {
+                                            b_finish as f64 / 1e6
+                                        } else {
+                                            win as f64 / 1e6
+                                        },
+                                        cfg.vertex_overhead_s,
+                                        t_in,
+                                        t_out,
+                                        b_finish < finish,
+                                    );
+                                }
+                                if b_finish < finish {
+                                    winner_w = bw;
+                                    winner_latency = b_dur_s;
+                                }
+                                node_finish = node_finish.max(win);
+                                slots.push(std::cmp::Reverse((win, slot)));
+                                slots.push(std::cmp::Reverse((win, b_slot)));
+                                finish = win;
+                            } else {
+                                // The backup could not launch before the
+                                // primary finishes: pointless, skip it.
+                                slots.push(std::cmp::Reverse((b_free, b_slot)));
+                            }
+                        }
+                    }
+                    if !hedged {
+                        if let Some(rec) = &rec {
+                            record_vertex(
+                                rec,
+                                task.id.0,
+                                attempt_idx,
+                                w,
+                                start_s,
+                                finish as f64 / 1e6,
+                                cfg.vertex_overhead_s,
+                                t_in,
+                                t_out,
+                                true,
+                            );
+                        }
+                        node_finish = node_finish.max(finish);
+                        slots.push(std::cmp::Reverse((finish, slot)));
+                    }
+                    let end_s = finish as f64 / 1e6;
+                    if let Some(policy) = hedge.as_mut() {
+                        policy.observe(winner_latency);
+                    }
+                    sim_note_success(&mut health, &rec, winner_w, winner_latency, end_s);
+                    break;
+                }
+                continue;
+            }
             let std::cmp::Reverse((free_at, slot)) = slots.pop().expect("at least one slot");
             let local_slot = slot - node_base;
             // The executing slot draws the jitter from its own stream.
@@ -303,7 +629,7 @@ pub(crate) fn simulate_impl(
                 cores: cluster.total_workers(),
                 tasks: tasks.len() - vertex_failures,
                 makespan_seconds: makespan,
-                redundant_executions: vertex_retries,
+                redundant_executions: vertex_retries + hedged_losers,
                 remote_bytes: 0,
             },
             failed,
@@ -454,6 +780,93 @@ mod tests {
             ..Default::default()
         };
         simulate(&cluster, &cpu_tasks(2, 1.0), &cfg);
+    }
+
+    #[test]
+    fn sim_hedging_rescues_gray_straggler() {
+        use ppc_resilience::HedgeConfig;
+        // Slot 0 is gray (30x): its in-hand vertex would run ~326s; a
+        // backup vertex on a healthy slot wins in ~26s instead.
+        let cluster = Cluster::provision(BARE_HPC16, 1, 8);
+        let tasks = cpu_tasks(64, 10.0);
+        let schedule = Arc::new(FaultSchedule::new(11).degrade(0, 30.0, 0.0, 1e9));
+        let cfg = DryadSimConfig {
+            trace: true,
+            ..quiet()
+        };
+        let plain = simulate_chaos(&cluster, &tasks, &cfg, Some(schedule.clone()));
+        let hedged_cfg = DryadSimConfig {
+            resilience: Some(ResiliencePolicy::hedged(HedgeConfig::quantile(15.0))),
+            ..cfg
+        };
+        let hedged = simulate_chaos(&cluster, &tasks, &hedged_cfg, Some(schedule));
+        assert_eq!(hedged.summary.tasks, 64);
+        let trace = hedged.core.trace.as_ref().unwrap();
+        assert!(trace.events_of_kind(EventKind::Hedge) > 0);
+        assert!(
+            hedged.summary.redundant_executions > plain.summary.redundant_executions,
+            "losing duplicates count as redundant work"
+        );
+        assert!(
+            hedged.summary.makespan_seconds < plain.summary.makespan_seconds,
+            "hedged {} vs unhedged {}",
+            hedged.summary.makespan_seconds,
+            plain.summary.makespan_seconds
+        );
+    }
+
+    #[test]
+    fn sim_quarantine_benches_gray_slot() {
+        use ppc_resilience::QuarantineConfig;
+        // Slot 0 is gray (30x): after two ~327s vertices its EWMA is far
+        // past 3x the fleet median, so it is benched and the list schedule
+        // flows around it.
+        let cluster = Cluster::provision(BARE_HPC16, 1, 8);
+        let tasks = cpu_tasks(512, 10.0);
+        let schedule = Arc::new(FaultSchedule::new(11).degrade(0, 30.0, 0.0, 1e9));
+        let cfg = DryadSimConfig {
+            trace: true,
+            ..quiet()
+        };
+        let plain = simulate_chaos(&cluster, &tasks, &cfg, Some(schedule.clone()));
+        let defended_cfg = DryadSimConfig {
+            resilience: Some(
+                ResiliencePolicy::default().with_quarantine(QuarantineConfig {
+                    min_samples: 2,
+                    quarantine_s: 1e5,
+                    ..Default::default()
+                }),
+            ),
+            ..cfg
+        };
+        let defended = simulate_chaos(&cluster, &tasks, &defended_cfg, Some(schedule));
+        assert_eq!(defended.summary.tasks, 512);
+        let trace = defended.core.trace.as_ref().unwrap();
+        assert!(trace.events_of_kind(EventKind::Quarantine) > 0);
+        assert!(
+            defended.summary.makespan_seconds < plain.summary.makespan_seconds,
+            "defended {} vs undefended {}",
+            defended.summary.makespan_seconds,
+            plain.summary.makespan_seconds
+        );
+    }
+
+    #[test]
+    fn sim_deadline_cancels_and_requeues() {
+        // A 60s deadline cuts the gray slot's ~327s vertex and re-runs it
+        // through slot selection.
+        let cluster = Cluster::provision(BARE_HPC16, 1, 8);
+        let tasks = cpu_tasks(64, 10.0);
+        let schedule = Arc::new(FaultSchedule::new(11).degrade(0, 30.0, 0.0, 1e9));
+        let cfg = DryadSimConfig {
+            trace: true,
+            resilience: Some(ResiliencePolicy::default().with_deadline(60.0)),
+            ..quiet()
+        };
+        let report = simulate_chaos(&cluster, &tasks, &cfg, Some(schedule));
+        assert_eq!(report.summary.tasks, 64, "no vertex may be lost");
+        let trace = report.core.trace.as_ref().unwrap();
+        assert!(trace.events_of_kind(EventKind::Cancel) > 0);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use ppc_core::json::Json;
 use ppc_core::metrics::RunSummary;
 use ppc_core::task::{TaskId, TaskSpec};
 use ppc_core::{PpcError, Result};
+use ppc_resilience::ResiliencePolicy;
 use ppc_trace::{Trace, TraceSink};
 use std::sync::Arc;
 
@@ -80,6 +81,10 @@ pub struct RunContext {
     pub sink: Option<Arc<dyn TraceSink>>,
     /// Record spans in simulated runs (ORed with the sim config's flag).
     pub trace: bool,
+    /// Straggler / gray-failure defense (hedged attempts, health-scored
+    /// quarantine, per-task deadlines); overrides the config's when set.
+    /// `None` leaves each paradigm's legacy behavior untouched.
+    pub resilience: Option<ResiliencePolicy>,
 }
 
 impl RunContext {
@@ -96,6 +101,7 @@ impl RunContext {
             schedule: None,
             sink: None,
             trace: false,
+            resilience: None,
         }
     }
 
@@ -123,6 +129,7 @@ impl RunContext {
             schedule: None,
             sink: None,
             trace: false,
+            resilience: None,
         }
     }
 
@@ -160,6 +167,11 @@ impl RunContext {
         self
     }
 
+    pub fn with_resilience(mut self, policy: ResiliencePolicy) -> RunContext {
+        self.resilience = Some(policy);
+        self
+    }
+
     /// A fresh wall-clock for a native run starting now.
     pub fn clock(&self) -> RunClock {
         RunClock::start()
@@ -186,6 +198,15 @@ impl RunContext {
     /// Effective sim-trace flag: context OR config.
     pub fn trace_or(&self, config_trace: bool) -> bool {
         self.trace || config_trace
+    }
+
+    /// Effective resilience policy: the context's when set, else the
+    /// config's.
+    pub fn resilience_or(
+        &self,
+        config_policy: &Option<ResiliencePolicy>,
+    ) -> Option<ResiliencePolicy> {
+        self.resilience.or(*config_policy)
     }
 
     /// The fixed fleets of this plan, or an error for elastic plans (for
@@ -370,6 +391,14 @@ mod tests {
         let cfg_sched = Some(Arc::new(FaultSchedule::new(1)));
         assert!(Arc::ptr_eq(&ctx.schedule_or(&cfg_sched).unwrap(), &sched));
         assert!(ctx.trace_or(false));
+
+        // Resilience: config fallback, then context override.
+        assert!(ctx.resilience_or(&None).is_none());
+        let cfg_policy = Some(ResiliencePolicy::legacy_speculation());
+        assert_eq!(ctx.resilience_or(&cfg_policy), cfg_policy);
+        let hedged = ResiliencePolicy::hedged(ppc_resilience::HedgeConfig::quantile(0.5));
+        let ctx = ctx.with_resilience(hedged);
+        assert_eq!(ctx.resilience_or(&cfg_policy), Some(hedged));
     }
 
     #[test]

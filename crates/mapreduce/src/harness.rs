@@ -35,6 +35,7 @@ pub fn run(
     cfg.seed = ctx.seed_or(cfg.seed);
     cfg.schedule = ctx.schedule_or(&cfg.schedule);
     cfg.trace = ctx.sink_or(&cfg.trace);
+    cfg.resilience = ctx.resilience_or(&cfg.resilience);
     crate::runtime::run_job_impl(fs, job, mapper, reducer, &cfg)
 }
 
@@ -53,5 +54,6 @@ pub fn simulate(ctx: &RunContext, tasks: &[TaskSpec], cfg: &HadoopSimConfig) -> 
     let mut cfg = *cfg;
     cfg.seed = ctx.seed_or(cfg.seed);
     cfg.trace = ctx.trace_or(cfg.trace);
+    cfg.resilience = ctx.resilience_or(&cfg.resilience);
     crate::sim::simulate_impl(cluster, tasks, &cfg, ctx.schedule.clone())
 }

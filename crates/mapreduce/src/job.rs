@@ -22,6 +22,12 @@ pub struct MapReduceJob {
     /// Number of reduce tasks (ignored for map-only jobs).
     pub n_reducers: usize,
     /// Re-run slow tasks on idle slots (Hadoop's speculative execution).
+    ///
+    /// Legacy knob: it maps to
+    /// `ppc_resilience::HedgeConfig::legacy_speculation()` and is ignored
+    /// whenever an explicit `resilience` policy is set on the run config
+    /// (or via `RunContext::with_resilience`).
+    #[deprecated(note = "set a `ppc_resilience::ResiliencePolicy` on the run instead")]
     pub speculative: bool,
     /// Attempts per task before the job declares it failed.
     pub max_attempts: u32,
@@ -37,6 +43,7 @@ impl MapReduceJob {
         input_paths: Vec<String>,
         output_dir: impl Into<String>,
     ) -> Self {
+        #[allow(deprecated)]
         MapReduceJob {
             name: name.into(),
             input_paths,
@@ -59,8 +66,14 @@ impl MapReduceJob {
         self
     }
 
+    /// Legacy speculation toggle — the hedging policy on the run config
+    /// (`resilience` field, or `RunContext::with_resilience`) supersedes it.
+    #[deprecated(note = "set a `ppc_resilience::ResiliencePolicy` on the run instead")]
     pub fn with_speculative(mut self, on: bool) -> Self {
-        self.speculative = on;
+        #[allow(deprecated)]
+        {
+            self.speculative = on;
+        }
         self
     }
 

@@ -18,6 +18,7 @@ use ppc_core::{PpcError, Result};
 use ppc_exec::{RunContext, RunReport};
 use ppc_hdfs::block::DataNodeId;
 use ppc_hdfs::fs::MiniHdfs;
+use ppc_resilience::{Health, HealthTracker, HedgeConfig, ResiliencePolicy};
 use ppc_trace::{AttemptMarker, EventKind, Phase, RunMeta, Span, TraceEvent, TraceSink};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -32,7 +33,12 @@ pub struct HadoopConfig {
     /// Injected probability that any map attempt fails (tests retries).
     pub attempt_failure_p: f64,
     /// Injected extra latency for specific task indices (tests speculation).
+    #[deprecated(note = "inject stragglers via a chaos `FaultSchedule::degrade` instead")]
     pub straggler_delay: Option<(usize, Duration)>,
+    /// Straggler / gray-failure defense. `None` falls back to the legacy
+    /// `job.speculative` knob; `Some` replaces it entirely (hedging,
+    /// worker quarantine, per-task deadlines all come from the policy).
+    pub resilience: Option<ResiliencePolicy>,
     /// Poll sleep when no work is available yet.
     pub poll_backoff: Duration,
     pub seed: u64,
@@ -51,10 +57,12 @@ pub struct HadoopConfig {
 
 impl Default for HadoopConfig {
     fn default() -> Self {
+        #[allow(deprecated)]
         HadoopConfig {
             slots_per_node: 2,
             attempt_failure_p: 0.0,
             straggler_delay: None,
+            resilience: None,
             poll_backoff: Duration::from_micros(200),
             seed: 0xad00,
             schedule: None,
@@ -79,6 +87,9 @@ impl HadoopConfig {
         }
         if let Some(schedule) = &self.schedule {
             schedule.validate()?;
+        }
+        if let Some(policy) = &self.resilience {
+            policy.validate()?;
         }
         Ok(())
     }
@@ -114,9 +125,59 @@ pub fn run_job_with(
     crate::harness::run(&RunContext::local(), fs, job, mapper, reducer, config)
 }
 
+/// Record a failed attempt with the health tracker, emitting a Quarantine
+/// event if the failure streak benched the worker.
+fn note_failure(
+    health: Option<&Mutex<HealthTracker>>,
+    sink: Option<&dyn TraceSink>,
+    worker: u32,
+    now_s: f64,
+) {
+    if let Some(h) = health {
+        let mut h = h.lock().unwrap();
+        let benched_before = matches!(h.health(worker), Health::Quarantined { .. });
+        h.record_failure(worker, now_s);
+        if !benched_before && matches!(h.health(worker), Health::Quarantined { .. }) {
+            if let Some(s) = sink {
+                s.event(TraceEvent {
+                    at_s: now_s,
+                    worker,
+                    kind: EventKind::Quarantine,
+                });
+            }
+        }
+    }
+}
+
+/// Record a successful attempt's latency, emitting a Quarantine event if
+/// the EWMA score just benched the worker as gray.
+fn note_success(
+    health: Option<&Mutex<HealthTracker>>,
+    sink: Option<&dyn TraceSink>,
+    worker: u32,
+    latency_s: f64,
+    now_s: f64,
+) {
+    if let Some(h) = health {
+        let mut h = h.lock().unwrap();
+        let benched_before = matches!(h.health(worker), Health::Quarantined { .. });
+        h.record_success(worker, latency_s, now_s);
+        if !benched_before && matches!(h.health(worker), Health::Quarantined { .. }) {
+            if let Some(s) = sink {
+                s.event(TraceEvent {
+                    at_s: now_s,
+                    worker,
+                    kind: EventKind::Quarantine,
+                });
+            }
+        }
+    }
+}
+
 /// The native runtime body, reached through [`crate::run`]: co-located
 /// compute and storage, Hadoop's output-committer discipline, retries and
-/// speculation from the shared [`Scheduler`].
+/// hedging/quarantine/deadlines from the shared [`Scheduler`] +
+/// [`ResiliencePolicy`].
 pub(crate) fn run_job_impl(
     fs: &Arc<MiniHdfs>,
     job: &MapReduceJob,
@@ -128,7 +189,21 @@ pub(crate) fn run_job_impl(
     config.validate()?;
     let splits = compute_splits(fs, &job.input_paths)?;
     let n_tasks = splits.len();
-    let scheduler = Mutex::new(Scheduler::new(splits, job.speculative, job.max_attempts));
+    // An explicit policy replaces the legacy `job.speculative` knob; with
+    // no policy the legacy knob maps to the same shared machinery.
+    #[allow(deprecated)]
+    let legacy_speculative = job.speculative;
+    let hedge = match &config.resilience {
+        Some(p) => p.hedge,
+        None => legacy_speculative.then(HedgeConfig::legacy_speculation),
+    };
+    let health: Option<Mutex<HealthTracker>> = config
+        .resilience
+        .and_then(|p| p.quarantine)
+        .map(|q| Mutex::new(HealthTracker::new(q)));
+    let health = health.as_ref();
+    let deadline = config.resilience.and_then(|p| p.deadline);
+    let scheduler = Mutex::new(Scheduler::with_policy(splits, hedge, job.max_attempts));
 
     // Map-side state.
     let intermediate: Mutex<Vec<(String, Vec<u8>)>> = Mutex::new(Vec::new());
@@ -174,13 +249,39 @@ pub(crate) fn run_job_impl(
                     let mut last_kill_s: f64 = 0.0;
                     let mut rng = Pcg32::for_stream(config.seed, worker as u64);
                     loop {
+                        // Health gate: a benched worker sleeps instead of
+                        // taking work; an expired bench releases here.
+                        if let Some(h) = health {
+                            let now_s = clock.now_s();
+                            let mut tracker = h.lock().unwrap();
+                            if scheduler.lock().unwrap().is_complete() {
+                                break;
+                            }
+                            let benched =
+                                matches!(tracker.health(worker), Health::Quarantined { .. });
+                            if !tracker.allow(worker, now_s) {
+                                drop(tracker);
+                                std::thread::sleep(config.poll_backoff);
+                                continue;
+                            }
+                            if benched {
+                                // allow() just released this worker.
+                                if let Some(s) = sink {
+                                    s.event(TraceEvent {
+                                        at_s: now_s,
+                                        worker,
+                                        kind: EventKind::Release,
+                                    });
+                                }
+                            }
+                        }
                         let poll_at = sink.map(|_| clock.now_s());
                         let assignment = {
                             let mut sched = scheduler.lock().unwrap();
                             if sched.is_complete() {
                                 break;
                             }
-                            sched.next(node_id)
+                            sched.next_at(node_id, clock.now_s())
                         };
                         let assignment = match assignment {
                             Some(a) => a,
@@ -189,6 +290,16 @@ pub(crate) fn run_job_impl(
                                 continue;
                             }
                         };
+                        let attempt_began_s = clock.now_s();
+                        if assignment.speculative && config.resilience.is_some() {
+                            if let Some(s) = sink {
+                                s.event(TraceEvent {
+                                    at_s: attempt_began_s,
+                                    worker,
+                                    kind: EventKind::Hedge,
+                                });
+                            }
+                        }
                         let split = scheduler.lock().unwrap().split(assignment.split).clone();
                         // Master → slot handoff done: the Dispatch phase
                         // covers the poll and the scheduling decision.
@@ -243,6 +354,7 @@ pub(crate) fn run_job_impl(
                                     });
                                 }
                                 scheduler.lock().unwrap().fail(assignment.id);
+                                note_failure(health, sink, worker, clock.now_s());
                                 continue;
                             }
                             // HDFS brownout/partition: the client rides out
@@ -259,9 +371,11 @@ pub(crate) fn run_job_impl(
                         // Injected attempt failure.
                         if config.attempt_failure_p > 0.0 && rng.chance(config.attempt_failure_p) {
                             scheduler.lock().unwrap().fail(assignment.id);
+                            note_failure(health, sink, worker, clock.now_s());
                             continue;
                         }
                         // Injected straggler latency.
+                        #[allow(deprecated)]
                         if let Some((task, delay)) = config.straggler_delay {
                             if assignment.id.task == task && assignment.id.attempt == 0 {
                                 std::thread::sleep(delay);
@@ -326,6 +440,25 @@ pub(crate) fn run_job_impl(
                                     }
                                 }
                                 scheduler.lock().unwrap().fail(assignment.id);
+                                note_failure(health, sink, worker, clock.now_s());
+                                continue;
+                            }
+                        }
+                        // Per-task deadline: an attempt past the timeout is
+                        // cancelled and the task requeued (the cancel still
+                        // counts against the task's attempt budget).
+                        if let Some(d) = deadline {
+                            let now_s = clock.now_s();
+                            if now_s - attempt_began_s > d.timeout_s {
+                                if let Some(s) = sink {
+                                    s.event(TraceEvent {
+                                        at_s: now_s,
+                                        worker,
+                                        kind: EventKind::Cancel,
+                                    });
+                                }
+                                scheduler.lock().unwrap().fail(assignment.id);
+                                note_failure(health, sink, worker, now_s);
                                 continue;
                             }
                         }
@@ -357,8 +490,16 @@ pub(crate) fn run_job_impl(
                                     }
                                 }
                                 shuffle_records.fetch_add(emitted.len(), Ordering::Relaxed);
+                                let done_s = clock.now_s();
+                                note_success(
+                                    health,
+                                    sink,
+                                    worker,
+                                    done_s - attempt_began_s,
+                                    done_s,
+                                );
                                 let mut sched = scheduler.lock().unwrap();
-                                match sched.complete(assignment.id) {
+                                match sched.complete_at(assignment.id, done_s) {
                                     CompleteOutcome::First => {
                                         let job_done = sched.is_complete();
                                         drop(sched);
@@ -389,6 +530,7 @@ pub(crate) fn run_job_impl(
                             }
                             Err(_) => {
                                 scheduler.lock().unwrap().fail(assignment.id);
+                                note_failure(health, sink, worker, clock.now_s());
                             }
                         }
                     }
@@ -597,6 +739,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the legacy straggler_delay shim
     fn speculative_execution_rescues_straggler() {
         let (fs, paths) = make_fs(2, 6);
         let job = MapReduceJob::map_only("slow", paths, "/out");

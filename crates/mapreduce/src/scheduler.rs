@@ -1,13 +1,20 @@
 //! The master's task scheduler: a global queue with data-locality
-//! preference, failure retries, and speculative execution.
+//! preference, failure retries, and hedged (speculative) execution.
 //!
 //! Both the native runtime (threads asking for work) and the simulator
 //! (virtual workers asking for work) drive this same state machine, so the
 //! scheduling behaviour being measured is identical in both.
+//!
+//! Speculation is delegated to the shared [`ppc_resilience::HedgePolicy`]:
+//! the legacy `speculative: bool` maps to
+//! [`HedgeConfig::legacy_speculation`], which reproduces the old
+//! duplicate-the-oldest-running-task behavior bit-for-bit, while richer
+//! configs add quantile-derived hedge delays and a hedge budget.
 
 use crate::input::InputSplit;
 use ppc_hdfs::block::DataNodeId;
-use std::collections::VecDeque;
+use ppc_resilience::{HedgeConfig, HedgePolicy};
+use std::collections::{HashMap, VecDeque};
 
 /// Identifies one attempt of one task (task index, attempt ordinal).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,6 +72,8 @@ struct TaskState {
     /// Monotone stamp of when the task first started running (for picking
     /// speculation candidates: oldest-running first).
     started_seq: u64,
+    /// Clock time the current running period began (for hedge-delay ages).
+    started_at_s: f64,
 }
 
 /// Counters the report surfaces.
@@ -84,14 +93,33 @@ pub struct Scheduler {
     pending: VecDeque<usize>,
     n_done: usize,
     n_failed: usize,
-    speculative: bool,
+    hedge: Option<HedgePolicy>,
     max_attempts: u32,
     seq: u64,
     stats: SchedulerStats,
+    /// Launch time of each live attempt, for latency observation.
+    attempt_started: HashMap<AttemptId, f64>,
 }
 
 impl Scheduler {
+    /// Legacy constructor: `speculative` maps to
+    /// [`HedgeConfig::legacy_speculation`] (duplicate the oldest running
+    /// task whenever a slot would otherwise idle, no delay, no budget).
     pub fn new(splits: Vec<InputSplit>, speculative: bool, max_attempts: u32) -> Scheduler {
+        Scheduler::with_policy(
+            splits,
+            speculative.then(HedgeConfig::legacy_speculation),
+            max_attempts,
+        )
+    }
+
+    /// Full constructor: hedging behavior comes from the shared policy
+    /// (`None` = never launch duplicates).
+    pub fn with_policy(
+        splits: Vec<InputSplit>,
+        hedge: Option<HedgeConfig>,
+        max_attempts: u32,
+    ) -> Scheduler {
         assert!(max_attempts >= 1);
         let n = splits.len();
         Scheduler {
@@ -103,15 +131,17 @@ impl Scheduler {
                     next_attempt: 0,
                     failures: 0,
                     started_seq: 0,
+                    started_at_s: 0.0,
                 })
                 .collect(),
             pending: (0..n).collect(),
             n_done: 0,
             n_failed: 0,
-            speculative,
+            hedge: hedge.map(HedgePolicy::new),
             max_attempts,
             seq: 0,
             stats: SchedulerStats::default(),
+            attempt_started: HashMap::new(),
         }
     }
 
@@ -145,14 +175,23 @@ impl Scheduler {
         self.n_done + self.n_failed == self.tasks.len()
     }
 
-    /// Ask for work on behalf of a worker on `node`.
+    /// Ask for work on behalf of a worker on `node`, with no clock — the
+    /// legacy entry point, equivalent to [`Scheduler::next_at`] at `t = 0`
+    /// (under legacy speculation the hedge delay is zero, so the clock
+    /// never matters).
+    pub fn next(&mut self, node: DataNodeId) -> Option<Assignment> {
+        self.next_at(node, 0.0)
+    }
+
+    /// Ask for work on behalf of a worker on `node` at time `now_s`.
     ///
     /// Selection order (Hadoop's essentials):
     /// 1. a pending task whose input is replicated on `node` (data-local),
     /// 2. any pending task (remote read),
-    /// 3. if speculation is on and nothing is pending: a duplicate of the
-    ///    oldest-running task that has only one live attempt.
-    pub fn next(&mut self, node: DataNodeId) -> Option<Assignment> {
+    /// 3. if hedging is on and nothing is pending: a duplicate of the
+    ///    oldest-running task the [`HedgePolicy`] approves (under live-
+    ///    attempt cap, within budget, older than the hedge delay).
+    pub fn next_at(&mut self, node: DataNodeId, now_s: f64) -> Option<Assignment> {
         // 1. Local pending task.
         if let Some(pos) = self
             .pending
@@ -161,23 +200,31 @@ impl Scheduler {
         {
             let task = self.pending.remove(pos).expect("position valid");
             self.stats.local_assignments += 1;
-            return Some(self.launch(task, true, false));
+            return Some(self.launch(task, true, false, now_s));
         }
         // 2. Any pending task.
         if let Some(task) = self.pending.pop_front() {
             self.stats.remote_assignments += 1;
-            return Some(self.launch(task, false, false));
+            return Some(self.launch(task, false, false, now_s));
         }
-        // 3. Speculative duplicate.
-        if self.speculative {
+        // 3. Hedged duplicate.
+        if let Some(policy) = &self.hedge {
+            let n_tasks = self.splits.len();
             let candidate = self
                 .tasks
                 .iter()
                 .enumerate()
-                .filter(|(_, t)| t.phase == TaskPhase::Running && t.live_attempts == 1)
+                .filter(|(_, t)| {
+                    t.phase == TaskPhase::Running
+                        && policy.should_hedge(now_s - t.started_at_s, t.live_attempts, n_tasks)
+                })
                 .min_by_key(|(_, t)| t.started_seq)
                 .map(|(i, _)| i);
             if let Some(task) = candidate {
+                self.hedge
+                    .as_mut()
+                    .expect("hedge checked above")
+                    .record_hedge();
                 self.stats.speculative_assignments += 1;
                 let local = self.splits[task].hosts.contains(&node);
                 if local {
@@ -185,20 +232,39 @@ impl Scheduler {
                 } else {
                     self.stats.remote_assignments += 1;
                 }
-                return Some(self.launch_attempt(task, local, true));
+                return Some(self.launch_attempt(task, local, true, now_s));
             }
         }
         None
     }
 
-    fn launch(&mut self, task: usize, local: bool, speculative: bool) -> Assignment {
+    /// The current hedge delay (None when hedging is off) — what the
+    /// runtimes use to decide how long an idle slot should wait before
+    /// asking again.
+    pub fn hedge_delay_s(&self) -> Option<f64> {
+        self.hedge.as_ref().map(|p| p.hedge_delay())
+    }
+
+    /// Hedged duplicates launched so far (counts against the budget).
+    pub fn hedges_launched(&self) -> usize {
+        self.hedge.as_ref().map_or(0, |p| p.hedges_launched())
+    }
+
+    fn launch(&mut self, task: usize, local: bool, speculative: bool, now_s: f64) -> Assignment {
         self.tasks[task].phase = TaskPhase::Running;
         self.seq += 1;
         self.tasks[task].started_seq = self.seq;
-        self.launch_attempt(task, local, speculative)
+        self.tasks[task].started_at_s = now_s;
+        self.launch_attempt(task, local, speculative, now_s)
     }
 
-    fn launch_attempt(&mut self, task: usize, local: bool, speculative: bool) -> Assignment {
+    fn launch_attempt(
+        &mut self,
+        task: usize,
+        local: bool,
+        speculative: bool,
+        now_s: f64,
+    ) -> Assignment {
         let t = &mut self.tasks[task];
         t.live_attempts += 1;
         let id = AttemptId {
@@ -206,6 +272,7 @@ impl Scheduler {
             attempt: t.next_attempt,
         };
         t.next_attempt += 1;
+        self.attempt_started.insert(id, now_s);
         Assignment {
             id,
             split: task,
@@ -214,8 +281,19 @@ impl Scheduler {
         }
     }
 
-    /// Report an attempt's successful completion.
+    /// Report an attempt's successful completion (legacy clockless form).
     pub fn complete(&mut self, id: AttemptId) -> CompleteOutcome {
+        self.complete_at(id, 0.0)
+    }
+
+    /// Report an attempt's successful completion at `now_s`; the attempt's
+    /// latency feeds the hedge policy's quantile estimate.
+    pub fn complete_at(&mut self, id: AttemptId, now_s: f64) -> CompleteOutcome {
+        if let Some(started) = self.attempt_started.remove(&id) {
+            if let Some(policy) = &mut self.hedge {
+                policy.observe(now_s - started);
+            }
+        }
         let t = &mut self.tasks[id.task];
         t.live_attempts = t.live_attempts.saturating_sub(1);
         match t.phase {
@@ -233,6 +311,7 @@ impl Scheduler {
 
     /// Report an attempt's failure.
     pub fn fail(&mut self, id: AttemptId) -> FailOutcome {
+        self.attempt_started.remove(&id);
         let t = &mut self.tasks[id.task];
         t.live_attempts = t.live_attempts.saturating_sub(1);
         match t.phase {
@@ -373,6 +452,33 @@ mod tests {
         let mut s = Scheduler::new(splits(vec![vec![0]]), false, 4);
         let _a = s.next(DataNodeId(0)).unwrap();
         assert!(s.next(DataNodeId(1)).is_none());
+    }
+
+    #[test]
+    fn quantile_policy_delays_and_budgets_hedges() {
+        let cfg = HedgeConfig {
+            quantile: 0.5,
+            factor: 2.0,
+            min_observations: 1,
+            min_delay_s: 0.0,
+            budget_fraction: 0.5,
+            max_live_attempts: 2,
+        };
+        let mut s = Scheduler::with_policy(splits(vec![vec![0], vec![0]]), Some(cfg), 4);
+        let a = s.next_at(DataNodeId(0), 0.0).unwrap();
+        let _b = s.next_at(DataNodeId(0), 0.0).unwrap();
+        // One completion at 10 s arms the trigger: delay = p50(10) × 2 = 20.
+        assert_eq!(s.complete_at(a.id, 10.0), CompleteOutcome::First);
+        assert_eq!(s.hedge_delay_s(), Some(20.0));
+        // The surviving task started at t=0; at t=15 it is under the delay.
+        assert!(s.next_at(DataNodeId(1), 15.0).is_none());
+        // At t=20 it crosses the delay and gets its hedge.
+        let h = s.next_at(DataNodeId(1), 20.0).unwrap();
+        assert!(h.speculative);
+        assert_eq!(s.hedges_launched(), 1);
+        // Budget = ceil(0.5 × 2) = 1: no further duplicates even later.
+        assert_eq!(s.complete_at(h.id, 25.0), CompleteOutcome::First);
+        assert!(s.next_at(DataNodeId(1), 100.0).is_none());
     }
 
     #[test]

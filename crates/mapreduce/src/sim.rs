@@ -24,6 +24,7 @@ use ppc_core::{PpcError, Result};
 use ppc_des::{Engine, SimTime};
 use ppc_exec::{RunContext, RunReport};
 use ppc_hdfs::block::DataNodeId;
+use ppc_resilience::{Health, HealthTracker, HedgeConfig, ResiliencePolicy};
 use ppc_storage::latency::LatencyModel;
 use ppc_trace::{EventKind, Phase, Recorder, RunMeta, Span, TraceEvent, TraceSink};
 use std::cell::RefCell;
@@ -55,7 +56,16 @@ pub struct HadoopSimConfig {
     /// Idle workers re-poll the master at this interval, seconds.
     pub poll_interval_s: f64,
     /// Enable speculative duplicates (Hadoop default: on).
+    ///
+    /// Legacy knob: maps to
+    /// `ppc_resilience::HedgeConfig::legacy_speculation()` and is ignored
+    /// whenever `resilience` is set (explicitly or via the run context).
+    #[deprecated(note = "set `resilience` (a `ppc_resilience::ResiliencePolicy`) instead")]
     pub speculative: bool,
+    /// Straggler / gray-failure defense. `None` falls back to the legacy
+    /// `speculative` knob; `Some` replaces it entirely (hedging, worker
+    /// quarantine, per-task deadlines all come from the policy).
+    pub resilience: Option<ResiliencePolicy>,
     /// Attempt budget per task.
     pub max_attempts: u32,
     /// Ablation switch: pretend the scheduler has no locality information
@@ -68,6 +78,7 @@ pub struct HadoopSimConfig {
 
 impl Default for HadoopSimConfig {
     fn default() -> Self {
+        #[allow(deprecated)]
         HadoopSimConfig {
             app: AppModel::DEFAULT,
             dispatch_overhead_s: 1.0,
@@ -81,6 +92,7 @@ impl Default for HadoopSimConfig {
             seed: 42,
             poll_interval_s: 0.5,
             speculative: true,
+            resilience: None,
             max_attempts: 4,
             ignore_locality: false,
             trace: false,
@@ -117,6 +129,9 @@ impl HadoopSimConfig {
                 "hadoop sim config: poll_interval_s must be positive".into(),
             ));
         }
+        if let Some(policy) = &self.resilience {
+            policy.validate()?;
+        }
         Ok(())
     }
 }
@@ -134,6 +149,7 @@ struct SimState {
     task_seqs: Vec<u32>,
     last_kill: Vec<f64>,
     rec: Option<Recorder>,
+    health: Option<HealthTracker>,
 }
 
 /// Simulate a map-only Hadoop job of `tasks` on `cluster`.
@@ -207,8 +223,16 @@ pub(crate) fn simulate_impl(
         })
         .collect();
 
+    // An explicit policy replaces the legacy `speculative` knob; with no
+    // policy the legacy knob maps to the same shared machinery.
+    #[allow(deprecated)]
+    let legacy_speculative = cfg.speculative;
+    let hedge = match &cfg.resilience {
+        Some(p) => p.hedge,
+        None => legacy_speculative.then(HedgeConfig::legacy_speculation),
+    };
     let state = Rc::new(RefCell::new(SimState {
-        scheduler: Scheduler::new(splits, cfg.speculative, cfg.max_attempts),
+        scheduler: Scheduler::with_policy(splits, hedge, cfg.max_attempts),
         rngs: (0..total_workers)
             .map(|w| Pcg32::for_stream(cfg.seed, w as u64))
             .collect(),
@@ -221,6 +245,10 @@ pub(crate) fn simulate_impl(
         task_seqs: vec![0; total_workers],
         last_kill: vec![0.0; total_workers],
         rec: cfg.trace.then(Recorder::new),
+        health: cfg
+            .resilience
+            .and_then(|p| p.quarantine)
+            .map(HealthTracker::new),
     }));
 
     let tasks: Rc<Vec<TaskSpec>> = Rc::new(tasks.to_vec());
@@ -303,26 +331,70 @@ fn worker_tick(
     cfg: HadoopSimConfig,
 ) {
     let now_s = engine.now().as_secs_f64();
-    let assignment = {
+    // Health gate: a benched worker sleeps until its release time instead
+    // of taking work; an expired bench releases (to probation) here.
+    let benched_until = {
         let mut st = state.borrow_mut();
         if st.scheduler.is_complete() {
             return; // cluster drains
         }
+        let SimState { health, rec, .. } = &mut *st;
+        match health {
+            Some(h) => {
+                let w = worker as u32;
+                let benched = matches!(h.health(w), Health::Quarantined { .. });
+                if h.allow(w, now_s) {
+                    if benched {
+                        // allow() just released this worker.
+                        if let Some(rec) = rec {
+                            rec.event(TraceEvent {
+                                at_s: now_s,
+                                worker: w,
+                                kind: EventKind::Release,
+                            });
+                        }
+                    }
+                    None
+                } else {
+                    match h.health(w) {
+                        Health::Quarantined { until_s } => Some(until_s),
+                        _ => Some(now_s + cfg.poll_interval_s),
+                    }
+                }
+            }
+            None => None,
+        }
+    };
+    if let Some(until_s) = benched_until {
+        let st2 = state.clone();
+        let wake = (until_s - now_s).max(cfg.poll_interval_s);
+        engine.schedule_in(SimTime::from_secs_f64(wake), move |e| {
+            worker_tick(e, st2, tasks, node, workers_on_node, worker, itype, cfg);
+        });
+        return;
+    }
+    let assignment = {
+        let mut st = state.borrow_mut();
         // Locality-blind ablation: ask as a node that matches no replica.
         let asking = if cfg.ignore_locality {
             DataNodeId(usize::MAX)
         } else {
             node
         };
-        st.scheduler.next(asking)
+        st.scheduler.next_at(asking, now_s)
     };
 
     let assignment = match assignment {
         Some(a) => a,
         None => {
-            // With no failure injection a retry can never repopulate the
-            // queue, so an idle worker can retire instead of polling.
-            if cfg.attempt_failure_p <= 0.0 && state.borrow().schedule.is_none() {
+            // With no failure injection, no chaos, and no resilience
+            // policy (whose hedge delays and deadline cancels can put
+            // work back on the queue later), a retry can never repopulate
+            // the queue, so an idle worker can retire instead of polling.
+            if cfg.attempt_failure_p <= 0.0
+                && state.borrow().schedule.is_none()
+                && cfg.resilience.is_none()
+            {
                 return;
             }
             // Re-poll later (a retry may repopulate the queue).
@@ -333,8 +405,17 @@ fn worker_tick(
             return;
         }
     };
+    if assignment.speculative && cfg.resilience.is_some() {
+        if let Some(rec) = &state.borrow().rec {
+            rec.event(TraceEvent {
+                at_s: now_s,
+                worker: worker as u32,
+                kind: EventKind::Hedge,
+            });
+        }
+    }
 
-    let (duration_s, fails, killed, t_read, t_write) = {
+    let (duration_s, fails, killed, cancelled, t_read, t_write) = {
         let mut st = state.borrow_mut();
         st.attempts += 1;
         let task = &tasks[assignment.split];
@@ -395,10 +476,23 @@ fn worker_tick(
             }
             fails = fails || died || schedule.is_torn_upload(w, seq);
         }
+        let mut duration_s =
+            cfg.dispatch_overhead_s + t_read + t_exec_base * jitter * straggle + t_write;
+        // Per-task deadline: an attempt that cannot finish inside the
+        // timeout is cancelled at the deadline and the task requeued
+        // (the cancel burns one unit of the task's attempt budget).
+        let mut cancelled = false;
+        if let Some(d) = cfg.resilience.and_then(|p| p.deadline) {
+            if duration_s > d.timeout_s {
+                duration_s = d.timeout_s;
+                cancelled = true;
+            }
+        }
         (
-            cfg.dispatch_overhead_s + t_read + t_exec_base * jitter * straggle + t_write,
-            fails,
+            duration_s,
+            fails || cancelled,
             killed,
+            cancelled,
             t_read,
             t_write,
         )
@@ -413,8 +507,31 @@ fn worker_tick(
                 st.scheduler.fail(assignment.id);
                 false
             } else {
-                st.scheduler.complete(assignment.id) == CompleteOutcome::First
+                st.scheduler.complete_at(assignment.id, end) == CompleteOutcome::First
             };
+            // Health scoring: successes feed the EWMA, failures the
+            // streak; either can bench this worker as gray.
+            {
+                let SimState { health, rec, .. } = &mut *st;
+                if let Some(h) = health {
+                    let w = worker as u32;
+                    let benched_before = matches!(h.health(w), Health::Quarantined { .. });
+                    if fails {
+                        h.record_failure(w, end);
+                    } else {
+                        h.record_success(w, end - now_s, end);
+                    }
+                    if !benched_before && matches!(h.health(w), Health::Quarantined { .. }) {
+                        if let Some(rec) = rec {
+                            rec.event(TraceEvent {
+                                at_s: end,
+                                worker: w,
+                                kind: EventKind::Quarantine,
+                            });
+                        }
+                    }
+                }
+            }
             if let Some(rec) = &st.rec {
                 // Phase boundaries, clamped so engine-clock quantization
                 // can never produce a negative-length span. Commit is
@@ -449,6 +566,13 @@ fn worker_tick(
                         at_s: end,
                         worker: w,
                         kind: EventKind::Death,
+                    });
+                }
+                if cancelled {
+                    rec.event(TraceEvent {
+                        at_s: end,
+                        worker: w,
+                        kind: EventKind::Cancel,
                     });
                 }
             }
@@ -550,6 +674,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the legacy `speculative` shim
     fn speculation_rescues_stragglers() {
         let cluster = Cluster::provision(BARE_CAP3, 2, 8);
         let tasks = cpu_tasks(64, 20.0);

@@ -1,0 +1,660 @@
+//! # ppc-resilience — straggler & gray-failure defense, shared by every paradigm
+//!
+//! The paper's fault-tolerance story is "re-execute failed tasks", but the
+//! failures that dominate real cloud tails are the ones re-execution alone
+//! never fixes: *gray* workers that don't die, they just run 10× slow. This
+//! crate is the one defense layer all three paradigms (Classic Cloud,
+//! MapReduce, Dryad) adopt, native and simulated:
+//!
+//! * [`HedgePolicy`] — launch a duplicate attempt once a task has run past
+//!   a quantile-derived delay (Hadoop's speculative execution generalized:
+//!   classic queue re-dispatch, Dryad backup vertices), first result wins,
+//!   with a hedge budget so duplicates can't stampede.
+//! * [`HealthTracker`] — score workers by EWMA completion latency and
+//!   failure streaks, bench gray workers off the assignment path, and
+//!   release them through a probation window.
+//! * [`DeadlineConfig`] — per-task deadlines with cancel-and-requeue.
+//!
+//! The knobs travel as one [`ResiliencePolicy`] value on
+//! `ppc_exec::RunContext`; `None` everywhere means "legacy behavior,
+//! bit-identical" — the policy is strictly additive.
+
+use ppc_core::{PpcError, Result};
+
+/// When to launch a duplicate (hedged) attempt for a running task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Latency quantile of observed completions that anchors the hedge
+    /// delay (0.95 = hedge tasks slower than the p95 so far).
+    pub quantile: f64,
+    /// Multiplier on the quantile latency: delay = quantile_latency × factor.
+    pub factor: f64,
+    /// Completions observed before the quantile trigger arms; until then
+    /// only `min_delay_s` gates hedging.
+    pub min_observations: usize,
+    /// Floor on the hedge delay (also the whole delay before the quantile
+    /// trigger arms), seconds.
+    pub min_delay_s: f64,
+    /// Hedge budget as a fraction of the job's task count;
+    /// `f64::INFINITY` = uncapped (the legacy Hadoop behavior).
+    pub budget_fraction: f64,
+    /// Maximum simultaneously live attempts per task (2 = one backup).
+    pub max_live_attempts: u32,
+}
+
+impl HedgeConfig {
+    /// Hadoop's classic speculation, verbatim: duplicate the oldest
+    /// running task whenever a worker would otherwise idle — no delay
+    /// threshold, no budget, at most one live duplicate. The shared
+    /// scheduler under this config is bit-identical to the old
+    /// `speculative: bool` path (pinned in `tests/shim_equivalence.rs`).
+    pub fn legacy_speculation() -> HedgeConfig {
+        HedgeConfig {
+            quantile: 0.0,
+            factor: 0.0,
+            min_observations: 0,
+            min_delay_s: 0.0,
+            budget_fraction: f64::INFINITY,
+            max_live_attempts: 2,
+        }
+    }
+
+    /// A tail-focused default: hedge past 1.5× the observed p75 (armed
+    /// after 3 completions), budget 50% of the task count, one backup.
+    pub fn quantile(min_delay_s: f64) -> HedgeConfig {
+        HedgeConfig {
+            quantile: 0.75,
+            factor: 1.5,
+            min_observations: 3,
+            min_delay_s,
+            budget_fraction: 0.5,
+            max_live_attempts: 2,
+        }
+    }
+
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.quantile) {
+            return Err(PpcError::InvalidArgument(format!(
+                "hedge config: quantile = {} is not in [0, 1]",
+                self.quantile
+            )));
+        }
+        if !self.factor.is_finite() || self.factor < 0.0 {
+            return Err(PpcError::InvalidArgument(format!(
+                "hedge config: factor = {} must be finite and >= 0",
+                self.factor
+            )));
+        }
+        if !self.min_delay_s.is_finite() || self.min_delay_s < 0.0 {
+            return Err(PpcError::InvalidArgument(format!(
+                "hedge config: min_delay_s = {} must be finite and >= 0",
+                self.min_delay_s
+            )));
+        }
+        if self.budget_fraction.is_nan() || self.budget_fraction < 0.0 {
+            return Err(PpcError::InvalidArgument(format!(
+                "hedge config: budget_fraction = {} must be >= 0",
+                self.budget_fraction
+            )));
+        }
+        if self.max_live_attempts < 2 {
+            return Err(PpcError::InvalidArgument(
+                "hedge config: max_live_attempts must be at least 2 (the primary plus one backup)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runtime state of the hedging decision: observed completion latencies
+/// feeding the quantile trigger, plus the hedge budget counter. One per
+/// job, shared by whatever dispatches attempts in that paradigm.
+#[derive(Debug, Clone)]
+pub struct HedgePolicy {
+    cfg: HedgeConfig,
+    /// First-attempt completion latencies observed so far, seconds.
+    latencies: Vec<f64>,
+    hedges_launched: usize,
+}
+
+impl HedgePolicy {
+    pub fn new(cfg: HedgeConfig) -> HedgePolicy {
+        HedgePolicy {
+            cfg,
+            latencies: Vec::new(),
+            hedges_launched: 0,
+        }
+    }
+
+    pub fn config(&self) -> &HedgeConfig {
+        &self.cfg
+    }
+
+    /// Feed one completed attempt's latency into the quantile estimate.
+    pub fn observe(&mut self, latency_s: f64) {
+        if latency_s.is_finite() && latency_s >= 0.0 {
+            self.latencies.push(latency_s);
+        }
+    }
+
+    /// The delay past which a running task becomes a hedge candidate:
+    /// `max(min_delay_s, quantile_latency × factor)` once
+    /// `min_observations` completions are in, `min_delay_s` before that.
+    pub fn hedge_delay(&self) -> f64 {
+        if self.latencies.len() < self.cfg.min_observations || self.latencies.is_empty() {
+            return self.cfg.min_delay_s;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx =
+            ((self.cfg.quantile * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        (sorted[idx] * self.cfg.factor).max(self.cfg.min_delay_s)
+    }
+
+    /// Whether a task that has been running `age_s` with `live_attempts`
+    /// copies in flight should get a backup, given the budget over a job
+    /// of `n_tasks`.
+    pub fn should_hedge(&self, age_s: f64, live_attempts: u32, n_tasks: usize) -> bool {
+        live_attempts < self.cfg.max_live_attempts
+            && self.budget_remaining(n_tasks)
+            && age_s >= self.hedge_delay()
+    }
+
+    fn budget_remaining(&self, n_tasks: usize) -> bool {
+        if self.cfg.budget_fraction.is_infinite() {
+            return true;
+        }
+        let cap = (self.cfg.budget_fraction * n_tasks as f64).ceil() as usize;
+        self.hedges_launched < cap
+    }
+
+    /// Record that a hedge was launched (counts against the budget).
+    pub fn record_hedge(&mut self) {
+        self.hedges_launched += 1;
+    }
+
+    pub fn hedges_launched(&self) -> usize {
+        self.hedges_launched
+    }
+}
+
+/// When a worker is scored gray and benched off the assignment path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuarantineConfig {
+    /// EWMA weight of the newest latency sample (0 < α ≤ 1).
+    pub ewma_alpha: f64,
+    /// Quarantine a worker whose EWMA latency exceeds this multiple of the
+    /// fleet's median EWMA.
+    pub slow_factor: f64,
+    /// Consecutive failures that quarantine a worker outright.
+    pub failure_threshold: u32,
+    /// Latency samples required per worker before the slowness score
+    /// applies (failure streaks apply from the first failure).
+    pub min_samples: u32,
+    /// How long a quarantined worker stays benched, seconds.
+    pub quarantine_s: f64,
+    /// Probation: successes required after release before the worker is
+    /// fully healthy again (a failure on probation re-quarantines).
+    pub probation_tasks: u32,
+    /// Never bench more than this fraction of the fleet at once — a
+    /// defense against quarantining everyone when the whole fleet is slow.
+    pub max_quarantined_fraction: f64,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig {
+            ewma_alpha: 0.3,
+            slow_factor: 3.0,
+            failure_threshold: 3,
+            min_samples: 3,
+            quarantine_s: 30.0,
+            probation_tasks: 2,
+            max_quarantined_fraction: 0.5,
+        }
+    }
+}
+
+impl QuarantineConfig {
+    pub fn validate(&self) -> Result<()> {
+        if !(self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0) {
+            return Err(PpcError::InvalidArgument(format!(
+                "quarantine config: ewma_alpha = {} must be in (0, 1]",
+                self.ewma_alpha
+            )));
+        }
+        if !self.slow_factor.is_finite() || self.slow_factor <= 1.0 {
+            return Err(PpcError::InvalidArgument(format!(
+                "quarantine config: slow_factor = {} must be finite and > 1",
+                self.slow_factor
+            )));
+        }
+        if !self.quarantine_s.is_finite() || self.quarantine_s <= 0.0 {
+            return Err(PpcError::InvalidArgument(format!(
+                "quarantine config: quarantine_s = {} must be finite and > 0",
+                self.quarantine_s
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.max_quarantined_fraction) {
+            return Err(PpcError::InvalidArgument(format!(
+                "quarantine config: max_quarantined_fraction = {} is not in [0, 1]",
+                self.max_quarantined_fraction
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Where one worker sits in the quarantine state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Health {
+    Healthy,
+    /// Benched until the stated time.
+    Quarantined {
+        until_s: f64,
+    },
+    /// Released, with this many probation successes still owed.
+    Probation {
+        remaining: u32,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct WorkerScore {
+    ewma_s: Option<f64>,
+    samples: u32,
+    consecutive_failures: u32,
+    health: Health,
+}
+
+impl WorkerScore {
+    fn new() -> WorkerScore {
+        WorkerScore {
+            ewma_s: None,
+            samples: 0,
+            consecutive_failures: 0,
+            health: Health::Healthy,
+        }
+    }
+}
+
+/// Scores workers by EWMA completion latency and failure streaks and runs
+/// the quarantine state machine: Healthy → Quarantined (timed bench) →
+/// Probation (earn your way back) → Healthy. Callers ask
+/// [`HealthTracker::allow`] before handing a worker new work.
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    cfg: QuarantineConfig,
+    workers: Vec<WorkerScore>,
+    quarantines: usize,
+    releases: usize,
+}
+
+impl HealthTracker {
+    pub fn new(cfg: QuarantineConfig) -> HealthTracker {
+        HealthTracker {
+            cfg,
+            workers: Vec::new(),
+            quarantines: 0,
+            releases: 0,
+        }
+    }
+
+    fn score(&mut self, worker: u32) -> &mut WorkerScore {
+        let i = worker as usize;
+        while self.workers.len() <= i {
+            self.workers.push(WorkerScore::new());
+        }
+        &mut self.workers[i]
+    }
+
+    /// Median EWMA latency across workers with enough samples.
+    fn fleet_median(&self) -> Option<f64> {
+        let mut ewmas: Vec<f64> = self
+            .workers
+            .iter()
+            .filter(|w| w.samples >= self.cfg.min_samples)
+            .filter_map(|w| w.ewma_s)
+            .collect();
+        if ewmas.len() < 2 {
+            return None; // one worker has no peers to be slow relative to
+        }
+        ewmas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(ewmas[ewmas.len() / 2])
+    }
+
+    fn benched(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| matches!(w.health, Health::Quarantined { .. }))
+            .count()
+    }
+
+    /// Whether benching one more worker stays under the fleet-fraction cap.
+    fn can_bench(&self) -> bool {
+        let fleet = self.workers.len().max(1);
+        ((self.benched() + 1) as f64) <= self.cfg.max_quarantined_fraction * fleet as f64
+    }
+
+    fn bench(&mut self, worker: u32, now_s: f64) {
+        let until_s = now_s + self.cfg.quarantine_s;
+        self.quarantines += 1;
+        self.score(worker).health = Health::Quarantined { until_s };
+        self.score(worker).consecutive_failures = 0;
+    }
+
+    /// Record a successful completion with its observed latency.
+    pub fn record_success(&mut self, worker: u32, latency_s: f64, now_s: f64) {
+        let alpha = self.cfg.ewma_alpha;
+        let s = self.score(worker);
+        s.consecutive_failures = 0;
+        s.samples += 1;
+        s.ewma_s = Some(match s.ewma_s {
+            Some(e) => alpha * latency_s + (1.0 - alpha) * e,
+            None => latency_s,
+        });
+        if let Health::Probation { remaining } = s.health {
+            s.health = if remaining <= 1 {
+                Health::Healthy
+            } else {
+                Health::Probation {
+                    remaining: remaining - 1,
+                }
+            };
+        }
+        // Gray check: slow relative to the fleet, with enough evidence.
+        let slow = {
+            let s = &self.workers[worker as usize];
+            s.health == Health::Healthy
+                && s.samples >= self.cfg.min_samples
+                && match (s.ewma_s, self.fleet_median()) {
+                    (Some(e), Some(m)) => e > self.cfg.slow_factor * m,
+                    _ => false,
+                }
+        };
+        if slow && self.can_bench() {
+            self.bench(worker, now_s);
+        }
+    }
+
+    /// Record a failed attempt on this worker.
+    pub fn record_failure(&mut self, worker: u32, now_s: f64) {
+        let threshold = self.cfg.failure_threshold;
+        let s = self.score(worker);
+        s.consecutive_failures += 1;
+        let on_probation = matches!(s.health, Health::Probation { .. });
+        let tripped = s.consecutive_failures >= threshold;
+        let healthy = s.health == Health::Healthy;
+        if (on_probation || (healthy && tripped)) && self.can_bench() {
+            self.bench(worker, now_s);
+        }
+    }
+
+    /// Gate before assignment: `true` while the worker is benched. A
+    /// quarantine whose bench time has elapsed is released to probation
+    /// here (and the release is counted).
+    pub fn allow(&mut self, worker: u32, now_s: f64) -> bool {
+        let probation_tasks = self.cfg.probation_tasks;
+        let s = self.score(worker);
+        match s.health {
+            Health::Quarantined { until_s } if now_s >= until_s => {
+                s.health = if probation_tasks == 0 {
+                    Health::Healthy
+                } else {
+                    Health::Probation {
+                        remaining: probation_tasks,
+                    }
+                };
+                // The bench was the penalty; probation re-scores from a
+                // clean slate so stale gray-era latency can't re-bench a
+                // recovered worker on its first task back.
+                s.ewma_s = None;
+                s.samples = 0;
+                self.releases += 1;
+                true
+            }
+            Health::Quarantined { .. } => false,
+            _ => true,
+        }
+    }
+
+    /// Current state of one worker (observers; assignment goes via `allow`).
+    pub fn health(&self, worker: u32) -> Health {
+        self.workers
+            .get(worker as usize)
+            .map(|w| w.health)
+            .unwrap_or(Health::Healthy)
+    }
+
+    /// Total quarantines imposed over the run.
+    pub fn quarantines(&self) -> usize {
+        self.quarantines
+    }
+
+    /// Total releases back to probation over the run.
+    pub fn releases(&self) -> usize {
+        self.releases
+    }
+}
+
+/// Per-task deadline: attempts older than `timeout_s` are cancelled and
+/// the task requeued (counting against its attempt budget, so a task that
+/// can never meet the deadline still terminates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineConfig {
+    pub timeout_s: f64,
+}
+
+impl DeadlineConfig {
+    pub fn validate(&self) -> Result<()> {
+        if !self.timeout_s.is_finite() || self.timeout_s <= 0.0 {
+            return Err(PpcError::InvalidArgument(format!(
+                "deadline config: timeout_s = {} must be finite and > 0",
+                self.timeout_s
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The one resilience knob a [`ppc_exec::RunContext`] carries: each part is
+/// optional and `ResiliencePolicy::default()` (all `None`) reproduces the
+/// legacy behavior of every paradigm bit-for-bit.
+///
+/// [`ppc_exec::RunContext`]: https://docs.rs/ppc-exec
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResiliencePolicy {
+    pub hedge: Option<HedgeConfig>,
+    pub quarantine: Option<QuarantineConfig>,
+    pub deadline: Option<DeadlineConfig>,
+}
+
+impl ResiliencePolicy {
+    /// Hedging only, with the given config.
+    pub fn hedged(cfg: HedgeConfig) -> ResiliencePolicy {
+        ResiliencePolicy {
+            hedge: Some(cfg),
+            ..ResiliencePolicy::default()
+        }
+    }
+
+    /// The old Hadoop `speculative: true` behavior expressed as a policy
+    /// (what the deprecated `MapReduceJob::with_speculative` shim maps to).
+    pub fn legacy_speculation() -> ResiliencePolicy {
+        ResiliencePolicy::hedged(HedgeConfig::legacy_speculation())
+    }
+
+    pub fn with_quarantine(mut self, cfg: QuarantineConfig) -> ResiliencePolicy {
+        self.quarantine = Some(cfg);
+        self
+    }
+
+    pub fn with_deadline(mut self, timeout_s: f64) -> ResiliencePolicy {
+        self.deadline = Some(DeadlineConfig { timeout_s });
+        self
+    }
+
+    pub fn validate(&self) -> Result<()> {
+        if let Some(h) = &self.hedge {
+            h.validate()?;
+        }
+        if let Some(q) = &self.quarantine {
+            q.validate()?;
+        }
+        if let Some(d) = &self.deadline {
+            d.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_hedge_fires_immediately_and_never_exhausts() {
+        let mut p = HedgePolicy::new(HedgeConfig::legacy_speculation());
+        assert_eq!(p.hedge_delay(), 0.0);
+        assert!(p.should_hedge(0.0, 1, 1));
+        assert!(!p.should_hedge(0.0, 2, 1), "one live backup is the cap");
+        for _ in 0..1000 {
+            p.record_hedge();
+        }
+        assert!(p.should_hedge(0.0, 1, 1), "legacy budget is unbounded");
+    }
+
+    #[test]
+    fn quantile_delay_arms_after_min_observations() {
+        let cfg = HedgeConfig {
+            quantile: 0.5,
+            factor: 2.0,
+            min_observations: 3,
+            min_delay_s: 1.0,
+            budget_fraction: 1.0,
+            max_live_attempts: 2,
+        };
+        let mut p = HedgePolicy::new(cfg);
+        assert_eq!(p.hedge_delay(), 1.0, "floor applies before arming");
+        p.observe(10.0);
+        p.observe(10.0);
+        assert_eq!(p.hedge_delay(), 1.0, "two of three observations");
+        p.observe(20.0);
+        // p50 of [10, 10, 20] = 10; delay = 10 × 2 = 20.
+        assert_eq!(p.hedge_delay(), 20.0);
+        assert!(!p.should_hedge(19.0, 1, 10));
+        assert!(p.should_hedge(20.0, 1, 10));
+    }
+
+    #[test]
+    fn hedge_budget_caps_duplicates() {
+        let cfg = HedgeConfig {
+            budget_fraction: 0.25,
+            ..HedgeConfig::legacy_speculation()
+        };
+        let mut p = HedgePolicy::new(cfg);
+        // 10 tasks × 0.25 → budget of ceil(2.5) = 3 hedges.
+        for _ in 0..3 {
+            assert!(p.should_hedge(0.0, 1, 10));
+            p.record_hedge();
+        }
+        assert!(!p.should_hedge(0.0, 1, 10), "budget exhausted");
+        assert_eq!(p.hedges_launched(), 3);
+    }
+
+    #[test]
+    fn gray_worker_is_quarantined_and_released_through_probation() {
+        let cfg = QuarantineConfig {
+            min_samples: 2,
+            quarantine_s: 10.0,
+            probation_tasks: 2,
+            ..QuarantineConfig::default()
+        };
+        let mut t = HealthTracker::new(cfg);
+        // Two healthy peers at ~1 s, one gray worker at ~10 s.
+        for _ in 0..3 {
+            t.record_success(0, 1.0, 0.0);
+            t.record_success(1, 1.0, 0.0);
+        }
+        t.record_success(2, 10.0, 0.0);
+        assert!(t.allow(2, 0.0), "one sample is not yet evidence");
+        t.record_success(2, 10.0, 1.0);
+        assert!(!t.allow(2, 1.0), "gray worker benched");
+        assert_eq!(t.quarantines(), 1);
+        assert!(t.allow(0, 1.0) && t.allow(1, 1.0), "peers unaffected");
+        // Bench expires → probation → healthy after two successes.
+        assert!(t.allow(2, 12.0), "released after quarantine_s");
+        assert_eq!(t.health(2), Health::Probation { remaining: 2 });
+        t.record_success(2, 1.0, 12.0);
+        t.record_success(2, 1.0, 13.0);
+        assert_eq!(t.health(2), Health::Healthy);
+        assert_eq!(t.releases(), 1);
+    }
+
+    #[test]
+    fn failure_streak_quarantines_and_probation_failure_rebenches() {
+        let cfg = QuarantineConfig {
+            failure_threshold: 2,
+            quarantine_s: 5.0,
+            probation_tasks: 1,
+            ..QuarantineConfig::default()
+        };
+        let mut t = HealthTracker::new(cfg);
+        t.record_success(0, 1.0, 0.0); // a peer, so the fleet isn't one worker
+        t.record_failure(1, 0.0);
+        assert!(t.allow(1, 0.0), "one failure is not a streak");
+        t.record_failure(1, 0.0);
+        assert!(!t.allow(1, 0.0), "streak hit the threshold");
+        assert!(t.allow(1, 6.0), "released to probation");
+        t.record_failure(1, 6.0);
+        assert!(!t.allow(1, 6.0), "a probation failure re-benches at once");
+        assert_eq!(t.quarantines(), 2);
+    }
+
+    #[test]
+    fn quarantine_fraction_cap_protects_the_fleet() {
+        let cfg = QuarantineConfig {
+            failure_threshold: 1,
+            max_quarantined_fraction: 0.5,
+            ..QuarantineConfig::default()
+        };
+        let mut t = HealthTracker::new(cfg);
+        // Touch 4 workers so the fleet size is known.
+        for w in 0..4 {
+            t.record_success(w, 1.0, 0.0);
+        }
+        t.record_failure(0, 0.0);
+        t.record_failure(1, 0.0);
+        assert!(!t.allow(0, 0.0) && !t.allow(1, 0.0));
+        // Benching a third of four would exceed the 50% cap.
+        t.record_failure(2, 0.0);
+        assert!(t.allow(2, 0.0), "fraction cap held the bench");
+        assert_eq!(t.quarantines(), 2);
+    }
+
+    #[test]
+    fn policy_default_is_inert_and_validation_rejects_nonsense() {
+        let p = ResiliencePolicy::default();
+        assert!(p.hedge.is_none() && p.quarantine.is_none() && p.deadline.is_none());
+        assert!(p.validate().is_ok());
+        assert!(ResiliencePolicy::legacy_speculation().validate().is_ok());
+        let bad = ResiliencePolicy::hedged(HedgeConfig {
+            quantile: 1.5,
+            ..HedgeConfig::legacy_speculation()
+        });
+        assert!(bad.validate().is_err());
+        let bad = ResiliencePolicy::default().with_deadline(0.0);
+        assert!(bad.validate().is_err());
+        let bad = ResiliencePolicy::default().with_quarantine(QuarantineConfig {
+            slow_factor: 0.5,
+            ..QuarantineConfig::default()
+        });
+        assert!(bad.validate().is_err());
+        let bad = ResiliencePolicy::hedged(HedgeConfig {
+            max_live_attempts: 1,
+            ..HedgeConfig::legacy_speculation()
+        });
+        assert!(bad.validate().is_err());
+    }
+}

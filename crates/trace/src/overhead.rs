@@ -13,6 +13,12 @@ use crate::span::{Phase, NO_WORKER};
 use crate::store::Trace;
 use ppc_core::metrics::{avg_time_per_task_per_core, parallel_efficiency};
 use ppc_core::report::Table;
+use std::collections::HashMap;
+
+/// Category name for core-time burnt by attempts that lost: hedged
+/// duplicates and chaos re-executions of tasks some other attempt won.
+/// Present (zero-valued when unused) in every paradigm's taxonomy.
+pub const WASTED_DUPLICATE_WORK: &str = "wasted duplicate work";
 
 /// Which of the paper's three frameworks a trace came from, detected from
 /// the platform string every engine stamps into [`RunMeta`](crate::RunMeta).
@@ -38,22 +44,30 @@ impl Paradigm {
     }
 
     /// The fixed overhead taxonomy: `(category name, phases billed to it)`.
+    ///
+    /// Every paradigm ends with [`WASTED_DUPLICATE_WORK`], an empty-phase
+    /// bucket filled specially by [`OverheadReport::from_trace`]: all
+    /// non-structural time of *losing* attempts (hedged duplicates, chaos
+    /// re-executions) for tasks some other attempt won.
     pub fn categories(self) -> &'static [(&'static str, &'static [Phase])] {
         match self {
             Paradigm::Classic => &[
                 ("queue control", &[Phase::Dequeue, Phase::Ack]),
                 ("storage download", &[Phase::Download]),
                 ("storage upload", &[Phase::Upload]),
+                (WASTED_DUPLICATE_WORK, &[]),
             ],
             Paradigm::Hadoop => &[
                 ("dispatch", &[Phase::Dispatch]),
                 ("local read", &[Phase::ReadLocal]),
                 ("remote read", &[Phase::ReadRemote]),
                 ("commit write", &[Phase::Commit]),
+                (WASTED_DUPLICATE_WORK, &[]),
             ],
             Paradigm::Dryad => &[
                 ("vertex startup", &[Phase::VertexStart]),
                 ("local io", &[Phase::ReadLocal, Phase::Write]),
+                (WASTED_DUPLICATE_WORK, &[]),
             ],
         }
     }
@@ -107,8 +121,26 @@ impl OverheadReport {
             .iter()
             .map(|(name, _)| OverheadCategory { name, seconds: 0.0 })
             .collect();
+        let wasted_idx = categories
+            .iter()
+            .position(|c| c.name == WASTED_DUPLICATE_WORK)
+            .expect("every taxonomy ends with the wasted-duplicate bucket");
+        // The attempt that won each task, identified by its terminal span
+        // (ack/commit/write). Attempts of the same task that are not the
+        // winner burnt core-time without producing the output: their whole
+        // footprint is wasted duplicate work, not compute or overhead.
+        let mut winner: HashMap<u64, u32> = HashMap::new();
+        for s in trace.spans() {
+            if s.phase.is_terminal() {
+                winner.entry(s.task).or_insert(s.attempt);
+            }
+        }
         for s in trace.spans() {
             if s.worker == NO_WORKER || s.phase.is_structural() {
+                continue;
+            }
+            if winner.get(&s.task).is_some_and(|&w| w != s.attempt) {
+                categories[wasted_idx].seconds += s.duration_s();
                 continue;
             }
             if s.phase.is_compute() {
@@ -239,7 +271,12 @@ mod tests {
         assert_eq!(r.compute_s, 5.0);
         assert_eq!(
             r.category_names(),
-            vec!["queue control", "storage download", "storage upload"]
+            vec![
+                "queue control",
+                "storage download",
+                "storage upload",
+                WASTED_DUPLICATE_WORK,
+            ]
         );
         assert_eq!(r.categories[0].seconds, 1.5); // dequeue + ack
         assert_eq!(r.categories[1].seconds, 2.0);
@@ -278,5 +315,51 @@ mod tests {
             .find(|c| c.name == "remote read")
             .unwrap();
         assert_eq!(remote.seconds, 0.0);
+        // Same for the wasted-duplicate bucket: no hedge ran, zero kept.
+        let wasted = r
+            .categories
+            .iter()
+            .find(|c| c.name == WASTED_DUPLICATE_WORK)
+            .unwrap();
+        assert_eq!(wasted.seconds, 0.0);
+    }
+
+    #[test]
+    fn losing_attempts_bill_to_wasted_duplicate_work() {
+        let meta = RunMeta {
+            platform: "classic-sim-hedged".into(),
+            cores: 2,
+            tasks: 1,
+            makespan_seconds: 10.0,
+        };
+        let spans = vec![
+            Span::job(10.0),
+            // Attempt 0 straggles: dequeued, downloaded, still executing
+            // when attempt 1 acks. It never reaches a terminal span.
+            Span::new(0, 0, 0, Phase::Dequeue, 0.0, 1.0),
+            Span::new(0, 0, 0, Phase::Download, 1.0, 2.0),
+            Span::new(0, 0, 0, Phase::Execute, 2.0, 9.0),
+            Span::new(0, 0, 0, Phase::Attempt, 0.0, 9.0),
+            // Attempt 1 is the hedge — it wins.
+            Span::new(0, 1, 1, Phase::Dequeue, 4.0, 4.5),
+            Span::new(0, 1, 1, Phase::Download, 4.5, 5.0),
+            Span::new(0, 1, 1, Phase::Execute, 5.0, 8.0),
+            Span::new(0, 1, 1, Phase::Upload, 8.0, 8.5),
+            Span::new(0, 1, 1, Phase::Ack, 8.5, 9.0),
+            Span::new(0, 1, 1, Phase::Attempt, 4.0, 9.0),
+        ];
+        let r = OverheadReport::from_trace(&Trace::new(meta, spans, Vec::new()));
+        let wasted = r
+            .categories
+            .iter()
+            .find(|c| c.name == WASTED_DUPLICATE_WORK)
+            .unwrap();
+        // All of attempt 0's non-structural time: 1 + 1 + 7.
+        assert!((wasted.seconds - 9.0).abs() < 1e-9);
+        // The loser's execute time is wasted, not compute.
+        assert!((r.compute_s - 3.0).abs() < 1e-9);
+        // The identity still holds: compute + overheads + idle = cores x horizon.
+        let total = r.compute_s + r.overhead_s() + r.idle_s;
+        assert!((total - 2.0 * 10.0).abs() < 1e-9);
     }
 }

@@ -154,6 +154,16 @@ pub enum EventKind {
     Retire,
     /// Chaos killed a worker (fault-schedule kill or death dice).
     Death,
+    /// Resilience layer launched a duplicate (hedged) attempt of a task
+    /// on `worker` because the primary attempt aged past the hedge delay.
+    Hedge,
+    /// Health tracker benched `worker` as gray (slow or failure-streaked).
+    Quarantine,
+    /// Health tracker released `worker` from quarantine into probation.
+    Release,
+    /// Resilience layer cancelled an attempt on `worker` — either the
+    /// losing side of a hedge race or a task that blew its deadline.
+    Cancel,
 }
 
 impl EventKind {
@@ -164,6 +174,10 @@ impl EventKind {
             EventKind::Drain => "drain",
             EventKind::Retire => "retire",
             EventKind::Death => "death",
+            EventKind::Hedge => "hedge",
+            EventKind::Quarantine => "quarantine",
+            EventKind::Release => "release",
+            EventKind::Cancel => "cancel",
         }
     }
 }

@@ -42,6 +42,7 @@ pub use ppc_gtm as gtm;
 pub use ppc_hdfs as hdfs;
 pub use ppc_mapreduce as mapreduce;
 pub use ppc_queue as queue;
+pub use ppc_resilience as resilience;
 pub use ppc_storage as storage;
 pub use ppc_trace as trace;
 

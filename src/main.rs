@@ -4,7 +4,8 @@
 //! ppc catalog                         print the instance-type catalogs
 //! ppc advisor <cap3|blast|gtm>        instance-type study for a workload
 //! ppc simulate --app <name> [--instance T] [--instances N] [--workers W] [--files F]
-//! ppc compare --app <name> [--files F] print all three paradigms on one fleet
+//! ppc compare --app <name> [--files F] [--gray F] [--hedge on]
+//!                                     print all three paradigms on one fleet
 //! ppc demo                            native end-to-end Cap3 mini-run
 //! ```
 //!
@@ -34,7 +35,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  ppc catalog\n  ppc advisor <cap3|blast|gtm> [--budget <$>] [--deadline <seconds>]\n  ppc simulate --app <cap3|blast|gtm> [--instance HCXL] [--instances 2] [--workers 8] [--files 64]\n  ppc compare --app <cap3|blast|gtm> [--files 64]\n  ppc demo"
+    "usage:\n  ppc catalog\n  ppc advisor <cap3|blast|gtm> [--budget <$>] [--deadline <seconds>]\n  ppc simulate --app <cap3|blast|gtm> [--instance HCXL] [--instances 2] [--workers 8] [--files 64]\n  ppc compare --app <cap3|blast|gtm> [--files 64] [--gray 30] [--hedge on]\n  ppc demo"
 }
 
 /// Dispatch a CLI invocation; returns the rendered output.
@@ -245,10 +246,38 @@ fn compare_cmd(flags: HashMap<String, String>) -> Result<String> {
             .map_err(|_| PpcError::InvalidArgument(format!("bad --files: '{v}'")))?,
         None => 64,
     };
+    // `--gray F` makes worker 0 silently compute F times slower on every
+    // paradigm; `--hedge on` counters it with the shared resilience layer.
+    let gray: Option<f64> = flags
+        .get("gray")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| PpcError::InvalidArgument(format!("bad --gray: '{v}'")))
+        })
+        .transpose()?;
+    let hedge = match flags.get("hedge").map(String::as_str) {
+        None | Some("off") => false,
+        Some("on") => true,
+        Some(other) => {
+            return Err(PpcError::InvalidArgument(format!(
+                "bad --hedge: '{other}' (want on|off)"
+            )))
+        }
+    };
     let (mut tasks, model) = workload_for(app)?;
     tasks.truncate(n_files);
     let cluster = Cluster::provision(ppc::compute::instance::EC2_HCXL, 4, 8);
-    let ctx = ppc::exec::RunContext::new(&cluster).with_seed(42);
+    let mut ctx = ppc::exec::RunContext::new(&cluster).with_seed(42);
+    if let Some(factor) = gray {
+        ctx = ctx.with_schedule(std::sync::Arc::new(
+            ppc::chaos::FaultSchedule::new(42).degrade(0, factor, 0.0, 1e9),
+        ));
+    }
+    if hedge {
+        ctx = ctx.with_resilience(ppc::resilience::ResiliencePolicy::hedged(
+            ppc::resilience::HedgeConfig::quantile(30.0),
+        ));
+    }
     let engines: Vec<Box<dyn ppc::exec::Engine>> = vec![
         Box::new(ppc::classic::ClassicEngine {
             sim: ppc::classic::SimConfig::ec2().with_app(model),

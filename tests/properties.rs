@@ -249,6 +249,187 @@ fn timeline_utilization_bounded() {
     }
 }
 
+/// Hedged duplicates never duplicate or corrupt a committed output: for
+/// randomized gray-straggler schedules and hedge dials, every paradigm's
+/// native engine commits each output exactly once with fault-free bytes,
+/// and every simulator accounts for each task exactly once.
+#[test]
+fn hedging_preserves_exactly_once_outputs() {
+    use ppc::chaos::FaultSchedule;
+    use ppc::classic::spec::JobSpec;
+    use ppc::compute::cluster::Cluster;
+    use ppc::compute::instance::{BARE_CAP3, EC2_HCXL};
+    use ppc::core::exec::FnExecutor;
+    use ppc::core::task::TaskSpec;
+    use ppc::exec::RunContext;
+    use ppc::hdfs::fs::MiniHdfs;
+    use ppc::mapreduce::job::{ExecutableMapper, MapReduceJob};
+    use ppc::queue::service::QueueService;
+    use ppc::resilience::{HedgeConfig, ResiliencePolicy};
+    use ppc::storage::service::StorageService;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let n: u64 = 8;
+    let expected: BTreeMap<String, Vec<u8>> = (0..n)
+        .map(|i| {
+            let mut v = format!("p{i}").into_bytes();
+            v.reverse();
+            (format!("f{i}.out"), v)
+        })
+        .collect();
+    let specs = |n: u64| -> Vec<TaskSpec> {
+        (0..n)
+            .map(|i| {
+                TaskSpec::new(
+                    i,
+                    "rev",
+                    format!("f{i}"),
+                    ppc::core::task::ResourceProfile::cpu_bound(0.0),
+                )
+            })
+            .collect()
+    };
+    let executor = || {
+        FnExecutor::new("rev", |_s: &TaskSpec, input: &[u8]| {
+            std::thread::sleep(Duration::from_millis(1));
+            let mut v = input.to_vec();
+            v.reverse();
+            Ok(v)
+        })
+    };
+
+    for case in 0..6u64 {
+        let mut rng = Pcg32::new(0x4ED6E + case);
+        let factor = 5.0 + rng.uniform(0.0, 30.0);
+        let gray_worker = rng.next_below(4);
+        let schedule = Arc::new(FaultSchedule::new(case).degrade(gray_worker, factor, 0.0, 1e9));
+        let policy =
+            ResiliencePolicy::hedged(HedgeConfig::quantile(0.002 + rng.uniform(0.0, 0.02)));
+
+        // Classic: queue re-dispatch hedging over real storage.
+        let storage = StorageService::in_memory();
+        let queues = QueueService::new();
+        let cluster = Cluster::provision(EC2_HCXL, 1, 4);
+        let job = JobSpec::new("prop", specs(n))
+            .with_visibility_timeout(Duration::from_millis(400))
+            .with_max_deliveries(8);
+        storage.create_bucket(&job.input_bucket).unwrap();
+        for i in 0..n {
+            storage
+                .put(
+                    &job.input_bucket,
+                    &format!("f{i}"),
+                    format!("p{i}").into_bytes(),
+                )
+                .unwrap();
+        }
+        let cfg = ppc::classic::ClassicConfig {
+            schedule: Some(schedule.clone()),
+            resilience: Some(policy),
+            ..Default::default()
+        };
+        let report = ppc::classic::run(
+            &RunContext::new(&cluster),
+            &storage,
+            &queues,
+            &job,
+            executor(),
+            &cfg,
+        )
+        .unwrap();
+        assert!(report.is_complete(), "case {case}: {:?}", report.failed);
+        let got: BTreeMap<String, Vec<u8>> = expected
+            .keys()
+            .map(|k| {
+                let v = storage.get_with_retry(&job.output_bucket, k, 64).unwrap();
+                (k.clone(), v.to_vec())
+            })
+            .collect();
+        assert_eq!(got, expected, "classic case {case}");
+
+        // MapReduce: speculation refactored onto the shared policy.
+        let fs = MiniHdfs::new(2, 1 << 20, 2, 7);
+        let mut paths = Vec::new();
+        for i in 0..n {
+            let p = format!("/in/f{i}");
+            fs.create(&p, format!("p{i}").as_bytes(), None).unwrap();
+            paths.push(p);
+        }
+        let mut job = MapReduceJob::map_only("prop", paths, "/out");
+        job.max_attempts = 8;
+        let cfg = ppc::mapreduce::HadoopConfig {
+            schedule: Some(schedule.clone()),
+            resilience: Some(policy),
+            ..Default::default()
+        };
+        let report = ppc::mapreduce::run(
+            &RunContext::local(),
+            &fs,
+            &job,
+            &ExecutableMapper::new("rev", executor()),
+            None,
+            &cfg,
+        )
+        .unwrap();
+        assert!(report.is_complete(), "case {case}: {:?}", report.failed);
+        let got: BTreeMap<String, Vec<u8>> = expected
+            .keys()
+            .map(|k| (k.clone(), fs.read(&format!("/out/{k}")).unwrap()))
+            .collect();
+        assert_eq!(got, expected, "mapreduce case {case}");
+
+        // Dryad: backup vertices racing the primaries.
+        let cluster = Cluster::provision(BARE_CAP3, 1, 4);
+        let inputs: Vec<(TaskSpec, Vec<u8>)> = specs(n)
+            .into_iter()
+            .map(|s| {
+                let p = format!("p{}", s.id.0).into_bytes();
+                (s, p)
+            })
+            .collect();
+        let cfg = ppc::dryad::DryadConfig {
+            schedule: Some(schedule.clone()),
+            resilience: Some(policy),
+            ..Default::default()
+        };
+        let (report, outputs) =
+            ppc::dryad::run(&RunContext::new(&cluster), inputs, executor(), &cfg).unwrap();
+        assert_eq!(report.vertex_failures, 0, "case {case}");
+        let got: BTreeMap<String, Vec<u8>> = outputs.into_iter().collect();
+        assert_eq!(got, expected, "dryad case {case}");
+
+        // The simulators: each task completes exactly once under the same
+        // policy and schedule.
+        let sim_tasks: Vec<TaskSpec> = (0..32)
+            .map(|i| {
+                TaskSpec::new(
+                    i,
+                    "t",
+                    format!("f{i}"),
+                    ppc::core::task::ResourceProfile::cpu_bound(10.0),
+                )
+            })
+            .collect();
+        let sim_policy = ResiliencePolicy::hedged(HedgeConfig::quantile(20.0));
+        let cluster = Cluster::provision(EC2_HCXL, 1, 8);
+        let ctx = RunContext::new(&cluster)
+            .with_schedule(schedule.clone())
+            .with_resilience(sim_policy);
+        let r = ppc::classic::simulate(&ctx, &sim_tasks, &ppc::classic::SimConfig::ec2());
+        assert_eq!(r.summary.tasks, 32, "classic sim case {case}");
+        let cluster = Cluster::provision(BARE_CAP3, 1, 8);
+        let ctx = RunContext::new(&cluster)
+            .with_schedule(schedule.clone())
+            .with_resilience(sim_policy);
+        let r = ppc::mapreduce::simulate(&ctx, &sim_tasks, &Default::default());
+        assert_eq!(r.summary.tasks, 32, "mapreduce sim case {case}");
+        let r = ppc::dryad::simulate(&ctx, &sim_tasks, &Default::default());
+        assert_eq!(r.summary.tasks, 32, "dryad sim case {case}");
+    }
+}
+
 /// GTM responsibilities stay a probability distribution for random inputs.
 #[test]
 fn gtm_projection_bounded_for_random_data() {

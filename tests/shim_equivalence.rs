@@ -307,6 +307,78 @@ fn context_seed_overrides_config_seed_in_every_simulator() {
     assert_eq!(a.to_json().to_string(), b.to_json().to_string());
 }
 
+/// The deprecated speculation knobs are sugar for the shared resilience
+/// layer: `speculative: true` with no policy must simulate bit-identically
+/// to an explicit `ResiliencePolicy::legacy_speculation()`, and
+/// `speculative: false` to the empty policy — the refactor moved the
+/// mechanism without moving the behavior.
+#[test]
+fn hadoop_speculation_shim_matches_legacy_policy() {
+    use ppc::resilience::ResiliencePolicy;
+    let cluster = Cluster::provision(BARE_CAP3, 2, 8);
+    let tasks = tasks(64);
+    let run = |speculative: bool, resilience: Option<ResiliencePolicy>| {
+        let cfg = ppc::mapreduce::HadoopSimConfig {
+            speculative,
+            resilience,
+            ..Default::default()
+        };
+        ppc::mapreduce::simulate(&RunContext::new(&cluster), &tasks, &cfg)
+            .to_json()
+            .to_string()
+    };
+    assert_eq!(
+        run(true, None),
+        run(false, Some(ResiliencePolicy::legacy_speculation())),
+        "speculative: true == legacy_speculation policy"
+    );
+    assert_eq!(
+        run(false, None),
+        run(true, Some(ResiliencePolicy::default())),
+        "speculative: false == empty policy (which also overrides the knob)"
+    );
+}
+
+/// The native twin of the pin above, on the runtime's deterministic
+/// surface: with a deprecated `straggler_delay` making task 0 overdue,
+/// the `job.speculative` knob and the explicit legacy policy commit the
+/// same outputs and rescue the straggler the same way.
+#[test]
+fn hadoop_native_speculation_shim_matches_legacy_policy() {
+    use ppc::hdfs::fs::MiniHdfs;
+    use ppc::mapreduce::job::{ExecutableMapper, MapReduceJob};
+    use ppc::resilience::ResiliencePolicy;
+    use std::time::Duration;
+
+    let run = |speculative: bool, resilience: Option<ResiliencePolicy>| {
+        let fs = MiniHdfs::new(2, 1 << 20, 2, 7);
+        let mut paths = Vec::new();
+        for i in 0..8 {
+            let p = format!("/in/f{i}");
+            fs.create(&p, format!("p{i}").as_bytes(), None).unwrap();
+            paths.push(p);
+        }
+        let job =
+            MapReduceJob::map_only("spec-eq", paths.clone(), "/out").with_speculative(speculative);
+        let mapper = ExecutableMapper::new("rev", reverse_executor());
+        let cfg = ppc::mapreduce::HadoopConfig {
+            straggler_delay: Some((0, Duration::from_millis(120))),
+            resilience,
+            ..Default::default()
+        };
+        let report =
+            ppc::mapreduce::run(&RunContext::local(), &fs, &job, &mapper, None, &cfg).unwrap();
+        let outputs: Vec<Vec<u8>> = (0..8)
+            .map(|i| fs.read(&format!("/out/f{i}.out")).unwrap())
+            .collect();
+        (report.summary.tasks, outputs)
+    };
+    assert_eq!(
+        run(true, None),
+        run(false, Some(ResiliencePolicy::legacy_speculation()))
+    );
+}
+
 /// The same override on the native side: config seeds lose to the context
 /// seed, observable through identical chaos outcomes (which tasks died and
 /// recovered is a pure function of the effective seed in the dryad

@@ -91,6 +91,7 @@ fn simulated_makespan_predicts_native() {
 /// The Hadoop simulator must predict the native MapReduce runtime's
 /// makespan for a controlled-duration workload, just like the Classic one.
 #[test]
+#[allow(deprecated)] // pins the legacy `speculative` knob's fidelity
 fn hadoop_sim_predicts_native_makespan() {
     use ppc::compute::instance::BARE_CAP3;
     use ppc::core::exec::FnExecutor;
