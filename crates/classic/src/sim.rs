@@ -21,7 +21,7 @@ use ppc_core::metrics::RunSummary;
 use ppc_core::rng::{Pcg32, CLIENT_STREAM};
 use ppc_core::task::TaskSpec;
 use ppc_core::{PpcError, Result};
-use ppc_des::{Engine, SimTime};
+use ppc_des::{Engine, EventId, QueueKind, SimTime};
 use ppc_exec::{RunContext, RunReport};
 use ppc_resilience::{Health, HealthTracker, HedgePolicy, ResiliencePolicy};
 use ppc_storage::latency::LatencyModel;
@@ -66,6 +66,11 @@ pub struct SimConfig {
     /// keeps legacy behavior bit-identical. Hedging and deadlines are not
     /// modeled on the NIC-contention path.
     pub resilience: Option<ResiliencePolicy>,
+    /// Event-queue backend for the DES engine. Every backend yields
+    /// bit-identical reports (pinned by `tests/des_differential.rs`); this
+    /// dial only trades queue-operation speed. Defaults to
+    /// [`QueueKind::from_env`] (`PPC_DES_QUEUE`, else the timing wheel).
+    pub queue: QueueKind,
 }
 
 impl SimConfig {
@@ -82,6 +87,7 @@ impl SimConfig {
             trace: false,
             nic_bandwidth_bytes_per_s: None,
             resilience: None,
+            queue: QueueKind::from_env(),
         }
     }
 
@@ -293,6 +299,12 @@ struct SimState {
     done: HashSet<u64>,
     /// Tasks that already received their one hedged duplicate.
     hedged: HashSet<u64>,
+    /// Armed hedge-check timers per task, cancelled O(1) the moment the
+    /// task's first result commits — dead timers stop stretching the
+    /// engine's tail (and its event count) for free. Stale handles of
+    /// timers that already fired are harmless: `Engine::cancel` is a no-op
+    /// on them.
+    hedge_timers: HashMap<u64, Vec<EventId>>,
     /// Live attempt count per task (primary + hedge), defended runs only.
     running: HashMap<u64, u32>,
     /// Job size, for the hedge budget.
@@ -408,6 +420,7 @@ pub(crate) fn sim_fleets_impl(
             .map(HealthTracker::new),
         done: HashSet::new(),
         hedged: HashSet::new(),
+        hedge_timers: HashMap::new(),
         running: HashMap::new(),
         n_tasks: tasks.len(),
         finished_at_s: 0.0,
@@ -420,7 +433,7 @@ pub(crate) fn sim_fleets_impl(
         }
     }
 
-    let mut engine = Engine::new();
+    let mut engine = Engine::with_queue(cfg.queue);
     let cfg = *cfg;
 
     let mut worker_index = 0;
@@ -838,7 +851,7 @@ fn worker_tick(
     let task_id = task.id.0;
     let defended = cfg.resilience.is_some();
     engine.schedule_in(SimTime::from_secs_f64(duration_s), move |e| {
-        {
+        let dead_timers = {
             let mut st = st2.borrow_mut();
             let end = e.now().as_secs_f64();
             let w = worker.index as u32;
@@ -851,6 +864,7 @@ fn worker_tick(
                 completed,
                 n_tasks,
                 finished_at_s,
+                hedge_timers,
                 ..
             } = &mut *st;
             if let Some(n) = running.get_mut(&task_id) {
@@ -875,6 +889,17 @@ fn worker_tick(
                     rec, w, task_id, attempt, started_at, end, t_in, t_exec, t_out, t_ctrl, true,
                 );
             }
+            // The committed result makes every armed hedge check for this
+            // task a dead no-op; collect the handles while the state is
+            // borrowed, cancel once it isn't.
+            if winner {
+                hedge_timers.remove(&task_id)
+            } else {
+                None
+            }
+        };
+        for id in dead_timers.into_iter().flatten() {
+            e.cancel(id);
         }
         worker_tick(e, st2, worker, itype, cfg);
     });
@@ -895,7 +920,9 @@ fn hedge_check_at(
     itype: ppc_compute::instance::InstanceType,
     cfg: SimConfig,
 ) {
-    engine.schedule_at(SimTime::from_secs_f64(at_s.max(pulled_s)), move |e| {
+    let task_id = task.id.0;
+    let reg = state.clone();
+    let timer = engine.schedule_at(SimTime::from_secs_f64(at_s.max(pulled_s)), move |e| {
         enum Next {
             Stop,
             Rearm(f64),
@@ -958,6 +985,11 @@ fn hedge_check_at(
             }
         }
     });
+    reg.borrow_mut()
+        .hedge_timers
+        .entry(task_id)
+        .or_default()
+        .push(timer);
 }
 
 /// Completion step for the NIC-modeled pipeline: mirror of the tail of
@@ -1109,6 +1141,8 @@ struct AsState {
     done: HashSet<u64>,
     hedged: HashSet<u64>,
     running: HashMap<u64, u32>,
+    /// Armed hedge-check timers per task; see [`SimState::hedge_timers`].
+    hedge_timers: HashMap<u64, Vec<EventId>>,
 }
 
 impl AsState {
@@ -1241,9 +1275,10 @@ pub(crate) fn sim_autoscaled_impl(
         done: HashSet::new(),
         hedged: HashSet::new(),
         running: HashMap::new(),
+        hedge_timers: HashMap::new(),
     }));
 
-    let mut engine = Engine::new();
+    let mut engine = Engine::with_queue(cfg.queue);
     // Arrivals first, so that same-instant arrivals precede the worker
     // ticks of the initial fleet (events fire in insertion order).
     for (i, task) in tasks.iter().enumerate() {
@@ -1547,6 +1582,7 @@ fn as_worker_tick(
         let slot_died = st2.borrow().dead.contains(&slot);
         let lost = fails || slot_died;
         let cancel = cancelled && !slot_died;
+        let mut dead_timers = None;
         {
             let mut st = st2.borrow_mut();
             st.in_flight -= 1;
@@ -1560,6 +1596,7 @@ fn as_worker_tick(
                 n_tasks,
                 finished_at_s,
                 deaths,
+                hedge_timers,
                 ..
             } = &mut *st;
             if let Some(n) = running.get_mut(&task.id.0) {
@@ -1583,6 +1620,9 @@ fn as_worker_tick(
                     if let Some(h) = hedge {
                         h.observe(duration_s);
                     }
+                    // Armed hedge checks for a committed task are dead
+                    // no-ops; collect them here, cancel outside the borrow.
+                    dead_timers = hedge_timers.remove(&task.id.0);
                 }
                 sim_note_success(health, rec, slot, duration_s, now);
             }
@@ -1618,6 +1658,9 @@ fn as_worker_tick(
                     });
                 }
             }
+        }
+        for id in dead_timers.into_iter().flatten() {
+            e.cancel(id);
         }
         if cancel {
             // Cancel-and-requeue: the worker deleted its lease and re-sent
@@ -1669,7 +1712,9 @@ fn as_hedge_check_at(
     itype: ppc_compute::instance::InstanceType,
     cfg: SimConfig,
 ) {
-    engine.schedule_at(SimTime::from_secs_f64(at_s.max(pulled_s)), move |e| {
+    let task_id = task.id.0;
+    let reg = state.clone();
+    let timer = engine.schedule_at(SimTime::from_secs_f64(at_s.max(pulled_s)), move |e| {
         enum Next {
             Stop,
             Rearm(f64),
@@ -1728,6 +1773,11 @@ fn as_hedge_check_at(
             Next::Wake => as_wake_idle(e, state, itype, cfg),
         }
     });
+    reg.borrow_mut()
+        .hedge_timers
+        .entry(task_id)
+        .or_default()
+        .push(timer);
 }
 
 /// One controller evaluation in virtual time: confirm retirements, take a

@@ -1,48 +1,57 @@
-//! The event calendar.
+//! The event core.
 //!
-//! An [`Engine`] owns a priority queue of `(time, sequence, closure)` events.
-//! [`Engine::run`] pops the earliest event and fires it; firing may schedule
-//! further events. Two events at the same instant fire in the order they
-//! were scheduled (the `sequence` tie-break), which — together with the
-//! deterministic PRNGs in `ppc-core::rng` — makes whole platform simulations
-//! reproducible bit for bit.
+//! An [`Engine`] owns a slab of pending events (boxed `FnOnce` closures)
+//! and a pluggable [`EventQueue`] of `(time, sequence, slot)` keys.
+//! [`Engine::run`] pops the earliest key and fires its event; firing may
+//! schedule further events. Two events at the same instant fire in the
+//! order they were scheduled (the `sequence` tie-break) — an explicit
+//! contract every queue backend implements identically, which, together
+//! with the deterministic PRNGs in `ppc-core::rng`, makes whole platform
+//! simulations reproducible bit for bit on any backend.
+//!
+//! [`Engine::schedule_at`] returns a stable [`EventId`]: a generation-
+//! checked handle that supports O(1) [`Engine::cancel`] (the slab slot is
+//! freed immediately and the stale queue key is skipped when it surfaces
+//! — no scans, no heap rebuilds) and [`Engine::reschedule_at`]. This is
+//! what lets `ppc-resilience` deadline/hedge timer churn cost one slab
+//! write instead of a queue restructure.
 
+use crate::queue::{EventEntry, EventQueue, QueueImpl, QueueKind};
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 type EventFn = Box<dyn FnOnce(&mut Engine)>;
 
-struct Scheduled {
-    at: SimTime,
+/// A stable handle to a scheduled (not yet fired) event.
+///
+/// Generation-checked: once the event fires, is cancelled, or is
+/// rescheduled, the handle goes stale and every operation on it returns
+/// `false`/`None` — handles never dangle into a recycled slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId {
+    idx: u32,
+    gen: u32,
+}
+
+/// One slab slot. `seq` identifies the current occupant (sequence numbers
+/// are globally unique), so queue keys carrying an older `seq` are
+/// recognized as stale tombstones; `gen` does the same for [`EventId`]s.
+struct Slot {
+    gen: u32,
     seq: u64,
-    f: EventFn,
+    f: Option<EventFn>,
 }
 
-// BinaryHeap is a max-heap; invert the ordering to pop the earliest event.
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-/// Single-threaded discrete-event engine.
+/// Single-threaded discrete-event engine over a pluggable event queue.
 pub struct Engine {
     now: SimTime,
     seq: u64,
     fired: u64,
-    calendar: BinaryHeap<Scheduled>,
+    cancelled: u64,
+    /// Live (scheduled, not yet fired or cancelled) events.
+    live: usize,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    queue: QueueImpl,
 }
 
 impl Default for Engine {
@@ -52,13 +61,29 @@ impl Default for Engine {
 }
 
 impl Engine {
+    /// An engine on the process-default queue backend
+    /// ([`QueueKind::from_env`]: `PPC_DES_QUEUE` or the timing wheel).
     pub fn new() -> Engine {
+        Engine::with_queue(QueueKind::from_env())
+    }
+
+    /// An engine on an explicit queue backend.
+    pub fn with_queue(kind: QueueKind) -> Engine {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
             fired: 0,
-            calendar: BinaryHeap::new(),
+            cancelled: 0,
+            live: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            queue: QueueImpl::new(kind),
         }
+    }
+
+    /// Which queue backend this engine runs on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
     }
 
     /// Current simulated time.
@@ -71,41 +96,139 @@ impl Engine {
         self.fired
     }
 
-    /// Number of events still pending.
-    pub fn pending(&self) -> usize {
-        self.calendar.len()
+    /// Number of events cancelled so far.
+    pub fn events_cancelled(&self) -> u64 {
+        self.cancelled
     }
 
-    /// Schedule `f` to fire at absolute time `at`. Scheduling in the past is
-    /// a model bug; we clamp to `now` and fire it next, keeping the clock
-    /// monotonic.
-    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Engine) + 'static) {
+    /// Number of live events still pending (cancelled events leave this
+    /// count immediately, even though their queue tombstone lingers).
+    pub fn pending(&self) -> usize {
+        self.live
+    }
+
+    fn alloc(&mut self, seq: u64, f: EventFn) -> EventId {
+        match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                slot.seq = seq;
+                slot.f = Some(f);
+                EventId { idx, gen: slot.gen }
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("event slab overflow");
+                self.slots.push(Slot {
+                    gen: 0,
+                    seq,
+                    f: Some(f),
+                });
+                EventId { idx, gen: 0 }
+            }
+        }
+    }
+
+    /// Free a slot, invalidating outstanding [`EventId`]s for it.
+    fn release(&mut self, idx: u32) -> EventFn {
+        let slot = &mut self.slots[idx as usize];
+        let f = slot.f.take().expect("releasing an empty slot");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(idx);
+        self.live -= 1;
+        f
+    }
+
+    fn schedule_boxed(&mut self, at: SimTime, f: EventFn) -> EventId {
+        // Scheduling in the past is a model bug; clamp to `now` so it
+        // fires next and the clock stays monotonic.
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.calendar.push(Scheduled {
+        let id = self.alloc(seq, f);
+        self.queue.push(EventEntry {
             at,
             seq,
-            f: Box::new(f),
+            idx: id.idx,
         });
+        self.live += 1;
+        id
+    }
+
+    /// Schedule `f` to fire at absolute time `at` (clamped to `now`).
+    /// The returned handle can be ignored, [`cancel`](Engine::cancel)led,
+    /// or [`reschedule_at`](Engine::reschedule_at)d.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Engine) + 'static) -> EventId {
+        self.schedule_boxed(at, Box::new(f))
     }
 
     /// Schedule `f` to fire `delay` after now.
-    pub fn schedule_in(&mut self, delay: SimTime, f: impl FnOnce(&mut Engine) + 'static) {
-        self.schedule_at(self.now + delay, f);
+    pub fn schedule_in(
+        &mut self,
+        delay: SimTime,
+        f: impl FnOnce(&mut Engine) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Whether `id` still refers to a pending event.
+    pub fn is_scheduled(&self, id: EventId) -> bool {
+        self.slots
+            .get(id.idx as usize)
+            .is_some_and(|s| s.gen == id.gen && s.f.is_some())
+    }
+
+    /// Cancel a pending event in O(1): the closure is dropped and the slab
+    /// slot freed immediately; the queue key becomes an inert tombstone
+    /// skipped when it surfaces (no scans). Returns whether anything was
+    /// cancelled — `false` for events already fired, cancelled, or
+    /// rescheduled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if !self.is_scheduled(id) {
+            return false;
+        }
+        drop(self.release(id.idx));
+        self.cancelled += 1;
+        true
+    }
+
+    /// Move a pending event to absolute time `at` (clamped to `now`),
+    /// keeping its closure. The old handle goes stale; the event fires at
+    /// the new time with a fresh sequence number (it ties *after* events
+    /// already scheduled there). `None` if `id` was no longer pending.
+    pub fn reschedule_at(&mut self, id: EventId, at: SimTime) -> Option<EventId> {
+        if !self.is_scheduled(id) {
+            return None;
+        }
+        let f = self.release(id.idx);
+        Some(self.schedule_boxed(at, f))
+    }
+
+    /// Like [`Engine::reschedule_at`], relative to now.
+    pub fn reschedule_in(&mut self, id: EventId, delay: SimTime) -> Option<EventId> {
+        self.reschedule_at(id, self.now + delay)
+    }
+
+    /// Whether a popped queue key still refers to its live event.
+    #[inline]
+    fn key_is_live(&self, e: EventEntry) -> bool {
+        let slot = &self.slots[e.idx as usize];
+        slot.seq == e.seq && slot.f.is_some()
     }
 
     /// Fire a single event if one is pending; returns whether one fired.
     pub fn step(&mut self) -> bool {
-        match self.calendar.pop() {
-            Some(ev) => {
-                debug_assert!(ev.at >= self.now, "calendar went backwards");
-                self.now = ev.at;
-                self.fired += 1;
-                (ev.f)(self);
-                true
+        loop {
+            let Some(e) = self.queue.pop() else {
+                return false;
+            };
+            if !self.key_is_live(e) {
+                continue; // tombstone of a cancelled/rescheduled event
             }
-            None => false,
+            let f = self.release(e.idx);
+            debug_assert!(e.at >= self.now, "calendar went backwards");
+            self.now = e.at;
+            self.fired += 1;
+            f(self);
+            return true;
         }
     }
 
@@ -119,21 +242,27 @@ impl Engine {
     /// whichever comes first. Events scheduled after the deadline remain
     /// pending.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        while let Some(head) = self.calendar.peek() {
-            if head.at > deadline {
+        while let Some(at) = self.peek_time() {
+            if at > deadline {
                 break;
             }
             self.step();
         }
-        self.now = self
-            .now
-            .max(deadline.min(self.peek_time().unwrap_or(deadline)));
+        let next = self.peek_time();
+        self.now = self.now.max(deadline.min(next.unwrap_or(deadline)));
         self.now
     }
 
-    /// Time of the next pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.calendar.peek().map(|s| s.at)
+    /// Time of the next pending (live) event, if any. Takes `&mut self`
+    /// to discard cancelled tombstones and let the wheel reorganize.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let e = self.queue.peek()?;
+            if self.key_is_live(e) {
+                return Some(e.at);
+            }
+            self.queue.pop();
+        }
     }
 }
 
@@ -143,37 +272,45 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
 
+    /// Every engine test runs on every backend: the suite itself is a
+    /// small differential harness.
+    fn on_all_backends(test: impl Fn(Engine)) {
+        for kind in QueueKind::ALL {
+            test(Engine::with_queue(kind));
+        }
+    }
+
     #[test]
     fn fires_in_time_order() {
-        let mut e = Engine::new();
-        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
-        for (t, v) in [(30u64, 3u32), (10, 1), (20, 2)] {
-            let log = log.clone();
-            e.schedule_at(SimTime::from_secs(t), move |_| log.borrow_mut().push(v));
-        }
-        let end = e.run();
-        assert_eq!(*log.borrow(), vec![1, 2, 3]);
-        assert_eq!(end, SimTime::from_secs(30));
-        assert_eq!(e.events_fired(), 3);
+        on_all_backends(|mut e| {
+            let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+            for (t, v) in [(30u64, 3u32), (10, 1), (20, 2)] {
+                let log = log.clone();
+                e.schedule_at(SimTime::from_secs(t), move |_| log.borrow_mut().push(v));
+            }
+            let end = e.run();
+            assert_eq!(*log.borrow(), vec![1, 2, 3]);
+            assert_eq!(end, SimTime::from_secs(30));
+            assert_eq!(e.events_fired(), 3);
+        });
     }
 
     #[test]
     fn ties_fire_in_schedule_order() {
-        let mut e = Engine::new();
-        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
-        for v in 0..100 {
-            let log = log.clone();
-            e.schedule_at(SimTime::from_secs(5), move |_| log.borrow_mut().push(v));
-        }
-        e.run();
-        assert_eq!(*log.borrow(), (0..100).collect::<Vec<_>>());
+        on_all_backends(|mut e| {
+            let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+            for v in 0..100 {
+                let log = log.clone();
+                e.schedule_at(SimTime::from_secs(5), move |_| log.borrow_mut().push(v));
+            }
+            e.run();
+            assert_eq!(*log.borrow(), (0..100).collect::<Vec<_>>());
+        });
     }
 
     #[test]
     fn events_can_schedule_events() {
         // A self-rescheduling "process" ticking 5 times.
-        let mut e = Engine::new();
-        let count = Rc::new(RefCell::new(0));
         fn tick(e: &mut Engine, count: Rc<RefCell<u32>>) {
             *count.borrow_mut() += 1;
             if *count.borrow() < 5 {
@@ -181,49 +318,149 @@ mod tests {
                 e.schedule_in(SimTime::from_secs(2), move |e| tick(e, c));
             }
         }
-        let c = count.clone();
-        e.schedule_at(SimTime::ZERO, move |e| tick(e, c));
-        let end = e.run();
-        assert_eq!(*count.borrow(), 5);
-        assert_eq!(end, SimTime::from_secs(8));
+        on_all_backends(|mut e| {
+            let count = Rc::new(RefCell::new(0));
+            let c = count.clone();
+            e.schedule_at(SimTime::ZERO, move |e| tick(e, c));
+            let end = e.run();
+            assert_eq!(*count.borrow(), 5);
+            assert_eq!(end, SimTime::from_secs(8));
+        });
     }
 
     #[test]
     fn scheduling_in_past_clamps_to_now() {
-        let mut e = Engine::new();
-        let seen = Rc::new(RefCell::new(SimTime::ZERO));
-        let s = seen.clone();
-        e.schedule_at(SimTime::from_secs(10), move |e| {
-            // Attempt to schedule 5 seconds "ago".
-            let s2 = s.clone();
-            e.schedule_at(SimTime::from_secs(5), move |e| *s2.borrow_mut() = e.now());
+        on_all_backends(|mut e| {
+            let seen = Rc::new(RefCell::new(SimTime::ZERO));
+            let s = seen.clone();
+            e.schedule_at(SimTime::from_secs(10), move |e| {
+                // Attempt to schedule 5 seconds "ago".
+                let s2 = s.clone();
+                e.schedule_at(SimTime::from_secs(5), move |e| *s2.borrow_mut() = e.now());
+            });
+            e.run();
+            assert_eq!(*seen.borrow(), SimTime::from_secs(10));
         });
-        e.run();
-        assert_eq!(*seen.borrow(), SimTime::from_secs(10));
     }
 
     #[test]
     fn run_until_stops_at_deadline() {
-        let mut e = Engine::new();
-        let log: Rc<RefCell<Vec<u64>>> = Rc::default();
-        for t in [1u64, 2, 3, 4, 5] {
-            let log = log.clone();
-            e.schedule_at(SimTime::from_secs(t), move |e| {
-                log.borrow_mut().push(e.now().as_micros())
-            });
-        }
-        e.run_until(SimTime::from_secs(3));
-        assert_eq!(log.borrow().len(), 3);
-        assert_eq!(e.pending(), 2);
-        // Remaining events still run afterwards.
-        e.run();
-        assert_eq!(log.borrow().len(), 5);
+        on_all_backends(|mut e| {
+            let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+            for t in [1u64, 2, 3, 4, 5] {
+                let log = log.clone();
+                e.schedule_at(SimTime::from_secs(t), move |e| {
+                    log.borrow_mut().push(e.now().as_micros())
+                });
+            }
+            e.run_until(SimTime::from_secs(3));
+            assert_eq!(log.borrow().len(), 3);
+            assert_eq!(e.pending(), 2);
+            // Remaining events still run afterwards.
+            e.run();
+            assert_eq!(log.borrow().len(), 5);
+        });
     }
 
     #[test]
     fn step_on_empty_returns_false() {
-        let mut e = Engine::new();
-        assert!(!e.step());
-        assert_eq!(e.now(), SimTime::ZERO);
+        on_all_backends(|mut e| {
+            assert!(!e.step());
+            assert_eq!(e.now(), SimTime::ZERO);
+        });
+    }
+
+    #[test]
+    fn cancel_prevents_firing_and_is_idempotent() {
+        on_all_backends(|mut e| {
+            let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+            let l1 = log.clone();
+            let keep = e.schedule_at(SimTime::from_secs(1), move |_| l1.borrow_mut().push(1));
+            let l2 = log.clone();
+            let kill = e.schedule_at(SimTime::from_secs(2), move |_| l2.borrow_mut().push(2));
+            assert_eq!(e.pending(), 2);
+            assert!(e.is_scheduled(kill));
+            assert!(e.cancel(kill));
+            assert!(!e.cancel(kill), "second cancel is a no-op");
+            assert!(!e.is_scheduled(kill));
+            assert_eq!(e.pending(), 1);
+            let end = e.run();
+            assert_eq!(*log.borrow(), vec![1]);
+            assert_eq!(end, SimTime::from_secs(1), "cancelled tail never fires");
+            assert_eq!(e.events_fired(), 1);
+            assert_eq!(e.events_cancelled(), 1);
+            assert!(!e.cancel(keep), "fired events cannot be cancelled");
+        });
+    }
+
+    #[test]
+    fn cancelled_slot_reuse_does_not_confuse_stale_handles() {
+        on_all_backends(|mut e| {
+            let hit = Rc::new(RefCell::new(0u32));
+            let h = hit.clone();
+            let a = e.schedule_at(SimTime::from_secs(1), move |_| *h.borrow_mut() += 1);
+            assert!(e.cancel(a));
+            // The freed slot is recycled by the next schedule; the stale
+            // handle must not be able to cancel the new occupant.
+            let h = hit.clone();
+            let _b = e.schedule_at(SimTime::from_secs(1), move |_| *h.borrow_mut() += 10);
+            assert!(!e.cancel(a));
+            e.run();
+            assert_eq!(*hit.borrow(), 10);
+        });
+    }
+
+    #[test]
+    fn reschedule_moves_and_invalidates_old_handle() {
+        on_all_backends(|mut e| {
+            let log: Rc<RefCell<Vec<(u64, u32)>>> = Rc::default();
+            let l = log.clone();
+            let id = e.schedule_at(SimTime::from_secs(5), move |e| {
+                l.borrow_mut().push((e.now().as_micros(), 0))
+            });
+            let l = log.clone();
+            e.schedule_at(SimTime::from_secs(2), move |e| {
+                l.borrow_mut().push((e.now().as_micros(), 1))
+            });
+            let id2 = e.reschedule_at(id, SimTime::from_secs(1)).unwrap();
+            assert!(!e.is_scheduled(id), "old handle is stale");
+            assert!(e.is_scheduled(id2));
+            assert!(e.reschedule_at(id, SimTime::ZERO).is_none());
+            e.run();
+            // Moved event fires first, at its new time.
+            assert_eq!(
+                *log.borrow(),
+                vec![(1_000_000, 0), (2_000_000, 1)],
+                "on {:?}",
+                e.queue_kind()
+            );
+            assert_eq!(e.pending(), 0);
+        });
+    }
+
+    #[test]
+    fn cancel_from_inside_an_event() {
+        on_all_backends(|mut e| {
+            let fired = Rc::new(RefCell::new(false));
+            let f = fired.clone();
+            let victim = e.schedule_at(SimTime::from_secs(10), move |_| *f.borrow_mut() = true);
+            e.schedule_at(SimTime::from_secs(1), move |e| {
+                assert!(e.cancel(victim));
+            });
+            let end = e.run();
+            assert!(!*fired.borrow());
+            assert_eq!(end, SimTime::from_secs(1));
+        });
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_heads() {
+        on_all_backends(|mut e| {
+            let head = e.schedule_at(SimTime::from_secs(1), |_| {});
+            e.schedule_at(SimTime::from_secs(2), |_| {});
+            assert_eq!(e.peek_time(), Some(SimTime::from_secs(1)));
+            assert!(e.cancel(head));
+            assert_eq!(e.peek_time(), Some(SimTime::from_secs(2)));
+        });
     }
 }

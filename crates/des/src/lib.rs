@@ -10,9 +10,12 @@
 //! Design:
 //!
 //! * [`SimTime`] — integer microseconds; total order with no float drift.
-//! * [`Engine`] — a binary-heap event calendar firing `FnOnce(&mut Engine)`
-//!   closures. Ties are broken by insertion sequence, making every run
-//!   bit-for-bit deterministic for a given seed.
+//! * [`Engine`] — an event calendar firing `FnOnce(&mut Engine)` closures
+//!   over a pluggable [`queue::EventQueue`] backend ([`QueueKind`]: binary
+//!   heap oracle, hierarchical timing wheel, or calendar queue — all with
+//!   the identical `(time, sequence)` pop order, so the backend choice is
+//!   invisible to results). Events are slab-stored behind stable
+//!   [`EventId`] handles with O(1) cancellation and rescheduling.
 //! * [`resource::FifoServer`] — a `c`-server FIFO queue, the building block
 //!   for modeled CPUs, disks, NICs, and service frontends.
 //! * [`stats`] — counters and time-weighted gauges for utilization curves.
@@ -23,10 +26,12 @@
 //! threads would demand much heavier machinery for zero benefit here).
 
 pub mod engine;
+pub mod queue;
 pub mod resource;
 pub mod stats;
 pub mod time;
 
-pub use engine::Engine;
+pub use engine::{Engine, EventId};
+pub use queue::{EventQueue, QueueKind};
 pub use resource::FifoServer;
 pub use time::SimTime;

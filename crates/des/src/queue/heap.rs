@@ -1,0 +1,45 @@
+//! The original binary-heap backend — the reference oracle.
+
+use super::{EventEntry, EventQueue};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// `BinaryHeap`-backed event queue: O(log n) push/pop, trivially correct
+/// ordering via [`EventEntry`]'s derived `(at, seq)` order. The
+/// differential harness treats this backend as ground truth.
+#[derive(Default)]
+pub struct BinaryHeapQueue {
+    heap: BinaryHeap<Reverse<EventEntry>>,
+}
+
+impl BinaryHeapQueue {
+    pub fn new() -> BinaryHeapQueue {
+        BinaryHeapQueue::default()
+    }
+}
+
+impl EventQueue for BinaryHeapQueue {
+    fn name(&self) -> &'static str {
+        "heap"
+    }
+
+    #[inline]
+    fn push(&mut self, e: EventEntry) {
+        self.heap.push(Reverse(e));
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<EventEntry> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    #[inline]
+    fn peek(&mut self) -> Option<EventEntry> {
+        self.heap.peek().map(|&Reverse(e)| e)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}

@@ -1,0 +1,277 @@
+//! Pluggable event-queue backends for the [`Engine`](crate::Engine).
+//!
+//! The engine stores event payloads (boxed closures) in a slab and pushes
+//! only light `(time, sequence, slot)` [`EventEntry`] keys into a priority
+//! queue. Three interchangeable backends implement [`EventQueue`]:
+//!
+//! * [`BinaryHeapQueue`] — the original binary heap. Simple and obviously
+//!   correct; kept as the **reference oracle** the differential test
+//!   harness checks the others against.
+//! * [`TimingWheelQueue`] — a hierarchical timing wheel (8 levels × 64
+//!   slots, 1 µs base granularity): O(1) insert, batched near-horizon
+//!   pops. The default hot path for the dense timer churn the paradigm
+//!   sims generate (visibility timeouts, hedge checks, autoscaler ticks).
+//! * [`CalendarQueue`] — a Brown-style calendar queue whose bucket width
+//!   adapts to the live event spacing; the fallback for workloads
+//!   dominated by far-future timers spread over huge horizons.
+//!
+//! All three produce the **exact same pop order**: ascending `(time,
+//! sequence)`, i.e. time order with insertion-order FIFO tie-breaks. That
+//! contract is what keeps whole platform simulations bit-for-bit
+//! reproducible regardless of backend, and is pinned by
+//! `tests/des_differential.rs` at the workspace root.
+
+mod calendar;
+mod heap;
+mod wheel;
+
+pub use calendar::CalendarQueue;
+pub use heap::BinaryHeapQueue;
+pub use wheel::TimingWheelQueue;
+
+use crate::time::SimTime;
+
+/// The key a queue orders: event time, global insertion sequence (the
+/// FIFO tie-break), and the slab slot holding the event's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventEntry {
+    pub at: SimTime,
+    pub seq: u64,
+    pub idx: u32,
+}
+
+/// A priority queue of [`EventEntry`] keys popped in ascending
+/// `(at, seq)` order.
+///
+/// Implementations never interpret `idx` and never drop entries on their
+/// own: cancellation is the engine's job (it marks the slab slot dead and
+/// skips the stale key when it surfaces), which is what makes `cancel`
+/// O(1) with no queue scans on every backend.
+///
+/// `peek` takes `&mut self` because backends may reorganize internally
+/// (the wheel cascades higher-level slots down) to learn the exact head.
+pub trait EventQueue {
+    /// Backend name, for reports and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Insert a key. `at` is never earlier than the last popped *live*
+    /// key's time, but it may be earlier than stale tombstones the caller
+    /// has already popped and discarded — backends must order such late
+    /// inserts correctly against their remaining contents. `seq` is
+    /// strictly greater than every previously pushed sequence.
+    fn push(&mut self, e: EventEntry);
+
+    /// Remove and return the smallest `(at, seq)` key.
+    fn pop(&mut self) -> Option<EventEntry>;
+
+    /// The smallest `(at, seq)` key without removing it.
+    fn peek(&mut self) -> Option<EventEntry>;
+
+    /// Keys currently stored (including keys whose slab slot the engine
+    /// has since cancelled — those are skipped at pop time).
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Which [`EventQueue`] backend an [`Engine`](crate::Engine) runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueKind {
+    /// The reference binary-heap oracle.
+    BinaryHeap,
+    /// Hierarchical timing wheel — the fast default.
+    #[default]
+    TimingWheel,
+    /// Adaptive calendar queue — far-future timer fallback.
+    Calendar,
+}
+
+impl QueueKind {
+    /// Every backend, oracle first (the differential harness iterates this).
+    pub const ALL: [QueueKind; 3] = [
+        QueueKind::BinaryHeap,
+        QueueKind::TimingWheel,
+        QueueKind::Calendar,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueKind::BinaryHeap => "heap",
+            QueueKind::TimingWheel => "wheel",
+            QueueKind::Calendar => "calendar",
+        }
+    }
+
+    /// The process-wide default: `PPC_DES_QUEUE` (`heap` | `wheel` |
+    /// `calendar`) when set, else the timing wheel. Read once and cached;
+    /// CI sweeps the variable to run entire suites on each backend.
+    pub fn from_env() -> QueueKind {
+        use std::sync::OnceLock;
+        static DEFAULT: OnceLock<QueueKind> = OnceLock::new();
+        *DEFAULT.get_or_init(|| match std::env::var("PPC_DES_QUEUE").as_deref() {
+            Ok("heap") => QueueKind::BinaryHeap,
+            Ok("calendar") => QueueKind::Calendar,
+            Ok("wheel") | Err(_) => QueueKind::TimingWheel,
+            Ok(other) => panic!("PPC_DES_QUEUE={other:?}: expected heap|wheel|calendar"),
+        })
+    }
+
+    /// A fresh backend of this kind behind the trait, for code that wants
+    /// dynamic dispatch (the differential harness, ad-hoc tools).
+    pub fn boxed(self) -> Box<dyn EventQueue> {
+        match self {
+            QueueKind::BinaryHeap => Box::new(BinaryHeapQueue::new()),
+            QueueKind::TimingWheel => Box::new(TimingWheelQueue::new()),
+            QueueKind::Calendar => Box::new(CalendarQueue::new()),
+        }
+    }
+}
+
+/// Enum-dispatched backend the engine embeds — keeps the hot path free of
+/// virtual calls while staying runtime-selectable.
+pub enum QueueImpl {
+    Heap(BinaryHeapQueue),
+    Wheel(TimingWheelQueue),
+    Calendar(CalendarQueue),
+}
+
+impl QueueImpl {
+    pub fn new(kind: QueueKind) -> QueueImpl {
+        match kind {
+            QueueKind::BinaryHeap => QueueImpl::Heap(BinaryHeapQueue::new()),
+            QueueKind::TimingWheel => QueueImpl::Wheel(TimingWheelQueue::new()),
+            QueueKind::Calendar => QueueImpl::Calendar(CalendarQueue::new()),
+        }
+    }
+
+    pub fn kind(&self) -> QueueKind {
+        match self {
+            QueueImpl::Heap(_) => QueueKind::BinaryHeap,
+            QueueImpl::Wheel(_) => QueueKind::TimingWheel,
+            QueueImpl::Calendar(_) => QueueKind::Calendar,
+        }
+    }
+}
+
+impl EventQueue for QueueImpl {
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    #[inline]
+    fn push(&mut self, e: EventEntry) {
+        match self {
+            QueueImpl::Heap(q) => q.push(e),
+            QueueImpl::Wheel(q) => q.push(e),
+            QueueImpl::Calendar(q) => q.push(e),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<EventEntry> {
+        match self {
+            QueueImpl::Heap(q) => q.pop(),
+            QueueImpl::Wheel(q) => q.pop(),
+            QueueImpl::Calendar(q) => q.pop(),
+        }
+    }
+
+    #[inline]
+    fn peek(&mut self) -> Option<EventEntry> {
+        match self {
+            QueueImpl::Heap(q) => q.peek(),
+            QueueImpl::Wheel(q) => q.peek(),
+            QueueImpl::Calendar(q) => q.peek(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            QueueImpl::Heap(q) => EventQueue::len(q),
+            QueueImpl::Wheel(q) => EventQueue::len(q),
+            QueueImpl::Calendar(q) => EventQueue::len(q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(at: u64, seq: u64) -> EventEntry {
+        EventEntry {
+            at: SimTime::from_micros(at),
+            seq,
+            idx: seq as u32,
+        }
+    }
+
+    /// Every backend drains an arbitrary push set in (at, seq) order.
+    #[test]
+    fn backends_agree_on_sorted_drain() {
+        let pushes = [
+            entry(50, 0),
+            entry(10, 1),
+            entry(50, 2),
+            entry(0, 3),
+            entry(1_000_000_000, 4), // ~17 sim-minutes out
+            entry(10, 5),
+            entry(u64::MAX, 6), // saturated far horizon
+            entry(0, 7),
+        ];
+        let mut want: Vec<EventEntry> = pushes.to_vec();
+        want.sort();
+        for kind in QueueKind::ALL {
+            let mut q = kind.boxed();
+            for e in pushes {
+                q.push(e);
+            }
+            assert_eq!(q.len(), pushes.len(), "{}", kind.name());
+            let mut got = Vec::new();
+            while let Some(e) = q.pop() {
+                got.push(e);
+            }
+            assert_eq!(got, want, "{} pop order", kind.name());
+            assert!(q.is_empty(), "{}", kind.name());
+        }
+    }
+
+    /// Interleaved push/pop: pushes at or after the last popped time keep
+    /// ordering on every backend.
+    #[test]
+    fn backends_agree_under_interleaving() {
+        for kind in QueueKind::ALL {
+            let mut q = kind.boxed();
+            q.push(entry(5, 0));
+            q.push(entry(7, 1));
+            assert_eq!(q.peek().unwrap().seq, 0, "{}", kind.name());
+            assert_eq!(q.pop().unwrap().seq, 0);
+            // Now at t=5: schedule two more, one at "now", one far out.
+            q.push(entry(5, 2));
+            q.push(entry(100_000, 3));
+            assert_eq!(q.pop().unwrap().seq, 2, "{} same-time push", kind.name());
+            assert_eq!(q.pop().unwrap().seq, 1);
+            assert_eq!(q.pop().unwrap().seq, 3);
+            assert!(q.pop().is_none());
+        }
+    }
+
+    #[test]
+    fn env_default_is_wheel() {
+        // In the test environment PPC_DES_QUEUE is normally unset; either
+        // way from_env must resolve to *some* backend without panicking.
+        let k = QueueKind::from_env();
+        assert!(QueueKind::ALL.contains(&k));
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in QueueKind::ALL {
+            assert_eq!(QueueImpl::new(kind).kind(), kind);
+            assert_eq!(kind.boxed().name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Hierarchical timing wheel — the dense near-horizon hot path.
+//!
+//! Eight levels of 64 slots each. Level `l` buckets events by bits
+//! `[6l, 6l+6)` of their absolute microsecond timestamp, so level 0 has
+//! 1 µs granularity over the next 64 µs, level 1 covers the next ~4 ms in
+//! 64 µs slots, … and level 7 reaches `2^48` µs (~8.9 simulated years).
+//! Anything further sits in a small overflow heap until the wheel's clock
+//! brings it within the horizon.
+//!
+//! * `push` is O(1): compute the level from the delta's magnitude, append
+//!   to the slot's vector, set an occupancy bit.
+//! * `pop` finds the earliest occupied slot via per-level 64-bit occupancy
+//!   bitmaps (one `trailing_zeros` per level), cascades higher-level slots
+//!   down as their windows arrive, and drains level-0 slots as whole
+//!   batches sorted by sequence number — preserving the global
+//!   `(time, seq)` pop order the oracle defines.
+//!
+//! The known subtlety: when a level-0 slot and a higher-level slot carry
+//! the same candidate time, the higher level must cascade *first* (its
+//! window may contain events at that exact time with smaller sequence
+//! numbers). `refill` scans levels top-down and keeps the higher level on
+//! ties for exactly this reason; `tests/des_differential.rs` hammers the
+//! case with randomized traces.
+
+use super::{EventEntry, EventQueue};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+const BITS: u32 = 6;
+const SLOTS: usize = 1 << BITS; // 64 slots per level
+const LEVELS: usize = 8;
+/// Deltas at or past this overflow to the far-future heap (2^48 µs).
+const HORIZON: u64 = 1 << (BITS * LEVELS as u32);
+
+pub struct TimingWheelQueue {
+    /// The wheel's clock: time of the last drained batch, µs.
+    now: u64,
+    /// Per-level slot-occupancy bitmaps.
+    occupied: [u64; LEVELS],
+    /// `LEVELS * SLOTS` buckets, row-major by level.
+    buckets: Vec<Vec<EventEntry>>,
+    /// The level-0 batch currently draining: same timestamp, seq-sorted.
+    batch: VecDeque<EventEntry>,
+    /// Events beyond the wheel horizon, by `(at, seq)`.
+    overflow: BinaryHeap<Reverse<EventEntry>>,
+    len: usize,
+}
+
+impl Default for TimingWheelQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimingWheelQueue {
+    pub fn new() -> TimingWheelQueue {
+        TimingWheelQueue {
+            now: 0,
+            occupied: [0; LEVELS],
+            buckets: std::iter::repeat_with(Vec::new)
+                .take(LEVELS * SLOTS)
+                .collect(),
+            batch: VecDeque::new(),
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Place an entry into its wheel slot (or the overflow heap).
+    fn insert(&mut self, e: EventEntry) {
+        let at = e.at.as_micros();
+        if at < self.now {
+            // Draining stale tombstones can run the wheel clock ahead of
+            // the engine clock, so a later push may land "in the past".
+            // Everything still in the slots is at or after `now`, so the
+            // ordered position for a late insert is inside the due batch.
+            let pos = self
+                .batch
+                .partition_point(|b| (b.at, b.seq) <= (e.at, e.seq));
+            self.batch.insert(pos, e);
+            return;
+        }
+        let delta = at - self.now;
+        if delta >= HORIZON {
+            self.overflow.push(Reverse(e));
+            return;
+        }
+        // Highest set bit of the delta picks the level (|1 keeps delta=0
+        // on level 0); the timestamp's own bits pick the slot.
+        let level = ((63 - (delta | 1).leading_zeros()) / BITS) as usize;
+        let shift = BITS * level as u32;
+        let slot = ((at >> shift) & (SLOTS as u64 - 1)) as usize;
+        self.buckets[level * SLOTS + slot].push(e);
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// Earliest occupied slot of `level` and the start time of its
+    /// window, relative to the wheel clock's current rotation.
+    fn candidate(&self, level: usize) -> Option<(u64, usize)> {
+        let occ = self.occupied[level];
+        if occ == 0 {
+            return None;
+        }
+        let shift = BITS * level as u32;
+        let cursor = ((self.now >> shift) & (SLOTS as u64 - 1)) as u32;
+        let range = 1u64 << (shift + BITS);
+        let base = self.now & !(range - 1);
+        let mut ahead = occ & (u64::MAX << cursor);
+        // An occupied cursor slot is ambiguous above level 0: it holds
+        // either this rotation's window or entries exactly one rotation
+        // out that hash to the same slot (rotations never mix in one
+        // bucket). Only the entries can tell which; draining a
+        // next-rotation bucket a rotation early would cascade it straight
+        // back into the same slot, forever.
+        if level > 0 && ahead & (1 << cursor) != 0 {
+            let sample = &self.buckets[level * SLOTS + cursor as usize][0];
+            if sample.at.as_micros() >= base.saturating_add(range) {
+                ahead &= !(1 << cursor);
+            }
+        }
+        if ahead != 0 {
+            // This rotation, at or past the cursor.
+            let slot = ahead.trailing_zeros() as u64;
+            Some((base.saturating_add(slot << shift), slot as usize))
+        } else {
+            // Wrapped: the earliest occupied slot of the next rotation.
+            let slot = occ.trailing_zeros() as u64;
+            Some((
+                base.saturating_add(range).saturating_add(slot << shift),
+                slot as usize,
+            ))
+        }
+    }
+
+    /// Ensure `batch` holds the next due timestamp's events (seq-sorted).
+    /// Returns false when the queue is completely empty.
+    fn refill(&mut self) -> bool {
+        if !self.batch.is_empty() {
+            return true;
+        }
+        loop {
+            // Far-future events that have come within the horizon re-enter
+            // the wheel. One comparison per pop in the common case.
+            while let Some(&Reverse(e)) = self.overflow.peek() {
+                if e.at.as_micros().saturating_sub(self.now) < HORIZON {
+                    self.overflow.pop();
+                    self.insert(e);
+                } else {
+                    break;
+                }
+            }
+            // Earliest window across levels; scanning top-down with a
+            // strict `<` keeps the *higher* level on ties so its events
+            // cascade down before the lower level's batch fires.
+            let mut best: Option<(u64, usize, usize)> = None;
+            for level in (0..LEVELS).rev() {
+                if let Some((t, slot)) = self.candidate(level) {
+                    if best.is_none_or(|(bt, _, _)| t < bt) {
+                        best = Some((t, level, slot));
+                    }
+                }
+            }
+            let Some((t, level, slot)) = best else {
+                match self.overflow.peek() {
+                    // Wheel empty: jump the clock to the overflow head so
+                    // the drain loop above can admit it.
+                    Some(&Reverse(e)) => {
+                        self.now = e.at.as_micros();
+                        continue;
+                    }
+                    None => return false,
+                }
+            };
+            let bucket = std::mem::take(&mut self.buckets[level * SLOTS + slot]);
+            self.occupied[level] &= !(1u64 << slot);
+            if level == 0 {
+                // A level-0 slot holds exactly one microsecond's events.
+                self.now = t;
+                debug_assert!(bucket.iter().all(|e| e.at.as_micros() == t));
+                let mut batch = bucket;
+                batch.sort_unstable_by_key(|e| e.seq);
+                self.batch = batch.into();
+                return true;
+            }
+            // Cascade: the window has arrived; every event lands at a
+            // strictly lower level relative to the advanced clock.
+            self.now = self.now.max(t);
+            for e in bucket {
+                self.insert(e);
+            }
+        }
+    }
+}
+
+impl EventQueue for TimingWheelQueue {
+    fn name(&self) -> &'static str {
+        "wheel"
+    }
+
+    #[inline]
+    fn push(&mut self, e: EventEntry) {
+        self.insert(e);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<EventEntry> {
+        if self.refill() {
+            self.len -= 1;
+            self.batch.pop_front()
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<EventEntry> {
+        if self.refill() {
+            self.batch.front().copied()
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn e(at: u64, seq: u64) -> EventEntry {
+        EventEntry {
+            at: SimTime::from_micros(at),
+            seq,
+            idx: 0,
+        }
+    }
+
+    /// A same-time pair split across levels: the early-scheduled event
+    /// lands on a high level, the late-scheduled one directly on level 0.
+    /// FIFO order must still hold when they meet.
+    #[test]
+    fn cascade_preserves_fifo_at_equal_times() {
+        let mut q = TimingWheelQueue::new();
+        q.push(e(10_000, 0)); // level 1 from t=0
+        q.push(e(5, 1));
+        assert_eq!(q.pop().unwrap().seq, 1);
+        // Now the wheel clock is at 5; a second event for 10_000 joins the
+        // first, and both must survive the multi-level cascade in order.
+        q.push(e(10_000, 2));
+        assert_eq!(q.pop().unwrap(), e(10_000, 0), "cascaded event first");
+        assert_eq!(q.pop().unwrap(), e(10_000, 2));
+        assert!(q.pop().is_none());
+    }
+
+    /// Regression: an entry exactly one rotation ahead hashes to the
+    /// cursor slot of its level. Misreading it as "this rotation" made
+    /// the cascade reinsert it into the same slot forever.
+    #[test]
+    fn full_rotation_ahead_entry_does_not_livelock() {
+        let mut q = TimingWheelQueue::new();
+        q.push(e(63, 0));
+        assert_eq!(q.pop().unwrap().seq, 0); // clock now at 63
+                                             // delta = 4033 → level 1; slot (4096 >> 6) & 63 == 0 == cursor.
+        q.push(e(4096, 1));
+        assert_eq!(q.pop().unwrap(), e(4096, 1));
+        assert!(q.pop().is_none());
+    }
+
+    /// The inverse ambiguity: a cursor slot whose window genuinely is
+    /// this rotation (reached by a cascade landing exactly on its start)
+    /// must still drain now, not a rotation late.
+    #[test]
+    fn cursor_slot_this_rotation_drains_now() {
+        let mut q = TimingWheelQueue::new();
+        // From t=0: delta 64 → level 1, slot 1; delta 65 same slot.
+        q.push(e(64, 0));
+        q.push(e(65, 1));
+        q.push(e(70, 2));
+        assert_eq!(q.pop().unwrap(), e(64, 0));
+        // Clock is 64: level-1 slot 1 is now the cursor slot but holds
+        // this rotation's remaining entries.
+        q.push(e(70, 3));
+        assert_eq!(q.pop().unwrap(), e(65, 1));
+        assert_eq!(q.pop().unwrap(), e(70, 2));
+        assert_eq!(q.pop().unwrap(), e(70, 3));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_beyond_horizon_still_pops_in_order() {
+        let mut q = TimingWheelQueue::new();
+        q.push(e(HORIZON * 3, 0));
+        q.push(e(7, 1));
+        q.push(e(u64::MAX, 2));
+        q.push(e(HORIZON * 3, 3));
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert_eq!(q.pop().unwrap().seq, 3);
+        assert_eq!(q.pop().unwrap().seq, 2);
+        assert!(q.pop().is_none());
+        assert_eq!(EventQueue::len(&q), 0);
+    }
+
+    #[test]
+    fn peek_is_stable_and_non_destructive() {
+        let mut q = TimingWheelQueue::new();
+        q.push(e(100, 0));
+        q.push(e(50, 1));
+        assert_eq!(q.peek().unwrap(), e(50, 1));
+        assert_eq!(q.peek().unwrap(), e(50, 1));
+        assert_eq!(EventQueue::len(&q), 2);
+        assert_eq!(q.pop().unwrap(), e(50, 1));
+        assert_eq!(q.peek().unwrap(), e(100, 0));
+    }
+}

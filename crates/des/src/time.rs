@@ -64,14 +64,17 @@ impl SimTime {
 
 impl Add for SimTime {
     type Output = SimTime;
+    /// Saturating: `from_secs_f64` clamps huge horizons to `u64::MAX` µs,
+    /// and "the far end of time plus a delay" must stay there rather than
+    /// wrap (or panic in debug builds).
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimTime {
     fn add_assign(&mut self, rhs: SimTime) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -106,6 +109,35 @@ mod tests {
         assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
         assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
         assert_eq!(SimTime::from_secs_f64(f64::INFINITY), SimTime::ZERO);
+    }
+
+    /// Float cancellation in the models can yield residues like
+    /// `-1e-18` or `+1e-18` for a delay that is mathematically zero.
+    /// Both sides of the epsilon must land exactly on "now".
+    #[test]
+    fn epsilon_residues_schedule_now() {
+        assert_eq!(SimTime::from_secs_f64(-1e-18), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(1e-18), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(-f64::EPSILON), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(4.9e-7), SimTime::ZERO, "rounds down");
+        assert_eq!(SimTime::from_secs_f64(5.1e-7).as_micros(), 1);
+        let now = SimTime::from_secs(7);
+        assert_eq!(now + SimTime::from_secs_f64(-1e-18), now);
+    }
+
+    /// `as u64` saturates float casts, so absurd horizons clamp to
+    /// `u64::MAX` µs — and arithmetic on them must saturate too instead of
+    /// overflowing (debug builds would panic on wrapping `+`).
+    #[test]
+    fn huge_horizons_saturate_instead_of_overflowing() {
+        let far = SimTime::from_secs_f64(1e300);
+        assert_eq!(far.as_micros(), u64::MAX);
+        assert_eq!(far + SimTime::from_secs(1), far, "Add saturates");
+        let mut t = far;
+        t += SimTime::from_micros(1);
+        assert_eq!(t, far, "AddAssign saturates");
+        assert_eq!(far - SimTime::ZERO, far);
+        assert_eq!(far.until(SimTime::ZERO), SimTime::ZERO);
     }
 
     #[test]

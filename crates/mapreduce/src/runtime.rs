@@ -505,12 +505,25 @@ pub(crate) fn run_job_impl(
                                         drop(sched);
                                         if job.n_reducers == 0 {
                                             // Map-only: commit outputs directly.
+                                            // A dead local datanode can't take
+                                            // the write; pipeline through any
+                                            // live one instead of losing the
+                                            // committed output.
                                             for (key, value) in emitted {
                                                 let path = format!("{}/{key}", job.output_dir);
                                                 match fs.create(&path, &value, Some(node_id)) {
                                                     Ok(_) => {}
                                                     Err(e) if e.code() == "AlreadyExists" => {}
-                                                    Err(_) => {}
+                                                    Err(_) => {
+                                                        match fs.create(&path, &value, None) {
+                                                            Ok(_) => {}
+                                                            Err(e)
+                                                                if e.code() == "AlreadyExists" => {}
+                                                            Err(e) => panic!(
+                                                                "commit of '{path}' lost: {e}"
+                                                            ),
+                                                        }
+                                                    }
                                                 }
                                             }
                                         } else {
@@ -892,7 +905,11 @@ mod tests {
     #[test]
     fn scheduled_kills_are_recovered_by_reexecution() {
         let (fs, paths) = make_fs(3, 24);
-        let job = MapReduceJob::map_only("chaos", paths, "/out");
+        let mut job = MapReduceJob::map_only("chaos", paths, "/out");
+        // Retry-budget headroom: the 5% death dice occasionally fail one
+        // task several attempts in a row; the test is about recovery, not
+        // about the default budget being generous enough for bad luck.
+        job.max_attempts = 12;
         let exec = FnExecutor::new("id", |_s, i: &[u8]| {
             std::thread::sleep(Duration::from_millis(2));
             Ok(i.to_vec())

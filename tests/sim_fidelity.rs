@@ -200,3 +200,76 @@ fn sim_and_native_agree_on_queue_accounting() {
     assert_eq!(native.redundant_executions(), 0);
     assert_eq!(simulated.redundant_executions(), 0);
 }
+
+/// Oracle-vs-wheel bit-identity: each paradigm's simulator must produce
+/// the *same full report JSON* on the binary-heap oracle and the default
+/// timing-wheel backend (and the calendar queue, while we're at it),
+/// under the hostile chaos schedule CI sweeps via `PPC_CHAOS_SEED`. The
+/// makespan fidelity pins above guarantee the sim matches reality; this
+/// pin guarantees the fast event core doesn't move the sim.
+#[test]
+fn sims_bit_identical_across_event_queue_backends() {
+    use ppc::chaos::FaultSchedule;
+    use ppc::compute::instance::BARE_CAP3;
+    use ppc::des::QueueKind;
+    use std::sync::Arc;
+
+    let seed: u64 = std::env::var("PPC_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4242);
+    let chaos_tasks: Vec<TaskSpec> = (0..64)
+        .map(|i| {
+            let mut p = ResourceProfile::cpu_bound(10.0);
+            p.input_bytes = 200 << 10;
+            p.output_bytes = 100 << 10;
+            TaskSpec::new(i, "cap3", format!("f{i}"), p)
+        })
+        .collect();
+    let ctx = |cluster: &Cluster, kind: QueueKind| {
+        RunContext::new(cluster)
+            .with_schedule(Arc::new(FaultSchedule::hostile(seed)))
+            .with_event_queue(kind)
+    };
+
+    let cluster = Cluster::provision(EC2_HCXL, 4, 8);
+    let cfg = SimConfig::ec2().with_failures(0.0, 60.0);
+    let oracle = classic_simulate(&ctx(&cluster, QueueKind::BinaryHeap), &chaos_tasks, &cfg);
+    assert!(oracle.is_complete(), "failed: {:?}", oracle.failed);
+    for kind in [QueueKind::TimingWheel, QueueKind::Calendar] {
+        let got = classic_simulate(&ctx(&cluster, kind), &chaos_tasks, &cfg);
+        assert_eq!(
+            got.to_json().to_string(),
+            oracle.to_json().to_string(),
+            "classic sim report diverged on {} (seed {seed})",
+            kind.name()
+        );
+    }
+
+    let cluster = Cluster::provision(BARE_CAP3, 4, 8);
+    let cfg = ppc::mapreduce::HadoopSimConfig::default();
+    let oracle =
+        ppc::mapreduce::simulate(&ctx(&cluster, QueueKind::BinaryHeap), &chaos_tasks, &cfg);
+    assert!(oracle.is_complete(), "failed: {:?}", oracle.failed);
+    for kind in [QueueKind::TimingWheel, QueueKind::Calendar] {
+        let got = ppc::mapreduce::simulate(&ctx(&cluster, kind), &chaos_tasks, &cfg);
+        assert_eq!(
+            got.to_json().to_string(),
+            oracle.to_json().to_string(),
+            "mapreduce sim report diverged on {} (seed {seed})",
+            kind.name()
+        );
+    }
+
+    let cfg = ppc::dryad::DryadSimConfig::default();
+    let oracle = ppc::dryad::simulate(&ctx(&cluster, QueueKind::BinaryHeap), &chaos_tasks, &cfg);
+    for kind in [QueueKind::TimingWheel, QueueKind::Calendar] {
+        let got = ppc::dryad::simulate(&ctx(&cluster, kind), &chaos_tasks, &cfg);
+        assert_eq!(
+            got.to_json().to_string(),
+            oracle.to_json().to_string(),
+            "dryad sim report diverged on {} (seed {seed})",
+            kind.name()
+        );
+    }
+}
