@@ -23,4 +23,5 @@ pub mod calibrate;
 pub mod cap3;
 pub mod experiment;
 pub mod gtm;
+pub mod pipeline;
 pub mod workload;

@@ -1,0 +1,38 @@
+//! Workflow pipeline benchmark: per-paradigm makespan and inter-stage
+//! materialization for the Cap3 → BLAST → GTM pipeline, written as the
+//! machine-readable `BENCH_workflow.json` CI tracks.
+//!
+//! The reconciliation is built into the library call: `pipeline_bench`
+//! panics unless the trace decomposition's `inter-stage materialization`
+//! bucket matches the driver's barrier accounting and the Eq. 1 identity
+//! closes per paradigm, so a successful run *is* the verification.
+//!
+//! ```bash
+//! cargo run --release -p ppc-bench --bin bench_workflow              # writes BENCH_workflow.json
+//! cargo run --release -p ppc-bench --bin bench_workflow -- --smoke   # reduced CI size
+//! ```
+
+use ppc_bench::workflows::{pipeline_bench, pipeline_figure, pipeline_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .rfind(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_workflow.json".into());
+    let n_files = if smoke { 32 } else { 256 };
+
+    let rows = pipeline_bench(n_files);
+    eprintln!("{}", pipeline_figure(&rows, n_files));
+    for r in &rows {
+        eprintln!(
+            "{:<10} makespan {:>8.1}s | materialize {:>6.1}s (bucket {:>6.1}s, eq1 residual {:.1e})",
+            r.paradigm, r.makespan_s, r.materialize_s, r.materialize_bucket_s, r.eq1_residual
+        );
+    }
+    let json = pipeline_json(&rows, n_files);
+    std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("wrote {out}");
+}

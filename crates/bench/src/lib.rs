@@ -14,6 +14,7 @@ pub mod ablations;
 pub mod figures;
 pub mod tables;
 pub mod traces;
+pub mod workflows;
 
 pub use figures::*;
 pub use tables::*;

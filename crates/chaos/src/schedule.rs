@@ -356,7 +356,12 @@ impl FaultSchedule {
 
     /// Deterministic i.i.d. roll: a pure hash of
     /// `(seed, kind, worker, task_seq)` — independent of call order and
-    /// thread interleaving.
+    /// thread interleaving. `kind` is spread by a large odd multiplier
+    /// before mixing: added directly, the consecutive kind constants would
+    /// alias with consecutive `task_seq` values (`kind + 1` at `seq` equals
+    /// `kind` at `seq + 1`), making one bad roll cascade across the
+    /// adjacent kinds' rolls on the next few attempts instead of staying
+    /// independent.
     fn roll(&self, kind: u64, worker: u32, task_seq: u32, p: f64) -> bool {
         if p <= 0.0 {
             return false;
@@ -364,7 +369,7 @@ impl FaultSchedule {
         let key = self
             .seed
             .wrapping_mul(0x2545_f491_4f6c_dd1d)
-            .wrapping_add(kind)
+            .wrapping_add(kind.wrapping_mul(0x9e37_79b9_7f4a_7c15))
             .wrapping_add(((worker as u64) << 32) | task_seq as u64);
         Pcg32::new(SplitMix64::new(key).next_u64()).chance(p)
     }
@@ -398,6 +403,35 @@ impl Default for RunClock {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn death_dice_are_independent_across_kinds_and_seqs() {
+        // Regression: the roll key once mixed `kind` additively, so the
+        // consecutive kind constants aliased with consecutive task_seq
+        // values — `die_before_execute(w, s + 1)` always agreed with
+        // `die_mid_execute(w, s)`, and one bad roll cascaded into a
+        // multi-attempt death run that exhausted retry budgets.
+        let s = FaultSchedule::new(4242).with_death_probabilities(0.5, 0.5, 0.5);
+        let n = 256;
+        let mut agree_be_mid = 0;
+        let mut agree_mid_del = 0;
+        for seq in 0..n {
+            if s.die_before_execute(7, seq + 1) == s.die_mid_execute(7, seq) {
+                agree_be_mid += 1;
+            }
+            if s.die_mid_execute(7, seq + 1) == s.die_before_delete(7, seq) {
+                agree_mid_del += 1;
+            }
+        }
+        // Independent fair coins agree ~half the time; the aliasing bug
+        // made them agree always.
+        for agreements in [agree_be_mid, agree_mid_del] {
+            assert!(
+                (64..192).contains(&agreements),
+                "rolls correlated: {agreements}/{n} agreements"
+            );
+        }
+    }
 
     #[test]
     fn quiet_schedule_injects_nothing() {

@@ -36,8 +36,11 @@ impl Engine for ClassicEngine {
     fn run(&self, ctx: &RunContext, workload: &Workload) -> Result<(RunReport, JobOutputs)> {
         let storage = StorageService::in_memory();
         let queues = QueueService::new();
-        let job = JobSpec::new(workload.name.clone(), workload.specs())
+        let mut job = JobSpec::new(workload.name.clone(), workload.specs())
             .with_max_deliveries(workload.max_attempts);
+        if let Some(t) = workload.visibility_timeout {
+            job = job.with_visibility_timeout(t);
+        }
         storage.create_bucket(&job.input_bucket)?;
         for (spec, input) in &workload.inputs {
             storage.put(&job.input_bucket, &spec.input_key, input.clone())?;

@@ -978,7 +978,18 @@ fn hedge_check_at(
         };
         match next {
             Next::Stop | Next::Wake(None) => {}
-            Next::Rearm(at) => hedge_check_at(e, state, task, pulled_s, at, itype, cfg),
+            Next::Rearm(at) => {
+                // `SimTime` quantizes to whole microseconds, so a target
+                // within half a tick of `now` rounds back onto this same
+                // instant and the check would re-fire forever without
+                // advancing the clock. Bump such targets one tick forward.
+                let at = if SimTime::from_secs_f64(at) <= e.now() {
+                    SimTime(e.now().as_micros() + 1).as_secs_f64()
+                } else {
+                    at
+                };
+                hedge_check_at(e, state, task, pulled_s, at, itype, cfg)
+            }
             Next::Wake(Some(w)) => {
                 let st = state.clone();
                 e.schedule_in(SimTime::ZERO, move |e| worker_tick(e, st, w, itype, cfg));
@@ -2412,6 +2423,41 @@ mod tests {
             hedged.redundant_executions() > 0,
             "the losing duplicates are visible as redundant executions"
         );
+    }
+
+    #[test]
+    fn hedge_rearm_advances_the_quantized_clock() {
+        use ppc_resilience::{HedgeConfig, ResiliencePolicy};
+        // Regression: when an attempt's age landed within half a microsecond
+        // of the hedge delay, the re-armed check rounded back onto the same
+        // `SimTime` instant and re-fired forever — a zero-advance event
+        // livelock. Memory-bound tasks whose service times fall on
+        // fractional microseconds reproduce it.
+        let cluster = Cluster::provision(EC2_HCXL, 4, 8);
+        let tasks: Vec<TaskSpec> = (0..8)
+            .map(|i| {
+                TaskSpec::new(
+                    i,
+                    "gtm",
+                    format!("gtm/in/p{i:05}.bin"),
+                    ResourceProfile {
+                        cpu_seconds_ref: 2.5,
+                        mem_bytes: 1 << 30,
+                        shared_mem_bytes: 0,
+                        mem_traffic_bytes: 3_800_000_000,
+                        input_bytes: 415_000,
+                        output_bytes: 160_000,
+                    },
+                )
+            })
+            .collect();
+        let ctx = RunContext::new(&cluster)
+            .with_seed(42)
+            .with_schedule(Arc::new(FaultSchedule::new(42).degrade(0, 30.0, 0.0, 1e9)))
+            .with_resilience(ResiliencePolicy::hedged(HedgeConfig::quantile(30.0)));
+        let report = crate::simulate(&ctx, &tasks, &SimConfig::ec2());
+        assert_eq!(report.summary.tasks, 8);
+        assert!(report.summary.makespan_seconds.is_finite());
     }
 
     #[test]

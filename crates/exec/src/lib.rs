@@ -38,6 +38,15 @@ use ppc_resilience::ResiliencePolicy;
 use ppc_trace::{Trace, TraceSink};
 use std::sync::Arc;
 
+pub mod workflow;
+
+pub use ppc_workflow::{
+    DataPolicy, FnAdapter, MaterializeModel, Stage, StageAdapter, StageEdge, Workflow,
+};
+pub use workflow::{
+    drive_workflow, run_workflow_with, simulate_workflow_with, StageReport, WorkflowReport,
+};
+
 /// The worker fleet a run executes on.
 #[derive(Clone)]
 pub enum FleetPlan {
@@ -332,6 +341,10 @@ pub struct Workload {
     /// Attempt budget per task (each paradigm maps this onto its own
     /// fault-tolerance mechanism).
     pub max_attempts: u32,
+    /// Message-redelivery timeout for queue-based engines (the Classic
+    /// Cloud visibility timeout). `None` keeps the engine's own default;
+    /// engines without a redelivery queue ignore it.
+    pub visibility_timeout: Option<std::time::Duration>,
 }
 
 impl Workload {
@@ -345,11 +358,17 @@ impl Workload {
             inputs,
             executor,
             max_attempts: 4,
+            visibility_timeout: None,
         }
     }
 
     pub fn with_max_attempts(mut self, n: u32) -> Workload {
         self.max_attempts = n;
+        self
+    }
+
+    pub fn with_visibility_timeout(mut self, t: std::time::Duration) -> Workload {
+        self.visibility_timeout = Some(t);
         self
     }
 
@@ -362,7 +381,10 @@ impl Workload {
 /// One cloud paradigm, viewed uniformly: run a workload natively or
 /// simulate a task set, both under one [`RunContext`]. Object-safe so
 /// studies can hold `Vec<Box<dyn Engine>>` and iterate paradigms instead
-/// of copy-pasting three call sites per scenario.
+/// of copy-pasting three call sites per scenario. Multi-stage
+/// [`Workflow`]s run through the same trait via `run_workflow` /
+/// `simulate_workflow` — a [`Workload`] is just the single-stage case
+/// (`Workflow::from(workload)`).
 pub trait Engine {
     /// Short platform name ("classic", "hadoop", "dryadlinq").
     fn name(&self) -> &str;
@@ -373,6 +395,26 @@ pub trait Engine {
 
     /// Simulate `tasks` in virtual time and return the report core.
     fn simulate(&self, ctx: &RunContext, tasks: &[TaskSpec]) -> RunReport;
+
+    /// Execute a multi-stage [`Workflow`] natively: topological stage
+    /// order, adapter-resolved inter-stage payloads, materialization
+    /// barriers, merged trace. The default drives every stage through
+    /// [`Engine::run`]; engines with a native staged runtime (Dryad's
+    /// vertex graph) override it.
+    fn run_workflow(
+        &self,
+        ctx: &RunContext,
+        wf: &Workflow,
+    ) -> Result<(WorkflowReport, JobOutputs)> {
+        run_workflow_with(self, ctx, wf)
+    }
+
+    /// Simulate a multi-stage [`Workflow`]: each stage through
+    /// [`Engine::simulate`], stage start times from the DAG schedule plus
+    /// the modeled materialization transfer on `Materialize` edges.
+    fn simulate_workflow(&self, ctx: &RunContext, wf: &Workflow) -> Result<WorkflowReport> {
+        simulate_workflow_with(self, ctx, wf)
+    }
 }
 
 #[cfg(test)]

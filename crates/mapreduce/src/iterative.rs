@@ -3,39 +3,25 @@
 //! The paper closes §8 with: *"we are working on developing a fully-fledged
 //! MapReduce framework with iterative-MapReduce support for the Windows
 //! Azure Cloud infrastructure ... which will provide users the best of both
-//! worlds"* (Twister / TwisterAzure, the authors' follow-up systems). This
-//! module provides that programming model on our runtime:
+//! worlds"* (Twister / TwisterAzure, the authors' follow-up systems).
 //!
-//! * **static data caching** — input splits are read from HDFS *once* and
-//!   held in memory across iterations (Twister's defining optimization;
-//!   vanilla Hadoop re-reads inputs every round);
-//! * **broadcast data** — a per-iteration value (e.g. current centroids)
-//!   visible to every mapper;
-//! * **combine step** — after reduce, a combiner folds the reduced values
-//!   into the next broadcast and decides convergence.
+//! The loop engine itself now lives in the workflow layer
+//! ([`ppc_workflow::iterate`]) — fixed-point iteration is a staged-execution
+//! concept, not a MapReduce private. This module keeps what *is*
+//! MapReduce-specific: the HDFS cache bootstrap ([`cache_splits`] — static
+//! data read from HDFS once, ever, Twister's defining optimization), the
+//! k-means reference application, and the deprecated legacy entry point.
 
 use ppc_core::{PpcError, Result};
 use ppc_hdfs::fs::MiniHdfs;
-use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-/// Map function with a read-only broadcast value.
-pub trait IterMapper<B>: Send + Sync {
-    fn map(&self, key: &str, value: &[u8], broadcast: &B) -> Result<Vec<(String, Vec<u8>)>>;
-}
+pub use ppc_workflow::iterate::{
+    run_fixed_point, Combiner, FixedPointJob, FixedPointReport, IterMapper, IterReducer,
+};
 
-/// Reduce function: all values for one key.
-pub trait IterReducer: Send + Sync {
-    fn reduce(&self, key: &str, values: &[Vec<u8>]) -> Result<Vec<u8>>;
-}
-
-/// Folds the reduce outputs into the next broadcast value and decides
-/// whether the computation has converged.
-pub trait Combiner<B>: Send + Sync {
-    fn combine(&self, reduced: &[(String, Vec<u8>)], previous: &B) -> Result<(B, bool)>;
-}
-
-/// An iterative job description.
+/// An iterative job description (legacy shape: carries the HDFS paths the
+/// workflow-layer [`FixedPointJob`] leaves to the caller).
 #[derive(Debug, Clone)]
 pub struct IterativeJob {
     pub name: String,
@@ -61,19 +47,34 @@ impl IterativeJob {
         self.max_iterations = n;
         self
     }
+
+    /// The workflow-layer job this legacy description corresponds to.
+    pub fn fixed_point(&self) -> FixedPointJob {
+        FixedPointJob::new(self.name.clone())
+            .with_max_iterations(self.max_iterations)
+            .with_parallelism(self.parallelism)
+    }
 }
 
-/// Outcome of an iterative run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct IterativeReport {
-    pub iterations: usize,
-    pub converged: bool,
-    /// Input bytes served from the per-worker cache instead of HDFS —
-    /// everything after the first pass.
-    pub cache_hits: usize,
+/// Outcome of an iterative run — now the workflow layer's report.
+pub type IterativeReport = FixedPointReport;
+
+/// Read the static input splits from HDFS once, producing the in-memory
+/// cache [`run_fixed_point`] iterates over. One HDFS read per split, ever.
+pub fn cache_splits(fs: &Arc<MiniHdfs>, paths: &[String]) -> Result<Vec<(String, Vec<u8>)>> {
+    if paths.is_empty() {
+        return Err(PpcError::InvalidArgument(
+            "iterative job has no inputs".into(),
+        ));
+    }
+    paths
+        .iter()
+        .map(|p| fs.read(p).map(|d| (p.clone(), d)))
+        .collect()
 }
 
 /// Run an iterative MapReduce computation to convergence.
+#[deprecated(note = "use `cache_splits` + `ppc_workflow::run_fixed_point`")]
 pub fn run_iterative<B: Clone + Send + Sync>(
     fs: &Arc<MiniHdfs>,
     job: &IterativeJob,
@@ -82,91 +83,15 @@ pub fn run_iterative<B: Clone + Send + Sync>(
     combiner: &dyn Combiner<B>,
     initial: B,
 ) -> Result<(B, IterativeReport)> {
-    if job.input_paths.is_empty() {
-        return Err(PpcError::InvalidArgument(
-            "iterative job has no inputs".into(),
-        ));
-    }
-    if job.max_iterations == 0 {
-        return Err(PpcError::InvalidArgument(
-            "need at least one iteration".into(),
-        ));
-    }
-
-    // Static data caching: one HDFS read per split, ever.
-    let cache: Vec<(String, Vec<u8>)> = job
-        .input_paths
-        .iter()
-        .map(|p| fs.read(p).map(|d| (p.clone(), d)))
-        .collect::<Result<_>>()?;
-
-    let mut broadcast = initial;
-    let mut iterations = 0;
-    let mut converged = false;
-    let mut cache_hits = 0;
-
-    while iterations < job.max_iterations {
-        iterations += 1;
-        if iterations > 1 {
-            cache_hits += cache.len();
-        }
-
-        // Map phase over the cached splits, in parallel chunks.
-        let emitted: Mutex<Vec<(String, Vec<u8>)>> = Mutex::new(Vec::new());
-        let error: Mutex<Option<PpcError>> = Mutex::new(None);
-        let chunk = cache.len().div_ceil(job.parallelism.max(1));
-        std::thread::scope(|scope| {
-            for part in cache.chunks(chunk.max(1)) {
-                let emitted = &emitted;
-                let error = &error;
-                let broadcast = &broadcast;
-                scope.spawn(move || {
-                    for (key, value) in part {
-                        match mapper.map(key, value, broadcast) {
-                            Ok(mut out) => emitted.lock().unwrap().append(&mut out),
-                            Err(e) => {
-                                let mut slot = error.lock().unwrap();
-                                if slot.is_none() {
-                                    *slot = Some(e);
-                                }
-                                return;
-                            }
-                        }
-                    }
-                });
-            }
-        });
-        if let Some(e) = error.into_inner().unwrap() {
-            return Err(e);
-        }
-
-        // Shuffle + reduce (deterministic key order).
-        let mut grouped: BTreeMap<String, Vec<Vec<u8>>> = BTreeMap::new();
-        for (k, v) in emitted.into_inner().unwrap() {
-            grouped.entry(k).or_default().push(v);
-        }
-        let reduced: Vec<(String, Vec<u8>)> = grouped
-            .into_iter()
-            .map(|(k, vs)| reducer.reduce(&k, &vs).map(|r| (k, r)))
-            .collect::<Result<_>>()?;
-
-        // Combine into the next broadcast.
-        let (next, done) = combiner.combine(&reduced, &broadcast)?;
-        broadcast = next;
-        if done {
-            converged = true;
-            break;
-        }
-    }
-
-    Ok((
-        broadcast,
-        IterativeReport {
-            iterations,
-            converged,
-            cache_hits,
-        },
-    ))
+    let cache = cache_splits(fs, &job.input_paths)?;
+    run_fixed_point(
+        &cache,
+        &job.fixed_point(),
+        mapper,
+        reducer,
+        combiner,
+        initial,
+    )
 }
 
 // --------------------------------------------------------------------------
@@ -359,9 +284,10 @@ mod tests {
         let job = IterativeJob::new("kmeans", paths);
         // Deliberately bad initial centroids, one near each cluster.
         let initial = vec![vec![2.0, 2.0], vec![7.0, 1.0], vec![1.0, 7.0]];
-        let (centroids, report) = run_iterative(
-            &fs,
-            &job,
+        let cache = cache_splits(&fs, &job.input_paths).unwrap();
+        let (centroids, report) = run_fixed_point(
+            &cache,
+            &job.fixed_point(),
             &KMeansMapper,
             &KMeansReducer,
             &KMeansCombiner { tolerance: 1e-6 },
@@ -397,9 +323,10 @@ mod tests {
         let job = IterativeJob::new("kmeans", paths).with_max_iterations(7);
         let initial = vec![vec![1.0, 1.0], vec![8.0, 1.0], vec![1.0, 8.0]];
         let reads_before = fs.read_stats();
-        let (_, report) = run_iterative(
-            &fs,
-            &job,
+        let cache = cache_splits(&fs, &job.input_paths).unwrap();
+        let (_, report) = run_fixed_point(
+            &cache,
+            &job.fixed_point(),
             &KMeansMapper,
             &KMeansReducer,
             &KMeansCombiner { tolerance: 0.0 },
@@ -423,9 +350,10 @@ mod tests {
         // tolerance 0 with jittered data never strictly converges... unless
         // assignments stabilize exactly; accept either, but never exceed cap.
         let initial = vec![vec![1.0, 1.0], vec![8.0, 1.0], vec![1.0, 8.0]];
-        let (_, report) = run_iterative(
-            &fs,
-            &job,
+        let cache = cache_splits(&fs, &job.input_paths).unwrap();
+        let (_, report) = run_fixed_point(
+            &cache,
+            &job.fixed_point(),
             &KMeansMapper,
             &KMeansReducer,
             &KMeansCombiner { tolerance: -1.0 },
@@ -439,26 +367,8 @@ mod tests {
     #[test]
     fn validation_errors() {
         let (fs, _, _) = setup(8);
-        let empty = IterativeJob::new("x", vec![]);
-        assert!(run_iterative(
-            &fs,
-            &empty,
-            &KMeansMapper,
-            &KMeansReducer,
-            &KMeansCombiner { tolerance: 0.1 },
-            vec![]
-        )
-        .is_err());
-        let job = IterativeJob::new("x", vec!["/missing".into()]);
-        assert!(run_iterative(
-            &fs,
-            &job,
-            &KMeansMapper,
-            &KMeansReducer,
-            &KMeansCombiner { tolerance: 0.1 },
-            vec![]
-        )
-        .is_err());
+        assert!(cache_splits(&fs, &[]).is_err());
+        assert!(cache_splits(&fs, &["/missing".to_string()]).is_err());
     }
 
     #[test]

@@ -33,7 +33,9 @@ mod store;
 
 pub use chrome::chrome_trace_json;
 pub use metrics::{Histogram, Registry};
-pub use overhead::{OverheadCategory, OverheadReport, Paradigm, WASTED_DUPLICATE_WORK};
+pub use overhead::{
+    OverheadCategory, OverheadReport, Paradigm, INTER_STAGE_MATERIALIZATION, WASTED_DUPLICATE_WORK,
+};
 pub use sink::{AttemptMarker, NoopSink, Recorder, RingSink, TraceSink};
 pub use span::{EventKind, Phase, RunMeta, Span, TraceEvent, JOB_TASK, NO_WORKER};
 pub use store::Trace;

@@ -20,6 +20,14 @@ use std::collections::HashMap;
 /// Present (zero-valued when unused) in every paradigm's taxonomy.
 pub const WASTED_DUPLICATE_WORK: &str = "wasted duplicate work";
 
+/// Category name for inter-stage materialization barriers in a workflow
+/// trace: the storage round-trips moving one stage's outputs into the next
+/// stage's inputs. Present (zero-valued for single-stage runs) in every
+/// paradigm's taxonomy. Unlike per-attempt phases these spans carry
+/// [`NO_WORKER`] — the barrier serializes the whole stage boundary — so
+/// [`OverheadReport::from_trace`] bills them specially.
+pub const INTER_STAGE_MATERIALIZATION: &str = "inter-stage materialization";
+
 /// Which of the paper's three frameworks a trace came from, detected from
 /// the platform string every engine stamps into [`RunMeta`](crate::RunMeta).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +63,7 @@ impl Paradigm {
                 ("queue control", &[Phase::Dequeue, Phase::Ack]),
                 ("storage download", &[Phase::Download]),
                 ("storage upload", &[Phase::Upload]),
+                (INTER_STAGE_MATERIALIZATION, &[Phase::Materialize]),
                 (WASTED_DUPLICATE_WORK, &[]),
             ],
             Paradigm::Hadoop => &[
@@ -62,11 +71,13 @@ impl Paradigm {
                 ("local read", &[Phase::ReadLocal]),
                 ("remote read", &[Phase::ReadRemote]),
                 ("commit write", &[Phase::Commit]),
+                (INTER_STAGE_MATERIALIZATION, &[Phase::Materialize]),
                 (WASTED_DUPLICATE_WORK, &[]),
             ],
             Paradigm::Dryad => &[
                 ("vertex startup", &[Phase::VertexStart]),
                 ("local io", &[Phase::ReadLocal, Phase::Write]),
+                (INTER_STAGE_MATERIALIZATION, &[Phase::Materialize]),
                 (WASTED_DUPLICATE_WORK, &[]),
             ],
         }
@@ -135,8 +146,18 @@ impl OverheadReport {
                 winner.entry(s.task).or_insert(s.attempt);
             }
         }
+        let mat_idx = categories
+            .iter()
+            .position(|c| c.name == INTER_STAGE_MATERIALIZATION)
+            .expect("every taxonomy has the materialization bucket");
         for s in trace.spans() {
-            if s.worker == NO_WORKER || s.phase.is_structural() {
+            // Materialization barriers are driver-side (NO_WORKER) spans,
+            // billed before the worker filter below would drop them.
+            if s.phase == Phase::Materialize {
+                categories[mat_idx].seconds += s.duration_s();
+                continue;
+            }
+            if s.worker == NO_WORKER || s.phase.is_structural() || s.phase.is_stage_boundary() {
                 continue;
             }
             if winner.get(&s.task).is_some_and(|&w| w != s.attempt) {
@@ -275,6 +296,7 @@ mod tests {
                 "queue control",
                 "storage download",
                 "storage upload",
+                INTER_STAGE_MATERIALIZATION,
                 WASTED_DUPLICATE_WORK,
             ]
         );
@@ -322,6 +344,46 @@ mod tests {
             .find(|c| c.name == WASTED_DUPLICATE_WORK)
             .unwrap();
         assert_eq!(wasted.seconds, 0.0);
+    }
+
+    #[test]
+    fn materialize_spans_bill_to_the_inter_stage_bucket() {
+        use crate::span::{JOB_TASK, NO_WORKER};
+        let meta = RunMeta {
+            platform: "classic-workflow".into(),
+            cores: 2,
+            tasks: 2,
+            makespan_seconds: 12.0,
+        };
+        let spans = vec![
+            Span::job(12.0),
+            Span::new(JOB_TASK, 0, NO_WORKER, Phase::StageStart, 0.0, 0.0),
+            Span::new(0, 0, 0, Phase::Dequeue, 0.0, 1.0),
+            Span::new(0, 0, 0, Phase::Execute, 1.0, 4.0),
+            Span::new(0, 0, 0, Phase::Ack, 4.0, 4.5),
+            Span::new(0, 0, 0, Phase::Attempt, 0.0, 4.5),
+            Span::new(JOB_TASK, 0, NO_WORKER, Phase::StageDone, 4.5, 4.5),
+            // The stage boundary: outputs round-trip through storage.
+            Span::new(JOB_TASK, 1, NO_WORKER, Phase::Materialize, 4.5, 6.5),
+            Span::new(JOB_TASK, 1, NO_WORKER, Phase::StageStart, 6.5, 6.5),
+            Span::new(1, 0, 1, Phase::Dequeue, 6.5, 7.0),
+            Span::new(1, 0, 1, Phase::Execute, 7.0, 11.0),
+            Span::new(1, 0, 1, Phase::Ack, 11.0, 11.5),
+            Span::new(1, 0, 1, Phase::Attempt, 6.5, 11.5),
+            Span::new(JOB_TASK, 1, NO_WORKER, Phase::StageDone, 11.5, 11.5),
+        ];
+        let r = OverheadReport::from_trace(&Trace::new(meta, spans, Vec::new()));
+        let mat = r
+            .categories
+            .iter()
+            .find(|c| c.name == INTER_STAGE_MATERIALIZATION)
+            .unwrap();
+        assert!((mat.seconds - 2.0).abs() < 1e-9);
+        assert!((r.compute_s - 7.0).abs() < 1e-9);
+        // Stage markers are zero-width and billed nowhere; the Eq. 1
+        // identity still closes.
+        let total = r.compute_s + r.overhead_s() + r.idle_s;
+        assert!((total - 2.0 * 12.0).abs() < 1e-9);
     }
 
     #[test]

@@ -51,6 +51,15 @@ pub enum Phase {
     VertexStart,
     /// Vertex writes its output partition — terminal for Dryad.
     Write,
+    // Workflow stage boundaries (any paradigm; worker == NO_WORKER).
+    /// A workflow stage began; `attempt` carries the stage index.
+    StageStart,
+    /// Inter-stage materialization barrier: the upstream stage's outputs
+    /// round-trip through shared storage before the downstream stage may
+    /// start. `attempt` carries the *downstream* stage index.
+    Materialize,
+    /// A workflow stage finished; `attempt` carries the stage index.
+    StageDone,
 }
 
 impl Phase {
@@ -72,6 +81,9 @@ impl Phase {
             Phase::Commit => "commit",
             Phase::VertexStart => "vertex_start",
             Phase::Write => "write",
+            Phase::StageStart => "stage_start",
+            Phase::Materialize => "materialize",
+            Phase::StageDone => "stage_done",
         }
     }
 
@@ -92,9 +104,19 @@ impl Phase {
     }
 
     /// Whether the phase must nest inside an [`Phase::Attempt`] parent.
-    /// Client-side enqueue and the job root live outside attempts.
+    /// Client-side enqueue, the job root, and workflow stage boundaries
+    /// live outside attempts.
     pub fn requires_attempt(self) -> bool {
-        !matches!(self, Phase::Job | Phase::Attempt | Phase::Enqueue)
+        !matches!(self, Phase::Job | Phase::Attempt | Phase::Enqueue) && !self.is_stage_boundary()
+    }
+
+    /// Workflow stage-boundary markers emitted by the driver between
+    /// per-stage runs (never inside an attempt, never on a worker).
+    pub fn is_stage_boundary(self) -> bool {
+        matches!(
+            self,
+            Phase::StageStart | Phase::Materialize | Phase::StageDone
+        )
     }
 }
 
@@ -223,13 +245,21 @@ mod tests {
             Phase::Commit,
             Phase::VertexStart,
             Phase::Write,
+            Phase::StageStart,
+            Phase::Materialize,
+            Phase::StageDone,
         ];
         let mut names: Vec<&str> = all.iter().map(|p| p.name()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), all.len(), "duplicate phase name");
         for p in all {
-            assert!(p.is_structural() || p.requires_attempt() || p == Phase::Enqueue);
+            assert!(
+                p.is_structural()
+                    || p.requires_attempt()
+                    || p.is_stage_boundary()
+                    || p == Phase::Enqueue
+            );
         }
     }
 

@@ -1,0 +1,39 @@
+//! # ppc-workflow — staged DAG execution as a first-class layer
+//!
+//! The paper compares its three paradigms on map-only batches, yet its own
+//! DryadLINQ numbers come from a staged DAG runtime, and real biomedical
+//! pipelines chain those batches (assemble → annotate → interpolate). This
+//! crate lifts the staged-execution structure out of its two private homes
+//! — `ppc-dryad`'s vertex graph and `ppc-mapreduce`'s iterative driver —
+//! into one shared model every engine can run:
+//!
+//! * [`Workflow`] / [`Stage`] — a DAG of pleasingly-parallel stages joined
+//!   by data edges. Each stage is exactly the unit the existing engines
+//!   already execute (a set of [`ppc_core::task::TaskSpec`]s plus an
+//!   executor), so any
+//!   paradigm runs any workflow stage-by-stage.
+//! * [`DataPolicy`] — per-edge materialize-vs-pipeline choice. A
+//!   `Materialize` edge pays a storage round-trip between stages (the
+//!   "Data Sharing Options" cost that dominates multi-stage workflows on
+//!   cloud object stores); a `Pipeline` edge hands bytes over in memory.
+//! * [`StageAdapter`] — the deterministic glue mapping one stage's outputs
+//!   to the next stage's inputs, canonicalized so every paradigm produces
+//!   byte-identical pipeline outputs.
+//! * [`iterate`] — the Twister-style fixed-point engine (map / reduce /
+//!   combine to convergence over a static cached data set), rebased here
+//!   from `ppc-mapreduce::iterative` so loops are a workflow-layer
+//!   concept, not a MapReduce private.
+//!
+//! The drivers live in `ppc-exec` (`Engine::run_workflow` /
+//! `Engine::simulate_workflow`); this crate is the pure model: topology,
+//! validation, scheduling order, and the materialization cost model.
+
+pub mod iterate;
+pub mod model;
+
+pub use iterate::{
+    run_fixed_point, Combiner, FixedPointJob, FixedPointReport, IterMapper, IterReducer,
+};
+pub use model::{
+    DataPolicy, FnAdapter, MaterializeModel, Stage, StageAdapter, StageEdge, Workflow,
+};

@@ -13,8 +13,9 @@
 use ppc::core::rng::Pcg32;
 use ppc::hdfs::fs::MiniHdfs;
 use ppc::mapreduce::iterative::{
-    encode_block, run_iterative, IterativeJob, KMeansCombiner, KMeansMapper, KMeansReducer,
+    cache_splits, encode_block, IterativeJob, KMeansCombiner, KMeansMapper, KMeansReducer,
 };
+use ppc::workflow::run_fixed_point;
 
 fn main() -> ppc::core::Result<()> {
     // Synthetic "compound" clusters in a 2-D property space, spread over
@@ -54,9 +55,10 @@ fn main() -> ppc::core::Result<()> {
         vec![10.0, 8.0],
     ];
     let job = IterativeJob::new("kmeans", paths).with_max_iterations(40);
-    let (centroids, report) = run_iterative(
-        &fs,
-        &job,
+    let cache = cache_splits(&fs, &job.input_paths)?;
+    let (centroids, report) = run_fixed_point(
+        &cache,
+        &job.fixed_point(),
         &KMeansMapper,
         &KMeansReducer,
         &KMeansCombiner { tolerance: 1e-9 },

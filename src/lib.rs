@@ -45,6 +45,7 @@ pub use ppc_queue as queue;
 pub use ppc_resilience as resilience;
 pub use ppc_storage as storage;
 pub use ppc_trace as trace;
+pub use ppc_workflow as workflow;
 
 /// All three paradigms behind the uniform [`exec::Engine`] interface,
 /// with default configurations — the paper's Table 1 lineup, iterable:

@@ -35,7 +35,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  ppc catalog\n  ppc advisor <cap3|blast|gtm> [--budget <$>] [--deadline <seconds>]\n  ppc simulate --app <cap3|blast|gtm> [--instance HCXL] [--instances 2] [--workers 8] [--files 64]\n  ppc compare --app <cap3|blast|gtm> [--files 64] [--gray 30] [--hedge on]\n  ppc demo"
+    "usage:\n  ppc catalog\n  ppc advisor <cap3|blast|gtm> [--budget <$>] [--deadline <seconds>]\n  ppc simulate --app <cap3|blast|gtm> [--instance HCXL] [--instances 2] [--workers 8] [--files 64]\n  ppc compare --app <cap3|blast|gtm> [--files 64] [--gray 30] [--hedge on]\n  ppc compare --pipeline [--files 64] [--gray 30] [--hedge on]\n  ppc demo"
 }
 
 /// Dispatch a CLI invocation; returns the rendered output.
@@ -56,7 +56,10 @@ fn run(args: &[String]) -> Result<String> {
     }
 }
 
-/// Parse `--key value` pairs.
+/// Flags that stand alone (no value); everything else is `--key value`.
+const BOOLEAN_FLAGS: &[&str] = &["pipeline"];
+
+/// Parse `--key value` pairs (and bare boolean flags).
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
@@ -64,6 +67,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>> {
         let key = key
             .strip_prefix("--")
             .ok_or_else(|| PpcError::InvalidArgument(format!("expected --flag, got '{key}'")))?;
+        if BOOLEAN_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), "on".to_string());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| PpcError::InvalidArgument(format!("--{key} needs a value")))?;
@@ -236,48 +243,18 @@ fn simulate_cmd(flags: HashMap<String, String>) -> Result<String> {
 /// paradigm-generic `Engine` trait — the paper's Table 3 comparison in one
 /// command.
 fn compare_cmd(flags: HashMap<String, String>) -> Result<String> {
+    if flags.contains_key("pipeline") {
+        return compare_pipeline(&flags);
+    }
     let app = flags
         .get("app")
         .map(String::as_str)
-        .ok_or_else(|| PpcError::InvalidArgument("compare needs --app".into()))?;
-    let n_files: usize = match flags.get("files") {
-        Some(v) => v
-            .parse()
-            .map_err(|_| PpcError::InvalidArgument(format!("bad --files: '{v}'")))?,
-        None => 64,
-    };
-    // `--gray F` makes worker 0 silently compute F times slower on every
-    // paradigm; `--hedge on` counters it with the shared resilience layer.
-    let gray: Option<f64> = flags
-        .get("gray")
-        .map(|v| {
-            v.parse()
-                .map_err(|_| PpcError::InvalidArgument(format!("bad --gray: '{v}'")))
-        })
-        .transpose()?;
-    let hedge = match flags.get("hedge").map(String::as_str) {
-        None | Some("off") => false,
-        Some("on") => true,
-        Some(other) => {
-            return Err(PpcError::InvalidArgument(format!(
-                "bad --hedge: '{other}' (want on|off)"
-            )))
-        }
-    };
+        .ok_or_else(|| PpcError::InvalidArgument("compare needs --app (or --pipeline)".into()))?;
+    let n_files = parse_files(&flags)?;
     let (mut tasks, model) = workload_for(app)?;
     tasks.truncate(n_files);
     let cluster = Cluster::provision(ppc::compute::instance::EC2_HCXL, 4, 8);
-    let mut ctx = ppc::exec::RunContext::new(&cluster).with_seed(42);
-    if let Some(factor) = gray {
-        ctx = ctx.with_schedule(std::sync::Arc::new(
-            ppc::chaos::FaultSchedule::new(42).degrade(0, factor, 0.0, 1e9),
-        ));
-    }
-    if hedge {
-        ctx = ctx.with_resilience(ppc::resilience::ResiliencePolicy::hedged(
-            ppc::resilience::HedgeConfig::quantile(30.0),
-        ));
-    }
+    let ctx = compare_context(&cluster, &flags)?;
     let engines: Vec<Box<dyn ppc::exec::Engine>> = vec![
         Box::new(ppc::classic::ClassicEngine {
             sim: ppc::classic::SimConfig::ec2().with_app(model),
@@ -308,6 +285,93 @@ fn compare_cmd(flags: HashMap<String, String>) -> Result<String> {
             engine.name().to_string(),
             format!("{:.1}", report.summary.makespan_seconds),
             report.total_attempts.to_string(),
+            report
+                .cost
+                .map(|c| c.compute_cost.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    Ok(table.to_string())
+}
+
+fn parse_files(flags: &HashMap<String, String>) -> Result<usize> {
+    match flags.get("files") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| PpcError::InvalidArgument(format!("bad --files: '{v}'"))),
+        None => Ok(64),
+    }
+}
+
+/// Shared `--gray` / `--hedge` context setup for both compare modes:
+/// `--gray F` makes worker 0 silently compute F times slower on every
+/// paradigm; `--hedge on` counters it with the shared resilience layer.
+fn compare_context(
+    cluster: &Cluster,
+    flags: &HashMap<String, String>,
+) -> Result<ppc::exec::RunContext> {
+    let gray: Option<f64> = flags
+        .get("gray")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| PpcError::InvalidArgument(format!("bad --gray: '{v}'")))
+        })
+        .transpose()?;
+    let hedge = match flags.get("hedge").map(String::as_str) {
+        None | Some("off") => false,
+        Some("on") => true,
+        Some(other) => {
+            return Err(PpcError::InvalidArgument(format!(
+                "bad --hedge: '{other}' (want on|off)"
+            )))
+        }
+    };
+    let mut ctx = ppc::exec::RunContext::new(cluster).with_seed(42);
+    if let Some(factor) = gray {
+        ctx = ctx.with_schedule(std::sync::Arc::new(
+            ppc::chaos::FaultSchedule::new(42).degrade(0, factor, 0.0, 1e9),
+        ));
+    }
+    if hedge {
+        ctx = ctx.with_resilience(ppc::resilience::ResiliencePolicy::hedged(
+            ppc::resilience::HedgeConfig::quantile(30.0),
+        ));
+    }
+    Ok(ctx)
+}
+
+/// Drive the Cap3 → BLAST → GTM workflow through all three paradigms —
+/// the multi-stage counterpart of `compare --app`, surfacing the
+/// inter-stage materialization each paradigm pays at every stage barrier.
+fn compare_pipeline(flags: &HashMap<String, String>) -> Result<String> {
+    let n_files = parse_files(flags)?;
+    let wf = ppc::apps::pipeline::bio_pipeline_sim(n_files);
+    let cluster = Cluster::provision(ppc::compute::instance::EC2_HCXL, 4, 8);
+    let ctx = compare_context(&cluster, flags)?;
+    let stage_names: Vec<&str> = wf.stages.iter().map(|s| s.name.as_str()).collect();
+    let mut table = Table::new(
+        format!(
+            "pipeline {} ({}) x {} files on {}",
+            wf.name,
+            stage_names.join(" -> "),
+            n_files,
+            cluster.label()
+        ),
+        &[
+            "paradigm",
+            "makespan (s)",
+            "materialize (s)",
+            "attempts",
+            "compute cost",
+        ],
+    );
+    for engine in ppc::engines() {
+        let report = engine.simulate_workflow(&ctx, &wf)?;
+        table.row(vec![
+            engine.name().to_string(),
+            format!("{:.1}", report.makespan_seconds),
+            format!("{:.1}", report.materialize_s),
+            report.total_attempts().to_string(),
             report
                 .cost
                 .map(|c| c.compute_cost.to_string())
@@ -421,6 +485,35 @@ mod tests {
         assert!(run(&s(&["advisor", "unknown-app"])).is_err());
         assert!(parse_flags(&s(&["--files"])).is_err());
         assert!(parse_flags(&s(&["files", "3"])).is_err());
+    }
+
+    #[test]
+    fn compare_pipeline_prints_all_paradigms() {
+        let out = run(&s(&["compare", "--pipeline", "--files", "16"])).unwrap();
+        assert!(out.contains("assemble -> annotate -> interpolate"), "{out}");
+        for paradigm in ["classic", "mapreduce", "dryad"] {
+            assert!(out.contains(paradigm), "missing {paradigm}: {out}");
+        }
+        assert!(out.contains("materialize (s)"), "{out}");
+        // Hedging under a gray worker still parses and runs.
+        let out = run(&s(&[
+            "compare",
+            "--pipeline",
+            "--files",
+            "8",
+            "--gray",
+            "30",
+            "--hedge",
+            "on",
+        ]))
+        .unwrap();
+        assert!(out.contains("dryad"), "{out}");
+    }
+
+    #[test]
+    fn compare_without_app_or_pipeline_errors() {
+        assert!(run(&s(&["compare"])).is_err());
+        assert!(run(&s(&["compare", "--hedge", "sideways"])).is_err());
     }
 
     #[test]

@@ -7,9 +7,10 @@
 use ppc::core::rng::Pcg32;
 use ppc::hdfs::fs::MiniHdfs;
 use ppc::mapreduce::iterative::{
-    encode_block, run_iterative, Centroids, IterativeJob, KMeansCombiner, KMeansMapper,
+    cache_splits, encode_block, Centroids, IterativeJob, KMeansCombiner, KMeansMapper,
     KMeansReducer,
 };
+use ppc::workflow::run_fixed_point;
 
 /// One serial k-means iteration (assign + recompute).
 fn serial_step(points: &[Vec<f64>], centroids: &Centroids) -> Centroids {
@@ -69,9 +70,10 @@ fn distributed_kmeans_matches_serial_iterates() {
     // Run exactly N iterations distributed (tolerance -1 => never converge).
     let n_iter = 6;
     let job = IterativeJob::new("eq", paths).with_max_iterations(n_iter);
-    let (distributed, report) = run_iterative(
-        &fs,
-        &job,
+    let cache = cache_splits(&fs, &job.input_paths).unwrap();
+    let (distributed, report) = run_fixed_point(
+        &cache,
+        &job.fixed_point(),
         &KMeansMapper,
         &KMeansReducer,
         &KMeansCombiner { tolerance: -1.0 },

@@ -503,3 +503,86 @@ fn gtm_projection_bounded_for_random_data() {
         }
     }
 }
+
+/// Workflow topological schedules are valid, deterministic, and agree
+/// with the level decomposition for arbitrary random DAGs.
+#[test]
+fn workflow_topological_schedule_is_valid_and_deterministic() {
+    use ppc::core::task::{ResourceProfile, TaskSpec};
+    use ppc::workflow::{DataPolicy, Stage, Workflow};
+
+    for seed in 0..48u64 {
+        let mut rng = Pcg32::new(0xDA6 + seed);
+        let n = 2 + rng.next_below(9) as usize;
+        let mut wf = Workflow::new(format!("dag-{seed}"));
+        for i in 0..n {
+            wf.add_stage(Stage::new(
+                format!("s{i}"),
+                vec![TaskSpec::new(
+                    i as u64,
+                    "noop",
+                    format!("in/{i}"),
+                    ResourceProfile::cpu_bound(1.0),
+                )],
+            ));
+        }
+        // Forward-only random edges keep the graph acyclic by construction.
+        let mut edges = Vec::new();
+        for to in 1..n {
+            for from in 0..to {
+                if rng.next_below(3) == 0 {
+                    wf.connect_ordering(from, to, DataPolicy::Materialize);
+                    edges.push((from, to));
+                }
+            }
+        }
+        wf.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+
+        let order = wf.topo_order().unwrap();
+        // A permutation of all stages...
+        let mut seen = vec![false; n];
+        for &s in &order {
+            assert!(!seen[s], "seed {seed}: stage {s} scheduled twice");
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "seed {seed}: stage dropped");
+        // ...that respects every edge...
+        let pos: Vec<usize> = {
+            let mut p = vec![0; n];
+            for (i, &s) in order.iter().enumerate() {
+                p[s] = i;
+            }
+            p
+        };
+        for &(from, to) in &edges {
+            assert!(
+                pos[from] < pos[to],
+                "seed {seed}: edge {from}->{to} violated by {order:?}"
+            );
+        }
+        // ...and is deterministic.
+        assert_eq!(order, wf.topo_order().unwrap(), "seed {seed}");
+
+        // Levels agree: every edge crosses strictly downward, and the
+        // levels partition the stage set.
+        let levels = wf.levels().unwrap();
+        let mut level_of = vec![usize::MAX; n];
+        for (l, group) in levels.iter().enumerate() {
+            for &s in group {
+                assert_eq!(
+                    level_of[s],
+                    usize::MAX,
+                    "seed {seed}: stage {s} in two levels"
+                );
+                level_of[s] = l;
+            }
+        }
+        assert!(level_of.iter().all(|&l| l != usize::MAX), "seed {seed}");
+        for &(from, to) in &edges {
+            assert!(
+                level_of[from] < level_of[to],
+                "seed {seed}: edge {from}->{to} does not descend levels"
+            );
+        }
+    }
+}

@@ -379,6 +379,66 @@ fn hadoop_native_speculation_shim_matches_legacy_policy() {
     );
 }
 
+/// The deprecated `run_iterative` entry point is a one-line shim onto the
+/// workflow layer's fixed-point engine (`cache_splits` +
+/// `run_fixed_point`): same centroids to the bit, same report.
+#[test]
+fn iterative_shim_matches_workflow_fixed_point() {
+    use ppc::core::rng::Pcg32;
+    use ppc::hdfs::fs::MiniHdfs;
+    use ppc::mapreduce::iterative::{
+        cache_splits, encode_block, run_iterative, IterativeJob, KMeansCombiner, KMeansMapper,
+        KMeansReducer,
+    };
+    use ppc::workflow::run_fixed_point;
+
+    let mut rng = Pcg32::new(4242);
+    let fs = MiniHdfs::with_defaults(3);
+    let mut paths = Vec::new();
+    for b in 0..4 {
+        let points: Vec<Vec<f64>> = (0..50)
+            .map(|_| {
+                let cx = (rng.next_below(3) * 6) as f64;
+                vec![cx + rng.normal_with(0.0, 0.4), rng.normal_with(0.0, 0.4)]
+            })
+            .collect();
+        let p = format!("/iter/b{b}");
+        fs.create(&p, &encode_block(&points), None).unwrap();
+        paths.push(p);
+    }
+    let initial = vec![vec![1.0, 0.0], vec![5.0, 0.0], vec![11.0, 0.0]];
+    let job = IterativeJob::new("shim-eq", paths).with_max_iterations(12);
+
+    let (legacy_centroids, legacy_report) = run_iterative(
+        &fs,
+        &job,
+        &KMeansMapper,
+        &KMeansReducer,
+        &KMeansCombiner { tolerance: 1e-9 },
+        initial.clone(),
+    )
+    .unwrap();
+    let cache = cache_splits(&fs, &job.input_paths).unwrap();
+    let (wf_centroids, wf_report) = run_fixed_point(
+        &cache,
+        &job.fixed_point(),
+        &KMeansMapper,
+        &KMeansReducer,
+        &KMeansCombiner { tolerance: 1e-9 },
+        initial,
+    )
+    .unwrap();
+
+    // Bit-identical floats, not approximately-equal ones.
+    let bits = |cs: &[Vec<f64>]| -> Vec<Vec<u64>> {
+        cs.iter()
+            .map(|c| c.iter().map(|v| v.to_bits()).collect())
+            .collect()
+    };
+    assert_eq!(bits(&legacy_centroids), bits(&wf_centroids));
+    assert_eq!(legacy_report, wf_report);
+}
+
 /// The same override on the native side: config seeds lose to the context
 /// seed, observable through identical chaos outcomes (which tasks died and
 /// recovered is a pure function of the effective seed in the dryad
