@@ -1,0 +1,285 @@
+//! Job-service benchmark: the serving-path trajectory for `ppc-serve`.
+//!
+//! Drives the deterministic closed-loop load generator through the DES at
+//! two operating points against the same 64-instance fleet and writes the
+//! machine-readable `BENCH_serve.json` CI tracks:
+//!
+//! 1. **Underload** (~0.5× fleet capacity offered): the service should be
+//!    a pass-through — zero rejections, job latency ≈ service time.
+//! 2. **Overload** (~2× fleet capacity offered): the bounded per-tenant
+//!    buffers shed the excess, the weighted fair-share scheduler keeps
+//!    Jain's index high, and p99 latency stays *bounded* by queue depth —
+//!    the whole point of admission control over an open queue.
+//!
+//! In full mode the two scenarios together drive ≥ 1M submissions through
+//! one process. Every metric is a deterministic function of the seed
+//! (virtual time, not wall-clock), so the gate thresholds hold on any
+//! machine.
+//!
+//! ```bash
+//! cargo run --release -p ppc-bench --bin bench_serve                 # full, writes BENCH_serve.json
+//! cargo run --release -p ppc-bench --bin bench_serve -- --smoke      # reduced CI sizes
+//! cargo run --release -p ppc-bench --bin bench_serve -- --smoke --check BENCH_serve.json
+//! ```
+//!
+//! `--check <baseline>` verifies the structural overload contract on the
+//! fresh run (underload sheds nothing; overload sheds but keeps p99 under
+//! the queue-depth bound and fairness above 0.85) and that the committed
+//! baseline still records the same regime split.
+
+use ppc_core::json::Json;
+use ppc_exec::RunContext;
+use ppc_serve::{
+    simulate_serve, ServeFleet, ServeReport, ServeSimConfig, TenantLoad, TenantQuota, TenantSpec,
+};
+use std::time::Instant;
+
+/// Fleet size; with 8-core instances and 8-task jobs each job occupies
+/// exactly one instance.
+const INSTANCES: u32 = 64;
+/// Mean per-job service time: dispatch overhead + 8 tasks x 4 s / 8 cores.
+const SERVICE_S: f64 = 1.0 + 32.0 / 8.0;
+/// Per-tenant DRR weights.
+const WEIGHTS: [u32; 4] = [4, 2, 2, 1];
+
+struct Sizes {
+    underload_clients: u32,
+    underload_jobs: u32,
+    overload_clients: u32,
+    overload_jobs: u32,
+}
+
+// 4 tenants x 32 x 2500 + 4 x 64 x 2700 = 1,011,200 submissions.
+const FULL: Sizes = Sizes {
+    underload_clients: 32,
+    underload_jobs: 2500,
+    overload_clients: 64,
+    overload_jobs: 2700,
+};
+
+// Smoke keeps the client populations (they set the operating point and
+// the queue depths the gate bounds) and only shortens each client's
+// submission budget.
+const SMOKE: Sizes = Sizes {
+    underload_clients: 32,
+    underload_jobs: 150,
+    overload_clients: 64,
+    overload_jobs: 160,
+};
+
+/// Build one operating point. Both share the fleet, quotas, and job shape;
+/// only the client population and think time move, so underload offers
+/// ~0.5× fleet capacity and overload ~2×.
+fn scenario(sizes: &Sizes, overload: bool) -> ServeSimConfig {
+    let quota = TenantQuota {
+        max_queued: 32,
+        max_running: INSTANCES as usize,
+    };
+    let (clients, jobs, think_s) = if overload {
+        (sizes.overload_clients, sizes.overload_jobs, SERVICE_S)
+    } else {
+        (
+            sizes.underload_clients,
+            sizes.underload_jobs,
+            3.0 * SERVICE_S,
+        )
+    };
+    let loads = WEIGHTS
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let spec = TenantSpec::new(format!("tenant-{i}"), w).with_quota(quota);
+            let mut load = TenantLoad::new(spec, clients, jobs);
+            load.think_s = think_s;
+            load
+        })
+        .collect();
+    ServeSimConfig::new(
+        ppc_compute::instance::EC2_HCXL,
+        ServeFleet::Fixed {
+            instances: INSTANCES,
+        },
+        loads,
+    )
+}
+
+/// Structural p99 bound under overload: the slowest-share tenant's full
+/// buffer drains at its weighted share of fleet throughput, plus a
+/// generous service-time tail allowance. Anything above this means jobs
+/// waited on an *unbounded* queue — exactly what admission control exists
+/// to prevent.
+fn overload_p99_bound() -> f64 {
+    let capacity = INSTANCES as f64 / SERVICE_S; // jobs/sec
+    let total_w: u32 = WEIGHTS.iter().sum();
+    let min_w = *WEIGHTS.iter().min().expect("weights nonempty") as f64;
+    let worst_drain = 32.0 * total_w as f64 / min_w / capacity;
+    worst_drain + 10.0 * SERVICE_S
+}
+
+fn offered_x_capacity(cfg: &ServeSimConfig) -> f64 {
+    let clients: f64 = cfg.tenants.iter().map(|t| t.clients as f64).sum();
+    let cycle = cfg.tenants[0].think_s + SERVICE_S;
+    (clients / cycle) / (INSTANCES as f64 / SERVICE_S)
+}
+
+fn run_scenario(name: &str, cfg: &ServeSimConfig) -> (ServeReport, f64) {
+    eprintln!(
+        "benching {name}: {} submissions, offered ~{:.1}x capacity ...",
+        cfg.submissions(),
+        offered_x_capacity(cfg)
+    );
+    let start = Instant::now();
+    let run = simulate_serve(&RunContext::local(), cfg);
+    let wall = start.elapsed().as_secs_f64();
+    let r = &run.report;
+    eprintln!(
+        "  {name:<9} p50/p95/p99 {:>6.1}/{:>6.1}/{:>6.1} s | rejected {:>5.1}% | jain {:.3} | {:>8.0} jobs/s wall",
+        r.latency_p50_s,
+        r.latency_p95_s,
+        r.latency_p99_s,
+        r.rejection_rate * 100.0,
+        r.fairness_jain,
+        r.submitted as f64 / wall,
+    );
+    (run.report, wall)
+}
+
+fn scenario_json(name: &str, cfg: &ServeSimConfig, report: &ServeReport, wall: f64) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(name.into())),
+        (
+            "offered_x_capacity".into(),
+            Json::Float(offered_x_capacity(cfg)),
+        ),
+        ("wall_s".into(), Json::Float(wall)),
+        (
+            "submissions_per_sec_wall".into(),
+            Json::Float(report.submitted as f64 / wall),
+        ),
+        ("report".into(), report.to_json()),
+    ])
+}
+
+fn get_f64(json: &Json, path: &[&str]) -> Option<f64> {
+    let mut cur = json;
+    for key in path {
+        cur = cur.get(key)?;
+    }
+    cur.as_f64().ok()
+}
+
+fn scenario_metric(json: &Json, name: &str, path: &[&str]) -> Option<f64> {
+    let scenarios = json.get("scenarios")?.as_arr().ok()?;
+    let s = scenarios
+        .iter()
+        .find(|s| s.get("name").and_then(|n| n.as_str().ok()) == Some(name))?;
+    get_f64(s, path)
+}
+
+/// The regime contract both fresh runs and committed baselines must obey.
+fn check_regimes(json: &Json, label: &str) -> std::result::Result<(), String> {
+    let m = |name: &str, path: &[&str]| {
+        scenario_metric(json, name, path)
+            .ok_or_else(|| format!("{label}: missing {name} {}", path.join(".")))
+    };
+    let under_rej = m("underload", &["report", "rejection_rate"])?;
+    let over_rej = m("overload", &["report", "rejection_rate"])?;
+    let under_p99 = m("underload", &["report", "latency_p99_s"])?;
+    let over_p99 = m("overload", &["report", "latency_p99_s"])?;
+    let over_jain = m("overload", &["report", "fairness_jain"])?;
+    if under_rej != 0.0 {
+        return Err(format!("{label}: underload shed {under_rej:.4} of jobs"));
+    }
+    if over_rej <= 0.0 {
+        return Err(format!("{label}: overload shed nothing"));
+    }
+    if over_p99 < under_p99 {
+        return Err(format!(
+            "{label}: overload p99 {over_p99:.1}s below underload {under_p99:.1}s"
+        ));
+    }
+    let bound = overload_p99_bound();
+    if over_p99 > bound {
+        return Err(format!(
+            "{label}: overload p99 {over_p99:.1}s exceeds queue-depth bound {bound:.1}s"
+        ));
+    }
+    if over_jain < 0.85 {
+        return Err(format!(
+            "{label}: overload fairness {over_jain:.3} below 0.85"
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check: Option<&String> = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1));
+    let out = args
+        .iter()
+        .rfind(|a| !a.starts_with("--") && Some(*a) != check)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+    let sizes = if smoke { &SMOKE } else { &FULL };
+
+    let under_cfg = scenario(sizes, false);
+    let over_cfg = scenario(sizes, true);
+    let total = under_cfg.submissions() + over_cfg.submissions();
+    if !smoke {
+        assert!(
+            total >= 1_000_000,
+            "full mode must drive >= 1M submissions, got {total}"
+        );
+    }
+    let (under, under_wall) = run_scenario("underload", &under_cfg);
+    let (over, over_wall) = run_scenario("overload", &over_cfg);
+
+    let json = Json::Obj(vec![
+        ("bench".into(), Json::Str("serve".into())),
+        (
+            "mode".into(),
+            Json::Str(if smoke { "smoke" } else { "full" }.into()),
+        ),
+        ("total_submissions".into(), Json::Int(total as i128)),
+        (
+            "overload_p99_bound_s".into(),
+            Json::Float(overload_p99_bound()),
+        ),
+        (
+            "scenarios".into(),
+            Json::Arr(vec![
+                scenario_json("underload", &under_cfg, &under, under_wall),
+                scenario_json("overload", &over_cfg, &over, over_wall),
+            ]),
+        ),
+    ]);
+
+    if let Err(e) = check_regimes(&json, "fresh run") {
+        eprintln!("FAIL: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "regime contract holds: overload p99 {:.1}s <= bound {:.1}s",
+        over.latency_p99_s,
+        overload_p99_bound()
+    );
+
+    if let Some(baseline_path) = check {
+        let text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline = Json::parse(&text).expect("baseline parses");
+        if let Err(e) = check_regimes(&baseline, "baseline") {
+            eprintln!("FAIL: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("OK: fresh run and committed baseline both hold the regime contract");
+        return; // a check run never overwrites the committed baseline
+    }
+
+    std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("wrote {out}");
+}

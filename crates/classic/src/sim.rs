@@ -357,7 +357,7 @@ pub fn simulate_fleets(fleets: &[Cluster], tasks: &[TaskSpec], cfg: &SimConfig) 
 
 /// [`simulate_fleets`] under an optional event-based [`FaultSchedule`].
 #[deprecated(
-    note = "build a `ppc_exec::RunContext` with `RunContext::on_fleets(…).with_schedule_opt(…)` and call `ppc_classic::simulate`"
+    note = "build a `ppc_exec::RunContext` with `RunContext::on_fleets(…).with_schedule(…)` and call `ppc_classic::simulate`"
 )]
 pub fn simulate_fleets_chaos(
     fleets: &[Cluster],
@@ -366,7 +366,7 @@ pub fn simulate_fleets_chaos(
     schedule: Option<Arc<FaultSchedule>>,
 ) -> ClassicReport {
     crate::harness::simulate(
-        &RunContext::on_fleets(fleets.to_vec()).with_schedule_opt(schedule),
+        &RunContext::on_fleets(fleets.to_vec()).with_schedule(schedule),
         tasks,
         cfg,
     )
@@ -1207,7 +1207,7 @@ pub fn simulate_autoscaled(
 
 /// [`simulate_autoscaled`] under an optional event-based [`FaultSchedule`].
 #[deprecated(
-    note = "build a `ppc_exec::RunContext` with `RunContext::elastic(…).with_schedule_opt(…)` and call `ppc_classic::simulate`"
+    note = "build a `ppc_exec::RunContext` with `RunContext::elastic(…).with_schedule(…)` and call `ppc_classic::simulate`"
 )]
 pub fn simulate_autoscaled_chaos(
     itype: ppc_compute::instance::InstanceType,
@@ -1218,8 +1218,7 @@ pub fn simulate_autoscaled_chaos(
     schedule: Option<Arc<FaultSchedule>>,
 ) -> ClassicReport {
     crate::harness::simulate(
-        &RunContext::elastic(itype, autoscale.clone(), arrivals.to_vec())
-            .with_schedule_opt(schedule),
+        &RunContext::elastic(itype, autoscale.clone(), arrivals.to_vec()).with_schedule(schedule),
         tasks,
         cfg,
     )
@@ -1948,7 +1947,7 @@ mod tests {
     ) -> ClassicReport {
         crate::simulate(
             &RunContext::elastic(itype, autoscale.clone(), arrivals.to_vec())
-                .with_schedule_opt(schedule),
+                .with_schedule(schedule),
             tasks,
             cfg,
         )

@@ -154,7 +154,7 @@ pub fn run_homomorphic_job_chaos(
     schedule: Option<Arc<FaultSchedule>>,
 ) -> Result<(DryadReport, JobOutputs)> {
     crate::harness::run(
-        &RunContext::new(cluster).with_schedule_opt(schedule),
+        &RunContext::new(cluster).with_schedule(schedule),
         inputs,
         executor,
         config,
@@ -886,7 +886,7 @@ mod tests {
         schedule: Option<Arc<FaultSchedule>>,
     ) -> Result<(DryadReport, JobOutputs)> {
         crate::run(
-            &RunContext::new(cluster).with_schedule_opt(schedule),
+            &RunContext::new(cluster).with_schedule(schedule),
             inputs,
             executor,
             config,

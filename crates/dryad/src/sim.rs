@@ -193,7 +193,7 @@ pub fn simulate_chaos(
     schedule: Option<Arc<FaultSchedule>>,
 ) -> DryadReport {
     crate::harness::simulate(
-        &RunContext::new(cluster).with_schedule_opt(schedule),
+        &RunContext::new(cluster).with_schedule(schedule),
         tasks,
         cfg,
     )
@@ -678,7 +678,7 @@ mod tests {
         schedule: Option<Arc<FaultSchedule>>,
     ) -> DryadReport {
         crate::simulate(
-            &RunContext::new(cluster).with_schedule_opt(schedule),
+            &RunContext::new(cluster).with_schedule(schedule),
             tasks,
             cfg,
         )

@@ -47,6 +47,12 @@ pub use workflow::{
     drive_workflow, run_workflow_with, simulate_workflow_with, StageReport, WorkflowReport,
 };
 
+/// Version stamp emitted as the `"schema"` key of every report JSON
+/// object in the workspace ([`RunReport`], [`WorkflowReport`], and
+/// ppc-serve's `ServeReport`). Bump when a key is added, removed, or
+/// renamed so downstream consumers can pin what they parse.
+pub const REPORT_SCHEMA: i64 = 2;
+
 /// The worker fleet a run executes on.
 #[derive(Clone)]
 pub enum FleetPlan {
@@ -154,28 +160,30 @@ impl RunContext {
         self
     }
 
-    pub fn with_schedule(mut self, schedule: Arc<FaultSchedule>) -> RunContext {
-        self.schedule = Some(schedule);
+    /// Attach a fault schedule. Takes either a bare `Arc<FaultSchedule>`
+    /// or the `Option` a chaos entry point may already hold; passing
+    /// `None` clears any schedule set earlier.
+    pub fn with_schedule(mut self, schedule: impl Into<Option<Arc<FaultSchedule>>>) -> RunContext {
+        self.schedule = schedule.into();
         self
     }
 
-    /// Like [`RunContext::with_schedule`] but accepting the `Option` the
-    /// legacy chaos entry points took.
-    pub fn with_schedule_opt(mut self, schedule: Option<Arc<FaultSchedule>>) -> RunContext {
-        self.schedule = schedule;
+    #[deprecated(since = "0.1.0", note = "with_schedule now accepts an Option directly")]
+    pub fn with_schedule_opt(self, schedule: Option<Arc<FaultSchedule>>) -> RunContext {
+        self.with_schedule(schedule)
+    }
+
+    /// Attach a trace sink. Takes either a bare `Arc<dyn TraceSink>` or
+    /// the `Option` a native config may already carry; passing `None`
+    /// clears any sink set earlier.
+    pub fn with_sink(mut self, sink: impl Into<Option<Arc<dyn TraceSink>>>) -> RunContext {
+        self.sink = sink.into();
         self
     }
 
-    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> RunContext {
-        self.sink = Some(sink);
-        self
-    }
-
-    /// Like [`RunContext::with_sink`] but accepting the `Option` the
-    /// legacy native configs carried.
-    pub fn with_sink_opt(mut self, sink: Option<Arc<dyn TraceSink>>) -> RunContext {
-        self.sink = sink;
-        self
+    #[deprecated(since = "0.1.0", note = "with_sink now accepts an Option directly")]
+    pub fn with_sink_opt(self, sink: Option<Arc<dyn TraceSink>>) -> RunContext {
+        self.with_sink(sink)
     }
 
     pub fn with_trace(mut self, on: bool) -> RunContext {
@@ -300,6 +308,7 @@ impl RunReport {
     /// paradigm reports append their extras to this object.
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
+            ("schema".into(), Json::from(REPORT_SCHEMA)),
             ("summary".into(), self.summary.to_json()),
             (
                 "failed".into(),
@@ -530,5 +539,36 @@ mod tests {
                 < 1e-9
         );
         assert!(matches!(j.field("trace_spans").unwrap(), Json::Null));
+    }
+
+    /// Consumers parse report JSON by key; this pins the exact versioned
+    /// key set so adding/removing/renaming one forces a schema bump here.
+    #[test]
+    fn report_json_key_set_is_versioned() {
+        let report = RunReport {
+            summary: summary(),
+            failed: Vec::new(),
+            total_attempts: 10,
+            worker_deaths: 0,
+            cost: None,
+            trace: None,
+        };
+        let Json::Obj(fields) = report.to_json() else {
+            panic!("report JSON must be an object");
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "schema",
+                "summary",
+                "failed",
+                "total_attempts",
+                "worker_deaths",
+                "cost",
+                "trace_spans",
+            ]
+        );
+        assert_eq!(fields[0].1, Json::from(REPORT_SCHEMA));
     }
 }

@@ -88,6 +88,7 @@ impl WorkflowReport {
 
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
+            ("schema".into(), Json::from(crate::REPORT_SCHEMA)),
             ("name".into(), Json::Str(self.name.clone())),
             ("platform".into(), Json::Str(self.platform.clone())),
             (
@@ -444,4 +445,43 @@ fn merge_traces(
         makespan_seconds: makespan,
     };
     Some(Trace::new(meta, spans, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Same contract as `RunReport`: the exact key set is versioned, so
+    /// any shape change must bump `REPORT_SCHEMA`.
+    #[test]
+    fn workflow_report_json_key_set_is_versioned() {
+        let report = WorkflowReport {
+            name: "wf".into(),
+            platform: "classic-sim".into(),
+            stages: Vec::new(),
+            makespan_seconds: 1.0,
+            materialize_s: 0.5,
+            trace: None,
+            cost: None,
+        };
+        let Json::Obj(fields) = report.to_json() else {
+            panic!("workflow report JSON must be an object");
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "schema",
+                "name",
+                "platform",
+                "makespan_seconds",
+                "materialize_seconds",
+                "total_attempts",
+                "worker_deaths",
+                "cost",
+                "stages",
+            ]
+        );
+        assert_eq!(fields[0].1, Json::from(crate::REPORT_SCHEMA));
+    }
 }

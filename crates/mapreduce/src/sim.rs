@@ -175,7 +175,7 @@ pub fn simulate_chaos(
     schedule: Option<Arc<FaultSchedule>>,
 ) -> MapReduceReport {
     crate::harness::simulate(
-        &RunContext::new(cluster).with_schedule_opt(schedule),
+        &RunContext::new(cluster).with_schedule(schedule),
         tasks,
         cfg,
     )
@@ -627,7 +627,7 @@ mod tests {
         schedule: Option<Arc<FaultSchedule>>,
     ) -> MapReduceReport {
         crate::simulate(
-            &RunContext::new(cluster).with_schedule_opt(schedule),
+            &RunContext::new(cluster).with_schedule(schedule),
             tasks,
             cfg,
         )

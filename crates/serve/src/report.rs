@@ -1,0 +1,460 @@
+//! Service-level reporting: per-tenant rollups, fleet summary, fairness,
+//! and the exact apportionment of fleet cost to tenants.
+
+use crate::tenant::{TenantRollup, TenantSpec};
+use ppc_compute::billing::CostBreakdown;
+use ppc_core::json::Json;
+use ppc_core::money::Usd;
+use ppc_trace::Histogram;
+
+pub use ppc_exec::REPORT_SCHEMA;
+
+/// Jain's fairness index over per-tenant normalized service:
+/// `J = (Σx)² / (n·Σx²)`, 1.0 = perfectly fair, `1/n` = one tenant took
+/// everything. Empty or all-zero input reads as fair (nobody was
+/// shortchanged when nobody was served).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    let xs: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let s: f64 = xs.iter().sum();
+    let s2: f64 = xs.iter().map(|x| x * x).sum();
+    if s2 <= 0.0 {
+        return 1.0;
+    }
+    (s * s) / (xs.len() as f64 * s2)
+}
+
+/// Split `total` across `shares` proportionally, exactly: the parts are
+/// micro-dollar amounts that sum to `total` bit-for-bit (largest-remainder
+/// apportionment). All-zero shares split equally, so no money is ever
+/// dropped or minted.
+pub fn apportion(total: Usd, shares: &[f64]) -> Vec<Usd> {
+    if shares.is_empty() {
+        return Vec::new();
+    }
+    let clamped: Vec<f64> = shares
+        .iter()
+        .map(|&s| if s.is_finite() && s > 0.0 { s } else { 0.0 })
+        .collect();
+    let sum: f64 = clamped.iter().sum();
+    if sum <= 0.0 {
+        return apportion(total, &vec![1.0; shares.len()]);
+    }
+    let micros = total.as_micros();
+    let mut parts = vec![0i64; clamped.len()];
+    let mut rems: Vec<(f64, usize)> = Vec::with_capacity(clamped.len());
+    for (i, s) in clamped.iter().enumerate() {
+        let exact = micros as f64 * (s / sum);
+        let floor = exact.floor() as i64;
+        parts[i] = floor;
+        rems.push((exact - floor as f64, i));
+    }
+    let mut left = micros - parts.iter().sum::<i64>();
+    // Largest fractional remainders absorb the leftover micro-dollars;
+    // ties break by index so the split is deterministic. Float rounding
+    // can leave `left` slightly outside [0, n]; the cyclic walk below
+    // stays exact regardless.
+    rems.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    let n = rems.len();
+    let mut k = 0usize;
+    while left > 0 {
+        parts[rems[k % n].1] += 1;
+        left -= 1;
+        k += 1;
+    }
+    k = 0;
+    while left < 0 {
+        let idx = rems[n - 1 - (k % n)].1;
+        if parts[idx] > 0 {
+            parts[idx] -= 1;
+            left += 1;
+        }
+        k += 1;
+    }
+    parts.into_iter().map(Usd::micros).collect()
+}
+
+/// Split a [`CostBreakdown`] across shares; both views sum exactly.
+pub fn apportion_cost(total: &CostBreakdown, shares: &[f64]) -> Vec<CostBreakdown> {
+    let compute = apportion(total.compute_cost, shares);
+    let amortized = apportion(total.amortized_cost, shares);
+    compute
+        .into_iter()
+        .zip(amortized)
+        .map(|(c, a)| CostBreakdown {
+            compute_cost: c,
+            amortized_cost: a,
+        })
+        .collect()
+}
+
+/// One tenant's slice of a service run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    pub tenant: String,
+    pub weight: u32,
+    pub submitted: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub deadline_missed: u64,
+    pub peak_queued: usize,
+    pub peak_running: usize,
+    pub busy_seconds: f64,
+    pub rejection_rate: f64,
+    pub latency_p50_s: f64,
+    pub latency_p95_s: f64,
+    pub latency_p99_s: f64,
+    pub mean_wait_s: f64,
+    /// This tenant's exact slice of the fleet bill.
+    pub cost: CostBreakdown,
+}
+
+/// The shared fleet's bill and usage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    pub instances_launched: usize,
+    pub billed_hours: u64,
+    pub used_seconds: f64,
+    /// Busy instance-seconds / provisioned instance-seconds.
+    pub utilization: f64,
+    pub cost: CostBreakdown,
+}
+
+/// The service-level report: overload headline numbers plus per-tenant
+/// rollups whose bills sum exactly to the fleet's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    pub platform: String,
+    /// End of the run: the last job completion time.
+    pub horizon_s: f64,
+    pub submitted: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub rejection_rate: f64,
+    pub latency_p50_s: f64,
+    pub latency_p95_s: f64,
+    pub latency_p99_s: f64,
+    /// Jain's index over per-tenant `busy_seconds / weight`.
+    pub fairness_jain: f64,
+    pub fleet: FleetSummary,
+    pub tenants: Vec<TenantReport>,
+}
+
+impl ServeReport {
+    /// Assemble the report from per-tenant rollups. `tenant_costs` must be
+    /// the exact apportionment of `fleet.cost` (use [`apportion_cost`]);
+    /// the constructor asserts the sums match so a drifting bill fails
+    /// loudly rather than shipping.
+    pub fn build(
+        platform: impl Into<String>,
+        specs: &[TenantSpec],
+        rollups: &[TenantRollup],
+        tenant_costs: Vec<CostBreakdown>,
+        fleet: FleetSummary,
+        horizon_s: f64,
+    ) -> ServeReport {
+        assert_eq!(specs.len(), rollups.len());
+        assert_eq!(specs.len(), tenant_costs.len());
+        let compute_sum: Usd = tenant_costs.iter().map(|c| c.compute_cost).sum();
+        let amortized_sum: Usd = tenant_costs.iter().map(|c| c.amortized_cost).sum();
+        assert_eq!(
+            compute_sum, fleet.cost.compute_cost,
+            "tenant compute bills do not sum to the fleet's"
+        );
+        assert_eq!(
+            amortized_sum, fleet.cost.amortized_cost,
+            "tenant amortized bills do not sum to the fleet's"
+        );
+
+        let mut latency = Histogram::new();
+        for r in rollups {
+            latency.merge(&r.latency);
+        }
+        let norm: Vec<f64> = specs
+            .iter()
+            .zip(rollups)
+            .filter(|(_, r)| r.submitted > 0)
+            .map(|(s, r)| r.busy_seconds / s.weight as f64)
+            .collect();
+        let submitted: u64 = rollups.iter().map(|r| r.submitted).sum();
+        let rejected: u64 = rollups.iter().map(|r| r.rejected).sum();
+        let tenants = specs
+            .iter()
+            .zip(rollups)
+            .zip(tenant_costs)
+            .map(|((s, r), cost)| TenantReport {
+                tenant: s.name.clone(),
+                weight: s.weight,
+                submitted: r.submitted,
+                rejected: r.rejected,
+                completed: r.completed,
+                failed: r.failed,
+                deadline_missed: r.deadline_missed,
+                peak_queued: r.peak_queued,
+                peak_running: r.peak_running,
+                busy_seconds: r.busy_seconds,
+                rejection_rate: r.rejection_rate(),
+                latency_p50_s: r.latency.p50(),
+                latency_p95_s: r.latency.p95(),
+                latency_p99_s: r.latency.p99(),
+                mean_wait_s: r.wait.mean(),
+                cost,
+            })
+            .collect();
+        ServeReport {
+            platform: platform.into(),
+            horizon_s,
+            submitted,
+            rejected,
+            completed: rollups.iter().map(|r| r.completed).sum(),
+            failed: rollups.iter().map(|r| r.failed).sum(),
+            rejection_rate: if submitted == 0 {
+                0.0
+            } else {
+                rejected as f64 / submitted as f64
+            },
+            latency_p50_s: latency.p50(),
+            latency_p95_s: latency.p95(),
+            latency_p99_s: latency.p99(),
+            fairness_jain: jain_index(&norm),
+            fleet,
+            tenants,
+        }
+    }
+
+    /// The serve-report JSON serializer; shares the versioned `"schema"`
+    /// contract with `RunReport::to_json`.
+    pub fn to_json(&self) -> Json {
+        let cost_json = |c: &CostBreakdown| {
+            Json::Obj(vec![
+                ("compute".into(), Json::Float(c.compute_cost.as_f64())),
+                ("amortized".into(), Json::Float(c.amortized_cost.as_f64())),
+            ])
+        };
+        Json::Obj(vec![
+            ("schema".into(), Json::from(REPORT_SCHEMA)),
+            ("platform".into(), Json::Str(self.platform.clone())),
+            ("horizon_seconds".into(), Json::Float(self.horizon_s)),
+            ("submitted".into(), Json::from(self.submitted)),
+            ("rejected".into(), Json::from(self.rejected)),
+            ("completed".into(), Json::from(self.completed)),
+            ("failed".into(), Json::from(self.failed)),
+            ("rejection_rate".into(), Json::Float(self.rejection_rate)),
+            ("latency_p50_s".into(), Json::Float(self.latency_p50_s)),
+            ("latency_p95_s".into(), Json::Float(self.latency_p95_s)),
+            ("latency_p99_s".into(), Json::Float(self.latency_p99_s)),
+            ("fairness_jain".into(), Json::Float(self.fairness_jain)),
+            (
+                "fleet".into(),
+                Json::Obj(vec![
+                    (
+                        "instances_launched".into(),
+                        Json::from(self.fleet.instances_launched),
+                    ),
+                    ("billed_hours".into(), Json::from(self.fleet.billed_hours)),
+                    ("used_seconds".into(), Json::Float(self.fleet.used_seconds)),
+                    ("utilization".into(), Json::Float(self.fleet.utilization)),
+                    ("cost".into(), cost_json(&self.fleet.cost)),
+                ]),
+            ),
+            (
+                "tenants".into(),
+                Json::Arr(
+                    self.tenants
+                        .iter()
+                        .map(|t| {
+                            Json::Obj(vec![
+                                ("tenant".into(), Json::Str(t.tenant.clone())),
+                                ("weight".into(), Json::from(t.weight as u64)),
+                                ("submitted".into(), Json::from(t.submitted)),
+                                ("rejected".into(), Json::from(t.rejected)),
+                                ("completed".into(), Json::from(t.completed)),
+                                ("failed".into(), Json::from(t.failed)),
+                                ("deadline_missed".into(), Json::from(t.deadline_missed)),
+                                ("peak_queued".into(), Json::from(t.peak_queued)),
+                                ("peak_running".into(), Json::from(t.peak_running)),
+                                ("busy_seconds".into(), Json::Float(t.busy_seconds)),
+                                ("rejection_rate".into(), Json::Float(t.rejection_rate)),
+                                ("latency_p50_s".into(), Json::Float(t.latency_p50_s)),
+                                ("latency_p95_s".into(), Json::Float(t.latency_p95_s)),
+                                ("latency_p99_s".into(), Json::Float(t.latency_p99_s)),
+                                ("mean_wait_s".into(), Json::Float(t.mean_wait_s)),
+                                ("cost".into(), cost_json(&t.cost)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Same contract as `RunReport`/`WorkflowReport`: the exact key set is
+    /// versioned, so any shape change must bump `REPORT_SCHEMA`.
+    #[test]
+    fn serve_report_json_key_set_is_versioned() {
+        let specs = vec![TenantSpec::new("blast", 1)];
+        let rollups = vec![TenantRollup::default()];
+        let zero = CostBreakdown {
+            compute_cost: Usd::ZERO,
+            amortized_cost: Usd::ZERO,
+        };
+        let fleet = FleetSummary {
+            instances_launched: 0,
+            billed_hours: 0,
+            used_seconds: 0.0,
+            utilization: 0.0,
+            cost: zero,
+        };
+        let report = ServeReport::build("serve", &specs, &rollups, vec![zero], fleet, 0.0);
+        let Json::Obj(fields) = report.to_json() else {
+            panic!("serve report JSON must be an object");
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "schema",
+                "platform",
+                "horizon_seconds",
+                "submitted",
+                "rejected",
+                "completed",
+                "failed",
+                "rejection_rate",
+                "latency_p50_s",
+                "latency_p95_s",
+                "latency_p99_s",
+                "fairness_jain",
+                "fleet",
+                "tenants",
+            ]
+        );
+        assert_eq!(fields[0].1, Json::from(REPORT_SCHEMA));
+    }
+
+    #[test]
+    fn jain_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One tenant took everything: J = 1/n.
+        assert!((jain_index(&[9.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        let j = jain_index(&[4.0, 1.0]);
+        assert!(j > 0.5 && j < 1.0);
+    }
+
+    #[test]
+    fn apportion_sums_exactly() {
+        use ppc_core::rng::Pcg32;
+        let mut rng = Pcg32::new(0xA11C);
+        for _ in 0..200 {
+            let n = 1 + rng.next_below(6) as usize;
+            let shares: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 100.0)).collect();
+            let total = Usd::micros(rng.next_below(2_000_000_000) as i64);
+            let parts = apportion(total, &shares);
+            assert_eq!(parts.len(), n);
+            let sum: Usd = parts.iter().copied().sum();
+            assert_eq!(sum, total, "shares {shares:?}");
+            assert!(parts.iter().all(|p| p.as_micros() >= 0));
+        }
+    }
+
+    #[test]
+    fn apportion_zero_shares_split_equally() {
+        let parts = apportion(Usd::cents(10), &[0.0, 0.0, 0.0, 0.0]);
+        let sum: Usd = parts.iter().copied().sum();
+        assert_eq!(sum, Usd::cents(10));
+        assert_eq!(parts[0], Usd::micros(25_000));
+    }
+
+    #[test]
+    fn apportion_is_proportional() {
+        let parts = apportion(Usd::dollars(100), &[3.0, 1.0]);
+        assert_eq!(parts[0], Usd::dollars(75));
+        assert_eq!(parts[1], Usd::dollars(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "do not sum")]
+    fn mismatched_tenant_bills_fail_loudly() {
+        let specs = vec![TenantSpec::new("a", 1)];
+        let rollups = vec![TenantRollup::default()];
+        let fleet = FleetSummary {
+            instances_launched: 1,
+            billed_hours: 1,
+            used_seconds: 3600.0,
+            utilization: 0.5,
+            cost: CostBreakdown {
+                compute_cost: Usd::cents(68),
+                amortized_cost: Usd::cents(34),
+            },
+        };
+        // A tenant bill that does not match the fleet's must panic.
+        let bad = vec![CostBreakdown {
+            compute_cost: Usd::cents(67),
+            amortized_cost: Usd::cents(34),
+        }];
+        ServeReport::build("serve-sim", &specs, &rollups, bad, fleet, 10.0);
+    }
+
+    #[test]
+    fn report_json_has_schema_and_exact_bills() {
+        let specs = vec![TenantSpec::new("blast", 2), TenantSpec::new("cap3", 1)];
+        let mut rollups = vec![TenantRollup::default(), TenantRollup::default()];
+        rollups[0].submitted = 10;
+        rollups[0].completed = 10;
+        rollups[0].busy_seconds = 200.0;
+        rollups[1].submitted = 5;
+        rollups[1].completed = 5;
+        rollups[1].busy_seconds = 100.0;
+        let fleet_cost = CostBreakdown {
+            compute_cost: Usd::cents(204),
+            amortized_cost: Usd::cents(137),
+        };
+        let costs = apportion_cost(&fleet_cost, &[200.0, 100.0]);
+        let fleet = FleetSummary {
+            instances_launched: 3,
+            billed_hours: 3,
+            used_seconds: 10_800.0,
+            utilization: 300.0 / 10_800.0,
+            cost: fleet_cost,
+        };
+        let report = ServeReport::build("serve-sim", &specs, &rollups, costs, fleet, 400.0);
+        assert!((report.fairness_jain - 1.0).abs() < 1e-12);
+        let j = Json::parse(&report.to_json().to_string()).unwrap();
+        assert_eq!(j.field("schema").unwrap().as_i64().unwrap(), 2);
+        assert_eq!(j.field("submitted").unwrap().as_u64().unwrap(), 15);
+        let tenants = j.field("tenants").unwrap().as_arr().unwrap();
+        assert_eq!(tenants.len(), 2);
+        let billed: f64 = tenants
+            .iter()
+            .map(|t| {
+                t.field("cost")
+                    .unwrap()
+                    .field("compute")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap()
+            })
+            .sum();
+        let fleet_billed = j
+            .field("fleet")
+            .unwrap()
+            .field("cost")
+            .unwrap()
+            .field("compute")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((billed - fleet_billed).abs() < 1e-9);
+    }
+}

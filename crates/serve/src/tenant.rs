@@ -1,0 +1,93 @@
+//! Tenants: quotas, weights, and the per-tenant accounting rollup.
+
+use ppc_trace::Histogram;
+
+/// Bounded-buffer limits for one tenant. Both bounds are *hard*: the
+/// admission layer sheds submissions past `max_queued`, and the scheduler
+/// never dispatches a tenant past `max_running` — the two invariants the
+/// property tests pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Most jobs the tenant may have waiting (its bounded buffer size).
+    pub max_queued: usize,
+    /// Most jobs the tenant may have on fleet capacity at once.
+    pub max_running: usize,
+}
+
+impl Default for TenantQuota {
+    fn default() -> TenantQuota {
+        TenantQuota {
+            max_queued: 1024,
+            max_running: 256,
+        }
+    }
+}
+
+/// One tenant of the service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    pub name: String,
+    /// Fair-share weight: a weight-2 tenant gets twice the backlogged
+    /// throughput of a weight-1 tenant (deficit round-robin credit rate).
+    pub weight: u32,
+    pub quota: TenantQuota,
+}
+
+impl TenantSpec {
+    pub fn new(name: impl Into<String>, weight: u32) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            weight,
+            quota: TenantQuota::default(),
+        }
+    }
+
+    pub fn with_quota(mut self, quota: TenantQuota) -> TenantSpec {
+        self.quota = quota;
+        self
+    }
+}
+
+/// Mutable per-tenant accounting, updated as jobs move through the
+/// lifecycle; the raw material for [`crate::report::TenantReport`].
+#[derive(Debug, Clone, Default)]
+pub struct TenantRollup {
+    pub submitted: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    pub failed: u64,
+    /// Jobs that finished after their `deadline_hint_s`.
+    pub deadline_missed: u64,
+    pub peak_queued: usize,
+    pub peak_running: usize,
+    /// Instance-seconds this tenant's jobs occupied — the billing share.
+    pub busy_seconds: f64,
+    /// Submit → terminal latency of completed jobs.
+    pub latency: Histogram,
+    /// Submit → dispatch queueing delay of completed jobs.
+    pub wait: Histogram,
+}
+
+impl TenantRollup {
+    pub fn rejection_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.submitted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollup_rejection_rate() {
+        let mut r = TenantRollup::default();
+        assert_eq!(r.rejection_rate(), 0.0);
+        r.submitted = 10;
+        r.rejected = 3;
+        assert!((r.rejection_rate() - 0.3).abs() < 1e-12);
+    }
+}

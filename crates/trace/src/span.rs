@@ -186,6 +186,18 @@ pub enum EventKind {
     /// Resilience layer cancelled an attempt on `worker` — either the
     /// losing side of a hedge race or a task that blew its deadline.
     Cancel,
+    // Job-service lifecycle (ppc-serve); `worker` is the serving slot, or
+    // NO_WORKER for front-door events.
+    /// A job entered a tenant's bounded queue.
+    JobSubmit,
+    /// The fair-share scheduler picked a job under its tenant's quota.
+    JobAdmit,
+    /// Admission control shed a submission (bounded buffer full).
+    JobReject,
+    /// A job began occupying a fleet slot.
+    JobDispatch,
+    /// A job reached a terminal Done/Failed state.
+    JobComplete,
 }
 
 impl EventKind {
@@ -200,6 +212,11 @@ impl EventKind {
             EventKind::Quarantine => "quarantine",
             EventKind::Release => "release",
             EventKind::Cancel => "cancel",
+            EventKind::JobSubmit => "job_submit",
+            EventKind::JobAdmit => "job_admit",
+            EventKind::JobReject => "job_reject",
+            EventKind::JobDispatch => "job_dispatch",
+            EventKind::JobComplete => "job_complete",
         }
     }
 }

@@ -43,6 +43,7 @@ pub use ppc_hdfs as hdfs;
 pub use ppc_mapreduce as mapreduce;
 pub use ppc_queue as queue;
 pub use ppc_resilience as resilience;
+pub use ppc_serve as serve;
 pub use ppc_storage as storage;
 pub use ppc_trace as trace;
 pub use ppc_workflow as workflow;
@@ -69,4 +70,17 @@ pub fn engines() -> Vec<Box<dyn exec::Engine>> {
         Box::new(mapreduce::HadoopEngine::default()),
         Box::new(dryad::DryadEngine::default()),
     ]
+}
+
+/// One paradigm by its [`exec::Engine::name`] (`"classic"`, `"mapreduce"`,
+/// `"dryad"`), with its default configuration; `None` for anything else.
+/// The single lookup used by CLI dispatch and service engine sets, so an
+/// engine rename cannot leave a stale open-coded match behind.
+///
+/// ```
+/// assert!(ppc::engine_by_name("dryad").is_some());
+/// assert!(ppc::engine_by_name("condor").is_none());
+/// ```
+pub fn engine_by_name(name: &str) -> Option<Box<dyn exec::Engine>> {
+    engines().into_iter().find(|e| e.name() == name)
 }

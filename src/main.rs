@@ -35,7 +35,7 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  ppc catalog\n  ppc advisor <cap3|blast|gtm> [--budget <$>] [--deadline <seconds>]\n  ppc simulate --app <cap3|blast|gtm> [--instance HCXL] [--instances 2] [--workers 8] [--files 64]\n  ppc compare --app <cap3|blast|gtm> [--files 64] [--gray 30] [--hedge on]\n  ppc compare --pipeline [--files 64] [--gray 30] [--hedge on]\n  ppc demo"
+    "usage:\n  ppc catalog\n  ppc advisor <cap3|blast|gtm> [--budget <$>] [--deadline <seconds>]\n  ppc simulate --app <cap3|blast|gtm> [--instance HCXL] [--instances 2] [--workers 8] [--files 64]\n  ppc compare --app <cap3|blast|gtm> [--files 64] [--gray 30] [--hedge on] [--engine <name>]\n  ppc compare --pipeline [--files 64] [--gray 30] [--hedge on] [--engine <name>]\n  ppc serve [--engines classic,mapreduce,dryad] [--jobs 24] [--json]\n  ppc serve --replay [--clients 20] [--jobs 25] [--think 10] [--instances 8] [--seed 4242] [--json]\n  ppc demo"
 }
 
 /// Dispatch a CLI invocation; returns the rendered output.
@@ -49,6 +49,7 @@ fn run(args: &[String]) -> Result<String> {
         }
         Some("simulate") => simulate_cmd(parse_flags(&args[1..])?),
         Some("compare") => compare_cmd(parse_flags(&args[1..])?),
+        Some("serve") => serve_cmd(parse_flags(&args[1..])?),
         Some("demo") => demo(),
         _ => Err(PpcError::InvalidArgument(
             "missing or unknown subcommand".into(),
@@ -57,7 +58,7 @@ fn run(args: &[String]) -> Result<String> {
 }
 
 /// Flags that stand alone (no value); everything else is `--key value`.
-const BOOLEAN_FLAGS: &[&str] = &["pipeline"];
+const BOOLEAN_FLAGS: &[&str] = &["pipeline", "replay", "json"];
 
 /// Parse `--key value` pairs (and bare boolean flags).
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>> {
@@ -255,7 +256,7 @@ fn compare_cmd(flags: HashMap<String, String>) -> Result<String> {
     tasks.truncate(n_files);
     let cluster = Cluster::provision(ppc::compute::instance::EC2_HCXL, 4, 8);
     let ctx = compare_context(&cluster, &flags)?;
-    let engines: Vec<Box<dyn ppc::exec::Engine>> = vec![
+    let mut engines: Vec<Box<dyn ppc::exec::Engine>> = vec![
         Box::new(ppc::classic::ClassicEngine {
             sim: ppc::classic::SimConfig::ec2().with_app(model),
             ..Default::default()
@@ -275,6 +276,9 @@ fn compare_cmd(flags: HashMap<String, String>) -> Result<String> {
             ..Default::default()
         }),
     ];
+    if let Some(only) = engine_filter(&flags)? {
+        engines.retain(|e| e.name() == only);
+    }
     let mut table = Table::new(
         format!("{app} x {} files on {}", tasks.len(), cluster.label()),
         &["paradigm", "makespan (s)", "attempts", "compute cost"],
@@ -292,6 +296,22 @@ fn compare_cmd(flags: HashMap<String, String>) -> Result<String> {
         ]);
     }
     Ok(table.to_string())
+}
+
+/// Resolve `--engine <name>` through the facade's single lookup
+/// ([`ppc::engine_by_name`]); `None` when the flag is absent.
+fn engine_filter(flags: &HashMap<String, String>) -> Result<Option<String>> {
+    match flags.get("engine") {
+        None => Ok(None),
+        Some(name) => {
+            let engine = ppc::engine_by_name(name).ok_or_else(|| {
+                PpcError::InvalidArgument(format!(
+                    "unknown engine '{name}' (want classic|mapreduce|dryad)"
+                ))
+            })?;
+            Ok(Some(engine.name().to_string()))
+        }
+    }
 }
 
 fn parse_files(flags: &HashMap<String, String>) -> Result<usize> {
@@ -365,7 +385,11 @@ fn compare_pipeline(flags: &HashMap<String, String>) -> Result<String> {
             "compute cost",
         ],
     );
-    for engine in ppc::engines() {
+    let mut engines = ppc::engines();
+    if let Some(only) = engine_filter(flags)? {
+        engines.retain(|e| e.name() == only);
+    }
+    for engine in engines {
         let report = engine.simulate_workflow(&ctx, &wf)?;
         table.row(vec![
             engine.name().to_string(),
@@ -379,6 +403,148 @@ fn compare_pipeline(flags: &HashMap<String, String>) -> Result<String> {
         ]);
     }
     Ok(table.to_string())
+}
+
+/// `ppc serve`: the multi-tenant job-service front door. The default mode
+/// stands up a native [`ppc::serve::JobService`] over real engines, feeds
+/// it a burst of modeled jobs from three tenants, and drains it; `--replay`
+/// instead replays a deterministic closed-loop submission trace through
+/// the DES-backed service simulation (thousands of jobs, elastic-capable).
+fn serve_cmd(flags: HashMap<String, String>) -> Result<String> {
+    if flags.contains_key("replay") {
+        return serve_replay(&flags);
+    }
+    use ppc::serve::{JobService, JobSpec, ServiceConfig, TenantSpec};
+
+    let engine_names = flags
+        .get("engines")
+        .map(String::as_str)
+        .unwrap_or("classic,mapreduce,dryad");
+    let mut engines: Vec<Box<dyn ppc::exec::Engine>> = Vec::new();
+    for name in engine_names.split(',') {
+        let name = name.trim();
+        engines.push(ppc::engine_by_name(name).ok_or_else(|| {
+            PpcError::InvalidArgument(format!(
+                "unknown engine '{name}' (want classic|mapreduce|dryad)"
+            ))
+        })?);
+    }
+    let n_jobs = parse_count(&flags, "jobs", 24)?;
+
+    let cfg = ServiceConfig::new(vec![
+        TenantSpec::new("cap3-lab", 2),
+        TenantSpec::new("blast-lab", 1),
+        TenantSpec::new("gtm-lab", 1),
+    ]);
+    let mut svc = JobService::new(cfg, engines)?;
+    let tenants = ["cap3-lab", "blast-lab", "gtm-lab"];
+    let engine_names: Vec<String> = engine_names
+        .split(',')
+        .map(|n| n.trim().to_string())
+        .collect();
+    for i in 0..n_jobs {
+        let tenant = tenants[i % tenants.len()];
+        let engine = &engine_names[i % engine_names.len()];
+        // Mix of sizes: every fourth job is a big one.
+        let (tasks, task_s) = if i % 4 == 3 { (32, 60.0) } else { (8, 20.0) };
+        svc.submit(JobSpec::modeled(tenant, engine, tasks, task_s))?;
+    }
+    let cluster = Cluster::provision(ppc::compute::instance::EC2_HCXL, 4, 8);
+    let report = svc.drain(&ppc::exec::RunContext::new(&cluster).with_seed(42))?;
+    if flags.contains_key("json") {
+        return Ok(report.to_json().to_string());
+    }
+    Ok(render_serve(&report))
+}
+
+/// `ppc serve --replay`: the deterministic closed-loop load generator.
+fn serve_replay(flags: &HashMap<String, String>) -> Result<String> {
+    use ppc::serve::{simulate_serve, ServeFleet, ServeSimConfig, TenantLoad, TenantSpec};
+
+    let clients = parse_count(flags, "clients", 20)?;
+    let jobs = parse_count(flags, "jobs", 25)?;
+    let instances = parse_count(flags, "instances", 8)?;
+    let seed = parse_count(flags, "seed", 4242)? as u64;
+    let think: f64 = match flags.get("think") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| PpcError::InvalidArgument(format!("bad --think: '{v}'")))?,
+        None => 10.0,
+    };
+
+    let mk = |name: &str, weight| {
+        let mut load = TenantLoad::new(TenantSpec::new(name, weight), clients as u32, jobs as u32);
+        load.think_s = think;
+        load
+    };
+    let cfg = ServeSimConfig::new(
+        ppc::compute::instance::EC2_HCXL,
+        ServeFleet::Fixed {
+            instances: instances as u32,
+        },
+        vec![mk("cap3-lab", 2), mk("blast-lab", 1), mk("gtm-lab", 1)],
+    );
+    let ctx = ppc::exec::RunContext::local().with_seed(seed);
+    let run = simulate_serve(&ctx, &cfg);
+    if flags.contains_key("json") {
+        return Ok(run.report.to_json().to_string());
+    }
+    Ok(render_serve(&run.report))
+}
+
+fn parse_count(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize> {
+    match flags.get(key) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| PpcError::InvalidArgument(format!("bad --{key}: '{v}'"))),
+        None => Ok(default),
+    }
+}
+
+/// Render a serve report: one headline block, one per-tenant table.
+fn render_serve(report: &ppc::serve::ServeReport) -> String {
+    let mut table = Table::new(
+        format!(
+            "{}: {} submitted over {:.0} s",
+            report.platform, report.submitted, report.horizon_s
+        ),
+        &[
+            "tenant",
+            "weight",
+            "submitted",
+            "rejected",
+            "done",
+            "p50 (s)",
+            "p99 (s)",
+            "busy (s)",
+            "bill",
+        ],
+    );
+    for t in &report.tenants {
+        table.row(vec![
+            t.tenant.clone(),
+            t.weight.to_string(),
+            t.submitted.to_string(),
+            t.rejected.to_string(),
+            t.completed.to_string(),
+            format!("{:.1}", t.latency_p50_s),
+            format!("{:.1}", t.latency_p99_s),
+            format!("{:.0}", t.busy_seconds),
+            t.cost.compute_cost.to_string(),
+        ]);
+    }
+    format!(
+        "{table}\njob latency p50/p95/p99 : {:.1} / {:.1} / {:.1} s\nrejection rate          : {:.2}%\nfairness (Jain)         : {:.4}\nfleet                   : {} instances, {} billed hours, {:.0}% utilized, {} compute",
+        report.latency_p50_s,
+        report.latency_p95_s,
+        report.latency_p99_s,
+        report.rejection_rate * 100.0,
+        report.fairness_jain,
+        report.fleet.instances_launched,
+        report.fleet.billed_hours,
+        report.fleet.utilization * 100.0,
+        report.fleet.cost.compute_cost,
+    )
 }
 
 fn demo() -> Result<String> {
@@ -520,5 +686,79 @@ mod tests {
     fn demo_runs_end_to_end() {
         let out = run(&s(&["demo"])).unwrap();
         assert!(out.contains("assembled 8/8"), "{out}");
+    }
+
+    #[test]
+    fn compare_engine_filter_dispatches_by_name() {
+        let out = run(&s(&[
+            "compare", "--app", "cap3", "--files", "16", "--engine", "dryad",
+        ]))
+        .unwrap();
+        assert!(out.contains("dryad"), "{out}");
+        assert!(!out.contains("classic"), "filter leaked: {out}");
+        assert!(run(&s(&["compare", "--app", "cap3", "--engine", "hadoop2"])).is_err());
+        assert!(run(&s(&["compare", "--pipeline", "--engine", "hadoop2"])).is_err());
+    }
+
+    #[test]
+    fn serve_native_runs_all_tenants() {
+        let out = run(&s(&["serve", "--jobs", "12"])).unwrap();
+        for tenant in ["cap3-lab", "blast-lab", "gtm-lab"] {
+            assert!(out.contains(tenant), "missing {tenant}: {out}");
+        }
+        assert!(out.contains("fairness (Jain)"), "{out}");
+        assert!(out.contains("12 submitted"), "{out}");
+        // Engine set dispatch goes through ppc::engine_by_name.
+        assert!(run(&s(&["serve", "--engines", "classic,hadoop2"])).is_err());
+        let out = run(&s(&["serve", "--jobs", "6", "--engines", "classic"])).unwrap();
+        assert!(out.contains("6 submitted"), "{out}");
+    }
+
+    #[test]
+    fn serve_replay_reports_and_emits_versioned_json() {
+        let out = run(&s(&[
+            "serve",
+            "--replay",
+            "--clients",
+            "4",
+            "--jobs",
+            "3",
+            "--instances",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("serve-sim"), "{out}");
+        assert!(out.contains("job latency p50/p95/p99"), "{out}");
+
+        let json = run(&s(&[
+            "serve",
+            "--replay",
+            "--clients",
+            "4",
+            "--jobs",
+            "3",
+            "--instances",
+            "2",
+            "--json",
+        ]))
+        .unwrap();
+        let parsed = ppc::core::json::Json::parse(&json).unwrap();
+        assert_eq!(parsed.field("schema").unwrap().as_i64().unwrap(), 2);
+        // 3 tenants x 4 clients x 3 jobs each.
+        assert_eq!(parsed.field("submitted").unwrap().as_u64().unwrap(), 36);
+        // Same flags, same seed → bit-identical replay.
+        let again = run(&s(&[
+            "serve",
+            "--replay",
+            "--clients",
+            "4",
+            "--jobs",
+            "3",
+            "--instances",
+            "2",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(json, again);
     }
 }

@@ -439,6 +439,68 @@ fn iterative_shim_matches_workflow_fixed_point() {
     assert_eq!(legacy_report, wf_report);
 }
 
+/// The collapsed builders accept both a bare value and the `Option` the
+/// legacy `_opt` forms took; the deprecated `_opt` shims are one-liners
+/// onto them. Pin all four paths field-by-field, and behaviorally through
+/// a simulation, so the sugar can never drift from the real builder.
+#[test]
+fn opt_builder_shims_are_pure_sugar() {
+    use ppc::trace::{NoopSink, TraceSink};
+
+    let cluster = Cluster::provision(EC2_HCXL, 2, 8);
+    let sched = hostile();
+    let sink: Arc<dyn TraceSink> = Arc::new(NoopSink);
+
+    // Field-level: shim == builder for Some, None, and the bare value.
+    let via_shim = RunContext::new(&cluster).with_schedule_opt(Some(sched.clone()));
+    let via_builder = RunContext::new(&cluster).with_schedule(sched.clone());
+    assert!(via_shim
+        .schedule
+        .as_ref()
+        .zip(via_builder.schedule.as_ref())
+        .is_some_and(|(a, b)| Arc::ptr_eq(a, b)));
+    assert!(RunContext::new(&cluster)
+        .with_schedule_opt(None)
+        .schedule
+        .is_none());
+    // `None` through the unified builder *clears* a previously set value.
+    assert!(RunContext::new(&cluster)
+        .with_schedule(sched.clone())
+        .with_schedule(None)
+        .schedule
+        .is_none());
+
+    let via_shim = RunContext::new(&cluster).with_sink_opt(Some(sink.clone()));
+    let via_builder = RunContext::new(&cluster).with_sink(sink.clone());
+    assert!(via_shim
+        .sink
+        .as_ref()
+        .zip(via_builder.sink.as_ref())
+        .is_some_and(|(a, b)| Arc::ptr_eq(a, b)));
+    assert!(RunContext::new(&cluster).with_sink_opt(None).sink.is_none());
+    assert!(RunContext::new(&cluster)
+        .with_sink(sink.clone())
+        .with_sink(None)
+        .sink
+        .is_none());
+
+    // Behavioral: a chaos simulation through the shim is bit-identical to
+    // one through the builder.
+    let tasks = tasks(64);
+    let cfg = ppc::classic::SimConfig::ec2();
+    let a = ppc::classic::simulate(
+        &RunContext::new(&cluster).with_schedule_opt(Some(sched.clone())),
+        &tasks,
+        &cfg,
+    );
+    let b = ppc::classic::simulate(
+        &RunContext::new(&cluster).with_schedule(sched.clone()),
+        &tasks,
+        &cfg,
+    );
+    assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+}
+
 /// The same override on the native side: config seeds lose to the context
 /// seed, observable through identical chaos outcomes (which tasks died and
 /// recovered is a pure function of the effective seed in the dryad
